@@ -1,0 +1,99 @@
+// Command ccomp compiles MiniC (the benchmark dialect of C) to assembly
+// for either target, optionally assembling and running it.
+//
+// Usage:
+//
+//	ccomp -target risc file.c          # print RISC I assembly
+//	ccomp -target cisc file.c          # print CISC baseline assembly
+//	ccomp -target risc -run file.c     # compile, run, print "result"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"risc1/internal/cc"
+	"risc1/internal/cpu"
+	"risc1/internal/vax"
+)
+
+func main() {
+	target := flag.String("target", "risc", "code generator: risc or cisc")
+	optimize := flag.Bool("O", true, "fill delayed-jump slots (risc only)")
+	run := flag.Bool("run", false, "execute and print the global \"result\"")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccomp [-target risc|cisc] [-O] [-run] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *target {
+	case "risc":
+		prog, text, err := cc.CompileRISC(string(src), *optimize)
+		if err != nil {
+			fatal(err)
+		}
+		if !*run {
+			fmt.Print(text)
+			return
+		}
+		c := cpu.New(cpu.Config{})
+		c.Reset(prog.Entry)
+		if err := prog.LoadInto(c.Mem); err != nil {
+			fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			fatal(err)
+		}
+		report(prog.Symbol, func(a uint32) (uint32, error) { return c.Mem.LoadWord(a) })
+		fmt.Printf("%d instructions, %d cycles (%.1f µs)\n",
+			c.Trace.Instructions, c.Trace.Cycles, c.Micros())
+
+	case "cisc":
+		prog, text, err := cc.CompileVAX(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if !*run {
+			fmt.Print(text)
+			return
+		}
+		c := vax.New(vax.Config{})
+		c.Reset(prog.Entry)
+		if err := prog.LoadInto(c.Mem); err != nil {
+			fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			fatal(err)
+		}
+		report(prog.Symbol, func(a uint32) (uint32, error) { return c.Mem.LoadWord(a) })
+		fmt.Printf("%d instructions, %d cycles (%.1f µs)\n",
+			c.Trace.Instructions, c.Trace.Cycles, c.Micros())
+
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+}
+
+func report(symbol func(string) (uint32, bool), load func(uint32) (uint32, error)) {
+	addr, ok := symbol("result")
+	if !ok {
+		fmt.Println("(no global named \"result\")")
+		return
+	}
+	v, err := load(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("result = %d\n", int32(v))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccomp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command cisc-run assembles and executes a program for the CISC
+// baseline (the VAX-780-class comparison machine), reporting registers
+// and the microcoded cycle accounting.
+//
+// Usage:
+//
+//	cisc-run [-limit N] [-print sym,sym] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"risc1/internal/vax"
+)
+
+func main() {
+	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
+	list := flag.Bool("list", false, "print a disassembly listing before running")
+	printSyms := flag.String("print", "", "comma-separated globals to print as words after the run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cisc-run [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vax.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		fmt.Print(vax.Listing(prog))
+		fmt.Println()
+	}
+	c := vax.New(vax.Config{MaxInstructions: *limit})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("halted after %d instructions, %d cycles (%.1f µs at 200 ns)\n",
+		c.Trace.Instructions, c.Trace.Cycles, c.Micros())
+	fmt.Printf("calls: %d (%d cycles, %d frame words); branches: %d taken, %d untaken\n",
+		c.Stats.Calls, c.Stats.CallCycles, c.Stats.CallMemWords,
+		c.Stats.BranchesTaken, c.Stats.BranchesUntaken)
+	fmt.Printf("instruction stream: %d bytes fetched (%.2f bytes/instruction)\n",
+		c.Stats.InstBytes, float64(c.Stats.InstBytes)/float64(c.Trace.Instructions))
+	fmt.Println("\nregisters:")
+	for r := 0; r < vax.NumRegs; r++ {
+		name := fmt.Sprintf("r%d", r)
+		switch r {
+		case vax.RegAP:
+			name = "ap"
+		case vax.RegFP:
+			name = "fp"
+		case vax.RegSP:
+			name = "sp"
+		}
+		fmt.Printf("  %-3s %08x", name, c.R[r])
+		if r%4 == 3 {
+			fmt.Println()
+		}
+	}
+	if *printSyms != "" {
+		fmt.Println("\nglobals:")
+		for _, name := range strings.Split(*printSyms, ",") {
+			name = strings.TrimSpace(name)
+			addr, ok := prog.Symbol(name)
+			if !ok {
+				fmt.Printf("  %s: undefined\n", name)
+				continue
+			}
+			v, err := c.Mem.LoadWord(addr)
+			if err != nil {
+				fmt.Printf("  %s: %v\n", name, err)
+				continue
+			}
+			fmt.Printf("  %s = %d (%#x)\n", name, int32(v), v)
+		}
+	}
+	fmt.Println("\ninstruction mix:")
+	for _, s := range c.Trace.Mix() {
+		fmt.Printf("  %-8s %6.1f%%  (%d)\n", s.Name, 100*s.Frac, s.Count)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cisc-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command risc1-asm assembles RISC I assembly source and prints a
+// listing: encoded words with disassembly, the symbol table, and the
+// static statistics (code size, delay-slot fill) the evaluation uses.
+//
+// Usage:
+//
+//	risc1-asm [-O] file.s
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"risc1/internal/asm"
+	"risc1/internal/isa"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "fill delayed-jump slots")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: risc1-asm [-O] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src), asm.Options{Optimize: *optimize})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, seg := range prog.Segments {
+		fmt.Printf("segment at %#08x, %d bytes\n", seg.Addr, len(seg.Data))
+		for off := 0; off+4 <= len(seg.Data); off += 4 {
+			w := binary.BigEndian.Uint32(seg.Data[off:])
+			addr := seg.Addr + uint32(off)
+			if in, err := isa.Decode(w); err == nil {
+				fmt.Printf("  %08x: %08x  %s\n", addr, w, in)
+			} else {
+				fmt.Printf("  %08x: %08x  .word\n", addr, w)
+			}
+		}
+	}
+
+	fmt.Println("\nsymbols:")
+	for _, name := range prog.SortedSymbols() {
+		v, _ := prog.Symbol(name)
+		fmt.Printf("  %08x  %s\n", v, name)
+	}
+	fmt.Printf("\ntext %d bytes, data %d bytes, entry %#x\n", prog.TextSize, prog.DataSize, prog.Entry)
+	fmt.Printf("delay slots: %d transfers, %d filled (%.0f%%), %d nops\n",
+		prog.Slots.Transfers, prog.Slots.Filled, 100*prog.Slots.FillRate(), prog.Slots.Nops)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "risc1-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command risc1-bench regenerates the evaluation tables and figures of
+// the RISC I paper: instruction set, machine characteristics, benchmark
+// suite, static code size, execution time, instruction mix, window
+// overflow rates, delay-slot fill rates, procedure-call cost, call
+// memory traffic, and a design-feature ablation.
+//
+// Usage:
+//
+//	risc1-bench                  # everything, paper-scale inputs
+//	risc1-bench -scale small     # fast inputs
+//	risc1-bench -table size,time # only selected tables
+//	risc1-bench -fig windows     # only selected figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"risc1/internal/bench"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "workload scale: paper or small")
+	tables := flag.String("table", "", "comma-separated tables: instr,machines,suite,size,time,mix,ops,callcost,traffic (default all)")
+	figs := flag.String("fig", "", "comma-separated figures: windows,delayslots,depth,ablation (default all)")
+	flag.Parse()
+
+	params := bench.Default()
+	if *scale == "small" {
+		params = bench.Small()
+	}
+
+	want := func(list, name string) bool {
+		if *tables == "" && *figs == "" {
+			return true
+		}
+		for _, n := range strings.Split(list, ",") {
+			if strings.TrimSpace(n) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	suite := bench.Suite(params)
+	out := os.Stdout
+
+	if want(*tables, "instr") {
+		fmt.Fprintln(out, bench.TableInstructionSet())
+	}
+	if want(*tables, "machines") {
+		fmt.Fprintln(out, bench.TableMachines())
+	}
+	if want(*tables, "suite") {
+		fmt.Fprintln(out, bench.TableSuite(suite))
+	}
+
+	needCompare := want(*tables, "size") || want(*tables, "time") || want(*tables, "mix") ||
+		want(*tables, "ops") || want(*tables, "traffic") ||
+		want(*figs, "delayslots") || want(*figs, "depth")
+	var cs []bench.Comparison
+	if needCompare {
+		var err error
+		fmt.Fprintln(os.Stderr, "running the suite on both machines...")
+		cs, err = bench.CompareAll(suite)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if want(*tables, "size") {
+		fmt.Fprintln(out, bench.TableCodeSize(cs))
+	}
+	if want(*tables, "time") {
+		fmt.Fprintln(out, bench.TableExecTime(cs))
+	}
+	if want(*tables, "mix") {
+		fmt.Fprintln(out, bench.TableMix(cs))
+	}
+	if want(*tables, "ops") {
+		fmt.Fprintln(out, bench.TableOpFrequency(cs))
+	}
+	if want(*figs, "windows") {
+		fmt.Fprintln(os.Stderr, "sweeping window counts...")
+		sweep, err := bench.SweepWindows(suite, []int{2, 3, 4, 6, 8, 12, 16})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, bench.FigWindowSweep(sweep))
+		fmt.Fprintln(out, bench.FigWindowTime(sweep))
+	}
+	if want(*figs, "delayslots") {
+		fmt.Fprintln(out, bench.FigDelaySlots(cs))
+	}
+	if want(*figs, "depth") {
+		fmt.Fprintln(out, bench.FigDepthHistogram(cs))
+	}
+	if want(*tables, "callcost") {
+		costs, err := bench.MeasureCallCost()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, bench.TableCallCost(costs))
+	}
+	if want(*tables, "traffic") {
+		fmt.Fprintln(out, bench.TableTraffic(cs))
+	}
+	if want(*figs, "ablation") {
+		fmt.Fprintln(os.Stderr, "running the ablation...")
+		rows, err := bench.RunAblation(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, bench.FigAblation(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "risc1-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command risc1-run assembles and executes a RISC I assembly program,
+// then reports registers, cycle counts, and register-window statistics.
+//
+// Usage:
+//
+//	risc1-run [-O] [-windows N] [-limit N] [-print sym,sym] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"risc1/internal/asm"
+	"risc1/internal/cpu"
+	"risc1/internal/isa"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "fill delayed-jump slots")
+	windows := flag.Int("windows", 0, "register windows (0 = the paper's 8)")
+	noWindows := flag.Bool("nowindows", false, "ablation: spill every call")
+	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
+	printSyms := flag.String("print", "", "comma-separated globals to print as words after the run")
+	traceN := flag.Uint64("trace", 0, "print the first N executed instructions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: risc1-run [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src), asm.Options{Optimize: *optimize})
+	if err != nil {
+		fatal(err)
+	}
+	c := cpu.New(cpu.Config{Windows: *windows, NoWindows: *noWindows, MaxInstructions: *limit})
+	if *traceN > 0 {
+		var n uint64
+		c.Tracer = func(pc uint32, in isa.Inst) {
+			if n < *traceN {
+				fmt.Printf("%08x: %s\n", pc, in)
+			}
+			n++
+		}
+	}
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("halted after %d instructions, %d cycles (%.1f µs at 400 ns)\n",
+		c.Trace.Instructions, c.Trace.Cycles, c.Micros())
+	fmt.Printf("windows: %d calls, %d returns, %d overflows, %d underflows, max depth %d\n",
+		c.Regs.Stats.Calls, c.Regs.Stats.Returns,
+		c.Regs.Stats.Overflows, c.Regs.Stats.Underflows, c.Regs.MaxDepth())
+	fmt.Printf("jumps: %d taken, %d untaken; delay-slot nops executed: %d\n",
+		c.Stats.JumpsTaken, c.Stats.JumpsUntaken, c.Stats.DelaySlotNops)
+	fmt.Println("\nregisters (current window):")
+	for r := uint8(0); r < 32; r++ {
+		fmt.Printf("  r%-2d %08x", r, c.Regs.Get(r))
+		if r%4 == 3 {
+			fmt.Println()
+		}
+	}
+	if *printSyms != "" {
+		fmt.Println("\nglobals:")
+		for _, name := range strings.Split(*printSyms, ",") {
+			name = strings.TrimSpace(name)
+			addr, ok := prog.Symbol(name)
+			if !ok {
+				fmt.Printf("  %s: undefined\n", name)
+				continue
+			}
+			v, err := c.Mem.LoadWord(addr)
+			if err != nil {
+				fmt.Printf("  %s: %v\n", name, err)
+				continue
+			}
+			fmt.Printf("  %s = %d (%#x)\n", name, int32(v), v)
+		}
+	}
+	fmt.Println("\ninstruction mix:")
+	for _, s := range c.Trace.Mix() {
+		fmt.Printf("  %-8s %6.1f%%  (%d)\n", s.Name, 100*s.Frac, s.Count)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "risc1-run:", err)
+	os.Exit(1)
+}

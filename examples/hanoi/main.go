@@ -1,0 +1,83 @@
+// Hanoi: compile the call-intensive Towers of Hanoi benchmark from MiniC
+// and race the RISC I machine against the CISC baseline — the head-to-
+// head the paper's evaluation is built on. Procedure-call-heavy code is
+// where the register windows shine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1/internal/cc"
+	"risc1/internal/cpu"
+	"risc1/internal/vax"
+)
+
+const discs = 16
+
+var source = fmt.Sprintf(`
+int moves;
+int result;
+
+void hanoi(int n, int from, int to, int via) {
+	if (n == 0) return;
+	hanoi(n - 1, from, via, to);
+	moves = moves + 1;
+	hanoi(n - 1, via, to, from);
+}
+
+int main() {
+	moves = 0;
+	hanoi(%d, 1, 3, 2);
+	result = moves;
+	return 0;
+}
+`, discs)
+
+func main() {
+	// RISC I: windows advance on CALL; most activations never touch
+	// memory.
+	rprog, _, err := cc.CompileRISC(source, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := cpu.New(cpu.Config{})
+	r.Reset(rprog.Entry)
+	if err := rprog.LoadInto(r.Mem); err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// CISC baseline: every call builds a stack frame under microcode.
+	vprog, _, err := cc.CompileVAX(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := vax.New(vax.Config{})
+	v.Reset(vprog.Entry)
+	if err := vprog.LoadInto(v.Mem); err != nil {
+		log.Fatal(err)
+	}
+	if err := v.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	addr, _ := rprog.Symbol("result")
+	moves, _ := r.Mem.LoadWord(addr)
+	fmt.Printf("towers of Hanoi, %d discs: %d moves\n\n", discs, moves)
+
+	fmt.Printf("%-28s %14s %14s\n", "", "RISC I", "CISC baseline")
+	fmt.Printf("%-28s %14d %14d\n", "code bytes", rprog.TextSize, vprog.TextSize)
+	fmt.Printf("%-28s %14d %14d\n", "instructions executed", r.Trace.Instructions, v.Trace.Instructions)
+	fmt.Printf("%-28s %14d %14d\n", "cycles", r.Trace.Cycles, v.Trace.Cycles)
+	fmt.Printf("%-28s %14.0f %14.0f\n", "microseconds", r.Micros(), v.Micros())
+	fmt.Printf("%-28s %14d %14d\n", "procedure calls", r.Regs.Stats.Calls, v.Stats.Calls)
+	riscWords := r.Stats.SpillWords + r.Stats.RefillWords
+	fmt.Printf("%-28s %14d %14d\n", "call memory words moved", riscWords, v.Stats.CallMemWords)
+	fmt.Printf("\nwindow overflows: %d of %d calls (%.2f%%); speedup %.2fx\n",
+		r.Regs.Stats.Overflows, r.Regs.Stats.Calls,
+		100*float64(r.Regs.Stats.Overflows)/float64(r.Regs.Stats.Calls),
+		v.Micros()/r.Micros())
+}

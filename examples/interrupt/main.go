@@ -1,0 +1,70 @@
+// Interrupt: demonstrate RISC I's CALLINT/RETINT machinery. A main loop
+// counts while we inject periodic external interrupts; the handler runs
+// in a fresh register window (so the interrupted code's registers are
+// untouched), bumps a counter, and resumes transparently with RETINT.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1/internal/asm"
+	"risc1/internal/cpu"
+)
+
+const program = `
+main:	add r2, r0, 0		; work counter (global register)
+loop:	add r2, r2, 1
+	sub. r0, r2, 3000
+	blt loop
+	nop
+	ret
+	nop
+
+	.org 0x400
+handler:
+	add r3, r3, 1		; interrupt counter
+	add r16, r0, 999	; scribble on a local: our window, not main's
+	retint r25, 0		; resume exactly where we left off
+	nop
+`
+
+func main() {
+	prog, err := asm.Assemble(program, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vector, _ := prog.Symbol("handler")
+
+	machine := cpu.New(cpu.Config{})
+	machine.Reset(prog.Entry)
+	if err := prog.LoadInto(machine.Mem); err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the machine manually, raising an interrupt every 500
+	// instructions — a crude timer tick.
+	ticks := 0
+	for {
+		if halted, _ := machine.Halted(); halted {
+			break
+		}
+		if n := machine.Trace.Instructions; n > 0 && n%500 == 0 && machine.InterruptsEnabled() {
+			machine.RaiseInterrupt(vector)
+			ticks++
+		}
+		machine.Step()
+	}
+	if _, err := machine.Halted(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("main loop completed %d iterations — untouched by %d interrupts\n",
+		machine.Regs.Get(2), ticks)
+	fmt.Printf("handler ran %d times (r3)\n", machine.Regs.Get(3))
+	fmt.Printf("window calls %d, returns %d — each interrupt entry advanced a window\n",
+		machine.Regs.Stats.Calls, machine.Regs.Stats.Returns)
+	fmt.Println("\nThe window file gives interrupt handlers their own registers for")
+	fmt.Println("free: entry is one cycle plus (rarely) a spill, versus saving a")
+	fmt.Println("full register frame to memory on a conventional machine.")
+}

@@ -1,0 +1,61 @@
+// Window-study: reproduce the paper's register-window design-space
+// exploration on one program. For each window count, run recursive
+// Fibonacci and report how often calls overflow onto the memory save
+// stack, the trap cycles paid, and total run time — the data that
+// justified choosing eight windows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"risc1/internal/cc"
+	"risc1/internal/cpu"
+)
+
+const source = `
+int result;
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	result = fib(18);
+	return 0;
+}
+`
+
+func main() {
+	prog, _, err := cc.CompileRISC(source, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("register-window design space on fib(18) — 2584 as a checksum")
+	fmt.Printf("%8s %10s %10s %10s %12s %10s %9s\n",
+		"windows", "physregs", "calls", "overflows", "rate", "trap cyc", "total µs")
+
+	for _, windows := range []int{2, 3, 4, 6, 8, 12, 16} {
+		c := cpu.New(cpu.Config{Windows: windows})
+		c.Reset(prog.Entry)
+		if err := prog.LoadInto(c.Mem); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			log.Fatal(err)
+		}
+		addr, _ := prog.Symbol("result")
+		if v, _ := c.Mem.LoadWord(addr); v != 2584 {
+			log.Fatalf("windows=%d: fib(18) = %d, want 2584", windows, v)
+		}
+		st := c.Regs.Stats
+		fmt.Printf("%8d %10d %10d %10d %11.2f%% %10d %9.0f\n",
+			windows, c.Regs.Config().PhysicalRegs(), st.Calls, st.Overflows,
+			100*float64(st.Overflows)/float64(st.Calls),
+			c.Stats.TrapCycles, c.Micros())
+	}
+
+	fmt.Println("\nThe paper's conclusion, visible above: beyond ~8 windows the")
+	fmt.Println("overflow rate is already negligible for real call patterns, so")
+	fmt.Println("more silicon buys nothing — 8 windows (138 registers) is the knee.")
+}

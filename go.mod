@@ -1,0 +1,3 @@
+module risc1
+
+go 1.22

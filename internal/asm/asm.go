@@ -1,0 +1,783 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"risc1/internal/isa"
+	"risc1/internal/syntax"
+)
+
+// Options selects assembler behaviour.
+type Options struct {
+	// Optimize runs the delayed-jump optimizer: NOPs in the shadow of a
+	// jump are replaced, where provably safe, by the instruction that
+	// preceded the jump — the optimization the paper's compiler applied.
+	Optimize bool
+}
+
+// Assemble translates RISC I assembly source into a loadable program.
+//
+// Syntax summary: one instruction or directive per line; comments with
+// ';' or '#'; "label:" prefixes; a '.' suffix on a mnemonic sets the
+// condition codes (e.g. "sub. r1, r2, r3"). Pseudo-instructions: nop,
+// mov, li, call, ret, ba, and b<cond> (beq, bne, blt, ...). Directives:
+// .org .equ .word .half .byte .ascii .asciz .space .align.
+func Assemble(src string, opts Options) (*Program, error) {
+	p := &parser{syms: make(map[string]uint32)}
+	if err := p.parseAll(src); err != nil {
+		return nil, err
+	}
+	if opts.Optimize {
+		p.optimize()
+	}
+	if err := p.layout(); err != nil {
+		return nil, err
+	}
+	return p.emit()
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error, which indicates a defect in the embedded program.
+func MustAssemble(src string, opts Options) *Program {
+	prog, err := Assemble(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type itemKind uint8
+
+const (
+	itemInst itemKind = iota
+	itemWord
+	itemHalf
+	itemByte
+	itemAscii
+	itemSpace
+	itemAlign
+	itemOrg
+)
+
+type item struct {
+	kind   itemKind
+	line   int
+	labels []string
+
+	// Instruction fields (itemInst).
+	op     isa.Opcode
+	scc    bool
+	rd     uint8
+	rs1    uint8
+	rs2    uint8
+	hasImm bool        // short-format immediate present
+	immE   syntax.Expr // imm13
+	longE  syntax.Expr // imm19 (LDHI) or target address (pc-relative)
+	pcRel  bool        // longE is an absolute target; encode longE - addr
+
+	// Data fields.
+	exprs []syntax.Expr
+	str   string
+	count uint32 // .space size / .align boundary / .org address
+
+	addr uint32
+}
+
+type parser struct {
+	items   []item
+	syms    map[string]uint32
+	pending []string // labels awaiting the next item
+}
+
+func (p *parser) parseAll(src string) error {
+	for lineNo, line := range strings.Split(src, "\n") {
+		if err := p.parseLine(line, lineNo+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseLine(line string, lineNo int) error {
+	toks, err := syntax.ScanLine(line, lineNo)
+	if err != nil {
+		return err
+	}
+	// Leading labels.
+	for len(toks) >= 2 && toks[0].Kind == syntax.Ident && toks[1].Kind == syntax.Punct && toks[1].Text == ":" {
+		name := toks[0].Text
+		p.pending = append(p.pending, name)
+		toks = toks[2:]
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	if toks[0].Kind != syntax.Ident {
+		return errf(lineNo, "expected mnemonic or directive, got %q", toks[0].Text)
+	}
+	head := strings.ToLower(toks[0].Text)
+	rest := toks[1:]
+	if strings.HasPrefix(head, ".") {
+		return p.parseDirective(head, rest, lineNo)
+	}
+	// Optional "." suffix selects condition-code setting.
+	scc := false
+	if len(rest) > 0 && rest[0].Text == "." {
+		scc = true
+		rest = rest[1:]
+	}
+	return p.parseInst(head, scc, rest, lineNo)
+}
+
+func (p *parser) add(it item) {
+	it.labels = p.pending
+	p.pending = nil
+	p.items = append(p.items, it)
+}
+
+// operand cursor over a token slice.
+type opCursor struct {
+	toks []syntax.Token
+	pos  int
+	line int
+}
+
+func (c *opCursor) done() bool { return c.pos >= len(c.toks) }
+
+func (c *opCursor) comma() error {
+	if c.pos < len(c.toks) && c.toks[c.pos].Kind == syntax.Punct && c.toks[c.pos].Text == "," {
+		c.pos++
+		return nil
+	}
+	return errf(c.line, "expected ','")
+}
+
+func (c *opCursor) end() error {
+	if !c.done() {
+		return errf(c.line, "unexpected trailing operands")
+	}
+	return nil
+}
+
+// reg parses a register name r0..r31.
+func (c *opCursor) reg() (uint8, error) {
+	if c.done() || c.toks[c.pos].Kind != syntax.Ident {
+		return 0, errf(c.line, "expected register")
+	}
+	r, ok := regNumber(c.toks[c.pos].Text)
+	if !ok {
+		return 0, errf(c.line, "expected register, got %q", c.toks[c.pos].Text)
+	}
+	c.pos++
+	return r, nil
+}
+
+// regOrExpr parses either a register or a constant expression.
+func (c *opCursor) regOrExpr() (reg uint8, isReg bool, e syntax.Expr, err error) {
+	if !c.done() && c.toks[c.pos].Kind == syntax.Ident {
+		if r, ok := regNumber(c.toks[c.pos].Text); ok {
+			c.pos++
+			return r, true, nil, nil
+		}
+	}
+	e, err = c.expr()
+	return 0, false, e, err
+}
+
+func (c *opCursor) expr() (syntax.Expr, error) {
+	ep := &syntax.Parser{Toks: c.toks, Pos: c.pos, Line: c.line}
+	e, err := ep.Parse()
+	if err != nil {
+		return nil, err
+	}
+	c.pos = ep.Pos
+	return e, nil
+}
+
+func regNumber(s string) (uint8, bool) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumVisibleRegs {
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+// Conventional registers for pseudo-instructions: the return address lives
+// in local r25, and "ret" skips the call plus its delay slot.
+const (
+	RetReg    = 25
+	RetOffset = 8
+)
+
+func (p *parser) parseInst(name string, scc bool, toks []syntax.Token, line int) error {
+	c := &opCursor{toks: toks, line: line}
+
+	// Pseudo-instructions first.
+	switch name {
+	case "nop":
+		if err := c.end(); err != nil {
+			return err
+		}
+		p.add(nopItem(line))
+		return nil
+	case "mov":
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		reg, isReg, e, err := c.regOrExpr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		if isReg {
+			p.add(item{kind: itemInst, line: line, op: isa.ADD, scc: scc, rd: rd, rs1: reg, hasImm: true, immE: syntax.Num{}})
+		} else {
+			p.add(item{kind: itemInst, line: line, op: isa.ADD, scc: scc, rd: rd, hasImm: true, immE: e})
+		}
+		return nil
+	case "li":
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		if v, ok := syntax.LiteralValue(e); ok && v >= isa.Imm13Min && v <= isa.Imm13Max {
+			p.add(item{kind: itemInst, line: line, op: isa.ADD, rd: rd, hasImm: true, immE: syntax.Num{V: v}})
+			return nil
+		}
+		p.add(item{kind: itemInst, line: line, op: isa.LDHI, rd: rd, longE: exprHi{e}})
+		p.items = append(p.items, item{kind: itemInst, line: line, op: isa.ADD, rd: rd, rs1: rd, hasImm: true, immE: exprLo{e}})
+		return nil
+	case "call":
+		// "call label" is the pseudo (CALLR through r25); the raw
+		// three-operand form "call rd, rs1, s2" starts with a register
+		// and falls through to the real opcode below.
+		if _, isRawForm := func() (uint8, bool) {
+			if len(toks) > 0 && toks[0].Kind == syntax.Ident {
+				return regNumber(toks[0].Text)
+			}
+			return 0, false
+		}(); !isRawForm {
+			e, err := c.expr()
+			if err != nil {
+				return err
+			}
+			if err := c.end(); err != nil {
+				return err
+			}
+			p.add(item{kind: itemInst, line: line, op: isa.CALLR, rd: RetReg, longE: e, pcRel: true})
+			return nil
+		}
+	case "ret":
+		if c.done() {
+			p.add(item{kind: itemInst, line: line, op: isa.RET, rd: RetReg, hasImm: true, immE: syntax.Num{V: RetOffset}})
+			return nil
+		}
+		// Explicit form: ret rd, s2.
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		reg, isReg, e, err := c.regOrExpr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		it := item{kind: itemInst, line: line, op: isa.RET, scc: scc, rd: rd}
+		if isReg {
+			it.rs2 = reg
+		} else {
+			it.hasImm, it.immE = true, e
+		}
+		p.add(it)
+		return nil
+	case "ba":
+		return p.branchPseudo(isa.CondAlways, c, line)
+	}
+	if cond, ok := branchCond(name); ok {
+		return p.branchPseudo(cond, c, line)
+	}
+
+	op, ok := isa.ByName(name)
+	if !ok {
+		return errf(line, "unknown instruction %q", name)
+	}
+	info := op.Info()
+	it := item{kind: itemInst, line: line, op: op, scc: scc}
+
+	parseS2 := func() error {
+		reg, isReg, e, err := c.regOrExpr()
+		if err != nil {
+			return err
+		}
+		if isReg {
+			it.rs2 = reg
+		} else {
+			it.hasImm, it.immE = true, e
+		}
+		return nil
+	}
+
+	switch {
+	case info.Cond && info.Format == isa.FormatLong: // jmpr cond, target
+		cond, err := parseCond(c)
+		if err != nil {
+			return err
+		}
+		it.rd = uint8(cond)
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		it.longE, it.pcRel = e, true
+
+	case info.Cond: // jmp cond, rs1, s2
+		cond, err := parseCond(c)
+		if err != nil {
+			return err
+		}
+		it.rd = uint8(cond)
+		if err := c.comma(); err != nil {
+			return err
+		}
+		r, err := c.reg()
+		if err != nil {
+			return err
+		}
+		it.rs1 = r
+		if err := c.comma(); err != nil {
+			return err
+		}
+		if err := parseS2(); err != nil {
+			return err
+		}
+
+	case info.Format == isa.FormatLong: // ldhi/callr: rd, imm19
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		it.rd = rd
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		it.longE = e
+		it.pcRel = op == isa.CALLR
+
+	case op == isa.RET || op == isa.RETINT: // rd, s2
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		it.rd = rd
+		if err := c.comma(); err != nil {
+			return err
+		}
+		if err := parseS2(); err != nil {
+			return err
+		}
+
+	case op == isa.GETPSW || op == isa.GTLPC: // rd
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		it.rd = rd
+
+	case op == isa.PUTPSW: // rs1, s2
+		r, err := c.reg()
+		if err != nil {
+			return err
+		}
+		it.rs1 = r
+		if err := c.comma(); err != nil {
+			return err
+		}
+		if err := parseS2(); err != nil {
+			return err
+		}
+
+	default: // rd, rs1, s2 (ALU, loads, stores, call, callint)
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		it.rd = rd
+		if err := c.comma(); err != nil {
+			return err
+		}
+		r, err := c.reg()
+		if err != nil {
+			return err
+		}
+		it.rs1 = r
+		if err := c.comma(); err != nil {
+			return err
+		}
+		if err := parseS2(); err != nil {
+			return err
+		}
+	}
+	if err := c.end(); err != nil {
+		return err
+	}
+	p.add(it)
+	return nil
+}
+
+func (p *parser) branchPseudo(cond isa.Cond, c *opCursor, line int) error {
+	e, err := c.expr()
+	if err != nil {
+		return err
+	}
+	if err := c.end(); err != nil {
+		return err
+	}
+	p.add(item{kind: itemInst, line: line, op: isa.JMPR, rd: uint8(cond), longE: e, pcRel: true})
+	return nil
+}
+
+// branchCond maps pseudo-branch mnemonics ("beq", "bne", ...) to jump
+// conditions.
+func branchCond(name string) (isa.Cond, bool) {
+	if !strings.HasPrefix(name, "b") || len(name) < 2 {
+		return 0, false
+	}
+	return isa.CondByName(name[1:])
+}
+
+func parseCond(c *opCursor) (isa.Cond, error) {
+	if c.done() || c.toks[c.pos].Kind != syntax.Ident {
+		return 0, errf(c.line, "expected jump condition")
+	}
+	cond, ok := isa.CondByName(strings.ToLower(c.toks[c.pos].Text))
+	if !ok {
+		return 0, errf(c.line, "unknown jump condition %q", c.toks[c.pos].Text)
+	}
+	c.pos++
+	return cond, nil
+}
+
+func nopItem(line int) item {
+	return item{kind: itemInst, line: line, op: isa.ADD}
+}
+
+func isNop(it item) bool {
+	return it.kind == itemInst && it.op == isa.ADD && !it.scc &&
+		it.rd == 0 && it.rs1 == 0 && !it.hasImm && it.rs2 == 0
+}
+
+func (p *parser) parseDirective(name string, toks []syntax.Token, line int) error {
+	c := &opCursor{toks: toks, line: line}
+	switch name {
+	case ".equ":
+		if c.done() || c.toks[c.pos].Kind != syntax.Ident {
+			return errf(line, ".equ needs a name")
+		}
+		sym := c.toks[c.pos].Text
+		c.pos++
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		v, err := e.Eval(p.syms)
+		if err != nil {
+			return errf(line, ".equ value must be computable here: %v", err)
+		}
+		if _, dup := p.syms[sym]; dup {
+			return errf(line, "symbol %q redefined", sym)
+		}
+		p.syms[sym] = uint32(v)
+		return nil
+
+	case ".org", ".space", ".align":
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		v, err := e.Eval(p.syms)
+		if err != nil {
+			return errf(line, "%s operand must be computable here: %v", name, err)
+		}
+		if v < 0 {
+			return errf(line, "%s operand must be non-negative", name)
+		}
+		kind := map[string]itemKind{".org": itemOrg, ".space": itemSpace, ".align": itemAlign}[name]
+		if kind == itemAlign && (v == 0 || v&(v-1) != 0) {
+			return errf(line, ".align needs a power of two")
+		}
+		p.add(item{kind: kind, line: line, count: uint32(v)})
+		return nil
+
+	case ".word", ".half", ".byte":
+		var exprs []syntax.Expr
+		for {
+			e, err := c.expr()
+			if err != nil {
+				return err
+			}
+			exprs = append(exprs, e)
+			if c.done() {
+				break
+			}
+			if err := c.comma(); err != nil {
+				return err
+			}
+		}
+		kind := map[string]itemKind{".word": itemWord, ".half": itemHalf, ".byte": itemByte}[name]
+		p.add(item{kind: kind, line: line, exprs: exprs})
+		return nil
+
+	case ".ascii", ".asciz":
+		if c.done() || c.toks[c.pos].Kind != syntax.String {
+			return errf(line, "%s needs a string", name)
+		}
+		s := c.toks[c.pos].Text
+		c.pos++
+		if err := c.end(); err != nil {
+			return err
+		}
+		if name == ".asciz" {
+			s += "\x00"
+		}
+		p.add(item{kind: itemAscii, line: line, str: s})
+		return nil
+	}
+	return errf(line, "unknown directive %q", name)
+}
+
+func (it *item) size() uint32 {
+	switch it.kind {
+	case itemInst:
+		return isa.InstBytes
+	case itemWord:
+		return 4 * uint32(len(it.exprs))
+	case itemHalf:
+		return 2 * uint32(len(it.exprs))
+	case itemByte:
+		return uint32(len(it.exprs))
+	case itemAscii:
+		return uint32(len(it.str))
+	case itemSpace:
+		return it.count
+	default:
+		return 0 // org/align handled in layout
+	}
+}
+
+func (it *item) alignment() uint32 {
+	switch it.kind {
+	case itemInst, itemWord:
+		return 4
+	case itemHalf:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// layout assigns addresses and defines labels.
+func (p *parser) layout() error {
+	lc := uint32(0)
+	for i := range p.items {
+		it := &p.items[i]
+		switch it.kind {
+		case itemOrg:
+			if it.count < lc {
+				return errf(it.line, ".org %#x moves backwards from %#x", it.count, lc)
+			}
+			lc = it.count
+		case itemAlign:
+			lc = (lc + it.count - 1) &^ (it.count - 1)
+		}
+		if a := it.alignment(); lc%a != 0 {
+			lc = (lc + a - 1) &^ (a - 1)
+		}
+		it.addr = lc
+		for _, l := range it.labels {
+			if _, dup := p.syms[l]; dup {
+				return errf(it.line, "symbol %q redefined", l)
+			}
+			p.syms[l] = lc
+		}
+		lc += it.size()
+	}
+	for _, l := range p.pending {
+		if _, dup := p.syms[l]; dup {
+			return fmt.Errorf("asm: symbol %q redefined", l)
+		}
+		p.syms[l] = lc
+	}
+	return nil
+}
+
+// emit encodes every item into segments.
+func (p *parser) emit() (*Program, error) {
+	prog := &Program{Symbols: p.syms}
+	var cur *Segment
+	ensure := func(addr uint32) *Segment {
+		if cur != nil && cur.Addr+uint32(len(cur.Data)) == addr {
+			return cur
+		}
+		prog.Segments = append(prog.Segments, Segment{Addr: addr})
+		cur = &prog.Segments[len(prog.Segments)-1]
+		return cur
+	}
+	put := func(addr uint32, b []byte) {
+		s := ensure(addr)
+		s.Data = append(s.Data, b...)
+	}
+
+	for i := range p.items {
+		it := &p.items[i]
+		switch it.kind {
+		case itemInst:
+			in, err := p.encode(it)
+			if err != nil {
+				return nil, err
+			}
+			w, err := in.Encode()
+			if err != nil {
+				return nil, errf(it.line, "%v", err)
+			}
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], w)
+			put(it.addr, b[:])
+			prog.TextSize += 4
+		case itemWord, itemHalf, itemByte:
+			sz := map[itemKind]int{itemWord: 4, itemHalf: 2, itemByte: 1}[it.kind]
+			for j, e := range it.exprs {
+				v, err := e.Eval(p.syms)
+				if err != nil {
+					return nil, errf(it.line, "%v", err)
+				}
+				b := make([]byte, sz)
+				switch sz {
+				case 4:
+					binary.BigEndian.PutUint32(b, uint32(v))
+				case 2:
+					binary.BigEndian.PutUint16(b, uint16(v))
+				default:
+					b[0] = byte(v)
+				}
+				put(it.addr+uint32(j*sz), b)
+			}
+			prog.DataSize += sz * len(it.exprs)
+		case itemAscii:
+			put(it.addr, []byte(it.str))
+			prog.DataSize += len(it.str)
+		case itemSpace:
+			if it.count > 0 {
+				put(it.addr, make([]byte, it.count))
+				prog.DataSize += int(it.count)
+			}
+		}
+	}
+
+	p.slotStats(prog)
+	prog.Entry = p.entry()
+	return prog, nil
+}
+
+func (p *parser) entry() uint32 {
+	if v, ok := p.syms["start"]; ok {
+		return v
+	}
+	if v, ok := p.syms["main"]; ok {
+		return v
+	}
+	for _, it := range p.items {
+		if it.kind == itemInst {
+			return it.addr
+		}
+	}
+	return 0
+}
+
+// encode turns an item into an isa.Inst, resolving expressions.
+func (p *parser) encode(it *item) (isa.Inst, error) {
+	in := isa.Inst{Op: it.op, SCC: it.scc, Rd: it.rd, Rs1: it.rs1, Rs2: it.rs2}
+	if it.hasImm {
+		v, err := it.immE.Eval(p.syms)
+		if err != nil {
+			return in, errf(it.line, "%v", err)
+		}
+		if v < isa.Imm13Min || v > isa.Imm13Max {
+			return in, errf(it.line, "immediate %d does not fit in 13 bits", v)
+		}
+		in.Imm = true
+		in.Imm13 = int32(v)
+	}
+	if it.longE != nil {
+		v, err := it.longE.Eval(p.syms)
+		if err != nil {
+			return in, errf(it.line, "%v", err)
+		}
+		if it.pcRel {
+			v -= int64(it.addr)
+		}
+		if v < isa.Imm19Min || v > isa.Imm19Max {
+			return in, errf(it.line, "displacement %d does not fit in 19 bits", v)
+		}
+		in.Imm19 = int32(v)
+	}
+	return in, nil
+}
+
+// slotStats counts, after optimization, how each control transfer's delay
+// slot ended up: useful instruction or NOP.
+func (p *parser) slotStats(prog *Program) {
+	for i, it := range p.items {
+		if it.kind != itemInst || it.op.Info().Class != isa.ClassCtrl {
+			continue
+		}
+		prog.Slots.Transfers++
+		if i+1 < len(p.items) && isNop(p.items[i+1]) {
+			prog.Slots.Nops++
+		} else {
+			prog.Slots.Filled++
+		}
+	}
+}

@@ -1,0 +1,578 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"risc1/internal/isa"
+)
+
+// words decodes a program's first segment into instructions.
+func words(t *testing.T, p *Program) []uint32 {
+	t.Helper()
+	if len(p.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	data := p.Segments[0].Data
+	out := make([]uint32, 0, len(data)/4)
+	for i := 0; i+4 <= len(data); i += 4 {
+		out = append(out, binary.BigEndian.Uint32(data[i:]))
+	}
+	return out
+}
+
+func disasm(t *testing.T, w uint32) string {
+	t.Helper()
+	in, err := isa.Decode(w)
+	if err != nil {
+		t.Fatalf("decode %#08x: %v", w, err)
+	}
+	return in.String()
+}
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := assemble(t, `
+		add r1, r2, r3
+		sub. r4, r5, -7
+		xor r6, r7, 0x1f
+		sll r1, r1, 2
+		ldl r16, r30, 8
+		stl r10, r30, 12
+		jmp eq, r5, 0
+		ret r26, 8
+		getpsw r3
+		putpsw r3, 0
+		ldhi r9, 100
+	`)
+	want := []string{
+		"add r1, r2, r3",
+		"sub. r4, r5, -7",
+		"xor r6, r7, 31",
+		"sll r1, r1, 2",
+		"ldl r16, r30, 8",
+		"stl r10, r30, 12",
+		"jmp eq, r5, 0",
+		"ret r26, 8",
+		"getpsw r3",
+		"putpsw r3, 0",
+		"ldhi r9, 100",
+	}
+	ws := words(t, p)
+	if len(ws) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ws), len(want))
+	}
+	for i, w := range ws {
+		if got := disasm(t, w); got != want[i] {
+			t.Errorf("inst %d: %q, want %q", i, got, want[i])
+		}
+	}
+	if p.TextSize != 4*len(want) {
+		t.Errorf("TextSize = %d, want %d", p.TextSize, 4*len(want))
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := assemble(t, `
+main:	li r1, 0
+loop:	add r1, r1, 1
+	sub. r0, r1, 10
+	bne loop
+	nop
+	ba done
+	nop
+done:	ret
+	nop
+	`)
+	if p.Entry != 0 {
+		t.Errorf("entry = %#x, want 0 (main)", p.Entry)
+	}
+	loop, ok := p.Symbol("loop")
+	if !ok || loop != 4 {
+		t.Errorf("loop = %#x, %v; want 4", loop, ok)
+	}
+	ws := words(t, p)
+	// bne at address 12 targeting 4: displacement -8.
+	if got := disasm(t, ws[3]); got != "jmpr ne, -8" {
+		t.Errorf("bne encoded as %q", got)
+	}
+	// ret pseudo expands to ret r25, 8.
+	if got := disasm(t, ws[7]); got != "ret r25, 8" {
+		t.Errorf("ret encoded as %q", got)
+	}
+}
+
+func TestCallPseudo(t *testing.T) {
+	p := assemble(t, `
+	call fn
+	nop
+	ret
+	nop
+fn:	ret
+	nop
+	`)
+	ws := words(t, p)
+	if got := disasm(t, ws[0]); got != "callr r25, 16" {
+		t.Errorf("call encoded as %q", got)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	p := assemble(t, `
+	li r1, 42
+	li r2, -4096
+	li r3, 0x12345678
+	li r4, big
+	.equ big, 70000
+	`)
+	ws := words(t, p)
+	if got := disasm(t, ws[0]); got != "add r1, r0, 42" {
+		t.Errorf("small li: %q", got)
+	}
+	if got := disasm(t, ws[1]); got != "add r2, r0, -4096" {
+		t.Errorf("negative-edge li: %q", got)
+	}
+	// 0x12345678: two instructions (ldhi + add).
+	if got := disasm(t, ws[2]); !strings.HasPrefix(got, "ldhi r3, ") {
+		t.Errorf("large li first inst: %q", got)
+	}
+	if got := disasm(t, ws[3]); !strings.HasPrefix(got, "add r3, r3, ") {
+		t.Errorf("large li second inst: %q", got)
+	}
+	// Symbolic li always takes the two-instruction form.
+	if got := disasm(t, ws[4]); !strings.HasPrefix(got, "ldhi r4, ") {
+		t.Errorf("symbolic li first inst: %q", got)
+	}
+}
+
+func TestLiValueReconstruction(t *testing.T) {
+	// For several 32-bit constants, check hi<<13 + signext(lo) == value.
+	for _, v := range []uint32{0, 1, 0x1fff, 0x1000, 0xdeadbeef, 0x7fffffff, 0x80000000, 0xffffffff, 70000} {
+		lo := int32(v<<19) >> 19
+		hi := int32(v-uint32(lo)) >> 13
+		if got := uint32(hi)<<13 + uint32(lo); got != v {
+			t.Errorf("li split of %#x: hi=%d lo=%d reconstructs %#x", v, hi, lo, got)
+		}
+		if hi < isa.Imm19Min || hi > isa.Imm19Max {
+			t.Errorf("li split of %#x: hi=%d out of 19-bit range", v, hi)
+		}
+		if lo < isa.Imm13Min || lo > isa.Imm13Max {
+			t.Errorf("li split of %#x: lo=%d out of 13-bit range", v, lo)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := assemble(t, `
+	.org 0x100
+val:	.word 1, 2, -3
+h:	.half 0x1234
+b:	.byte 1, 2, 3
+s:	.asciz "hi"
+	.align 4
+w2:	.word end
+end:
+	`)
+	if a, _ := p.Symbol("val"); a != 0x100 {
+		t.Errorf("val at %#x, want 0x100", a)
+	}
+	if a, _ := p.Symbol("h"); a != 0x10c {
+		t.Errorf("h at %#x, want 0x10c", a)
+	}
+	if a, _ := p.Symbol("b"); a != 0x10e {
+		t.Errorf("b at %#x, want 0x10e", a)
+	}
+	if a, _ := p.Symbol("s"); a != 0x111 {
+		t.Errorf("s at %#x, want 0x111", a)
+	}
+	w2, _ := p.Symbol("w2")
+	if w2 != 0x114 {
+		t.Errorf("w2 at %#x, want 0x114 (aligned)", w2)
+	}
+	if end, _ := p.Symbol("end"); end != 0x118 {
+		t.Errorf("end at %#x, want 0x118", end)
+	}
+	if p.DataSize != 12+2+3+3+4 {
+		t.Errorf("DataSize = %d", p.DataSize)
+	}
+}
+
+func TestEqu(t *testing.T) {
+	p := assemble(t, `
+	.equ N, 10
+	.equ N2, N*2+1
+	add r1, r0, N2
+	`)
+	ws := words(t, p)
+	if got := disasm(t, ws[0]); got != "add r1, r0, 21" {
+		t.Errorf("equ arithmetic: %q", got)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	p := assemble(t, `
+	.equ A, 6
+	add r1, r0, (A+2)*4-1
+	add r2, r0, A|9
+	add r3, r0, 1<<4
+	add r4, r0, ~0 & 0xf
+	add r5, r0, 'A'
+	add r6, r0, 100/7
+	add r7, r0, 100%7
+	`)
+	want := []int32{31, 15, 16, 15, 65, 14, 2}
+	for i, w := range words(t, p) {
+		in, _ := isa.Decode(w)
+		if in.Imm13 != want[i] {
+			t.Errorf("expr %d = %d, want %d", i, in.Imm13, want[i])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"bogus r1, r2, r3", "unknown instruction"},
+		{"add r1, r2", "expected ','"},
+		{"add r1, r2, r3, r4", "trailing"},
+		{"add r99, r0, 0", "expected register"},
+		{"add r1, r0, 99999", "13 bits"},
+		{"jmp zz, r1, 0", "unknown jump condition"},
+		{"x: .word 1\nx: .word 2", "redefined"},
+		{".equ q, undef_sym", "computable"},
+		{"ldl r1, r2, undefined_label", "undefined symbol"},
+		{".org 8\n.org 4", "backwards"},
+		{".align 3", "power of two"},
+		{".ascii 42", "needs a string"},
+		{"add r1, r0, 1/0", "division by zero"},
+		{`.ascii "unterminated`, "unterminated"},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("source %q: error %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestOptimizerFillsJumpSlot(t *testing.T) {
+	src := `
+main:	add r1, r0, 1
+	add r2, r0, 2
+	ba out
+	nop
+	add r3, r0, 3
+out:	ret
+	nop
+	`
+	plain := assemble(t, src)
+	opt, err := Assemble(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Slots.Transfers != 2 || plain.Slots.Nops != 2 {
+		t.Errorf("unoptimized slots = %+v, want 2 transfers, 2 nops", plain.Slots)
+	}
+	if opt.Slots.Transfers != 2 || opt.Slots.Filled != 1 {
+		t.Errorf("optimized slots = %+v, want 1 filled of 2", opt.Slots)
+	}
+	// The moved instruction: "add r2" should now follow "ba".
+	ws := words(t, opt)
+	if got := disasm(t, ws[1]); !strings.HasPrefix(got, "jmpr alw") {
+		t.Fatalf("expected jump second after optimization, got %q", got)
+	}
+	if got := disasm(t, ws[2]); got != "add r2, r0, 2" {
+		t.Errorf("slot holds %q, want the moved add", got)
+	}
+	// Program is one instruction shorter (nop gone).
+	if opt.TextSize != plain.TextSize-4 {
+		t.Errorf("optimized TextSize = %d, want %d", opt.TextSize, plain.TextSize-4)
+	}
+}
+
+func TestOptimizerRespectsHazards(t *testing.T) {
+	// The flag-setting sub must not move into a conditional branch's slot.
+	src := `
+	add r1, r0, 5
+	sub. r0, r1, 5
+	beq target
+	nop
+target:	ret
+	nop
+	`
+	opt, err := Assemble(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := words(t, opt)
+	if got := disasm(t, ws[1]); got != "sub. r0, r1, 5" {
+		t.Errorf("flag producer moved illegally; inst 1 is %q", got)
+	}
+	if opt.Slots.Nops < 1 {
+		t.Errorf("slot should remain a nop: %+v", opt.Slots)
+	}
+}
+
+func TestOptimizerRespectsJumpRegister(t *testing.T) {
+	// r5 feeds the register-form jmp; its producer must stay put.
+	src := `
+	li r5, 64
+	jmp alw, r5, 0
+	nop
+	`
+	opt, err := Assemble(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := words(t, opt)
+	if got := disasm(t, ws[1]); !strings.HasPrefix(got, "jmp alw") {
+		t.Errorf("jump should stay second, got %q", got)
+	}
+	if got := disasm(t, ws[2]); got != "add r0, r0, r0" {
+		t.Errorf("slot should remain nop, got %q", got)
+	}
+}
+
+func TestOptimizerRespectsLabels(t *testing.T) {
+	// The candidate is a jump target: moving it would change the path
+	// that enters at the label.
+	src := `
+	ba skip
+	nop
+cand:	add r1, r0, 1
+	ba out
+	nop
+skip:	ba cand
+	nop
+out:	ret
+	nop
+	`
+	opt, err := Assemble(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candAddr, _ := opt.Symbol("cand")
+	seg := opt.Segments[0]
+	w := binary.BigEndian.Uint32(seg.Data[candAddr-seg.Addr:])
+	if got := disasm(t, w); got != "add r1, r0, 1" {
+		t.Errorf("labeled candidate moved: cand now %q", got)
+	}
+}
+
+func TestOptimizerDoesNotTouchCallSlots(t *testing.T) {
+	src := `
+	add r10, r0, 7
+	call fn
+	nop
+	ret
+	nop
+fn:	ret
+	nop
+	`
+	opt, err := Assemble(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := words(t, opt)
+	// add r10 must stay before the call: it writes the outgoing
+	// parameter in the caller's window.
+	if got := disasm(t, ws[0]); got != "add r10, r0, 7" {
+		t.Errorf("call slot filled illegally; first inst %q", got)
+	}
+}
+
+func TestSegmentsSplitOnOrg(t *testing.T) {
+	p := assemble(t, `
+	add r1, r0, 1
+	.org 0x200
+	.word 7
+	`)
+	if len(p.Segments) != 2 {
+		t.Fatalf("got %d segments, want 2", len(p.Segments))
+	}
+	if p.Segments[1].Addr != 0x200 {
+		t.Errorf("second segment at %#x", p.Segments[1].Addr)
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	p := assemble(t, `
+b:	add r1, r0, 1
+a:	add r2, r0, 2
+	`)
+	got := p.SortedSymbols()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("SortedSymbols = %v, want [b a] (address order)", got)
+	}
+}
+
+func TestMovPseudo(t *testing.T) {
+	p := assemble(t, `
+	mov r1, r2
+	mov r3, 99
+	`)
+	ws := words(t, p)
+	if got := disasm(t, ws[0]); got != "add r1, r2, 0" {
+		t.Errorf("mov reg: %q", got)
+	}
+	if got := disasm(t, ws[1]); got != "add r3, r0, 99" {
+		t.Errorf("mov imm: %q", got)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bogus", Options{})
+}
+
+func TestOptimizerFillsFromTarget(t *testing.T) {
+	// The slot of an unconditional jump is filled by copying the target
+	// instruction and retargeting the jump past it.
+	src := `
+main:	sub. r0, r1, 0
+	beq skip
+	nop
+	ba loop
+	nop
+skip:	ret
+	nop
+loop:	add r2, r2, 1
+	ba loop
+	nop
+	`
+	opt, err := Assemble(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Slots.Filled <= plain.Slots.Filled {
+		t.Fatalf("fill-from-target did not fire: %+v vs %+v", opt.Slots, plain.Slots)
+	}
+	// Semantics check: the copied instruction plus retarget must leave
+	// the loop body equivalent — verified structurally: the jump to
+	// "loop" must now land at loop+4 and its slot must hold loop's add.
+	loopAddr, _ := opt.Symbol("loop")
+	seg := opt.Segments[0]
+	// Find a jmpr whose displacement resolves to loopAddr+4.
+	found := false
+	for off := 0; off+4 <= len(seg.Data); off += 4 {
+		w := binary.BigEndian.Uint32(seg.Data[off:])
+		in, err := isa.Decode(w)
+		if err != nil || in.Op != isa.JMPR {
+			continue
+		}
+		target := seg.Addr + uint32(off) + uint32(in.Imm19)
+		if target == loopAddr+4 {
+			slot := binary.BigEndian.Uint32(seg.Data[off+4:])
+			sin, _ := isa.Decode(slot)
+			if sin.String() == "add r2, r2, 1" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no retargeted jump with the copied target instruction found")
+	}
+}
+
+func TestOptimizerTargetCopySkipsControlTargets(t *testing.T) {
+	// A jump whose target is itself a transfer must keep its NOP.
+	src := `
+main:	ba hop
+	nop
+hop:	ba out
+	nop
+out:	ret
+	nop
+	`
+	opt, err := Assemble(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := words(t, opt)
+	// First instruction pair: ba hop then nop (unfilled).
+	if got := disasm(t, ws[1]); got != "add r0, r0, r0" {
+		t.Errorf("slot of jump-to-jump should stay nop, got %q", got)
+	}
+}
+
+// TestDisassembleAssembleRoundTrip checks that the assembler accepts the
+// disassembler's output and reproduces the exact machine word, for every
+// instruction form (at address 0, where pc-relative displacements encode
+// transparently).
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		in := randomInst(r)
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := in.String() + "\n"
+		p, err := Assemble(src, Options{})
+		if err != nil {
+			t.Fatalf("assembling disassembly %q: %v", src, err)
+		}
+		ws := words(t, p)
+		if len(ws) != 1 || ws[0] != w {
+			t.Fatalf("round trip %q: %#08x -> %#08x", src, w, ws[0])
+		}
+	}
+}
+
+// randomInst mirrors the generator in the isa tests, restricted to
+// instructions whose canonical disassembly is assembler-legal syntax.
+func randomInst(r *rand.Rand) isa.Inst {
+	ops := isa.Instructions()
+	for {
+		info := ops[r.Intn(len(ops))]
+		in := isa.Inst{Op: info.Op, SCC: r.Intn(2) == 0, Rd: uint8(r.Intn(32))}
+		switch info.Op {
+		case isa.GETPSW, isa.GTLPC:
+			in.SCC = false // printed without the dot; keep canonical
+		}
+		if info.Cond {
+			in.Rd = uint8(r.Intn(int(isa.NumConds)))
+			in.SCC = false
+		}
+		if info.Format == isa.FormatLong {
+			in.Imm19 = int32(r.Intn(isa.Imm19Max-isa.Imm19Min+1)) + isa.Imm19Min
+			return in
+		}
+		in.Rs1 = uint8(r.Intn(32))
+		if r.Intn(2) == 0 {
+			in.Imm = true
+			in.Imm13 = int32(r.Intn(isa.Imm13Max-isa.Imm13Min+1)) + isa.Imm13Min
+		} else {
+			in.Rs2 = uint8(r.Intn(32))
+		}
+		// Canonicalize fields the disassembly does not print.
+		switch info.Op {
+		case isa.RET, isa.RETINT:
+			in.Rs1 = 0
+		case isa.GETPSW, isa.GTLPC:
+			in.Rs1, in.Rs2, in.Imm, in.Imm13 = 0, 0, false, 0
+		case isa.PUTPSW:
+			in.Rd = 0
+		}
+		return in
+	}
+}

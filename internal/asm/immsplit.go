@@ -1,0 +1,30 @@
+package asm
+
+import "risc1/internal/syntax"
+
+// exprLo extracts the low 13 bits (sign-extended) of a 32-bit constant —
+// the part an ADD immediate can carry after an LDHI.
+type exprLo struct{ x syntax.Expr }
+
+// Eval implements syntax.Expr.
+func (e exprLo) Eval(syms map[string]uint32) (int64, error) {
+	v, err := e.x.Eval(syms)
+	if err != nil {
+		return 0, err
+	}
+	return int64(int32(uint32(v)<<19) >> 19), nil
+}
+
+// exprHi extracts the matching high 19 bits: value == hi<<13 + lo.
+type exprHi struct{ x syntax.Expr }
+
+// Eval implements syntax.Expr.
+func (e exprHi) Eval(syms map[string]uint32) (int64, error) {
+	v, err := e.x.Eval(syms)
+	if err != nil {
+		return 0, err
+	}
+	u := uint32(v)
+	lo := int32(u<<19) >> 19
+	return int64(int32(u-uint32(lo)) >> 13), nil
+}

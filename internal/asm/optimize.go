@@ -1,0 +1,136 @@
+package asm
+
+import (
+	"risc1/internal/isa"
+	"risc1/internal/syntax"
+)
+
+// optimize fills delayed-jump slots: where a jump is followed by a NOP
+// and preceded by an instruction that can legally execute after the jump
+// instead of before it, the predecessor moves into the shadow slot. This
+// is the branch optimization the paper's compiler performed; its fill
+// rate is one of the reproduced results.
+//
+// Only JMP/JMPR slots are filled. CALL/RET slots are left alone because
+// the register window changes with the transfer, so an instruction moved
+// into the slot would address different physical registers.
+func (p *parser) optimize() {
+	for i := 1; i+1 < len(p.items); i++ {
+		br := &p.items[i]
+		if br.kind != itemInst || (br.op != isa.JMP && br.op != isa.JMPR) {
+			continue
+		}
+		slot := &p.items[i+1]
+		cand := &p.items[i-1]
+		if !isNop(*slot) || len(slot.labels) != 0 {
+			continue // slot already useful, or a jump target
+		}
+		if len(br.labels) != 0 || len(cand.labels) != 0 {
+			// Moving the candidate across a label would change what
+			// executes on paths that enter at the label.
+			continue
+		}
+		if !movable(*cand, *br) {
+			continue
+		}
+		// The candidate must not itself sit in another transfer's slot.
+		if i >= 2 && inSlotOf(p.items[i-2]) {
+			continue
+		}
+		// Swap candidate and branch; the old NOP disappears.
+		p.items[i-1], p.items[i] = p.items[i], p.items[i-1]
+		p.items = append(p.items[:i+1], p.items[i+2:]...)
+	}
+	p.fillFromTargets()
+}
+
+// fillFromTargets handles slots the predecessor pass could not fill: for
+// an *unconditional* jump to a label, the first instruction at the
+// target can be copied into the shadow slot and the jump retargeted four
+// bytes past the label — the executed stream is provably identical, so
+// this is always safe. (The paper's compiler also filled conditional
+// slots this way, accepting a wasted instruction on the fall-through
+// path; this implementation stays strictly semantics-preserving.)
+func (p *parser) fillFromTargets() {
+	// Label addresses are not assigned yet (layout runs later), so
+	// targets resolve through the attached label names.
+	labelItem := make(map[string]int, len(p.items))
+	for i, it := range p.items {
+		for _, l := range it.labels {
+			labelItem[l] = i
+		}
+	}
+	for i := 0; i+1 < len(p.items); i++ {
+		br := &p.items[i]
+		if br.kind != itemInst || br.op != isa.JMPR || isa.Cond(br.rd&0x0f) != isa.CondAlways {
+			continue
+		}
+		slot := &p.items[i+1]
+		if !isNop(*slot) || len(slot.labels) != 0 {
+			continue
+		}
+		sym, ok := br.longE.(syntax.Sym)
+		if !ok {
+			continue
+		}
+		ti, ok := labelItem[sym.Name]
+		if !ok {
+			continue
+		}
+		target := p.items[ti]
+		if target.kind != itemInst || target.op.Info().Class == isa.ClassCtrl {
+			continue
+		}
+		// Copy the target instruction into the slot and jump past it.
+		copied := target
+		copied.labels = nil
+		p.items[i+1] = copied
+		br.longE = syntax.Binary{Op: "+", X: sym, Y: syntax.Num{V: isa.InstBytes}, Line: br.line}
+	}
+}
+
+// inSlotOf reports whether the item preceding a candidate is a control
+// transfer, which would make the candidate that transfer's delay slot.
+func inSlotOf(prev item) bool {
+	return prev.kind == itemInst && prev.op.Info().Class == isa.ClassCtrl
+}
+
+// movable reports whether cand may execute after br rather than before
+// it. Since the delay slot executes on both the taken and the untaken
+// path, ordinary data flow is preserved automatically; the only hazards
+// are the branch's own inputs: its condition codes and its target
+// registers.
+func movable(cand, br item) bool {
+	if cand.kind != itemInst {
+		return false
+	}
+	info := cand.op.Info()
+	if info.Class == isa.ClassCtrl {
+		return false // never move a transfer into a slot
+	}
+	if cand.op == isa.PUTPSW {
+		return false // rewrites the condition codes wholesale
+	}
+	// A conditional branch reads the flags; don't move their producer.
+	if cand.scc && isa.Cond(br.rd&0x0f) != isa.CondAlways {
+		return false
+	}
+	// A register-form JMP reads rs1 (and rs2); don't move its producer.
+	if br.op == isa.JMP {
+		writes := candWrites(cand)
+		if writes != 0 && (cand.rd == br.rs1 || (!br.hasImm && cand.rd == br.rs2)) {
+			return false
+		}
+	}
+	return true
+}
+
+// candWrites reports whether the candidate writes a visible register
+// (returns 0 for stores and PSW writes, 1 otherwise). Writes to r0 are
+// architectural no-ops but are conservatively treated as writes.
+func candWrites(cand item) int {
+	if cand.op.Info().Store || cand.op == isa.PUTPSW {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,87 @@
+// Package asm implements a two-pass assembler for the RISC I instruction
+// set, including the delayed-jump optimizer the paper's compiler used to
+// fill branch shadow slots, and static statistics (code size, delay-slot
+// fill rate) for the evaluation tables.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"risc1/internal/mem"
+)
+
+// Segment is a contiguous block of assembled bytes.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// SlotStats reports what the delayed-jump optimizer did — the static side
+// of the paper's branch-optimization experiment.
+type SlotStats struct {
+	Transfers int // control-transfer instructions assembled
+	Filled    int // delay slots filled with useful work by the optimizer
+	Nops      int // delay slots left holding a NOP
+}
+
+// FillRate returns the fraction of delay slots holding useful work.
+func (s SlotStats) FillRate() float64 {
+	if s.Transfers == 0 {
+		return 0
+	}
+	return float64(s.Filled) / float64(s.Transfers)
+}
+
+// Program is the output of the assembler.
+type Program struct {
+	Segments []Segment
+	Symbols  map[string]uint32
+	Entry    uint32 // address of "main" if defined, else of "start", else first instruction
+	TextSize int    // bytes of instructions (static code size for the tables)
+	DataSize int    // bytes of data directives
+	Slots    SlotStats
+}
+
+// LoadInto copies all segments into memory.
+func (p *Program) LoadInto(m *mem.Memory) error {
+	for _, s := range p.Segments {
+		if err := m.WriteBytes(s.Addr, s.Data); err != nil {
+			return fmt.Errorf("asm: loading segment at %#08x: %w", s.Addr, err)
+		}
+	}
+	return nil
+}
+
+// Symbol looks up a label or .equ value.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// SortedSymbols returns symbol names in address order, for listings.
+func (p *Program) SortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.Symbols[names[i]] != p.Symbols[names[j]] {
+			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuiteCorrectness is the central integration test: every benchmark
+// must produce the Go reference result on both simulators, optimized and
+// not, with and without windows.
+func TestSuiteCorrectness(t *testing.T) {
+	for _, w := range Suite(Small()) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, cfg := range []RiscConfig{
+				{},
+				{Optimize: true},
+				{Windows: 3, Optimize: true},
+				{NoWindows: true},
+			} {
+				run, err := RunRISC(w, cfg)
+				if err != nil {
+					t.Fatalf("risc cfg %+v: %v", cfg, err)
+				}
+				if run.Result != w.Expected {
+					t.Fatalf("risc cfg %+v: result %d, want %d", cfg, run.Result, w.Expected)
+				}
+			}
+			vx, err := RunVAX(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vx.Result != w.Expected {
+				t.Fatalf("vax result %d, want %d", vx.Result, w.Expected)
+			}
+		})
+	}
+}
+
+func TestShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison is slow")
+	}
+	cs, err := CompareAll(Suite(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sizeRatioSum, speedSum float64
+	for _, c := range cs {
+		sizeRatio := float64(c.Risc.TextBytes) / float64(c.Vax.TextBytes)
+		speed := c.Vax.Micros / c.Risc.Micros
+		sizeRatioSum += sizeRatio
+		speedSum += speed
+		if sizeRatio < 0.8 {
+			t.Errorf("%s: RISC code unexpectedly smaller than CISC (%.2f)", c.Workload.Name, sizeRatio)
+		}
+		if c.Risc.Instructions <= c.Vax.Instructions/2 {
+			t.Errorf("%s: RISC should execute more instructions (%d vs %d)",
+				c.Workload.Name, c.Risc.Instructions, c.Vax.Instructions)
+		}
+	}
+	avgSize := sizeRatioSum / float64(len(cs))
+	avgSpeed := speedSum / float64(len(cs))
+	// The paper's headline shapes.
+	if avgSize < 1.0 || avgSize > 2.5 {
+		t.Errorf("average RISC/CISC code-size ratio %.2f outside the paper's 1-2.5x band", avgSize)
+	}
+	if avgSpeed < 1.3 {
+		t.Errorf("average RISC speedup %.2f; the paper reports a clear win (2-4x)", avgSpeed)
+	}
+}
+
+func TestWindowSweepShape(t *testing.T) {
+	sweep, err := SweepWindows(Suite(Small()), []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rate) != 3 || len(sweep.Workloads) == 0 {
+		t.Fatalf("unexpected sweep shape: %+v", sweep)
+	}
+	for j := range sweep.Workloads {
+		r2, r4, r8 := sweep.Rate[0][j], sweep.Rate[1][j], sweep.Rate[2][j]
+		if r2 != 1.0 {
+			t.Errorf("%s: 2 windows must overflow on every call, got %.2f", sweep.Workloads[j], r2)
+		}
+		if !(r4 >= r8) {
+			t.Errorf("%s: overflow rate should not rise with windows (%f -> %f)", sweep.Workloads[j], r4, r8)
+		}
+		if r8 > 0.25 {
+			t.Errorf("%s: at 8 windows the rate should be small, got %.2f", sweep.Workloads[j], r8)
+		}
+	}
+}
+
+func TestCallCostOrdering(t *testing.T) {
+	costs, err := MeasureCallCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 {
+		t.Fatalf("want 3 machines, got %d", len(costs))
+	}
+	windows, noWindows, cisc := costs[0], costs[1], costs[2]
+	if !(windows.CyclesPerCall < noWindows.CyclesPerCall) {
+		t.Errorf("windows (%f cy) should beat no-windows (%f cy)",
+			windows.CyclesPerCall, noWindows.CyclesPerCall)
+	}
+	if !(windows.MicrosPerCall < cisc.MicrosPerCall) {
+		t.Errorf("windows (%f µs) should beat CALLS (%f µs)",
+			windows.MicrosPerCall, cisc.MicrosPerCall)
+	}
+	if windows.MemWordsPer > 1 {
+		t.Errorf("windowed calls should move almost no memory, got %.2f words/call", windows.MemWordsPer)
+	}
+	if cisc.MemWordsPer < 5 {
+		t.Errorf("CALLS should move a whole frame, got %.2f words/call", cisc.MemWordsPer)
+	}
+}
+
+func TestDelaySlotOptimizerHelps(t *testing.T) {
+	suite := Suite(Small())
+	w, _ := ByName(suite, "sieve")
+	plain, err := RunRISC(w, RiscConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunRISC(w, RiscConfig{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Slots.Filled == 0 {
+		t.Error("optimizer filled no slots")
+	}
+	if opt.Instructions >= plain.Instructions {
+		t.Errorf("optimizer should cut dynamic instructions: %d vs %d", opt.Instructions, plain.Instructions)
+	}
+	if opt.CPUStats.DelaySlotNops >= plain.CPUStats.DelaySlotNops {
+		t.Errorf("optimizer should cut dynamic NOPs: %d vs %d",
+			opt.CPUStats.DelaySlotNops, plain.CPUStats.DelaySlotNops)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	suite := []Workload{}
+	for _, w := range Suite(Small()) {
+		if w.Name == "fib" || w.Name == "hanoi" {
+			suite = append(suite, w)
+		}
+	}
+	rows, err := RunAblation(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !(r.Full <= r.NoOpt) {
+			t.Errorf("%s: removing the optimizer should not speed things up (%d vs %d)", r.Name, r.Full, r.NoOpt)
+		}
+		if !(r.Full < r.NoWindows) {
+			t.Errorf("%s: removing windows should cost cycles (%d vs %d)", r.Name, r.Full, r.NoWindows)
+		}
+		if !(r.NoWindowsNoOpt >= r.NoWindows) {
+			t.Errorf("%s: the stripped machine should be slowest", r.Name)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	cs, err := CompareAll(Suite(Small())[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name, out, want string
+	}{
+		{"T1", TableInstructionSet(), "ldhi"},
+		{"T2", TableMachines(), "register windows"},
+		{"T3", TableSuite(Suite(Small())), "sieve"},
+		{"T4", TableCodeSize(cs), "RISC/CISC"},
+		{"T5", TableExecTime(cs), "CISC/RISC time"},
+		{"T6", TableMix(cs), "alu"},
+		{"F2", FigDelaySlots(cs), "fill rate"},
+	}
+	for _, c := range checks {
+		if !strings.Contains(c.out, c.want) {
+			t.Errorf("%s: missing %q in output:\n%s", c.name, c.want, c.out)
+		}
+		if strings.Contains(c.out, "%!") {
+			t.Errorf("%s: bad format verb:\n%s", c.name, c.out)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	suite := Suite(Small())
+	if _, ok := ByName(suite, "fib"); !ok {
+		t.Error("fib should exist")
+	}
+	if _, ok := ByName(suite, "nope"); ok {
+		t.Error("nope should not exist")
+	}
+}
+
+func TestSuiteSize(t *testing.T) {
+	// The paper's eleven programs plus the pointer variant of Puzzle.
+	if n := len(Suite(Small())); n != 12 {
+		t.Errorf("suite has %d programs, want 12", n)
+	}
+}
+
+func TestPointerAndSubscriptPuzzleAgree(t *testing.T) {
+	suite := Suite(Small())
+	sub, _ := ByName(suite, "puzzle")
+	ptr, _ := ByName(suite, "puzzle-ptr")
+	if sub.Expected != ptr.Expected {
+		t.Fatalf("variants disagree before running: %d vs %d", sub.Expected, ptr.Expected)
+	}
+	a, err := RunRISC(sub, RiscConfig{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRISC(ptr, RiscConfig{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result != b.Result {
+		t.Errorf("subscript %d != pointer %d", a.Result, b.Result)
+	}
+}
+
+func TestDepthHistogramFigure(t *testing.T) {
+	suite := Suite(Small())
+	w, _ := ByName(suite, "fib")
+	c, err := Compare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FigDepthHistogram([]Comparison{c})
+	if !strings.Contains(out, "fib") || !strings.Contains(out, "max depth") {
+		t.Errorf("figure:\n%s", out)
+	}
+	// fib(12) nests 11 deep; the cumulative shares must be monotone.
+	if c.Risc.MaxDepth < 10 {
+		t.Errorf("max depth = %d", c.Risc.MaxDepth)
+	}
+	var total uint64
+	for _, n := range c.Risc.Depths {
+		total += n
+	}
+	if total != c.Risc.Windows.Calls {
+		t.Errorf("histogram total %d != calls %d", total, c.Risc.Windows.Calls)
+	}
+}
+
+// TestPaperScaleAckermann runs the paper's original Ackermann(3,6) input
+// end-to-end (skipped with -short: it executes several million guest
+// instructions and nests ~2500 activations deep).
+func TestPaperScaleAckermann(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale ackermann is slow")
+	}
+	w := Workload{
+		Name:      "ackermann-3-6",
+		Source:    srcAckermann(3, 6),
+		Expected:  refAckermann(3, 6),
+		CallHeavy: true,
+	}
+	run, err := RunRISC(w, RiscConfig{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result != 509 {
+		t.Fatalf("ack(3,6) = %d, want 509", run.Result)
+	}
+	if run.MaxDepth < 500 {
+		t.Errorf("max depth = %d; expected deep nesting", run.MaxDepth)
+	}
+	if run.Windows.Overflows == 0 {
+		t.Error("deep recursion must overflow")
+	}
+}
+
+func TestOpFrequencyTable(t *testing.T) {
+	cs, err := CompareAll(Suite(Small())[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := TableOpFrequency(cs)
+	if !strings.Contains(out, "add") || !strings.Contains(out, "cumulative") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestWindowTimeFigure(t *testing.T) {
+	sweep, err := SweepWindows(Suite(Small()), []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FigWindowTime(sweep)
+	if !strings.Contains(out, "F4.") || !strings.Contains(out, "(w=2 vs w=8)") {
+		t.Errorf("figure:\n%s", out)
+	}
+	// Two windows must never be faster than eight.
+	for j := range sweep.Workloads {
+		if sweep.Micros[0][j] < sweep.Micros[1][j] {
+			t.Errorf("%s: w=2 (%f µs) beat w=8 (%f µs)",
+				sweep.Workloads[j], sweep.Micros[0][j], sweep.Micros[1][j])
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"fmt"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
+	"risc1/internal/cpu"
+	"risc1/internal/mem"
+	"risc1/internal/regfile"
+	"risc1/internal/trace"
+	"risc1/internal/vax"
+)
+
+// RiscRun is the outcome of one workload on the RISC I simulator.
+type RiscRun struct {
+	Result       int32
+	Instructions uint64
+	Cycles       uint64
+	Micros       float64
+	TextBytes    int
+	Windows      regfile.Stats
+	CPUStats     cpu.Stats
+	Slots        asm.SlotStats
+	Mix          []trace.Share
+	Ops          []trace.Share // per-opcode dynamic counts
+	MaxDepth     int
+	Depths       []uint64 // calls beginning at each nesting depth
+	DataTraffic  mem.Stats
+}
+
+// VaxRun is the outcome of one workload on the CISC baseline.
+type VaxRun struct {
+	Result       int32
+	Instructions uint64
+	Cycles       uint64
+	Micros       float64
+	TextBytes    int
+	Stats        vax.Stats
+	Mix          []trace.Share
+	DataTraffic  mem.Stats
+}
+
+// RiscConfig tweaks a RISC run.
+type RiscConfig struct {
+	Windows   int  // 0 = the paper's 8
+	NoWindows bool // ablation: spill/refill on every call
+	Optimize  bool // fill delay slots
+}
+
+// RunRISC compiles and executes a workload on the RISC I simulator.
+func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
+	prog, text, err := cc.CompileRISC(w.Source, cfg.Optimize)
+	if err != nil {
+		return RiscRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
+	c := cpu.New(cpu.Config{Windows: cfg.Windows, NoWindows: cfg.NoWindows})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		return RiscRun{}, err
+	}
+	if err := c.Run(); err != nil {
+		return RiscRun{}, fmt.Errorf("bench %s (risc): %w\n%s", w.Name, err, text)
+	}
+	addr, ok := prog.Symbol("result")
+	if !ok {
+		return RiscRun{}, fmt.Errorf("bench %s: no global named result", w.Name)
+	}
+	v, err := c.Mem.LoadWord(addr)
+	if err != nil {
+		return RiscRun{}, err
+	}
+	run := RiscRun{
+		Result:       int32(v),
+		Instructions: c.Trace.Instructions,
+		Cycles:       c.Trace.Cycles,
+		Micros:       c.Micros(),
+		TextBytes:    prog.TextSize,
+		Windows:      c.Regs.Stats,
+		CPUStats:     c.Stats,
+		Slots:        prog.Slots,
+		Mix:          c.Trace.Mix(),
+		Ops:          c.Trace.OpCounts(),
+		MaxDepth:     c.Regs.MaxDepth(),
+		Depths:       c.Trace.DepthHistogram(),
+		DataTraffic:  c.Mem.Stats,
+	}
+	if run.Result != w.Expected {
+		return run, fmt.Errorf("bench %s (risc): result %d, want %d", w.Name, run.Result, w.Expected)
+	}
+	return run, nil
+}
+
+// RunVAX compiles and executes a workload on the CISC baseline.
+func RunVAX(w Workload) (VaxRun, error) {
+	prog, text, err := cc.CompileVAX(w.Source)
+	if err != nil {
+		return VaxRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
+	c := vax.New(vax.Config{})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		return VaxRun{}, err
+	}
+	if err := c.Run(); err != nil {
+		return VaxRun{}, fmt.Errorf("bench %s (vax): %w\n%s", w.Name, err, text)
+	}
+	addr, ok := prog.Symbol("result")
+	if !ok {
+		return VaxRun{}, fmt.Errorf("bench %s: no global named result", w.Name)
+	}
+	v, err := c.Mem.LoadWord(addr)
+	if err != nil {
+		return VaxRun{}, err
+	}
+	run := VaxRun{
+		Result:       int32(v),
+		Instructions: c.Trace.Instructions,
+		Cycles:       c.Trace.Cycles,
+		Micros:       c.Micros(),
+		TextBytes:    prog.TextSize,
+		Stats:        c.Stats,
+		Mix:          c.Trace.Mix(),
+		DataTraffic:  c.Mem.Stats,
+	}
+	if run.Result != w.Expected {
+		return run, fmt.Errorf("bench %s (vax): result %d, want %d", w.Name, run.Result, w.Expected)
+	}
+	return run, nil
+}
+
+// Comparison is one workload measured on every machine variant the
+// paper's tables need.
+type Comparison struct {
+	Workload Workload
+	Risc     RiscRun // 8 windows, delay slots optimized
+	RiscNop  RiscRun // 8 windows, unoptimized (NOPs in every slot)
+	Vax      VaxRun
+}
+
+// Compare runs one workload everywhere.
+func Compare(w Workload) (Comparison, error) {
+	risc, err := RunRISC(w, RiscConfig{Optimize: true})
+	if err != nil {
+		return Comparison{}, err
+	}
+	riscNop, err := RunRISC(w, RiscConfig{Optimize: false})
+	if err != nil {
+		return Comparison{}, err
+	}
+	vx, err := RunVAX(w)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Workload: w, Risc: risc, RiscNop: riscNop, Vax: vx}, nil
+}
+
+// CompareAll runs the whole suite.
+func CompareAll(suite []Workload) ([]Comparison, error) {
+	out := make([]Comparison, 0, len(suite))
+	for _, w := range suite {
+		c, err := Compare(w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// WindowSweep measures the overflow rate (fraction of calls that spill)
+// for each window count, per call-heavy workload — the data behind the
+// paper's window-size figure.
+type WindowSweep struct {
+	Windows   []int
+	Workloads []string
+	// Rate[i][j] is the overflow rate at Windows[i] for Workloads[j].
+	Rate [][]float64
+	// Micros[i][j] is the total simulated run time, showing how window
+	// count buys performance until the overflow rate bottoms out.
+	Micros [][]float64
+	// Calls[j] is the total window calls made by workload j.
+	Calls []uint64
+}
+
+// SweepWindows runs the call-heavy subset across window counts.
+func SweepWindows(suite []Workload, windowCounts []int) (WindowSweep, error) {
+	var sweep WindowSweep
+	sweep.Windows = windowCounts
+	var heavy []Workload
+	for _, w := range suite {
+		if w.CallHeavy {
+			heavy = append(heavy, w)
+			sweep.Workloads = append(sweep.Workloads, w.Name)
+		}
+	}
+	sweep.Calls = make([]uint64, len(heavy))
+	for _, wins := range windowCounts {
+		row := make([]float64, len(heavy))
+		us := make([]float64, len(heavy))
+		for j, w := range heavy {
+			run, err := RunRISC(w, RiscConfig{Windows: wins, Optimize: true})
+			if err != nil {
+				return sweep, err
+			}
+			if run.Windows.Calls > 0 {
+				row[j] = float64(run.Windows.Overflows) / float64(run.Windows.Calls)
+			}
+			us[j] = run.Micros
+			sweep.Calls[j] = run.Windows.Calls
+		}
+		sweep.Rate = append(sweep.Rate, row)
+		sweep.Micros = append(sweep.Micros, us)
+	}
+	return sweep, nil
+}
+
+// CallCost measures the incremental cost of one call/return pair on each
+// machine, by differencing a calling loop against a call-free loop — the
+// paper's procedure-call overhead comparison.
+type CallCost struct {
+	Machine       string
+	CyclesPerCall float64
+	MicrosPerCall float64
+	MemWordsPer   float64 // data-memory words moved per call/return
+}
+
+const callLoopN = 2000
+
+func callBenchSource(withCall bool) string {
+	body := "s = s + leaf(i, 1);"
+	if !withCall {
+		body = "s = s + i + 1;"
+	}
+	return fmt.Sprintf(`
+int result;
+int leaf(int a, int b) { return a + b; }
+int main() {
+	int i; int s;
+	s = 0;
+	for (i = 0; i < %d; i = i + 1) {
+		%s
+	}
+	result = s;
+	return 0;
+}
+`, callLoopN, body)
+}
+
+func callBenchExpected() int32 {
+	var s int32
+	for i := int32(0); i < callLoopN; i++ {
+		s += i + 1
+	}
+	return s
+}
+
+// MeasureCallCost returns per-call costs for RISC I with windows, RISC I
+// without windows (every call spills), and the CISC baseline's CALLS/RET.
+func MeasureCallCost() ([]CallCost, error) {
+	with := Workload{Name: "callcost", Source: callBenchSource(true), Expected: callBenchExpected()}
+	without := Workload{Name: "callbase", Source: callBenchSource(false), Expected: callBenchExpected()}
+
+	var out []CallCost
+
+	riscConfigs := []struct {
+		name string
+		cfg  RiscConfig
+	}{
+		{"RISC I (8 windows)", RiscConfig{Optimize: true}},
+		{"RISC I (no windows)", RiscConfig{NoWindows: true, Optimize: true}},
+	}
+	for _, rc := range riscConfigs {
+		a, err := RunRISC(with, rc.cfg)
+		if err != nil {
+			return nil, err
+		}
+		b, err := RunRISC(without, rc.cfg)
+		if err != nil {
+			return nil, err
+		}
+		dCycles := float64(a.Cycles-b.Cycles) / callLoopN
+		dWords := float64(a.DataTraffic.BytesRead+a.DataTraffic.BytesWritten-
+			b.DataTraffic.BytesRead-b.DataTraffic.BytesWritten) / 4 / callLoopN
+		out = append(out, CallCost{
+			Machine:       rc.name,
+			CyclesPerCall: dCycles,
+			MicrosPerCall: dCycles * cpu.DefaultCycleNS / 1000,
+			MemWordsPer:   dWords,
+		})
+	}
+
+	a, err := RunVAX(with)
+	if err != nil {
+		return nil, err
+	}
+	b, err := RunVAX(without)
+	if err != nil {
+		return nil, err
+	}
+	dCycles := float64(a.Cycles-b.Cycles) / callLoopN
+	dWords := float64(a.DataTraffic.BytesRead+a.DataTraffic.BytesWritten-
+		b.DataTraffic.BytesRead-b.DataTraffic.BytesWritten) / 4 / callLoopN
+	out = append(out, CallCost{
+		Machine:       "CISC (CALLS/RET)",
+		CyclesPerCall: dCycles,
+		MicrosPerCall: dCycles * vax.CycleNS / 1000,
+		MemWordsPer:   dWords,
+	})
+	return out, nil
+}

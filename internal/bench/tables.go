@@ -1,0 +1,379 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"risc1/internal/cpu"
+	"risc1/internal/isa"
+	"risc1/internal/regfile"
+	"risc1/internal/vax"
+)
+
+// The table printers regenerate the paper's evaluation artifacts as
+// formatted text. Each returns a string so CLI tools, tests, and the
+// EXPERIMENTS.md generator can share them.
+
+func table(fn func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fn(w)
+	w.Flush()
+	return b.String()
+}
+
+// TableInstructionSet regenerates the paper's Table 1: the 31 RISC I
+// instructions with their formats and one-line semantics.
+func TableInstructionSet() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "T1. The RISC I instruction set (%d instructions)\n", isa.NumInstructions)
+		fmt.Fprintln(w, "mnemonic\tclass\tformat\tcycles\tsemantics")
+		for _, info := range isa.Instructions() {
+			format := "short"
+			if info.Format == isa.FormatLong {
+				format = "long"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%s\n",
+				info.Name, info.Class, format, info.Cycles, info.Semantic)
+		}
+	})
+}
+
+// TableMachines regenerates the machine-characteristics comparison: the
+// RISC I design against the microcoded CISC baseline it is measured
+// against (standing in for the paper's VAX-11/780 column).
+func TableMachines() string {
+	rcfg := regfile.DefaultConfig
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T2. Machine characteristics")
+		fmt.Fprintln(w, "characteristic\tRISC I\tCISC baseline (VAX-780 class)")
+		fmt.Fprintf(w, "instructions\t%d\t%d\n", isa.NumInstructions, vax.NumInstructions)
+		fmt.Fprintf(w, "instruction size (bytes)\t4\t2-19 (variable)\n")
+		fmt.Fprintf(w, "instruction formats\t2\tone per operand-specifier combination\n")
+		fmt.Fprintf(w, "addressing modes\t%d\t%d\n", 2, vax.NumAddressingModes)
+		fmt.Fprintf(w, "general registers\t%d visible / %d physical\t%d\n",
+			isa.NumVisibleRegs, rcfg.PhysicalRegs(), vax.NumRegs)
+		fmt.Fprintf(w, "register windows\t%d (overlap 6)\tnone\n", rcfg.Windows)
+		fmt.Fprintf(w, "cycle time (ns)\t%d\t%d\n", cpu.DefaultCycleNS, vax.CycleNS)
+		fmt.Fprintf(w, "control\thardwired\tmicrocoded (modelled costs)\n")
+		fmt.Fprintf(w, "memory access\tload/store only\tany operand\n")
+	})
+}
+
+// TableSuite lists the benchmark programs — the paper's workload table.
+func TableSuite(suite []Workload) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T3. Benchmark suite (C programs, recreated in MiniC)")
+		fmt.Fprintln(w, "name\tpaper key\tdescription\tcall-heavy")
+		for _, wl := range suite {
+			key := wl.Key
+			if key == "" {
+				key = "-"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%v\n", wl.Name, key, wl.Desc, wl.CallHeavy)
+		}
+	})
+}
+
+// TableCodeSize regenerates the static program-size comparison. The
+// paper's result: RISC I code is modestly larger (it reported roughly
+// 1.2-2x against VAX), the price of fixed 32-bit instructions.
+func TableCodeSize(cs []Comparison) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T4. Static code size (bytes of instructions)")
+		fmt.Fprintln(w, "benchmark\tRISC I\tCISC\tRISC/CISC")
+		var sumRatio float64
+		for _, c := range cs {
+			ratio := float64(c.Risc.TextBytes) / float64(c.Vax.TextBytes)
+			sumRatio += ratio
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\n", c.Workload.Name, c.Risc.TextBytes, c.Vax.TextBytes, ratio)
+		}
+		fmt.Fprintf(w, "geometric mean-ish (avg)\t\t\t%.2f\n", sumRatio/float64(len(cs)))
+	})
+}
+
+// TableExecTime regenerates the execution-time comparison: dynamic
+// instructions, cycles, microseconds (RISC I at 400 ns vs CISC at
+// 200 ns), and the speedup. The paper's result: RISC I executes more
+// instructions yet finishes 2-4x sooner.
+func TableExecTime(cs []Comparison) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T5. Execution time")
+		fmt.Fprintln(w, "benchmark\tRISC instr\tCISC instr\tRISC µs\tCISC µs\tCISC/RISC time")
+		var sumSpeed float64
+		for _, c := range cs {
+			speed := c.Vax.Micros / c.Risc.Micros
+			sumSpeed += speed
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t%.2f\n",
+				c.Workload.Name, c.Risc.Instructions, c.Vax.Instructions,
+				c.Risc.Micros, c.Vax.Micros, speed)
+		}
+		fmt.Fprintf(w, "average speedup\t\t\t\t\t%.2f\n", sumSpeed/float64(len(cs)))
+	})
+}
+
+// TableMix regenerates the dynamic instruction-mix comparison by class.
+func TableMix(cs []Comparison) string {
+	riscTotals := map[string]uint64{}
+	vaxTotals := map[string]uint64{}
+	var riscN, vaxN uint64
+	for _, c := range cs {
+		for _, s := range c.Risc.Mix {
+			riscTotals[s.Name] += s.Count
+			riscN += s.Count
+		}
+		for _, s := range c.Vax.Mix {
+			vaxTotals[s.Name] += s.Count
+			vaxN += s.Count
+		}
+	}
+	classes := []string{"alu", "memory", "control", "move", "call", "misc"}
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T6. Dynamic instruction mix (whole suite)")
+		fmt.Fprintln(w, "class\tRISC I\tCISC")
+		for _, cl := range classes {
+			r := "-"
+			v := "-"
+			if n := riscTotals[cl]; n > 0 {
+				r = fmt.Sprintf("%.1f%%", 100*float64(n)/float64(riscN))
+			}
+			if n := vaxTotals[cl]; n > 0 {
+				v = fmt.Sprintf("%.1f%%", 100*float64(n)/float64(vaxN))
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\n", cl, r, v)
+		}
+	})
+}
+
+// FigWindowSweep regenerates the window-overflow figure: the fraction of
+// calls that overflow as the number of windows grows. The paper's shape:
+// a steep fall, with only a few percent of calls spilling at 8 windows.
+func FigWindowSweep(s WindowSweep) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "F1. Window overflows as a fraction of calls, by window count")
+		fmt.Fprintf(w, "windows\t%s\n", strings.Join(s.Workloads, "\t"))
+		for i, wins := range s.Windows {
+			cells := make([]string, len(s.Rate[i]))
+			for j, r := range s.Rate[i] {
+				cells[j] = fmt.Sprintf("%.2f%%", 100*r)
+			}
+			fmt.Fprintf(w, "%d\t%s\n", wins, strings.Join(cells, "\t"))
+		}
+		calls := make([]string, len(s.Calls))
+		for j, n := range s.Calls {
+			calls[j] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(w, "(calls)\t%s\n", strings.Join(calls, "\t"))
+	})
+}
+
+// FigWindowTime shows run time against window count: the performance
+// side of the window design space. Time falls as overflows vanish, then
+// flattens — the knee the paper picked 8 windows at.
+func FigWindowTime(s WindowSweep) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "F4. Run time (simulated microseconds) by window count")
+		fmt.Fprintf(w, "windows\t%s\n", strings.Join(s.Workloads, "\t"))
+		for i, wins := range s.Windows {
+			cells := make([]string, len(s.Micros[i]))
+			for j, us := range s.Micros[i] {
+				cells[j] = fmt.Sprintf("%.0f", us)
+			}
+			fmt.Fprintf(w, "%d\t%s\n", wins, strings.Join(cells, "\t"))
+		}
+		// Relative cost of the smallest file vs the largest measured.
+		if len(s.Micros) >= 2 {
+			cells := make([]string, len(s.Workloads))
+			last := len(s.Micros) - 1
+			for j := range s.Workloads {
+				cells[j] = fmt.Sprintf("%.2fx", s.Micros[0][j]/s.Micros[last][j])
+			}
+			fmt.Fprintf(w, "(w=%d vs w=%d)\t%s\n", s.Windows[0], s.Windows[last], strings.Join(cells, "\t"))
+		}
+	})
+}
+
+// FigDelaySlots regenerates the delayed-jump optimization result: how
+// many branch shadow slots the optimizer filled (static), and the
+// dynamic NOPs that disappeared.
+func FigDelaySlots(cs []Comparison) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "F2. Delayed-jump optimization")
+		fmt.Fprintln(w, "benchmark\ttransfers\tslots filled\tfill rate\tdyn. NOPs before\tdyn. NOPs after\tinstr saved")
+		for _, c := range cs {
+			saved := int64(c.RiscNop.Instructions) - int64(c.Risc.Instructions)
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.0f%%\t%d\t%d\t%d\n",
+				c.Workload.Name,
+				c.Risc.Slots.Transfers, c.Risc.Slots.Filled, 100*c.Risc.Slots.FillRate(),
+				c.RiscNop.CPUStats.DelaySlotNops, c.Risc.CPUStats.DelaySlotNops, saved)
+		}
+	})
+}
+
+// TableCallCost regenerates the paper's headline comparison: what one
+// procedure call/return costs on each machine.
+func TableCallCost(costs []CallCost) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T7. Cost of one call/return (differenced microbenchmark)")
+		fmt.Fprintln(w, "machine\tcycles/call\tµs/call\tmemory words/call")
+		for _, c := range costs {
+			fmt.Fprintf(w, "%s\t%.1f\t%.2f\t%.1f\n", c.Machine, c.CyclesPerCall, c.MicrosPerCall, c.MemWordsPer)
+		}
+	})
+}
+
+// TableTraffic regenerates the call-related memory-traffic comparison on
+// the call-heavy programs: register windows keep most activations on
+// chip, so data-memory traffic collapses.
+func TableTraffic(cs []Comparison) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T8. Data-memory traffic on call-heavy programs")
+		fmt.Fprintln(w, "benchmark\tcalls\tRISC words moved\tCISC frame words\tRISC words/call\tCISC words/call")
+		for _, c := range cs {
+			if !c.Workload.CallHeavy {
+				continue
+			}
+			riscWords := c.Risc.CPUStats.SpillWords + c.Risc.CPUStats.RefillWords
+			calls := c.Risc.Windows.Calls
+			if calls == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%.2f\n",
+				c.Workload.Name, calls, riscWords, c.Vax.Stats.CallMemWords,
+				float64(riscWords)/float64(calls),
+				float64(c.Vax.Stats.CallMemWords)/float64(c.Vax.Stats.Calls))
+		}
+	})
+}
+
+// TableOpFrequency ranks the most-executed RISC I instructions across
+// the suite — the measurement style that motivated RISC in the first
+// place: a handful of simple operations dominates everything compilers
+// emit, so silicon spent on the rest is wasted.
+func TableOpFrequency(cs []Comparison) string {
+	totals := map[string]uint64{}
+	var n uint64
+	for _, c := range cs {
+		for _, op := range c.Risc.Ops {
+			totals[op.Name] += op.Count
+			n += op.Count
+		}
+	}
+	type row struct {
+		name string
+		cnt  uint64
+	}
+	rows := make([]row, 0, len(totals))
+	for name, cnt := range totals {
+		rows = append(rows, row{name, cnt})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cnt != rows[j].cnt {
+			return rows[i].cnt > rows[j].cnt
+		}
+		return rows[i].name < rows[j].name
+	})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "T9. Most-executed RISC I instructions (whole suite)")
+		fmt.Fprintln(w, "rank	instruction	share	cumulative")
+		var cum float64
+		for i, r := range rows {
+			if i >= 10 {
+				fmt.Fprintf(w, "\t(%d more)\t%.1f%%\t100.0%%\n", len(rows)-10, 100-cum)
+				break
+			}
+			share := 100 * float64(r.cnt) / float64(n)
+			cum += share
+			fmt.Fprintf(w, "%d\t%s\t%.1f%%\t%.1f%%\n", i+1, r.name, share, cum)
+		}
+	})
+}
+
+// FigDepthHistogram shows how deeply the call-heavy programs nest — the
+// behaviour that justifies a multi-window register file: most calls
+// happen within a narrow band of depths, so a handful of windows
+// captures nearly all of them.
+func FigDepthHistogram(cs []Comparison) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "F3. Call-depth profile (fraction of calls beginning at each depth)")
+		fmt.Fprintln(w, "benchmark\tmax depth\tdepth<=4\tdepth<=8\tdepth<=16")
+		for _, c := range cs {
+			if !c.Workload.CallHeavy {
+				continue
+			}
+			var total uint64
+			for _, n := range c.Risc.Depths {
+				total += n
+			}
+			if total == 0 {
+				continue
+			}
+			cum := func(limit int) float64 {
+				var s uint64
+				for d, n := range c.Risc.Depths {
+					if d <= limit {
+						s += n
+					}
+				}
+				return 100 * float64(s) / float64(total)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f%%\n",
+				c.Workload.Name, c.Risc.MaxDepth, cum(4), cum(8), cum(16))
+		}
+	})
+}
+
+// AblationRow is one cell of the design-choice ablation.
+type AblationRow struct {
+	Name           string
+	Full           uint64 // windows + optimizer
+	NoOpt          uint64 // windows, NOP slots
+	NoWindows      uint64 // optimizer, no windows
+	NoWindowsNoOpt uint64
+}
+
+// RunAblation measures cycles with each design feature toggled.
+func RunAblation(suite []Workload) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, w := range suite {
+		if !w.CallHeavy {
+			continue
+		}
+		full, err := RunRISC(w, RiscConfig{Optimize: true})
+		if err != nil {
+			return nil, err
+		}
+		noOpt, err := RunRISC(w, RiscConfig{})
+		if err != nil {
+			return nil, err
+		}
+		noWin, err := RunRISC(w, RiscConfig{NoWindows: true, Optimize: true})
+		if err != nil {
+			return nil, err
+		}
+		neither, err := RunRISC(w, RiscConfig{NoWindows: true})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name: w.Name, Full: full.Cycles, NoOpt: noOpt.Cycles,
+			NoWindows: noWin.Cycles, NoWindowsNoOpt: neither.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// FigAblation formats the design-feature ablation.
+func FigAblation(rows []AblationRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "A1. Ablation: cycles with design features toggled (call-heavy programs)")
+		fmt.Fprintln(w, "benchmark\twindows+opt\twindows only\topt only\tneither\tneither/full")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2f\n",
+				r.Name, r.Full, r.NoOpt, r.NoWindows, r.NoWindowsNoOpt,
+				float64(r.NoWindowsNoOpt)/float64(r.Full))
+		}
+	})
+}

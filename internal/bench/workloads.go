@@ -1,0 +1,813 @@
+// Package bench recreates the RISC I paper's C benchmark suite in MiniC,
+// provides a Go reference implementation of every program for
+// correctness cross-checks, and implements the harness that regenerates
+// the paper's evaluation tables and figures (code size, execution time,
+// instruction mix, window-overflow rates, delay-slot fill rates, and
+// procedure-call cost).
+package bench
+
+import "fmt"
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name string
+	// Key is the paper's benchmark letter where one exists.
+	Key  string
+	Desc string
+	// Source is the MiniC program; it stores its checksum in the global
+	// "result".
+	Source string
+	// Expected is the checksum computed by the Go reference.
+	Expected int32
+	// CallHeavy marks the call-intensive programs used for the window
+	// experiments.
+	CallHeavy bool
+}
+
+// Params scales the suite. The zero value is the paper-scale
+// configuration; Small() is a fast configuration for unit tests.
+type Params struct {
+	SieveIters  int // sieve passes over 8191 flags
+	FibN        int
+	HanoiDiscs  int
+	AckM, AckN  int
+	QsortSize   int
+	SearchIters int
+	BitIters    int
+	ListSize    int
+	MatrixIters int // bit-matrix products
+	MatN        int // integer matmul dimension
+	PuzzleBoard int
+}
+
+// Default returns paper-scale parameters, bounded so the full suite
+// simulates in seconds. (The paper ran Ackermann(3,6); that input makes
+// ~170k calls — here the default is (3,5) with (3,6) available to
+// callers that want the original.)
+func Default() Params {
+	return Params{
+		SieveIters:  10,
+		FibN:        20,
+		HanoiDiscs:  14,
+		AckM:        3,
+		AckN:        5,
+		QsortSize:   1000,
+		SearchIters: 50,
+		BitIters:    5000,
+		ListSize:    400,
+		MatrixIters: 10,
+		MatN:        16,
+		PuzzleBoard: 14,
+	}
+}
+
+// Small returns a fast configuration for tests.
+func Small() Params {
+	return Params{
+		SieveIters:  1,
+		FibN:        12,
+		HanoiDiscs:  7,
+		AckM:        2,
+		AckN:        3,
+		QsortSize:   60,
+		SearchIters: 3,
+		BitIters:    100,
+		ListSize:    40,
+		MatrixIters: 1,
+		MatN:        6,
+		PuzzleBoard: 10,
+	}
+}
+
+// Suite builds the full benchmark set at the given scale, with expected
+// results computed by the Go references.
+func Suite(p Params) []Workload {
+	return []Workload{
+		{
+			Name: "e-strsearch", Key: "E",
+			Desc:     "string search (character comparison loop)",
+			Source:   srcSearch(p.SearchIters),
+			Expected: refSearch(p.SearchIters),
+		},
+		{
+			Name: "f-bittest", Key: "F",
+			Desc:     "bit set/test/clear over a bitmap",
+			Source:   srcBittest(p.BitIters),
+			Expected: refBittest(p.BitIters),
+		},
+		{
+			Name: "h-linkedlist", Key: "H",
+			Desc:     "sorted linked-list insertion",
+			Source:   srcLinkedList(p.ListSize),
+			Expected: refLinkedList(p.ListSize),
+		},
+		{
+			Name: "k-bitmatrix", Key: "K",
+			Desc:     "32x32 boolean matrix product",
+			Source:   srcBitMatrix(p.MatrixIters),
+			Expected: refBitMatrix(p.MatrixIters),
+		},
+		{
+			Name: "ackermann", Key: "",
+			Desc:      fmt.Sprintf("Ackermann(%d,%d), the call-stress test", p.AckM, p.AckN),
+			Source:    srcAckermann(p.AckM, p.AckN),
+			Expected:  refAckermann(p.AckM, p.AckN),
+			CallHeavy: true,
+		},
+		{
+			Name: "qsort", Key: "",
+			Desc:      fmt.Sprintf("recursive quicksort of %d pseudo-random ints", p.QsortSize),
+			Source:    srcQsort(p.QsortSize),
+			Expected:  refQsort(p.QsortSize),
+			CallHeavy: true,
+		},
+		{
+			Name: "puzzle", Key: "",
+			Desc:      "recursive piece-packing search (reduced subscript Puzzle)",
+			Source:    srcPuzzle(p.PuzzleBoard),
+			Expected:  refPuzzle(p.PuzzleBoard),
+			CallHeavy: true,
+		},
+		{
+			Name: "puzzle-ptr", Key: "",
+			Desc:      "the same packing search, pointer version (the paper compared both)",
+			Source:    srcPuzzlePtr(p.PuzzleBoard),
+			Expected:  refPuzzle(p.PuzzleBoard),
+			CallHeavy: true,
+		},
+		{
+			Name: "sieve", Key: "",
+			Desc:     fmt.Sprintf("sieve of Eratosthenes, %d passes over 8191 flags", p.SieveIters),
+			Source:   srcSieve(p.SieveIters),
+			Expected: refSieve(p.SieveIters),
+		},
+		{
+			Name: "hanoi", Key: "",
+			Desc:      fmt.Sprintf("towers of Hanoi, %d discs", p.HanoiDiscs),
+			Source:    srcHanoi(p.HanoiDiscs),
+			Expected:  refHanoi(p.HanoiDiscs),
+			CallHeavy: true,
+		},
+		{
+			Name: "fib", Key: "",
+			Desc:      fmt.Sprintf("naive recursive Fibonacci(%d)", p.FibN),
+			Source:    srcFib(p.FibN),
+			Expected:  refFib(p.FibN),
+			CallHeavy: true,
+		},
+		{
+			Name: "matmul", Key: "",
+			Desc:     fmt.Sprintf("%dx%d integer matrix multiply", p.MatN, p.MatN),
+			Source:   srcMatmul(p.MatN),
+			Expected: refMatmul(p.MatN),
+		},
+	}
+}
+
+// ByName finds a workload in a suite.
+func ByName(suite []Workload, name string) (Workload, bool) {
+	for _, w := range suite {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+const searchText = "the quick brown fox jumps over the lazy dog while the band plays on and the search target hides near the end needle in the haystack"
+const searchPat = "needle"
+
+func srcSearch(iters int) string {
+	return fmt.Sprintf(`
+char text[140] = %q;
+char pat[8] = %q;
+int result;
+
+int search(char *s, char *p) {
+	int i; int j;
+	i = 0;
+	while (s[i]) {
+		j = 0;
+		while (p[j] && s[i + j] == p[j]) j = j + 1;
+		if (!p[j]) return i;
+		i = i + 1;
+	}
+	return 0 - 1;
+}
+
+int main() {
+	int i; int total;
+	total = 0;
+	for (i = 0; i < %d; i = i + 1) total = total + search(text, pat) + i;
+	result = total;
+	return 0;
+}
+`, searchText, searchPat, iters)
+}
+
+func refSearch(iters int) int32 {
+	idx := int32(-1)
+	for i := 0; i+len(searchPat) <= len(searchText); i++ {
+		if searchText[i:i+len(searchPat)] == searchPat {
+			idx = int32(i)
+			break
+		}
+	}
+	var total int32
+	for i := int32(0); i < int32(iters); i++ {
+		total += idx + i
+	}
+	return total
+}
+
+func srcBittest(iters int) string {
+	return fmt.Sprintf(`
+int bitmap[64];
+int result;
+
+void setbit(int n)   { bitmap[n >> 5] |= 1 << (n & 31); }
+void clearbit(int n) { bitmap[n >> 5] &= ~(1 << (n & 31)); }
+int testbit(int n)   { return (bitmap[n >> 5] >> (n & 31)) & 1; }
+
+int main() {
+	int i; int n; int hits;
+	hits = 0;
+	for (i = 0; i < %d; i = i + 1) {
+		n = (i * 7 + 3) & 2047;
+		setbit(n);
+		if (testbit((n + 1) & 2047)) hits = hits + 1;
+		if (i & 1) clearbit((n + i) & 2047);
+		hits = hits + testbit(n);
+	}
+	result = hits;
+	return 0;
+}
+`, iters)
+}
+
+func refBittest(iters int) int32 {
+	var bitmap [64]int32
+	set := func(n int32) { bitmap[n>>5] |= 1 << uint(n&31) }
+	clear := func(n int32) { bitmap[n>>5] &^= 1 << uint(n&31) }
+	test := func(n int32) int32 { return (bitmap[n>>5] >> uint(n&31)) & 1 }
+	var hits int32
+	for i := int32(0); i < int32(iters); i++ {
+		n := (i*7 + 3) & 2047
+		set(n)
+		if test((n+1)&2047) != 0 {
+			hits++
+		}
+		if i&1 != 0 {
+			clear((n + i) & 2047)
+		}
+		hits += test(n)
+	}
+	return hits
+}
+
+func srcLinkedList(size int) string {
+	return fmt.Sprintf(`
+int nextp[%d];
+int val[%d];
+int head;
+int nalloc;
+int seed;
+int result;
+
+int rnd() {
+	seed = seed * 1103515245 + 12345;
+	return (seed >> 16) & 0x7fff;
+}
+
+void insert(int v) {
+	int n; int p; int prev;
+	n = nalloc;
+	nalloc = nalloc + 1;
+	val[n] = v;
+	if (head == 0 - 1 || val[head] >= v) {
+		nextp[n] = head;
+		head = n;
+		return;
+	}
+	prev = head;
+	p = nextp[head];
+	while (p != 0 - 1 && val[p] < v) {
+		prev = p;
+		p = nextp[p];
+	}
+	nextp[n] = p;
+	nextp[prev] = n;
+}
+
+int main() {
+	int i; int sum; int p;
+	head = 0 - 1;
+	nalloc = 0;
+	seed = 1;
+	for (i = 0; i < %d; i = i + 1) insert(rnd());
+	sum = 0;
+	p = head;
+	while (p != 0 - 1) {
+		sum = sum * 3 + val[p];
+		p = nextp[p];
+	}
+	result = sum;
+	return 0;
+}
+`, size+1, size+1, size)
+}
+
+func refLinkedList(size int) int32 {
+	next := make([]int32, size+1)
+	val := make([]int32, size+1)
+	head := int32(-1)
+	nalloc := int32(0)
+	seed := int32(1)
+	rnd := func() int32 {
+		seed = seed*1103515245 + 12345
+		return (seed >> 16) & 0x7fff
+	}
+	insert := func(v int32) {
+		n := nalloc
+		nalloc++
+		val[n] = v
+		if head == -1 || val[head] >= v {
+			next[n] = head
+			head = n
+			return
+		}
+		prev := head
+		p := next[head]
+		for p != -1 && val[p] < v {
+			prev = p
+			p = next[p]
+		}
+		next[n] = p
+		next[prev] = n
+	}
+	for i := 0; i < size; i++ {
+		insert(rnd())
+	}
+	var sum int32
+	for p := head; p != -1; p = next[p] {
+		sum = sum*3 + val[p]
+	}
+	return sum
+}
+
+func srcBitMatrix(iters int) string {
+	return fmt.Sprintf(`
+int m1[32];
+int m2[32];
+int prod[32];
+int result;
+
+int main() {
+	int it; int i; int j; int k; int row; int sum;
+	for (it = 0; it < %d; it = it + 1) {
+		for (i = 0; i < 32; i = i + 1) {
+			m1[i] = i * 2654435761 + it;
+			m2[i] = i * 40503 + it * 7;
+		}
+		for (i = 0; i < 32; i = i + 1) {
+			row = 0;
+			for (j = 0; j < 32; j = j + 1) {
+				k = 0;
+				while (k < 32) {
+					if (((m1[i] >> k) & 1) && ((m2[k] >> j) & 1)) {
+						row = row | (1 << j);
+						k = 32;
+					}
+					k = k + 1;
+				}
+			}
+			prod[i] = row;
+		}
+	}
+	sum = 0;
+	for (i = 0; i < 32; i = i + 1) sum = sum ^ (prod[i] + i);
+	result = sum;
+	return 0;
+}
+`, iters)
+}
+
+const riscHashConst = int32(-1640531535) // 2654435761 as a wrapped int32
+
+func refBitMatrix(iters int) int32 {
+	var m1, m2, prod [32]int32
+	for it := int32(0); it < int32(iters); it++ {
+		for i := int32(0); i < 32; i++ {
+			m1[i] = i*riscHashConst + it
+			m2[i] = i*40503 + it*7
+		}
+		for i := 0; i < 32; i++ {
+			var row int32
+			for j := 0; j < 32; j++ {
+				for k := 0; k < 32; k++ {
+					if (m1[i]>>uint(k))&1 != 0 && (m2[k]>>uint(j))&1 != 0 {
+						row |= 1 << uint(j)
+						break
+					}
+				}
+			}
+			prod[i] = row
+		}
+	}
+	var sum int32
+	for i := int32(0); i < 32; i++ {
+		sum ^= prod[i] + i
+	}
+	return sum
+}
+
+func srcAckermann(m, n int) string {
+	return fmt.Sprintf(`
+int result;
+int ack(int m, int n) {
+	if (m == 0) return n + 1;
+	if (n == 0) return ack(m - 1, 1);
+	return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+	result = ack(%d, %d);
+	return 0;
+}
+`, m, n)
+}
+
+func refAckermann(m, n int) int32 {
+	var ack func(m, n int32) int32
+	ack = func(m, n int32) int32 {
+		if m == 0 {
+			return n + 1
+		}
+		if n == 0 {
+			return ack(m-1, 1)
+		}
+		return ack(m-1, ack(m, n-1))
+	}
+	return ack(int32(m), int32(n))
+}
+
+func srcQsort(size int) string {
+	return fmt.Sprintf(`
+int a[%d];
+int seed;
+int result;
+
+int rnd() {
+	seed = seed * 1103515245 + 12345;
+	return (seed >> 16) & 0x7fff;
+}
+
+void sort(int lo, int hi) {
+	int i; int j; int pivot; int t;
+	if (lo >= hi) return;
+	i = lo;
+	j = hi;
+	pivot = a[(lo + hi) / 2];
+	while (i <= j) {
+		while (a[i] < pivot) i = i + 1;
+		while (a[j] > pivot) j = j - 1;
+		if (i <= j) {
+			t = a[i];
+			a[i] = a[j];
+			a[j] = t;
+			i = i + 1;
+			j = j - 1;
+		}
+	}
+	sort(lo, j);
+	sort(i, hi);
+}
+
+int main() {
+	int i; int sum;
+	seed = 42;
+	for (i = 0; i < %d; i = i + 1) a[i] = rnd();
+	sort(0, %d);
+	sum = 0;
+	for (i = 0; i < %d; i = i + 1) sum = sum * 3 + a[i];
+	result = sum;
+	return 0;
+}
+`, size, size, size-1, size)
+}
+
+func refQsort(size int) int32 {
+	a := make([]int32, size)
+	seed := int32(42)
+	rnd := func() int32 {
+		seed = seed*1103515245 + 12345
+		return (seed >> 16) & 0x7fff
+	}
+	for i := range a {
+		a[i] = rnd()
+	}
+	var sort func(lo, hi int32)
+	sort = func(lo, hi int32) {
+		if lo >= hi {
+			return
+		}
+		i, j := lo, hi
+		pivot := a[(lo+hi)/2]
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		sort(lo, j)
+		sort(i, hi)
+	}
+	sort(0, int32(size-1))
+	var sum int32
+	for _, v := range a {
+		sum = sum*3 + v
+	}
+	return sum
+}
+
+// puzzleSizes are the piece sizes packed into the board; they are chosen
+// so several distinct perfect packings exist.
+var puzzleSizes = []int{4, 3, 3, 2, 1, 1}
+
+func srcPuzzle(board int) string {
+	return fmt.Sprintf(`
+int board[%d];
+int sizes[6];
+int nsol;
+int tries;
+int result;
+
+void place(int k) {
+	int pos; int j; int ok;
+	if (k == 6) {
+		nsol = nsol + 1;
+		return;
+	}
+	for (pos = 0; pos + sizes[k] <= %d; pos = pos + 1) {
+		ok = 1;
+		for (j = 0; j < sizes[k]; j = j + 1) {
+			if (board[pos + j]) ok = 0;
+		}
+		tries = tries + 1;
+		if (ok) {
+			for (j = 0; j < sizes[k]; j = j + 1) board[pos + j] = 1;
+			place(k + 1);
+			for (j = 0; j < sizes[k]; j = j + 1) board[pos + j] = 0;
+		}
+	}
+}
+
+int main() {
+	sizes[0] = %d; sizes[1] = %d; sizes[2] = %d;
+	sizes[3] = %d; sizes[4] = %d; sizes[5] = %d;
+	nsol = 0;
+	tries = 0;
+	place(0);
+	result = nsol * 1000000 + tries;
+	return 0;
+}
+`, board, board,
+		puzzleSizes[0], puzzleSizes[1], puzzleSizes[2],
+		puzzleSizes[3], puzzleSizes[4], puzzleSizes[5])
+}
+
+// srcPuzzlePtr is the pointer-walking variant of the packing search —
+// the paper evaluated Puzzle in both subscript and pointer styles to
+// show the comparison is robust to coding idiom.
+func srcPuzzlePtr(board int) string {
+	return fmt.Sprintf(`
+int board[%d];
+int sizes[6];
+int nsol;
+int tries;
+int result;
+
+void place(int k) {
+	int *p; int *q; int *lim; int *end;
+	int ok; int sz;
+	if (k == 6) {
+		nsol = nsol + 1;
+		return;
+	}
+	sz = sizes[k];
+	end = &board[%d];
+	for (p = board; p + sz <= end; p = p + 1) {
+		ok = 1;
+		lim = p + sz;
+		for (q = p; q < lim; q = q + 1) {
+			if (*q) ok = 0;
+		}
+		tries = tries + 1;
+		if (ok) {
+			for (q = p; q < lim; q = q + 1) *q = 1;
+			place(k + 1);
+			for (q = p; q < lim; q = q + 1) *q = 0;
+		}
+	}
+}
+
+int main() {
+	sizes[0] = %d; sizes[1] = %d; sizes[2] = %d;
+	sizes[3] = %d; sizes[4] = %d; sizes[5] = %d;
+	nsol = 0;
+	tries = 0;
+	place(0);
+	result = nsol * 1000000 + tries;
+	return 0;
+}
+`, board, board,
+		puzzleSizes[0], puzzleSizes[1], puzzleSizes[2],
+		puzzleSizes[3], puzzleSizes[4], puzzleSizes[5])
+}
+
+func refPuzzle(boardLen int) int32 {
+	board := make([]bool, boardLen)
+	var nsol, tries int32
+	var place func(k int)
+	place = func(k int) {
+		if k == len(puzzleSizes) {
+			nsol++
+			return
+		}
+		sz := puzzleSizes[k]
+		for pos := 0; pos+sz <= boardLen; pos++ {
+			ok := true
+			for j := 0; j < sz; j++ {
+				if board[pos+j] {
+					ok = false
+				}
+			}
+			tries++
+			if ok {
+				for j := 0; j < sz; j++ {
+					board[pos+j] = true
+				}
+				place(k + 1)
+				for j := 0; j < sz; j++ {
+					board[pos+j] = false
+				}
+			}
+		}
+	}
+	place(0)
+	return nsol*1000000 + tries
+}
+
+func srcSieve(iters int) string {
+	return fmt.Sprintf(`
+int flags[8191];
+int result;
+
+int main() {
+	int iter; int i; int k; int prime; int count;
+	count = 0;
+	for (iter = 0; iter < %d; iter = iter + 1) {
+		count = 0;
+		for (i = 0; i < 8191; i = i + 1) flags[i] = 1;
+		for (i = 0; i < 8191; i = i + 1) {
+			if (flags[i]) {
+				prime = i + i + 3;
+				for (k = i + prime; k < 8191; k = k + prime) flags[k] = 0;
+				count = count + 1;
+			}
+		}
+	}
+	result = count;
+	return 0;
+}
+`, iters)
+}
+
+func refSieve(iters int) int32 {
+	var count int32
+	flags := make([]bool, 8191)
+	for it := 0; it < iters; it++ {
+		count = 0
+		for i := range flags {
+			flags[i] = true
+		}
+		for i := 0; i < 8191; i++ {
+			if flags[i] {
+				prime := i + i + 3
+				for k := i + prime; k < 8191; k += prime {
+					flags[k] = false
+				}
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func srcHanoi(discs int) string {
+	return fmt.Sprintf(`
+int moves;
+int result;
+
+void hanoi(int n, int from, int to, int via) {
+	if (n == 0) return;
+	hanoi(n - 1, from, via, to);
+	moves = moves + 1;
+	hanoi(n - 1, via, to, from);
+}
+
+int main() {
+	moves = 0;
+	hanoi(%d, 1, 3, 2);
+	result = moves;
+	return 0;
+}
+`, discs)
+}
+
+func refHanoi(discs int) int32 {
+	return int32(1)<<uint(discs) - 1
+}
+
+func srcFib(n int) string {
+	return fmt.Sprintf(`
+int result;
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	result = fib(%d);
+	return 0;
+}
+`, n)
+}
+
+func refFib(n int) int32 {
+	a, b := int32(0), int32(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+func srcMatmul(n int) string {
+	return fmt.Sprintf(`
+int ma[%d];
+int mb[%d];
+int mc[%d];
+int result;
+
+int main() {
+	int i; int j; int k; int s; int t;
+	for (i = 0; i < %d * %d; i = i + 1) {
+		ma[i] = i %% 7 + 1;
+		mb[i] = i %% 5 + 2;
+	}
+	for (i = 0; i < %d; i = i + 1) {
+		for (j = 0; j < %d; j = j + 1) {
+			s = 0;
+			for (k = 0; k < %d; k = k + 1) {
+				t = ma[i * %d + k] * mb[k * %d + j];
+				s = s + t;
+			}
+			mc[i * %d + j] = s;
+		}
+	}
+	s = 0;
+	for (i = 0; i < %d * %d; i = i + 1) s = s * 7 + mc[i];
+	result = s;
+	return 0;
+}
+`, n*n, n*n, n*n, n, n, n, n, n, n, n, n, n, n)
+}
+
+func refMatmul(n int) int32 {
+	ma := make([]int32, n*n)
+	mb := make([]int32, n*n)
+	mc := make([]int32, n*n)
+	for i := range ma {
+		ma[i] = int32(i%7 + 1)
+		mb[i] = int32(i%5 + 2)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for k := 0; k < n; k++ {
+				s += ma[i*n+k] * mb[k*n+j]
+			}
+			mc[i*n+j] = s
+		}
+	}
+	var s int32
+	for i := 0; i < n*n; i++ {
+		s = s*7 + mc[i]
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package cc
+
+// Type is a MiniC type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // for Ptr and Array
+	Len  int   // for Array
+}
+
+// TypeKind enumerates MiniC's type constructors.
+type TypeKind uint8
+
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeChar
+	TypePtr
+	TypeArray
+)
+
+var (
+	tyVoid = &Type{Kind: TypeVoid}
+	tyInt  = &Type{Kind: TypeInt}
+	tyChar = &Type{Kind: TypeChar}
+)
+
+func ptrTo(elem *Type) *Type { return &Type{Kind: TypePtr, Elem: elem} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeInt, TypePtr:
+		return 4
+	case TypeArray:
+		return t.Len * t.Elem.Size()
+	}
+	return 0
+}
+
+// IsScalar reports whether values of the type fit in one register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypePtr
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+func (t *Type) equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	if t.Kind == TypePtr || t.Kind == TypeArray {
+		return t.Elem.equal(o.Elem)
+	}
+	return true
+}
+
+// Expr is an expression node. Type is filled by the checker.
+type Expr struct {
+	Kind ExprKind
+	Line int
+	Type *Type
+
+	Op       string  // operator text for unary/binary/assign
+	X, Y     *Expr   // operands
+	Num      int64   // IntLit / CharLit
+	Str      string  // StrLit
+	Name     string  // Ident / Call callee
+	Args     []*Expr // Call
+	Sym      *Symbol // resolved identifier
+	StrLabel string  // assigned data label for a string literal
+}
+
+// ExprKind enumerates expression node kinds.
+type ExprKind uint8
+
+const (
+	ExprIntLit ExprKind = iota
+	ExprCharLit
+	ExprStrLit
+	ExprIdent
+	ExprUnary  // - ! ~ * &
+	ExprBinary // arithmetic, comparison, logical
+	ExprAssign // =, +=, ...
+	ExprIndex  // X[Y]
+	ExprCall
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind StmtKind
+	Line int
+
+	Expr       *Expr   // ExprStmt, Return (may be nil), If/While cond
+	Init, Post *Stmt   // For
+	Cond       *Expr   // For
+	Body       []*Stmt // Block
+	Then, Else *Stmt   // If (Else may be nil); While/For body in Then
+	Decl       *Symbol // LocalDecl
+	DeclInit   *Expr   // LocalDecl initializer (may be nil)
+}
+
+// StmtKind enumerates statement node kinds.
+type StmtKind uint8
+
+const (
+	StmtExpr StmtKind = iota
+	StmtBlock
+	StmtGroup // like a block, but introduces no scope (multi-declarations)
+	StmtIf
+	StmtWhile
+	StmtFor
+	StmtReturn
+	StmtBreak
+	StmtContinue
+	StmtDecl
+)
+
+// SymKind distinguishes storage classes.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Symbol is a declared name.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type *Type
+	Line int
+
+	// For functions.
+	Params []*Symbol
+	Locals []*Symbol // every block-scoped declaration, flattened
+	Body   *Stmt     // nil for (unused) declarations
+
+	// Storage assignment, filled by the code generators:
+	// for SymLocal/SymParam, either a register number or a frame offset.
+	Reg       int // allocated register, or -1
+	FrameOff  int // byte offset in the frame when Reg < 0 or for arrays
+	ParamSlot int // parameter position, for SymParam
+
+	// For globals: initial scalar value or string initializer.
+	Init    *Expr
+	InitStr string
+}
+
+// Program is a checked MiniC translation unit.
+type Program struct {
+	Globals []*Symbol
+	Funcs   []*Symbol
+	Strings []stringLit // interned string literals
+}
+
+type stringLit struct {
+	label string
+	value string
+}
+
+// Func looks up a function by name.
+func (p *Program) Func(name string) *Symbol {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

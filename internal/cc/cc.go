@@ -1,0 +1,44 @@
+package cc
+
+import (
+	"risc1/internal/asm"
+	"risc1/internal/vax"
+)
+
+// CompileRISC compiles MiniC source to an assembled RISC I program. When
+// optimize is set, the assembler's delayed-jump optimizer fills branch
+// shadow slots, as the paper's tool chain did. The generated assembly
+// text is returned alongside the program for listings and debugging.
+func CompileRISC(src string, optimize bool) (*asm.Program, string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, "", err
+	}
+	text, err := GenRISC(prog)
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := asm.Assemble(text, asm.Options{Optimize: optimize})
+	if err != nil {
+		return nil, text, err
+	}
+	return p, text, nil
+}
+
+// CompileVAX compiles MiniC source to an assembled program for the CISC
+// baseline.
+func CompileVAX(src string) (*vax.Program, string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, "", err
+	}
+	text, err := GenVAX(prog)
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := vax.Assemble(text)
+	if err != nil {
+		return nil, text, err
+	}
+	return p, text, nil
+}

@@ -1,0 +1,420 @@
+package cc
+
+import "fmt"
+
+// check resolves names, computes types, interns string literals, and
+// enforces MiniC's (deliberately small) static rules.
+func check(prog *Program) error {
+	c := &checker{prog: prog, globals: map[string]*Symbol{}, funcs: map[string]*Symbol{}}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errf(g.Line, "global %q redefined", g.Name)
+		}
+		if g.Type.Kind == TypeVoid {
+			return errf(g.Line, "global %q has void type", g.Name)
+		}
+		c.globals[g.Name] = g
+		if g.Init != nil {
+			if err := c.expr(g.Init); err != nil {
+				return err
+			}
+			if g.Init.Kind != ExprIntLit && g.Init.Kind != ExprCharLit &&
+				!(g.Init.Kind == ExprUnary && g.Init.Op == "-" && g.Init.X.Kind == ExprIntLit) {
+				return errf(g.Line, "global initializer for %q must be a constant", g.Name)
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		if prev, dup := c.funcs[f.Name]; dup {
+			if prev.Body != nil && f.Body != nil {
+				return errf(f.Line, "function %q redefined", f.Name)
+			}
+			if len(prev.Params) != len(f.Params) {
+				return errf(f.Line, "declaration of %q disagrees with its definition", f.Name)
+			}
+			if f.Body == nil {
+				continue // keep the definition
+			}
+		}
+		if _, clash := c.globals[f.Name]; clash {
+			return errf(f.Line, "%q is both a global and a function", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	// Drop prototypes: code generation only sees definitions, and calls
+	// resolve through c.funcs, which prefers definitions.
+	defs := prog.Funcs[:0]
+	for _, f := range prog.Funcs {
+		if f.Body != nil {
+			defs = append(defs, f)
+		}
+	}
+	prog.Funcs = defs
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]*Symbol
+	funcs   map[string]*Symbol
+
+	fn     *Symbol
+	scopes []map[string]*Symbol
+	loops  int
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(s *Symbol) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[s.Name]; dup {
+		return errf(s.Line, "%q redefined in the same scope", s.Name)
+	}
+	top[s.Name] = s
+	return nil
+}
+
+func (c *checker) resolve(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(f *Symbol) error {
+	c.fn = f
+	c.scopes = nil
+	c.loops = 0
+	c.push()
+	for _, p := range f.Params {
+		if !p.Type.IsScalar() {
+			return errf(p.Line, "parameter %q must be scalar", p.Name)
+		}
+		if err := c.define(p); err != nil {
+			return err
+		}
+	}
+	if err := c.stmt(f.Body); err != nil {
+		return err
+	}
+	c.pop()
+	return nil
+}
+
+func (c *checker) stmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtBlock, StmtGroup:
+		if s.Kind == StmtBlock {
+			c.push()
+			defer c.pop()
+		}
+		for _, sub := range s.Body {
+			if err := c.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case StmtDecl:
+		d := s.Decl
+		if d.Type.Kind == TypeVoid {
+			return errf(s.Line, "local %q has void type", d.Name)
+		}
+		if s.DeclInit != nil {
+			if d.Type.Kind == TypeArray {
+				return errf(s.Line, "array local %q cannot have an initializer", d.Name)
+			}
+			if err := c.expr(s.DeclInit); err != nil {
+				return err
+			}
+			if err := c.assignable(d.Type, s.DeclInit, s.Line); err != nil {
+				return err
+			}
+		}
+		if err := c.define(d); err != nil {
+			return err
+		}
+		c.fn.Locals = append(c.fn.Locals, d)
+		return nil
+
+	case StmtExpr:
+		return c.expr(s.Expr)
+
+	case StmtIf:
+		if err := c.expr(s.Expr); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+
+	case StmtWhile:
+		if err := c.expr(s.Expr); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.stmt(s.Then)
+
+	case StmtFor:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.expr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.stmt(s.Then)
+
+	case StmtReturn:
+		if s.Expr == nil {
+			if c.fn.Type.Kind != TypeVoid {
+				return errf(s.Line, "%q must return a value", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Type.Kind == TypeVoid {
+			return errf(s.Line, "void function %q returns a value", c.fn.Name)
+		}
+		if err := c.expr(s.Expr); err != nil {
+			return err
+		}
+		return c.assignable(c.fn.Type, s.Expr, s.Line)
+
+	case StmtBreak, StmtContinue:
+		if c.loops == 0 {
+			return errf(s.Line, "break/continue outside a loop")
+		}
+		return nil
+	}
+	return errf(s.Line, "internal: unknown statement kind %d", s.Kind)
+}
+
+// decay converts array-typed expressions to pointers at use sites.
+func decay(t *Type) *Type {
+	if t.Kind == TypeArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+// arith is the usual arithmetic promotion: char joins int.
+func arith(t *Type) *Type {
+	if t.Kind == TypeChar {
+		return tyInt
+	}
+	return t
+}
+
+func (c *checker) expr(e *Expr) error {
+	switch e.Kind {
+	case ExprIntLit:
+		e.Type = tyInt
+	case ExprCharLit:
+		e.Type = tyChar
+	case ExprStrLit:
+		label := c.internString(e.Str)
+		e.StrLabel = label
+		e.Type = ptrTo(tyChar)
+
+	case ExprIdent:
+		sym := c.resolve(e.Name)
+		if sym == nil {
+			if c.funcs[e.Name] != nil {
+				return errf(e.Line, "function %q used as a value", e.Name)
+			}
+			return errf(e.Line, "undefined name %q", e.Name)
+		}
+		e.Sym = sym
+		e.Type = sym.Type
+
+	case ExprUnary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "-", "~":
+			t := decay(e.X.Type)
+			if t.Kind != TypeInt && t.Kind != TypeChar {
+				return errf(e.Line, "unary %s needs an integer, got %s", e.Op, e.X.Type)
+			}
+			e.Type = tyInt
+		case "!":
+			e.Type = tyInt
+		case "*":
+			t := decay(e.X.Type)
+			if t.Kind != TypePtr {
+				return errf(e.Line, "cannot dereference %s", e.X.Type)
+			}
+			e.Type = t.Elem
+		case "&":
+			if !isLvalue(e.X) {
+				return errf(e.Line, "cannot take the address of this expression")
+			}
+			e.Type = ptrTo(e.X.Type)
+		}
+
+	case ExprBinary:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		xt, yt := decay(e.X.Type), decay(e.Y.Type)
+		switch e.Op {
+		case "+", "-":
+			switch {
+			case xt.Kind == TypePtr && yt.Kind != TypePtr:
+				e.Type = xt
+			case e.Op == "+" && yt.Kind == TypePtr:
+				e.Type = yt
+			case e.Op == "-" && xt.Kind == TypePtr && yt.Kind == TypePtr:
+				if !xt.Elem.equal(yt.Elem) {
+					return errf(e.Line, "pointer subtraction of different element types")
+				}
+				e.Type = tyInt
+			default:
+				e.Type = arith(xt)
+			}
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			e.Type = tyInt
+		default: // * / % & | ^ << >>
+			if xt.Kind == TypePtr || yt.Kind == TypePtr {
+				return errf(e.Line, "operator %s does not apply to pointers", e.Op)
+			}
+			e.Type = tyInt
+		}
+
+	case ExprAssign:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		if !isLvalue(e.X) {
+			return errf(e.Line, "left side of %s is not assignable", e.Op)
+		}
+		if e.X.Type.Kind == TypeArray {
+			return errf(e.Line, "cannot assign to an array")
+		}
+		if e.Op == "=" {
+			if err := c.assignable(e.X.Type, e.Y, e.Line); err != nil {
+				return err
+			}
+		} else if decay(e.X.Type).Kind == TypePtr && e.Op != "+=" && e.Op != "-=" {
+			return errf(e.Line, "operator %s does not apply to pointers", e.Op)
+		}
+		e.Type = e.X.Type
+
+	case ExprIndex:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		xt := decay(e.X.Type)
+		if xt.Kind != TypePtr {
+			return errf(e.Line, "cannot index %s", e.X.Type)
+		}
+		if decay(e.Y.Type).Kind == TypePtr {
+			return errf(e.Line, "array index must be an integer")
+		}
+		e.Type = xt.Elem
+
+	case ExprCall:
+		fn := c.funcs[e.Name]
+		if fn == nil {
+			return errf(e.Line, "call to undefined function %q", e.Name)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return errf(e.Line, "%q takes %d arguments, got %d", e.Name, len(fn.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+			if err := c.assignable(fn.Params[i].Type, a, e.Line); err != nil {
+				return errf(e.Line, "argument %d of %q: %v", i+1, e.Name, err)
+			}
+		}
+		e.Sym = fn
+		e.Type = fn.Type
+
+	default:
+		return errf(e.Line, "internal: unknown expression kind %d", e.Kind)
+	}
+	return nil
+}
+
+// assignable checks a loose C-style conversion from the expression to dst.
+func (c *checker) assignable(dst *Type, e *Expr, line int) error {
+	src := decay(e.Type)
+	switch dst.Kind {
+	case TypeInt, TypeChar:
+		if src.Kind == TypeInt || src.Kind == TypeChar {
+			return nil
+		}
+		return fmt.Errorf("cannot assign %s to %s", e.Type, dst)
+	case TypePtr:
+		if src.Kind == TypePtr && (src.Elem.equal(dst.Elem) || isZero(e)) {
+			return nil
+		}
+		if isZero(e) {
+			return nil // null pointer constant
+		}
+		return fmt.Errorf("cannot assign %s to %s", e.Type, dst)
+	}
+	return fmt.Errorf("cannot assign to %s", dst)
+}
+
+func isZero(e *Expr) bool { return e.Kind == ExprIntLit && e.Num == 0 }
+
+func isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExprIdent:
+		return e.Sym != nil && e.Sym.Kind != SymFunc
+	case ExprIndex:
+		return true
+	case ExprUnary:
+		return e.Op == "*"
+	}
+	return false
+}
+
+func (c *checker) internString(s string) string {
+	for _, lit := range c.prog.Strings {
+		if lit.value == s {
+			return lit.label
+		}
+	}
+	label := fmt.Sprintf("Lstr%d", len(c.prog.Strings))
+	c.prog.Strings = append(c.prog.Strings, stringLit{label: label, value: s})
+	return label
+}

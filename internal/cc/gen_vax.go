@@ -1,0 +1,783 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CISC baseline code generation conventions (PCC-for-VAX flavour):
+//
+//   - r0..r5: expression evaluation registers; r0 carries return values
+//   - r6..r11: register variables, saved/restored by the CALLS entry mask
+//   - parameters live on the stack: argument i at 4*(i+1)(ap)
+//   - arrays and overflow locals live at negative FP offsets
+//   - arguments are pushed right-to-left; CALLS/RET do the heavy lifting
+//
+// Where the architecture allows it the generator uses memory operands
+// directly (globals as absolute operands, immediates in-instruction) —
+// this is exactly the density advantage the paper credits CISC code with.
+const (
+	vaxScratchRegs = 6 // r0..r5
+	vaxVarBase     = 6 // first register-variable register
+	vaxVarLimit    = 12
+)
+
+// GenVAX compiles a checked program to baseline CISC assembly text.
+func GenVAX(prog *Program) (string, error) {
+	g := &vgen{prog: prog}
+	g.raw("; MiniC CISC baseline output\n")
+	g.label("start")
+	g.emit("calls $0, main")
+	g.emit("halt")
+	for _, fn := range prog.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	g.emitData()
+	return g.b.String(), nil
+}
+
+type vgen struct {
+	prog *Program
+	b    strings.Builder
+
+	fn        *Symbol
+	frameSize int
+	labelSeq  int
+}
+
+func (g *vgen) raw(s string) { g.b.WriteString(s) }
+
+func (g *vgen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+func (g *vgen) label(l string) { fmt.Fprintf(&g.b, "%s:\n", l) }
+
+func (g *vgen) newLabel(hint string) string {
+	g.labelSeq++
+	return fmt.Sprintf(".L%s_%s%d", g.fn.Name, hint, g.labelSeq)
+}
+
+func (g *vgen) genFunc(fn *Symbol) error {
+	g.fn = fn
+	g.labelSeq = 0
+
+	// Scalar locals into r6..r11; the rest (and arrays) into the frame.
+	var regLocals, memLocals []*Symbol
+	for _, l := range fn.Locals {
+		if l.Type.IsScalar() && len(regLocals) < vaxVarLimit-vaxVarBase {
+			regLocals = append(regLocals, l)
+		} else {
+			memLocals = append(memLocals, l)
+		}
+	}
+	for i, l := range regLocals {
+		l.Reg = vaxVarBase + i
+	}
+	off := 0
+	for _, l := range memLocals {
+		l.Reg = -1
+		sz := (l.Type.Size() + 3) &^ 3
+		off += sz
+		l.FrameOff = -off
+	}
+	g.frameSize = off
+	for _, p := range fn.Params {
+		p.Reg = -1
+	}
+
+	g.label(fn.Name)
+	// Entry mask: save exactly the register variables this body uses.
+	var regs []string
+	for _, l := range regLocals {
+		regs = append(regs, fmt.Sprintf("r%d", l.Reg))
+	}
+	g.emit(".entry %s", strings.Join(regs, ", "))
+	if g.frameSize > 0 {
+		g.emit("subl2 $%d, sp", g.frameSize)
+	}
+	if err := g.stmtIn(fn.Body, nil); err != nil {
+		return err
+	}
+	g.emit("clrl r0")
+	g.emit("ret")
+	return nil
+}
+
+func (g *vgen) stmtIn(s *Stmt, loop *loopLabels) error {
+	switch s.Kind {
+	case StmtBlock, StmtGroup:
+		for _, sub := range s.Body {
+			if err := g.stmtIn(sub, loop); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case StmtDecl:
+		if s.DeclInit == nil {
+			return nil
+		}
+		if err := g.evalTo(s.DeclInit, 0); err != nil {
+			return err
+		}
+		g.storeVar(s.Decl, 0)
+		return nil
+
+	case StmtExpr:
+		return g.evalTo(s.Expr, 0)
+
+	case StmtIf:
+		elseL := g.newLabel("else")
+		if err := g.branchAt(s.Expr, elseL, false, 0); err != nil {
+			return err
+		}
+		if err := g.stmtIn(s.Then, loop); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			endL := g.newLabel("endif")
+			g.emit("brw %s", endL)
+			g.label(elseL)
+			if err := g.stmtIn(s.Else, loop); err != nil {
+				return err
+			}
+			g.label(endL)
+		} else {
+			g.label(elseL)
+		}
+		return nil
+
+	case StmtWhile:
+		top := g.newLabel("while")
+		end := g.newLabel("wend")
+		g.label(top)
+		if err := g.branchAt(s.Expr, end, false, 0); err != nil {
+			return err
+		}
+		if err := g.stmtIn(s.Then, &loopLabels{brk: end, cont: top}); err != nil {
+			return err
+		}
+		g.emit("brw %s", top)
+		g.label(end)
+		return nil
+
+	case StmtFor:
+		if s.Init != nil {
+			if err := g.stmtIn(s.Init, loop); err != nil {
+				return err
+			}
+		}
+		top := g.newLabel("for")
+		post := g.newLabel("fpost")
+		end := g.newLabel("fend")
+		g.label(top)
+		if s.Cond != nil {
+			if err := g.branchAt(s.Cond, end, false, 0); err != nil {
+				return err
+			}
+		}
+		if err := g.stmtIn(s.Then, &loopLabels{brk: end, cont: post}); err != nil {
+			return err
+		}
+		g.label(post)
+		if s.Post != nil {
+			if err := g.stmtIn(s.Post, loop); err != nil {
+				return err
+			}
+		}
+		g.emit("brw %s", top)
+		g.label(end)
+		return nil
+
+	case StmtReturn:
+		if s.Expr != nil {
+			if err := g.evalTo(s.Expr, 0); err != nil {
+				return err
+			}
+		} else {
+			g.emit("clrl r0")
+		}
+		g.emit("ret")
+		return nil
+
+	case StmtBreak:
+		g.emit("brw %s", loop.brk)
+		return nil
+
+	case StmtContinue:
+		g.emit("brw %s", loop.cont)
+		return nil
+	}
+	return errf(s.Line, "internal: unhandled statement kind %d", s.Kind)
+}
+
+// operandFor returns a direct addressing-mode string for a scalar
+// variable, if one exists — the CISC density advantage.
+func (g *vgen) operandFor(sym *Symbol) (string, bool) {
+	switch {
+	case sym.Kind == SymGlobal && sym.Type.IsScalar():
+		return sym.Name, true
+	case sym.Kind == SymParam:
+		return fmt.Sprintf("%d(ap)", 4*(sym.ParamSlot+1)), true
+	case sym.Kind == SymLocal && sym.Reg >= 0:
+		return fmt.Sprintf("r%d", sym.Reg), true
+	case sym.Kind == SymLocal && sym.Type.IsScalar():
+		return fmt.Sprintf("%d(fp)", sym.FrameOff), true
+	}
+	return "", false
+}
+
+// charCell reports whether the variable occupies a single byte in
+// storage. Parameters are excluded: the caller pushes every argument as
+// a full word, so char parameters are accessed as longs (the usual C
+// integer promotion).
+func charCell(sym *Symbol) bool {
+	return sym.Type.Kind == TypeChar && sym.Kind != SymParam
+}
+
+func (g *vgen) storeVar(sym *Symbol, k int) {
+	op, ok := g.operandFor(sym)
+	if !ok {
+		return
+	}
+	if charCell(sym) {
+		g.emit("movb r%d, %s", k, op)
+	} else {
+		g.emit("movl r%d, %s", k, op)
+	}
+}
+
+// evalTo leaves the value of e in register k (one of r0..r5).
+func (g *vgen) evalTo(e *Expr, k int) error {
+	switch e.Kind {
+	case ExprIntLit, ExprCharLit:
+		g.emit("movl $%d, r%d", int32(e.Num), k)
+		return nil
+
+	case ExprStrLit:
+		g.emit("moval %s, r%d", e.StrLabel, k)
+		return nil
+
+	case ExprIdent:
+		sym := e.Sym
+		if sym.Type.Kind == TypeArray {
+			return g.addrOf(e, k)
+		}
+		op, ok := g.operandFor(sym)
+		if !ok {
+			return errf(e.Line, "internal: no operand for %q", sym.Name)
+		}
+		if charCell(sym) {
+			g.emit("movzbl %s, r%d", op, k)
+		} else {
+			g.emit("movl %s, r%d", op, k)
+		}
+		return nil
+
+	case ExprUnary:
+		switch e.Op {
+		case "-":
+			if err := g.evalTo(e.X, k); err != nil {
+				return err
+			}
+			g.emit("mnegl r%d, r%d", k, k)
+			return nil
+		case "~":
+			if err := g.evalTo(e.X, k); err != nil {
+				return err
+			}
+			g.emit("mcoml r%d, r%d", k, k)
+			return nil
+		case "!":
+			return g.materializeCond(e, k)
+		case "*":
+			if err := g.evalTo(e.X, k); err != nil {
+				return err
+			}
+			if e.Type.Kind == TypeChar {
+				g.emit("movzbl (r%d), r%d", k, k)
+			} else {
+				g.emit("movl (r%d), r%d", k, k)
+			}
+			return nil
+		case "&":
+			return g.addrOf(e.X, k)
+		}
+
+	case ExprBinary:
+		switch e.Op {
+		case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
+			return g.materializeCond(e, k)
+		}
+		if decay(e.X.Type).Kind == TypePtr || decay(e.Y.Type).Kind == TypePtr {
+			return g.pointerArith(e, k)
+		}
+		return g.binaryInts(e.Op, e.X, e.Y, k)
+
+	case ExprAssign:
+		return g.assign(e, k)
+
+	case ExprIndex:
+		if err := g.addrOf(e, k); err != nil {
+			return err
+		}
+		if e.Type.Kind == TypeChar {
+			g.emit("movzbl (r%d), r%d", k, k)
+		} else {
+			g.emit("movl (r%d), r%d", k, k)
+		}
+		return nil
+
+	case ExprCall:
+		return g.call(e, k)
+	}
+	return errf(e.Line, "internal: unhandled expression kind %d", e.Kind)
+}
+
+// binaryInts generates integer arithmetic with direct operands where the
+// right side is constant.
+func (g *vgen) binaryInts(op string, x, y *Expr, k int) error {
+	if err := g.evalTo(x, k); err != nil {
+		return err
+	}
+	// Constant right operand: one two-operand instruction.
+	if c, ok := constFold(y); ok {
+		switch op {
+		case "+":
+			g.emit("addl2 $%d, r%d", c, k)
+		case "-":
+			g.emit("subl2 $%d, r%d", c, k)
+		case "*":
+			g.emit("mull2 $%d, r%d", c, k)
+		case "/":
+			g.emit("divl2 $%d, r%d", c, k)
+		case "%":
+			if err := g.checkDepth(x.Line, k+1); err != nil {
+				return err
+			}
+			g.emit("divl3 $%d, r%d, r%d", c, k, k+1)
+			g.emit("mull2 $%d, r%d", c, k+1)
+			g.emit("subl2 r%d, r%d", k+1, k)
+		case "&":
+			g.emit("andl3 $%d, r%d, r%d", c, k, k)
+		case "|":
+			g.emit("bisl2 $%d, r%d", c, k)
+		case "^":
+			g.emit("xorl2 $%d, r%d", c, k)
+		case "<<":
+			g.emit("ashl $%d, r%d, r%d", c, k, k)
+		case ">>":
+			g.emit("ashl $%d, r%d, r%d", -c, k, k)
+		default:
+			return errf(x.Line, "internal: no CISC mapping for %q", op)
+		}
+		return nil
+	}
+
+	spill := k+1 >= vaxScratchRegs
+	rhs := k + 1
+	if spill {
+		g.emit("pushl r%d", k)
+		if err := g.evalTo(y, k); err != nil {
+			return err
+		}
+		// Stack holds X; register k holds Y.
+		switch op {
+		case "+":
+			g.emit("addl2 (sp)+, r%d", k)
+		case "-":
+			g.emit("subl3 r%d, (sp)+, r%d", k, k)
+		case "*":
+			g.emit("mull2 (sp)+, r%d", k)
+		case "&":
+			g.emit("andl3 (sp)+, r%d, r%d", k, k)
+		case "|":
+			g.emit("bisl2 (sp)+, r%d", k)
+		case "^":
+			g.emit("xorl2 (sp)+, r%d", k)
+		default:
+			return errf(x.Line, "expression too deep for %q; simplify", op)
+		}
+		return nil
+	}
+	if err := g.evalTo(y, rhs); err != nil {
+		return err
+	}
+	switch op {
+	case "+":
+		g.emit("addl2 r%d, r%d", rhs, k)
+	case "-":
+		g.emit("subl2 r%d, r%d", rhs, k)
+	case "*":
+		g.emit("mull2 r%d, r%d", rhs, k)
+	case "/":
+		g.emit("divl3 r%d, r%d, r%d", rhs, k, k)
+	case "%":
+		if err := g.checkDepth(x.Line, rhs+1); err != nil {
+			return err
+		}
+		g.emit("divl3 r%d, r%d, r%d", rhs, k, rhs+1)
+		g.emit("mull2 r%d, r%d", rhs, rhs+1)
+		g.emit("subl2 r%d, r%d", rhs+1, k)
+	case "&":
+		g.emit("andl3 r%d, r%d, r%d", rhs, k, k)
+	case "|":
+		g.emit("bisl2 r%d, r%d", rhs, k)
+	case "^":
+		g.emit("xorl2 r%d, r%d", rhs, k)
+	case "<<":
+		g.emit("ashl r%d, r%d, r%d", rhs, k, k)
+	case ">>":
+		g.emit("mnegl r%d, r%d", rhs, rhs)
+		g.emit("ashl r%d, r%d, r%d", rhs, k, k)
+	default:
+		return errf(x.Line, "internal: no CISC mapping for %q", op)
+	}
+	return nil
+}
+
+func (g *vgen) checkDepth(line, k int) error {
+	if k >= vaxScratchRegs {
+		return errf(line, "expression too deep for the register stack; simplify")
+	}
+	return nil
+}
+
+func (g *vgen) pointerArith(e *Expr, k int) error {
+	xt, yt := decay(e.X.Type), decay(e.Y.Type)
+	switch {
+	case xt.Kind == TypePtr && yt.Kind == TypePtr: // ptr - ptr
+		if err := g.binaryInts("-", e.X, e.Y, k); err != nil {
+			return err
+		}
+		if sh := log2(xt.Elem.Size()); sh > 0 {
+			g.emit("ashl $%d, r%d, r%d", -sh, k, k)
+		}
+		return nil
+	case xt.Kind == TypePtr:
+		if err := g.evalTo(e.X, k); err != nil {
+			return err
+		}
+		if err := g.checkDepth(e.Line, k+1); err != nil {
+			return err
+		}
+		if err := g.scaledTo(e.Y, k+1, xt.Elem.Size()); err != nil {
+			return err
+		}
+		if e.Op == "-" {
+			g.emit("subl2 r%d, r%d", k+1, k)
+		} else {
+			g.emit("addl2 r%d, r%d", k+1, k)
+		}
+		return nil
+	default: // int + ptr
+		if err := g.evalTo(e.Y, k); err != nil {
+			return err
+		}
+		if err := g.checkDepth(e.Line, k+1); err != nil {
+			return err
+		}
+		if err := g.scaledTo(e.X, k+1, yt.Elem.Size()); err != nil {
+			return err
+		}
+		g.emit("addl2 r%d, r%d", k+1, k)
+		return nil
+	}
+}
+
+func (g *vgen) scaledTo(e *Expr, k int, size int) error {
+	if err := g.checkDepth(e.Line, k); err != nil {
+		return err
+	}
+	if err := g.evalTo(e, k); err != nil {
+		return err
+	}
+	if sh := log2(size); sh > 0 {
+		g.emit("ashl $%d, r%d, r%d", sh, k, k)
+	}
+	return nil
+}
+
+// addrOf leaves the address of an lvalue (or array) in register k.
+func (g *vgen) addrOf(e *Expr, k int) error {
+	switch e.Kind {
+	case ExprIdent:
+		sym := e.Sym
+		switch {
+		case sym.Kind == SymGlobal:
+			g.emit("moval %s, r%d", sym.Name, k)
+		case sym.Kind == SymLocal && sym.Reg < 0:
+			g.emit("moval %d(fp), r%d", sym.FrameOff, k)
+		case sym.Kind == SymParam:
+			g.emit("moval %d(ap), r%d", 4*(sym.ParamSlot+1), k)
+		default:
+			return errf(e.Line, "cannot take the address of register variable %q", sym.Name)
+		}
+		return nil
+	case ExprIndex:
+		if err := g.evalTo(e.X, k); err != nil {
+			return err
+		}
+		if err := g.scaledTo(e.Y, k+1, e.Type.Size()); err != nil {
+			return err
+		}
+		g.emit("addl2 r%d, r%d", k+1, k)
+		return nil
+	case ExprUnary:
+		if e.Op == "*" {
+			return g.evalTo(e.X, k)
+		}
+	}
+	return errf(e.Line, "internal: not an addressable expression")
+}
+
+func (g *vgen) assign(e *Expr, k int) error {
+	binOp := strings.TrimSuffix(e.Op, "=")
+	lhs := e.X
+
+	// Directly addressable scalar: memory-to-memory forms.
+	if lhs.Kind == ExprIdent {
+		if op, ok := g.operandFor(lhs.Sym); ok {
+			if binOp == "" {
+				if err := g.evalTo(e.Y, k); err != nil {
+					return err
+				}
+				if charCell(lhs.Sym) {
+					g.emit("movb r%d, %s", k, op)
+				} else {
+					g.emit("movl r%d, %s", k, op)
+				}
+				return nil
+			}
+			// Pointer += / -= routes through pointerArith for scaling.
+			fake := &Expr{Kind: ExprBinary, Op: binOp, X: lhs, Y: e.Y, Line: e.Line, Type: e.Type}
+			if err := g.evalTo(fake, k); err != nil {
+				return err
+			}
+			if charCell(lhs.Sym) {
+				g.emit("movb r%d, %s", k, op)
+			} else {
+				g.emit("movl r%d, %s", k, op)
+			}
+			return nil
+		}
+	}
+
+	// General path: compute the address once.
+	if err := g.checkDepth(e.Line, k+2); err != nil {
+		return err
+	}
+	if err := g.lvalueAddr(lhs, k+1); err != nil {
+		return err
+	}
+	mov := "movl"
+	load := "movl"
+	if lhs.Type.Kind == TypeChar {
+		mov = "movb"
+		load = "movzbl"
+	}
+	if binOp == "" {
+		if err := g.evalTo(e.Y, k+2); err != nil {
+			return err
+		}
+		g.emit("%s r%d, (r%d)", mov, k+2, k+1)
+		g.emit("movl r%d, r%d", k+2, k)
+		return nil
+	}
+	g.emit("%s (r%d), r%d", load, k+1, k)
+	if err := g.evalTo(e.Y, k+2); err != nil {
+		return err
+	}
+	if decay(lhs.Type).Kind == TypePtr {
+		if sh := log2(decay(lhs.Type).Elem.Size()); sh > 0 {
+			g.emit("ashl $%d, r%d, r%d", sh, k+2, k+2)
+		}
+	}
+	switch binOp {
+	case "+":
+		g.emit("addl2 r%d, r%d", k+2, k)
+	case "-":
+		g.emit("subl2 r%d, r%d", k+2, k)
+	case "*":
+		g.emit("mull2 r%d, r%d", k+2, k)
+	case "/":
+		g.emit("divl3 r%d, r%d, r%d", k+2, k, k)
+	case "%":
+		if err := g.checkDepth(e.Line, k+3); err != nil {
+			return err
+		}
+		g.emit("divl3 r%d, r%d, r%d", k+2, k, k+3)
+		g.emit("mull2 r%d, r%d", k+2, k+3)
+		g.emit("subl2 r%d, r%d", k+3, k)
+	case "&":
+		g.emit("andl3 r%d, r%d, r%d", k+2, k, k)
+	case "|":
+		g.emit("bisl2 r%d, r%d", k+2, k)
+	case "^":
+		g.emit("xorl2 r%d, r%d", k+2, k)
+	default:
+		return errf(e.Line, "internal: no CISC mapping for %q=", binOp)
+	}
+	g.emit("%s r%d, (r%d)", mov, k, k+1)
+	return nil
+}
+
+func (g *vgen) lvalueAddr(e *Expr, k int) error {
+	switch e.Kind {
+	case ExprIdent, ExprIndex:
+		return g.addrOf(e, k)
+	case ExprUnary:
+		if e.Op == "*" {
+			return g.evalTo(e.X, k)
+		}
+	}
+	return errf(e.Line, "internal: not an lvalue")
+}
+
+// call pushes arguments right-to-left and issues CALLS. Live scratch
+// registers below k are caller-saved around the call.
+func (g *vgen) call(e *Expr, k int) error {
+	for i := k - 1; i >= 0; i-- {
+		g.emit("pushl r%d", i)
+	}
+	for i := len(e.Args) - 1; i >= 0; i-- {
+		if err := g.evalTo(e.Args[i], 0); err != nil {
+			return err
+		}
+		g.emit("pushl r0")
+	}
+	g.emit("calls $%d, %s", len(e.Args), e.Name)
+	if k != 0 {
+		g.emit("movl r0, r%d", k)
+	}
+	for i := 0; i < k; i++ {
+		g.emit("movl (sp)+, r%d", i)
+	}
+	return nil
+}
+
+// branchAt emits a conditional branch to target when e is true/false.
+func (g *vgen) branchAt(e *Expr, target string, whenTrue bool, k int) error {
+	switch {
+	case e.Kind == ExprUnary && e.Op == "!":
+		return g.branchAt(e.X, target, !whenTrue, k)
+
+	case e.Kind == ExprBinary && (e.Op == "&&" || e.Op == "||"):
+		if e.Op == "&&" && !whenTrue {
+			if err := g.branchAt(e.X, target, false, k); err != nil {
+				return err
+			}
+			return g.branchAt(e.Y, target, false, k)
+		}
+		if e.Op == "||" && whenTrue {
+			if err := g.branchAt(e.X, target, true, k); err != nil {
+				return err
+			}
+			return g.branchAt(e.Y, target, true, k)
+		}
+		skip := g.newLabel("sc")
+		if err := g.branchAt(e.X, skip, e.Op == "||", k); err != nil {
+			return err
+		}
+		if err := g.branchAt(e.Y, target, whenTrue, k); err != nil {
+			return err
+		}
+		g.label(skip)
+		return nil
+
+	case e.Kind == ExprBinary && isComparison(e.Op):
+		if err := g.evalTo(e.X, k); err != nil {
+			return err
+		}
+		if c, ok := constFold(e.Y); ok {
+			g.emit("cmpl r%d, $%d", k, c)
+		} else {
+			if err := g.checkDepth(e.Line, k+1); err != nil {
+				return err
+			}
+			if err := g.evalTo(e.Y, k+1); err != nil {
+				return err
+			}
+			g.emit("cmpl r%d, r%d", k, k+1)
+		}
+		g.emit("%s %s", vaxBranch(e.Op, whenTrue), target)
+		return nil
+
+	default:
+		if err := g.evalTo(e, k); err != nil {
+			return err
+		}
+		g.emit("tstl r%d", k)
+		if whenTrue {
+			g.emit("bneq %s", target)
+		} else {
+			g.emit("beql %s", target)
+		}
+		return nil
+	}
+}
+
+func vaxBranch(op string, whenTrue bool) string {
+	m := map[string]string{
+		"==": "beql", "!=": "bneq", "<": "blss", "<=": "bleq", ">": "bgtr", ">=": "bgeq",
+	}
+	n := map[string]string{
+		"==": "bneq", "!=": "beql", "<": "bgeq", "<=": "bgtr", ">": "bleq", ">=": "blss",
+	}
+	if whenTrue {
+		return m[op]
+	}
+	return n[op]
+}
+
+func (g *vgen) materializeCond(e *Expr, k int) error {
+	trueL := g.newLabel("ct")
+	endL := g.newLabel("ce")
+	if err := g.branchAt(e, trueL, true, k); err != nil {
+		return err
+	}
+	g.emit("clrl r%d", k)
+	g.emit("brw %s", endL)
+	g.label(trueL)
+	g.emit("movl $1, r%d", k)
+	g.label(endL)
+	return nil
+}
+
+func (g *vgen) emitData() {
+	g.raw("\n; data\n")
+	g.emit(".align 4")
+	for _, gl := range g.prog.Globals {
+		g.label(gl.Name)
+		switch {
+		case gl.InitStr != "":
+			g.emit(".asciz %q", gl.InitStr)
+			if pad := gl.Type.Size() - len(gl.InitStr) - 1; pad > 0 {
+				g.emit(".space %d", pad)
+			}
+		case gl.Type.Kind == TypeChar:
+			var v int64
+			if gl.Init != nil {
+				v, _ = constFold(gl.Init)
+			}
+			g.emit(".byte %d", v)
+		case gl.Type.IsScalar():
+			var v int64
+			if gl.Init != nil {
+				v, _ = constFold(gl.Init)
+			}
+			g.emit(".word %d", v)
+		default:
+			g.emit(".space %d", gl.Type.Size())
+		}
+		g.emit(".align 4")
+	}
+	for _, s := range g.prog.Strings {
+		g.label(s.label)
+		g.emit(".asciz %q", s.value)
+		g.emit(".align 4")
+	}
+}

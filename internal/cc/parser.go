@@ -1,0 +1,534 @@
+package cc
+
+import "fmt"
+
+// Parse builds the AST for a MiniC translation unit and runs semantic
+// analysis (name resolution and type checking).
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cparser{toks: toks}
+	prog, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	if err := check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type cparser struct {
+	toks []token
+	pos  int
+}
+
+func (p *cparser) cur() token  { return p.toks[p.pos] }
+func (p *cparser) line() int   { return p.cur().line }
+func (p *cparser) advance()    { p.pos++ }
+func (p *cparser) atEOF() bool { return p.cur().kind == tEOF }
+
+func (p *cparser) isPunct(s string) bool {
+	return p.cur().kind == tPunct && p.cur().text == s
+}
+
+func (p *cparser) accept(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *cparser) expect(s string) error {
+	if p.accept(s) {
+		return nil
+	}
+	return errf(p.line(), "expected %q, got %q", s, p.cur().text)
+}
+
+func (p *cparser) isKeyword(s string) bool {
+	return p.cur().kind == tKeyword && p.cur().text == s
+}
+
+func (p *cparser) acceptKeyword(s string) bool {
+	if p.isKeyword(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// parseUnit parses a sequence of global declarations and functions.
+func (p *cparser) parseUnit() (*Program, error) {
+	prog := &Program{}
+	for !p.atEOF() {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		name, ty, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			fn, err := p.parseFunc(name, ty)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		// Global variable(s).
+		for {
+			g := &Symbol{Name: name, Kind: SymGlobal, Type: ty, Line: p.line()}
+			if p.accept("=") {
+				if p.cur().kind == tString && ty.Kind == TypeArray && ty.Elem.Kind == TypeChar {
+					g.InitStr = p.cur().text
+					p.advance()
+				} else {
+					e, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					g.Init = e
+				}
+			}
+			prog.Globals = append(prog.Globals, g)
+			if p.accept(",") {
+				name, ty, err = p.parseDeclarator(base)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// parseBaseType parses "int", "char", or "void".
+func (p *cparser) parseBaseType() (*Type, error) {
+	switch {
+	case p.acceptKeyword("int"):
+		return tyInt, nil
+	case p.acceptKeyword("char"):
+		return tyChar, nil
+	case p.acceptKeyword("void"):
+		return tyVoid, nil
+	}
+	return nil, errf(p.line(), "expected type, got %q", p.cur().text)
+}
+
+// parseDeclarator parses "*"* name ("[" n "]")?.
+func (p *cparser) parseDeclarator(base *Type) (string, *Type, error) {
+	ty := base
+	for p.accept("*") {
+		ty = ptrTo(ty)
+	}
+	if p.cur().kind != tIdent {
+		return "", nil, errf(p.line(), "expected name, got %q", p.cur().text)
+	}
+	name := p.cur().text
+	p.advance()
+	if p.accept("[") {
+		if p.cur().kind != tNumber {
+			return "", nil, errf(p.line(), "array size must be a number literal")
+		}
+		n := int(p.cur().num)
+		if n <= 0 {
+			return "", nil, errf(p.line(), "array size must be positive")
+		}
+		p.advance()
+		if err := p.expect("]"); err != nil {
+			return "", nil, err
+		}
+		ty = &Type{Kind: TypeArray, Elem: ty, Len: n}
+	}
+	return name, ty, nil
+}
+
+func (p *cparser) parseFunc(name string, ret *Type) (*Symbol, error) {
+	fn := &Symbol{Name: name, Kind: SymFunc, Type: ret, Line: p.line()}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		if p.acceptKeyword("void") {
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			for i := 0; ; i++ {
+				base, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				pname, pty, err := p.parseDeclarator(base)
+				if err != nil {
+					return nil, err
+				}
+				if pty.Kind == TypeArray { // arrays decay in parameters
+					pty = ptrTo(pty.Elem)
+				}
+				fn.Params = append(fn.Params, &Symbol{
+					Name: pname, Kind: SymParam, Type: pty, ParamSlot: i, Line: p.line(),
+				})
+				if p.accept(",") {
+					continue
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	if p.accept(";") {
+		return fn, nil // prototype: body stays nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *cparser) parseBlock() (*Stmt, error) {
+	line := p.line()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	blk := &Stmt{Kind: StmtBlock, Line: line}
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, errf(line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Body = append(blk.Body, s)
+	}
+	return blk, nil
+}
+
+func (p *cparser) parseStmt() (*Stmt, error) {
+	line := p.line()
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+
+	case p.isKeyword("int") || p.isKeyword("char"):
+		base, _ := p.parseBaseType()
+		blk := &Stmt{Kind: StmtGroup, Line: line}
+		for {
+			name, ty, err := p.parseDeclarator(base)
+			if err != nil {
+				return nil, err
+			}
+			d := &Stmt{Kind: StmtDecl, Line: line, Decl: &Symbol{
+				Name: name, Kind: SymLocal, Type: ty, Line: line,
+			}}
+			if p.accept("=") {
+				e, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				d.DeclInit = e
+			}
+			blk.Body = append(blk.Body, d)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if len(blk.Body) == 1 {
+			return blk.Body[0], nil
+		}
+		return blk, nil
+
+	case p.acceptKeyword("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: StmtIf, Line: line, Expr: cond, Then: then}
+		if p.acceptKeyword("else") {
+			s.Else, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case p.acceptKeyword("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtWhile, Line: line, Expr: cond, Then: body}, nil
+
+	case p.acceptKeyword("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: StmtFor, Line: line}
+		if !p.isPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &Stmt{Kind: StmtExpr, Line: line, Expr: e}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(";") {
+			var err error
+			s.Cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = &Stmt{Kind: StmtExpr, Line: line, Expr: e}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Then = body
+		return s, nil
+
+	case p.acceptKeyword("return"):
+		s := &Stmt{Kind: StmtReturn, Line: line}
+		if !p.isPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		return s, p.expect(";")
+
+	case p.acceptKeyword("break"):
+		return &Stmt{Kind: StmtBreak, Line: line}, p.expect(";")
+
+	case p.acceptKeyword("continue"):
+		return &Stmt{Kind: StmtContinue, Line: line}, p.expect(";")
+
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtExpr, Line: line, Expr: e}, p.expect(";")
+	}
+}
+
+// Expression grammar, standard C precedence (no ?: or comma operator).
+
+func (p *cparser) parseExpr() (*Expr, error) { return p.parseAssign() }
+
+func (p *cparser) parseAssign() (*Expr, error) {
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="} {
+		if p.isPunct(op) {
+			line := p.line()
+			p.advance()
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprAssign, Op: op, X: lhs, Y: rhs, Line: line}, nil
+		}
+	}
+	return lhs, nil
+}
+
+// binary operator precedence levels, loosest first.
+var cBinOps = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *cparser) parseBinary(level int) (*Expr, error) {
+	if level == len(cBinOps) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range cBinOps[level] {
+			if p.isPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return x, nil
+		}
+		line := p.line()
+		p.advance()
+		y, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &Expr{Kind: ExprBinary, Op: matched, X: x, Y: y, Line: line}
+	}
+}
+
+func (p *cparser) parseUnary() (*Expr, error) {
+	line := p.line()
+	for _, op := range []string{"-", "!", "~", "*", "&"} {
+		if p.isPunct(op) {
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: ExprUnary, Op: op, X: x, Line: line}, nil
+		}
+	}
+	if p.isPunct("++") || p.isPunct("--") {
+		return nil, errf(line, "MiniC has no ++/--; write x = x + 1")
+	}
+	return p.parsePostfix()
+}
+
+func (p *cparser) parsePostfix() (*Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Expr{Kind: ExprIndex, X: x, Y: idx, Line: x.Line}
+		case p.isPunct("(") && x.Kind == ExprIdent:
+			p.advance()
+			call := &Expr{Kind: ExprCall, Name: x.Name, Line: x.Line}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(",") {
+						continue
+					}
+					if err := p.expect(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			x = call
+		case p.isPunct("++") || p.isPunct("--"):
+			return nil, errf(p.line(), "MiniC has no ++/--; write x = x + 1")
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *cparser) parsePrimary() (*Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNumber:
+		p.advance()
+		return &Expr{Kind: ExprIntLit, Num: t.num, Line: t.line}, nil
+	case tChar:
+		p.advance()
+		return &Expr{Kind: ExprCharLit, Num: t.num, Line: t.line}, nil
+	case tString:
+		p.advance()
+		return &Expr{Kind: ExprStrLit, Str: t.text, Line: t.line}, nil
+	case tIdent:
+		p.advance()
+		return &Expr{Kind: ExprIdent, Name: t.text, Line: t.line}, nil
+	case tPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, errf(t.line, "unexpected %q in expression", tokenText(t))
+}
+
+func tokenText(t token) string {
+	if t.kind == tEOF {
+		return "end of file"
+	}
+	if t.text != "" {
+		return t.text
+	}
+	return fmt.Sprintf("%d", t.num)
+}

@@ -1,0 +1,86 @@
+// Package core is the high-level entry point to the RISC I system: one
+// call assembles (or compiles MiniC) and executes a program on a
+// configured machine, returning a handle for inspecting results and the
+// statistics the paper's evaluation is built from. The lower-level
+// packages (isa, asm, cpu, cc, ...) remain available for fine-grained
+// control; core just wires the common path.
+package core
+
+import (
+	"fmt"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
+	"risc1/internal/cpu"
+)
+
+// Options configures a machine and its tool chain.
+type Options struct {
+	// CPU selects the machine organization (windows, memory size, ...).
+	CPU cpu.Config
+	// Optimize runs the assembler's delayed-jump optimizer.
+	Optimize bool
+}
+
+// Machine is an executed RISC I program and the processor it ran on.
+type Machine struct {
+	CPU     *cpu.CPU
+	Program *asm.Program
+	// Assembly holds the generated text when the program came from
+	// MiniC; empty for hand-written assembly.
+	Assembly string
+}
+
+// RunAsm assembles RISC I assembly source and runs it to completion.
+func RunAsm(src string, opts Options) (*Machine, error) {
+	prog, err := asm.Assemble(src, asm.Options{Optimize: opts.Optimize})
+	if err != nil {
+		return nil, err
+	}
+	return execute(prog, "", opts)
+}
+
+// RunC compiles MiniC source and runs it to completion.
+func RunC(src string, opts Options) (*Machine, error) {
+	prog, text, err := cc.CompileRISC(src, opts.Optimize)
+	if err != nil {
+		return nil, err
+	}
+	return execute(prog, text, opts)
+}
+
+func execute(prog *asm.Program, text string, opts Options) (*Machine, error) {
+	c := cpu.New(opts.CPU)
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		return nil, err
+	}
+	m := &Machine{CPU: c, Program: prog, Assembly: text}
+	if err := c.Run(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// Global reads a word-sized global variable by symbol name.
+func (m *Machine) Global(name string) (int32, error) {
+	addr, ok := m.Program.Symbol(name)
+	if !ok {
+		return 0, fmt.Errorf("core: no symbol %q", name)
+	}
+	v, err := m.CPU.Mem.LoadWord(addr)
+	return int32(v), err
+}
+
+// Result reads the conventional "result" global that MiniC benchmark
+// programs store their checksum in.
+func (m *Machine) Result() (int32, error) { return m.Global("result") }
+
+// Cycles returns the executed cycle count.
+func (m *Machine) Cycles() uint64 { return m.CPU.Trace.Cycles }
+
+// Instructions returns the executed instruction count.
+func (m *Machine) Instructions() uint64 { return m.CPU.Trace.Instructions }
+
+// Micros returns simulated wall time at the paper's 400 ns cycle.
+func (m *Machine) Micros() float64 { return m.CPU.Micros() }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"risc1/internal/cpu"
+)
+
+func TestRunAsm(t *testing.T) {
+	m, err := RunAsm(`
+main:	add r1, r0, 21
+	add r1, r1, r1
+	stl r1, r0, out
+	ret
+	nop
+	.align 4
+out:	.word 0
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Global("out"); err != nil || v != 42 {
+		t.Fatalf("out = %d, %v", v, err)
+	}
+	if m.Instructions() == 0 || m.Cycles() < m.Instructions() || m.Micros() <= 0 {
+		t.Errorf("counters look wrong: %d instr, %d cycles", m.Instructions(), m.Cycles())
+	}
+}
+
+func TestRunC(t *testing.T) {
+	m, err := RunC(`
+int result;
+int twice(int n) { return n + n; }
+int main() { result = twice(21); return 0; }
+	`, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.Result(); err != nil || v != 42 {
+		t.Fatalf("result = %d, %v", v, err)
+	}
+	if !strings.Contains(m.Assembly, "twice:") {
+		t.Error("generated assembly should be exposed")
+	}
+	if m.CPU.Regs.Stats.Calls == 0 {
+		t.Error("window statistics should be populated")
+	}
+}
+
+func TestRunCConfig(t *testing.T) {
+	src := `
+int result;
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { result = fib(14); return 0; }
+	`
+	wide, err := RunC(src, Options{CPU: cpu.Config{Windows: 16}, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := RunC(src, Options{CPU: cpu.Config{Windows: 2}, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := wide.Result()
+	b, _ := narrow.Result()
+	if a != b || a != 377 {
+		t.Fatalf("results diverge: %d vs %d", a, b)
+	}
+	if narrow.Cycles() <= wide.Cycles() {
+		t.Error("two windows should cost more cycles than sixteen")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := RunAsm("bogus\n", Options{}); err == nil {
+		t.Error("bad assembly should fail")
+	}
+	if _, err := RunC("int main() { return undefined; }", Options{}); err == nil {
+		t.Error("bad MiniC should fail")
+	}
+	m, err := RunAsm("main:\tret\n\tnop\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Global("nothing"); err == nil {
+		t.Error("unknown symbol should fail")
+	}
+}

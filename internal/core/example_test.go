@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"risc1/internal/core"
+)
+
+// ExampleRunC compiles a MiniC program and runs it on the RISC I
+// simulator in one call.
+func ExampleRunC() {
+	m, err := core.RunC(`
+int result;
+int square(int n) { return n * n; }
+int main() { result = square(12); return 0; }
+`, core.Options{Optimize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := m.Result()
+	fmt.Println(v)
+	// Output: 144
+}
+
+// ExampleRunAsm assembles and runs RISC I assembly directly.
+func ExampleRunAsm() {
+	m, err := core.RunAsm(`
+main:	add r1, r0, 40
+	add r1, r1, 2
+	stl r1, r0, answer
+	ret
+	nop
+	.align 4
+answer:	.word 0
+`, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := m.Global("answer")
+	fmt.Println(v)
+	// Output: 42
+}

@@ -1,0 +1,580 @@
+// Package cpu simulates the RISC I processor at the architectural cycle
+// level: fetch/decode/execute with delayed jumps, condition codes,
+// register-window overflow/underflow traps with spill/refill to a memory
+// save stack, and the cycle accounting used by the paper's evaluation
+// (register-to-register instructions take one cycle, memory accesses two,
+// because the single memory port is shared with instruction fetch).
+package cpu
+
+import (
+	"fmt"
+
+	"risc1/internal/isa"
+	"risc1/internal/mem"
+	"risc1/internal/regfile"
+	"risc1/internal/trace"
+)
+
+// HaltAddr is the simulator's halt sentinel: a RET whose target is this
+// address stops the machine cleanly. The startup convention places
+// HaltAddr-8 in r25 of the entry activation, so the usual epilogue
+// "ret r25, 8" from the entry procedure halts.
+const HaltAddr = 0xfffffff0
+
+// DefaultCycleNS is the paper's estimated RISC I cycle time (400 ns),
+// used only to convert cycle counts into microseconds for reports.
+const DefaultCycleNS = 400
+
+// Trap-handling overhead in cycles, added on top of the spill/refill
+// memory traffic for a window overflow or underflow (pipeline drain,
+// save-stack pointer update).
+const trapOverheadCycles = 4
+
+// Config selects the simulated machine's organization.
+type Config struct {
+	// Windows sets the register-file window count; zero means the
+	// paper's default of eight.
+	Windows int
+	// MemSize is the main memory size in bytes; zero means 1 MiB.
+	MemSize int
+	// SaveStackTop is the initial register-save stack pointer (the stack
+	// grows down); zero places it at the top of memory.
+	SaveStackTop uint32
+	// NoWindows simulates a conventional flat register file: only one
+	// activation's registers are resident, so every call spills and
+	// every return refills — the paper's point of comparison for what
+	// procedure calls cost without windows. (Internally this is the
+	// degenerate two-window configuration.)
+	NoWindows bool
+	// MaxInstructions aborts runaway programs; zero means 2^32.
+	MaxInstructions uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NoWindows {
+		c.Windows = 2
+	}
+	if c.Windows == 0 {
+		c.Windows = regfile.DefaultConfig.Windows
+	}
+	if c.MemSize == 0 {
+		c.MemSize = 1 << 20
+	}
+	if c.SaveStackTop == 0 {
+		c.SaveStackTop = uint32(c.MemSize)
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 1 << 32
+	}
+	return c
+}
+
+// Stats extends the generic collector with RISC-specific counters.
+type Stats struct {
+	TrapCycles    uint64 // cycles spent in overflow/underflow handling
+	SpillWords    uint64 // words written to the save stack
+	RefillWords   uint64 // words read from the save stack
+	JumpsTaken    uint64
+	JumpsUntaken  uint64
+	DelaySlotNops uint64 // NOP-equivalent instructions executed in delay slots
+}
+
+// CPU is one RISC I processor with its memory.
+type CPU struct {
+	cfg Config
+
+	Mem   *mem.Memory
+	Regs  *regfile.File
+	Trace *trace.Collector
+	Stats Stats
+
+	// Tracer, when non-nil, receives every instruction just before it
+	// executes — the hook behind risc1-run's -trace flag.
+	Tracer func(pc uint32, in isa.Inst)
+
+	pc     uint32 // address of the instruction being executed
+	npc    uint32 // address of the next instruction (delayed-jump slot)
+	lastPC uint32 // previous pc, for GTLPC
+	flags  isa.Flags
+
+	saveSP  uint32 // register-save stack pointer (grows down)
+	inSlot  bool   // the current instruction occupies a delay slot
+	halted  bool
+	haltErr error
+
+	intEnabled bool
+	pendingIRQ *uint32 // vector address of a requested interrupt
+
+	opHandles [64]int // trace handles indexed by opcode
+}
+
+// New builds a CPU with zeroed memory and registers.
+func New(cfg Config) *CPU {
+	cfg = cfg.withDefaults()
+	c := &CPU{
+		cfg:   cfg,
+		Mem:   mem.New(cfg.MemSize),
+		Regs:  regfile.New(regfile.Config{Windows: cfg.Windows}),
+		Trace: trace.New(),
+	}
+	for _, info := range isa.Instructions() {
+		c.opHandles[info.Op] = c.Trace.Handle(info.Name, info.Class.String())
+	}
+	c.resetState(0)
+	return c
+}
+
+// Config returns the configuration the CPU was built with (with defaults
+// filled in).
+func (c *CPU) Config() Config { return c.cfg }
+
+// PC returns the address of the next instruction to execute.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Flags returns the current condition codes.
+func (c *CPU) Flags() isa.Flags { return c.flags }
+
+// Halted reports whether the machine has stopped, and why (nil for a
+// clean halt through the halt sentinel).
+func (c *CPU) Halted() (bool, error) { return c.halted, c.haltErr }
+
+func (c *CPU) resetState(entry uint32) {
+	c.pc = entry
+	c.npc = entry + isa.InstBytes
+	c.lastPC = entry
+	c.flags = isa.Flags{}
+	c.saveSP = c.cfg.SaveStackTop
+	c.halted = false
+	c.haltErr = nil
+	c.inSlot = false
+	c.intEnabled = true
+	c.pendingIRQ = nil
+	c.Stats = Stats{}
+}
+
+// Reset clears memory, registers and statistics, and arranges the halt
+// convention: r25 of the entry window holds HaltAddr-8 so that the entry
+// procedure's "ret r25, 8" stops the machine.
+func (c *CPU) Reset(entry uint32) {
+	c.Mem.Reset()
+	c.Regs.Reset()
+	c.Trace.Reset()
+	c.resetState(entry)
+	c.Regs.Set(25, HaltAddr-8)
+}
+
+// SetEntry rewinds execution to entry without clearing memory — used
+// after loading a program image.
+func (c *CPU) SetEntry(entry uint32) {
+	c.Regs.Reset()
+	c.Trace.Reset()
+	c.resetState(entry)
+	c.Regs.Set(25, HaltAddr-8)
+}
+
+// Run executes until the program halts, faults, or exceeds the
+// instruction limit. It returns the reason for an abnormal stop.
+func (c *CPU) Run() error {
+	for !c.halted {
+		if c.Trace.Instructions >= c.cfg.MaxInstructions {
+			return fmt.Errorf("cpu: instruction limit %d exceeded at pc %#08x", c.cfg.MaxInstructions, c.pc)
+		}
+		c.Step()
+	}
+	return c.haltErr
+}
+
+// RaiseInterrupt requests an external interrupt. Before the next
+// instruction outside a delayed-jump shadow, the processor performs the
+// hardware CALLINT sequence: advance the register window, save the
+// interrupted PC in r25 of the new window, disable interrupts, and
+// vector. The handler returns with "retint r25, 0".
+func (c *CPU) RaiseInterrupt(vector uint32) {
+	v := vector
+	c.pendingIRQ = &v
+}
+
+// InterruptsEnabled reports the interrupt-enable state (cleared by
+// interrupt entry and CALLINT, set by RETINT).
+func (c *CPU) InterruptsEnabled() bool { return c.intEnabled }
+
+// deliverInterrupt performs the trap entry. Delivery is deferred while
+// the next instruction sits in a delayed-jump shadow: interrupting
+// between a transfer and its slot would lose the in-flight target (the
+// restartability problem GTLPC exists for); waiting one instruction
+// sidesteps it.
+func (c *CPU) deliverInterrupt() {
+	vector := *c.pendingIRQ
+	c.pendingIRQ = nil
+	c.intEnabled = false
+	if spilled := c.Regs.Call(); spilled != nil {
+		if !c.spill(spilled) {
+			return
+		}
+	}
+	c.Trace.Depth(c.Regs.Depth())
+	c.Regs.Set(25, c.pc) // resume address
+	c.lastPC = c.pc
+	c.pc = vector
+	c.npc = vector + isa.InstBytes
+	c.Trace.AddCycles(trapOverheadCycles)
+	c.Stats.TrapCycles += trapOverheadCycles
+}
+
+// Step executes a single instruction. After a halt it does nothing.
+func (c *CPU) Step() {
+	if c.halted {
+		return
+	}
+	if c.pendingIRQ != nil && c.intEnabled && !c.inSlot {
+		c.deliverInterrupt()
+		if c.halted {
+			return
+		}
+	}
+	word, err := c.Mem.FetchWord(c.pc)
+	if err != nil {
+		c.fault(fmt.Errorf("cpu: fetch at %#08x: %w", c.pc, err))
+		return
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		c.fault(fmt.Errorf("cpu: at %#08x: %w", c.pc, err))
+		return
+	}
+	c.execute(in)
+}
+
+func (c *CPU) fault(err error) {
+	c.halted = true
+	c.haltErr = err
+}
+
+// s2 evaluates the short-format second operand.
+func (c *CPU) s2(in isa.Inst) uint32 {
+	if in.Imm {
+		return uint32(in.Imm13)
+	}
+	return c.Regs.Get(in.Rs2)
+}
+
+func (c *CPU) setFlagsLogic(res uint32) {
+	c.flags = isa.Flags{Z: res == 0, N: int32(res) < 0}
+}
+
+func (c *CPU) setFlagsAdd(a, b, res uint32) {
+	c.flags = isa.Flags{
+		Z: res == 0,
+		N: int32(res) < 0,
+		C: res < a || (res == a && b != 0),
+		V: (a^res)&(b^res)&0x80000000 != 0,
+	}
+}
+
+func (c *CPU) setFlagsSub(a, b, res uint32) {
+	// C means "no borrow", the convention CondLO/CondHIS assume.
+	c.flags = isa.Flags{
+		Z: res == 0,
+		N: int32(res) < 0,
+		C: a >= b,
+		V: (a^b)&(a^res)&0x80000000 != 0,
+	}
+}
+
+// advance moves sequentially: the executed instruction was at pc; the
+// next one is at npc.
+func (c *CPU) advance() {
+	c.lastPC = c.pc
+	c.pc = c.npc
+	c.npc = c.pc + isa.InstBytes
+	c.inSlot = false
+}
+
+// transfer schedules a delayed control transfer: the instruction at npc
+// (the delay slot) executes first, then control reaches target.
+func (c *CPU) transfer(target uint32) {
+	c.lastPC = c.pc
+	c.pc = c.npc
+	c.npc = target
+	c.inSlot = true
+}
+
+func (c *CPU) execute(in isa.Inst) {
+	if c.Tracer != nil {
+		c.Tracer(c.pc, in)
+	}
+	info := in.Op.Info()
+	c.Trace.ExecHandle(c.opHandles[in.Op], uint64(info.Cycles))
+
+	// A NOP in the shadow of a transfer is a wasted delay slot; the
+	// canonical NOP is "add r0, r0, 0" (any write to r0 is a no-op).
+	if c.inSlot && in.Op == isa.ADD && in.Rd == 0 && !in.SCC {
+		c.Stats.DelaySlotNops++
+	}
+
+	switch in.Op {
+	case isa.ADD, isa.ADDC:
+		a, b := c.Regs.Get(in.Rs1), c.s2(in)
+		carry := uint32(0)
+		if in.Op == isa.ADDC && c.flags.C {
+			carry = 1
+		}
+		res := a + b + carry
+		c.Regs.Set(in.Rd, res)
+		if in.SCC {
+			c.setFlagsAdd(a, b+carry, res)
+		}
+		c.advance()
+
+	case isa.SUB, isa.SUBC, isa.SUBR, isa.SUBCR:
+		a, b := c.Regs.Get(in.Rs1), c.s2(in)
+		if in.Op == isa.SUBR || in.Op == isa.SUBCR {
+			a, b = b, a
+		}
+		borrow := uint32(0)
+		if (in.Op == isa.SUBC || in.Op == isa.SUBCR) && !c.flags.C {
+			borrow = 1
+		}
+		res := a - b - borrow
+		c.Regs.Set(in.Rd, res)
+		if in.SCC {
+			c.setFlagsSub(a, b+borrow, res)
+		}
+		c.advance()
+
+	case isa.AND, isa.OR, isa.XOR:
+		a, b := c.Regs.Get(in.Rs1), c.s2(in)
+		var res uint32
+		switch in.Op {
+		case isa.AND:
+			res = a & b
+		case isa.OR:
+			res = a | b
+		default:
+			res = a ^ b
+		}
+		c.Regs.Set(in.Rd, res)
+		if in.SCC {
+			c.setFlagsLogic(res)
+		}
+		c.advance()
+
+	case isa.SLL, isa.SRL, isa.SRA:
+		a := c.Regs.Get(in.Rs1)
+		sh := c.s2(in) & 31
+		var res uint32
+		switch in.Op {
+		case isa.SLL:
+			res = a << sh
+		case isa.SRL:
+			res = a >> sh
+		default:
+			res = uint32(int32(a) >> sh)
+		}
+		c.Regs.Set(in.Rd, res)
+		if in.SCC {
+			c.setFlagsLogic(res)
+		}
+		c.advance()
+
+	case isa.LDL, isa.LDSU, isa.LDSS, isa.LDBU, isa.LDBS:
+		addr := c.Regs.Get(in.Rs1) + c.s2(in)
+		var v uint32
+		var err error
+		switch in.Op {
+		case isa.LDL:
+			v, err = c.Mem.LoadWord(addr)
+		case isa.LDSU:
+			v, err = c.Mem.LoadHalf(addr)
+		case isa.LDSS:
+			v, err = c.Mem.LoadHalf(addr)
+			v = uint32(int32(v<<16) >> 16)
+		case isa.LDBU:
+			v, err = c.Mem.LoadByte(addr)
+		default: // LDBS
+			v, err = c.Mem.LoadByte(addr)
+			v = uint32(int32(v<<24) >> 24)
+		}
+		if err != nil {
+			c.fault(fmt.Errorf("cpu: at %#08x: %w", c.pc, err))
+			return
+		}
+		c.Regs.Set(in.Rd, v)
+		if in.SCC {
+			c.setFlagsLogic(v)
+		}
+		c.advance()
+
+	case isa.STL, isa.STS, isa.STB:
+		addr := c.Regs.Get(in.Rs1) + c.s2(in)
+		v := c.Regs.Get(in.Rd)
+		var err error
+		switch in.Op {
+		case isa.STL:
+			err = c.Mem.StoreWord(addr, v)
+		case isa.STS:
+			err = c.Mem.StoreHalf(addr, v)
+		default:
+			err = c.Mem.StoreByte(addr, v)
+		}
+		if err != nil {
+			c.fault(fmt.Errorf("cpu: at %#08x: %w", c.pc, err))
+			return
+		}
+		c.advance()
+
+	case isa.JMP, isa.JMPR:
+		var target uint32
+		if in.Op == isa.JMP {
+			target = c.Regs.Get(in.Rs1) + c.s2(in)
+		} else {
+			target = c.pc + uint32(in.Imm19)
+		}
+		if in.Cond().Eval(c.flags) {
+			c.Stats.JumpsTaken++
+			c.transfer(target)
+		} else {
+			c.Stats.JumpsUntaken++
+			c.advance()
+		}
+
+	case isa.CALL, isa.CALLR, isa.CALLINT:
+		if in.Op == isa.CALLINT {
+			c.intEnabled = false
+		}
+		var target uint32
+		if in.Op == isa.CALL {
+			target = c.Regs.Get(in.Rs1) + c.s2(in)
+		} else if in.Op == isa.CALLR {
+			target = c.pc + uint32(in.Imm19)
+		} else {
+			target = c.Regs.Get(in.Rs1) + c.s2(in)
+		}
+		callPC := c.pc
+		if spilled := c.Regs.Call(); spilled != nil {
+			if !c.spill(spilled) {
+				return
+			}
+		}
+		c.Trace.Depth(c.Regs.Depth())
+		// The return address lands in the NEW window, so the callee
+		// (and RET) can find it; r25 is the software convention.
+		c.Regs.Set(in.Rd, callPC)
+		c.transfer(target)
+
+	case isa.RET, isa.RETINT:
+		if in.Op == isa.RETINT {
+			c.intEnabled = true
+		}
+		target := c.Regs.Get(in.Rd) + c.s2(in)
+		if target == HaltAddr {
+			// Simulator halt convention: do not retreat the window.
+			c.halted = true
+			return
+		}
+		if c.Regs.Return() {
+			if !c.refill() {
+				return
+			}
+		}
+		c.transfer(target)
+
+	case isa.LDHI:
+		c.Regs.Set(in.Rd, uint32(in.Imm19)<<13)
+		if in.SCC {
+			c.setFlagsLogic(uint32(in.Imm19) << 13)
+		}
+		c.advance()
+
+	case isa.GTLPC:
+		c.Regs.Set(in.Rd, c.lastPC)
+		c.advance()
+
+	case isa.GETPSW:
+		c.Regs.Set(in.Rd, c.psw())
+		c.advance()
+
+	case isa.PUTPSW:
+		c.setPSW(c.Regs.Get(in.Rs1) + c.s2(in))
+		c.advance()
+
+	default:
+		c.fault(fmt.Errorf("cpu: at %#08x: unimplemented opcode %v", c.pc, in.Op))
+	}
+}
+
+// spill writes an evicted window to the save stack. It returns false and
+// faults the machine on a memory error.
+func (c *CPU) spill(vals []uint32) bool {
+	c.saveSP -= uint32(4 * len(vals))
+	for i, v := range vals {
+		if err := c.Mem.StoreWord(c.saveSP+uint32(4*i), v); err != nil {
+			c.fault(fmt.Errorf("cpu: window overflow spill: %w", err))
+			return false
+		}
+	}
+	cost := uint64(2*len(vals) + trapOverheadCycles)
+	c.Stats.TrapCycles += cost
+	c.Stats.SpillWords += uint64(len(vals))
+	c.Trace.AddCycles(cost)
+	return true
+}
+
+// refill restores the youngest spilled window from the save stack.
+func (c *CPU) refill() bool {
+	vals := make([]uint32, regfile.SpillRegs)
+	for i := range vals {
+		v, err := c.Mem.LoadWord(c.saveSP + uint32(4*i))
+		if err != nil {
+			c.fault(fmt.Errorf("cpu: window underflow refill: %w", err))
+			return false
+		}
+		vals[i] = v
+	}
+	c.saveSP += uint32(4 * len(vals))
+	c.Regs.Refill(vals)
+	cost := uint64(2*len(vals) + trapOverheadCycles)
+	c.Stats.TrapCycles += cost
+	c.Stats.RefillWords += uint64(len(vals))
+	c.Trace.AddCycles(cost)
+	return true
+}
+
+// PSW layout (simulator-defined): bit0 Z, bit1 N, bit2 C, bit3 V,
+// bit4 interrupt-enable, bits 8..12 CWP.
+func (c *CPU) psw() uint32 {
+	var w uint32
+	if c.flags.Z {
+		w |= 1 << 0
+	}
+	if c.flags.N {
+		w |= 1 << 1
+	}
+	if c.flags.C {
+		w |= 1 << 2
+	}
+	if c.flags.V {
+		w |= 1 << 3
+	}
+	if c.intEnabled {
+		w |= 1 << 4
+	}
+	w |= uint32(c.Regs.CWP()) << 8
+	return w
+}
+
+func (c *CPU) setPSW(w uint32) {
+	c.flags = isa.Flags{
+		Z: w&(1<<0) != 0,
+		N: w&(1<<1) != 0,
+		C: w&(1<<2) != 0,
+		V: w&(1<<3) != 0,
+	}
+	c.intEnabled = w&(1<<4) != 0
+}
+
+// Micros converts the accumulated cycle count to microseconds at the
+// paper's nominal 400 ns cycle time.
+func (c *CPU) Micros() float64 {
+	return float64(c.Trace.Cycles) * DefaultCycleNS / 1000
+}

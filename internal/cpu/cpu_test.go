@@ -1,0 +1,599 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/isa"
+	"risc1/internal/pipeline"
+)
+
+// run assembles and executes src to completion on a fresh CPU.
+func run(t *testing.T, src string, cfg Config) *CPU {
+	t.Helper()
+	prog, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New(cfg)
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func TestArithmeticAndHalt(t *testing.T) {
+	c := run(t, `
+main:	add r1, r0, 40
+	add r1, r1, 2
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(1); got != 42 {
+		t.Errorf("r1 = %d, want 42", got)
+	}
+	if halted, err := c.Halted(); !halted || err != nil {
+		t.Errorf("halted = %v, %v", halted, err)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c := run(t, `
+	.equ buf, 0x800
+main:	li r1, 0x12345678
+	li r2, buf
+	stl r1, r2, 0
+	ldl r3, r2, 0
+	sts r1, r2, 4
+	ldsu r4, r2, 4
+	ldss r5, r2, 4
+	stb r1, r2, 8
+	ldbu r6, r2, 8
+	ldbs r7, r2, 8
+	ret
+	nop
+	`, Config{})
+	checks := []struct {
+		reg  uint8
+		want uint32
+	}{
+		{3, 0x12345678},
+		{4, 0x5678},
+		{5, 0x5678},
+		{6, 0x78},
+		{7, 0x78},
+	}
+	for _, tc := range checks {
+		if got := c.Regs.Get(tc.reg); got != tc.want {
+			t.Errorf("r%d = %#x, want %#x", tc.reg, got, tc.want)
+		}
+	}
+}
+
+func TestSignExtendingLoads(t *testing.T) {
+	c := run(t, `
+	.equ buf, 0x800
+main:	li r1, 0xff85
+	li r2, buf
+	sts r1, r2, 0
+	ldss r3, r2, 0
+	stb r1, r2, 4
+	ldbs r4, r2, 4
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(3); int32(got) != -123 {
+		t.Errorf("ldss = %d, want -123", int32(got))
+	}
+	if got := c.Regs.Get(4); int32(got) != -123 {
+		t.Errorf("ldbs = %d, want -123", int32(got))
+	}
+}
+
+func TestLoopWithConditionalBranch(t *testing.T) {
+	// Sum 1..10 with a delayed branch; the nop delay slots execute.
+	c := run(t, `
+main:	add r1, r0, 0	; sum
+	add r2, r0, 1	; i
+loop:	add r1, r1, r2
+	add r2, r2, 1
+	sub. r0, r2, 10
+	ble loop
+	nop
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(1); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+	if c.Stats.JumpsTaken == 0 || c.Stats.JumpsUntaken == 0 {
+		t.Errorf("branch stats = %+v: expected both taken and untaken", c.Stats)
+	}
+}
+
+func TestDelaySlotExecutes(t *testing.T) {
+	// The add after the taken jump must execute (delayed jump).
+	c := run(t, `
+main:	add r1, r0, 1
+	ba over
+	add r1, r1, 10	; delay slot: executes
+	add r1, r1, 100	; skipped
+over:	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(1); got != 11 {
+		t.Errorf("r1 = %d, want 11 (delay slot executed, next skipped)", got)
+	}
+}
+
+func TestCallPassesParamsThroughWindows(t *testing.T) {
+	c := run(t, `
+main:	add r10, r0, 20	; outgoing param
+	add r11, r0, 22
+	call addfn
+	nop
+	add r1, r10, 0	; result comes back in r10
+	ret
+	nop
+addfn:	add r26, r26, r27 ; incoming params; result into HIGH reg
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(1); got != 42 {
+		t.Errorf("r1 = %d, want 42", got)
+	}
+	if c.Regs.Stats.Calls != 1 || c.Regs.Stats.Returns != 1 {
+		t.Errorf("window stats = %+v", c.Regs.Stats)
+	}
+}
+
+func TestCallerLocalsSurviveCall(t *testing.T) {
+	c := run(t, `
+main:	add r16, r0, 7
+	call fn
+	nop
+	add r1, r16, 0
+	ret
+	nop
+fn:	add r16, r0, 999	; callee's local, different window
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(1); got != 7 {
+		t.Errorf("caller local = %d, want 7", got)
+	}
+}
+
+// fibSrc computes fib(n) recursively — the call-intensive pattern the
+// register windows exist for. Result in global r1.
+const fibSrc = `
+	.equ N, 12
+main:	add r10, r0, N
+	call fib
+	nop
+	add r1, r10, 0
+	ret
+	nop
+
+; fib(n): n in r26 (incoming), result in r26 (caller's r10)
+fib:	sub. r0, r26, 2
+	bge recurse
+	nop
+	ret			; fib(0)=0, fib(1)=1: result already in r26
+	nop
+recurse:
+	add r16, r26, 0		; save n in a local
+	sub r10, r16, 1
+	call fib
+	nop
+	add r17, r10, 0		; fib(n-1)
+	sub r10, r16, 2
+	call fib
+	nop
+	add r26, r17, r10	; fib(n-1)+fib(n-2)
+	ret
+	nop
+`
+
+func TestRecursionWithWindowOverflow(t *testing.T) {
+	for _, cfg := range []Config{{Windows: 2}, {Windows: 3}, {Windows: 4}, {Windows: 8}, {NoWindows: true}} {
+		c := run(t, fibSrc, cfg)
+		if got := c.Regs.Get(1); got != 144 {
+			t.Errorf("windows=%d nowin=%v: fib(12) = %d, want 144", cfg.Windows, cfg.NoWindows, got)
+		}
+	}
+}
+
+func TestOverflowStatsShrinkWithMoreWindows(t *testing.T) {
+	rate := func(cfg Config) float64 {
+		c := run(t, fibSrc, cfg)
+		return float64(c.Regs.Stats.Overflows) / float64(c.Regs.Stats.Calls)
+	}
+	r2, r4, r8 := rate(Config{Windows: 2}), rate(Config{Windows: 4}), rate(Config{Windows: 8})
+	if !(r2 > r4 && r4 > r8) {
+		t.Errorf("overflow rate should fall with windows: %f %f %f", r2, r4, r8)
+	}
+	if r2 != 1.0 {
+		t.Errorf("two windows must overflow on every call, got %f", r2)
+	}
+}
+
+func TestWindowTrapsCostCycles(t *testing.T) {
+	with := run(t, fibSrc, Config{Windows: 8})
+	without := run(t, fibSrc, Config{NoWindows: true})
+	if without.Trace.Cycles <= with.Trace.Cycles {
+		t.Errorf("no-windows run should cost more cycles: %d vs %d", without.Trace.Cycles, with.Trace.Cycles)
+	}
+	if without.Stats.SpillWords == 0 || without.Stats.RefillWords == 0 {
+		t.Error("no-windows run should spill and refill")
+	}
+	if with.Stats.TrapCycles >= without.Stats.TrapCycles {
+		t.Error("8-window run should spend fewer cycles in traps")
+	}
+}
+
+func TestSpillRefillPreservesDeepState(t *testing.T) {
+	// Each activation stamps a local; after returning all the way out,
+	// main's local must have survived the spills.
+	c := run(t, `
+main:	add r16, r0, 123
+	add r10, r0, 20		; depth counter
+	call down
+	nop
+	add r1, r16, 0
+	ret
+	nop
+down:	sub. r0, r26, 0
+	beq back
+	nop
+	add r16, r26, 0
+	sub r10, r26, 1
+	call down
+	nop
+back:	ret
+	nop
+	`, Config{Windows: 3})
+	if got := c.Regs.Get(1); got != 123 {
+		t.Errorf("main's local after deep recursion = %d, want 123", got)
+	}
+	if c.Regs.Stats.Overflows == 0 {
+		t.Error("expected overflows with 3 windows and depth 20")
+	}
+}
+
+func TestFlagsArithmetic(t *testing.T) {
+	c := run(t, `
+main:	li r1, 0x7fffffff
+	add. r2, r1, 1		; overflow
+	getpsw r3
+	sub. r0, r0, 1		; borrow: C clear
+	getpsw r4
+	sub. r0, r0, r0		; zero: Z, C set
+	getpsw r5
+	ret
+	nop
+	`, Config{})
+	// PSW bits: Z=1, N=2, C=4, V=8.
+	if got := c.Regs.Get(3) & 0xf; got != 0b1010 {
+		t.Errorf("overflow add flags = %04b, want N|V=1010", got)
+	}
+	if got := c.Regs.Get(4) & 0xf; got != 0b0010 {
+		t.Errorf("0-1 flags = %04b, want N only (C=borrow)", got)
+	}
+	if got := c.Regs.Get(5) & 0xf; got != 0b0101 {
+		t.Errorf("0-0 flags = %04b, want Z|C", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c := run(t, `
+main:	li r1, -16
+	sra r2, r1, 2
+	srl r3, r1, 28
+	sll r4, r1, 1
+	ret
+	nop
+	`, Config{})
+	if got := int32(c.Regs.Get(2)); got != -4 {
+		t.Errorf("sra -16>>2 = %d, want -4", got)
+	}
+	if got := c.Regs.Get(3); got != 15 {
+		t.Errorf("srl = %d, want 15", got)
+	}
+	if got := int32(c.Regs.Get(4)); got != -32 {
+		t.Errorf("sll = %d, want -32", got)
+	}
+}
+
+func TestSubrAndCarryChain(t *testing.T) {
+	c := run(t, `
+main:	add r1, r0, 5
+	subr r2, r1, 30		; 30 - 5
+	add. r0, r0, 0		; clear flags, set C=0 via add 0+0 (no carry)
+	addc r3, r0, 0		; 0+0+carry(0)
+	sub. r0, r0, 0		; sets C (no borrow)
+	addc r4, r0, 0		; 0+0+carry(1)
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(2); got != 25 {
+		t.Errorf("subr = %d, want 25", got)
+	}
+	if got := c.Regs.Get(3); got != 0 {
+		t.Errorf("addc without carry = %d, want 0", got)
+	}
+	if got := c.Regs.Get(4); got != 1 {
+		t.Errorf("addc with carry = %d, want 1", got)
+	}
+}
+
+func TestGtlpc(t *testing.T) {
+	c := run(t, `
+main:	add r1, r0, 1
+	gtlpc r2
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(2); got != 0 {
+		t.Errorf("gtlpc = %#x, want 0 (address of preceding instruction)", got)
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	c := run(t, `
+main:	add r1, r0, 1	; 1 cycle
+	ldl r2, r0, 0	; 2 cycles
+	stl r2, r0, 8	; 2 cycles
+	ret		; 1 cycle; halting ret skips its delay slot
+	nop
+	`, Config{})
+	if got := c.Trace.Cycles; got != 6 {
+		t.Errorf("cycles = %d, want 6", got)
+	}
+	if got := c.Trace.Instructions; got != 4 {
+		t.Errorf("instructions = %d, want 4", got)
+	}
+	if us := c.Micros(); us != 6*0.4 {
+		t.Errorf("Micros = %f, want 2.4", us)
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	c := run(t, fibSrc, Config{})
+	mix := c.Trace.Mix()
+	if len(mix) == 0 {
+		t.Fatal("empty mix")
+	}
+	var total float64
+	for _, s := range mix {
+		total += s.Frac
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("mix fractions sum to %f", total)
+	}
+	ops := c.Trace.OpCounts()
+	if ops[0].Count == 0 {
+		t.Error("no op counts recorded")
+	}
+}
+
+func TestFaultOnMisalignedLoad(t *testing.T) {
+	prog, err := asm.Assemble(`
+main:	ldl r1, r0, 2
+	ret
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Errorf("expected misaligned fault, got %v", err)
+	}
+}
+
+func TestFaultOnIllegalInstruction(t *testing.T) {
+	c := New(Config{})
+	c.Reset(0)
+	// Word 0 has opcode 0: illegal.
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "illegal opcode") {
+		t.Errorf("expected illegal-opcode fault, got %v", err)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	prog, err := asm.Assemble(`
+main:	ba main
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{MaxInstructions: 1000})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Errorf("expected instruction-limit error, got %v", err)
+	}
+}
+
+func TestStepAfterHaltIsNoop(t *testing.T) {
+	c := run(t, "main:\tret\n\tnop\n", Config{})
+	before := c.Trace.Instructions
+	c.Step()
+	if c.Trace.Instructions != before {
+		t.Error("Step after halt executed an instruction")
+	}
+}
+
+func TestDelaySlotNopCounting(t *testing.T) {
+	c := run(t, `
+main:	ba l1
+	nop		; wasted slot
+l1:	ba l2
+	add r1, r0, 1	; useful slot
+l2:	ret
+	nop		; not executed: halting ret skips its slot
+	`, Config{})
+	if got := c.Stats.DelaySlotNops; got != 1 {
+		t.Errorf("delay-slot nops = %d, want 1", got)
+	}
+}
+
+func TestPutPSWRestoresFlags(t *testing.T) {
+	c := run(t, `
+main:	sub. r0, r0, 0	; Z and C set
+	getpsw r1
+	add. r0, r0, 1	; flags change
+	putpsw r1, 0	; restore
+	beq was_zero
+	nop
+	add r2, r0, 0
+	ret
+	nop
+was_zero:
+	add r2, r0, 1
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(2); got != 1 {
+		t.Errorf("PUTPSW did not restore Z: r2 = %d", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	cfg := c.Config()
+	if cfg.Windows != 8 || cfg.MemSize != 1<<20 || cfg.MaxInstructions == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if c.Regs.Config().PhysicalRegs() != 138 {
+		t.Error("default register file should have 138 registers")
+	}
+	nc := New(Config{NoWindows: true})
+	if nc.Config().Windows != 2 {
+		t.Error("NoWindows should force the degenerate two-window file")
+	}
+}
+
+func TestLdhiBuildsConstants(t *testing.T) {
+	c := run(t, `
+main:	li r1, 0xdeadbeef
+	li r2, -559038737	; same value, signed
+	xor. r3, r1, r2
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(1); got != 0xdeadbeef {
+		t.Errorf("li large = %#x", got)
+	}
+	if got := c.Regs.Get(3); got != 0 {
+		t.Errorf("signed/unsigned li disagree: xor = %#x", got)
+	}
+	if !c.Flags().Z {
+		t.Error("xor. of equal values should set Z")
+	}
+}
+
+func TestTracerHook(t *testing.T) {
+	prog, err := asm.Assemble("main:\tadd r1, r0, 1\n\tret\n\tnop\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	var seen []string
+	c.Tracer = func(pc uint32, in isa.Inst) {
+		seen = append(seen, in.String())
+	}
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != "add r1, r0, 1" {
+		t.Errorf("trace = %v", seen)
+	}
+}
+
+func TestSaveStackExhaustionFaults(t *testing.T) {
+	// Infinite recursion must fault when the register-save stack runs
+	// off the bottom of memory, not hang or corrupt.
+	prog, err := asm.Assemble(`
+main:	call main
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{MemSize: 4096, Windows: 2, MaxInstructions: 1 << 20})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	// The runaway save stack descends through the tiny memory, first
+	// clobbering the code (illegal opcode on refetch) or finally running
+	// off the bottom (spill out of range). Either way the machine must
+	// stop with a fault rather than hang or exit cleanly.
+	if err := c.Run(); err == nil {
+		t.Fatal("expected a fault")
+	}
+}
+
+// TestParallelSimulators checks that independent CPUs share no hidden
+// state (run with -race).
+func TestParallelSimulators(t *testing.T) {
+	prog, err := asm.Assemble(fibSrc, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan uint32, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			c := New(Config{})
+			c.Reset(prog.Entry)
+			prog.LoadInto(c.Mem)
+			if err := c.Run(); err != nil {
+				done <- 0
+				return
+			}
+			done <- c.Regs.Get(1)
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != 144 {
+			t.Errorf("parallel run %d: fib(12) = %d", i, got)
+		}
+	}
+}
+
+// TestPipelineModelAgreesWithCycleAccounting cross-validates the coarse
+// per-instruction cycle model against the first-principles two-stage
+// pipeline: the same instruction stream must yield the same cycle count
+// (net of window-trap cycles, which the pipeline model does not see).
+func TestPipelineModelAgreesWithCycleAccounting(t *testing.T) {
+	prog, err := asm.Assemble(fibSrc, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	model := pipeline.New(false)
+	c.Tracer = func(pc uint32, in isa.Inst) { model.Issue(in.Op) }
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := c.Trace.Cycles - c.Stats.TrapCycles
+	if got := model.Stats().Cycles; got != want {
+		t.Errorf("pipeline model: %d cycles, cpu accounting: %d", got, want)
+	}
+	if model.Stats().Instructions != c.Trace.Instructions {
+		t.Errorf("instruction streams diverge: %d vs %d",
+			model.Stats().Instructions, c.Trace.Instructions)
+	}
+}

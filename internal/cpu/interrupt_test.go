@@ -1,0 +1,195 @@
+package cpu
+
+import (
+	"testing"
+
+	"risc1/internal/asm"
+)
+
+// interruptProgram counts in a loop; the handler at "handler" bumps a
+// global counter register and resumes.
+const interruptProgram = `
+main:	add r2, r0, 0		; loop counter
+loop:	add r2, r2, 1
+	sub. r0, r2, 4000
+	blt loop
+	nop
+	ret
+	nop
+
+	.org 0x400
+handler:
+	add r3, r3, 1		; interrupt counter (global register)
+	retint r25, 0
+	nop
+`
+
+func TestInterruptDeliveryAndResume(t *testing.T) {
+	prog, err := asm.Assemble(interruptProgram, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, _ := prog.Symbol("handler")
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+
+	fired := 0
+	for !func() bool { h, _ := c.Halted(); return h }() {
+		if c.Trace.Instructions == 500 || c.Trace.Instructions == 1500 {
+			c.RaiseInterrupt(vector)
+			fired++
+		}
+		c.Step()
+	}
+	if _, err := c.Halted(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(2); got != 4000 {
+		t.Errorf("main loop result = %d, want 4000 (interrupts must be transparent)", got)
+	}
+	if got := c.Regs.Get(3); got != uint32(fired) {
+		t.Errorf("handler ran %d times, want %d", got, fired)
+	}
+	if !c.InterruptsEnabled() {
+		t.Error("RETINT should re-enable interrupts")
+	}
+}
+
+func TestInterruptDisabledInsideHandler(t *testing.T) {
+	// A second interrupt raised while the handler runs must wait for
+	// RETINT.
+	prog, err := asm.Assemble(`
+main:	add r2, r0, 0
+loop:	add r2, r2, 1
+	sub. r0, r2, 2000
+	blt loop
+	nop
+	ret
+	nop
+	.org 0x400
+handler:
+	add r3, r3, 1
+	add r4, r4, 1		; padding so the handler takes several steps
+	add r4, r4, 1
+	retint r25, 0
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, _ := prog.Symbol("handler")
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+
+	// Run until inside the handler, then raise another interrupt.
+	for c.Trace.Instructions < 100 {
+		c.Step()
+	}
+	c.RaiseInterrupt(vector)
+	// Delivery may be deferred past a delay slot; take a few steps.
+	for i := 0; i < 5 && c.InterruptsEnabled(); i++ {
+		c.Step()
+	}
+	if c.InterruptsEnabled() {
+		t.Fatal("interrupts should be disabled on entry")
+	}
+	c.RaiseInterrupt(vector) // nested request: must be deferred until RETINT
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(3); got != 2 {
+		t.Errorf("handler ran %d times, want 2 (second deferred until RETINT)", got)
+	}
+	if got := c.Regs.Get(2); got != 2000 {
+		t.Errorf("main loop corrupted: %d", got)
+	}
+}
+
+func TestCallintDisablesInterrupts(t *testing.T) {
+	c := run(t, `
+main:	callint r25, r0, target
+	nop
+	ret
+	nop
+target:	getpsw r2
+	ret r25, 8
+	nop
+	`, Config{})
+	// PSW bit 4 is the interrupt-enable flag; CALLINT must have cleared
+	// it before the handler read the PSW.
+	if c.Regs.Get(2)&(1<<4) != 0 {
+		t.Error("CALLINT should disable interrupts (PSW bit 4 clear)")
+	}
+}
+
+func TestInterruptPreservesWindowRegisters(t *testing.T) {
+	// The handler gets a fresh window, so the interrupted procedure's
+	// locals are untouched even if the handler writes the same r-numbers.
+	prog, err := asm.Assemble(`
+main:	add r16, r0, 3777	; a local in the interrupted window
+	add r2, r0, 0
+loop:	add r2, r2, 1
+	sub. r0, r2, 1000
+	blt loop
+	nop
+	add r4, r16, 0		; expose the local in a global afterwards
+	ret
+	nop
+	.org 0x400
+handler:
+	add r16, r0, 1111	; clobber the handler window's r16
+	retint r25, 0
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, _ := prog.Symbol("handler")
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	for c.Trace.Instructions < 50 {
+		c.Step()
+	}
+	c.RaiseInterrupt(vector)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(4); got != 3777 {
+		t.Errorf("interrupted window's local = %d, want 3777", got)
+	}
+}
+
+func TestInterruptDeferredInDelaySlot(t *testing.T) {
+	// Raise an interrupt while the next instruction is a delay slot; the
+	// machine must complete the slot (and the in-flight transfer) first.
+	prog, err := asm.Assemble(`
+main:	ba over
+	add r2, r0, 1		; delay slot
+	add r2, r0, 99		; skipped
+over:	add r3, r2, 0
+	ret
+	nop
+	.org 0x400
+handler:
+	retint r25, 0
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, _ := prog.Symbol("handler")
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	c.Step() // executes the ba; next instruction is its slot
+	c.RaiseInterrupt(vector)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(3); got != 1 {
+		t.Errorf("r3 = %d, want 1 (slot executed, skip respected, interrupt transparent)", got)
+	}
+}

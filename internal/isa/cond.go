@@ -1,0 +1,102 @@
+package isa
+
+import "fmt"
+
+// Cond is one of the 16 jump conditions of RISC I, encoded in the dest
+// field of JMP and JMPR. The predicates are evaluated against the four
+// condition-code bits Z (zero), N (negative), C (carry), V (overflow)
+// that SCC-tagged instructions set.
+type Cond uint8
+
+const (
+	CondNever  Cond = iota // nev: never taken (effectively a NOP jump)
+	CondGT                 // gt:  greater than (signed)
+	CondLE                 // le:  less or equal (signed)
+	CondGE                 // ge:  greater or equal (signed)
+	CondLT                 // lt:  less than (signed)
+	CondHI                 // hi:  higher (unsigned)
+	CondLOS                // los: lower or same (unsigned)
+	CondLO                 // lo:  lower / no carry (unsigned)
+	CondHIS                // his: higher or same / carry set (unsigned)
+	CondPL                 // pl:  plus (N clear)
+	CondMI                 // mi:  minus (N set)
+	CondNE                 // ne:  not equal (Z clear)
+	CondEQ                 // eq:  equal (Z set)
+	CondNV                 // nv:  no overflow (V clear)
+	CondV                  // v:   overflow (V set)
+	CondAlways             // alw: always taken
+	NumConds
+)
+
+var condNames = [NumConds]string{
+	"nev", "gt", "le", "ge", "lt", "hi", "los", "lo",
+	"his", "pl", "mi", "ne", "eq", "nv", "v", "alw",
+}
+
+// String returns the condition's assembler suffix (e.g. "eq" in "jmp eq").
+func (c Cond) String() string {
+	if c < NumConds {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// CondByName maps an assembler condition name to its encoding.
+func CondByName(name string) (Cond, bool) {
+	for i, n := range condNames {
+		if n == name {
+			return Cond(i), true
+		}
+	}
+	return 0, false
+}
+
+// Flags holds the four RISC I condition-code bits.
+type Flags struct {
+	Z bool // result was zero
+	N bool // result was negative
+	C bool // carry out (for SUB: no borrow)
+	V bool // signed overflow
+}
+
+// Eval reports whether the condition holds under the given flags.
+// The signed comparisons use the standard N/V/Z identities; the unsigned
+// ones use C/Z, with the subtraction convention that C means "no borrow".
+func (c Cond) Eval(f Flags) bool {
+	switch c {
+	case CondNever:
+		return false
+	case CondAlways:
+		return true
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondMI:
+		return f.N
+	case CondPL:
+		return !f.N
+	case CondV:
+		return f.V
+	case CondNV:
+		return !f.V
+	case CondLT:
+		return f.N != f.V
+	case CondGE:
+		return f.N == f.V
+	case CondLE:
+		return f.Z || f.N != f.V
+	case CondGT:
+		return !f.Z && f.N == f.V
+	case CondLO:
+		return !f.C
+	case CondHIS:
+		return f.C
+	case CondLOS:
+		return !f.C || f.Z
+	case CondHI:
+		return f.C && !f.Z
+	default:
+		return false
+	}
+}

@@ -1,0 +1,152 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded RISC I instruction. Exactly one of the two formats is
+// meaningful, selected by Op's Info().Format: short-format instructions
+// use Rd/Rs1 and either Rs2 (Imm=false) or Imm13 (Imm=true); long-format
+// instructions use Rd and Imm19.
+type Inst struct {
+	Op  Opcode
+	SCC bool // set condition codes from the result
+
+	Rd  uint8 // destination register, or Cond for JMP/JMPR
+	Rs1 uint8
+
+	Imm   bool  // short format: s2 is an immediate rather than a register
+	Rs2   uint8 // short format, Imm=false
+	Imm13 int32 // short format, Imm=true: signed 13-bit immediate
+
+	Imm19 int32 // long format: signed 19-bit immediate
+}
+
+// Field widths and limits of the two encodings.
+const (
+	// Imm13Min..Imm13Max bound the short-format signed immediate.
+	Imm13Min = -(1 << 12)
+	Imm13Max = 1<<12 - 1
+	// Imm19Min..Imm19Max bound the long-format signed immediate.
+	Imm19Min = -(1 << 18)
+	Imm19Max = 1<<18 - 1
+	// InstBytes is the size of every RISC I instruction.
+	InstBytes = 4
+)
+
+// Cond returns the jump condition carried in the dest field.
+func (in Inst) Cond() Cond { return Cond(in.Rd & 0x0f) }
+
+// bit layout (from the top):
+//	op: 31..25  scc: 24  dest: 23..19  rs1: 18..14  imm: 13  short2: 12..0
+//	long immediate: 18..0
+
+// Encode packs the instruction into its 32-bit machine form. It reports
+// an error if a field is out of range for the instruction's format.
+func (in Inst) Encode() (uint32, error) {
+	info, ok := Lookup(in.Op)
+	if !ok {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumVisibleRegs {
+		return 0, fmt.Errorf("isa: encode %s: dest register r%d out of range", info.Name, in.Rd)
+	}
+	w := uint32(in.Op) << 25
+	if in.SCC {
+		w |= 1 << 24
+	}
+	w |= uint32(in.Rd) << 19
+
+	if info.Format == FormatLong {
+		if in.Imm19 < Imm19Min || in.Imm19 > Imm19Max {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d exceeds 19 bits", info.Name, in.Imm19)
+		}
+		w |= uint32(in.Imm19) & (1<<19 - 1)
+		return w, nil
+	}
+
+	if in.Rs1 >= NumVisibleRegs {
+		return 0, fmt.Errorf("isa: encode %s: source register r%d out of range", info.Name, in.Rs1)
+	}
+	w |= uint32(in.Rs1) << 14
+	if in.Imm {
+		if in.Imm13 < Imm13Min || in.Imm13 > Imm13Max {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d exceeds 13 bits", info.Name, in.Imm13)
+		}
+		w |= 1 << 13
+		w |= uint32(in.Imm13) & (1<<13 - 1)
+		return w, nil
+	}
+	if in.Rs2 >= NumVisibleRegs {
+		return 0, fmt.Errorf("isa: encode %s: source register r%d out of range", info.Name, in.Rs2)
+	}
+	w |= uint32(in.Rs2)
+	return w, nil
+}
+
+// Decode unpacks a 32-bit machine word. It reports an error for an
+// unassigned opcode; all field values are otherwise legal by construction.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> 25)
+	info, ok := Lookup(op)
+	if !ok {
+		return Inst{}, fmt.Errorf("isa: decode: illegal opcode %d in word %#08x", op, w)
+	}
+	in := Inst{
+		Op:  op,
+		SCC: w&(1<<24) != 0,
+		Rd:  uint8(w >> 19 & 0x1f),
+	}
+	if info.Format == FormatLong {
+		in.Imm19 = signExtend(w&(1<<19-1), 19)
+		return in, nil
+	}
+	in.Rs1 = uint8(w >> 14 & 0x1f)
+	if w&(1<<13) != 0 {
+		in.Imm = true
+		in.Imm13 = signExtend(w&(1<<13-1), 13)
+	} else {
+		in.Rs2 = uint8(w & 0x1f)
+	}
+	return in, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// String disassembles the instruction into canonical assembler syntax.
+func (in Inst) String() string {
+	info, ok := Lookup(in.Op)
+	if !ok {
+		return fmt.Sprintf(".word %#08x", uint32(in.Op)<<25)
+	}
+	name := info.Name
+	if in.SCC {
+		name += "."
+	}
+	s2 := func() string {
+		if in.Imm {
+			return fmt.Sprintf("%d", in.Imm13)
+		}
+		return RegName(in.Rs2)
+	}
+	switch {
+	case info.Cond:
+		if info.Format == FormatLong {
+			return fmt.Sprintf("%s %s, %d", name, in.Cond(), in.Imm19)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name, in.Cond(), RegName(in.Rs1), s2())
+	case info.Format == FormatLong:
+		return fmt.Sprintf("%s %s, %d", name, RegName(in.Rd), in.Imm19)
+	case info.Store:
+		return fmt.Sprintf("%s %s, %s, %s", name, RegName(in.Rd), RegName(in.Rs1), s2())
+	case in.Op == PUTPSW:
+		return fmt.Sprintf("%s %s, %s", name, RegName(in.Rs1), s2())
+	case in.Op == GETPSW || in.Op == GTLPC:
+		return fmt.Sprintf("%s %s", name, RegName(in.Rd))
+	case in.Op == RET || in.Op == RETINT:
+		return fmt.Sprintf("%s %s, %s", name, RegName(in.Rd), s2())
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", name, RegName(in.Rd), RegName(in.Rs1), s2())
+	}
+}

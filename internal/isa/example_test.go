@@ -1,0 +1,23 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"risc1/internal/isa"
+)
+
+// ExampleDecode shows decoding a 32-bit RISC I instruction word.
+func ExampleDecode() {
+	in := isa.Inst{Op: isa.ADD, SCC: true, Rd: 1, Rs1: 2, Imm: true, Imm13: -4}
+	word, _ := in.Encode()
+	back, _ := isa.Decode(word)
+	fmt.Println(back)
+	// Output: add. r1, r2, -4
+}
+
+// ExampleCond_Eval evaluates a branch condition against condition codes.
+func ExampleCond_Eval() {
+	flags := isa.Flags{Z: false, N: true, V: false}
+	fmt.Println(isa.CondLT.Eval(flags), isa.CondGE.Eval(flags))
+	// Output: true false
+}

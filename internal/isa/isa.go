@@ -1,0 +1,256 @@
+// Package isa defines the RISC I instruction set architecture: the 31
+// instructions of the Berkeley RISC I processor (Patterson & Séquin,
+// ISCA 1981), their two 32-bit encodings, condition codes, and the
+// metadata needed to reproduce the paper's instruction-set table.
+//
+// All instructions are exactly 32 bits. There are two formats:
+//
+//	short:  op(7) | scc(1) | dest(5) | rs1(5) | imm(1) | short2(13)
+//	long:   op(7) | scc(1) | dest(5) | imm19(19)
+//
+// In the short format, short2 is either a second source register (imm=0)
+// or a sign-extended 13-bit immediate (imm=1). The long format carries a
+// 19-bit immediate used by LDHI and the PC-relative CALLR/JMPR.
+// Conditional jumps (JMP, JMPR) reuse the dest field to encode one of 16
+// conditions.
+package isa
+
+import "fmt"
+
+// Opcode identifies one of the 31 RISC I instructions. The zero value is
+// not a valid opcode so that an uninitialized Inst is detectably invalid.
+type Opcode uint8
+
+// The RISC I instruction set. Grouped exactly as the paper groups them:
+// arithmetic/logic (12), memory access (8), control transfer (7), and
+// miscellaneous (4).
+const (
+	opInvalid Opcode = iota
+
+	// Arithmetic and logic. All operate on registers (or a short
+	// immediate second operand) and optionally set the condition codes.
+	ADD   // rd = rs1 + s2
+	ADDC  // rd = rs1 + s2 + carry
+	SUB   // rd = rs1 - s2
+	SUBC  // rd = rs1 - s2 - borrow
+	SUBR  // rd = s2 - rs1 (reverse subtract)
+	SUBCR // rd = s2 - rs1 - borrow
+	AND   // rd = rs1 & s2
+	OR    // rd = rs1 | s2
+	XOR   // rd = rs1 ^ s2
+	SLL   // rd = rs1 << s2
+	SRL   // rd = rs1 >> s2 (logical)
+	SRA   // rd = rs1 >> s2 (arithmetic)
+
+	// Memory access: the only instructions that touch memory.
+	// Effective address is rs1 + s2 (index + displacement).
+	LDL  // load 32-bit word
+	LDSU // load 16-bit halfword, zero-extended
+	LDSS // load 16-bit halfword, sign-extended
+	LDBU // load byte, zero-extended
+	LDBS // load byte, sign-extended
+	STL  // store 32-bit word
+	STS  // store 16-bit halfword
+	STB  // store byte
+
+	// Control transfer. All jumps are delayed: the next sequential
+	// instruction executes before the transfer takes effect.
+	JMP     // conditional jump to rs1 + s2
+	JMPR    // conditional PC-relative jump, PC + imm19
+	CALL    // rd = PC; advance register window; jump to rs1 + s2
+	CALLR   // rd = PC; advance window; jump to PC + imm19
+	RET     // retreat window; jump to rd + s2 (rd holds return PC)
+	CALLINT // disable interrupts, advance window (trap entry)
+	RETINT  // enable interrupts, retreat window (trap exit)
+
+	// Miscellaneous.
+	LDHI   // rd = imm19 << 13 (build 32-bit constants with OR)
+	GTLPC  // rd = last PC (restart support after interrupted delayed jump)
+	GETPSW // rd = processor status word
+	PUTPSW // PSW = rs1 + s2
+
+	numOpcodes
+)
+
+// NumInstructions is the size of the RISC I instruction set — the paper's
+// headline count of 31.
+const NumInstructions = int(numOpcodes) - 1
+
+// Format distinguishes the two 32-bit instruction encodings.
+type Format uint8
+
+const (
+	// FormatShort is op|scc|dest|rs1|imm|short2.
+	FormatShort Format = iota
+	// FormatLong is op|scc|dest|imm19.
+	FormatLong
+)
+
+// Class groups instructions the way the paper's evaluation does when it
+// reports dynamic instruction mixes.
+type Class uint8
+
+const (
+	ClassALU  Class = iota // arithmetic, logic, shifts
+	ClassMem               // loads and stores
+	ClassCtrl              // jumps, calls, returns
+	ClassMisc              // PSW and PC access, LDHI
+)
+
+// String returns the mix-table heading for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassMem:
+		return "memory"
+	case ClassCtrl:
+		return "control"
+	default:
+		return "misc"
+	}
+}
+
+// Info describes one instruction for assemblers, disassemblers and the
+// instruction-set table of the paper.
+type Info struct {
+	Op       Opcode
+	Name     string // assembler mnemonic, lower case
+	Format   Format
+	Class    Class
+	Semantic string // one-line semantics as printed in the paper's table
+	// Cycles is the register-file cycle count: 1 for everything except
+	// memory access, which needs an extra cycle for the data access
+	// because the single memory port is shared with instruction fetch.
+	Cycles int
+	// MemBytes is the data transfer size for loads/stores, 0 otherwise.
+	MemBytes int
+	// Store marks memory-writing instructions.
+	Store bool
+	// Cond marks instructions whose dest field holds a jump condition.
+	Cond bool
+	// WindowDelta is +1 for window-advancing calls, -1 for returns.
+	WindowDelta int
+}
+
+var infos = [numOpcodes]Info{
+	ADD:   {Name: "add", Class: ClassALU, Semantic: "rd := rs1 + s2", Cycles: 1},
+	ADDC:  {Name: "addc", Class: ClassALU, Semantic: "rd := rs1 + s2 + carry", Cycles: 1},
+	SUB:   {Name: "sub", Class: ClassALU, Semantic: "rd := rs1 - s2", Cycles: 1},
+	SUBC:  {Name: "subc", Class: ClassALU, Semantic: "rd := rs1 - s2 - borrow", Cycles: 1},
+	SUBR:  {Name: "subr", Class: ClassALU, Semantic: "rd := s2 - rs1", Cycles: 1},
+	SUBCR: {Name: "subcr", Class: ClassALU, Semantic: "rd := s2 - rs1 - borrow", Cycles: 1},
+	AND:   {Name: "and", Class: ClassALU, Semantic: "rd := rs1 & s2", Cycles: 1},
+	OR:    {Name: "or", Class: ClassALU, Semantic: "rd := rs1 | s2", Cycles: 1},
+	XOR:   {Name: "xor", Class: ClassALU, Semantic: "rd := rs1 xor s2", Cycles: 1},
+	SLL:   {Name: "sll", Class: ClassALU, Semantic: "rd := rs1 << s2", Cycles: 1},
+	SRL:   {Name: "srl", Class: ClassALU, Semantic: "rd := rs1 >> s2 (logical)", Cycles: 1},
+	SRA:   {Name: "sra", Class: ClassALU, Semantic: "rd := rs1 >> s2 (arith)", Cycles: 1},
+
+	LDL:  {Name: "ldl", Class: ClassMem, Semantic: "rd := M[rs1+s2] (word)", Cycles: 2, MemBytes: 4},
+	LDSU: {Name: "ldsu", Class: ClassMem, Semantic: "rd := M[rs1+s2] (half, unsigned)", Cycles: 2, MemBytes: 2},
+	LDSS: {Name: "ldss", Class: ClassMem, Semantic: "rd := M[rs1+s2] (half, signed)", Cycles: 2, MemBytes: 2},
+	LDBU: {Name: "ldbu", Class: ClassMem, Semantic: "rd := M[rs1+s2] (byte, unsigned)", Cycles: 2, MemBytes: 1},
+	LDBS: {Name: "ldbs", Class: ClassMem, Semantic: "rd := M[rs1+s2] (byte, signed)", Cycles: 2, MemBytes: 1},
+	STL:  {Name: "stl", Class: ClassMem, Semantic: "M[rs1+s2] := rd (word)", Cycles: 2, MemBytes: 4, Store: true},
+	STS:  {Name: "sts", Class: ClassMem, Semantic: "M[rs1+s2] := rd (half)", Cycles: 2, MemBytes: 2, Store: true},
+	STB:  {Name: "stb", Class: ClassMem, Semantic: "M[rs1+s2] := rd (byte)", Cycles: 2, MemBytes: 1, Store: true},
+
+	JMP:     {Name: "jmp", Class: ClassCtrl, Semantic: "if cond then PC := rs1+s2 (delayed)", Cycles: 1, Cond: true},
+	JMPR:    {Name: "jmpr", Format: FormatLong, Class: ClassCtrl, Semantic: "if cond then PC := PC+imm19 (delayed)", Cycles: 1, Cond: true},
+	CALL:    {Name: "call", Class: ClassCtrl, Semantic: "rd := PC; CWP++; PC := rs1+s2 (delayed)", Cycles: 1, WindowDelta: 1},
+	CALLR:   {Name: "callr", Format: FormatLong, Class: ClassCtrl, Semantic: "rd := PC; CWP++; PC := PC+imm19 (delayed)", Cycles: 1, WindowDelta: 1},
+	RET:     {Name: "ret", Class: ClassCtrl, Semantic: "PC := rd+s2; CWP-- (delayed)", Cycles: 1, WindowDelta: -1},
+	CALLINT: {Name: "callint", Class: ClassCtrl, Semantic: "rd := last PC; CWP++; disable interrupts", Cycles: 1, WindowDelta: 1},
+	RETINT:  {Name: "retint", Class: ClassCtrl, Semantic: "PC := rd+s2; CWP++... enable interrupts", Cycles: 1, WindowDelta: -1},
+
+	LDHI:   {Name: "ldhi", Format: FormatLong, Class: ClassMisc, Semantic: "rd := imm19 << 13", Cycles: 1},
+	GTLPC:  {Name: "gtlpc", Class: ClassMisc, Semantic: "rd := last PC", Cycles: 1},
+	GETPSW: {Name: "getpsw", Class: ClassMisc, Semantic: "rd := PSW", Cycles: 1},
+	PUTPSW: {Name: "putpsw", Class: ClassMisc, Semantic: "PSW := rs1+s2", Cycles: 1},
+}
+
+func init() {
+	for op := opInvalid + 1; op < numOpcodes; op++ {
+		infos[op].Op = op
+		if infos[op].Name == "" {
+			panic(fmt.Sprintf("isa: opcode %d missing metadata", op))
+		}
+	}
+	infos[RETINT].Semantic = "PC := rd+s2; CWP--; enable interrupts"
+}
+
+// Lookup returns the Info for op, or ok=false for an invalid opcode.
+func Lookup(op Opcode) (Info, bool) {
+	if op <= opInvalid || op >= numOpcodes {
+		return Info{}, false
+	}
+	return infos[op], true
+}
+
+// Valid reports whether op names a real instruction.
+func (op Opcode) Valid() bool { return op > opInvalid && op < numOpcodes }
+
+// Info returns the instruction metadata; it panics on an invalid opcode,
+// which always indicates a programming error rather than bad input.
+func (op Opcode) Info() Info {
+	info, ok := Lookup(op)
+	if !ok {
+		panic(fmt.Sprintf("isa: invalid opcode %d", op))
+	}
+	return info
+}
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string {
+	if info, ok := Lookup(op); ok {
+		return info.Name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ByName maps an assembler mnemonic (lower case) to its opcode.
+func ByName(name string) (Opcode, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+var byName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumInstructions)
+	for op := opInvalid + 1; op < numOpcodes; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// Instructions returns metadata for the whole instruction set in the
+// paper's presentation order, for regenerating the instruction-set table.
+func Instructions() []Info {
+	out := make([]Info, 0, NumInstructions)
+	for op := opInvalid + 1; op < numOpcodes; op++ {
+		out = append(out, infos[op])
+	}
+	return out
+}
+
+// Register file geometry visible to one procedure: registers r0..r31.
+// These boundaries are the paper's window organization.
+const (
+	NumVisibleRegs = 32
+	// GlobalEnd is one past the last global register (r0..r9).
+	GlobalEnd = 10
+	// LowStart..LowEnd-1 are the outgoing-parameter registers (r10..r15),
+	// shared with the callee's HIGH registers.
+	LowStart = 10
+	LowEnd   = 16
+	// LocalStart..LocalEnd-1 are the private locals (r16..r25).
+	LocalStart = 16
+	LocalEnd   = 26
+	// HighStart..HighEnd-1 are the incoming-parameter registers
+	// (r26..r31), shared with the caller's LOW registers.
+	HighStart = 26
+	HighEnd   = 32
+)
+
+// RegName returns the conventional assembler name for visible register r.
+func RegName(r uint8) string { return fmt.Sprintf("r%d", r) }

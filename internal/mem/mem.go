@@ -1,0 +1,180 @@
+// Package mem provides the byte-addressable main memory shared by the
+// RISC I simulator and the CISC baseline. RISC I is big-endian; memory
+// enforces natural alignment for halfword and word accesses, as the chip
+// did, and counts traffic so the paper's memory-traffic comparisons can
+// be regenerated.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AccessError describes a faulting memory access. The simulators convert
+// it into a halted machine state rather than panicking, since bad
+// addresses are ordinary (buggy-program) input.
+type AccessError struct {
+	Addr  uint32
+	Size  int
+	Write bool
+	Why   string
+}
+
+func (e *AccessError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: %s of %d bytes at %#08x: %s", kind, e.Size, e.Addr, e.Why)
+}
+
+// Stats counts data-memory traffic (instruction fetch is counted by the
+// CPUs separately, since the paper separates the two streams).
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Accesses returns the total number of data-memory operations.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Memory is a flat, big-endian, byte-addressable store.
+type Memory struct {
+	data []byte
+
+	// Stats accumulates data traffic. Callers may reset it directly.
+	Stats Stats
+}
+
+// New allocates size bytes of zeroed memory.
+func New(size int) *Memory {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: invalid size %d", size))
+	}
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+func (m *Memory) check(addr uint32, size int, write bool) error {
+	if uint64(addr)+uint64(size) > uint64(len(m.data)) {
+		return &AccessError{Addr: addr, Size: size, Write: write, Why: "address out of range"}
+	}
+	if addr%uint32(size) != 0 {
+		return &AccessError{Addr: addr, Size: size, Write: write, Why: "misaligned"}
+	}
+	return nil
+}
+
+// LoadWord reads a 32-bit big-endian word.
+func (m *Memory) LoadWord(addr uint32) (uint32, error) {
+	if err := m.check(addr, 4, false); err != nil {
+		return 0, err
+	}
+	m.Stats.Reads++
+	m.Stats.BytesRead += 4
+	return binary.BigEndian.Uint32(m.data[addr:]), nil
+}
+
+// StoreWord writes a 32-bit big-endian word.
+func (m *Memory) StoreWord(addr uint32, v uint32) error {
+	if err := m.check(addr, 4, true); err != nil {
+		return err
+	}
+	m.Stats.Writes++
+	m.Stats.BytesWritten += 4
+	binary.BigEndian.PutUint32(m.data[addr:], v)
+	return nil
+}
+
+// LoadHalf reads a 16-bit halfword, zero-extended.
+func (m *Memory) LoadHalf(addr uint32) (uint32, error) {
+	if err := m.check(addr, 2, false); err != nil {
+		return 0, err
+	}
+	m.Stats.Reads++
+	m.Stats.BytesRead += 2
+	return uint32(binary.BigEndian.Uint16(m.data[addr:])), nil
+}
+
+// StoreHalf writes the low 16 bits of v.
+func (m *Memory) StoreHalf(addr uint32, v uint32) error {
+	if err := m.check(addr, 2, true); err != nil {
+		return err
+	}
+	m.Stats.Writes++
+	m.Stats.BytesWritten += 2
+	binary.BigEndian.PutUint16(m.data[addr:], uint16(v))
+	return nil
+}
+
+// LoadByte reads one byte, zero-extended.
+func (m *Memory) LoadByte(addr uint32) (uint32, error) {
+	if err := m.check(addr, 1, false); err != nil {
+		return 0, err
+	}
+	m.Stats.Reads++
+	m.Stats.BytesRead++
+	return uint32(m.data[addr]), nil
+}
+
+// StoreByte writes the low 8 bits of v.
+func (m *Memory) StoreByte(addr uint32, v uint32) error {
+	if err := m.check(addr, 1, true); err != nil {
+		return err
+	}
+	m.Stats.Writes++
+	m.Stats.BytesWritten++
+	m.data[addr] = byte(v)
+	return nil
+}
+
+// FetchWord reads a word without touching the data-traffic statistics;
+// the CPUs use it for instruction fetch and count fetches themselves.
+func (m *Memory) FetchWord(addr uint32) (uint32, error) {
+	if err := m.check(addr, 4, false); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(m.data[addr:]), nil
+}
+
+// FetchByte reads one byte without counting it as data traffic; the CISC
+// simulator fetches its variable-length instructions bytewise.
+func (m *Memory) FetchByte(addr uint32) (byte, error) {
+	if err := m.check(addr, 1, false); err != nil {
+		return 0, err
+	}
+	return m.data[addr], nil
+}
+
+// WriteBytes copies raw bytes into memory (program loading); it bypasses
+// traffic statistics and alignment checks.
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	if uint64(addr)+uint64(len(b)) > uint64(len(m.data)) {
+		return &AccessError{Addr: addr, Size: len(b), Write: true, Why: "address out of range"}
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// ReadBytes copies raw bytes out of memory (result inspection); it
+// bypasses traffic statistics.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
+	if uint64(addr)+uint64(n) > uint64(len(m.data)) {
+		return nil, &AccessError{Addr: addr, Size: n, Write: false, Why: "address out of range"}
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:])
+	return out, nil
+}
+
+// Reset zeroes all of memory and the statistics.
+func (m *Memory) Reset() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	m.Stats = Stats{}
+}

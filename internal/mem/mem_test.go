@@ -1,0 +1,179 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New(64)
+	if err := m.StoreWord(8, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.LoadWord(8)
+	if err != nil || v != 0xdeadbeef {
+		t.Fatalf("LoadWord = %#x, %v", v, err)
+	}
+}
+
+func TestBigEndianLayout(t *testing.T) {
+	m := New(16)
+	if err := m.StoreWord(0, 0x01020304); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint32{1, 2, 3, 4} {
+		got, err := m.LoadByte(uint32(i))
+		if err != nil || got != want {
+			t.Errorf("byte %d = %d, want %d (big-endian)", i, got, want)
+		}
+	}
+	h, _ := m.LoadHalf(2)
+	if h != 0x0304 {
+		t.Errorf("half at 2 = %#x, want 0x0304", h)
+	}
+}
+
+func TestHalfAndByte(t *testing.T) {
+	m := New(16)
+	if err := m.StoreHalf(4, 0xffff1234); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadHalf(4); v != 0x1234 {
+		t.Errorf("half = %#x, want 0x1234 (truncated)", v)
+	}
+	if err := m.StoreByte(9, 0x1ff); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadByte(9); v != 0xff {
+		t.Errorf("byte = %#x, want 0xff (truncated)", v)
+	}
+}
+
+func TestAlignmentFaults(t *testing.T) {
+	m := New(64)
+	if _, err := m.LoadWord(2); err == nil {
+		t.Error("misaligned word load should fault")
+	}
+	if err := m.StoreWord(1, 0); err == nil {
+		t.Error("misaligned word store should fault")
+	}
+	if _, err := m.LoadHalf(3); err == nil {
+		t.Error("misaligned half load should fault")
+	}
+	var ae *AccessError
+	err := m.StoreHalf(5, 0)
+	if !errors.As(err, &ae) || !ae.Write || ae.Size != 2 {
+		t.Errorf("expected write AccessError of size 2, got %v", err)
+	}
+}
+
+func TestRangeFaults(t *testing.T) {
+	m := New(16)
+	if _, err := m.LoadWord(16); err == nil {
+		t.Error("load past end should fault")
+	}
+	if _, err := m.LoadWord(0xfffffffc); err == nil {
+		t.Error("load near address-space top should fault, not wrap")
+	}
+	if err := m.StoreByte(16, 0); err == nil {
+		t.Error("store past end should fault")
+	}
+	if err := m.WriteBytes(12, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("WriteBytes past end should fault")
+	}
+	if _, err := m.ReadBytes(12, 5); err == nil {
+		t.Error("ReadBytes past end should fault")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := New(64)
+	m.StoreWord(0, 1)
+	m.StoreHalf(4, 1)
+	m.StoreByte(6, 1)
+	m.LoadWord(0)
+	m.LoadByte(6)
+	want := Stats{Reads: 2, Writes: 3, BytesRead: 5, BytesWritten: 7}
+	if m.Stats != want {
+		t.Errorf("stats = %+v, want %+v", m.Stats, want)
+	}
+	if m.Stats.Accesses() != 5 {
+		t.Errorf("accesses = %d, want 5", m.Stats.Accesses())
+	}
+}
+
+func TestFetchDoesNotCountAsData(t *testing.T) {
+	m := New(64)
+	m.StoreWord(0, 42)
+	m.Stats = Stats{}
+	if _, err := m.FetchWord(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FetchByte(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats != (Stats{}) {
+		t.Errorf("fetch counted as data traffic: %+v", m.Stats)
+	}
+	if _, err := m.FetchWord(2); err == nil {
+		t.Error("misaligned fetch should fault")
+	}
+}
+
+func TestWriteReadBytes(t *testing.T) {
+	m := New(32)
+	if err := m.WriteBytes(3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(3, 5)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadBytes = %q, %v", got, err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(16)
+	m.StoreWord(0, 7)
+	m.Reset()
+	if v, _ := m.LoadWord(0); v != 0 {
+		t.Error("Reset did not zero memory")
+	}
+	if m.Stats.Reads != 1 || m.Stats.Writes != 0 {
+		t.Error("Reset did not clear stats before the verification read")
+	}
+}
+
+// Property: a word stored at any aligned in-range address reads back
+// identically and does not disturb neighbouring words.
+func TestWordStoreProperty(t *testing.T) {
+	m := New(1 << 12)
+	f := func(slot uint16, v, neighbour uint32) bool {
+		addr := uint32(slot%((1<<12)/4-2)+1) * 4
+		if err := m.StoreWord(addr-4, neighbour); err != nil {
+			return false
+		}
+		if err := m.StoreWord(addr+4, neighbour); err != nil {
+			return false
+		}
+		if err := m.StoreWord(addr, v); err != nil {
+			return false
+		}
+		a, _ := m.LoadWord(addr - 4)
+		b, _ := m.LoadWord(addr)
+		c, _ := m.LoadWord(addr + 4)
+		return a == neighbour && b == v && c == neighbour
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,96 @@
+// Package pipeline models the RISC I two-stage pipeline from first
+// principles: instruction fetch overlaps execution, and the single
+// memory port is shared between the two, so a load or store suspends the
+// concurrent fetch for one cycle. Taken transfers do not flush anything —
+// the delayed-jump rule means the already-fetched next instruction (the
+// shadow slot) simply executes.
+//
+// The package exists both as the paper's timing rationale made
+// executable, and as an independent cross-check: feeding it the
+// instruction stream of a cpu.CPU run must reproduce the simulator's
+// cycle count exactly (see the integration test in internal/cpu).
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"risc1/internal/isa"
+)
+
+// Stats summarizes a pipeline run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	// MemStalls counts cycles the fetch stage sat idle because a load
+	// or store owned the memory port.
+	MemStalls uint64
+}
+
+// Utilization is the fraction of cycles that completed an instruction.
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Event is one cycle of the recorded timeline.
+type Event struct {
+	Cycle   uint64
+	Execute string // instruction completing its execute stage
+	Fetch   string // what the fetch stage is doing
+}
+
+// Model is the two-stage pipeline.
+type Model struct {
+	stats  Stats
+	record bool
+	events []Event
+}
+
+// New creates a model; when record is set, a per-cycle timeline is kept
+// (use only for short streams — it grows one entry per cycle).
+func New(record bool) *Model {
+	return &Model{record: record}
+}
+
+// Issue advances the pipeline by one instruction of the given opcode.
+func (m *Model) Issue(op isa.Opcode) {
+	info := op.Info()
+	m.stats.Instructions++
+	m.stats.Cycles++
+	if m.record {
+		m.events = append(m.events, Event{
+			Cycle:   m.stats.Cycles,
+			Execute: info.Name,
+			Fetch:   "next instruction",
+		})
+	}
+	if info.MemBytes > 0 {
+		// The data access occupies the memory port; the overlapped
+		// fetch waits one cycle.
+		m.stats.Cycles++
+		m.stats.MemStalls++
+		if m.record {
+			m.events = append(m.events, Event{
+				Cycle:   m.stats.Cycles,
+				Execute: info.Name + " (data access)",
+				Fetch:   "suspended: memory port busy",
+			})
+		}
+	}
+}
+
+// Stats returns the accumulated counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+// Timeline renders the recorded cycles as a two-column table.
+func (m *Model) Timeline() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  %-24s %s\n", "cycle", "execute stage", "fetch stage")
+	for _, e := range m.events {
+		fmt.Fprintf(&b, "%6d  %-24s %s\n", e.Cycle, e.Execute, e.Fetch)
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"risc1/internal/isa"
+)
+
+func TestRegisterOpsTakeOneCycle(t *testing.T) {
+	m := New(false)
+	for i := 0; i < 10; i++ {
+		m.Issue(isa.ADD)
+	}
+	s := m.Stats()
+	if s.Cycles != 10 || s.Instructions != 10 || s.MemStalls != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Utilization() != 1.0 {
+		t.Errorf("utilization = %f, want 1", s.Utilization())
+	}
+}
+
+func TestMemoryOpsSuspendFetch(t *testing.T) {
+	m := New(false)
+	m.Issue(isa.LDL)
+	m.Issue(isa.STB)
+	m.Issue(isa.ADD)
+	s := m.Stats()
+	if s.Cycles != 5 {
+		t.Errorf("cycles = %d, want 5 (2+2+1)", s.Cycles)
+	}
+	if s.MemStalls != 2 {
+		t.Errorf("mem stalls = %d, want 2", s.MemStalls)
+	}
+}
+
+func TestTransfersDoNotStall(t *testing.T) {
+	// Delayed jumps keep the pipeline full: a jump costs one cycle like
+	// any register instruction.
+	m := New(false)
+	m.Issue(isa.JMPR)
+	m.Issue(isa.ADD) // the shadow-slot instruction
+	if got := m.Stats().Cycles; got != 2 {
+		t.Errorf("jump+slot = %d cycles, want 2", got)
+	}
+}
+
+func TestTimelineRecording(t *testing.T) {
+	m := New(true)
+	m.Issue(isa.ADD)
+	m.Issue(isa.LDL)
+	out := m.Timeline()
+	if !strings.Contains(out, "add") || !strings.Contains(out, "ldl (data access)") {
+		t.Errorf("timeline:\n%s", out)
+	}
+	if !strings.Contains(out, "suspended: memory port busy") {
+		t.Errorf("stall not annotated:\n%s", out)
+	}
+}
+
+func TestEmptyUtilization(t *testing.T) {
+	if u := New(false).Stats().Utilization(); u != 0 {
+		t.Errorf("empty utilization = %f", u)
+	}
+}

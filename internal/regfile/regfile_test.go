@@ -1,0 +1,281 @@
+package regfile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysicalRegs(t *testing.T) {
+	if got := DefaultConfig.PhysicalRegs(); got != 138 {
+		t.Errorf("default (8-window) file: %d physical registers, want 138", got)
+	}
+	if got := GoldConfig.PhysicalRegs(); got != 74 {
+		t.Errorf("gold (4-window) file: %d physical registers, want 74", got)
+	}
+	if got := DefaultConfig.MaxResident(); got != 7 {
+		t.Errorf("8 windows should hold 7 activations, got %d", got)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with 1 window should panic")
+		}
+	}()
+	New(Config{Windows: 1})
+}
+
+func TestZeroRegister(t *testing.T) {
+	f := New(DefaultConfig)
+	f.Set(0, 12345)
+	if got := f.Get(0); got != 0 {
+		t.Errorf("r0 must read 0, got %d", got)
+	}
+}
+
+func TestGlobalsSharedAcrossWindows(t *testing.T) {
+	f := New(DefaultConfig)
+	f.Set(5, 99)
+	f.Call()
+	if got := f.Get(5); got != 99 {
+		t.Errorf("global r5 not shared across call: got %d", got)
+	}
+	f.Set(5, 100)
+	f.Return()
+	if got := f.Get(5); got != 100 {
+		t.Errorf("global r5 not shared across return: got %d", got)
+	}
+}
+
+func TestParameterOverlap(t *testing.T) {
+	f := New(DefaultConfig)
+	// Caller writes outgoing params r10..r15.
+	for i := uint8(10); i <= 15; i++ {
+		f.Set(i, 1000+uint32(i))
+	}
+	f.Call()
+	// Callee must see them as incoming params r26..r31, with no copying.
+	for i := uint8(26); i <= 31; i++ {
+		want := 1000 + uint32(i) - 16
+		if got := f.Get(i); got != want {
+			t.Errorf("callee r%d = %d, want %d", i, got, want)
+		}
+	}
+	// Callee writes a result into its HIGH block.
+	f.Set(26, 424242)
+	f.Return()
+	if got := f.Get(10); got != 424242 {
+		t.Errorf("caller r10 = %d, want callee's result 424242", got)
+	}
+}
+
+func TestLocalsArePrivate(t *testing.T) {
+	f := New(DefaultConfig)
+	f.Set(16, 7)
+	f.Set(25, 8)
+	f.Call()
+	if f.Get(16) != 0 || f.Get(25) != 0 {
+		t.Error("callee locals should start fresh (zero), not alias caller's")
+	}
+	f.Set(16, 1111)
+	f.Return()
+	if got := f.Get(16); got != 7 {
+		t.Errorf("caller local r16 clobbered by callee: got %d, want 7", got)
+	}
+	if got := f.Get(25); got != 8 {
+		t.Errorf("caller local r25 clobbered by callee: got %d, want 8", got)
+	}
+}
+
+func TestOverflowAndUnderflow(t *testing.T) {
+	f := New(Config{Windows: 3}) // 2 resident activations max
+	f.Set(16, 1)                 // depth-0 local
+	if sp := f.Call(); sp != nil {
+		t.Fatal("first call should not overflow")
+	}
+	f.Set(16, 2)
+	sp := f.Call() // third activation: depth-0 must spill
+	if sp == nil {
+		t.Fatal("second call should overflow with 3 windows")
+	}
+	if len(sp) != SpillRegs {
+		t.Fatalf("spill returned %d regs, want %d", len(sp), SpillRegs)
+	}
+	f.Set(16, 3)
+
+	if f.Return() {
+		t.Fatal("return to resident parent should not underflow")
+	}
+	if got := f.Get(16); got != 2 {
+		t.Errorf("depth-1 local = %d, want 2", got)
+	}
+	if !f.Return() {
+		t.Fatal("return to spilled activation should underflow")
+	}
+	f.Refill(sp)
+	if got := f.Get(16); got != 1 {
+		t.Errorf("depth-0 local after refill = %d, want 1", got)
+	}
+	if f.Stats.Overflows != 1 || f.Stats.Underflows != 1 {
+		t.Errorf("stats = %+v, want 1 overflow and 1 underflow", f.Stats)
+	}
+}
+
+func TestDepthTracking(t *testing.T) {
+	f := New(DefaultConfig)
+	f.Call()
+	f.Call()
+	f.Return()
+	if f.Depth() != 1 || f.MaxDepth() != 2 {
+		t.Errorf("depth = %d (max %d), want 1 (max 2)", f.Depth(), f.MaxDepth())
+	}
+}
+
+// TestDeepRecursionPreservesLocals is the key correctness property of the
+// window mechanism: under arbitrarily deep recursion with spills and
+// refills, every activation gets back exactly the locals and incoming
+// parameters it had, for any window count.
+func TestDeepRecursionPreservesLocals(t *testing.T) {
+	for _, windows := range []int{2, 3, 4, 8, 16} {
+		f := New(Config{Windows: windows})
+		var stack [][]uint32 // simulated memory save stack
+		var recurse func(depth int)
+		recurse = func(depth int) {
+			// Mark this activation's locals with its depth.
+			for r := uint8(16); r <= 25; r++ {
+				f.Set(r, uint32(depth*100+int(r)))
+			}
+			if depth < 40 {
+				f.Set(10, uint32(depth)) // outgoing param
+				if sp := f.Call(); sp != nil {
+					stack = append(stack, sp)
+				}
+				if got := f.Get(26); got != uint32(depth) {
+					t.Fatalf("w=%d depth=%d: param not passed, got %d", windows, depth, got)
+				}
+				recurse(depth + 1)
+				if f.Return() {
+					sp := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					f.Refill(sp)
+				}
+			}
+			for r := uint8(16); r <= 25; r++ {
+				want := uint32(depth*100 + int(r))
+				if got := f.Get(r); got != want {
+					t.Fatalf("w=%d depth=%d: local r%d = %d, want %d", windows, depth, r, got, want)
+				}
+			}
+		}
+		recurse(0)
+		if len(stack) != 0 {
+			t.Errorf("w=%d: %d unmatched spills", windows, len(stack))
+		}
+		if f.Stats.Overflows != f.Stats.Underflows {
+			t.Errorf("w=%d: %d overflows vs %d underflows", windows, f.Stats.Overflows, f.Stats.Underflows)
+		}
+	}
+}
+
+// TestRandomCallTreeProperty drives a random call tree and checks locals
+// round-trip, using testing/quick for seed generation.
+func TestRandomCallTreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		windows := 2 + r.Intn(7)
+		rf := New(Config{Windows: windows})
+		var stack [][]uint32
+		ok := true
+		var walk func(depth int)
+		walk = func(depth int) {
+			marker := r.Uint32()
+			rf.Set(20, marker)
+			kids := r.Intn(3)
+			if depth > 25 {
+				kids = 0
+			}
+			for k := 0; k < kids; k++ {
+				if sp := rf.Call(); sp != nil {
+					stack = append(stack, sp)
+				}
+				walk(depth + 1)
+				if rf.Return() {
+					rf.Refill(stack[len(stack)-1])
+					stack = stack[:len(stack)-1]
+				}
+				if rf.Get(20) != marker {
+					ok = false
+				}
+			}
+		}
+		walk(0)
+		return ok && len(stack) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowRateFallsWithWindows(t *testing.T) {
+	// The shape behind the paper's overflow figure: more windows, fewer
+	// overflows, for the same call pattern.
+	rate := func(windows int) float64 {
+		f := New(Config{Windows: windows})
+		var stack [][]uint32
+		var fib func(n int)
+		fib = func(n int) {
+			if n < 2 {
+				return
+			}
+			for _, k := range []int{n - 1, n - 2} {
+				if sp := f.Call(); sp != nil {
+					stack = append(stack, sp)
+				}
+				fib(k)
+				if f.Return() {
+					f.Refill(stack[len(stack)-1])
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+		fib(12)
+		return float64(f.Stats.Overflows) / float64(f.Stats.Calls)
+	}
+	r2, r4, r8 := rate(2), rate(4), rate(8)
+	if !(r2 > r4 && r4 > r8) {
+		t.Errorf("overflow rate should fall with window count: w2=%.3f w4=%.3f w8=%.3f", r2, r4, r8)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(DefaultConfig)
+	f.Set(5, 1)
+	f.Set(16, 2)
+	f.Call()
+	f.Reset()
+	if f.Get(5) != 0 || f.Get(16) != 0 || f.CWP() != 0 || f.Depth() != 0 {
+		t.Error("Reset did not restore power-on state")
+	}
+	if f.Stats != (Stats{}) {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+func TestGetSetOutOfRangePanics(t *testing.T) {
+	f := New(DefaultConfig)
+	for _, fn := range []func(){
+		func() { f.Get(32) },
+		func() { f.Set(32, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range register access should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

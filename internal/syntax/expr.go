@@ -1,0 +1,222 @@
+package syntax
+
+// Expr is an assembly-time constant expression, resolved against the
+// symbol table during the assembler's second pass.
+type Expr interface {
+	Eval(syms map[string]uint32) (int64, error)
+}
+
+// Num is a literal.
+type Num struct{ V int64 }
+
+// Eval returns the literal value.
+func (e Num) Eval(map[string]uint32) (int64, error) { return e.V, nil }
+
+// Sym is a symbol reference.
+type Sym struct {
+	Name string
+	Line int
+}
+
+// Eval looks the symbol up.
+func (e Sym) Eval(syms map[string]uint32) (int64, error) {
+	v, ok := syms[e.Name]
+	if !ok {
+		return 0, Errorf(e.Line, "undefined symbol %q", e.Name)
+	}
+	return int64(v), nil
+}
+
+// Unary is negation or bitwise complement.
+type Unary struct {
+	Op rune // '-' or '~'
+	X  Expr
+}
+
+// Eval applies the operator.
+func (e Unary) Eval(syms map[string]uint32) (int64, error) {
+	v, err := e.X.Eval(syms)
+	if err != nil {
+		return 0, err
+	}
+	if e.Op == '-' {
+		return -v, nil
+	}
+	return ^v, nil
+}
+
+// Binary is a two-operand arithmetic/logic node.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Eval applies the operator.
+func (e Binary) Eval(syms map[string]uint32) (int64, error) {
+	a, err := e.X.Eval(syms)
+	if err != nil {
+		return 0, err
+	}
+	b, err := e.Y.Eval(syms)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, Errorf(e.Line, "division by zero in expression")
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return 0, Errorf(e.Line, "modulo by zero in expression")
+		}
+		return a % b, nil
+	case "&":
+		return a & b, nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	case "<<":
+		return a << uint(b&63), nil
+	case ">>":
+		return a >> uint(b&63), nil
+	}
+	return 0, Errorf(e.Line, "unknown operator %q", e.Op)
+}
+
+// precedence levels, loosest first.
+var binOps = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+// Parser parses expressions from a token slice, advancing Pos.
+type Parser struct {
+	Toks []Token
+	Pos  int
+	Line int
+}
+
+func (p *Parser) peekPunct() string {
+	if p.Pos < len(p.Toks) && p.Toks[p.Pos].Kind == Punct {
+		return p.Toks[p.Pos].Text
+	}
+	return ""
+}
+
+// Parse parses a full expression at the lowest precedence.
+func (p *Parser) Parse() (Expr, error) { return p.parseLevel(0) }
+
+func (p *Parser) parseLevel(level int) (Expr, error) {
+	if level == len(binOps) {
+		return p.parseUnary()
+	}
+	x, err := p.parseLevel(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.matchOp(binOps[level])
+		if op == "" {
+			return x, nil
+		}
+		y, err := p.parseLevel(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = Binary{Op: op, X: x, Y: y, Line: p.Line}
+	}
+}
+
+// matchOp consumes one of the given operators if present; two-character
+// operators arrive as two adjacent punct tokens.
+func (p *Parser) matchOp(ops []string) string {
+	for _, op := range ops {
+		if len(op) == 1 {
+			if p.peekPunct() == op {
+				p.Pos++
+				return op
+			}
+		} else if p.Pos+1 < len(p.Toks) &&
+			p.Toks[p.Pos].Kind == Punct && p.Toks[p.Pos].Text == op[:1] &&
+			p.Toks[p.Pos+1].Kind == Punct && p.Toks[p.Pos+1].Text == op[1:] {
+			p.Pos += 2
+			return op
+		}
+	}
+	return ""
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.peekPunct() {
+	case "-", "~":
+		op := rune(p.Toks[p.Pos].Text[0])
+		p.Pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	if p.Pos >= len(p.Toks) {
+		return nil, Errorf(p.Line, "expected expression")
+	}
+	t := p.Toks[p.Pos]
+	switch t.Kind {
+	case Number, Char:
+		p.Pos++
+		return Num{V: t.Num}, nil
+	case Ident:
+		p.Pos++
+		return Sym{Name: t.Text, Line: p.Line}, nil
+	case Punct:
+		if t.Text == "(" {
+			p.Pos++
+			x, err := p.Parse()
+			if err != nil {
+				return nil, err
+			}
+			if p.peekPunct() != ")" {
+				return nil, Errorf(p.Line, "missing )")
+			}
+			p.Pos++
+			return x, nil
+		}
+	}
+	return nil, Errorf(p.Line, "unexpected token %q in expression", t.Text)
+}
+
+// LiteralValue reports whether the expression is a plain literal
+// (number, possibly under unary operators) whose value is known without
+// any symbols.
+func LiteralValue(e Expr) (int64, bool) {
+	switch v := e.(type) {
+	case Num:
+		return v.V, true
+	case Unary:
+		if x, ok := LiteralValue(v.X); ok {
+			if v.Op == '-' {
+				return -x, true
+			}
+			return ^x, true
+		}
+	}
+	return 0, false
+}

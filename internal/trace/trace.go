@@ -1,0 +1,149 @@
+// Package trace collects dynamic execution statistics shared by the
+// RISC I simulator and the CISC baseline: instruction counts, cycle
+// counts, per-opcode and per-class mixes, and the call-depth histogram
+// behind the paper's register-window experiments.
+package trace
+
+import "sort"
+
+// Collector accumulates execution statistics. Opcode and class names are
+// strings so that machines with different instruction sets can share the
+// reporting code. Hot simulators should register a Handle per opcode once
+// and use ExecHandle per instruction; Exec remains for occasional events.
+type Collector struct {
+	Instructions uint64
+	Cycles       uint64
+
+	ops     map[string]uint64
+	classes map[string]uint64
+
+	handles []handleCounter
+
+	depthHist map[int]uint64
+	maxDepth  int
+}
+
+type handleCounter struct {
+	op, class string
+	n         uint64
+}
+
+// Handle pre-registers an (opcode, class) pair and returns an index for
+// ExecHandle. Handles survive Reset (their counts are zeroed).
+func (c *Collector) Handle(op, class string) int {
+	c.handles = append(c.handles, handleCounter{op: op, class: class})
+	return len(c.handles) - 1
+}
+
+// ExecHandle records one executed instruction through a pre-registered
+// handle — the allocation- and hash-free fast path.
+func (c *Collector) ExecHandle(h int, cycles uint64) {
+	c.Instructions++
+	c.Cycles += cycles
+	c.handles[h].n++
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		ops:       make(map[string]uint64),
+		classes:   make(map[string]uint64),
+		depthHist: make(map[int]uint64),
+	}
+}
+
+// Exec records one executed instruction of the given opcode and class
+// costing the given number of cycles.
+func (c *Collector) Exec(op, class string, cycles uint64) {
+	c.Instructions++
+	c.Cycles += cycles
+	c.ops[op]++
+	c.classes[class]++
+}
+
+// AddCycles records cycles not attributable to an instruction (e.g.
+// window overflow trap overhead).
+func (c *Collector) AddCycles(n uint64) { c.Cycles += n }
+
+// Depth records that an activation began at the given call depth.
+func (c *Collector) Depth(d int) {
+	c.depthHist[d]++
+	if d > c.maxDepth {
+		c.maxDepth = d
+	}
+}
+
+// MaxDepth returns the deepest call depth recorded.
+func (c *Collector) MaxDepth() int { return c.maxDepth }
+
+// DepthHistogram returns call counts indexed by depth, 0..MaxDepth.
+func (c *Collector) DepthHistogram() []uint64 {
+	out := make([]uint64, c.maxDepth+1)
+	for d, n := range c.depthHist {
+		if d >= 0 && d <= c.maxDepth {
+			out[d] = n
+		}
+	}
+	return out
+}
+
+// Share is one row of a frequency table.
+type Share struct {
+	Name  string
+	Count uint64
+	Frac  float64 // of total instructions
+}
+
+// Mix returns the dynamic class mix, largest first — the paper's
+// instruction-mix table.
+func (c *Collector) Mix() []Share { return c.shares(c.classes, true) }
+
+// OpCounts returns per-opcode dynamic counts, largest first.
+func (c *Collector) OpCounts() []Share { return c.shares(c.ops, false) }
+
+func (c *Collector) shares(m map[string]uint64, byClass bool) []Share {
+	merged := make(map[string]uint64, len(m)+len(c.handles))
+	for k, v := range m {
+		merged[k] = v
+	}
+	for _, h := range c.handles {
+		if h.n == 0 {
+			continue
+		}
+		if byClass {
+			merged[h.class] += h.n
+		} else {
+			merged[h.op] += h.n
+		}
+	}
+	m = merged
+	out := make([]Share, 0, len(m))
+	for name, n := range m {
+		s := Share{Name: name, Count: n}
+		if c.Instructions > 0 {
+			s.Frac = float64(n) / float64(c.Instructions)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Reset clears all statistics. Registered handles remain valid with
+// their counts zeroed.
+func (c *Collector) Reset() {
+	c.Instructions = 0
+	c.Cycles = 0
+	c.ops = make(map[string]uint64)
+	c.classes = make(map[string]uint64)
+	for i := range c.handles {
+		c.handles[i].n = 0
+	}
+	c.depthHist = make(map[int]uint64)
+	c.maxDepth = 0
+}

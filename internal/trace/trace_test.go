@@ -1,0 +1,124 @@
+package trace
+
+import "testing"
+
+func TestExecAccumulates(t *testing.T) {
+	c := New()
+	c.Exec("add", "alu", 1)
+	c.Exec("add", "alu", 1)
+	c.Exec("ldl", "memory", 2)
+	if c.Instructions != 3 || c.Cycles != 4 {
+		t.Errorf("instructions=%d cycles=%d", c.Instructions, c.Cycles)
+	}
+	c.AddCycles(10)
+	if c.Cycles != 14 {
+		t.Errorf("AddCycles: %d", c.Cycles)
+	}
+}
+
+func TestMixOrderingAndFractions(t *testing.T) {
+	c := New()
+	for i := 0; i < 7; i++ {
+		c.Exec("add", "alu", 1)
+	}
+	for i := 0; i < 3; i++ {
+		c.Exec("ldl", "memory", 2)
+	}
+	mix := c.Mix()
+	if len(mix) != 2 || mix[0].Name != "alu" || mix[1].Name != "memory" {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if mix[0].Frac != 0.7 || mix[1].Frac != 0.3 {
+		t.Errorf("fractions = %v %v", mix[0].Frac, mix[1].Frac)
+	}
+	ops := c.OpCounts()
+	if ops[0].Name != "add" || ops[0].Count != 7 {
+		t.Errorf("op counts = %+v", ops)
+	}
+}
+
+func TestMixTiesSortByName(t *testing.T) {
+	c := New()
+	c.Exec("b", "x", 1)
+	c.Exec("a", "y", 1)
+	ops := c.OpCounts()
+	if ops[0].Name != "a" || ops[1].Name != "b" {
+		t.Errorf("ties should sort by name: %+v", ops)
+	}
+}
+
+func TestDepthHistogram(t *testing.T) {
+	c := New()
+	c.Depth(1)
+	c.Depth(2)
+	c.Depth(2)
+	c.Depth(5)
+	if c.MaxDepth() != 5 {
+		t.Errorf("max depth = %d", c.MaxDepth())
+	}
+	h := c.DepthHistogram()
+	if len(h) != 6 || h[1] != 1 || h[2] != 2 || h[5] != 1 || h[3] != 0 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestNegativeDepthIgnoredInHistogram(t *testing.T) {
+	c := New()
+	c.Depth(-1)
+	c.Depth(0)
+	h := c.DepthHistogram()
+	if len(h) != 1 || h[0] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Exec("add", "alu", 1)
+	c.Depth(3)
+	c.Reset()
+	if c.Instructions != 0 || c.Cycles != 0 || c.MaxDepth() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if len(c.Mix()) != 0 || len(c.OpCounts()) != 0 {
+		t.Error("Reset left mixes behind")
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := New()
+	if len(c.Mix()) != 0 {
+		t.Error("empty mix expected")
+	}
+	if h := c.DepthHistogram(); len(h) != 1 || h[0] != 0 {
+		t.Errorf("empty histogram = %v", h)
+	}
+}
+
+func TestHandleFastPath(t *testing.T) {
+	c := New()
+	add := c.Handle("add", "alu")
+	ldl := c.Handle("ldl", "memory")
+	for i := 0; i < 5; i++ {
+		c.ExecHandle(add, 1)
+	}
+	c.ExecHandle(ldl, 2)
+	c.Exec("xor", "alu", 1) // the slow path merges with handles
+	if c.Instructions != 7 || c.Cycles != 8 {
+		t.Errorf("instructions=%d cycles=%d", c.Instructions, c.Cycles)
+	}
+	mix := c.Mix()
+	if len(mix) != 2 || mix[0].Name != "alu" || mix[0].Count != 6 {
+		t.Errorf("mix = %+v", mix)
+	}
+	ops := c.OpCounts()
+	if ops[0].Name != "add" || ops[0].Count != 5 {
+		t.Errorf("ops = %+v", ops)
+	}
+	// Reset keeps handles valid with zeroed counts.
+	c.Reset()
+	c.ExecHandle(add, 1)
+	if c.Instructions != 1 || c.OpCounts()[0].Count != 1 {
+		t.Errorf("handle after reset: %+v", c.OpCounts())
+	}
+}

@@ -1,0 +1,162 @@
+package vax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble decodes one instruction from code starting at offset off;
+// addr is the memory address of code[0], used to print absolute branch
+// targets. It returns the assembly text and the instruction's byte
+// length.
+func Disassemble(code []byte, off int, addr uint32) (string, int, error) {
+	if off >= len(code) {
+		return "", 0, fmt.Errorf("vax: disassemble past end of code")
+	}
+	op := Op(code[off])
+	info, ok := Lookup(op)
+	if !ok {
+		return fmt.Sprintf(".byte %#02x", code[off]), 1, nil
+	}
+	pos := off + 1
+	var operands []string
+	for _, arg := range info.Args {
+		text, n, err := disasmOperand(code, pos, addr+uint32(pos-off), arg)
+		if err != nil {
+			return "", 0, err
+		}
+		// Branch displacements need the final instruction length, which
+		// for the branch formats is fixed: opcode + displacement.
+		operands = append(operands, text)
+		pos += n
+	}
+	// Fix up branch targets now that the total length is known.
+	for i, arg := range info.Args {
+		if arg.Kind == ArgBr8 || arg.Kind == ArgBr16 {
+			d, _ := parseNumberText(operands[i])
+			target := addr + uint32(pos) + uint32(d)
+			operands[i] = fmt.Sprintf("%#x", target)
+		}
+	}
+	text := info.Name
+	if len(operands) > 0 {
+		text += " " + strings.Join(operands, ", ")
+	}
+	return text, pos - off, nil
+}
+
+func parseNumberText(s string) (int32, error) {
+	var v int32
+	_, err := fmt.Sscanf(s, "%d", &v)
+	return v, err
+}
+
+func regText(r uint8) string {
+	switch r {
+	case RegAP:
+		return "ap"
+	case RegFP:
+		return "fp"
+	case RegSP:
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func disasmOperand(code []byte, pos int, _ uint32, arg Arg) (string, int, error) {
+	take := func(n int) (uint32, error) {
+		if pos+n > len(code) {
+			return 0, fmt.Errorf("vax: truncated operand")
+		}
+		var v uint32
+		for i := 0; i < n; i++ {
+			v = v<<8 | uint32(code[pos+i])
+		}
+		return v, nil
+	}
+	switch arg.Kind {
+	case ArgBr8:
+		v, err := take(1)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%d", int8(v)), 1, nil
+	case ArgBr16:
+		v, err := take(2)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%d", int16(v)), 2, nil
+	}
+	if pos >= len(code) {
+		return "", 0, fmt.Errorf("vax: truncated specifier")
+	}
+	spec := code[pos]
+	mode := Mode(spec >> 4)
+	reg := spec & 0x0f
+	pos++
+	switch mode {
+	case ModeReg:
+		return regText(reg), 1, nil
+	case ModeDeferred:
+		return "(" + regText(reg) + ")", 1, nil
+	case ModeAutoInc:
+		return "(" + regText(reg) + ")+", 1, nil
+	case ModeAutoDec:
+		return "-(" + regText(reg) + ")", 1, nil
+	case ModeDisp8:
+		v, err := take(1)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%d(%s)", int8(v), regText(reg)), 2, nil
+	case ModeDisp16:
+		v, err := take(2)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%d(%s)", int16(v), regText(reg)), 3, nil
+	case ModeDisp32:
+		v, err := take(4)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%d(%s)", int32(v), regText(reg)), 5, nil
+	case ModeImmAbs:
+		if reg == immSub {
+			v, err := take(int(arg.Size))
+			if err != nil {
+				return "", 0, err
+			}
+			return fmt.Sprintf("$%d", int32(signExtendToSize(v, arg.Size))), 1 + int(arg.Size), nil
+		}
+		v, err := take(4)
+		if err != nil {
+			return "", 0, err
+		}
+		return fmt.Sprintf("%#x", v), 5, nil
+	}
+	return "", 0, fmt.Errorf("vax: bad mode %d in specifier %#02x", mode, spec)
+}
+
+// Listing disassembles a whole program segment into address-annotated
+// lines, stopping cleanly at data it cannot decode.
+func Listing(p *Program) string {
+	var b strings.Builder
+	for _, seg := range p.Segments {
+		fmt.Fprintf(&b, "segment at %#08x, %d bytes\n", seg.Addr, len(seg.Data))
+		off := 0
+		for off < len(seg.Data) {
+			text, n, err := Disassemble(seg.Data, off, seg.Addr)
+			if err != nil || n == 0 {
+				fmt.Fprintf(&b, "  %08x: .byte %#02x\n", seg.Addr+uint32(off), seg.Data[off])
+				off++
+				continue
+			}
+			raw := seg.Data[off : off+n]
+			fmt.Fprintf(&b, "  %08x: %-22x %s\n", seg.Addr+uint32(off), raw, text)
+			off += n
+		}
+	}
+	return b.String()
+}

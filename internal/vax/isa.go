@@ -1,0 +1,283 @@
+// Package vax implements the CISC baseline the RISC I paper measures
+// against: a VAX-780-class machine with variable-length instructions
+// (one opcode byte plus general operand specifiers), eight addressing
+// modes, condition codes, and the microcoded CALLS/RET procedure call
+// that builds a stack frame and saves registers by mask — the paper's
+// example of procedure call as the most expensive HLL operation.
+//
+// The package provides its own assembler and cycle-level simulator. The
+// cycle-cost model (see costs.go) is calibrated to published 1980-class
+// minicomputer characteristics: a couple of cycles of microcode dispatch
+// per instruction, a cycle per operand specifier, and memory operands
+// paying the memory round trip.
+package vax
+
+import "fmt"
+
+// Op is a one-byte CISC opcode.
+type Op uint8
+
+// The baseline instruction set. Mnemonics follow VAX conventions:
+// B/W/L suffixes select byte/word/long data size, and the 2/3 suffix on
+// dyadic arithmetic selects two-operand (destructive) or three-operand
+// form.
+const (
+	opInvalid Op = iota
+
+	HALT
+	NOP
+
+	MOVB
+	MOVW
+	MOVL
+	MOVAL  // move address (effective address of first operand)
+	MOVZBL // move zero-extended byte to long
+	MOVZWL // move zero-extended word to long
+	CVTBL  // convert (sign-extend) byte to long
+	CVTWL  // convert (sign-extend) word to long
+	CLRL
+	MNEGL // move negated
+	MCOML // move complemented
+	PUSHL
+
+	INCL
+	DECL
+	ADDL2
+	ADDL3
+	SUBL2
+	SUBL3
+	MULL2
+	MULL3
+	DIVL2
+	DIVL3
+	BISL2 // bit set (or)
+	BISL3
+	BICL2 // bit clear (and-not)
+	BICL3
+	XORL2
+	XORL3
+	ANDL3 // departure from strict VAX (which composes MCOML+BICL3)
+	ASHL  // arithmetic shift: count, src, dst; negative count shifts right
+
+	CMPL
+	CMPB
+	TSTL
+
+	BRB // unconditional, byte displacement
+	BRW // unconditional, word displacement
+	JMP // unconditional, general operand
+	BEQL
+	BNEQ
+	BLSS
+	BLEQ
+	BGTR
+	BGEQ
+	BLSSU
+	BLEQU
+	BGTRU
+	BGEQU
+
+	CALLS // call with argument count and entry-mask register save
+	RET
+
+	numOps
+)
+
+// NumInstructions is the baseline's opcode count, reported in the
+// machine-characteristics table (the real VAX-11/780 had 304).
+const NumInstructions = int(numOps) - 1
+
+// Size is an operand data size in bytes.
+type Size uint8
+
+const (
+	SizeB Size = 1
+	SizeW Size = 2
+	SizeL Size = 4
+)
+
+// ArgKind says how an instruction uses one operand.
+type ArgKind uint8
+
+const (
+	ArgRead  ArgKind = iota // operand value is read
+	ArgWrite                // operand location is written
+	ArgMod                  // read-modify-write
+	ArgAddr                 // effective address is taken (MOVAL, JMP, CALLS)
+	ArgBr8                  // 8-bit pc-relative displacement
+	ArgBr16                 // 16-bit pc-relative displacement
+)
+
+// Arg describes one operand slot.
+type Arg struct {
+	Kind ArgKind
+	Size Size
+}
+
+func rd(s Size) Arg { return Arg{ArgRead, s} }
+func wr(s Size) Arg { return Arg{ArgWrite, s} }
+func md(s Size) Arg { return Arg{ArgMod, s} }
+func addr() Arg     { return Arg{ArgAddr, SizeL} }
+func br8() Arg      { return Arg{ArgBr8, SizeB} }
+func br16() Arg     { return Arg{ArgBr16, SizeW} }
+
+// Info is per-opcode metadata.
+type Info struct {
+	Op   Op
+	Name string
+	Args []Arg
+	// Cond is the branch condition for conditional branches.
+	Cond BranchCond
+	// Class buckets the opcode for instruction-mix reporting.
+	Class string
+}
+
+// BranchCond enumerates the conditional-branch predicates.
+type BranchCond uint8
+
+const (
+	condNone BranchCond = iota
+	condEQL
+	condNEQ
+	condLSS
+	condLEQ
+	condGTR
+	condGEQ
+	condLSSU
+	condLEQU
+	condGTRU
+	condGEQU
+)
+
+var infos = [numOps]Info{
+	HALT: {Name: "halt", Class: "control"},
+	NOP:  {Name: "nop", Class: "misc"},
+
+	MOVB:   {Name: "movb", Args: []Arg{rd(SizeB), wr(SizeB)}, Class: "move"},
+	MOVW:   {Name: "movw", Args: []Arg{rd(SizeW), wr(SizeW)}, Class: "move"},
+	MOVL:   {Name: "movl", Args: []Arg{rd(SizeL), wr(SizeL)}, Class: "move"},
+	MOVAL:  {Name: "moval", Args: []Arg{addr(), wr(SizeL)}, Class: "move"},
+	MOVZBL: {Name: "movzbl", Args: []Arg{rd(SizeB), wr(SizeL)}, Class: "move"},
+	MOVZWL: {Name: "movzwl", Args: []Arg{rd(SizeW), wr(SizeL)}, Class: "move"},
+	CVTBL:  {Name: "cvtbl", Args: []Arg{rd(SizeB), wr(SizeL)}, Class: "move"},
+	CVTWL:  {Name: "cvtwl", Args: []Arg{rd(SizeW), wr(SizeL)}, Class: "move"},
+	CLRL:   {Name: "clrl", Args: []Arg{wr(SizeL)}, Class: "move"},
+	MNEGL:  {Name: "mnegl", Args: []Arg{rd(SizeL), wr(SizeL)}, Class: "alu"},
+	MCOML:  {Name: "mcoml", Args: []Arg{rd(SizeL), wr(SizeL)}, Class: "alu"},
+	PUSHL:  {Name: "pushl", Args: []Arg{rd(SizeL)}, Class: "move"},
+
+	INCL:  {Name: "incl", Args: []Arg{md(SizeL)}, Class: "alu"},
+	DECL:  {Name: "decl", Args: []Arg{md(SizeL)}, Class: "alu"},
+	ADDL2: {Name: "addl2", Args: []Arg{rd(SizeL), md(SizeL)}, Class: "alu"},
+	ADDL3: {Name: "addl3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	SUBL2: {Name: "subl2", Args: []Arg{rd(SizeL), md(SizeL)}, Class: "alu"},
+	SUBL3: {Name: "subl3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	MULL2: {Name: "mull2", Args: []Arg{rd(SizeL), md(SizeL)}, Class: "alu"},
+	MULL3: {Name: "mull3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	DIVL2: {Name: "divl2", Args: []Arg{rd(SizeL), md(SizeL)}, Class: "alu"},
+	DIVL3: {Name: "divl3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	BISL2: {Name: "bisl2", Args: []Arg{rd(SizeL), md(SizeL)}, Class: "alu"},
+	BISL3: {Name: "bisl3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	BICL2: {Name: "bicl2", Args: []Arg{rd(SizeL), md(SizeL)}, Class: "alu"},
+	BICL3: {Name: "bicl3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	XORL2: {Name: "xorl2", Args: []Arg{rd(SizeL), md(SizeL)}, Class: "alu"},
+	XORL3: {Name: "xorl3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	ANDL3: {Name: "andl3", Args: []Arg{rd(SizeL), rd(SizeL), wr(SizeL)}, Class: "alu"},
+	ASHL:  {Name: "ashl", Args: []Arg{rd(SizeB), rd(SizeL), wr(SizeL)}, Class: "alu"},
+
+	CMPL: {Name: "cmpl", Args: []Arg{rd(SizeL), rd(SizeL)}, Class: "alu"},
+	CMPB: {Name: "cmpb", Args: []Arg{rd(SizeB), rd(SizeB)}, Class: "alu"},
+	TSTL: {Name: "tstl", Args: []Arg{rd(SizeL)}, Class: "alu"},
+
+	BRB: {Name: "brb", Args: []Arg{br8()}, Class: "control"},
+	BRW: {Name: "brw", Args: []Arg{br16()}, Class: "control"},
+	JMP: {Name: "jmp", Args: []Arg{addr()}, Class: "control"},
+
+	BEQL:  {Name: "beql", Args: []Arg{br16()}, Cond: condEQL, Class: "control"},
+	BNEQ:  {Name: "bneq", Args: []Arg{br16()}, Cond: condNEQ, Class: "control"},
+	BLSS:  {Name: "blss", Args: []Arg{br16()}, Cond: condLSS, Class: "control"},
+	BLEQ:  {Name: "bleq", Args: []Arg{br16()}, Cond: condLEQ, Class: "control"},
+	BGTR:  {Name: "bgtr", Args: []Arg{br16()}, Cond: condGTR, Class: "control"},
+	BGEQ:  {Name: "bgeq", Args: []Arg{br16()}, Cond: condGEQ, Class: "control"},
+	BLSSU: {Name: "blssu", Args: []Arg{br16()}, Cond: condLSSU, Class: "control"},
+	BLEQU: {Name: "blequ", Args: []Arg{br16()}, Cond: condLEQU, Class: "control"},
+	BGTRU: {Name: "bgtru", Args: []Arg{br16()}, Cond: condGTRU, Class: "control"},
+	BGEQU: {Name: "bgequ", Args: []Arg{br16()}, Cond: condGEQU, Class: "control"},
+
+	CALLS: {Name: "calls", Args: []Arg{rd(SizeL), addr()}, Class: "call"},
+	RET:   {Name: "ret", Class: "call"},
+}
+
+func init() {
+	for op := opInvalid + 1; op < numOps; op++ {
+		infos[op].Op = op
+		if infos[op].Name == "" {
+			panic(fmt.Sprintf("vax: opcode %d missing metadata", op))
+		}
+	}
+}
+
+// Lookup returns metadata for op.
+func Lookup(op Op) (Info, bool) {
+	if op <= opInvalid || op >= numOps {
+		return Info{}, false
+	}
+	return infos[op], true
+}
+
+// ByName maps a mnemonic to its opcode.
+func ByName(name string) (Op, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+var byName = func() map[string]Op {
+	m := make(map[string]Op, NumInstructions)
+	for op := opInvalid + 1; op < numOps; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// Instructions returns all opcode metadata in declaration order.
+func Instructions() []Info {
+	out := make([]Info, 0, NumInstructions)
+	for op := opInvalid + 1; op < numOps; op++ {
+		out = append(out, infos[op])
+	}
+	return out
+}
+
+// Register numbers. The stack and frame conventions mirror the VAX:
+// AP is the argument pointer, FP the frame pointer, SP the stack pointer.
+const (
+	NumRegs = 16
+	RegAP   = 12
+	RegFP   = 13
+	RegSP   = 14
+	// R15 is reserved (the VAX used it as PC); the assembler rejects it.
+)
+
+// NumAddressingModes is the count of operand addressing modes the
+// baseline implements, for the machine-characteristics table.
+const NumAddressingModes = 8
+
+// Mode is the high nibble of an operand specifier byte.
+type Mode uint8
+
+const (
+	ModeReg      Mode = iota // Rn
+	ModeDeferred             // (Rn)
+	ModeAutoInc              // (Rn)+
+	ModeAutoDec              // -(Rn)
+	ModeDisp8                // D(Rn), signed byte displacement
+	ModeDisp16               // D(Rn), signed word displacement
+	ModeDisp32               // D(Rn), long displacement
+	ModeImmAbs               // reg 0: immediate literal; reg 1: absolute address
+)
+
+// Specifier sub-codes for ModeImmAbs.
+const (
+	immSub = 0
+	absSub = 1
+)

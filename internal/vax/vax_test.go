@@ -1,0 +1,652 @@
+package vax
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func runVax(t *testing.T, src string) *CPU {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+func TestMoveAndArith(t *testing.T) {
+	c := runVax(t, `
+start:	movl $40, r0
+	addl2 $2, r0
+	subl3 $2, r0, r1
+	mull3 $3, r1, r2
+	divl3 $4, r2, r3
+	halt
+	`)
+	if c.R[0] != 42 || c.R[1] != 40 || c.R[2] != 120 || c.R[3] != 30 {
+		t.Errorf("r0..r3 = %d %d %d %d", c.R[0], c.R[1], c.R[2], c.R[3])
+	}
+}
+
+func TestAddressingModes(t *testing.T) {
+	c := runVax(t, `
+start:	moval tbl, r1
+	movl (r1), r2		; deferred: tbl[0] = 11
+	movl 4(r1), r3		; displacement: tbl[1] = 22
+	movl (r1)+, r4		; autoincrement
+	movl (r1), r5		; now points at tbl[1]
+	movl tbl+8, r6		; absolute: tbl[2] = 33
+	moval tbl, r7
+	addl2 $12, r7
+	movl $99, -(r7)		; autodecrement writes tbl[2]
+	movl tbl+8, r8
+	halt
+	.align 4
+tbl:	.word 11, 22, 33
+	`)
+	want := map[int]uint32{2: 11, 3: 22, 4: 11, 5: 22, 6: 33, 8: 99}
+	for r, v := range want {
+		if c.R[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.R[r], v)
+		}
+	}
+}
+
+func TestByteAndWordOps(t *testing.T) {
+	c := runVax(t, `
+start:	movzbl b0, r1
+	cvtbl b0, r2
+	movzwl h0, r3
+	cvtwl h0, r4
+	movb $65, b1
+	movzbl b1, r5
+	halt
+b0:	.byte 0x85
+b1:	.byte 0
+	.align 2
+h0:	.half 0x8001
+	`)
+	if c.R[1] != 0x85 {
+		t.Errorf("movzbl = %#x", c.R[1])
+	}
+	if int32(c.R[2]) != -123 {
+		t.Errorf("cvtbl = %d, want -123", int32(c.R[2]))
+	}
+	if c.R[3] != 0x8001 {
+		t.Errorf("movzwl = %#x", c.R[3])
+	}
+	if int32(c.R[4]) != -32767 {
+		t.Errorf("cvtwl = %d", int32(c.R[4]))
+	}
+	if c.R[5] != 65 {
+		t.Errorf("movb roundtrip = %d", c.R[5])
+	}
+}
+
+func TestBranches(t *testing.T) {
+	c := runVax(t, `
+start:	movl $5, r0
+	clrl r1
+loop:	addl2 r0, r1
+	decl r0
+	tstl r0
+	bgtr loop
+	cmpl $3, $7
+	blss less
+	movl $0, r2
+	brb out
+less:	movl $1, r2
+out:	cmpl $3, $-7
+	bgtru uless	; unsigned: 3 < 0xfff...9 is true -> no branch? 3 <u -7=huge: 3 < huge so NOT gtru
+	movl $1, r3
+uless:	halt
+	`)
+	if c.R[1] != 15 {
+		t.Errorf("loop sum = %d, want 15", c.R[1])
+	}
+	if c.R[2] != 1 {
+		t.Errorf("signed compare failed: r2 = %d", c.R[2])
+	}
+	if c.R[3] != 1 {
+		t.Errorf("unsigned compare failed: r3 = %d (bgtru should not branch)", c.R[3])
+	}
+	if c.Stats.BranchesTaken == 0 || c.Stats.BranchesUntaken == 0 {
+		t.Errorf("branch stats: %+v", c.Stats)
+	}
+}
+
+func TestLogicAndShift(t *testing.T) {
+	c := runVax(t, `
+start:	movl $0xf0, r0
+	bisl3 $0x0f, r0, r1	; or
+	bicl3 $0x30, r0, r2	; and-not
+	xorl3 $0xff, r0, r3
+	andl3 $0x3c, r0, r4
+	ashl $4, r0, r5		; left
+	ashl $-4, r0, r6	; right
+	mcoml $0, r7
+	mnegl $5, r8
+	halt
+	`)
+	checks := map[int]uint32{1: 0xff, 2: 0xc0, 3: 0x0f, 4: 0x30, 5: 0xf00, 6: 0x0f}
+	for r, v := range checks {
+		if c.R[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, c.R[r], v)
+		}
+	}
+	if c.R[7] != 0xffffffff {
+		t.Errorf("mcoml = %#x", c.R[7])
+	}
+	if int32(c.R[8]) != -5 {
+		t.Errorf("mnegl = %d", int32(c.R[8]))
+	}
+}
+
+func TestCallsRet(t *testing.T) {
+	c := runVax(t, `
+start:	pushl $20
+	pushl $22
+	calls $2, addfn
+	halt
+
+addfn:	.entry r6
+	movl 4(ap), r6		; first arg (pushed last)
+	addl2 8(ap), r6
+	movl r6, r0		; result convention: r0
+	ret
+	`)
+	if c.R[0] != 42 {
+		t.Errorf("calls result = %d, want 42", c.R[0])
+	}
+	if c.Stats.Calls != 1 || c.Stats.Returns != 1 {
+		t.Errorf("call stats: %+v", c.Stats)
+	}
+	if c.Stats.CallCycles == 0 || c.Stats.CallMemWords < 10 {
+		t.Errorf("call cost not counted: %+v", c.Stats)
+	}
+	// SP must be fully unwound (args popped by RET).
+	if c.R[RegSP] != c.Config().StackTop {
+		t.Errorf("SP = %#x, want %#x", c.R[RegSP], c.Config().StackTop)
+	}
+}
+
+func TestCallsSavesMaskedRegisters(t *testing.T) {
+	c := runVax(t, `
+start:	movl $7, r6
+	movl $8, r7
+	calls $0, clobber
+	halt
+clobber: .entry r6, r7
+	movl $999, r6
+	movl $888, r7
+	ret
+	`)
+	if c.R[6] != 7 || c.R[7] != 8 {
+		t.Errorf("saved registers not restored: r6=%d r7=%d", c.R[6], c.R[7])
+	}
+}
+
+func TestRecursiveFib(t *testing.T) {
+	c := runVax(t, `
+start:	pushl $12
+	calls $1, fib
+	halt
+
+; fib(n) -> r0
+fib:	.entry r6
+	movl 4(ap), r6
+	cmpl r6, $2
+	bgeq rec
+	movl r6, r0
+	ret
+rec:	subl3 $1, r6, r0
+	pushl r0
+	calls $1, fib
+	movl r0, r1		; fib(n-1)... but r1 is not saved! use stack
+	pushl r1
+	subl3 $2, r6, r0
+	pushl r0
+	calls $1, fib
+	addl2 (sp)+, r0		; pop saved fib(n-1), add
+	ret
+	`)
+	if c.R[0] != 144 {
+		t.Errorf("fib(12) = %d, want 144", c.R[0])
+	}
+	if c.Stats.Calls != c.Stats.Returns {
+		t.Errorf("calls %d != returns %d", c.Stats.Calls, c.Stats.Returns)
+	}
+	if c.Trace.MaxDepth() < 11 {
+		t.Errorf("max depth = %d, want >= 11", c.Trace.MaxDepth())
+	}
+}
+
+func TestLocalVariablesOnStack(t *testing.T) {
+	c := runVax(t, `
+start:	calls $0, fn
+	halt
+fn:	.entry
+	subl2 $8, sp		; two locals
+	movl $5, -4(fp)
+	movl $6, -8(fp)
+	addl3 -4(fp), -8(fp), r0
+	ret
+	`)
+	if c.R[0] != 11 {
+		t.Errorf("locals sum = %d, want 11", c.R[0])
+	}
+}
+
+func TestVariableLengthSizes(t *testing.T) {
+	// Register-register MOVL is 3 bytes; with a long immediate it is 7.
+	p, err := Assemble("movl r1, r2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextSize != 3 {
+		t.Errorf("movl r1,r2 = %d bytes, want 3", p.TextSize)
+	}
+	p, err = Assemble("movl $100000, r2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextSize != 7 {
+		t.Errorf("movl $imm32,r2 = %d bytes, want 7", p.TextSize)
+	}
+	p, err = Assemble("addl3 r1, r2, r3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextSize != 4 {
+		t.Errorf("addl3 r,r,r = %d bytes, want 4", p.TextSize)
+	}
+	// Displacement widths: byte vs word vs long.
+	p, _ = Assemble("movl 4(fp), r0\n")
+	if p.TextSize != 4 {
+		t.Errorf("disp8 form = %d bytes, want 4", p.TextSize)
+	}
+	p, _ = Assemble("movl 1000(fp), r0\n")
+	if p.TextSize != 5 {
+		t.Errorf("disp16 form = %d bytes, want 5", p.TextSize)
+	}
+	p, _ = Assemble("movl 100000(fp), r0\n")
+	if p.TextSize != 7 {
+		t.Errorf("disp32 form = %d bytes, want 7", p.TextSize)
+	}
+}
+
+func TestMicrocodedCostsAreVisible(t *testing.T) {
+	// A memory-memory add must cost more than register-register.
+	rr := runVax(t, "start:\tmovl $1, r0\n\taddl2 r0, r1\n\thalt\n")
+	mm := runVax(t, "start:\taddl2 a, b\n\thalt\na:\t.word 1\nb:\t.word 2\n")
+	// Compare just the add instructions by total cycles net of halt/movl.
+	if mm.Trace.Cycles <= rr.Trace.Cycles-3 {
+		t.Errorf("memory add (%d cy total) should out-cost register add (%d cy total)",
+			mm.Trace.Cycles, rr.Trace.Cycles)
+	}
+	if rr.Micros() <= 0 {
+		t.Error("Micros should be positive")
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	prog, err := Assemble("start:\tdivl2 $0, r1\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Errorf("want divide-by-zero fault, got %v", err)
+	}
+}
+
+func TestIllegalOpcodeFaults(t *testing.T) {
+	c := New(Config{})
+	c.Reset(0)
+	c.Mem.WriteBytes(0, []byte{0xff})
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "illegal opcode") {
+		t.Errorf("want illegal-opcode fault, got %v", err)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	prog, _ := Assemble("start:\tbrb start\n")
+	c := New(Config{MaxInstructions: 100})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Errorf("want limit error, got %v", err)
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"bogus r1\n", "unknown instruction"},
+		{"movl r1\n", "expected ','"},
+		// r15 is reserved: it parses as an (undefined) symbol, not a register.
+		{"movl r15, r0\n", "undefined symbol"},
+		{"movl $5, $6\n", ""}, // assembles; faults at run time
+		{".entry ap\n", "may only save"},
+		{"x: .word 1\nx: .word 2\n", "redefined"},
+		{"brb far\n.org 40000\nfar: halt\n", "exceeds a byte"},
+	}
+	for _, tc := range cases {
+		if tc.want == "" {
+			continue
+		}
+		_, err := Assemble(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("source %q: error %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestImmediateDestinationFaults(t *testing.T) {
+	prog, err := Assemble("start:\tmovl $5, $6\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "immediate used as destination") {
+		t.Errorf("want immediate-destination fault, got %v", err)
+	}
+}
+
+func TestInstructionCountMetadata(t *testing.T) {
+	if NumInstructions < 40 {
+		t.Errorf("baseline has %d opcodes; expected a rich CISC set", NumInstructions)
+	}
+	for _, info := range Instructions() {
+		if info.Name == "" || info.Class == "" {
+			t.Errorf("opcode %d missing metadata", info.Op)
+		}
+		op, ok := ByName(info.Name)
+		if !ok || op != info.Op {
+			t.Errorf("ByName(%q) mismatch", info.Name)
+		}
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	c := runVax(t, `
+start:	pushl $7
+	pushl $9
+	movl (sp)+, r1
+	movl (sp)+, r2
+	halt
+	`)
+	if c.R[1] != 9 || c.R[2] != 7 {
+		t.Errorf("stack order wrong: r1=%d r2=%d", c.R[1], c.R[2])
+	}
+	if c.R[RegSP] != c.Config().StackTop {
+		t.Errorf("SP not restored: %#x", c.R[RegSP])
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Assemble -> disassemble -> reassemble must reproduce the bytes.
+	src := `
+	movl $40, r0
+	addl2 $2, r0
+	subl3 r1, r2, r3
+	movl 4(ap), r6
+	movl -8(fp), r7
+	movl (r1)+, r2
+	movl -(r3), r4
+	clrl r5
+	mcoml r5, r5
+	ashl $-4, r0, r1
+	cmpl r0, $100000
+	tstl r9
+	pushl r0
+	ret
+	halt
+	nop
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.Segments[0].Data
+	var lines []string
+	off := 0
+	for off < len(data) {
+		text, n, err := Disassemble(data, off, p.Segments[0].Addr)
+		if err != nil {
+			t.Fatalf("disassemble at %d: %v", off, err)
+		}
+		lines = append(lines, "\t"+text)
+		off += n
+	}
+	p2, err := Assemble(strings.Join(lines, "\n") + "\n")
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	d2 := p2.Segments[0].Data
+	if len(d2) != len(data) {
+		t.Fatalf("size changed: %d -> %d\n%s", len(data), len(d2), strings.Join(lines, "\n"))
+	}
+	for i := range data {
+		if data[i] != d2[i] {
+			t.Fatalf("byte %d changed: %#02x -> %#02x\n%s", i, data[i], d2[i], strings.Join(lines, "\n"))
+		}
+	}
+}
+
+func TestDisassembleBranches(t *testing.T) {
+	p, err := Assemble("start:\tbrb start\n\tbeql start\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.Segments[0].Data
+	text, n, err := Disassemble(data, 0, 0)
+	if err != nil || n != 2 {
+		t.Fatalf("brb: %q, %d, %v", text, n, err)
+	}
+	if text != "brb 0x0" {
+		t.Errorf("brb disassembled as %q", text)
+	}
+	text, n, err = Disassemble(data, 2, 0)
+	if err != nil || n != 3 {
+		t.Fatalf("beql: %q, %d, %v", text, n, err)
+	}
+	if text != "beql 0x0" {
+		t.Errorf("beql disassembled as %q", text)
+	}
+}
+
+func TestListing(t *testing.T) {
+	p, err := Assemble("start:\tmovl $1, r0\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Listing(p)
+	if !strings.Contains(out, "movl $1, r0") || !strings.Contains(out, "halt") {
+		t.Errorf("listing:\n%s", out)
+	}
+}
+
+func TestAllConditionalBranches(t *testing.T) {
+	// Exercise every branch predicate in both taken and untaken
+	// directions via CMPL-set flags.
+	cases := []struct {
+		br    string
+		a, b  int32
+		taken bool
+	}{
+		{"beql", 5, 5, true}, {"beql", 5, 6, false},
+		{"bneq", 5, 6, true}, {"bneq", 5, 5, false},
+		{"blss", -1, 0, true}, {"blss", 0, -1, false},
+		{"bleq", 0, 0, true}, {"bleq", 1, 0, false},
+		{"bgtr", 1, 0, true}, {"bgtr", 0, 0, false},
+		{"bgeq", 0, -5, true}, {"bgeq", -5, 0, false},
+		{"blssu", 1, 2, true}, {"blssu", -1, 1, false}, // -1 is huge unsigned
+		{"blequ", 2, 2, true}, {"blequ", 2, 1, false},
+		{"bgtru", -1, 1, true}, {"bgtru", 1, -1, false},
+		{"bgequ", -1, 1, true}, {"bgequ", 1, -1, false},
+	}
+	for _, tc := range cases {
+		src := fmt.Sprintf(`
+start:	cmpl $%d, $%d
+	%s yes
+	movl $0, r1
+	brb done
+yes:	movl $1, r1
+done:	halt
+`, tc.a, tc.b, tc.br)
+		c := runVax(t, src)
+		want := uint32(0)
+		if tc.taken {
+			want = 1
+		}
+		if c.R[1] != want {
+			t.Errorf("cmpl %d,%d ; %s: taken=%v, want %v", tc.a, tc.b, tc.br, c.R[1] == 1, tc.taken)
+		}
+	}
+}
+
+func TestSymbolHelpers(t *testing.T) {
+	p := MustAssemble("b:\thalt\na:\t.word 1\n")
+	if v, ok := p.Symbol("a"); !ok || v == 0 {
+		t.Errorf("Symbol(a) = %d, %v", v, ok)
+	}
+	if _, ok := p.Symbol("zz"); ok {
+		t.Error("unknown symbol should miss")
+	}
+	names := p.SortedSymbols()
+	if len(names) != 2 || names[0] != "b" {
+		t.Errorf("SortedSymbols = %v", names)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bogus\n")
+}
+
+func TestPCHaltedSetEntry(t *testing.T) {
+	prog := MustAssemble("start:\tmovl $1, r0\n\thalt\nagain:\tmovl $2, r0\n\thalt\n")
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if h, _ := c.Halted(); h {
+		t.Fatal("not started yet")
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := c.Halted(); !h || err != nil {
+		t.Fatalf("halted = %v, %v", h, err)
+	}
+	if c.R[0] != 1 {
+		t.Fatalf("r0 = %d", c.R[0])
+	}
+	// SetEntry rewinds without clearing memory.
+	again, _ := prog.Symbol("again")
+	c.SetEntry(again)
+	if c.PC() != again {
+		t.Errorf("PC = %#x, want %#x", c.PC(), again)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[0] != 2 {
+		t.Errorf("r0 after SetEntry run = %d", c.R[0])
+	}
+}
+
+func TestByteRegisterWritePreservesHighBits(t *testing.T) {
+	c := runVax(t, `
+start:	movl $0x11223344, r1
+	movb $0x55, r1
+	movw $0x6677, r2
+	halt
+	`)
+	if c.R[1] != 0x11223355 {
+		t.Errorf("movb to register = %#x, want 0x11223355", c.R[1])
+	}
+	if c.R[2]&0xffff != 0x6677 {
+		t.Errorf("movw to register = %#x", c.R[2])
+	}
+}
+
+func TestDirectiveCoverage(t *testing.T) {
+	p := MustAssemble(`
+	.equ K, 3
+	.org 0x40
+w:	.word K*2
+	.half 7
+	.byte 'x'
+	.ascii "ab"
+	.asciz "c"
+	.space 5
+	.align 8
+end:	halt
+	`)
+	if v, _ := p.Symbol("w"); v != 0x40 {
+		t.Errorf("w at %#x", v)
+	}
+	if v, _ := p.Symbol("end"); v%8 != 0 {
+		t.Errorf("end not aligned: %#x", v)
+	}
+	if p.DataSize == 0 {
+		t.Error("data size missing")
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{".equ 5, 5\n", "needs a name"},
+		{".equ a, 1\n.equ a, 2\n", "redefined"},
+		{".org -1\n", "non-negative"},
+		{".align 5\n", "power of two"},
+		{".ascii 7\n", "needs a string"},
+		{".bogus\n", "unknown directive"},
+		{".org 9\n.org 4\n", "backwards"},
+	}
+	for _, tc := range cases {
+		if _, err := Assemble(tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestDisassembleImmediateAndAbsolute(t *testing.T) {
+	p := MustAssemble("start:\tmovl $-5, r0\n\tmovl 0x1234, r1\n\thalt\n")
+	data := p.Segments[0].Data
+	text, n, err := Disassemble(data, 0, 0)
+	if err != nil || text != "movl $-5, r0" {
+		t.Errorf("imm: %q, %d, %v", text, n, err)
+	}
+	text, _, err = Disassemble(data, n, 0)
+	if err != nil || text != "movl 0x1234, r1" {
+		t.Errorf("abs: %q, %v", text, err)
+	}
+}
+
+func TestDisassembleTruncated(t *testing.T) {
+	// An opcode byte with missing operand bytes must error, not panic.
+	if _, _, err := Disassemble([]byte{byte(MOVL)}, 0, 0); err == nil {
+		t.Error("truncated instruction should error")
+	}
+	if _, _, err := Disassemble([]byte{}, 0, 0); err == nil {
+		t.Error("empty code should error")
+	}
+}
