@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full verification suite: tier-1 (build + test) plus vet and the
+# race detector. Same as scripts/check.sh.
+check: build vet test race
+
+# Host-speed benchmarks, including the icache on/off comparison.
+bench:
+	$(GO) test -bench=Risc -benchmem ./...

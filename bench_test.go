@@ -6,6 +6,7 @@
 package risc1
 
 import (
+	"reflect"
 	"testing"
 
 	"risc1/internal/bench"
@@ -13,6 +14,31 @@ import (
 	"risc1/internal/cpu"
 	"risc1/internal/vax"
 )
+
+// TestICacheDeterminism asserts the instruction cache's core invariant:
+// predecoding changes host speed only. Every simulated observable —
+// result, cycles, instruction counts, window and CPU stats, mixes,
+// call-depth histogram, data traffic — must be byte-identical with the
+// cache on and off.
+func TestICacheDeterminism(t *testing.T) {
+	for _, name := range []string{"hanoi", "ackermann", "sieve"} {
+		w, ok := bench.ByName(benchSuite, name)
+		if !ok {
+			t.Fatalf("no %s workload", name)
+		}
+		on, err := bench.RunRISC(w, bench.RiscConfig{Optimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := bench.RunRISC(w, bench.RiscConfig{Optimize: true, NoICache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(on, off) {
+			t.Errorf("%s: simulated results diverge with icache on/off:\non:  %+v\noff: %+v", name, on, off)
+		}
+	}
+}
 
 // benchSuite is the shared small-scale suite (paper-scale inputs are for
 // cmd/risc1-bench; the benchmarks here must finish quickly).
@@ -169,6 +195,52 @@ func BenchmarkRiscSimulator(b *testing.B) {
 		instr = c.Trace.Instructions
 	}
 	b.ReportMetric(float64(instr), "guest-instr/op")
+}
+
+// benchRiscWorkload measures raw host throughput of the RISC simulator
+// on one workload, with the predecoded instruction cache on or off.
+// Paper-scale inputs are used so per-run setup (allocating and zeroing
+// the 1 MiB simulated memory) amortizes away and the number measures the
+// interpreter loop itself.
+func benchRiscWorkload(b *testing.B, name string, noICache bool) {
+	b.Helper()
+	w, ok := bench.ByName(bench.Suite(bench.Default()), name)
+	if !ok {
+		b.Fatalf("no %s workload", name)
+	}
+	prog, _, err := cc.CompileRISC(w.Source, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		c := cpu.New(cpu.Config{NoICache: noICache})
+		c.Reset(prog.Entry)
+		if err := prog.LoadInto(c.Mem); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		instr = c.Trace.Instructions
+	}
+	b.ReportMetric(float64(instr), "guest-instr/op")
+}
+
+// BenchmarkRiscHanoi compares the interpreter's host speed with and
+// without the predecoded instruction cache on the hanoi workload.
+// Simulated cycles are identical in both variants (TestICacheDeterminism
+// asserts it); only the host-time column should differ.
+func BenchmarkRiscHanoi(b *testing.B) {
+	b.Run("icache", func(b *testing.B) { benchRiscWorkload(b, "hanoi", false) })
+	b.Run("nocache", func(b *testing.B) { benchRiscWorkload(b, "hanoi", true) })
+}
+
+// BenchmarkRiscAckermann is the same comparison on the call-stress test.
+func BenchmarkRiscAckermann(b *testing.B) {
+	b.Run("icache", func(b *testing.B) { benchRiscWorkload(b, "ackermann", false) })
+	b.Run("nocache", func(b *testing.B) { benchRiscWorkload(b, "ackermann", true) })
 }
 
 // BenchmarkVaxSimulator is the CISC counterpart.

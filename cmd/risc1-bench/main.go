@@ -10,6 +10,7 @@
 //	risc1-bench -scale small     # fast inputs
 //	risc1-bench -table size,time # only selected tables
 //	risc1-bench -fig windows     # only selected figures
+//	risc1-bench -nocache         # run the simulators without the icache
 package main
 
 import (
@@ -25,7 +26,9 @@ func main() {
 	scale := flag.String("scale", "paper", "workload scale: paper or small")
 	tables := flag.String("table", "", "comma-separated tables: instr,machines,suite,size,time,mix,ops,callcost,traffic (default all)")
 	figs := flag.String("fig", "", "comma-separated figures: windows,delayslots,depth,ablation (default all)")
+	noICache := flag.Bool("nocache", false, "disable the predecoded instruction cache (host speed only; simulated results are identical)")
 	flag.Parse()
+	bench.NoICache = *noICache
 
 	params := bench.Default()
 	if *scale == "small" {

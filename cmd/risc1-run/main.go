@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	risc1-run [-O] [-windows N] [-limit N] [-print sym,sym] file.s
+//	risc1-run [-O] [-windows N] [-nocache] [-limit N] [-print sym,sym] file.s
 package main
 
 import (
@@ -21,6 +21,7 @@ func main() {
 	optimize := flag.Bool("O", false, "fill delayed-jump slots")
 	windows := flag.Int("windows", 0, "register windows (0 = the paper's 8)")
 	noWindows := flag.Bool("nowindows", false, "ablation: spill every call")
+	noICache := flag.Bool("nocache", false, "disable the predecoded instruction cache (host speed only; simulated results are identical)")
 	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
 	printSyms := flag.String("print", "", "comma-separated globals to print as words after the run")
 	traceN := flag.Uint64("trace", 0, "print the first N executed instructions")
@@ -37,7 +38,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c := cpu.New(cpu.Config{Windows: *windows, NoWindows: *noWindows, MaxInstructions: *limit})
+	c := cpu.New(cpu.Config{Windows: *windows, NoWindows: *noWindows, NoICache: *noICache, MaxInstructions: *limit})
 	if *traceN > 0 {
 		var n uint64
 		c.Tracer = func(pc uint32, in isa.Inst) {

@@ -46,7 +46,14 @@ type RiscConfig struct {
 	Windows   int  // 0 = the paper's 8
 	NoWindows bool // ablation: spill/refill on every call
 	Optimize  bool // fill delay slots
+	NoICache  bool // disable the simulator's predecoded instruction cache
 }
+
+// NoICache globally disables the predecoded instruction cache in every
+// RISC run the harness makes — risc1-bench's -nocache escape hatch.
+// Simulated cycles and statistics are identical either way; only host
+// speed changes.
+var NoICache bool
 
 // RunRISC compiles and executes a workload on the RISC I simulator.
 func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
@@ -54,7 +61,7 @@ func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
 	if err != nil {
 		return RiscRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
-	c := cpu.New(cpu.Config{Windows: cfg.Windows, NoWindows: cfg.NoWindows})
+	c := cpu.New(cpu.Config{Windows: cfg.Windows, NoWindows: cfg.NoWindows, NoICache: cfg.NoICache || NoICache})
 	c.Reset(prog.Entry)
 	if err := prog.LoadInto(c.Mem); err != nil {
 		return RiscRun{}, err

@@ -48,6 +48,11 @@ type Config struct {
 	NoWindows bool
 	// MaxInstructions aborts runaway programs; zero means 2^32.
 	MaxInstructions uint64
+	// NoICache disables the predecoded instruction cache, forcing a
+	// fetch+decode from memory on every instruction — the host-speed
+	// escape hatch behind risc1-run's -nocache flag. Simulated cycles
+	// and statistics are identical either way by construction.
+	NoICache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +111,10 @@ type CPU struct {
 	pendingIRQ *uint32 // vector address of a requested interrupt
 
 	opHandles [64]int // trace handles indexed by opcode
+
+	// icache is the predecoded instruction cache (nil with NoICache);
+	// stores invalidate it through the Memory.OnStore hook.
+	icache *icache
 }
 
 // New builds a CPU with zeroed memory and registers.
@@ -120,8 +129,22 @@ func New(cfg Config) *CPU {
 	for _, info := range isa.Instructions() {
 		c.opHandles[info.Op] = c.Trace.Handle(info.Name, info.Class.String())
 	}
+	if !cfg.NoICache {
+		c.icache = newICache(cfg.MemSize)
+		c.Mem.OnStore = c.icache.invalidate
+	}
 	c.resetState(0)
 	return c
+}
+
+// ICacheStats reports instruction-cache activity (zero with NoICache).
+// It describes the simulator's host-speed machinery, not the simulated
+// machine: architectural cycle counts never depend on it.
+func (c *CPU) ICacheStats() ICacheStats {
+	if c.icache == nil {
+		return ICacheStats{}
+	}
+	return c.icache.stats
 }
 
 // Config returns the configuration the CPU was built with (with defaults
@@ -232,6 +255,14 @@ func (c *CPU) Step() {
 			return
 		}
 	}
+	// Hot path: dispatch from the predecoded cache. A miss (cold line,
+	// invalidated page, misaligned or out-of-range pc) falls through to
+	// the fetch+decode path, which raises exactly the faults it always
+	// did and refills the line on success.
+	if d := c.icache.lookup(c.pc); d != nil {
+		c.execute(d.in, d.cycles, d.handle)
+		return
+	}
 	word, err := c.Mem.FetchWord(c.pc)
 	if err != nil {
 		c.fault(fmt.Errorf("cpu: fetch at %#08x: %w", c.pc, err))
@@ -242,7 +273,10 @@ func (c *CPU) Step() {
 		c.fault(fmt.Errorf("cpu: at %#08x: %w", c.pc, err))
 		return
 	}
-	c.execute(in)
+	cycles := uint64(in.Op.Info().Cycles)
+	handle := c.opHandles[in.Op]
+	c.icache.fill(c.pc, in, cycles, handle)
+	c.execute(in, cycles, handle)
 }
 
 func (c *CPU) fault(err error) {
@@ -262,21 +296,28 @@ func (c *CPU) setFlagsLogic(res uint32) {
 	c.flags = isa.Flags{Z: res == 0, N: int32(res) < 0}
 }
 
-func (c *CPU) setFlagsAdd(a, b, res uint32) {
+// setFlagsAdd sets the condition codes for the three-input addition
+// a + b + carry = res. Carry-out must be computed from the unwrapped
+// three-input sum: folding the carry into b first corrupts C whenever
+// b+carry wraps (b = 0xffffffff with carry-in 1), which silently breaks
+// multi-word arithmetic chains.
+func (c *CPU) setFlagsAdd(a, b, carry, res uint32) {
 	c.flags = isa.Flags{
 		Z: res == 0,
 		N: int32(res) < 0,
-		C: res < a || (res == a && b != 0),
-		V: (a^res)&(b^res)&0x80000000 != 0,
+		C: uint64(a)+uint64(b)+uint64(carry) > 0xffffffff,
+		V: ^(a^b)&(a^res)&0x80000000 != 0,
 	}
 }
 
-func (c *CPU) setFlagsSub(a, b, res uint32) {
-	// C means "no borrow", the convention CondLO/CondHIS assume.
+// setFlagsSub sets the condition codes for a - b - borrow = res.
+// C means "no borrow", the convention CondLO/CondHIS assume; like the
+// add case it is computed from the three unwrapped inputs.
+func (c *CPU) setFlagsSub(a, b, borrow, res uint32) {
 	c.flags = isa.Flags{
 		Z: res == 0,
 		N: int32(res) < 0,
-		C: a >= b,
+		C: uint64(a) >= uint64(b)+uint64(borrow),
 		V: (a^b)&(a^res)&0x80000000 != 0,
 	}
 }
@@ -299,12 +340,15 @@ func (c *CPU) transfer(target uint32) {
 	c.inSlot = true
 }
 
-func (c *CPU) execute(in isa.Inst) {
+// execute runs one decoded instruction. cycles and handle are the
+// per-opcode metadata (isa cycle cost, trace handle) that the caller
+// resolved once — at decode time on the slow path, at cache-fill time on
+// the hot path — so the interpreter never re-derives them per visit.
+func (c *CPU) execute(in isa.Inst, cycles uint64, handle int) {
 	if c.Tracer != nil {
 		c.Tracer(c.pc, in)
 	}
-	info := in.Op.Info()
-	c.Trace.ExecHandle(c.opHandles[in.Op], uint64(info.Cycles))
+	c.Trace.ExecHandle(handle, cycles)
 
 	// A NOP in the shadow of a transfer is a wasted delay slot; the
 	// canonical NOP is "add r0, r0, 0" (any write to r0 is a no-op).
@@ -322,7 +366,7 @@ func (c *CPU) execute(in isa.Inst) {
 		res := a + b + carry
 		c.Regs.Set(in.Rd, res)
 		if in.SCC {
-			c.setFlagsAdd(a, b+carry, res)
+			c.setFlagsAdd(a, b, carry, res)
 		}
 		c.advance()
 
@@ -338,7 +382,7 @@ func (c *CPU) execute(in isa.Inst) {
 		res := a - b - borrow
 		c.Regs.Set(in.Rd, res)
 		if in.SCC {
-			c.setFlagsSub(a, b+borrow, res)
+			c.setFlagsSub(a, b, borrow, res)
 		}
 		c.advance()
 
@@ -495,7 +539,9 @@ func (c *CPU) execute(in isa.Inst) {
 		c.advance()
 
 	case isa.PUTPSW:
-		c.setPSW(c.Regs.Get(in.Rs1) + c.s2(in))
+		if !c.setPSW(c.Regs.Get(in.Rs1) + c.s2(in)) {
+			return
+		}
 		c.advance()
 
 	default:
@@ -504,9 +550,16 @@ func (c *CPU) execute(in isa.Inst) {
 }
 
 // spill writes an evicted window to the save stack. It returns false and
-// faults the machine on a memory error.
+// faults the machine on a memory error or when the save stack would run
+// past address zero — decrementing the save pointer below zero would
+// wrap uint32 and silently overwrite top-of-memory data.
 func (c *CPU) spill(vals []uint32) bool {
-	c.saveSP -= uint32(4 * len(vals))
+	need := uint32(4 * len(vals))
+	if c.saveSP < need {
+		c.fault(fmt.Errorf("cpu: register-save stack overflow: save pointer %#08x cannot hold %d more words", c.saveSP, len(vals)))
+		return false
+	}
+	c.saveSP -= need
 	for i, v := range vals {
 		if err := c.Mem.StoreWord(c.saveSP+uint32(4*i), v); err != nil {
 			c.fault(fmt.Errorf("cpu: window overflow spill: %w", err))
@@ -540,37 +593,32 @@ func (c *CPU) refill() bool {
 	return true
 }
 
-// PSW layout (simulator-defined): bit0 Z, bit1 N, bit2 C, bit3 V,
-// bit4 interrupt-enable, bits 8..12 CWP.
+// psw packs the processor status word; the layout (flags, interrupt
+// enable, read-only CWP in bits 8..12) is defined by the isa.PSW*
+// constants.
 func (c *CPU) psw() uint32 {
-	var w uint32
-	if c.flags.Z {
-		w |= 1 << 0
-	}
-	if c.flags.N {
-		w |= 1 << 1
-	}
-	if c.flags.C {
-		w |= 1 << 2
-	}
-	if c.flags.V {
-		w |= 1 << 3
-	}
+	w := c.flags.PSW()
 	if c.intEnabled {
-		w |= 1 << 4
+		w |= isa.PSWIntEnable
 	}
-	w |= uint32(c.Regs.CWP()) << 8
+	w |= uint32(c.Regs.CWP()) << isa.PSWCWPShift
 	return w
 }
 
-func (c *CPU) setPSW(w uint32) {
-	c.flags = isa.Flags{
-		Z: w&(1<<0) != 0,
-		N: w&(1<<1) != 0,
-		C: w&(1<<2) != 0,
-		V: w&(1<<3) != 0,
+// setPSW installs the writable PSW fields (flags, interrupt enable).
+// The CWP field is read-only: only CALL/RET/CALLINT/RETINT move the
+// window pointer. A GETPSW/PUTPSW round trip in the same window writes
+// the current CWP back and succeeds; writing a *different* CWP would
+// previously be discarded silently (a lossy round trip with no
+// diagnostic), so it now faults. Returns false after faulting.
+func (c *CPU) setPSW(w uint32) bool {
+	if got := isa.PSWCWP(w); got != c.Regs.CWP() {
+		c.fault(fmt.Errorf("cpu: at %#08x: putpsw: CWP field is read-only (wrote %d, current window %d)", c.pc, got, c.Regs.CWP()))
+		return false
 	}
-	c.intEnabled = w&(1<<4) != 0
+	c.flags = isa.FlagsFromPSW(w)
+	c.intEnabled = w&isa.PSWIntEnable != 0
+	return true
 }
 
 // Micros converts the accumulated cycle count to microseconds at the

@@ -332,6 +332,143 @@ main:	add r1, r0, 5
 	}
 }
 
+// TestAddcCarryAtWrapBoundary adds the 96-bit numbers
+// 0x00000000_00000000_ffffffff + 0x00000000_ffffffff_00000001 with an
+// add./addc./addc chain. The middle limb is 0 + 0xffffffff + carry-in 1:
+// folding the carry into the operand first wraps it to zero and loses
+// the carry-out, corrupting the top limb (the seed's setFlagsAdd bug).
+func TestAddcCarryAtWrapBoundary(t *testing.T) {
+	c := run(t, `
+main:	li r1, 0xffffffff	; X lo
+	add r2, r0, 0		; X mid
+	add r3, r0, 1		; Y lo
+	li r4, 0xffffffff	; Y mid
+	add. r5, r1, r3		; lo limb: 0, carry out
+	addc. r6, r2, r4	; mid limb: 0 + 0xffffffff + 1 = 0, carry out
+	addc r7, r0, 0		; hi limb: must see the mid carry
+	getpsw r8		; flags still from the mid addc.
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(5); got != 0 {
+		t.Errorf("low limb = %#x, want 0", got)
+	}
+	if got := c.Regs.Get(6); got != 0 {
+		t.Errorf("mid limb = %#x, want 0", got)
+	}
+	if got := c.Regs.Get(7); got != 1 {
+		t.Errorf("high limb = %d, want 1 (carry across the wrapped middle limb)", got)
+	}
+	if got := c.Regs.Get(8) & 0xf; got != 0b0101 {
+		t.Errorf("mid addc. flags = %04b, want Z|C = 0101", got)
+	}
+}
+
+// TestSubcBorrowAtWrapBoundary is the dual: 2^64 - 0xffffffff_00000001
+// as three limbs. The middle limb is 0 - 0xffffffff - borrow-in 1; the
+// wrapped-operand flag logic reports "no borrow" and corrupts the top.
+func TestSubcBorrowAtWrapBoundary(t *testing.T) {
+	c := run(t, `
+main:	add r1, r0, 0		; X lo
+	add r2, r0, 0		; X mid
+	add r3, r0, 1		; X hi (X = 2^64)
+	add r4, r0, 1		; Y lo
+	li r5, 0xffffffff	; Y mid
+	sub. r6, r1, r4		; lo limb: 0 - 1 = 0xffffffff, borrow
+	subc. r7, r2, r5	; mid limb: 0 - 0xffffffff - 1 = 0, borrow out
+	subc r8, r3, 0		; hi limb: 1 - 0 - borrow(1) = 0
+	getpsw r9		; flags still from the mid subc.
+	ret
+	nop
+	`, Config{})
+	if got := c.Regs.Get(6); got != 0xffffffff {
+		t.Errorf("low limb = %#x, want 0xffffffff", got)
+	}
+	if got := c.Regs.Get(7); got != 0 {
+		t.Errorf("mid limb = %#x, want 0", got)
+	}
+	if got := c.Regs.Get(8); got != 0 {
+		t.Errorf("high limb = %d, want 0 (borrow across the wrapped middle limb)", got)
+	}
+	if got := c.Regs.Get(9) & 0xf; got != 0b0001 {
+		t.Errorf("mid subc. flags = %04b, want Z only (C clear = borrow)", got)
+	}
+}
+
+// TestPSWRoundTrip: GETPSW/PUTPSW in the same window must be lossless,
+// including the CWP field (read back at window 1 inside a callee).
+func TestPSWRoundTrip(t *testing.T) {
+	c := run(t, `
+main:	call f
+	nop
+	ret
+	nop
+f:	sub. r0, r0, 0		; Z and C set
+	getpsw r1
+	putpsw r1, 0		; write the same CWP back: accepted
+	getpsw r2
+	ret
+	nop
+	`, Config{})
+	r1, r2 := c.Regs.Get(1), c.Regs.Get(2)
+	if r1 != r2 {
+		t.Errorf("PSW round trip lossy: getpsw %#x, after putpsw %#x", r1, r2)
+	}
+	if got := isa.PSWCWP(r1); got != 1 {
+		t.Errorf("PSW CWP field = %d, want 1 (inside one call)", got)
+	}
+	if r1&isa.PSWFlagBits != isa.PSWZ|isa.PSWC {
+		t.Errorf("PSW flags = %#x, want Z|C", r1&isa.PSWFlagBits)
+	}
+}
+
+// TestPutPSWForeignCWPFaults: writing a PSW whose CWP field does not
+// match the current window is an error, not a silent drop.
+func TestPutPSWForeignCWPFaults(t *testing.T) {
+	prog, err := asm.Assemble(`
+main:	call f
+	nop
+	putpsw r1, 0		; r1 was captured at CWP 1; we are back at CWP 0
+	ret
+	nop
+f:	getpsw r1
+	ret
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); err == nil || !strings.Contains(err.Error(), "CWP") {
+		t.Errorf("expected read-only-CWP fault, got %v", err)
+	}
+}
+
+// TestSaveStackOverflowFaults: recursion past the bottom of the save
+// stack must fault loudly instead of wrapping the save pointer around
+// the address space and overwriting top-of-memory data.
+func TestSaveStackOverflowFaults(t *testing.T) {
+	prog, err := asm.Assemble(`
+	.org 128
+main:	call main
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SaveStackTop 128 holds exactly two 16-word spills (addresses
+	// 0..127, below the code); the third must fault.
+	c := New(Config{Windows: 2, MemSize: 4096, SaveStackTop: 128, MaxInstructions: 1 << 16})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	err = c.Run()
+	if err == nil || !strings.Contains(err.Error(), "register-save stack overflow") {
+		t.Errorf("expected save-stack overflow fault, got %v", err)
+	}
+}
+
 func TestGtlpc(t *testing.T) {
 	c := run(t, `
 main:	add r1, r0, 1

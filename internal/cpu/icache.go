@@ -1,0 +1,137 @@
+package cpu
+
+import "risc1/internal/isa"
+
+// The predecoded instruction cache removes fetch and decode from the
+// interpreter's hot path: the first execution of an address decodes the
+// 32-bit word once into a dense record (the isa.Inst plus the per-opcode
+// cycle cost and trace handle, resolved once), and every later visit
+// dispatches straight from the cache. This changes only host speed —
+// simulated cycle accounting is untouched, so Stats and Trace are
+// byte-identical with the cache on or off.
+//
+// Correctness under self-modifying code comes from mem.Memory's OnStore
+// hook: every store (including window spills and raw WriteBytes loads)
+// reports its byte range, and the cache drops the pages it covers. Pages
+// hold 1024 instructions (4 KiB of code) and are allocated lazily, so a
+// large memory costs nothing until code actually runs in it.
+
+const (
+	icPageWords = 1024 // instructions per page (4 KiB of code)
+	icPageShift = 10
+	icPageMask  = icPageWords - 1
+)
+
+// decoded is one predecoded instruction: the architectural fields plus
+// the metadata execute() would otherwise re-derive every visit.
+type decoded struct {
+	in     isa.Inst
+	cycles uint64
+	handle int
+	valid  bool
+}
+
+// ICacheStats counts cache activity — observability for tests and tools,
+// not part of the simulated machine.
+type ICacheStats struct {
+	Fills         uint64 // instructions decoded into the cache
+	Invalidations uint64 // cached lines/pages dropped by overlapping writes
+}
+
+type icache struct {
+	pages []*[icPageWords]decoded
+	stats ICacheStats
+}
+
+// newICache sizes the page table for a memory of memSize bytes.
+func newICache(memSize int) *icache {
+	words := (memSize + isa.InstBytes - 1) / isa.InstBytes
+	npages := (words + icPageWords - 1) / icPageWords
+	return &icache{pages: make([]*[icPageWords]decoded, npages)}
+}
+
+// lookup returns the cached record for pc, or nil on a miss (including a
+// misaligned or out-of-range pc, which the slow path turns into the same
+// fault it always raised). Nil-receiver safe so -nocache costs one branch.
+func (ic *icache) lookup(pc uint32) *decoded {
+	if ic == nil || pc&3 != 0 {
+		return nil
+	}
+	idx := pc >> 2
+	p := idx >> icPageShift
+	if p >= uint32(len(ic.pages)) {
+		return nil
+	}
+	pg := ic.pages[p]
+	if pg == nil {
+		return nil
+	}
+	d := &pg[idx&icPageMask]
+	if !d.valid {
+		return nil
+	}
+	return d
+}
+
+// fill records a freshly decoded instruction.
+func (ic *icache) fill(pc uint32, in isa.Inst, cycles uint64, handle int) {
+	if ic == nil || pc&3 != 0 {
+		return
+	}
+	idx := pc >> 2
+	p := idx >> icPageShift
+	if p >= uint32(len(ic.pages)) {
+		return
+	}
+	pg := ic.pages[p]
+	if pg == nil {
+		pg = new([icPageWords]decoded)
+		ic.pages[p] = pg
+	}
+	pg[idx&icPageMask] = decoded{in: in, cycles: cycles, handle: handle, valid: true}
+	ic.stats.Fills++
+}
+
+// invalidate drops every cached instruction overlapping the byte range
+// [addr, addr+size); it is the Memory.OnStore hook. Ordinary stores
+// (word-sized and smaller) clear individual lines — data and code often
+// share a 4 KiB page, and dropping the whole page on every store to a
+// nearby global would thrash the cache. Bulk writes (program loads,
+// Reset) drop whole pages instead.
+func (ic *icache) invalidate(addr, size uint32) {
+	if ic == nil || size == 0 {
+		return
+	}
+	first := addr >> 2
+	last := uint32((uint64(addr) + uint64(size) - 1) >> 2)
+	if last-first < icPageWords {
+		for w := first; w <= last; w++ {
+			p := w >> icPageShift
+			if p >= uint32(len(ic.pages)) {
+				return
+			}
+			pg := ic.pages[p]
+			if pg == nil {
+				continue
+			}
+			if d := &pg[w&icPageMask]; d.valid {
+				*d = decoded{}
+				ic.stats.Invalidations++
+			}
+		}
+		return
+	}
+	firstPage, lastPage := first>>icPageShift, last>>icPageShift
+	if firstPage >= uint32(len(ic.pages)) {
+		return
+	}
+	if lastPage >= uint32(len(ic.pages)) {
+		lastPage = uint32(len(ic.pages)) - 1
+	}
+	for p := firstPage; p <= lastPage; p++ {
+		if ic.pages[p] != nil {
+			ic.pages[p] = nil
+			ic.stats.Invalidations++
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/isa"
+)
+
+// selfModifyingSrc runs a three-iteration loop whose body instruction is
+// patched at runtime: iteration one executes "add r2, r2, 1", then the
+// program stores a freshly encoded "add r2, r2, 5" over it, so later
+// iterations must see the new instruction. Final r2 = 1 + 5 + 5 = 11;
+// a stale instruction cache would compute 3.
+func selfModifyingSrc(t *testing.T) string {
+	t.Helper()
+	word, err := (isa.Inst{Op: isa.ADD, Rd: 2, Rs1: 2, Imm: true, Imm13: 5}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf(`
+main:	add r2, r0, 0
+	add r3, r0, 0
+	li r4, %d
+	li r5, target
+loop:
+target:	add r2, r2, 1	; patched to "add r2, r2, 5" after iteration 1
+	add r3, r3, 1
+	stl r4, r5, 0
+	sub. r0, r3, 3
+	blt loop
+	nop
+	ret
+	nop
+`, int32(word))
+}
+
+func TestSelfModifyingCodeInvalidatesICache(t *testing.T) {
+	src := selfModifyingSrc(t)
+	c := run(t, src, Config{})
+	if got := c.Regs.Get(2); got != 11 {
+		t.Errorf("r2 = %d, want 11 (store over cached code must invalidate)", got)
+	}
+	st := c.ICacheStats()
+	if st.Fills == 0 {
+		t.Error("expected icache fills")
+	}
+	if st.Invalidations == 0 {
+		t.Error("expected icache invalidations from the code patch")
+	}
+}
+
+// TestSelfModifyingCodeDeterminism checks the tentpole invariant on the
+// nastiest input: simulated cycles, instructions, and results must be
+// identical with the cache on and off even while the program rewrites
+// itself under the cache.
+func TestSelfModifyingCodeDeterminism(t *testing.T) {
+	src := selfModifyingSrc(t)
+	on := run(t, src, Config{})
+	off := run(t, src, Config{NoICache: true})
+	if on.Trace.Cycles != off.Trace.Cycles {
+		t.Errorf("cycles diverge: icache %d, nocache %d", on.Trace.Cycles, off.Trace.Cycles)
+	}
+	if on.Trace.Instructions != off.Trace.Instructions {
+		t.Errorf("instructions diverge: icache %d, nocache %d", on.Trace.Instructions, off.Trace.Instructions)
+	}
+	if on.Stats != off.Stats {
+		t.Errorf("stats diverge:\nicache  %+v\nnocache %+v", on.Stats, off.Stats)
+	}
+	for r := uint8(0); r < 32; r++ {
+		if on.Regs.Get(r) != off.Regs.Get(r) {
+			t.Errorf("r%d diverges: %#x vs %#x", r, on.Regs.Get(r), off.Regs.Get(r))
+		}
+	}
+}
+
+func TestNoICacheDisablesCache(t *testing.T) {
+	c := run(t, fibSrc, Config{NoICache: true})
+	if got := c.Regs.Get(1); got != 144 {
+		t.Errorf("fib(12) without icache = %d, want 144", got)
+	}
+	if st := c.ICacheStats(); st != (ICacheStats{}) {
+		t.Errorf("NoICache run recorded cache activity: %+v", st)
+	}
+}
+
+// TestICacheDeterminismFib compares every observable of a recursive,
+// spill-heavy run (window traps store to memory, which exercises the
+// OnStore hook) with the cache on and off.
+func TestICacheDeterminismFib(t *testing.T) {
+	for _, cfg := range []Config{{Windows: 2}, {Windows: 8}} {
+		off := cfg
+		off.NoICache = true
+		a, b := run(t, fibSrc, cfg), run(t, fibSrc, off)
+		if a.Trace.Cycles != b.Trace.Cycles || a.Trace.Instructions != b.Trace.Instructions {
+			t.Errorf("windows=%d: cycles/instructions diverge: %d/%d vs %d/%d",
+				cfg.Windows, a.Trace.Cycles, a.Trace.Instructions, b.Trace.Cycles, b.Trace.Instructions)
+		}
+		if a.Stats != b.Stats {
+			t.Errorf("windows=%d: stats diverge:\nicache  %+v\nnocache %+v", cfg.Windows, a.Stats, b.Stats)
+		}
+		if a.Regs.Get(1) != b.Regs.Get(1) {
+			t.Errorf("windows=%d: results diverge: %d vs %d", cfg.Windows, a.Regs.Get(1), b.Regs.Get(1))
+		}
+	}
+}
+
+// TestICacheFaultParity: a program that jumps into garbage must fault
+// with the same diagnostic whether or not the bad word was reached
+// through the cache path.
+func TestICacheFaultParity(t *testing.T) {
+	src := `
+main:	jmp alw, r0, 64		; jump to a zeroed word (illegal opcode 0)
+	nop
+`
+	for _, cfg := range []Config{{}, {NoICache: true}} {
+		prog, err := asm.Assemble(src, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(cfg)
+		c.Reset(prog.Entry)
+		prog.LoadInto(c.Mem)
+		err = c.Run()
+		if err == nil {
+			t.Fatalf("cfg %+v: expected illegal-opcode fault", cfg)
+		}
+	}
+}
+
+// BenchmarkStepICache/NoCache measure the interpreter's per-instruction
+// cost in isolation (a tight self-loop, no allocation per iteration).
+func benchmarkStep(b *testing.B, noICache bool) {
+	prog, err := asm.Assemble("main:\tba main\n\tadd r1, r1, 1\n", asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New(Config{NoICache: noICache, MaxInstructions: 1 << 62})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkStepICache(b *testing.B)  { benchmarkStep(b, false) }
+func BenchmarkStepNoCache(b *testing.B) { benchmarkStep(b, true) }

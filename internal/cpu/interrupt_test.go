@@ -162,6 +162,78 @@ handler:
 	}
 }
 
+// TestInterruptInSlotDeferralAndResumeAddress pins down the delivery
+// protocol step by step: an interrupt raised while the next instruction
+// occupies a delayed-jump shadow must wait until the shadow instruction
+// has executed, and the resume address saved in r25 of the handler's
+// window must be the in-flight jump target, so RETINT restarts execution
+// exactly where the transfer was headed.
+func TestInterruptInSlotDeferralAndResumeAddress(t *testing.T) {
+	prog, err := asm.Assemble(`
+main:	ba over
+	add r2, r0, 1		; delay slot
+	add r2, r0, 99		; skipped
+over:	add r3, r2, 0
+	add r4, r4, 1
+	ret
+	nop
+	.org 0x400
+handler:
+	add r5, r5, 1		; padding: keep the handler alive one step
+	retint r25, 0
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, _ := prog.Symbol("handler")
+	overAddr, _ := prog.Symbol("over")
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+
+	c.Step() // executes the ba; the next instruction is its delay slot
+	if !c.inSlot {
+		t.Fatal("setup: expected to be in the delay slot after the ba")
+	}
+	c.RaiseInterrupt(vector)
+
+	c.Step() // the shadow instruction must run; delivery is deferred
+	if !c.InterruptsEnabled() {
+		t.Fatal("interrupt delivered inside a delayed-jump shadow")
+	}
+	if got := c.Regs.Get(2); got != 1 {
+		t.Fatalf("delay slot did not execute before delivery: r2 = %d", got)
+	}
+	if c.PC() != overAddr {
+		t.Fatalf("pc after the slot = %#x, want the jump target %#x", c.PC(), overAddr)
+	}
+
+	c.Step() // delivery happens here, then the handler's first instruction
+	if c.InterruptsEnabled() {
+		t.Fatal("interrupt entry should disable interrupts")
+	}
+	if got := c.Regs.Get(5); got != 1 {
+		t.Fatalf("handler did not start: r5 = %d", got)
+	}
+	if got := c.Regs.Get(25); got != overAddr {
+		t.Fatalf("resume address in r25 = %#x, want the in-flight target %#x", got, overAddr)
+	}
+
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(3); got != 1 {
+		t.Errorf("r3 = %d, want 1 (resume re-entered at the jump target, once)", got)
+	}
+	if got := c.Regs.Get(4); got != 1 {
+		t.Errorf("r4 = %d, want 1 (post-target code ran exactly once)", got)
+	}
+	if !c.InterruptsEnabled() {
+		t.Error("RETINT should re-enable interrupts")
+	}
+}
+
 func TestInterruptDeferredInDelaySlot(t *testing.T) {
 	// Raise an interrupt while the next instruction is a delay slot; the
 	// machine must complete the slot (and the in-flight transfer) first.

@@ -1,0 +1,54 @@
+package isa
+
+// Processor status word layout (simulator-defined; the 1981 paper leaves
+// the PSW encoding to the implementation). The low bits carry the four
+// condition codes and the interrupt-enable flag; bits 8..12 report the
+// current window pointer. The CWP field is READ-ONLY through PUTPSW:
+// hardware changes it only via CALL/RET/CALLINT/RETINT, and the CPU
+// faults on an attempt to write a different value rather than silently
+// dropping it.
+const (
+	PSWZ         uint32 = 1 << 0 // zero
+	PSWN         uint32 = 1 << 1 // negative
+	PSWC         uint32 = 1 << 2 // carry (for SUB: no borrow)
+	PSWV         uint32 = 1 << 3 // signed overflow
+	PSWIntEnable uint32 = 1 << 4 // interrupts enabled
+
+	// PSWCWPShift/PSWCWPBits locate the read-only CWP field (bits 8..12).
+	PSWCWPShift        = 8
+	PSWCWPBits  uint32 = 0x1f
+)
+
+// PSWFlagBits masks the four condition-code bits.
+const PSWFlagBits = PSWZ | PSWN | PSWC | PSWV
+
+// PSW packs the condition codes into their PSW bit positions.
+func (f Flags) PSW() uint32 {
+	var w uint32
+	if f.Z {
+		w |= PSWZ
+	}
+	if f.N {
+		w |= PSWN
+	}
+	if f.C {
+		w |= PSWC
+	}
+	if f.V {
+		w |= PSWV
+	}
+	return w
+}
+
+// FlagsFromPSW extracts the condition codes from a PSW value.
+func FlagsFromPSW(w uint32) Flags {
+	return Flags{
+		Z: w&PSWZ != 0,
+		N: w&PSWN != 0,
+		C: w&PSWC != 0,
+		V: w&PSWV != 0,
+	}
+}
+
+// PSWCWP extracts the read-only CWP field from a PSW value.
+func PSWCWP(w uint32) int { return int(w >> PSWCWPShift & PSWCWPBits) }

@@ -46,6 +46,19 @@ type Memory struct {
 
 	// Stats accumulates data traffic. Callers may reset it directly.
 	Stats Stats
+
+	// OnStore, when non-nil, is called after every successful mutation
+	// with the affected byte range [addr, addr+size). The RISC CPU hooks
+	// it to invalidate predecoded instructions when a store lands in
+	// cached code, so self-modifying programs stay correct. Reset and
+	// WriteBytes report their full ranges too.
+	OnStore func(addr, size uint32)
+}
+
+func (m *Memory) notify(addr, size uint32) {
+	if m.OnStore != nil {
+		m.OnStore(addr, size)
+	}
 }
 
 // New allocates size bytes of zeroed memory.
@@ -87,6 +100,7 @@ func (m *Memory) StoreWord(addr uint32, v uint32) error {
 	m.Stats.Writes++
 	m.Stats.BytesWritten += 4
 	binary.BigEndian.PutUint32(m.data[addr:], v)
+	m.notify(addr, 4)
 	return nil
 }
 
@@ -108,6 +122,7 @@ func (m *Memory) StoreHalf(addr uint32, v uint32) error {
 	m.Stats.Writes++
 	m.Stats.BytesWritten += 2
 	binary.BigEndian.PutUint16(m.data[addr:], uint16(v))
+	m.notify(addr, 2)
 	return nil
 }
 
@@ -129,6 +144,7 @@ func (m *Memory) StoreByte(addr uint32, v uint32) error {
 	m.Stats.Writes++
 	m.Stats.BytesWritten++
 	m.data[addr] = byte(v)
+	m.notify(addr, 1)
 	return nil
 }
 
@@ -157,6 +173,7 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 		return &AccessError{Addr: addr, Size: len(b), Write: true, Why: "address out of range"}
 	}
 	copy(m.data[addr:], b)
+	m.notify(addr, uint32(len(b)))
 	return nil
 }
 
@@ -177,4 +194,5 @@ func (m *Memory) Reset() {
 		m.data[i] = 0
 	}
 	m.Stats = Stats{}
+	m.notify(0, uint32(len(m.data)))
 }

@@ -169,6 +169,36 @@ func TestWordStoreProperty(t *testing.T) {
 	}
 }
 
+// TestOnStoreHook verifies the write-hook contract the CPU's instruction
+// cache depends on: every mutation path reports the touched range, failed
+// stores report nothing, and loads/fetches never fire the hook.
+func TestOnStoreHook(t *testing.T) {
+	type event struct{ addr, size uint32 }
+	m := New(64)
+	var got []event
+	m.OnStore = func(addr, size uint32) { got = append(got, event{addr, size}) }
+
+	m.StoreWord(8, 1)
+	m.StoreHalf(12, 2)
+	m.StoreByte(14, 3)
+	m.WriteBytes(20, []byte{1, 2, 3})
+	m.StoreWord(2, 0)   // misaligned: must not notify
+	m.StoreWord(64, 0)  // out of range: must not notify
+	m.LoadWord(8)       // reads never notify
+	m.FetchWord(8)
+	m.Reset()
+
+	want := []event{{8, 4}, {12, 2}, {14, 1}, {20, 3}, {0, 64}}
+	if len(got) != len(want) {
+		t.Fatalf("hook events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestNewInvalidSizePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
