@@ -5,14 +5,19 @@
 // Usage:
 //
 //	cisc-run [-limit N] [-print sym,sym] file.s
+//
+// Observability: the -report, -profile, -trace-out, -trace-format and
+// -trace flags mirror risc1-run; see that command's documentation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"risc1/internal/obs"
 	"risc1/internal/vax"
 )
 
@@ -20,6 +25,12 @@ func main() {
 	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
 	list := flag.Bool("list", false, "print a disassembly listing before running")
 	printSyms := flag.String("print", "", "comma-separated globals to print as words after the run")
+	traceN := flag.Uint64("trace", 0, "print only the first N trace events (stdout unless -trace-out)")
+	traceOut := flag.String("trace-out", "", "stream the execution trace to FILE")
+	traceFormat := flag.String("trace-format", "", "trace format: text, jsonl or chrome (default from the -trace-out extension)")
+	profileOut := flag.String("profile", "", `write the guest profile (per-function and hot-spot listing) to FILE ("-" = stdout)`)
+	reportOut := flag.String("report", "", `write the machine-readable JSON run report to FILE ("-" = stdout)`)
+	top := flag.Int("top", 10, "rows in the profile and report hot-spot listings")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cisc-run [flags] file.s")
@@ -38,12 +49,75 @@ func main() {
 		fmt.Println()
 	}
 	c := vax.New(vax.Config{MaxInstructions: *limit})
+
+	symtab := obs.NewSymTab(prog.Symbols)
+	needTrace := *traceOut != "" || *traceN > 0
+	needProf := *profileOut != "" || *reportOut != ""
+	var o *obs.Observer
+	var traceFile *os.File
+	if needTrace || needProf {
+		o = &obs.Observer{}
+		if needProf {
+			o.Prof = obs.NewProfiler()
+			o.Prof.Start(prog.Entry)
+		}
+		if needTrace {
+			w := os.Stdout
+			format := "text"
+			if *traceOut != "" {
+				format, err = obs.TraceFormat(*traceOut, *traceFormat)
+				if err != nil {
+					fatal(err)
+				}
+				traceFile, err = os.Create(*traceOut)
+				if err != nil {
+					fatal(err)
+				}
+				w = traceFile
+			} else if *traceFormat != "" {
+				if format, err = obs.TraceFormat("", *traceFormat); err != nil {
+					fatal(err)
+				}
+			}
+			symbolize := func(pc uint32) (string, bool) {
+				name, off, ok := symtab.Lookup(pc)
+				return name, ok && off == 0
+			}
+			sink, err := obs.NewSink(format, w, vax.CycleNS, symbolize)
+			if err != nil {
+				fatal(err)
+			}
+			o.Tracer = obs.NewTracer(0, sink)
+			o.Tracer.Limit = *traceN
+		}
+		c.Obs = o
+	}
+
 	c.Reset(prog.Entry)
 	if err := prog.LoadInto(c.Mem); err != nil {
 		fatal(err)
 	}
-	if err := c.Run(); err != nil {
-		fatal(err)
+	runErr := c.Run()
+	if o != nil {
+		if err := o.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "cisc-run: trace:", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if runErr != nil {
+		if o != nil && o.Tracer != nil {
+			fmt.Fprintln(os.Stderr, "last events before the fault:")
+			ts := obs.NewTextSink(os.Stderr)
+			for _, ev := range o.Tracer.Tail(16) {
+				ts.Emit(ev)
+			}
+			ts.Close()
+		}
+		fatal(runErr)
 	}
 
 	fmt.Printf("halted after %d instructions, %d cycles (%.1f µs at 200 ns)\n",
@@ -53,6 +127,8 @@ func main() {
 		c.Stats.BranchesTaken, c.Stats.BranchesUntaken)
 	fmt.Printf("instruction stream: %d bytes fetched (%.2f bytes/instruction)\n",
 		c.Stats.InstBytes, float64(c.Stats.InstBytes)/float64(c.Trace.Instructions))
+	fmt.Printf("memory: %d reads, %d writes (%d bytes read, %d bytes written)\n",
+		c.Mem.Stats.Reads, c.Mem.Stats.Writes, c.Mem.Stats.BytesRead, c.Mem.Stats.BytesWritten)
 	fmt.Println("\nregisters:")
 	for r := 0; r < vax.NumRegs; r++ {
 		name := fmt.Sprintf("r%d", r)
@@ -90,6 +166,33 @@ func main() {
 	for _, s := range c.Trace.Mix() {
 		fmt.Printf("  %-8s %6.1f%%  (%d)\n", s.Name, 100*s.Frac, s.Count)
 	}
+
+	if *profileOut != "" {
+		text := obs.FormatProfile(o.Prof, symtab, c.Disassembler(), *top)
+		if err := writeOut(*profileOut, []byte(text)); err != nil {
+			fatal(err)
+		}
+	}
+	if *reportOut != "" {
+		r := c.BuildReport(strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".s"))
+		r.Profile = obs.ProfileSection(o.Prof, symtab, c.Disassembler(), *top)
+		b, err := r.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*reportOut, b); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeOut writes data to path, with "-" meaning stdout.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@
 //	risc1-bench -table size,time # only selected tables
 //	risc1-bench -fig windows     # only selected figures
 //	risc1-bench -nocache         # run the simulators without the icache
+//	risc1-bench -report out.json # machine-readable report of every run
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"risc1/internal/bench"
+	"risc1/internal/obs"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 	tables := flag.String("table", "", "comma-separated tables: instr,machines,suite,size,time,mix,ops,callcost,traffic (default all)")
 	figs := flag.String("fig", "", "comma-separated figures: windows,delayslots,depth,ablation (default all)")
 	noICache := flag.Bool("nocache", false, "disable the predecoded instruction cache (host speed only; simulated results are identical)")
+	reportOut := flag.String("report", "", `write a machine-readable JSON bench report (one run report per workload and machine) to FILE ("-" = stdout)`)
 	flag.Parse()
 	bench.NoICache = *noICache
 
@@ -62,7 +65,7 @@ func main() {
 
 	needCompare := want(*tables, "size") || want(*tables, "time") || want(*tables, "mix") ||
 		want(*tables, "ops") || want(*tables, "traffic") ||
-		want(*figs, "delayslots") || want(*figs, "depth")
+		want(*figs, "delayslots") || want(*figs, "depth") || *reportOut != ""
 	var cs []bench.Comparison
 	if needCompare {
 		var err error
@@ -116,6 +119,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(out, bench.FigAblation(rows))
+	}
+	if *reportOut != "" {
+		r := obs.NewBenchReport(*scale, bench.Reports(cs))
+		b, err := r.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if *reportOut == "-" {
+			if _, err := os.Stdout.Write(b); err != nil {
+				fatal(err)
+			}
+		} else if err := os.WriteFile(*reportOut, b, 0o644); err != nil {
+			fatal(err)
+		}
 	}
 }
 

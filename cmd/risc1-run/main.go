@@ -4,17 +4,29 @@
 // Usage:
 //
 //	risc1-run [-O] [-windows N] [-nocache] [-limit N] [-print sym,sym] file.s
+//
+// Observability:
+//
+//	risc1-run -report run.json file.s        # machine-readable run report
+//	risc1-run -profile - file.s              # guest profile to stdout
+//	risc1-run -trace-out run.trace.json file.s   # Perfetto-loadable trace
+//	risc1-run -trace 20 file.s               # first 20 events to stdout
+//
+// The trace format follows the file extension (.jsonl → JSON lines,
+// .json/.trace → Chrome trace_event, else text) unless -trace-format
+// overrides it. "-" as a report or profile path means stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"risc1/internal/asm"
 	"risc1/internal/cpu"
-	"risc1/internal/isa"
+	"risc1/internal/obs"
 )
 
 func main() {
@@ -24,7 +36,12 @@ func main() {
 	noICache := flag.Bool("nocache", false, "disable the predecoded instruction cache (host speed only; simulated results are identical)")
 	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
 	printSyms := flag.String("print", "", "comma-separated globals to print as words after the run")
-	traceN := flag.Uint64("trace", 0, "print the first N executed instructions")
+	traceN := flag.Uint64("trace", 0, "print only the first N trace events (stdout unless -trace-out)")
+	traceOut := flag.String("trace-out", "", "stream the execution trace to FILE")
+	traceFormat := flag.String("trace-format", "", "trace format: text, jsonl or chrome (default from the -trace-out extension)")
+	profileOut := flag.String("profile", "", `write the guest profile (per-function and hot-spot listing) to FILE ("-" = stdout)`)
+	reportOut := flag.String("report", "", `write the machine-readable JSON run report to FILE ("-" = stdout)`)
+	top := flag.Int("top", 10, "rows in the profile and report hot-spot listings")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: risc1-run [flags] file.s")
@@ -39,21 +56,75 @@ func main() {
 		fatal(err)
 	}
 	c := cpu.New(cpu.Config{Windows: *windows, NoWindows: *noWindows, NoICache: *noICache, MaxInstructions: *limit})
-	if *traceN > 0 {
-		var n uint64
-		c.Tracer = func(pc uint32, in isa.Inst) {
-			if n < *traceN {
-				fmt.Printf("%08x: %s\n", pc, in)
-			}
-			n++
+
+	symtab := obs.NewSymTab(prog.Symbols)
+	needTrace := *traceOut != "" || *traceN > 0
+	needProf := *profileOut != "" || *reportOut != ""
+	var o *obs.Observer
+	var traceFile *os.File
+	if needTrace || needProf {
+		o = &obs.Observer{}
+		if needProf {
+			o.Prof = obs.NewProfiler()
+			o.Prof.Start(prog.Entry)
 		}
+		if needTrace {
+			w := os.Stdout
+			format := "text"
+			if *traceOut != "" {
+				format, err = obs.TraceFormat(*traceOut, *traceFormat)
+				if err != nil {
+					fatal(err)
+				}
+				traceFile, err = os.Create(*traceOut)
+				if err != nil {
+					fatal(err)
+				}
+				w = traceFile
+			} else if *traceFormat != "" {
+				if format, err = obs.TraceFormat("", *traceFormat); err != nil {
+					fatal(err)
+				}
+			}
+			symbolize := func(pc uint32) (string, bool) {
+				name, off, ok := symtab.Lookup(pc)
+				return name, ok && off == 0
+			}
+			sink, err := obs.NewSink(format, w, cpu.DefaultCycleNS, symbolize)
+			if err != nil {
+				fatal(err)
+			}
+			o.Tracer = obs.NewTracer(0, sink)
+			o.Tracer.Limit = *traceN
+		}
+		c.Obs = o
 	}
+
 	c.Reset(prog.Entry)
 	if err := prog.LoadInto(c.Mem); err != nil {
 		fatal(err)
 	}
-	if err := c.Run(); err != nil {
-		fatal(err)
+	runErr := c.Run()
+	if o != nil {
+		if err := o.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "risc1-run: trace:", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if runErr != nil {
+		if o != nil && o.Tracer != nil {
+			fmt.Fprintln(os.Stderr, "last events before the fault:")
+			ts := obs.NewTextSink(os.Stderr)
+			for _, ev := range o.Tracer.Tail(16) {
+				ts.Emit(ev)
+			}
+			ts.Close()
+		}
+		fatal(runErr)
 	}
 
 	fmt.Printf("halted after %d instructions, %d cycles (%.1f µs at 400 ns)\n",
@@ -63,6 +134,13 @@ func main() {
 		c.Regs.Stats.Overflows, c.Regs.Stats.Underflows, c.Regs.MaxDepth())
 	fmt.Printf("jumps: %d taken, %d untaken; delay-slot nops executed: %d\n",
 		c.Stats.JumpsTaken, c.Stats.JumpsUntaken, c.Stats.DelaySlotNops)
+	fmt.Printf("memory: %d reads, %d writes (%d bytes read, %d bytes written)\n",
+		c.Mem.Stats.Reads, c.Mem.Stats.Writes, c.Mem.Stats.BytesRead, c.Mem.Stats.BytesWritten)
+	if !*noICache {
+		s := c.ICacheStats()
+		fmt.Printf("icache (host): %d hits, %d misses, %d fills, %d invalidations\n",
+			s.Hits, s.Misses, s.Fills, s.Invalidations)
+	}
 	fmt.Println("\nregisters (current window):")
 	for r := uint8(0); r < 32; r++ {
 		fmt.Printf("  r%-2d %08x", r, c.Regs.Get(r))
@@ -91,6 +169,34 @@ func main() {
 	for _, s := range c.Trace.Mix() {
 		fmt.Printf("  %-8s %6.1f%%  (%d)\n", s.Name, 100*s.Frac, s.Count)
 	}
+
+	if *profileOut != "" {
+		text := obs.FormatProfile(o.Prof, symtab, c.Disassembler(), *top)
+		if err := writeOut(*profileOut, []byte(text)); err != nil {
+			fatal(err)
+		}
+	}
+	if *reportOut != "" {
+		r := c.BuildReport(strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".s"))
+		r.Config.Optimized = *optimize
+		r.Profile = obs.ProfileSection(o.Prof, symtab, c.Disassembler(), *top)
+		b, err := r.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*reportOut, b); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeOut writes data to path, with "-" meaning stdout.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func fatal(err error) {

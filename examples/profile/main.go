@@ -1,0 +1,85 @@
+// Profile: attach the observability layer to a RISC I run — guest
+// profiler plus event tracer — and print where the simulated cycles go.
+// This is the library-level form of risc1-run's -profile and -report
+// flags: compile a MiniC program, hang an obs.Observer off the CPU, and
+// render the flat/cumulative function table, the disassembly-annotated
+// hot spots, and the versioned JSON run report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"risc1/internal/cc"
+	"risc1/internal/cpu"
+	"risc1/internal/obs"
+)
+
+const source = `
+int result;
+
+int gcd(int a, int b) {
+	if (b == 0) return a;
+	return gcd(b, a - (a / b) * b);
+}
+
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+	result = fib(15) + gcd(1071, 462);
+	return 0;
+}
+`
+
+func main() {
+	prog, _, err := cc.CompileRISC(source, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := cpu.New(cpu.Config{})
+	o := &obs.Observer{
+		// Ring-only tracer: no sink, but the last events stay inspectable
+		// (risc1-run prints this tail when a traced program faults).
+		Tracer: obs.NewTracer(0, nil),
+		Prof:   obs.NewProfiler(),
+	}
+	c.Obs = o
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		log.Fatal(err)
+	}
+	o.Prof.Start(prog.Entry)
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := o.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The compiler's symbol table names the profile rows; the CPU's
+	// memory image disassembles the hot spots.
+	symtab := obs.NewSymTab(prog.Symbols)
+	fmt.Print(obs.FormatProfile(o.Prof, symtab, c.Disassembler(), 8))
+
+	fmt.Printf("\nlast %d trace events:\n", 5)
+	ts := obs.NewTextSink(os.Stdout)
+	for _, ev := range o.Tracer.Tail(5) {
+		ts.Emit(ev)
+	}
+	ts.Close()
+
+	report := c.BuildReport("fib+gcd")
+	report.Config.Optimized = true
+	report.Profile = obs.ProfileSection(o.Prof, symtab, c.Disassembler(), 5)
+	b, err := report.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrun report (%d bytes of JSON):\n", len(b))
+	os.Stdout.Write(b)
+}

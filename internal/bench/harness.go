@@ -7,6 +7,7 @@ import (
 	"risc1/internal/cc"
 	"risc1/internal/cpu"
 	"risc1/internal/mem"
+	"risc1/internal/obs"
 	"risc1/internal/regfile"
 	"risc1/internal/trace"
 	"risc1/internal/vax"
@@ -27,6 +28,11 @@ type RiscRun struct {
 	MaxDepth     int
 	Depths       []uint64 // calls beginning at each nesting depth
 	DataTraffic  mem.Stats
+	// Report is the machine-readable form of this run. Its ICache
+	// section is cleared: icache activity is host machinery that differs
+	// with RiscConfig.NoICache while every simulated number here is
+	// identical (TestICacheDeterminism compares whole RiscRun values).
+	Report obs.Report
 }
 
 // VaxRun is the outcome of one workload on the CISC baseline.
@@ -39,6 +45,8 @@ type VaxRun struct {
 	Stats        vax.Stats
 	Mix          []trace.Share
 	DataTraffic  mem.Stats
+	// Report is the machine-readable form of this run.
+	Report obs.Report
 }
 
 // RiscConfig tweaks a RISC run.
@@ -91,7 +99,10 @@ func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
 		MaxDepth:     c.Regs.MaxDepth(),
 		Depths:       c.Trace.DepthHistogram(),
 		DataTraffic:  c.Mem.Stats,
+		Report:       c.BuildReport(w.Name),
 	}
+	run.Report.ICache = nil // host machinery; see the field comment
+	run.Report.Config.Optimized = cfg.Optimize
 	if run.Result != w.Expected {
 		return run, fmt.Errorf("bench %s (risc): result %d, want %d", w.Name, run.Result, w.Expected)
 	}
@@ -129,6 +140,7 @@ func RunVAX(w Workload) (VaxRun, error) {
 		Stats:        c.Stats,
 		Mix:          c.Trace.Mix(),
 		DataTraffic:  c.Mem.Stats,
+		Report:       c.BuildReport(w.Name),
 	}
 	if run.Result != w.Expected {
 		return run, fmt.Errorf("bench %s (vax): result %d, want %d", w.Name, run.Result, w.Expected)
@@ -173,6 +185,18 @@ func CompareAll(suite []Workload) ([]Comparison, error) {
 		out = append(out, c)
 	}
 	return out, nil
+}
+
+// Reports flattens a comparison set into the run list of an
+// obs.BenchReport: for each workload the optimized RISC run, the
+// unoptimized RISC run, then the baseline (told apart by Machine and
+// Config.Optimized).
+func Reports(cs []Comparison) []obs.Report {
+	out := make([]obs.Report, 0, 3*len(cs))
+	for _, c := range cs {
+		out = append(out, c.Risc.Report, c.RiscNop.Report, c.Vax.Report)
+	}
+	return out
 }
 
 // WindowSweep measures the overflow rate (fraction of calls that spill)

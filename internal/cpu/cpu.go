@@ -11,6 +11,7 @@ import (
 
 	"risc1/internal/isa"
 	"risc1/internal/mem"
+	"risc1/internal/obs"
 	"risc1/internal/regfile"
 	"risc1/internal/trace"
 )
@@ -94,8 +95,17 @@ type CPU struct {
 	Stats Stats
 
 	// Tracer, when non-nil, receives every instruction just before it
-	// executes — the hook behind risc1-run's -trace flag.
+	// executes — a lightweight hook for models that only need the
+	// instruction stream (the pipeline viewer). Richer observation goes
+	// through Obs.
 	Tracer func(pc uint32, in isa.Inst)
+
+	// Obs, when non-nil, receives structured execution events: every
+	// instruction, call, return, window spill/refill, interrupt and
+	// fault, feeding the tracer and the guest profiler. nil (the
+	// default) keeps the hot loop observation-free; Reset does not
+	// clear it. Attaching an observer never changes simulated state.
+	Obs *obs.Observer
 
 	pc     uint32 // address of the instruction being executed
 	npc    uint32 // address of the next instruction (delayed-jump slot)
@@ -236,6 +246,12 @@ func (c *CPU) deliverInterrupt() {
 		}
 	}
 	c.Trace.Depth(c.Regs.Depth())
+	if c.Obs != nil {
+		c.observeCall(obs.KindInterrupt, c.pc, vector)
+		if c.Obs.Prof != nil {
+			c.Obs.Prof.Overhead(vector, trapOverheadCycles)
+		}
+	}
 	c.Regs.Set(25, c.pc) // resume address
 	c.lastPC = c.pc
 	c.pc = vector
@@ -263,6 +279,7 @@ func (c *CPU) Step() {
 		c.execute(d.in, d.cycles, d.handle)
 		return
 	}
+	c.icache.countMiss()
 	word, err := c.Mem.FetchWord(c.pc)
 	if err != nil {
 		c.fault(fmt.Errorf("cpu: fetch at %#08x: %w", c.pc, err))
@@ -282,6 +299,71 @@ func (c *CPU) Step() {
 func (c *CPU) fault(err error) {
 	c.halted = true
 	c.haltErr = err
+	if o := c.Obs; o != nil && o.Tracer != nil {
+		o.Tracer.Emit(obs.Event{Kind: obs.KindFault, PC: c.pc, Cycle: c.Trace.Cycles, Text: err.Error()})
+	}
+}
+
+// observeInstr feeds the observer one about-to-execute instruction. It
+// lives out of line so the instruments-off hot path in execute stays a
+// single predictable branch.
+func (c *CPU) observeInstr(in isa.Inst, cost uint64) {
+	o := c.Obs
+	if o.Prof != nil {
+		o.Prof.Sample(c.pc, cost)
+	}
+	if o.Tracer != nil {
+		ev := obs.Event{
+			Kind:  obs.KindInstr,
+			PC:    c.pc,
+			Cycle: c.Trace.Cycles,
+			Cost:  cost,
+			Op:    in.Op.String(),
+			Text:  in.String(),
+			Slot:  c.inSlot,
+		}
+		// Jump outcomes are known before execution: Eval is pure.
+		if in.Op == isa.JMP || in.Op == isa.JMPR {
+			ev.Taken = in.Cond().Eval(c.flags)
+		}
+		o.Tracer.Emit(ev)
+	}
+}
+
+// observeCall reports a window-advancing transfer (CALL/CALLR/CALLINT
+// or interrupt delivery) after the window has moved.
+func (c *CPU) observeCall(kind obs.Kind, fromPC, target uint32) {
+	o := c.Obs
+	if o.Prof != nil {
+		o.Prof.EnterCall(target)
+	}
+	if o.Tracer != nil {
+		o.Tracer.Emit(obs.Event{Kind: kind, PC: fromPC, Cycle: c.Trace.Cycles, Target: target, Depth: c.Regs.Depth()})
+	}
+}
+
+// observeReturn reports a window-retreating transfer after the window
+// has moved back.
+func (c *CPU) observeReturn(target uint32) {
+	o := c.Obs
+	if o.Prof != nil {
+		o.Prof.LeaveCall()
+	}
+	if o.Tracer != nil {
+		o.Tracer.Emit(obs.Event{Kind: obs.KindReturn, PC: c.pc, Cycle: c.Trace.Cycles, Target: target, Depth: c.Regs.Depth()})
+	}
+}
+
+// observeWindowTrap reports a spill or refill before its cycles land in
+// the collector, charging the trap overhead to the current PC.
+func (c *CPU) observeWindowTrap(kind obs.Kind, words int, cost uint64) {
+	o := c.Obs
+	if o.Prof != nil {
+		o.Prof.Overhead(c.pc, cost)
+	}
+	if o.Tracer != nil {
+		o.Tracer.Emit(obs.Event{Kind: kind, PC: c.pc, Cycle: c.Trace.Cycles, Words: words, Cost: cost})
+	}
 }
 
 // s2 evaluates the short-format second operand.
@@ -347,6 +429,9 @@ func (c *CPU) transfer(target uint32) {
 func (c *CPU) execute(in isa.Inst, cycles uint64, handle int) {
 	if c.Tracer != nil {
 		c.Tracer(c.pc, in)
+	}
+	if c.Obs != nil {
+		c.observeInstr(in, cycles)
 	}
 	c.Trace.ExecHandle(handle, cycles)
 
@@ -501,6 +586,9 @@ func (c *CPU) execute(in isa.Inst, cycles uint64, handle int) {
 			}
 		}
 		c.Trace.Depth(c.Regs.Depth())
+		if c.Obs != nil {
+			c.observeCall(obs.KindCall, callPC, target)
+		}
 		// The return address lands in the NEW window, so the callee
 		// (and RET) can find it; r25 is the software convention.
 		c.Regs.Set(in.Rd, callPC)
@@ -520,6 +608,9 @@ func (c *CPU) execute(in isa.Inst, cycles uint64, handle int) {
 			if !c.refill() {
 				return
 			}
+		}
+		if c.Obs != nil {
+			c.observeReturn(target)
 		}
 		c.transfer(target)
 
@@ -567,6 +658,9 @@ func (c *CPU) spill(vals []uint32) bool {
 		}
 	}
 	cost := uint64(2*len(vals) + trapOverheadCycles)
+	if c.Obs != nil {
+		c.observeWindowTrap(obs.KindSpill, len(vals), cost)
+	}
 	c.Stats.TrapCycles += cost
 	c.Stats.SpillWords += uint64(len(vals))
 	c.Trace.AddCycles(cost)
@@ -587,6 +681,9 @@ func (c *CPU) refill() bool {
 	c.saveSP += uint32(4 * len(vals))
 	c.Regs.Refill(vals)
 	cost := uint64(2*len(vals) + trapOverheadCycles)
+	if c.Obs != nil {
+		c.observeWindowTrap(obs.KindRefill, len(vals), cost)
+	}
 	c.Stats.TrapCycles += cost
 	c.Stats.RefillWords += uint64(len(vals))
 	c.Trace.AddCycles(cost)

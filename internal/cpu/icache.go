@@ -32,8 +32,12 @@ type decoded struct {
 }
 
 // ICacheStats counts cache activity — observability for tests and tools,
-// not part of the simulated machine.
+// not part of the simulated machine. Hits + Misses equals the number of
+// dispatch attempts; Misses exceeds Fills only when a miss faults before
+// the line can be filled (bad fetch or illegal opcode).
 type ICacheStats struct {
+	Hits          uint64 // instructions dispatched from the cache
+	Misses        uint64 // dispatches that fell back to fetch+decode
 	Fills         uint64 // instructions decoded into the cache
 	Invalidations uint64 // cached lines/pages dropped by overlapping writes
 }
@@ -53,24 +57,30 @@ func newICache(memSize int) *icache {
 // lookup returns the cached record for pc, or nil on a miss (including a
 // misaligned or out-of-range pc, which the slow path turns into the same
 // fault it always raised). Nil-receiver safe so -nocache costs one branch.
+// Misses are counted by countMiss at the dispatch site, not here: the hit
+// path runs once per simulated instruction and must stay inlinable.
 func (ic *icache) lookup(pc uint32) *decoded {
-	if ic == nil || pc&3 != 0 {
+	if ic == nil {
 		return nil
 	}
 	idx := pc >> 2
 	p := idx >> icPageShift
-	if p >= uint32(len(ic.pages)) {
-		return nil
+	if pc&3 == 0 && p < uint32(len(ic.pages)) {
+		if pg := ic.pages[p]; pg != nil {
+			if d := &pg[idx&icPageMask]; d.valid {
+				ic.stats.Hits++
+				return d
+			}
+		}
 	}
-	pg := ic.pages[p]
-	if pg == nil {
-		return nil
+	return nil
+}
+
+// countMiss attributes one dispatch to the fetch+decode slow path.
+func (ic *icache) countMiss() {
+	if ic != nil {
+		ic.stats.Misses++
 	}
-	d := &pg[idx&icPageMask]
-	if !d.valid {
-		return nil
-	}
-	return d
 }
 
 // fill records a freshly decoded instruction.

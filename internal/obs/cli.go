@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// TraceFormat resolves the trace format for an output path. An explicit
+// format wins; otherwise the file extension decides: .jsonl/.ndjson →
+// jsonl, .json/.trace → chrome (trace_event, Perfetto-loadable),
+// anything else → text.
+func TraceFormat(path, explicit string) (string, error) {
+	switch explicit {
+	case "text", "jsonl", "chrome":
+		return explicit, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown trace format %q (want text, jsonl or chrome)", explicit)
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson":
+		return "jsonl", nil
+	case ".json", ".trace":
+		return "chrome", nil
+	}
+	return "text", nil
+}
+
+// NewSink builds the sink for a resolved format. nsPerCycle and
+// symbolize configure the Chrome sink (simulated-time scaling and call
+// slice naming) and are ignored by the others.
+func NewSink(format string, w io.Writer, nsPerCycle float64, symbolize func(pc uint32) (string, bool)) (Sink, error) {
+	switch format {
+	case "text":
+		return NewTextSink(w), nil
+	case "jsonl":
+		return NewJSONLSink(w), nil
+	case "chrome":
+		s := NewChromeSink(w)
+		s.NSPerCycle = nsPerCycle
+		s.Symbolize = symbolize
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown trace format %q (want text, jsonl or chrome)", format)
+}

@@ -1,0 +1,79 @@
+// Package obs is the observability layer shared by the RISC I simulator
+// and the CISC baseline: a ring-buffer instruction tracer with pluggable
+// sinks (human text, JSONL, Chrome trace_event for Perfetto), a
+// guest-program profiler that attributes simulated cycles per PC and per
+// function, and a versioned machine-readable run report. The layer is
+// strictly host-side: attaching or detaching it never changes simulated
+// cycle accounting, and with everything detached the simulators' hot
+// loops pay one nil check and zero allocations per instruction.
+package obs
+
+import "fmt"
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KindInstr is one executed instruction.
+	KindInstr Kind = iota
+	// KindCall is a window-advancing call (CALL/CALLR/CALLINT on RISC,
+	// CALLS on the baseline). It follows the KindInstr event of the
+	// calling instruction.
+	KindCall
+	// KindReturn is a window-retreating return (RET/RETINT, or the
+	// baseline's RET).
+	KindReturn
+	// KindSpill is a register-window overflow writing one activation's
+	// private span to the save stack.
+	KindSpill
+	// KindRefill is a register-window underflow restoring a spilled
+	// activation.
+	KindRefill
+	// KindInterrupt is the delivery of an external interrupt (the
+	// hardware CALLINT sequence).
+	KindInterrupt
+	// KindFault is a machine fault: the simulator halts with an error.
+	KindFault
+)
+
+// String returns the lower-case event-kind name used by the sinks.
+func (k Kind) String() string {
+	switch k {
+	case KindInstr:
+		return "instr"
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "return"
+	case KindSpill:
+		return "spill"
+	case KindRefill:
+		return "refill"
+	case KindInterrupt:
+		return "interrupt"
+	case KindFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one record in the execution trace. Only the fields meaningful
+// for the Kind are set; the rest stay zero.
+type Event struct {
+	Seq   uint64 // monotonically increasing event number, assigned by the Tracer
+	Cycle uint64 // cumulative simulated cycles when the event began
+	PC    uint32 // address of the instruction the event belongs to
+	Kind  Kind
+
+	Op   string // mnemonic (KindInstr)
+	Text string // disassembly or human-readable description
+	Cost uint64 // simulated cycles this event accounts for
+
+	Slot  bool // instruction executed in a delayed-jump shadow (KindInstr)
+	Taken bool // conditional jump taken (KindInstr of a jump)
+
+	Target uint32 // transfer target (KindCall/KindReturn/KindInterrupt)
+	Depth  int    // call depth after the event (KindCall/KindReturn)
+	Words  int    // registers moved (KindSpill/KindRefill)
+}

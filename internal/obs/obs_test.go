@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindInstr, PC: uint32(4 * i)})
+	}
+	if tr.Events() != 10 {
+		t.Fatalf("Events = %d, want 10", tr.Events())
+	}
+	ring := tr.Ring()
+	if len(ring) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ring))
+	}
+	for i, ev := range ring {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq || ev.PC != uint32(4*wantSeq) {
+			t.Errorf("ring[%d] = seq %d pc %#x, want seq %d pc %#x", i, ev.Seq, ev.PC, wantSeq, 4*wantSeq)
+		}
+	}
+	if tail := tr.Tail(2); len(tail) != 2 || tail[1].Seq != 9 {
+		t.Errorf("Tail(2) = %+v, want seqs 8,9", tail)
+	}
+}
+
+func TestRingShorterThanCapacity(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tr.Emit(Event{Kind: KindInstr})
+	tr.Emit(Event{Kind: KindCall})
+	ring := tr.Ring()
+	if len(ring) != 2 || ring[0].Seq != 0 || ring[1].Seq != 1 {
+		t.Errorf("ring = %+v, want the 2 emitted events in order", ring)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(0, NewJSONLSink(&buf))
+	tr.Limit = 3
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindInstr, Op: "add"})
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 3 {
+		t.Errorf("sink received %d events, want Limit=3", lines)
+	}
+	if tr.Events() != 10 {
+		t.Errorf("ring stopped recording at the limit: %d events", tr.Events())
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(0, NewJSONLSink(&buf))
+	tr.Emit(Event{Kind: KindInstr, PC: 0x40, Cycle: 7, Cost: 2, Op: "ldl", Text: "ldl r1, r2, 0", Slot: true})
+	tr.Emit(Event{Kind: KindCall, PC: 0x44, Target: 0x100, Depth: 1})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if first["pc"] != "0x00000040" || first["kind"] != "instr" || first["op"] != "ldl" || first["slot"] != true {
+		t.Errorf("line 1 = %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not JSON: %v", err)
+	}
+	if second["kind"] != "call" || second["target"] != "0x00000100" {
+		t.Errorf("line 2 = %v", second)
+	}
+}
+
+func TestTextSinkFormats(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTextSink(&buf)
+	events := []Event{
+		{Kind: KindInstr, PC: 0x40, Cycle: 1, Text: "add r1, r0, 1", Slot: true},
+		{Kind: KindSpill, PC: 0x44, Cycle: 2, Words: 16, Cost: 36},
+		{Kind: KindFault, PC: 0x48, Cycle: 3, Text: "boom"},
+	}
+	for _, ev := range events {
+		if err := s.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"add r1, r0, 1", "[slot]", "window spill: 16 regs", "fault: boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChromeSinkValidJSON asserts the trace_event document parses and
+// contains the slice types Perfetto renders (X instructions, B/E call
+// frames).
+func TestChromeSinkValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	s.NSPerCycle = 400
+	s.Symbolize = func(pc uint32) (string, bool) {
+		if pc == 0x100 {
+			return "fib", true
+		}
+		return "", false
+	}
+	tr := NewTracer(0, s)
+	tr.Emit(Event{Kind: KindInstr, PC: 0x40, Cycle: 0, Cost: 1, Op: "call", Text: "call fib"})
+	tr.Emit(Event{Kind: KindCall, PC: 0x40, Cycle: 1, Target: 0x100, Depth: 1})
+	tr.Emit(Event{Kind: KindInstr, PC: 0x100, Cycle: 1, Cost: 1, Op: "ret"})
+	tr.Emit(Event{Kind: KindReturn, PC: 0x100, Cycle: 2, Target: 0x44})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["X"] != 2 || phases["B"] != 1 || phases["E"] != 1 {
+		t.Errorf("phases = %v, want 2 X, 1 B, 1 E", phases)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "B" && ev["name"] != "fib" {
+			t.Errorf("call slice name = %v, want symbolized \"fib\"", ev["name"])
+		}
+	}
+}
+
+// TestChromeSinkEmptyTrace asserts Close alone still writes a valid
+// document.
+func TestChromeSinkEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty chrome trace invalid: %v\n%s", err, buf.String())
+	}
+}
+
+// TestProfilerRecursionCountedOnce exercises the gprof rule: cycles of
+// a recursive function propagate to its cumulative total exactly once.
+func TestProfilerRecursionCountedOnce(t *testing.T) {
+	p := NewProfiler()
+	p.Start(0x10) // main
+	p.Sample(0x10, 1)
+	p.EnterCall(0x100) // f
+	p.Sample(0x100, 10)
+	p.EnterCall(0x100) // f again (recursion)
+	p.Sample(0x104, 5)
+	p.LeaveCall()
+	p.LeaveCall()
+	p.Finalize()
+	rows := p.Functions(nil)
+	byAddr := map[uint32]FuncRow{}
+	for _, r := range rows {
+		byAddr[r.Addr] = r
+	}
+	f := byAddr[0x100]
+	if f.Calls != 2 {
+		t.Errorf("f calls = %d, want 2", f.Calls)
+	}
+	if f.Cum != 15 {
+		t.Errorf("f cumulative = %d, want 15 (counted once, not doubled)", f.Cum)
+	}
+	if m := byAddr[0x10]; m.Cum != 16 {
+		t.Errorf("main cumulative = %d, want 16", m.Cum)
+	}
+	if p.TotalCycles() != 16 {
+		t.Errorf("total = %d, want 16", p.TotalCycles())
+	}
+}
+
+func TestProfilerOverheadJoinsFlat(t *testing.T) {
+	p := NewProfiler()
+	p.Start(0x10)
+	p.Sample(0x10, 1)
+	p.Overhead(0x10, 40)
+	p.Finalize()
+	hot := p.HotPCs(0)
+	if len(hot) != 1 || hot[0].Cycles != 41 || hot[0].Count != 1 {
+		t.Errorf("hot = %+v, want one pc with 41 cycles and 1 visit", hot)
+	}
+	if p.TrapCycles() != 40 {
+		t.Errorf("trap cycles = %d, want 40", p.TrapCycles())
+	}
+}
+
+func TestSymTab(t *testing.T) {
+	st := NewSymTab(map[string]uint32{"main": 0x0, "fib": 0x40, "data": 0x1000})
+	if got := st.Describe(0x44); got != "fib+0x4" {
+		t.Errorf("Describe(0x44) = %q", got)
+	}
+	if got := st.Describe(0x40); got != "fib" {
+		t.Errorf("Describe(0x40) = %q", got)
+	}
+	if name, off, ok := st.Lookup(0x20); !ok || name != "main" || off != 0x20 {
+		t.Errorf("Lookup(0x20) = %q +%#x ok=%v", name, off, ok)
+	}
+	empty := NewSymTab(nil)
+	if _, _, ok := empty.Lookup(0x40); ok {
+		t.Error("empty table resolved an address")
+	}
+}
+
+// TestReportJSONDeterministic builds the same report twice and asserts
+// byte equality — the property the golden-file test in internal/bench
+// relies on end to end.
+func TestReportJSONDeterministic(t *testing.T) {
+	build := func() *Report {
+		return &Report{
+			Schema: ReportSchema, Version: ReportVersion, Machine: "risc1",
+			Workload: "w",
+			Totals:   Totals{Instructions: 10, Cycles: 12, Micros: 4.8, CPI: 1.2},
+			Mix:      []MixEntry{{Name: "alu", Count: 7, Frac: 0.7}},
+			Windows:  &Windows{Calls: 1, Returns: 1, DepthHist: []uint64{1, 1}},
+		}
+	}
+	a, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("identical reports marshal differently")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(a, &parsed); err != nil {
+		t.Fatalf("report JSON invalid: %v", err)
+	}
+	if parsed["schema"] != ReportSchema {
+		t.Errorf("schema = %v", parsed["schema"])
+	}
+}

@@ -1,0 +1,28 @@
+package obs
+
+// Observer bundles the observation tools a simulator can drive. The
+// simulators hold a single *Observer and skip all observation work when
+// it is nil, so the instruments-off hot loop pays one pointer test per
+// instruction and allocates nothing. Either component may be nil:
+// tracing without profiling and vice versa both work.
+type Observer struct {
+	// Tracer receives the structured event stream.
+	Tracer *Tracer
+	// Prof attributes simulated cycles to guest PCs and functions.
+	Prof *Profiler
+}
+
+// Finish finalizes the profiler (unwinding live activations) and closes
+// the tracer's sink. Call once after the simulated program stops.
+func (o *Observer) Finish() error {
+	if o == nil {
+		return nil
+	}
+	if o.Prof != nil {
+		o.Prof.Finalize()
+	}
+	if o.Tracer != nil {
+		return o.Tracer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profiler attributes simulated cycles to guest code: flat per PC, and
+// flat plus cumulative per function. Function identity comes from
+// observed call targets (every CALL/CALLINT target and the program
+// entry), so attribution needs no debug info; the assembler's symbol
+// table is used only to name the addresses afterwards.
+//
+// Cumulative attribution follows the gprof convention: a function's
+// cumulative cycles include its callees, and recursive re-entries are
+// counted once (cycles propagate to the outermost live instance only).
+type Profiler struct {
+	flat    map[uint32]*pcStat
+	funcs   map[uint32]*funcStat
+	stack   []frame
+	onStack map[uint32]int
+	total   uint64
+	trap    uint64 // portion of total charged through Overhead
+}
+
+type pcStat struct{ cycles, count uint64 }
+
+type funcStat struct{ calls, cum uint64 }
+
+// frame is one live activation: the function's entry PC and the cycles
+// accumulated inside it so far, callees included once they return.
+type frame struct {
+	fn     uint32
+	cycles uint64
+}
+
+// NewProfiler returns an empty profiler. Call Start with the program
+// entry before running.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		flat:    make(map[uint32]*pcStat),
+		funcs:   make(map[uint32]*funcStat),
+		onStack: make(map[uint32]int),
+	}
+}
+
+// Start opens the root activation at the program entry point.
+func (p *Profiler) Start(entry uint32) {
+	p.push(entry)
+}
+
+func (p *Profiler) fn(addr uint32) *funcStat {
+	f := p.funcs[addr]
+	if f == nil {
+		f = &funcStat{}
+		p.funcs[addr] = f
+	}
+	return f
+}
+
+func (p *Profiler) push(target uint32) {
+	p.fn(target).calls++
+	p.onStack[target]++
+	p.stack = append(p.stack, frame{fn: target})
+}
+
+// Sample charges one executed instruction at pc.
+func (p *Profiler) Sample(pc uint32, cost uint64) {
+	p.total += cost
+	s := p.flat[pc]
+	if s == nil {
+		s = &pcStat{}
+		p.flat[pc] = s
+	}
+	s.cycles += cost
+	s.count++
+	if n := len(p.stack); n > 0 {
+		p.stack[n-1].cycles += cost
+	}
+}
+
+// Overhead charges cycles that belong to pc but not to an instruction
+// visit — window-trap spill/refill costs and interrupt entry. They join
+// the PC's flat cycles (so per-function totals add up to the machine's
+// cycle count) without inflating its execution count.
+func (p *Profiler) Overhead(pc uint32, cost uint64) {
+	p.total += cost
+	p.trap += cost
+	s := p.flat[pc]
+	if s == nil {
+		s = &pcStat{}
+		p.flat[pc] = s
+	}
+	s.cycles += cost
+	if n := len(p.stack); n > 0 {
+		p.stack[n-1].cycles += cost
+	}
+}
+
+// EnterCall opens an activation of the function at target.
+func (p *Profiler) EnterCall(target uint32) { p.push(target) }
+
+// LeaveCall closes the youngest activation, folding its cycles into the
+// caller and, unless the function is still live further up the stack
+// (recursion), into its cumulative total.
+func (p *Profiler) LeaveCall() {
+	n := len(p.stack)
+	if n == 0 {
+		return
+	}
+	f := p.stack[n-1]
+	p.stack = p.stack[:n-1]
+	p.onStack[f.fn]--
+	if p.onStack[f.fn] == 0 {
+		p.fn(f.fn).cum += f.cycles
+	}
+	if n := len(p.stack); n > 0 {
+		p.stack[n-1].cycles += f.cycles
+	}
+}
+
+// Finalize unwinds activations still live at halt so their cycles reach
+// the cumulative totals. Safe to call more than once.
+func (p *Profiler) Finalize() {
+	for len(p.stack) > 0 {
+		p.LeaveCall()
+	}
+}
+
+// TotalCycles returns all cycles charged to the profiler.
+func (p *Profiler) TotalCycles() uint64 { return p.total }
+
+// TrapCycles returns the portion charged through Overhead.
+func (p *Profiler) TrapCycles() uint64 { return p.trap }
+
+// FuncRow is one function in the profile, named if a symbol table was
+// available.
+type FuncRow struct {
+	Name     string  `json:"name"`
+	Addr     uint32  `json:"-"`
+	AddrHex  string  `json:"addr"`
+	Calls    uint64  `json:"calls"`
+	Flat     uint64  `json:"flatCycles"`
+	Cum      uint64  `json:"cumCycles"`
+	FlatFrac float64 `json:"flatFrac"`
+	CumFrac  float64 `json:"cumFrac"`
+}
+
+// Functions returns the per-function profile, hottest flat first. Flat
+// cycles of a PC are attributed to the nearest preceding observed
+// function entry; name resolves addresses (nil falls back to hex).
+// Call Finalize first or cumulative totals will miss live activations.
+func (p *Profiler) Functions(name func(pc uint32) string) []FuncRow {
+	entries := make([]uint32, 0, len(p.funcs))
+	for a := range p.funcs {
+		entries = append(entries, a)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+
+	flatByFn := make(map[uint32]uint64, len(entries))
+	for pc, s := range p.flat {
+		// Rightmost entry <= pc; PCs below every observed entry land on
+		// the first one, which keeps the table total equal to TotalCycles.
+		i := sort.Search(len(entries), func(i int) bool { return entries[i] > pc })
+		if i == 0 {
+			if len(entries) == 0 {
+				continue
+			}
+			i = 1
+		}
+		flatByFn[entries[i-1]] += s.cycles
+	}
+
+	out := make([]FuncRow, 0, len(entries))
+	for _, a := range entries {
+		f := p.funcs[a]
+		row := FuncRow{
+			Addr:    a,
+			AddrHex: fmt.Sprintf("0x%08x", a),
+			Calls:   f.calls,
+			Flat:    flatByFn[a],
+			Cum:     f.cum,
+		}
+		if name != nil {
+			row.Name = name(a)
+		} else {
+			row.Name = row.AddrHex
+		}
+		if p.total > 0 {
+			row.FlatFrac = float64(row.Flat) / float64(p.total)
+			row.CumFrac = float64(row.Cum) / float64(p.total)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// PCRow is one program counter in the flat profile.
+type PCRow struct {
+	PC     uint32 `json:"-"`
+	PCHex  string `json:"pc"`
+	Cycles uint64 `json:"cycles"`
+	Count  uint64 `json:"count"`
+	Text   string `json:"text,omitempty"` // disassembly, when available
+}
+
+// HotPCs returns the n hottest program counters by cycles (all of them
+// for n <= 0), ties broken by address for determinism.
+func (p *Profiler) HotPCs(n int) []PCRow {
+	out := make([]PCRow, 0, len(p.flat))
+	for pc, s := range p.flat {
+		out = append(out, PCRow{PC: pc, PCHex: fmt.Sprintf("0x%08x", pc), Cycles: s.cycles, Count: s.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Symbol table
+
+// Sym is one named address.
+type Sym struct {
+	Name string
+	Addr uint32
+}
+
+// SymTab resolves guest addresses to the nearest preceding symbol — the
+// assembler's label map turned into a profiler-friendly lookup.
+type SymTab struct {
+	syms []Sym
+}
+
+// NewSymTab builds a table from a name → address map (the Symbols field
+// of an assembled program). Addresses may collide; the lexically first
+// name at each address wins.
+func NewSymTab(symbols map[string]uint32) *SymTab {
+	t := &SymTab{syms: make([]Sym, 0, len(symbols))}
+	for n, a := range symbols {
+		t.syms = append(t.syms, Sym{Name: n, Addr: a})
+	}
+	sort.Slice(t.syms, func(i, j int) bool {
+		if t.syms[i].Addr != t.syms[j].Addr {
+			return t.syms[i].Addr < t.syms[j].Addr
+		}
+		return t.syms[i].Name < t.syms[j].Name
+	})
+	return t
+}
+
+// Lookup returns the symbol covering pc (nearest preceding) and the
+// offset of pc past it.
+func (t *SymTab) Lookup(pc uint32) (name string, offset uint32, ok bool) {
+	i := sort.Search(len(t.syms), func(i int) bool { return t.syms[i].Addr > pc })
+	if i == 0 {
+		return "", 0, false
+	}
+	s := t.syms[i-1]
+	return s.Name, pc - s.Addr, true
+}
+
+// Describe renders pc as "name" or "name+0x8", falling back to hex.
+func (t *SymTab) Describe(pc uint32) string {
+	name, off, ok := t.Lookup(pc)
+	if !ok {
+		return fmt.Sprintf("0x%08x", pc)
+	}
+	if off == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s+0x%x", name, off)
+}
+
+// Namer adapts the table to Profiler.Functions and ChromeSink.Symbolize.
+func (t *SymTab) Namer() func(pc uint32) string {
+	return func(pc uint32) string { return t.Describe(pc) }
+}
+
+// ---------------------------------------------------------------------
+// Text rendering
+
+// FormatProfile renders the flat/cumulative function table and a
+// disassembly-annotated hot-spot listing — the output of the commands'
+// -profile flag. disasm may be nil (hot spots print without text);
+// symtab may be nil (addresses print as hex).
+func FormatProfile(p *Profiler, symtab *SymTab, disasm func(pc uint32) (string, bool), topPCs int) string {
+	p.Finalize()
+	var b strings.Builder
+	var namer func(pc uint32) string
+	if symtab != nil {
+		namer = symtab.Namer()
+	}
+	funcs := p.Functions(namer)
+
+	fmt.Fprintf(&b, "guest profile: %d cycles (%d in window traps), %d functions\n\n",
+		p.TotalCycles(), p.TrapCycles(), len(funcs))
+	fmt.Fprintf(&b, "%12s %7s %12s %7s %9s  %s\n", "flat", "flat%", "cum", "cum%", "calls", "function")
+	for _, f := range funcs {
+		fmt.Fprintf(&b, "%12d %6.1f%% %12d %6.1f%% %9d  %s\n",
+			f.Flat, 100*f.FlatFrac, f.Cum, 100*f.CumFrac, f.Calls, f.Name)
+	}
+
+	if topPCs <= 0 {
+		topPCs = 20
+	}
+	hot := p.HotPCs(topPCs)
+	fmt.Fprintf(&b, "\nhot spots (top %d of %d pcs):\n", len(hot), len(p.flat))
+	fmt.Fprintf(&b, "%12s %9s  %-10s %-22s %s\n", "cycles", "visits", "pc", "location", "instruction")
+	for _, r := range hot {
+		loc := r.PCHex
+		if symtab != nil {
+			loc = symtab.Describe(r.PC)
+		}
+		text := ""
+		if disasm != nil {
+			if t, ok := disasm(r.PC); ok {
+				text = t
+			}
+		}
+		fmt.Fprintf(&b, "%12d %9d  %-10s %-22s %s\n", r.Cycles, r.Count, r.PCHex, loc, text)
+	}
+	return b.String()
+}

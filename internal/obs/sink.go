@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink consumes trace events. Sinks are not safe for concurrent use; the
+// simulators are single-threaded and the Tracer forwards events in
+// execution order. Close flushes buffered output and finalizes the
+// stream (the Chrome sink needs it to close the JSON array).
+type Sink interface {
+	Emit(ev Event) error
+	Close() error
+}
+
+// ---------------------------------------------------------------------
+// Text sink
+
+// TextSink renders events as human-readable lines, one per event — the
+// format behind risc1-run's -trace-out file when no structured format is
+// requested.
+type TextSink struct {
+	w *bufio.Writer
+}
+
+// NewTextSink buffers writes to w.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one line.
+func (s *TextSink) Emit(ev Event) error {
+	var err error
+	switch ev.Kind {
+	case KindInstr:
+		slot := ""
+		if ev.Slot {
+			slot = "  [slot]"
+		}
+		_, err = fmt.Fprintf(s.w, "%12d  %08x  %s%s\n", ev.Cycle, ev.PC, ev.Text, slot)
+	case KindCall, KindReturn, KindInterrupt:
+		_, err = fmt.Fprintf(s.w, "%12d  %08x  -- %s to %08x (depth %d)\n",
+			ev.Cycle, ev.PC, ev.Kind, ev.Target, ev.Depth)
+	case KindSpill, KindRefill:
+		_, err = fmt.Fprintf(s.w, "%12d  %08x  -- window %s: %d regs, %d cycles\n",
+			ev.Cycle, ev.PC, ev.Kind, ev.Words, ev.Cost)
+	case KindFault:
+		_, err = fmt.Fprintf(s.w, "%12d  %08x  -- fault: %s\n", ev.Cycle, ev.PC, ev.Text)
+	default:
+		_, err = fmt.Fprintf(s.w, "%12d  %08x  -- %s\n", ev.Cycle, ev.PC, ev.Kind)
+	}
+	return err
+}
+
+// Close flushes the buffer.
+func (s *TextSink) Close() error { return s.w.Flush() }
+
+// ---------------------------------------------------------------------
+// JSONL sink
+
+// jsonEvent is the wire form of an Event: hex PCs for readability,
+// omitempty keeps instruction streams compact.
+type jsonEvent struct {
+	Seq    uint64 `json:"seq"`
+	Cycle  uint64 `json:"cycle"`
+	PC     string `json:"pc"`
+	Kind   string `json:"kind"`
+	Op     string `json:"op,omitempty"`
+	Text   string `json:"text,omitempty"`
+	Cost   uint64 `json:"cost,omitempty"`
+	Slot   bool   `json:"slot,omitempty"`
+	Taken  bool   `json:"taken,omitempty"`
+	Target string `json:"target,omitempty"`
+	Depth  int    `json:"depth,omitempty"`
+	Words  int    `json:"words,omitempty"`
+}
+
+// JSONLSink writes one JSON object per line — trivially parseable with
+// jq or a five-line script, and safe to stream (no enclosing array).
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink buffers writes to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one JSON line.
+func (s *JSONLSink) Emit(ev Event) error {
+	je := jsonEvent{
+		Seq:   ev.Seq,
+		Cycle: ev.Cycle,
+		PC:    fmt.Sprintf("0x%08x", ev.PC),
+		Kind:  ev.Kind.String(),
+		Op:    ev.Op,
+		Text:  ev.Text,
+		Cost:  ev.Cost,
+		Slot:  ev.Slot,
+		Taken: ev.Taken,
+		Depth: ev.Depth,
+		Words: ev.Words,
+	}
+	if ev.Kind == KindCall || ev.Kind == KindReturn || ev.Kind == KindInterrupt {
+		je.Target = fmt.Sprintf("0x%08x", ev.Target)
+	}
+	return s.enc.Encode(je)
+}
+
+// Close flushes the buffer.
+func (s *JSONLSink) Close() error { return s.w.Flush() }
+
+// ---------------------------------------------------------------------
+// Chrome trace_event sink
+
+// ChromeSink writes the Chrome trace_event JSON format, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing. Instructions
+// become complete ("X") slices on one track; calls and returns become
+// begin/end ("B"/"E") pairs so the call tree renders as a flame graph;
+// window spills/refills and interrupts appear as instant slices.
+// Timestamps are simulated time: cycles scaled by NSPerCycle.
+type ChromeSink struct {
+	w     *bufio.Writer
+	first bool
+
+	// NSPerCycle converts simulated cycles to trace microseconds (the
+	// trace_event unit). Zero defaults to 1000 (1 cycle = 1 µs), which
+	// keeps timestamps integral and easy to read.
+	NSPerCycle float64
+
+	// Symbolize, when non-nil, names call targets (function slices in
+	// the flame graph). Unresolved targets render as hex addresses.
+	Symbolize func(pc uint32) (string, bool)
+}
+
+// NewChromeSink starts the JSON document on w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: bufio.NewWriter(w), first: true}
+}
+
+func (s *ChromeSink) ts(cycle uint64) float64 {
+	ns := s.NSPerCycle
+	if ns == 0 {
+		ns = 1000
+	}
+	return float64(cycle) * ns / 1000
+}
+
+func (s *ChromeSink) emitRaw(m map[string]any) error {
+	if s.first {
+		if _, err := io.WriteString(s.w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+			return err
+		}
+		s.first = false
+	} else {
+		if err := s.w.WriteByte(','); err != nil {
+			return err
+		}
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(b)
+	return err
+}
+
+func (s *ChromeSink) name(pc uint32) string {
+	if s.Symbolize != nil {
+		if n, ok := s.Symbolize(pc); ok {
+			return n
+		}
+	}
+	return fmt.Sprintf("0x%08x", pc)
+}
+
+// Emit converts one event to trace_event records.
+func (s *ChromeSink) Emit(ev Event) error {
+	switch ev.Kind {
+	case KindInstr:
+		return s.emitRaw(map[string]any{
+			"name": ev.Op, "cat": "instr", "ph": "X",
+			"ts": s.ts(ev.Cycle), "dur": s.ts(ev.Cost),
+			"pid": 0, "tid": 1,
+			"args": map[string]any{
+				"pc":   fmt.Sprintf("0x%08x", ev.PC),
+				"asm":  ev.Text,
+				"slot": ev.Slot,
+			},
+		})
+	case KindCall, KindInterrupt:
+		return s.emitRaw(map[string]any{
+			"name": s.name(ev.Target), "cat": "call", "ph": "B",
+			"ts": s.ts(ev.Cycle), "pid": 0, "tid": 0,
+			"args": map[string]any{
+				"caller": fmt.Sprintf("0x%08x", ev.PC),
+				"kind":   ev.Kind.String(),
+				"depth":  ev.Depth,
+			},
+		})
+	case KindReturn:
+		return s.emitRaw(map[string]any{
+			"ph": "E", "ts": s.ts(ev.Cycle), "pid": 0, "tid": 0,
+		})
+	case KindSpill, KindRefill:
+		return s.emitRaw(map[string]any{
+			"name": "window " + ev.Kind.String(), "cat": "window", "ph": "X",
+			"ts": s.ts(ev.Cycle), "dur": s.ts(ev.Cost),
+			"pid": 0, "tid": 2,
+			"args": map[string]any{"words": ev.Words},
+		})
+	case KindFault:
+		return s.emitRaw(map[string]any{
+			"name": "fault", "cat": "fault", "ph": "i",
+			"ts": s.ts(ev.Cycle), "pid": 0, "tid": 0, "s": "g",
+			"args": map[string]any{"error": ev.Text, "pc": fmt.Sprintf("0x%08x", ev.PC)},
+		})
+	}
+	return nil
+}
+
+// Close terminates the traceEvents array and flushes.
+func (s *ChromeSink) Close() error {
+	if s.first {
+		if _, err := io.WriteString(s.w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+			return err
+		}
+		s.first = false
+	}
+	if _, err := io.WriteString(s.w, "\n]}\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}

@@ -1,0 +1,92 @@
+package obs
+
+// Tracer records execution events into a fixed-size ring buffer and
+// optionally forwards them to a Sink. The ring keeps the most recent
+// events for post-mortem inspection (risc1-run prints its tail when a
+// traced program faults) even when no sink is attached; the sink gets
+// the full stream, subject to Limit.
+//
+// A nil *Tracer is inert: the simulators hold an Observer pointer and
+// skip all observation work when it is nil, so the traced-off hot loop
+// pays one branch and zero allocations.
+type Tracer struct {
+	ring []Event
+	seq  uint64 // events emitted so far; also the next Seq
+
+	sink Sink
+	// Limit caps the number of events forwarded to the sink (0 = all).
+	// The ring keeps recording past the limit.
+	Limit uint64
+
+	err error
+}
+
+// DefaultRingSize keeps enough context to see how a fault was reached
+// without holding a large trace in memory.
+const DefaultRingSize = 1024
+
+// NewTracer builds a tracer with the given ring capacity (0 uses
+// DefaultRingSize) forwarding to sink (nil for ring-only tracing).
+func NewTracer(ringSize int, sink Sink) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Tracer{ring: make([]Event, ringSize), sink: sink}
+}
+
+// Emit records one event, assigning its sequence number. Sink errors are
+// sticky: the first one stops forwarding and is reported by Err.
+func (t *Tracer) Emit(ev Event) {
+	ev.Seq = t.seq
+	t.seq++
+	t.ring[ev.Seq%uint64(len(t.ring))] = ev
+	if t.sink == nil || t.err != nil {
+		return
+	}
+	if t.Limit > 0 && ev.Seq >= t.Limit {
+		return
+	}
+	if err := t.sink.Emit(ev); err != nil {
+		t.err = err
+	}
+}
+
+// Events returns the total number of events emitted.
+func (t *Tracer) Events() uint64 { return t.seq }
+
+// Ring returns the buffered events, oldest first.
+func (t *Tracer) Ring() []Event {
+	n := t.seq
+	cap64 := uint64(len(t.ring))
+	if n > cap64 {
+		n = cap64
+	}
+	out := make([]Event, 0, n)
+	start := t.seq - n
+	for i := start; i < t.seq; i++ {
+		out = append(out, t.ring[i%cap64])
+	}
+	return out
+}
+
+// Tail returns the most recent n buffered events, oldest first.
+func (t *Tracer) Tail(n int) []Event {
+	r := t.Ring()
+	if len(r) > n {
+		r = r[len(r)-n:]
+	}
+	return r
+}
+
+// Err reports the first sink error, if any.
+func (t *Tracer) Err() error { return t.err }
+
+// Close closes the sink (if any) and returns the first error seen.
+func (t *Tracer) Close() error {
+	if t.sink != nil {
+		if err := t.sink.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

@@ -1,0 +1,55 @@
+package trace
+
+import "testing"
+
+// TestExecHandleAllocFree pins the fast path's contract: recording an
+// instruction through a pre-registered handle allocates nothing. Both
+// simulators call ExecHandle once per simulated instruction, so a
+// single allocation here would show up as millions per run.
+func TestExecHandleAllocFree(t *testing.T) {
+	c := New()
+	h := c.Handle("add", "alu")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.ExecHandle(h, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("ExecHandle allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestExecHandleMergesWithExec asserts the fast and slow paths land in
+// the same tables.
+func TestExecHandleMergesWithExec(t *testing.T) {
+	c := New()
+	h := c.Handle("add", "alu")
+	c.ExecHandle(h, 1)
+	c.Exec("add", "alu", 1)
+	ops := c.OpCounts()
+	if len(ops) != 1 || ops[0].Name != "add" || ops[0].Count != 2 {
+		t.Errorf("OpCounts = %+v, want one add row with count 2", ops)
+	}
+	mix := c.Mix()
+	if len(mix) != 1 || mix[0].Name != "alu" || mix[0].Count != 2 {
+		t.Errorf("Mix = %+v, want one alu row with count 2", mix)
+	}
+}
+
+// BenchmarkExecHandle measures the per-instruction accounting cost; run
+// with -benchmem to see the zero-allocation guarantee.
+func BenchmarkExecHandle(b *testing.B) {
+	c := New()
+	h := c.Handle("add", "alu")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ExecHandle(h, 1)
+	}
+}
+
+// BenchmarkExec is the map-backed slow path, for comparison.
+func BenchmarkExec(b *testing.B) {
+	c := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Exec("add", "alu", 1)
+	}
+}

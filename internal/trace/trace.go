@@ -36,7 +36,10 @@ func (c *Collector) Handle(op, class string) int {
 }
 
 // ExecHandle records one executed instruction through a pre-registered
-// handle — the allocation- and hash-free fast path.
+// handle — the allocation- and hash-free fast path. It is three integer
+// increments and stays allocation-free by contract; the alloc test and
+// BenchmarkExecHandle in this package enforce it, and both simulators'
+// per-instruction accounting depends on it.
 func (c *Collector) ExecHandle(h int, cycles uint64) {
 	c.Instructions++
 	c.Cycles += cycles
@@ -53,7 +56,11 @@ func New() *Collector {
 }
 
 // Exec records one executed instruction of the given opcode and class
-// costing the given number of cycles.
+// costing the given number of cycles. This is the map-backed slow path:
+// it hashes both strings on every call, so it is for occasional events
+// and ad-hoc tools only. Per-instruction recording in a simulator loop
+// should register a Handle per opcode once and call ExecHandle; the two
+// paths merge in Mix/OpCounts, so mixing them stays correct.
 func (c *Collector) Exec(op, class string, cycles uint64) {
 	c.Instructions++
 	c.Cycles += cycles

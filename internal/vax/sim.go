@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"risc1/internal/mem"
+	"risc1/internal/obs"
 	"risc1/internal/trace"
 )
 
@@ -51,14 +52,32 @@ type CPU struct {
 	Trace *trace.Collector
 	Stats Stats
 
+	// Obs, when non-nil, receives structured execution events
+	// (instructions, CALLS/RET, faults) for tracing and profiling, the
+	// same layer the RISC CPU drives. nil keeps the hot loop
+	// observation-free; attaching it never changes simulated state.
+	Obs *obs.Observer
+
 	pc         uint32
 	n, z, v, c bool
 	depth      int
 	halted     bool
 	haltErr    error
 
+	// obsPending stages a call/return performed by the current
+	// instruction until observe can report it in order (instruction
+	// first, then the transfer). Only touched when Obs is attached.
+	obsPending uint8
+	obsTarget  uint32
+
 	opHandles [numOps]int // trace handles indexed by opcode
 }
+
+const (
+	obsPendingNone uint8 = iota
+	obsPendingCall
+	obsPendingRet
+)
 
 // New builds a CPU with zeroed memory and registers.
 func New(cfg Config) *CPU {
@@ -120,6 +139,61 @@ func (c *CPU) Run() error {
 func (c *CPU) fault(err error) {
 	c.halted = true
 	c.haltErr = err
+	if o := c.Obs; o != nil && o.Tracer != nil {
+		o.Tracer.Emit(obs.Event{Kind: obs.KindFault, PC: c.pc, Cycle: c.Trace.Cycles, Text: err.Error()})
+	}
+}
+
+// observe feeds the observer one completed instruction plus any call or
+// return it performed. It runs before ExecHandle, so c.Trace.Cycles is
+// still the cycle count at which the instruction began. calls and ret
+// stage their transfer in obsPending* rather than reporting directly so
+// the profiler charges the microcode cycles to the call site before the
+// new activation opens.
+func (c *CPU) observe(pcStart uint32, name string, cost uint64) {
+	o := c.Obs
+	if o.Prof != nil {
+		o.Prof.Sample(pcStart, cost)
+	}
+	if o.Tracer != nil {
+		text := name
+		if raw, err := c.Mem.ReadBytes(pcStart, disasmWindow(c.Mem.Size(), pcStart)); err == nil {
+			if t, _, derr := Disassemble(raw, 0, pcStart); derr == nil {
+				text = t
+			}
+		}
+		o.Tracer.Emit(obs.Event{
+			Kind: obs.KindInstr, PC: pcStart, Cycle: c.Trace.Cycles,
+			Cost: cost, Op: name, Text: text,
+		})
+	}
+	switch c.obsPending {
+	case obsPendingCall:
+		if o.Prof != nil {
+			o.Prof.EnterCall(c.obsTarget)
+		}
+		if o.Tracer != nil {
+			o.Tracer.Emit(obs.Event{Kind: obs.KindCall, PC: pcStart, Cycle: c.Trace.Cycles, Target: c.obsTarget, Depth: c.depth})
+		}
+	case obsPendingRet:
+		if o.Prof != nil {
+			o.Prof.LeaveCall()
+		}
+		if o.Tracer != nil {
+			o.Tracer.Emit(obs.Event{Kind: obs.KindReturn, PC: pcStart, Cycle: c.Trace.Cycles, Target: c.obsTarget, Depth: c.depth})
+		}
+	}
+	c.obsPending = obsPendingNone
+}
+
+// disasmWindow bounds a read of one variable-length instruction: the
+// longest encodable form fits in 16 bytes.
+func disasmWindow(memSize int, pc uint32) int {
+	n := 16
+	if rest := memSize - int(pc); rest < n {
+		n = rest
+	}
+	return n
 }
 
 // fetchByte reads one instruction-stream byte and advances PC.
@@ -346,6 +420,7 @@ func (c *CPU) Step() {
 	if c.halted {
 		return
 	}
+	pcStart := c.pc
 	opb, ok := c.fetchByte()
 	if !ok {
 		return
@@ -384,6 +459,9 @@ func (c *CPU) Step() {
 
 	if !c.exec(op, info, opsBuf[:nops], brDisp, &cycles) {
 		return
+	}
+	if c.Obs != nil {
+		c.observe(pcStart, info.Name, cycles)
 	}
 	c.Trace.ExecHandle(c.opHandles[op], cycles)
 }
@@ -652,6 +730,10 @@ func (c *CPU) calls(ops []operand, cycles *uint64) bool {
 	c.pc = dst + 2
 	c.depth++
 	c.Trace.Depth(c.depth)
+	if c.Obs != nil {
+		c.obsPending = obsPendingCall
+		c.obsTarget = dst
+	}
 	c.Stats.Calls++
 	c.Stats.CallCycles += *cycles - start + costCallsBase
 	c.Stats.CallMemWords += 5 + uint64(bits.OnesCount16(uint16(mask)))
@@ -697,6 +779,10 @@ func (c *CPU) ret(cycles *uint64) bool {
 	c.R[RegSP] += 4 * n
 	c.pc = ra
 	c.depth--
+	if c.Obs != nil {
+		c.obsPending = obsPendingRet
+		c.obsTarget = ra
+	}
 	c.Stats.Returns++
 	c.Stats.CallCycles += *cycles - start + costRetBase
 	c.Stats.CallMemWords += 5 + uint64(bits.OnesCount16(uint16(mask)))
