@@ -26,11 +26,11 @@ func TestICacheDeterminism(t *testing.T) {
 		if !ok {
 			t.Fatalf("no %s workload", name)
 		}
-		on, err := bench.RunRISC(w, bench.RiscConfig{Optimize: true})
+		on, err := bench.RunRISC(w, bench.RiscConfig{Optimize: true, Opt: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		off, err := bench.RunRISC(w, bench.RiscConfig{Optimize: true, NoICache: true})
+		off, err := bench.RunRISC(w, bench.RiscConfig{Optimize: true, Opt: 1, NoICache: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func BenchmarkRiscSimulator(b *testing.B) {
 	if !ok {
 		b.Fatal("no sieve")
 	}
-	prog, _, err := cc.CompileRISC(w.Source, true)
+	prog, _, _, err := cc.CompileRISC(w.Source, cc.DefaultOptions)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func benchRiscWorkload(b *testing.B, name string, noICache bool) {
 	if !ok {
 		b.Fatalf("no %s workload", name)
 	}
-	prog, _, err := cc.CompileRISC(w.Source, true)
+	prog, _, _, err := cc.CompileRISC(w.Source, cc.DefaultOptions)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func BenchmarkVaxSimulator(b *testing.B) {
 	if !ok {
 		b.Fatal("no sieve")
 	}
-	prog, _, err := cc.CompileVAX(w.Source)
+	prog, _, _, err := cc.CompileVAX(w.Source, cc.DefaultOptions)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func BenchmarkVaxSimulator(b *testing.B) {
 func BenchmarkCompilerRisc(b *testing.B) {
 	w, _ := bench.ByName(benchSuite, "qsort")
 	for i := 0; i < b.N; i++ {
-		if _, _, err := cc.CompileRISC(w.Source, true); err != nil {
+		if _, _, _, err := cc.CompileRISC(w.Source, cc.DefaultOptions); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -283,7 +283,7 @@ func BenchmarkCompilerRisc(b *testing.B) {
 func BenchmarkCompilerVax(b *testing.B) {
 	w, _ := bench.ByName(benchSuite, "qsort")
 	for i := 0; i < b.N; i++ {
-		if _, _, err := cc.CompileVAX(w.Source); err != nil {
+		if _, _, _, err := cc.CompileVAX(w.Source, cc.DefaultOptions); err != nil {
 			b.Fatal(err)
 		}
 	}

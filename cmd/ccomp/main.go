@@ -6,6 +6,7 @@
 //	ccomp -target risc file.c          # print RISC I assembly
 //	ccomp -target cisc file.c          # print CISC baseline assembly
 //	ccomp -target risc -run file.c     # compile, run, print "result"
+//	ccomp -O0 -emit-ir file.c          # print the unoptimized IR
 package main
 
 import (
@@ -21,10 +22,12 @@ import (
 func main() {
 	target := flag.String("target", "risc", "code generator: risc or cisc")
 	optimize := flag.Bool("O", true, "fill delayed-jump slots (risc only)")
+	opt := flag.Int("opt", 1, "IR optimization level (also -O0/-O1)")
+	emitIR := flag.Bool("emit-ir", false, "print the optimized IR and exit")
 	run := flag.Bool("run", false, "execute and print the global \"result\"")
-	flag.Parse()
+	flag.CommandLine.Parse(cc.NormalizeOptFlags(os.Args[1:]))
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccomp [-target risc|cisc] [-O] [-run] file.c")
+		fmt.Fprintln(os.Stderr, "usage: ccomp [-target risc|cisc] [-O0|-O1] [-emit-ir] [-run] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -32,9 +35,19 @@ func main() {
 		fatal(err)
 	}
 
+	if *emitIR {
+		prog, _, err := cc.Frontend(string(src), *opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.Dump())
+		return
+	}
+
+	ccOpts := cc.Options{Opt: *opt, DelaySlots: *optimize}
 	switch *target {
 	case "risc":
-		prog, text, err := cc.CompileRISC(string(src), *optimize)
+		prog, text, _, err := cc.CompileRISC(string(src), ccOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -55,7 +68,7 @@ func main() {
 			c.Trace.Instructions, c.Trace.Cycles, c.Micros())
 
 	case "cisc":
-		prog, text, err := cc.CompileVAX(string(src))
+		prog, text, _, err := cc.CompileVAX(string(src), ccOpts)
 		if err != nil {
 			fatal(err)
 		}

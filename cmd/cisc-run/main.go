@@ -5,6 +5,11 @@
 // Usage:
 //
 //	cisc-run [-limit N] [-print sym,sym] file.s
+//	cisc-run [-O0|-O1] [-emit-ir] file.c
+//
+// A .c argument is compiled from MiniC first; -O0/-O1 select the
+// compiler's optimization level and -emit-ir prints the IR instead of
+// running.
 //
 // Observability: the -report, -profile, -trace-out, -trace-format and
 // -trace flags mirror risc1-run; see that command's documentation.
@@ -17,6 +22,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"risc1/internal/cc"
+	ccopt "risc1/internal/cc/opt"
 	"risc1/internal/obs"
 	"risc1/internal/vax"
 )
@@ -31,18 +38,47 @@ func main() {
 	profileOut := flag.String("profile", "", `write the guest profile (per-function and hot-spot listing) to FILE ("-" = stdout)`)
 	reportOut := flag.String("report", "", `write the machine-readable JSON run report to FILE ("-" = stdout)`)
 	top := flag.Int("top", 10, "rows in the profile and report hot-spot listings")
-	flag.Parse()
+	opt := flag.Int("opt", 1, "MiniC optimization level, also spelled -O0/-O1 (.c input only)")
+	emitIR := flag.Bool("emit-ir", false, "print the compiler IR and exit (.c input only)")
+	flag.CommandLine.Parse(cc.NormalizeOptFlags(os.Args[1:]))
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cisc-run [flags] file.s")
+		fmt.Fprintln(os.Stderr, "usage: cisc-run [flags] file.s|file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := vax.Assemble(string(src))
-	if err != nil {
-		fatal(err)
+	fromC := strings.HasSuffix(flag.Arg(0), ".c")
+	if *emitIR {
+		if !fromC {
+			fatal(fmt.Errorf("-emit-ir needs MiniC (.c) input"))
+		}
+		irProg, _, err := cc.Frontend(string(src), *opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(irProg.Dump())
+		return
+	}
+	var prog *vax.Program
+	var passes []obs.PassStat
+	if fromC {
+		var stats []ccopt.Stat
+		prog, _, stats, err = cc.CompileVAX(string(src), cc.Options{Opt: *opt})
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range stats {
+			if s.Rewrites > 0 {
+				passes = append(passes, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
+			}
+		}
+	} else {
+		prog, err = vax.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *list {
 		fmt.Print(vax.Listing(prog))
@@ -174,7 +210,13 @@ func main() {
 		}
 	}
 	if *reportOut != "" {
-		r := c.BuildReport(strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".s"))
+		name := filepath.Base(flag.Arg(0))
+		name = strings.TrimSuffix(strings.TrimSuffix(name, ".s"), ".c")
+		r := c.BuildReport(name)
+		if fromC {
+			r.Config.OptLevel = *opt
+			r.Config.Passes = passes
+		}
 		r.Profile = obs.ProfileSection(o.Prof, symtab, c.Disassembler(), *top)
 		b, err := r.JSON()
 		if err != nil {

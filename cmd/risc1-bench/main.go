@@ -12,6 +12,7 @@
 //	risc1-bench -fig windows     # only selected figures
 //	risc1-bench -nocache         # run the simulators without the icache
 //	risc1-bench -report out.json # machine-readable report of every run
+//	risc1-bench -O0              # compile the workloads unoptimized
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"risc1/internal/bench"
+	"risc1/internal/cc"
 	"risc1/internal/obs"
 )
 
@@ -30,8 +32,10 @@ func main() {
 	figs := flag.String("fig", "", "comma-separated figures: windows,delayslots,depth,ablation (default all)")
 	noICache := flag.Bool("nocache", false, "disable the predecoded instruction cache (host speed only; simulated results are identical)")
 	reportOut := flag.String("report", "", `write a machine-readable JSON bench report (one run report per workload and machine) to FILE ("-" = stdout)`)
-	flag.Parse()
+	opt := flag.Int("opt", 1, "MiniC optimization level, also spelled -O0/-O1")
+	flag.CommandLine.Parse(cc.NormalizeOptFlags(os.Args[1:]))
 	bench.NoICache = *noICache
+	bench.OptLevel = *opt
 
 	params := bench.Default()
 	if *scale == "small" {

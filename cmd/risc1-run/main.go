@@ -1,9 +1,13 @@
 // Command risc1-run assembles and executes a RISC I assembly program,
 // then reports registers, cycle counts, and register-window statistics.
+// A .c argument is compiled from MiniC first; -O0/-O1 select the
+// compiler's optimization level and -emit-ir prints the IR instead of
+// running.
 //
 // Usage:
 //
 //	risc1-run [-O] [-windows N] [-nocache] [-limit N] [-print sym,sym] file.s
+//	risc1-run [-O0|-O1] [-emit-ir] file.c
 //
 // Observability:
 //
@@ -25,6 +29,8 @@ import (
 	"strings"
 
 	"risc1/internal/asm"
+	"risc1/internal/cc"
+	ccopt "risc1/internal/cc/opt"
 	"risc1/internal/cpu"
 	"risc1/internal/obs"
 )
@@ -42,18 +48,47 @@ func main() {
 	profileOut := flag.String("profile", "", `write the guest profile (per-function and hot-spot listing) to FILE ("-" = stdout)`)
 	reportOut := flag.String("report", "", `write the machine-readable JSON run report to FILE ("-" = stdout)`)
 	top := flag.Int("top", 10, "rows in the profile and report hot-spot listings")
-	flag.Parse()
+	opt := flag.Int("opt", 1, "MiniC optimization level, also spelled -O0/-O1 (.c input only)")
+	emitIR := flag.Bool("emit-ir", false, "print the compiler IR and exit (.c input only)")
+	flag.CommandLine.Parse(cc.NormalizeOptFlags(os.Args[1:]))
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: risc1-run [flags] file.s")
+		fmt.Fprintln(os.Stderr, "usage: risc1-run [flags] file.s|file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := asm.Assemble(string(src), asm.Options{Optimize: *optimize})
-	if err != nil {
-		fatal(err)
+	fromC := strings.HasSuffix(flag.Arg(0), ".c")
+	if *emitIR {
+		if !fromC {
+			fatal(fmt.Errorf("-emit-ir needs MiniC (.c) input"))
+		}
+		irProg, _, err := cc.Frontend(string(src), *opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(irProg.Dump())
+		return
+	}
+	var prog *asm.Program
+	var passes []obs.PassStat
+	if fromC {
+		var stats []ccopt.Stat
+		prog, _, stats, err = cc.CompileRISC(string(src), cc.Options{Opt: *opt, DelaySlots: *optimize})
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range stats {
+			if s.Rewrites > 0 {
+				passes = append(passes, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
+			}
+		}
+	} else {
+		prog, err = asm.Assemble(string(src), asm.Options{Optimize: *optimize})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	c := cpu.New(cpu.Config{Windows: *windows, NoWindows: *noWindows, NoICache: *noICache, MaxInstructions: *limit})
 
@@ -177,8 +212,14 @@ func main() {
 		}
 	}
 	if *reportOut != "" {
-		r := c.BuildReport(strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".s"))
+		name := filepath.Base(flag.Arg(0))
+		name = strings.TrimSuffix(strings.TrimSuffix(name, ".s"), ".c")
+		r := c.BuildReport(name)
 		r.Config.Optimized = *optimize
+		if fromC {
+			r.Config.OptLevel = *opt
+			r.Config.Passes = passes
+		}
 		r.Profile = obs.ProfileSection(o.Prof, symtab, c.Disassembler(), *top)
 		b, err := r.JSON()
 		if err != nil {

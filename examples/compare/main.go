@@ -35,11 +35,11 @@ int main() {
 `
 
 func main() {
-	rprog, rtext, err := cc.CompileRISC(source, true)
+	rprog, rtext, _, err := cc.CompileRISC(source, cc.DefaultOptions)
 	if err != nil {
 		log.Fatal(err)
 	}
-	vprog, vtext, err := cc.CompileVAX(source)
+	vprog, vtext, _, err := cc.CompileVAX(source, cc.DefaultOptions)
 	if err != nil {
 		log.Fatal(err)
 	}

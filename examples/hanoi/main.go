@@ -37,7 +37,7 @@ int main() {
 func main() {
 	// RISC I: windows advance on CALL; most activations never touch
 	// memory.
-	rprog, _, err := cc.CompileRISC(source, true)
+	rprog, _, _, err := cc.CompileRISC(source, cc.DefaultOptions)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func main() {
 	}
 
 	// CISC baseline: every call builds a stack frame under microcode.
-	vprog, _, err := cc.CompileVAX(source)
+	vprog, _, _, err := cc.CompileVAX(source, cc.DefaultOptions)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,7 @@ int main() {
 `
 
 func main() {
-	prog, _, err := cc.CompileRISC(source, true)
+	prog, _, _, err := cc.CompileRISC(source, cc.DefaultOptions)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,8 +14,9 @@ func TestSuiteCorrectness(t *testing.T) {
 		t.Run(w.Name, func(t *testing.T) {
 			for _, cfg := range []RiscConfig{
 				{},
-				{Optimize: true},
-				{Windows: 3, Optimize: true},
+				{Opt: 1},
+				{Optimize: true, Opt: 1},
+				{Windows: 3, Optimize: true, Opt: 1},
 				{NoWindows: true},
 			} {
 				run, err := RunRISC(w, cfg)
@@ -26,12 +27,14 @@ func TestSuiteCorrectness(t *testing.T) {
 					t.Fatalf("risc cfg %+v: result %d, want %d", cfg, run.Result, w.Expected)
 				}
 			}
-			vx, err := RunVAX(w)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if vx.Result != w.Expected {
-				t.Fatalf("vax result %d, want %d", vx.Result, w.Expected)
+			for _, lvl := range []int{0, 1} {
+				vx, err := RunVAX(w, VaxConfig{Opt: lvl})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vx.Result != w.Expected {
+					t.Fatalf("vax -O%d result %d, want %d", lvl, vx.Result, w.Expected)
+				}
 			}
 		})
 	}
@@ -121,11 +124,11 @@ func TestCallCostOrdering(t *testing.T) {
 func TestDelaySlotOptimizerHelps(t *testing.T) {
 	suite := Suite(Small())
 	w, _ := ByName(suite, "sieve")
-	plain, err := RunRISC(w, RiscConfig{})
+	plain, err := RunRISC(w, RiscConfig{Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := RunRISC(w, RiscConfig{Optimize: true})
+	opt, err := RunRISC(w, RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +218,11 @@ func TestPointerAndSubscriptPuzzleAgree(t *testing.T) {
 	if sub.Expected != ptr.Expected {
 		t.Fatalf("variants disagree before running: %d vs %d", sub.Expected, ptr.Expected)
 	}
-	a, err := RunRISC(sub, RiscConfig{Optimize: true})
+	a, err := RunRISC(sub, RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunRISC(ptr, RiscConfig{Optimize: true})
+	b, err := RunRISC(ptr, RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +268,7 @@ func TestPaperScaleAckermann(t *testing.T) {
 		Expected:  refAckermann(3, 6),
 		CallHeavy: true,
 	}
-	run, err := RunRISC(w, RiscConfig{Optimize: true})
+	run, err := RunRISC(w, RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"testing"
+
+	"risc1/internal/cc"
+)
+
+// TestOptLevelsAgreeOnAllWorkloads is the optimizer's differential
+// acceptance test: for every benchmark workload, compiling at -O0 and
+// -O1 must produce identical guest-visible results on both simulators.
+// (RunRISC/RunVAX already compare each run against the Go reference
+// value, so this also re-checks correctness at both levels.)
+func TestOptLevelsAgreeOnAllWorkloads(t *testing.T) {
+	for _, w := range Suite(Small()) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r0, err := RunRISC(w, RiscConfig{Optimize: true, Opt: 0})
+			if err != nil {
+				t.Fatalf("risc -O0: %v", err)
+			}
+			r1, err := RunRISC(w, RiscConfig{Optimize: true, Opt: 1})
+			if err != nil {
+				t.Fatalf("risc -O1: %v", err)
+			}
+			if r0.Result != r1.Result {
+				t.Errorf("risc: -O0 result %d != -O1 result %d", r0.Result, r1.Result)
+			}
+			if r1.Instructions > r0.Instructions {
+				t.Errorf("risc: -O1 executed more instructions than -O0 (%d vs %d)",
+					r1.Instructions, r0.Instructions)
+			}
+			v0, err := RunVAX(w, VaxConfig{Opt: 0})
+			if err != nil {
+				t.Fatalf("vax -O0: %v", err)
+			}
+			v1, err := RunVAX(w, VaxConfig{Opt: 1})
+			if err != nil {
+				t.Fatalf("vax -O1: %v", err)
+			}
+			if v0.Result != v1.Result {
+				t.Errorf("vax: -O0 result %d != -O1 result %d", v0.Result, v1.Result)
+			}
+			if v1.Instructions > v0.Instructions {
+				t.Errorf("vax: -O1 executed more instructions than -O0 (%d vs %d)",
+					v1.Instructions, v0.Instructions)
+			}
+		})
+	}
+}
+
+// TestOptShrinksStaticCode pins the optimizer's static effect: -O1 code
+// must be strictly smaller than -O0 code for the CISC baseline on every
+// workload (the optimizer moved machine-independent work out of the
+// RISC generator, so the baseline now benefits equally), and no larger
+// for RISC.
+func TestOptShrinksStaticCode(t *testing.T) {
+	for _, w := range Suite(Small()) {
+		v0, _, _, err := cc.CompileVAX(w.Source, cc.Options{Opt: 0})
+		if err != nil {
+			t.Fatalf("%s vax -O0: %v", w.Name, err)
+		}
+		v1, _, _, err := cc.CompileVAX(w.Source, cc.Options{Opt: 1})
+		if err != nil {
+			t.Fatalf("%s vax -O1: %v", w.Name, err)
+		}
+		if v1.TextSize >= v0.TextSize {
+			t.Errorf("%s: vax -O1 text %d bytes, not smaller than -O0's %d",
+				w.Name, v1.TextSize, v0.TextSize)
+		}
+		r0, _, _, err := cc.CompileRISC(w.Source, cc.Options{Opt: 0, DelaySlots: true})
+		if err != nil {
+			t.Fatalf("%s risc -O0: %v", w.Name, err)
+		}
+		r1, _, _, err := cc.CompileRISC(w.Source, cc.Options{Opt: 1, DelaySlots: true})
+		if err != nil {
+			t.Fatalf("%s risc -O1: %v", w.Name, err)
+		}
+		if r1.TextSize > r0.TextSize {
+			t.Errorf("%s: risc -O1 text %d bytes, larger than -O0's %d",
+				w.Name, r1.TextSize, r0.TextSize)
+		}
+	}
+}

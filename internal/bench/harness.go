@@ -5,6 +5,7 @@ import (
 
 	"risc1/internal/asm"
 	"risc1/internal/cc"
+	"risc1/internal/cc/opt"
 	"risc1/internal/cpu"
 	"risc1/internal/mem"
 	"risc1/internal/obs"
@@ -54,8 +55,19 @@ type RiscConfig struct {
 	Windows   int  // 0 = the paper's 8
 	NoWindows bool // ablation: spill/refill on every call
 	Optimize  bool // fill delay slots
+	Opt       int  // compiler optimization level (-O0 / -O1)
 	NoICache  bool // disable the simulator's predecoded instruction cache
 }
+
+// VaxConfig tweaks a CISC baseline run.
+type VaxConfig struct {
+	Opt int // compiler optimization level (-O0 / -O1)
+}
+
+// OptLevel is the compiler optimization level the harness's composite
+// measurements (Compare, SweepWindows, MeasureCallCost) run at.
+// risc1-bench's -opt flag overrides it.
+var OptLevel = 1
 
 // NoICache globally disables the predecoded instruction cache in every
 // RISC run the harness makes — risc1-bench's -nocache escape hatch.
@@ -65,7 +77,7 @@ var NoICache bool
 
 // RunRISC compiles and executes a workload on the RISC I simulator.
 func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
-	prog, text, err := cc.CompileRISC(w.Source, cfg.Optimize)
+	prog, text, stats, err := cc.CompileRISC(w.Source, cc.Options{Opt: cfg.Opt, DelaySlots: cfg.Optimize})
 	if err != nil {
 		return RiscRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
@@ -103,15 +115,29 @@ func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
 	}
 	run.Report.ICache = nil // host machinery; see the field comment
 	run.Report.Config.Optimized = cfg.Optimize
+	run.Report.Config.OptLevel = cfg.Opt
+	run.Report.Config.Passes = passStats(stats)
 	if run.Result != w.Expected {
 		return run, fmt.Errorf("bench %s (risc): result %d, want %d", w.Name, run.Result, w.Expected)
 	}
 	return run, nil
 }
 
+// passStats mirrors the compiler's pass statistics into the report's
+// own type, dropping passes that did nothing.
+func passStats(stats []opt.Stat) []obs.PassStat {
+	var out []obs.PassStat
+	for _, s := range stats {
+		if s.Rewrites > 0 {
+			out = append(out, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
+		}
+	}
+	return out
+}
+
 // RunVAX compiles and executes a workload on the CISC baseline.
-func RunVAX(w Workload) (VaxRun, error) {
-	prog, text, err := cc.CompileVAX(w.Source)
+func RunVAX(w Workload, cfg VaxConfig) (VaxRun, error) {
+	prog, text, stats, err := cc.CompileVAX(w.Source, cc.Options{Opt: cfg.Opt})
 	if err != nil {
 		return VaxRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
@@ -142,6 +168,8 @@ func RunVAX(w Workload) (VaxRun, error) {
 		DataTraffic:  c.Mem.Stats,
 		Report:       c.BuildReport(w.Name),
 	}
+	run.Report.Config.OptLevel = cfg.Opt
+	run.Report.Config.Passes = passStats(stats)
 	if run.Result != w.Expected {
 		return run, fmt.Errorf("bench %s (vax): result %d, want %d", w.Name, run.Result, w.Expected)
 	}
@@ -159,15 +187,15 @@ type Comparison struct {
 
 // Compare runs one workload everywhere.
 func Compare(w Workload) (Comparison, error) {
-	risc, err := RunRISC(w, RiscConfig{Optimize: true})
+	risc, err := RunRISC(w, RiscConfig{Optimize: true, Opt: OptLevel})
 	if err != nil {
 		return Comparison{}, err
 	}
-	riscNop, err := RunRISC(w, RiscConfig{Optimize: false})
+	riscNop, err := RunRISC(w, RiscConfig{Optimize: false, Opt: OptLevel})
 	if err != nil {
 		return Comparison{}, err
 	}
-	vx, err := RunVAX(w)
+	vx, err := RunVAX(w, VaxConfig{Opt: OptLevel})
 	if err != nil {
 		return Comparison{}, err
 	}
@@ -230,7 +258,7 @@ func SweepWindows(suite []Workload, windowCounts []int) (WindowSweep, error) {
 		row := make([]float64, len(heavy))
 		us := make([]float64, len(heavy))
 		for j, w := range heavy {
-			run, err := RunRISC(w, RiscConfig{Windows: wins, Optimize: true})
+			run, err := RunRISC(w, RiscConfig{Windows: wins, Optimize: true, Opt: OptLevel})
 			if err != nil {
 				return sweep, err
 			}
@@ -298,8 +326,8 @@ func MeasureCallCost() ([]CallCost, error) {
 		name string
 		cfg  RiscConfig
 	}{
-		{"RISC I (8 windows)", RiscConfig{Optimize: true}},
-		{"RISC I (no windows)", RiscConfig{NoWindows: true, Optimize: true}},
+		{"RISC I (8 windows)", RiscConfig{Optimize: true, Opt: OptLevel}},
+		{"RISC I (no windows)", RiscConfig{NoWindows: true, Optimize: true, Opt: OptLevel}},
 	}
 	for _, rc := range riscConfigs {
 		a, err := RunRISC(with, rc.cfg)
@@ -321,11 +349,11 @@ func MeasureCallCost() ([]CallCost, error) {
 		})
 	}
 
-	a, err := RunVAX(with)
+	a, err := RunVAX(with, VaxConfig{Opt: OptLevel})
 	if err != nil {
 		return nil, err
 	}
-	b, err := RunVAX(without)
+	b, err := RunVAX(without, VaxConfig{Opt: OptLevel})
 	if err != nil {
 		return nil, err
 	}

@@ -31,7 +31,7 @@ func goldenWorkload(t *testing.T) Workload {
 // schema changed: bump obs.ReportVersion, update DESIGN.md section 8,
 // and regenerate with go test ./internal/bench -run TestReportGolden -update.
 func TestReportGolden(t *testing.T) {
-	run, err := RunRISC(goldenWorkload(t), RiscConfig{Optimize: true})
+	run, err := RunRISC(goldenWorkload(t), RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +62,11 @@ func TestReportGolden(t *testing.T) {
 // emit byte-identical reports.
 func TestReportDeterminism(t *testing.T) {
 	w := goldenWorkload(t)
-	a, err := RunRISC(w, RiscConfig{Optimize: true})
+	a, err := RunRISC(w, RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunRISC(w, RiscConfig{Optimize: true})
+	b, err := RunRISC(w, RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestReportDeterminism(t *testing.T) {
 // TestReportMatchesCollector asserts the report's totals are the
 // collector's, not a parallel count that could drift.
 func TestReportMatchesCollector(t *testing.T) {
-	run, err := RunRISC(goldenWorkload(t), RiscConfig{Optimize: true})
+	run, err := RunRISC(goldenWorkload(t), RiscConfig{Optimize: true, Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestReportMatchesCollector(t *testing.T) {
 
 // TestVaxReportMatchesCollector does the same for the baseline.
 func TestVaxReportMatchesCollector(t *testing.T) {
-	run, err := RunVAX(goldenWorkload(t))
+	run, err := RunVAX(goldenWorkload(t), VaxConfig{Opt: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

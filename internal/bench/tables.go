@@ -341,19 +341,19 @@ func RunAblation(suite []Workload) ([]AblationRow, error) {
 		if !w.CallHeavy {
 			continue
 		}
-		full, err := RunRISC(w, RiscConfig{Optimize: true})
+		full, err := RunRISC(w, RiscConfig{Optimize: true, Opt: OptLevel})
 		if err != nil {
 			return nil, err
 		}
-		noOpt, err := RunRISC(w, RiscConfig{})
+		noOpt, err := RunRISC(w, RiscConfig{Opt: OptLevel})
 		if err != nil {
 			return nil, err
 		}
-		noWin, err := RunRISC(w, RiscConfig{NoWindows: true, Optimize: true})
+		noWin, err := RunRISC(w, RiscConfig{NoWindows: true, Optimize: true, Opt: OptLevel})
 		if err != nil {
 			return nil, err
 		}
-		neither, err := RunRISC(w, RiscConfig{NoWindows: true})
+		neither, err := RunRISC(w, RiscConfig{NoWindows: true, Opt: OptLevel})
 		if err != nil {
 			return nil, err
 		}

@@ -2,43 +2,95 @@ package cc
 
 import (
 	"risc1/internal/asm"
+	"risc1/internal/cc/ir"
+	"risc1/internal/cc/opt"
 	"risc1/internal/vax"
 )
 
-// CompileRISC compiles MiniC source to an assembled RISC I program. When
-// optimize is set, the assembler's delayed-jump optimizer fills branch
-// shadow slots, as the paper's tool chain did. The generated assembly
-// text is returned alongside the program for listings and debugging.
-func CompileRISC(src string, optimize bool) (*asm.Program, string, error) {
-	prog, err := Parse(src)
+// Options selects how a MiniC compilation runs. The same machine-
+// independent pipeline feeds both code generators, so Opt means the
+// same thing for either target.
+type Options struct {
+	// Opt is the optimization level: 0 compiles the naive lowering
+	// as-is, 1 runs the full machine-independent pass pipeline.
+	Opt int
+	// DelaySlots enables the RISC assembler's delayed-jump optimizer,
+	// which fills branch shadow slots as the paper's tool chain did.
+	// Ignored by the CISC target.
+	DelaySlots bool
+}
+
+// DefaultOptions is the configuration the tools use unless told
+// otherwise: optimized IR with filled delay slots.
+var DefaultOptions = Options{Opt: 1, DelaySlots: true}
+
+// Frontend runs the machine-independent half of the compiler: parse,
+// type check, lower to IR, and optimize at the given level. Both code
+// generators consume its output. The returned stats report how many
+// rewrites each optimization pass performed.
+func Frontend(src string, optLevel int) (*ir.Program, []opt.Stat, error) {
+	ast, err := Parse(src)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, err
+	}
+	prog, err := Lower(ast)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := opt.Optimize(prog, optLevel)
+	return prog, stats, nil
+}
+
+// CompileRISC compiles MiniC source to an assembled RISC I program.
+// The generated assembly text is returned alongside the program for
+// listings and debugging, and the pass statistics for reports.
+func CompileRISC(src string, o Options) (*asm.Program, string, []opt.Stat, error) {
+	prog, stats, err := Frontend(src, o.Opt)
+	if err != nil {
+		return nil, "", nil, err
 	}
 	text, err := GenRISC(prog)
 	if err != nil {
-		return nil, "", err
+		return nil, "", stats, err
 	}
-	p, err := asm.Assemble(text, asm.Options{Optimize: optimize})
+	p, err := asm.Assemble(text, asm.Options{Optimize: o.DelaySlots})
 	if err != nil {
-		return nil, text, err
+		return nil, text, stats, err
 	}
-	return p, text, nil
+	return p, text, stats, nil
 }
 
-// CompileVAX compiles MiniC source to an assembled program for the CISC
-// baseline.
-func CompileVAX(src string) (*vax.Program, string, error) {
-	prog, err := Parse(src)
+// CompileVAX compiles MiniC source to an assembled program for the
+// CISC baseline.
+func CompileVAX(src string, o Options) (*vax.Program, string, []opt.Stat, error) {
+	prog, stats, err := Frontend(src, o.Opt)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	text, err := GenVAX(prog)
 	if err != nil {
-		return nil, "", err
+		return nil, "", stats, err
 	}
 	p, err := vax.Assemble(text)
 	if err != nil {
-		return nil, text, err
+		return nil, text, stats, err
 	}
-	return p, text, nil
+	return p, text, stats, nil
+}
+
+// NormalizeOptFlags rewrites the conventional -O0/-O1 spellings into
+// the -opt=N form the flag package can parse, so tools accept both.
+func NormalizeOptFlags(args []string) []string {
+	out := make([]string, 0, len(args))
+	for _, a := range args {
+		switch a {
+		case "-O0", "--O0":
+			out = append(out, "-opt=0")
+		case "-O1", "--O1":
+			out = append(out, "-opt=1")
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
 }

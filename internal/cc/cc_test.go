@@ -11,9 +11,9 @@ import (
 // runRISC compiles and executes src on the RISC I simulator, returning
 // the machine for inspection. The value of the global named "result" is
 // the usual check.
-func runRISC(t *testing.T, src string, optimize bool) *cpu.CPU {
+func runRISC(t *testing.T, src string, o Options) *cpu.CPU {
 	t.Helper()
-	prog, text, err := CompileRISC(src, optimize)
+	prog, text, _, err := CompileRISC(src, o)
 	if err != nil {
 		t.Fatalf("compile risc: %v\n%s", err, text)
 	}
@@ -50,9 +50,9 @@ func riscGlobal(t *testing.T, c *cpu.CPU, name string) int32 {
 	return int32(v)
 }
 
-func runVAXsrc(t *testing.T, src string) *vax.CPU {
+func runVAXsrc(t *testing.T, src string, o Options) *vax.CPU {
 	t.Helper()
-	prog, text, err := CompileVAX(src)
+	prog, text, _, err := CompileVAX(src, o)
 	if err != nil {
 		t.Fatalf("compile vax: %v\n%s", err, text)
 	}
@@ -86,20 +86,23 @@ func vaxGlobal(t *testing.T, c *vax.CPU, name string) int32 {
 	return int32(v)
 }
 
-// checkBoth runs src on both machines and asserts the global "result".
+// checkBoth runs src on both machines at both optimization levels and
+// asserts the global "result".
 func checkBoth(t *testing.T, src string, want int32) {
 	t.Helper()
-	r := runRISC(t, src, false)
-	if got := riscGlobal(t, r, "result"); got != want {
-		t.Errorf("risc result = %d, want %d", got, want)
-	}
-	ro := runRISC(t, src, true)
-	if got := riscGlobal(t, ro, "result"); got != want {
-		t.Errorf("risc (optimized) result = %d, want %d", got, want)
-	}
-	v := runVAXsrc(t, src)
-	if got := vaxGlobal(t, v, "result"); got != want {
-		t.Errorf("vax result = %d, want %d", got, want)
+	for _, lvl := range []int{0, 1} {
+		r := runRISC(t, src, Options{Opt: lvl})
+		if got := riscGlobal(t, r, "result"); got != want {
+			t.Errorf("risc -O%d result = %d, want %d", lvl, got, want)
+		}
+		ro := runRISC(t, src, Options{Opt: lvl, DelaySlots: true})
+		if got := riscGlobal(t, ro, "result"); got != want {
+			t.Errorf("risc -O%d (delay slots) result = %d, want %d", lvl, got, want)
+		}
+		v := runVAXsrc(t, src, Options{Opt: lvl})
+		if got := vaxGlobal(t, v, "result"); got != want {
+			t.Errorf("vax -O%d result = %d, want %d", lvl, got, want)
+		}
 	}
 }
 
@@ -410,9 +413,9 @@ int result;
 int f(int n) { int s; int i; s = 0; for (i = 0; i < n; i = i + 1) s += i * i; return s; }
 int main() { result = f(20); return 0; }
 `
-	plain := runRISC(t, src, false)
+	plain := runRISC(t, src, Options{Opt: 1})
 	p := riscGlobal(t, plain, "result")
-	opt := runRISC(t, src, true)
+	opt := runRISC(t, src, Options{Opt: 1, DelaySlots: true})
 	o := riscGlobal(t, opt, "result")
 	if p != o {
 		t.Fatalf("optimizer changed the result: %d vs %d", p, o)
@@ -448,12 +451,12 @@ func TestCompileErrors(t *testing.T) {
 
 func TestTooManyRISCParams(t *testing.T) {
 	src := "int f(int a, int b, int c, int d, int e, int g, int h) { return a; } int main() { return f(1,2,3,4,5,6,7); }"
-	_, _, err := CompileRISC(src, false)
+	_, _, _, err := CompileRISC(src, Options{})
 	if err == nil || !strings.Contains(err.Error(), "at most 6") {
 		t.Errorf("want parameter-limit error, got %v", err)
 	}
 	// The CISC target passes arguments on the stack, so it accepts this.
-	if _, _, err := CompileVAX(src); err != nil {
+	if _, _, _, err := CompileVAX(src, Options{}); err != nil {
 		t.Errorf("vax should accept 7 params: %v", err)
 	}
 }
@@ -464,14 +467,14 @@ int result;
 int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
 int main() { result = fib(14); return 0; }
 `
-	c := runRISC(t, src, false)
+	c := runRISC(t, src, Options{Opt: 1})
 	if c.Regs.Stats.Calls < 100 {
 		t.Errorf("expected many window calls, got %d", c.Regs.Stats.Calls)
 	}
 	if c.Regs.Stats.Overflows == 0 {
 		t.Error("fib(14) at 8 windows should overflow at least once")
 	}
-	v := runVAXsrc(t, src)
+	v := runVAXsrc(t, src, Options{Opt: 1})
 	if v.Stats.Calls < 100 {
 		t.Errorf("vax calls = %d", v.Stats.Calls)
 	}

@@ -23,6 +23,14 @@ type fuzzExpr struct {
 	val int32
 }
 
+// fuzzOptions covers both optimization levels, with the delay-slot
+// optimizer on at -O1 — the corners the differential property must
+// hold across.
+var fuzzOptions = []Options{
+	{Opt: 0},
+	{Opt: 1, DelaySlots: true},
+}
+
 func genExpr(r *rand.Rand, depth int, vars map[string]int32) fuzzExpr {
 	if depth == 0 || r.Intn(4) == 0 {
 		switch r.Intn(3) {
@@ -130,8 +138,8 @@ int main() {
 	return src, e.val
 }
 
-func runRiscResult(src string, optimize bool) (int32, error) {
-	prog, text, err := CompileRISC(src, optimize)
+func runRiscResult(src string, o Options) (int32, error) {
+	prog, text, _, err := CompileRISC(src, o)
 	if err != nil {
 		return 0, fmt.Errorf("%w\n%s", err, text)
 	}
@@ -148,8 +156,8 @@ func runRiscResult(src string, optimize bool) (int32, error) {
 	return int32(v), err
 }
 
-func runVaxResult(src string) (int32, error) {
-	prog, text, err := CompileVAX(src)
+func runVaxResult(src string, o Options) (int32, error) {
+	prog, text, _, err := CompileVAX(src, o)
 	if err != nil {
 		return 0, fmt.Errorf("%w\n%s", err, text)
 	}
@@ -174,25 +182,25 @@ func TestExpressionFuzz(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		src, want := fuzzProgram(r)
-		for _, optimize := range []bool{false, true} {
-			got, err := runRiscResult(src, optimize)
+		for _, o := range fuzzOptions {
+			got, err := runRiscResult(src, o)
 			if err != nil {
-				t.Logf("seed %d risc (opt=%v): %v\nsource:%s", seed, optimize, err, src)
+				t.Logf("seed %d risc (%+v): %v\nsource:%s", seed, o, err, src)
 				return false
 			}
 			if got != want {
-				t.Logf("seed %d risc (opt=%v): got %d, want %d\nsource:%s", seed, optimize, got, want, src)
+				t.Logf("seed %d risc (%+v): got %d, want %d\nsource:%s", seed, o, got, want, src)
 				return false
 			}
-		}
-		got, err := runVaxResult(src)
-		if err != nil {
-			t.Logf("seed %d vax: %v\nsource:%s", seed, err, src)
-			return false
-		}
-		if got != want {
-			t.Logf("seed %d vax: got %d, want %d\nsource:%s", seed, got, want, src)
-			return false
+			got, err = runVaxResult(src, o)
+			if err != nil {
+				t.Logf("seed %d vax (%+v): %v\nsource:%s", seed, o, err, src)
+				return false
+			}
+			if got != want {
+				t.Logf("seed %d vax (%+v): got %d, want %d\nsource:%s", seed, o, got, want, src)
+				return false
+			}
 		}
 		return true
 	}
@@ -246,17 +254,17 @@ int main() {
 				s = s / 5
 			}
 		}
-		for _, optimize := range []bool{false, true} {
-			got, err := runRiscResult(src, optimize)
+		for _, o := range fuzzOptions {
+			got, err := runRiscResult(src, o)
 			if err != nil || got != s {
-				t.Logf("seed %d risc: got %d err %v, want %d\n%s", seed, got, err, s, src)
+				t.Logf("seed %d risc (%+v): got %d err %v, want %d\n%s", seed, o, got, err, s, src)
 				return false
 			}
-		}
-		got, err := runVaxResult(src)
-		if err != nil || got != s {
-			t.Logf("seed %d vax: got %d err %v, want %d\n%s", seed, got, err, s, src)
-			return false
+			got, err = runVaxResult(src, o)
+			if err != nil || got != s {
+				t.Logf("seed %d vax (%+v): got %d err %v, want %d\n%s", seed, o, got, err, s, src)
+				return false
+			}
 		}
 		return true
 	}

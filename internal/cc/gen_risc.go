@@ -3,28 +3,33 @@ package cc
 import (
 	"fmt"
 	"strings"
+
+	"risc1/internal/cc/ir"
 )
 
-// RISC I code generation conventions (mirroring the paper's C compiler):
+// RISC I code generation conventions (register windows, cf. DESIGN.md):
 //
 //   - r0: hardwired zero
 //   - r1: data stack pointer (global), initialized by the bootstrap
 //   - r8: code-generator scratch (spill partner, address formation)
+//   - r9: second straight-line scratch
 //   - r10..r15: outgoing arguments; the result returns in r10
-//   - r16..r24: register variables and the expression evaluation stack
+//   - r16..r24: register variables and temporaries
 //   - r25: return address (written by CALL, used by RET)
 //   - r26..r31: incoming parameters; the callee writes its result to r26,
 //     which is physically the caller's r10 — returning a value costs
 //     nothing, exactly the property the paper's window design buys.
 //
-// Scalar locals live in registers (they survive calls for free thanks to
-// the windows); arrays and overflow locals live in a frame on the data
-// stack. Multiplication, division and modulo call assembly runtime
-// routines, because RISC I deliberately has no multiply or divide
-// hardware.
+// The generator consumes the shared IR (internal/cc/ir): temporaries
+// are assigned to r16.. by the linear-scan allocator in regalloc.go
+// (they survive calls for free thanks to the windows), scalar locals
+// get dedicated registers, and arrays, addressed locals and spilled
+// temporaries live in a frame on the data stack. Multiplication,
+// division and modulo call assembly runtime routines, because RISC I
+// deliberately has no multiply or divide hardware.
 const (
-	riscStackTop   = 0x80000 // data stack top (the register-save stack uses the top of memory)
-	riscScratchPtr = 8       // r8: spill partner
+	riscStackTop   = 0x80000 // initial r1
+	riscScratchPtr = 8       // r8: scratch (spills, address formation)
 	riscScratch2   = 9       // r9: second straight-line scratch
 	riscArgBase    = 10      // first outgoing argument register
 	riscVarBase    = 16      // first allocatable local register
@@ -34,12 +39,13 @@ const (
 	riscRetValReg  = 26 // callee-side result register (caller sees r10)
 )
 
-// minScratch is the minimum expression-stack depth kept in registers;
-// deeper temporaries spill to the data stack.
+// minScratch is the minimum number of r16..r24 registers kept for
+// temporaries; register variables take at most the rest.
 const minScratch = 4
 
-// GenRISC compiles a checked program to RISC I assembly text.
-func GenRISC(prog *Program) (string, error) {
+// GenRISC compiles a lowered (and possibly optimized) IR program to
+// RISC I assembly text.
+func GenRISC(prog *ir.Program) (string, error) {
 	g := &rgen{prog: prog}
 	g.emitBootstrap()
 	for _, fn := range prog.Funcs {
@@ -58,14 +64,15 @@ func GenRISC(prog *Program) (string, error) {
 }
 
 type rgen struct {
-	prog *Program
+	prog *ir.Program
 	b    strings.Builder
 
-	fn         *Symbol
-	frameSize  int
-	numVarRegs int // registers r16..r16+numVarRegs-1 hold variables
-	numScratch int
-	labelSeq   int
+	fn        *ir.Func
+	alloc     allocation
+	varReg    map[*ir.Var]int // register-resident variables
+	frameOff  map[*ir.Var]int // memory-resident locals (r1-relative)
+	frameMem  int             // bytes of arrays + addressed locals
+	frameSize int             // frameMem + spill slots
 
 	usesMul bool
 	usesDiv bool
@@ -79,13 +86,9 @@ func (g *rgen) emit(format string, args ...any) {
 
 func (g *rgen) label(l string) { fmt.Fprintf(&g.b, "%s:\n", l) }
 
-func (g *rgen) newLabel(hint string) string {
-	g.labelSeq++
-	return fmt.Sprintf(".L%s_%s%d", g.fn.Name, hint, g.labelSeq)
+func (g *rgen) blockLabel(b *ir.Block) string {
+	return fmt.Sprintf(".L%s_%s", g.fn.Name, b.Name)
 }
-
-// sreg returns the k-th expression-stack register.
-func (g *rgen) sreg(k int) int { return riscVarBase + g.numVarRegs + k }
 
 func (g *rgen) emitBootstrap() {
 	g.raw("; MiniC RISC I output\n")
@@ -98,554 +101,385 @@ func (g *rgen) emitBootstrap() {
 	g.emit("nop")
 }
 
-func (g *rgen) genFunc(fn *Symbol) error {
-	if len(fn.Params) > riscMaxParams {
-		return errf(fn.Line, "%q: RISC I passes at most %d register parameters", fn.Name, riscMaxParams)
-	}
-	g.fn = fn
-	g.labelSeq = 0
-
-	// Storage assignment: scalar locals get registers until only
-	// minScratch expression registers remain; the rest join the arrays
-	// in the stack frame.
-	avail := riscVarLimit - riscVarBase // 9 allocatable registers
-	var regLocals, memLocals []*Symbol
-	for _, l := range fn.Locals {
-		if l.Type.IsScalar() && len(regLocals) < avail-minScratch {
-			regLocals = append(regLocals, l)
-		} else {
-			memLocals = append(memLocals, l)
-		}
-	}
-	g.numVarRegs = len(regLocals)
-	g.numScratch = avail - g.numVarRegs
-	for i, l := range regLocals {
-		l.Reg = riscVarBase + i
-	}
-	off := 0
-	for _, l := range memLocals {
-		l.Reg = -1
-		sz := (l.Type.Size() + 3) &^ 3
-		l.FrameOff = off
-		off += sz
-	}
-	g.frameSize = off
-	for _, p := range fn.Params {
-		p.Reg = riscParamBase + p.ParamSlot
-	}
-
-	g.label(fn.Name)
-	if g.frameSize > 0 {
-		g.emit("sub r1, r1, %d\t; frame for arrays/spilled locals", g.frameSize)
-	}
-	if err := g.stmt(fn.Body, ""); err != nil {
-		return err
-	}
-	// Fall-off-the-end return (value 0 for int functions).
-	g.epilogue(true)
-	return nil
-}
-
-// epilogue emits the return sequence; if zeroResult, r26 is cleared first.
-func (g *rgen) epilogue(zeroResult bool) {
-	if zeroResult {
-		g.emit("mov r%d, 0", riscRetValReg)
-	}
-	if g.frameSize > 0 {
-		g.emit("add r1, r1, %d", g.frameSize)
-	}
-	g.emit("ret")
-	g.emit("nop")
-}
-
-type loopLabels struct{ brk, cont string }
-
-func (g *rgen) stmt(s *Stmt, _ string) error { return g.stmtIn(s, nil) }
-
-func (g *rgen) stmtIn(s *Stmt, loop *loopLabels) error {
-	switch s.Kind {
-	case StmtBlock, StmtGroup:
-		for _, sub := range s.Body {
-			if err := g.stmtIn(sub, loop); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case StmtDecl:
-		if s.DeclInit == nil {
-			return nil
-		}
-		if s.Decl.Reg >= 0 && g.directAssign(s.Decl.Reg, s.DeclInit) {
-			return nil
-		}
-		if err := g.evalTo(s.DeclInit, 0); err != nil {
-			return err
-		}
-		g.storeVar(s.Decl, g.sreg(0))
-		return nil
-
-	case StmtExpr:
-		// At statement level the expression's value is discarded, which
-		// lets assignments take the direct register forms.
-		if s.Expr.Kind == ExprAssign {
-			return g.assign(s.Expr, 0, false)
-		}
-		return g.evalTo(s.Expr, 0)
-
-	case StmtIf:
-		elseL := g.newLabel("else")
-		if err := g.branch(s.Expr, elseL, false); err != nil {
-			return err
-		}
-		if err := g.stmtIn(s.Then, loop); err != nil {
-			return err
-		}
-		if s.Else != nil {
-			endL := g.newLabel("endif")
-			g.emit("ba %s", endL)
-			g.emit("nop")
-			g.label(elseL)
-			if err := g.stmtIn(s.Else, loop); err != nil {
-				return err
-			}
-			g.label(endL)
-		} else {
-			g.label(elseL)
-		}
-		return nil
-
-	case StmtWhile:
-		top := g.newLabel("while")
-		end := g.newLabel("wend")
-		g.label(top)
-		if err := g.branch(s.Expr, end, false); err != nil {
-			return err
-		}
-		if err := g.stmtIn(s.Then, &loopLabels{brk: end, cont: top}); err != nil {
-			return err
-		}
-		g.emit("ba %s", top)
-		g.emit("nop")
-		g.label(end)
-		return nil
-
-	case StmtFor:
-		if s.Init != nil {
-			if err := g.stmtIn(s.Init, loop); err != nil {
-				return err
-			}
-		}
-		top := g.newLabel("for")
-		post := g.newLabel("fpost")
-		end := g.newLabel("fend")
-		g.label(top)
-		if s.Cond != nil {
-			if err := g.branch(s.Cond, end, false); err != nil {
-				return err
-			}
-		}
-		if err := g.stmtIn(s.Then, &loopLabels{brk: end, cont: post}); err != nil {
-			return err
-		}
-		g.label(post)
-		if s.Post != nil {
-			if err := g.stmtIn(s.Post, loop); err != nil {
-				return err
-			}
-		}
-		g.emit("ba %s", top)
-		g.emit("nop")
-		g.label(end)
-		return nil
-
-	case StmtReturn:
-		if s.Expr != nil {
-			if err := g.evalTo(s.Expr, 0); err != nil {
-				return err
-			}
-			g.emit("mov r%d, r%d", riscRetValReg, g.sreg(0))
-			g.epilogue(false)
-		} else {
-			g.epilogue(true)
-		}
-		return nil
-
-	case StmtBreak:
-		g.emit("ba %s", loop.brk)
-		g.emit("nop")
-		return nil
-
-	case StmtContinue:
-		g.emit("ba %s", loop.cont)
-		g.emit("nop")
-		return nil
-	}
-	return errf(s.Line, "internal: unhandled statement kind %d", s.Kind)
-}
-
-// storeVar writes register src into a scalar variable.
-func (g *rgen) storeVar(sym *Symbol, src int) {
-	switch {
-	case sym.Kind == SymGlobal:
-		g.emit("li r%d, %s", riscScratchPtr, sym.Name)
-		g.emit("%s r%d, r%d, 0", storeOp(sym.Type), src, riscScratchPtr)
-	case sym.Kind == SymParam || sym.Reg >= 0:
-		g.emit("mov r%d, r%d", sym.Reg, src)
-	default: // frame local
-		g.emit("%s r%d, r1, %d", storeOp(sym.Type), src, sym.FrameOff)
-	}
-}
-
-func storeOp(t *Type) string {
-	if t.Kind == TypeChar {
+func storeOp(char bool) string {
+	if char {
 		return "stb"
 	}
 	return "stl"
 }
 
-func loadOp(t *Type) string {
-	if t.Kind == TypeChar {
+func loadOp(char bool) string {
+	if char {
 		return "ldbu"
 	}
 	return "ldl"
 }
 
-// push/pop spill an expression register to the data stack when the
-// register stack overflows.
-func (g *rgen) push(reg int) {
-	g.emit("sub r1, r1, 4")
-	g.emit("stl r%d, r1, 0", reg)
+// memChar reports whether a variable is a one-byte memory cell: stores
+// truncate and loads zero-extend. Register-resident char locals and
+// char parameters hold full words on both backends.
+func (g *rgen) memChar(v *ir.Var) bool {
+	_, inReg := g.varReg[v]
+	return v.Char && !inReg && v.Kind != ir.VarParam
 }
 
-func (g *rgen) pop(reg int) {
-	g.emit("ldl r%d, r1, 0", reg)
-	g.emit("add r1, r1, 4")
-}
-
-// evalTo generates code leaving the value of e in sreg(k), free to use
-// sreg(k+1).. as temporaries.
-func (g *rgen) evalTo(e *Expr, k int) error {
-	dst := g.sreg(k)
-	switch e.Kind {
-	case ExprIntLit, ExprCharLit:
-		g.emit("li r%d, %d", dst, int32(e.Num))
-		return nil
-
-	case ExprStrLit:
-		g.emit("li r%d, %s", dst, e.StrLabel)
-		return nil
-
-	case ExprIdent:
-		sym := e.Sym
-		switch {
-		case sym.Type.Kind == TypeArray:
-			return g.addrOf(e, k) // arrays decay to their address
-		case sym.Kind == SymGlobal:
-			g.emit("li r%d, %s", dst, sym.Name)
-			g.emit("%s r%d, r%d, 0", loadOp(sym.Type), dst, dst)
-		case sym.Kind == SymParam || sym.Reg >= 0:
-			g.emit("mov r%d, r%d", dst, sym.Reg)
-		default:
-			g.emit("%s r%d, r1, %d", loadOp(sym.Type), dst, sym.FrameOff)
-		}
-		return nil
-
-	case ExprUnary:
-		switch e.Op {
-		case "-":
-			if err := g.evalTo(e.X, k); err != nil {
-				return err
-			}
-			g.emit("subr r%d, r%d, 0", dst, dst)
-			return nil
-		case "~":
-			if err := g.evalTo(e.X, k); err != nil {
-				return err
-			}
-			g.emit("xor r%d, r%d, -1", dst, dst)
-			return nil
-		case "!":
-			return g.materializeCond(e, k)
-		case "*":
-			if err := g.evalTo(e.X, k); err != nil {
-				return err
-			}
-			g.emit("%s r%d, r%d, 0", loadOp(e.Type), dst, dst)
-			return nil
-		case "&":
-			return g.addrOf(e.X, k)
-		}
-
-	case ExprBinary:
-		switch e.Op {
-		case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
-			return g.materializeCond(e, k)
-		}
-		if decay(e.X.Type).Kind == TypePtr || decay(e.Y.Type).Kind == TypePtr {
-			return g.pointerArith(e, k)
-		}
-		if e.Op == "*" || e.Op == "/" || e.Op == "%" {
-			return g.mulDiv(e.Op, e.X, e.Y, k)
-		}
-		return g.binaryInts(e.Op, e.X, e.Y, k)
-
-	case ExprAssign:
-		return g.assign(e, k, true)
-
-	case ExprIndex:
-		if err := g.addrOf(e, k); err != nil {
-			return err
-		}
-		g.emit("%s r%d, r%d, 0", loadOp(e.Type), dst, dst)
-		return nil
-
-	case ExprCall:
-		return g.call(e, k)
+func (g *rgen) genFunc(fn *ir.Func) error {
+	if len(fn.Params) > riscMaxParams {
+		return errf(fn.Line, "%q: RISC I passes at most %d register parameters", fn.Name, riscMaxParams)
 	}
-	return errf(e.Line, "internal: unhandled expression kind %d", e.Kind)
+	g.fn = fn
+	g.varReg = make(map[*ir.Var]int)
+	g.frameOff = make(map[*ir.Var]int)
+
+	for _, p := range fn.Params {
+		if p.Addressed {
+			return errf(fn.Line, "%q: cannot take the address of a register parameter", p.Name)
+		}
+		g.varReg[p] = riscParamBase + p.ParamSlot
+	}
+
+	// Storage assignment: non-addressed scalar locals get registers
+	// until only minScratch temporaries' worth remain; the rest join
+	// the arrays in the stack frame.
+	avail := riscVarLimit - riscVarBase // 9 allocatable registers
+	nreg := 0
+	off := 0
+	for _, l := range fn.Locals {
+		if l.Scalar && !l.Addressed && nreg < avail-minScratch {
+			g.varReg[l] = riscVarBase + nreg
+			nreg++
+			continue
+		}
+		g.frameOff[l] = off
+		off += (l.Size + 3) &^ 3
+	}
+	g.frameMem = off
+
+	// Temporaries share r16..r24 above the register variables.
+	var pool []int
+	for r := riscVarBase + nreg; r < riscVarLimit; r++ {
+		pool = append(pool, r)
+	}
+	g.alloc = allocateTemps(fn, pool, false)
+	g.frameSize = g.frameMem + 4*g.alloc.nSpills
+
+	g.label(fn.Name)
+	if g.frameSize > 0 {
+		g.emit("sub r1, r1, %d\t; frame for arrays/spilled locals", g.frameSize)
+	}
+	for i, b := range g.fn.Blocks {
+		g.label(g.blockLabel(b))
+		for k := range b.Instrs {
+			if err := g.instr(&b.Instrs[k]); err != nil {
+				return err
+			}
+		}
+		var next *ir.Block
+		if i+1 < len(g.fn.Blocks) {
+			next = g.fn.Blocks[i+1]
+		}
+		g.term(&b.Term, next)
+	}
+	return nil
 }
 
-// binaryInts emits a plain integer binary operator (+ - & | ^ << >>).
-// regOperand returns the register holding e when e is a register-
-// resident scalar variable — the operand-selection trick that keeps the
-// generated code close to what the era's compilers emitted.
-func (g *rgen) regOperand(e *Expr) (int, bool) {
-	if e.Kind != ExprIdent || e.Sym == nil || e.Sym.Kind == SymGlobal || !e.Sym.Type.IsScalar() {
-		return 0, false
-	}
-	if e.Sym.Kind == SymParam || e.Sym.Reg >= 0 {
-		return e.Sym.Reg, true
+// spillOff returns the r1-relative frame offset of a spill slot.
+func (g *rgen) spillOff(slot int) int { return g.frameMem + 4*slot }
+
+// regOf returns the register already holding a value, if any.
+func (g *rgen) regOf(v ir.Value) (int, bool) {
+	switch v.Kind {
+	case ir.ValConst:
+		if v.C == 0 {
+			return 0, true
+		}
+	case ir.ValTemp:
+		if l := g.alloc.loc[v.Temp]; l.reg >= 0 {
+			return l.reg, true
+		}
+	case ir.ValVar:
+		if r, ok := g.varReg[v.Var]; ok {
+			return r, true
+		}
 	}
 	return 0, false
 }
 
-// evalOperand yields a register holding e's value: the variable's own
-// register when possible, else sreg(k) after evaluation.
-func (g *rgen) evalOperand(e *Expr, k int) (int, error) {
-	if r, ok := g.regOperand(e); ok {
-		return r, nil
+// frameAccess emits a load or store of a frame cell, forming the
+// address through r9 when the offset exceeds the immediate field.
+func (g *rgen) frameAccess(op string, reg, off int) {
+	if off <= 4095 {
+		g.emit("%s r%d, r1, %d", op, reg, off)
+		return
 	}
-	if err := g.evalTo(e, k); err != nil {
-		return 0, err
-	}
-	return g.sreg(k), nil
+	g.emit("li r%d, %d", riscScratch2, off)
+	g.emit("add r%d, r1, r%d", riscScratch2, riscScratch2)
+	g.emit("%s r%d, r%d, 0", op, reg, riscScratch2)
 }
 
-func riscALUOp(op string) string {
-	return map[string]string{
-		"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
-		"<<": "sll", ">>": "sra",
-	}[op]
-}
-
-func (g *rgen) binaryInts(op string, x, y *Expr, k int) error {
-	mn := riscALUOp(op)
-	if mn == "" {
-		return errf(x.Line, "internal: no RISC mapping for %q", op)
-	}
-	dst := g.sreg(k)
-	xr, err := g.evalOperand(x, k)
-	if err != nil {
-		return err
-	}
-	// Constant right operand fits the 13-bit immediate: skip a register.
-	if c, ok := constFold(y); ok && c >= -4096 && c <= 4095 {
-		g.emit("%s r%d, r%d, %d", mn, dst, xr, c)
-		return nil
-	}
-	// Register-resident right operand: no evaluation at all.
-	if yr, ok := g.regOperand(y); ok {
-		g.emit("%s r%d, r%d, r%d", mn, dst, xr, yr)
-		return nil
-	}
-	// X did not consume the scratch slot: Y may use it.
-	if xr != dst {
-		if err := g.evalTo(y, k); err != nil {
-			return err
-		}
-		g.emit("%s r%d, r%d, r%d", mn, dst, xr, dst)
-		return nil
-	}
-	if k+1 < g.numScratch {
-		if err := g.evalTo(y, k+1); err != nil {
-			return err
-		}
-		g.emit("%s r%d, r%d, r%d", mn, dst, dst, g.sreg(k+1))
-		return nil
-	}
-	// Spill path: X waits on the data stack while Y evaluates.
-	g.push(dst)
-	if err := g.evalTo(y, k); err != nil {
-		return err
-	}
-	g.pop(riscScratchPtr)
-	g.emit("%s r%d, r%d, r%d", mn, dst, riscScratchPtr, dst)
-	return nil
-}
-
-// pointerArith handles ptr±int (scaled) and ptr-ptr (descaled).
-func (g *rgen) pointerArith(e *Expr, k int) error {
-	xt, yt := decay(e.X.Type), decay(e.Y.Type)
-	dst := g.sreg(k)
-	switch {
-	case xt.Kind == TypePtr && yt.Kind == TypePtr: // ptr - ptr
-		if err := g.binaryInts("-", e.X, e.Y, k); err != nil {
-			return err
-		}
-		if sh := log2(xt.Elem.Size()); sh > 0 {
-			g.emit("sra r%d, r%d, %d", dst, dst, sh)
-		}
-		return nil
-	case xt.Kind == TypePtr: // ptr ± int
-		mn := "add"
-		if e.Op == "-" {
-			mn = "sub"
-		}
-		return g.scaledCombine(e.X, e.Y, xt.Elem.Size(), mn, k)
-	default: // int + ptr
-		return g.scaledCombine(e.Y, e.X, yt.Elem.Size(), "add", k)
-	}
-}
-
-// scaledCombine computes base <op> scale(idx) into sreg(k), spilling the
-// base to the data stack when the register stack is full.
-func (g *rgen) scaledCombine(base, idx *Expr, size int, mn string, k int) error {
-	dst := g.sreg(k)
-	if err := g.evalTo(base, k); err != nil {
-		return err
-	}
-	if k+1 < g.numScratch {
-		if err := g.scaledTo(idx, k+1, size); err != nil {
-			return err
-		}
-		g.emit("%s r%d, r%d, r%d", mn, dst, dst, g.sreg(k+1))
-		return nil
-	}
-	g.push(dst)
-	if err := g.scaledTo(idx, k, size); err != nil {
-		return err
-	}
-	g.pop(riscScratchPtr)
-	g.emit("%s r%d, r%d, r%d", mn, dst, riscScratchPtr, dst)
-	return nil
-}
-
-// scaledTo evaluates an index expression into sreg(k), multiplied by the
-// element size (always a power of two in MiniC).
-// scaledTo requires k < numScratch; callers at the edge use spill paths.
-func (g *rgen) scaledTo(e *Expr, k int, size int) error {
-	if k >= g.numScratch {
-		return errf(e.Line, "internal: scaledTo beyond the register stack")
-	}
-	if err := g.evalTo(e, k); err != nil {
-		return err
-	}
-	if sh := log2(size); sh > 0 {
-		g.emit("sll r%d, r%d, %d", g.sreg(k), g.sreg(k), sh)
-	}
-	return nil
-}
-
-func log2(n int) int {
-	s := 0
-	for n > 1 {
-		n >>= 1
-		s++
-	}
-	return s
-}
-
-// mulDiv lowers * / % to runtime calls — RISC I has no multiply/divide.
-func (g *rgen) mulDiv(op string, x, y *Expr, k int) error {
-	// Strength reduction for constant right operands, as the era's C
-	// compilers did: multiplication becomes a shift-add sequence, and
-	// division/modulo by powers of two become sign-corrected shifts.
-	if c, ok := constFold(y); ok {
-		switch op {
-		case "*":
-			if err := g.evalTo(x, k); err != nil {
-				return err
+// loadInto materializes a value in the given register.
+func (g *rgen) loadInto(v ir.Value, rd int) {
+	switch v.Kind {
+	case ir.ValConst:
+		g.emit("li r%d, %d", rd, v.C)
+	case ir.ValTemp:
+		if l := g.alloc.loc[v.Temp]; l.reg >= 0 {
+			if l.reg != rd {
+				g.emit("mov r%d, r%d", rd, l.reg)
 			}
-			g.mulConst(k, int32(c))
-			return nil
-		case "/":
-			if c > 0 && c&(c-1) == 0 {
-				if err := g.evalTo(x, k); err != nil {
-					return err
-				}
-				g.divPow2(k, log2(int(c)))
-				return nil
+		} else {
+			g.frameAccess("ldl", rd, g.spillOff(l.slot))
+		}
+	case ir.ValVar:
+		vr := v.Var
+		if r, ok := g.varReg[vr]; ok {
+			if r != rd {
+				g.emit("mov r%d, r%d", rd, r)
 			}
-		case "%":
-			if c > 0 && c&(c-1) == 0 {
-				if err := g.evalTo(x, k); err != nil {
-					return err
-				}
-				sh := log2(int(c))
-				if sh == 0 {
-					g.emit("mov r%d, 0", g.sreg(k))
-					return nil
-				}
-				// x - (x/2^sh)<<sh, with C truncation semantics.
-				g.emit("mov r%d, r%d", riscScratch2, g.sreg(k))
-				g.divPow2(k, sh)
-				g.emit("sll r%d, r%d, %d", g.sreg(k), g.sreg(k), sh)
-				g.emit("sub r%d, r%d, r%d", g.sreg(k), riscScratch2, g.sreg(k))
-				return nil
+			return
+		}
+		if vr.Kind == ir.VarGlobal {
+			g.emit("li r%d, %s", rd, vr.Name)
+			g.emit("%s r%d, r%d, 0", loadOp(vr.Char), rd, rd)
+		} else {
+			g.frameAccess(loadOp(g.memChar(vr)), rd, g.frameOff[vr])
+		}
+	}
+}
+
+// readVal returns a register holding the value, loading into the given
+// scratch register when it has no home of its own.
+func (g *rgen) readVal(v ir.Value, scratch int) int {
+	if r, ok := g.regOf(v); ok {
+		return r
+	}
+	g.loadInto(v, scratch)
+	return scratch
+}
+
+// dstReg picks the register an instruction should compute into; store
+// reports whether writeBack must follow.
+func (g *rgen) dstReg(d ir.Value) (reg int, store bool) {
+	if r, ok := g.regOf(d); ok && d.Kind != ir.ValConst {
+		return r, false
+	}
+	return riscScratchPtr, true
+}
+
+// writeBack stores a computed value to a spilled temporary or a
+// memory-resident variable.
+func (g *rgen) writeBack(d ir.Value, r int) {
+	switch d.Kind {
+	case ir.ValTemp:
+		g.frameAccess("stl", r, g.spillOff(g.alloc.loc[d.Temp].slot))
+	case ir.ValVar:
+		vr := d.Var
+		if vr.Kind == ir.VarGlobal {
+			g.emit("li r%d, %s", riscScratch2, vr.Name)
+			g.emit("%s r%d, r%d, 0", storeOp(vr.Char), r, riscScratch2)
+		} else {
+			g.frameAccess(storeOp(g.memChar(vr)), r, g.frameOff[vr])
+		}
+	}
+}
+
+// setDst routes a value sitting in register r to the destination.
+func (g *rgen) setDst(d ir.Value, r int) {
+	if rd, ok := g.regOf(d); ok {
+		if rd != r {
+			g.emit("mov r%d, r%d", rd, r)
+		}
+		return
+	}
+	g.writeBack(d, r)
+}
+
+// immOK reports whether a constant fits the 13-bit immediate field.
+func immOK(c int32) bool { return c >= -4096 && c <= 4095 }
+
+// riscALU maps IR binary ops with native RISC I instructions.
+var riscALU = map[ir.Op]string{
+	ir.OpAdd: "add", ir.OpSub: "sub", ir.OpAnd: "and",
+	ir.OpOr: "or", ir.OpXor: "xor", ir.OpShl: "sll", ir.OpShr: "sra",
+}
+
+func (g *rgen) instr(in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpCopy:
+		g.copyTo(in.Dst, in.A)
+		return nil
+
+	case ir.OpNeg, ir.OpCom:
+		rd, store := g.dstReg(in.Dst)
+		a := g.readVal(in.A, riscScratchPtr)
+		if in.Op == ir.OpNeg {
+			g.emit("subr r%d, r%d, 0", rd, a)
+		} else {
+			g.emit("xor r%d, r%d, -1", rd, a)
+		}
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		g.binary(in)
+		return nil
+
+	case ir.OpMul:
+		return g.mulDivMod(in)
+	case ir.OpDiv, ir.OpMod:
+		return g.mulDivMod(in)
+
+	case ir.OpAddr:
+		rd, store := g.dstReg(in.Dst)
+		vr := in.Var
+		switch {
+		case vr.Kind == ir.VarGlobal:
+			g.emit("li r%d, %s", rd, vr.Name)
+		case vr.Kind == ir.VarParam:
+			return errf(in.Line, "cannot take the address of register parameter %q", vr.Name)
+		default:
+			off := g.frameOff[vr]
+			if immOK(int32(off)) {
+				g.emit("add r%d, r1, %d", rd, off)
+			} else {
+				g.emit("li r%d, %d", rd, off)
+				g.emit("add r%d, r1, r%d", rd, rd)
 			}
 		}
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpAddrStr:
+		rd, store := g.dstReg(in.Dst)
+		g.emit("li r%d, %s", rd, in.Label)
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpLoad:
+		rd, store := g.dstReg(in.Dst)
+		a := g.readVal(in.A, riscScratchPtr)
+		g.emit("%s r%d, r%d, 0", loadOp(in.Size == 1), rd, a)
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpStore:
+		a := g.readVal(in.A, riscScratchPtr)
+		b := g.readVal(in.B, riscScratch2)
+		g.emit("%s r%d, r%d, 0", storeOp(in.Size == 1), b, a)
+		return nil
+
+	case ir.OpCall:
+		for i, arg := range in.Args {
+			g.loadInto(arg, riscArgBase+i)
+		}
+		g.emit("call %s", in.Label)
+		g.emit("nop")
+		if in.Dst.Valid() {
+			g.setDst(in.Dst, riscArgBase)
+		}
+		return nil
 	}
+	return errf(in.Line, "internal: unhandled IR op %d", in.Op)
+}
+
+// copyTo implements Dst = A, using at most one instruction when both
+// sides have register homes.
+func (g *rgen) copyTo(d, a ir.Value) {
+	if rd, ok := g.regOf(d); ok {
+		g.loadInto(a, rd)
+		return
+	}
+	r := g.readVal(a, riscScratchPtr)
+	g.writeBack(d, r)
+}
+
+// binary emits one of the native two-operand ALU operations, using
+// the immediate form when a constant operand fits.
+func (g *rgen) binary(in *ir.Instr) {
+	mn := riscALU[in.Op]
+	rd, store := g.dstReg(in.Dst)
+	a, b := in.A, in.B
+
+	// Constant on the left: subr swaps subtraction; the commutative
+	// ops just swap operands. Shifts fall through to register form.
+	if a.Kind == ir.ValConst && a.C != 0 {
+		switch in.Op {
+		case ir.OpSub:
+			if immOK(a.C) {
+				br := g.readVal(b, riscScratchPtr)
+				g.emit("subr r%d, r%d, %d", rd, br, a.C)
+				if store {
+					g.writeBack(in.Dst, rd)
+				}
+				return
+			}
+		case ir.OpAdd, ir.OpAnd, ir.OpOr, ir.OpXor:
+			a, b = b, a
+		}
+	}
+
+	ar := g.readVal(a, riscScratchPtr)
+	if b.Kind == ir.ValConst && b.C != 0 && immOK(b.C) {
+		g.emit("%s r%d, r%d, %d", mn, rd, ar, b.C)
+	} else {
+		br := g.readVal(b, riscScratch2)
+		g.emit("%s r%d, r%d, r%d", mn, rd, ar, br)
+	}
+	if store {
+		g.writeBack(in.Dst, rd)
+	}
+}
+
+// mulDivMod lowers multiplication, division and modulo: multiplication
+// by a register-destined constant becomes a shift-and-add sequence,
+// everything else calls the software arithmetic runtime.
+func (g *rgen) mulDivMod(in *ir.Instr) error {
+	a, b := in.A, in.B
+	if in.Op == ir.OpMul && a.Kind == ir.ValConst {
+		a, b = b, a
+	}
+	rd, store := g.dstReg(in.Dst)
+	if in.Op == ir.OpMul && b.Kind == ir.ValConst && !store {
+		// In-place shift-and-add needs a register destination clear of
+		// the r8/r9 workspace.
+		g.loadInto(a, rd)
+		g.mulConst(rd, b.C)
+		return nil
+	}
+
 	var fn string
-	switch op {
-	case "*":
+	switch in.Op {
+	case ir.OpMul:
 		fn = "__mul"
 		g.usesMul = true
-	case "/":
+	case ir.OpDiv:
 		fn = "__div"
 		g.usesDiv = true
 	default:
 		fn = "__mod"
 		g.usesDiv = true
 	}
-	xr, err := g.evalOperand(x, k)
-	if err != nil {
-		return err
-	}
-	if yr, ok := g.regOperand(y); ok {
-		g.emit("mov r%d, r%d", riscArgBase, xr)
-		g.emit("mov r%d, r%d", riscArgBase+1, yr)
-	} else if xr != g.sreg(k) {
-		if err := g.evalTo(y, k); err != nil {
-			return err
-		}
-		g.emit("mov r%d, r%d", riscArgBase, xr)
-		g.emit("mov r%d, r%d", riscArgBase+1, g.sreg(k))
-	} else if k+1 < g.numScratch {
-		if err := g.evalTo(y, k+1); err != nil {
-			return err
-		}
-		g.emit("mov r%d, r%d", riscArgBase, g.sreg(k))
-		g.emit("mov r%d, r%d", riscArgBase+1, g.sreg(k+1))
-	} else {
-		// Spill path: X waits on the data stack while Y evaluates.
-		g.push(g.sreg(k))
-		if err := g.evalTo(y, k); err != nil {
-			return err
-		}
-		g.emit("mov r%d, r%d", riscArgBase+1, g.sreg(k))
-		g.pop(riscArgBase)
-	}
+	g.loadInto(a, riscArgBase)
+	g.loadInto(b, riscArgBase+1)
 	g.emit("call %s", fn)
 	g.emit("nop")
-	g.emit("mov r%d, r%d", g.sreg(k), riscArgBase)
+	if in.Dst.Valid() {
+		g.setDst(in.Dst, riscArgBase)
+	}
 	return nil
 }
 
-// mulConst multiplies sreg(k) by a constant with a shift-add sequence —
-// straight-line code, so no window or scratch-register hazards.
-func (g *rgen) mulConst(k int, c int32) {
-	dst := g.sreg(k)
+// mulConst multiplies the value in dst by a constant, in place, using
+// shifts and adds (r8/r9 as workspace; dst must be neither).
+func (g *rgen) mulConst(dst int, c int32) {
 	switch c {
 	case 0:
 		g.emit("mov r%d, 0", dst)
@@ -656,14 +490,13 @@ func (g *rgen) mulConst(k int, c int32) {
 		g.emit("subr r%d, r%d, 0", dst, dst)
 		return
 	}
-	neg := false
+	neg := c < 0
 	u := uint32(c)
-	if c < 0 {
-		neg = true
+	if neg {
 		u = uint32(-c)
 	}
 	if u&(u-1) == 0 {
-		g.emit("sll r%d, r%d, %d", dst, dst, log2(int(u)))
+		g.emit("sll r%d, r%d, %d", dst, dst, ir.Log2(int(u)))
 	} else {
 		g.emit("mov r%d, r%d", riscScratchPtr, dst)
 		first := true
@@ -672,9 +505,7 @@ func (g *rgen) mulConst(k int, c int32) {
 				continue
 			}
 			if first {
-				if bit == 0 {
-					// dst already holds x<<0.
-				} else {
+				if bit > 0 {
 					g.emit("sll r%d, r%d, %d", dst, dst, bit)
 				}
 				first = false
@@ -689,399 +520,56 @@ func (g *rgen) mulConst(k int, c int32) {
 	}
 }
 
-// divPow2 divides sreg(k) by 2^sh with C truncation-toward-zero
-// semantics: negative dividends get the bias before the arithmetic shift.
-func (g *rgen) divPow2(k, sh int) {
-	dst := g.sreg(k)
-	if sh == 0 {
-		return
-	}
-	g.emit("sra r%d, r%d, 31", riscScratchPtr, dst)
-	g.emit("srl r%d, r%d, %d", riscScratchPtr, riscScratchPtr, 32-sh)
-	g.emit("add r%d, r%d, r%d", dst, dst, riscScratchPtr)
-	g.emit("sra r%d, r%d, %d", dst, dst, sh)
+// riscCondOf maps an IR relation to a branch condition suffix.
+var riscCondOf = map[ir.Rel]string{
+	ir.RelEq: "eq", ir.RelNe: "ne", ir.RelLt: "lt",
+	ir.RelLe: "le", ir.RelGt: "gt", ir.RelGe: "ge",
 }
 
-// constFold evaluates compile-time constant expressions.
-func constFold(e *Expr) (int64, bool) {
-	switch e.Kind {
-	case ExprIntLit, ExprCharLit:
-		return e.Num, true
-	case ExprUnary:
-		if v, ok := constFold(e.X); ok {
-			switch e.Op {
-			case "-":
-				return -v, true
-			case "~":
-				return ^v, true
-			}
+// term emits a block terminator; next is the layout successor, whose
+// label a fallthrough reaches for free.
+func (g *rgen) term(t *ir.Term, next *ir.Block) {
+	switch t.Kind {
+	case ir.TermJump:
+		if t.Then != next {
+			g.emit("ba %s", g.blockLabel(t.Then))
+			g.emit("nop")
 		}
-	}
-	return 0, false
-}
 
-// addrOf leaves the address of an lvalue (or array) in sreg(k).
-func (g *rgen) addrOf(e *Expr, k int) error {
-	dst := g.sreg(k)
-	switch e.Kind {
-	case ExprIdent:
-		sym := e.Sym
-		switch {
-		case sym.Kind == SymGlobal:
-			g.emit("li r%d, %s", dst, sym.Name)
-		case sym.Reg >= 0 || sym.Kind == SymParam:
-			return errf(e.Line, "cannot take the address of register variable %q", sym.Name)
-		default:
-			g.emit("add r%d, r1, %d", dst, sym.FrameOff)
-		}
-		return nil
-	case ExprIndex:
-		if err := g.evalTo(e.X, k); err != nil { // base (pointer value or array address)
-			return err
-		}
-		if k+1 < g.numScratch {
-			if err := g.scaledTo(e.Y, k+1, e.Type.Size()); err != nil {
-				return err
-			}
-			g.emit("add r%d, r%d, r%d", dst, dst, g.sreg(k+1))
-			return nil
-		}
-		// Spill path: the base waits on the data stack.
-		g.push(dst)
-		if err := g.scaledTo(e.Y, k, e.Type.Size()); err != nil {
-			return err
-		}
-		g.pop(riscScratchPtr)
-		g.emit("add r%d, r%d, r%d", dst, riscScratchPtr, dst)
-		return nil
-	case ExprUnary:
-		if e.Op == "*" {
-			return g.evalTo(e.X, k)
-		}
-	}
-	return errf(e.Line, "internal: not an addressable expression")
-}
-
-// directAssign emits the common simple assignments straight into a
-// variable's register — "v = c", "v = w", "v = a <op> b" with register or
-// small-constant operands — returning false when the general path must
-// run. Callers may only use it where the assignment's own value is
-// discarded (statement level), since nothing lands in a scratch register.
-func (g *rgen) directAssign(dst int, y *Expr) bool {
-	if c, ok := constFold(y); ok && c >= -4096 && c <= 4095 {
-		g.emit("add r%d, r0, %d", dst, c)
-		return true
-	}
-	if r, ok := g.regOperand(y); ok {
-		g.emit("add r%d, r%d, 0", dst, r)
-		return true
-	}
-	if y.Kind == ExprBinary && decay(y.X.Type).Kind != TypePtr && decay(y.Y.Type).Kind != TypePtr {
-		mn := riscALUOp(y.Op)
-		if mn == "" {
-			return false
-		}
-		a, aok := g.regOperand(y.X)
-		if !aok {
-			return false
-		}
-		if c, ok := constFold(y.Y); ok && c >= -4096 && c <= 4095 {
-			g.emit("%s r%d, r%d, %d", mn, dst, a, c)
-			return true
-		}
-		if b, bok := g.regOperand(y.Y); bok {
-			g.emit("%s r%d, r%d, r%d", mn, dst, a, b)
-			return true
-		}
-	}
-	return false
-}
-
-// directCompound emits "v op= simple" straight onto the variable's
-// register at statement level.
-func (g *rgen) directCompound(lhs *Expr, binOp string, y *Expr) bool {
-	if decay(lhs.Type).Kind == TypePtr {
-		return false // pointer arithmetic needs scaling
-	}
-	mn := riscALUOp(binOp)
-	if mn == "" {
-		return false
-	}
-	dst := lhs.Sym.Reg
-	if c, ok := constFold(y); ok && c >= -4096 && c <= 4095 {
-		g.emit("%s r%d, r%d, %d", mn, dst, dst, c)
-		return true
-	}
-	if r, ok := g.regOperand(y); ok {
-		g.emit("%s r%d, r%d, r%d", mn, dst, dst, r)
-		return true
-	}
-	return false
-}
-
-// assign handles = and the compound assignments, leaving the stored value
-// in sreg(k).
-func (g *rgen) assign(e *Expr, k int, valueNeeded bool) error {
-	binOp := strings.TrimSuffix(e.Op, "=") // "" for plain =
-	lhs := e.X
-
-	// Register-resident scalar: operate in place.
-	if lhs.Kind == ExprIdent && lhs.Sym.Kind != SymGlobal &&
-		(lhs.Sym.Reg >= 0 || lhs.Sym.Kind == SymParam) {
-		if binOp == "" {
-			if !valueNeeded && g.directAssign(lhs.Sym.Reg, e.Y) {
-				return nil
-			}
-			if err := g.evalTo(e.Y, k); err != nil {
-				return err
-			}
-			g.emit("mov r%d, r%d", lhs.Sym.Reg, g.sreg(k))
-			return nil
-		}
-		if !valueNeeded && g.directCompound(lhs, binOp, e.Y) {
-			return nil
-		}
-		fake := &Expr{Kind: ExprBinary, Op: binOp, X: lhs, Y: e.Y, Line: e.Line, Type: e.Type}
-		if err := g.evalTo(fake, k); err != nil {
-			return err
-		}
-		g.emit("mov r%d, r%d", lhs.Sym.Reg, g.sreg(k))
-		return nil
-	}
-
-	// Memory-resident lvalue: compute the address once.
-	if k+2 >= g.numScratch {
-		return errf(e.Line, "assignment too deep for the register stack; simplify")
-	}
-	if err := g.lvalueAddr(lhs, k+1); err != nil {
-		return err
-	}
-	addr := g.sreg(k + 1)
-	if binOp == "" {
-		if err := g.evalTo(e.Y, k+2); err != nil {
-			return err
-		}
-		g.emit("%s r%d, r%d, 0", storeOp(lhs.Type), g.sreg(k+2), addr)
-		g.emit("mov r%d, r%d", g.sreg(k), g.sreg(k+2))
-		return nil
-	}
-	// Compound: load old, combine, store.
-	g.emit("%s r%d, r%d, 0", loadOp(lhs.Type), g.sreg(k), addr)
-	if err := g.evalTo(e.Y, k+2); err != nil {
-		return err
-	}
-	if err := g.combine(binOp, lhs, e, k); err != nil {
-		return err
-	}
-	g.emit("%s r%d, r%d, 0", storeOp(lhs.Type), g.sreg(k), addr)
-	return nil
-}
-
-// combine folds sreg(k) = sreg(k) <op> sreg(k+2) for compound assignment,
-// including pointer scaling for += / -= on pointers.
-func (g *rgen) combine(op string, lhs, e *Expr, k int) error {
-	rhs := g.sreg(k + 2)
-	if decay(lhs.Type).Kind == TypePtr {
-		if sh := log2(decay(lhs.Type).Elem.Size()); sh > 0 {
-			g.emit("sll r%d, r%d, %d", rhs, rhs, sh)
-		}
-	}
-	switch op {
-	case "*", "/", "%":
-		fn := map[string]string{"*": "__mul", "/": "__div", "%": "__mod"}[op]
-		if op == "*" {
-			g.usesMul = true
+	case ir.TermBranch:
+		a := g.readVal(t.A, riscScratchPtr)
+		if t.B.Kind == ir.ValConst && immOK(t.B.C) {
+			g.emit("sub. r0, r%d, %d", a, t.B.C)
 		} else {
-			g.usesDiv = true
-		}
-		g.emit("mov r%d, r%d", riscArgBase, g.sreg(k))
-		g.emit("mov r%d, r%d", riscArgBase+1, rhs)
-		g.emit("call %s", fn)
-		g.emit("nop")
-		g.emit("mov r%d, r%d", g.sreg(k), riscArgBase)
-		return nil
-	}
-	mn := map[string]string{
-		"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
-	}[op]
-	if mn == "" {
-		return errf(e.Line, "internal: no RISC mapping for %q=", op)
-	}
-	g.emit("%s r%d, r%d, r%d", mn, g.sreg(k), g.sreg(k), rhs)
-	return nil
-}
-
-// lvalueAddr is addrOf restricted to assignable expressions.
-func (g *rgen) lvalueAddr(e *Expr, k int) error {
-	switch e.Kind {
-	case ExprIdent, ExprIndex:
-		return g.addrOf(e, k)
-	case ExprUnary:
-		if e.Op == "*" {
-			return g.evalTo(e.X, k)
-		}
-	}
-	return errf(e.Line, "internal: not an lvalue")
-}
-
-// call evaluates arguments into scratch registers (locals survive nested
-// calls thanks to the windows), moves them to the outgoing window, and
-// calls. The result lands in r10 and is copied to sreg(k).
-func (g *rgen) call(e *Expr, k int) error {
-	// Register-resident and constant arguments need no scratch slot; the
-	// rest evaluate into consecutive scratch registers (locals survive
-	// nested calls thanks to the windows).
-	srcs := make([]string, len(e.Args))
-	used := 0
-	for i, a := range e.Args {
-		if r, ok := g.regOperand(a); ok {
-			srcs[i] = fmt.Sprintf("r%d", r)
-			continue
-		}
-		if c, ok := constFold(a); ok && c >= -4096 && c <= 4095 {
-			srcs[i] = fmt.Sprintf("%d", c)
-			continue
-		}
-		if k+used >= g.numScratch {
-			return errf(e.Line, "call arguments too deep for the register stack; simplify")
-		}
-		if err := g.evalTo(a, k+used); err != nil {
-			return err
-		}
-		srcs[i] = fmt.Sprintf("r%d", g.sreg(k+used))
-		used++
-	}
-	for i, src := range srcs {
-		g.emit("mov r%d, %s", riscArgBase+i, src)
-	}
-	g.emit("call %s", e.Name)
-	g.emit("nop")
-	g.emit("mov r%d, r%d", g.sreg(k), riscArgBase)
-	return nil
-}
-
-// branch emits a conditional jump to target taken when e is true
-// (whenTrue) or false (!whenTrue).
-func (g *rgen) branch(e *Expr, target string, whenTrue bool) error {
-	return g.branchAt(e, target, whenTrue, 0)
-}
-
-// branchAt is branch using sreg(k).. as scratch.
-func (g *rgen) branchAt(e *Expr, target string, whenTrue bool, k int) error {
-	switch {
-	case e.Kind == ExprUnary && e.Op == "!":
-		return g.branchAt(e.X, target, !whenTrue, k)
-
-	case e.Kind == ExprBinary && (e.Op == "&&" || e.Op == "||"):
-		// Short-circuit: reduce to the canonical two shapes.
-		if e.Op == "&&" && !whenTrue {
-			// !(a && b): jump if a false or b false.
-			if err := g.branchAt(e.X, target, false, k); err != nil {
-				return err
-			}
-			return g.branchAt(e.Y, target, false, k)
-		}
-		if e.Op == "||" && whenTrue {
-			if err := g.branchAt(e.X, target, true, k); err != nil {
-				return err
-			}
-			return g.branchAt(e.Y, target, true, k)
-		}
-		// (a && b) true, or (a || b) false: needs a skip label.
-		skip := g.newLabel("sc")
-		if err := g.branchAt(e.X, skip, e.Op == "||", k); err != nil {
-			return err
-		}
-		if err := g.branchAt(e.Y, target, whenTrue, k); err != nil {
-			return err
-		}
-		g.label(skip)
-		return nil
-
-	case e.Kind == ExprBinary && isComparison(e.Op):
-		// sub. sets the codes; branch on the (possibly negated) relation.
-		xr, err := g.evalOperand(e.X, k)
-		if err != nil {
-			return err
+			b := g.readVal(t.B, riscScratch2)
+			g.emit("sub. r0, r%d, r%d", a, b)
 		}
 		switch {
-		case func() bool { c, ok := constFold(e.Y); return ok && c >= -4096 && c <= 4095 }():
-			c, _ := constFold(e.Y)
-			g.emit("sub. r0, r%d, %d", xr, c)
+		case t.Else == next:
+			g.emit("b%s %s", riscCondOf[t.Rel], g.blockLabel(t.Then))
+			g.emit("nop")
+		case t.Then == next:
+			g.emit("b%s %s", riscCondOf[t.Rel.Negate()], g.blockLabel(t.Else))
+			g.emit("nop")
 		default:
-			if yr, ok := g.regOperand(e.Y); ok {
-				g.emit("sub. r0, r%d, r%d", xr, yr)
-				break
-			}
-			ys := k
-			if xr == g.sreg(k) {
-				ys = k + 1
-				if ys >= g.numScratch {
-					return errf(e.Line, "comparison too deep for the register stack")
-				}
-			}
-			if err := g.evalTo(e.Y, ys); err != nil {
-				return err
-			}
-			g.emit("sub. r0, r%d, r%d", xr, g.sreg(ys))
+			g.emit("b%s %s", riscCondOf[t.Rel], g.blockLabel(t.Then))
+			g.emit("nop")
+			g.emit("ba %s", g.blockLabel(t.Else))
+			g.emit("nop")
 		}
-		cond := riscCond(e.Op, whenTrue)
-		g.emit("b%s %s", cond, target)
-		g.emit("nop")
-		return nil
 
-	default:
-		vr, err := g.evalOperand(e, k)
-		if err != nil {
-			return err
-		}
-		g.emit("sub. r0, r%d, 0", vr)
-		if whenTrue {
-			g.emit("bne %s", target)
+	case ir.TermReturn:
+		if t.Ret.Valid() {
+			g.loadInto(t.Ret, riscRetValReg)
 		} else {
-			g.emit("beq %s", target)
+			g.emit("mov r%d, 0", riscRetValReg)
 		}
+		if g.frameSize > 0 {
+			g.emit("add r1, r1, %d", g.frameSize)
+		}
+		g.emit("ret")
 		g.emit("nop")
-		return nil
 	}
-}
-
-func isComparison(op string) bool {
-	switch op {
-	case "==", "!=", "<", "<=", ">", ">=":
-		return true
-	}
-	return false
-}
-
-// riscCond maps a C comparison (possibly negated) to a branch condition.
-func riscCond(op string, whenTrue bool) string {
-	m := map[string]string{
-		"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
-	}
-	n := map[string]string{
-		"==": "ne", "!=": "eq", "<": "ge", "<=": "gt", ">": "le", ">=": "lt",
-	}
-	if whenTrue {
-		return m[op]
-	}
-	return n[op]
-}
-
-// materializeCond turns a boolean expression into 0/1 in sreg(k).
-func (g *rgen) materializeCond(e *Expr, k int) error {
-	trueL := g.newLabel("ct")
-	endL := g.newLabel("ce")
-	if err := g.branchAt(e, trueL, true, k); err != nil {
-		return err
-	}
-	g.emit("mov r%d, 0", g.sreg(k))
-	g.emit("ba %s", endL)
-	g.emit("nop")
-	g.label(trueL)
-	g.emit("mov r%d, 1", g.sreg(k))
-	g.label(endL)
-	return nil
 }
 
 // emitData lays out globals and string literals after the code.
@@ -1093,29 +581,21 @@ func (g *rgen) emitData() {
 		switch {
 		case gl.InitStr != "":
 			g.emit(".asciz %q", gl.InitStr)
-			if pad := gl.Type.Size() - len(gl.InitStr) - 1; pad > 0 {
+			if pad := gl.Size - len(gl.InitStr) - 1; pad > 0 {
 				g.emit(".space %d", pad)
 			}
-		case gl.Type.Kind == TypeChar:
-			var v int64
-			if gl.Init != nil {
-				v, _ = constFold(gl.Init)
-			}
-			g.emit(".byte %d", v)
-		case gl.Type.IsScalar():
-			var v int64
-			if gl.Init != nil {
-				v, _ = constFold(gl.Init)
-			}
-			g.emit(".word %d", v)
+		case gl.Char:
+			g.emit(".byte %d", gl.Init)
+		case gl.Scalar:
+			g.emit(".word %d", gl.Init)
 		default:
-			g.emit(".space %d", gl.Type.Size())
+			g.emit(".space %d", gl.Size)
 		}
 		g.emit(".align 4")
 	}
 	for _, s := range g.prog.Strings {
-		g.label(s.label)
-		g.emit(".asciz %q", s.value)
+		g.label(s.Label)
+		g.emit(".asciz %q", s.Value)
 		g.emit(".align 4")
 	}
 }

@@ -3,27 +3,40 @@ package cc
 import (
 	"fmt"
 	"strings"
+
+	"risc1/internal/cc/ir"
 )
 
 // CISC baseline code generation conventions (PCC-for-VAX flavour):
 //
-//   - r0..r5: expression evaluation registers; r0 carries return values
+//   - r0..r3: temporaries, assigned by the shared linear-scan
+//     allocator; r0 carries return values
+//   - r4, r5: emission scratch (char-cell staging, shift counts,
+//     quotients) — never allocated
 //   - r6..r11: register variables, saved/restored by the CALLS entry mask
 //   - parameters live on the stack: argument i at 4*(i+1)(ap)
-//   - arrays and overflow locals live at negative FP offsets
+//   - arrays, addressed locals, overflow locals and spilled
+//     temporaries live at negative FP offsets
 //   - arguments are pushed right-to-left; CALLS/RET do the heavy lifting
 //
-// Where the architecture allows it the generator uses memory operands
-// directly (globals as absolute operands, immediates in-instruction) —
-// this is exactly the density advantage the paper credits CISC code with.
+// The generator consumes the same IR the RISC backend does. Where the
+// architecture allows it, values are used as memory operands directly
+// (globals as absolute operands, frame cells as displacements,
+// immediates in-instruction) — exactly the density advantage the paper
+// credits CISC code with. Temporaries that live across a call are
+// assigned frame slots up front, because r0..r5 are caller-saved.
 const (
-	vaxScratchRegs = 6 // r0..r5
-	vaxVarBase     = 6 // first register-variable register
-	vaxVarLimit    = 12
+	vaxScratchRegs = 6  // r0..r5
+	vaxVarBase     = 6  // first register-variable register
+	vaxVarLimit    = 12 // r6..r11
 )
 
-// GenVAX compiles a checked program to baseline CISC assembly text.
-func GenVAX(prog *Program) (string, error) {
+// vaxTempPool is the register pool the allocator hands out: r0..r3.
+var vaxTempPool = []int{0, 1, 2, 3}
+
+// GenVAX compiles a lowered (and possibly optimized) IR program to
+// baseline CISC assembly text.
+func GenVAX(prog *ir.Program) (string, error) {
 	g := &vgen{prog: prog}
 	g.raw("; MiniC CISC baseline output\n")
 	g.label("start")
@@ -39,12 +52,15 @@ func GenVAX(prog *Program) (string, error) {
 }
 
 type vgen struct {
-	prog *Program
+	prog *ir.Program
 	b    strings.Builder
 
-	fn        *Symbol
+	fn        *ir.Func
+	alloc     allocation
+	varReg    map[*ir.Var]int // register variables (r6..r11)
+	frameOff  map[*ir.Var]int // FP-relative memory locals (negative)
+	frameMem  int
 	frameSize int
-	labelSeq  int
 }
 
 func (g *vgen) raw(s string) { g.b.WriteString(s) }
@@ -55,698 +71,393 @@ func (g *vgen) emit(format string, args ...any) {
 
 func (g *vgen) label(l string) { fmt.Fprintf(&g.b, "%s:\n", l) }
 
-func (g *vgen) newLabel(hint string) string {
-	g.labelSeq++
-	return fmt.Sprintf(".L%s_%s%d", g.fn.Name, hint, g.labelSeq)
+func (g *vgen) blockLabel(b *ir.Block) string {
+	return fmt.Sprintf(".L%s_%s", g.fn.Name, b.Name)
 }
 
-func (g *vgen) genFunc(fn *Symbol) error {
+func (g *vgen) genFunc(fn *ir.Func) error {
 	g.fn = fn
-	g.labelSeq = 0
+	g.varReg = make(map[*ir.Var]int)
+	g.frameOff = make(map[*ir.Var]int)
 
-	// Scalar locals into r6..r11; the rest (and arrays) into the frame.
-	var regLocals, memLocals []*Symbol
-	for _, l := range fn.Locals {
-		if l.Type.IsScalar() && len(regLocals) < vaxVarLimit-vaxVarBase {
-			regLocals = append(regLocals, l)
-		} else {
-			memLocals = append(memLocals, l)
-		}
-	}
-	for i, l := range regLocals {
-		l.Reg = vaxVarBase + i
-	}
+	// Non-addressed scalar locals into r6..r11; the rest (and arrays)
+	// into the frame.
+	var entryRegs []string
 	off := 0
-	for _, l := range memLocals {
-		l.Reg = -1
-		sz := (l.Type.Size() + 3) &^ 3
+	for _, l := range fn.Locals {
+		if l.Scalar && !l.Addressed && len(entryRegs) < vaxVarLimit-vaxVarBase {
+			r := vaxVarBase + len(entryRegs)
+			g.varReg[l] = r
+			entryRegs = append(entryRegs, fmt.Sprintf("r%d", r))
+			continue
+		}
+		sz := (l.Size + 3) &^ 3
 		off += sz
-		l.FrameOff = -off
+		g.frameOff[l] = -off
 	}
-	g.frameSize = off
-	for _, p := range fn.Params {
-		p.Reg = -1
-	}
+	g.frameMem = off
+
+	g.alloc = allocateTemps(fn, vaxTempPool, true)
+	g.frameSize = g.frameMem + 4*g.alloc.nSpills
 
 	g.label(fn.Name)
 	// Entry mask: save exactly the register variables this body uses.
-	var regs []string
-	for _, l := range regLocals {
-		regs = append(regs, fmt.Sprintf("r%d", l.Reg))
-	}
-	g.emit(".entry %s", strings.Join(regs, ", "))
+	g.emit(".entry %s", strings.Join(entryRegs, ", "))
 	if g.frameSize > 0 {
 		g.emit("subl2 $%d, sp", g.frameSize)
 	}
-	if err := g.stmtIn(fn.Body, nil); err != nil {
-		return err
+	for i, b := range fn.Blocks {
+		g.label(g.blockLabel(b))
+		for k := range b.Instrs {
+			if err := g.instr(&b.Instrs[k]); err != nil {
+				return err
+			}
+		}
+		var next *ir.Block
+		if i+1 < len(fn.Blocks) {
+			next = fn.Blocks[i+1]
+		}
+		g.term(&b.Term, next)
 	}
-	g.emit("clrl r0")
-	g.emit("ret")
 	return nil
 }
 
-func (g *vgen) stmtIn(s *Stmt, loop *loopLabels) error {
-	switch s.Kind {
-	case StmtBlock, StmtGroup:
-		for _, sub := range s.Body {
-			if err := g.stmtIn(sub, loop); err != nil {
-				return err
-			}
-		}
-		return nil
+// spillOp returns the frame operand of a spill slot.
+func (g *vgen) spillOp(slot int) string {
+	return fmt.Sprintf("%d(fp)", -(g.frameMem + 4*slot + 4))
+}
 
-	case StmtDecl:
-		if s.DeclInit == nil {
-			return nil
-		}
-		if err := g.evalTo(s.DeclInit, 0); err != nil {
-			return err
-		}
-		g.storeVar(s.Decl, 0)
-		return nil
+// vChar reports whether the variable is a one-byte memory cell.
+// Register-resident char locals and char parameters hold full words
+// (parameters are pushed as words — the usual C integer promotion).
+func (g *vgen) vChar(v *ir.Var) bool {
+	_, inReg := g.varReg[v]
+	return v.Char && !inReg && v.Kind != ir.VarParam
+}
 
-	case StmtExpr:
-		return g.evalTo(s.Expr, 0)
+// cellOp returns the raw addressing-mode string of a variable's
+// storage cell, whatever its width.
+func (g *vgen) cellOp(v *ir.Var) string {
+	if r, ok := g.varReg[v]; ok {
+		return fmt.Sprintf("r%d", r)
+	}
+	switch v.Kind {
+	case ir.VarGlobal:
+		return v.Name
+	case ir.VarParam:
+		return fmt.Sprintf("%d(ap)", 4*(v.ParamSlot+1))
+	default:
+		return fmt.Sprintf("%d(fp)", g.frameOff[v])
+	}
+}
 
-	case StmtIf:
-		elseL := g.newLabel("else")
-		if err := g.branchAt(s.Expr, elseL, false, 0); err != nil {
-			return err
-		}
-		if err := g.stmtIn(s.Then, loop); err != nil {
-			return err
-		}
-		if s.Else != nil {
-			endL := g.newLabel("endif")
-			g.emit("brw %s", endL)
-			g.label(elseL)
-			if err := g.stmtIn(s.Else, loop); err != nil {
-				return err
-			}
-			g.label(endL)
+// operand returns a full-word addressing-mode string for a value, or
+// ok=false for char cells, which need zero-extension first.
+func (g *vgen) operand(v ir.Value) (string, bool) {
+	switch v.Kind {
+	case ir.ValConst:
+		return fmt.Sprintf("$%d", v.C), true
+	case ir.ValTemp:
+		if l := g.alloc.loc[v.Temp]; l.reg >= 0 {
+			return fmt.Sprintf("r%d", l.reg), true
 		} else {
-			g.label(elseL)
+			return g.spillOp(l.slot), true
+		}
+	case ir.ValVar:
+		if g.vChar(v.Var) {
+			return "", false
+		}
+		return g.cellOp(v.Var), true
+	}
+	return "", false
+}
+
+// readOp returns a word operand for the value, staging char cells
+// through the given scratch register.
+func (g *vgen) readOp(v ir.Value, scratch string) string {
+	if op, ok := g.operand(v); ok {
+		return op
+	}
+	g.emit("movzbl %s, %s", g.cellOp(v.Var), scratch)
+	return scratch
+}
+
+// dstOp returns the word destination operand of an instruction. Only
+// OpCopy can target a char cell (the store-sink pass guarantees it),
+// so every other op writes through this.
+func (g *vgen) dstOp(d ir.Value) string {
+	op, _ := g.operand(d)
+	return op
+}
+
+func (g *vgen) instr(in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpCopy:
+		g.copyTo(in.Dst, in.A)
+		return nil
+
+	case ir.OpNeg, ir.OpCom:
+		mn := "mnegl"
+		if in.Op == ir.OpCom {
+			mn = "mcoml"
+		}
+		g.emit("%s %s, %s", mn, g.readOp(in.A, "r4"), g.dstOp(in.Dst))
+		return nil
+
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+		a := g.readOp(in.A, "r4")
+		b := g.readOp(in.B, "r5")
+		d := g.dstOp(in.Dst)
+		mn2, mn3 := vaxALU2[in.Op], vaxALU3[in.Op]
+		switch d {
+		case a:
+			g.emit("%s %s, %s", mn2, b, d)
+		case b:
+			g.emit("%s %s, %s", mn2, a, d)
+		default:
+			g.emit("%s %s, %s, %s", mn3, a, b, d)
 		}
 		return nil
 
-	case StmtWhile:
-		top := g.newLabel("while")
-		end := g.newLabel("wend")
-		g.label(top)
-		if err := g.branchAt(s.Expr, end, false, 0); err != nil {
-			return err
+	case ir.OpSub:
+		a := g.readOp(in.A, "r4")
+		b := g.readOp(in.B, "r5")
+		d := g.dstOp(in.Dst)
+		if d == a {
+			g.emit("subl2 %s, %s", b, d)
+		} else {
+			g.emit("subl3 %s, %s, %s", b, a, d)
 		}
-		if err := g.stmtIn(s.Then, &loopLabels{brk: end, cont: top}); err != nil {
-			return err
-		}
-		g.emit("brw %s", top)
-		g.label(end)
 		return nil
 
-	case StmtFor:
-		if s.Init != nil {
-			if err := g.stmtIn(s.Init, loop); err != nil {
-				return err
-			}
+	case ir.OpDiv:
+		a := g.readOp(in.A, "r4")
+		b := g.readOp(in.B, "r5")
+		d := g.dstOp(in.Dst)
+		if d == a {
+			g.emit("divl2 %s, %s", b, d)
+		} else {
+			g.emit("divl3 %s, %s, %s", b, a, d)
 		}
-		top := g.newLabel("for")
-		post := g.newLabel("fpost")
-		end := g.newLabel("fend")
-		g.label(top)
-		if s.Cond != nil {
-			if err := g.branchAt(s.Cond, end, false, 0); err != nil {
-				return err
-			}
-		}
-		if err := g.stmtIn(s.Then, &loopLabels{brk: end, cont: post}); err != nil {
-			return err
-		}
-		g.label(post)
-		if s.Post != nil {
-			if err := g.stmtIn(s.Post, loop); err != nil {
-				return err
-			}
-		}
-		g.emit("brw %s", top)
-		g.label(end)
 		return nil
 
-	case StmtReturn:
-		if s.Expr != nil {
-			if err := g.evalTo(s.Expr, 0); err != nil {
-				return err
+	case ir.OpMod:
+		g.mod(in)
+		return nil
+
+	case ir.OpShl, ir.OpShr:
+		g.shift(in)
+		return nil
+
+	case ir.OpAddr:
+		g.emit("moval %s, %s", g.cellOp(in.Var), g.dstOp(in.Dst))
+		return nil
+
+	case ir.OpAddrStr:
+		g.emit("moval %s, %s", in.Label, g.dstOp(in.Dst))
+		return nil
+
+	case ir.OpLoad:
+		addr := g.addrReg(in.A, "r4")
+		mn := "movl"
+		if in.Size == 1 {
+			mn = "movzbl"
+		}
+		g.emit("%s (%s), %s", mn, addr, g.dstOp(in.Dst))
+		return nil
+
+	case ir.OpStore:
+		addr := g.addrReg(in.A, "r4")
+		b := g.readOp(in.B, "r5")
+		if in.Size == 1 {
+			if strings.HasPrefix(b, "$") {
+				g.emit("movl %s, r5", b)
+				b = "r5"
+			}
+			g.emit("movb %s, (%s)", b, addr)
+		} else {
+			g.emit("movl %s, (%s)", b, addr)
+		}
+		return nil
+
+	case ir.OpCall:
+		for i := len(in.Args) - 1; i >= 0; i-- {
+			g.emit("pushl %s", g.readOp(in.Args[i], "r4"))
+		}
+		g.emit("calls $%d, %s", len(in.Args), in.Label)
+		if in.Dst.Valid() {
+			if d := g.dstOp(in.Dst); d != "r0" {
+				g.emit("movl r0, %s", d)
+			}
+		}
+		return nil
+	}
+	return errf(in.Line, "internal: unhandled IR op %d", in.Op)
+}
+
+var vaxALU2 = map[ir.Op]string{
+	ir.OpAdd: "addl2", ir.OpMul: "mull2", ir.OpAnd: "andl2",
+	ir.OpOr: "bisl2", ir.OpXor: "xorl2",
+}
+
+var vaxALU3 = map[ir.Op]string{
+	ir.OpAdd: "addl3", ir.OpMul: "mull3", ir.OpAnd: "andl3",
+	ir.OpOr: "bisl3", ir.OpXor: "xorl3",
+}
+
+// copyTo implements Dst = A; this is the only place a char cell is
+// written, so truncation lives here on both backends.
+func (g *vgen) copyTo(d, a ir.Value) {
+	if dop, ok := g.operand(d); ok {
+		// Word destination.
+		if a.Kind == ir.ValVar && g.vChar(a.Var) {
+			g.emit("movzbl %s, %s", g.cellOp(a.Var), dop)
+			return
+		}
+		aop, _ := g.operand(a)
+		if aop == dop {
+			return
+		}
+		if a.Kind == ir.ValConst && a.C == 0 {
+			g.emit("clrl %s", dop)
+			return
+		}
+		g.emit("movl %s, %s", aop, dop)
+		return
+	}
+	// Char-cell destination: a byte move truncates; byte-to-byte moves
+	// go cell to cell. Immediates are staged to keep them in range.
+	cell := g.cellOp(d.Var)
+	switch {
+	case a.Kind == ir.ValVar && g.vChar(a.Var):
+		g.emit("movb %s, %s", g.cellOp(a.Var), cell)
+	case a.Kind == ir.ValConst:
+		g.emit("movl $%d, r5", a.C)
+		g.emit("movb r5, %s", cell)
+	default:
+		aop, _ := g.operand(a)
+		g.emit("movb %s, %s", aop, cell)
+	}
+}
+
+// mod emits A % B as div/mul/sub. The quotient needs a register that
+// is neither source: the destination itself when it aliases nothing,
+// else whichever of r4/r5 is not staging an operand.
+func (g *vgen) mod(in *ir.Instr) {
+	a := g.readOp(in.A, "r4")
+	b := g.readOp(in.B, "r5")
+	d := g.dstOp(in.Dst)
+	q := d
+	if d == a || d == b {
+		q = "r5"
+		if b == "r5" {
+			q = "r4"
+		}
+	}
+	g.emit("divl3 %s, %s, %s", b, a, q)
+	g.emit("mull2 %s, %s", b, q)
+	g.emit("subl3 %s, %s, %s", q, a, d)
+}
+
+// shift emits ashl, negating the count for right shifts. Only counts
+// in 0..31 reach here as constants; variable counts keep the CISC
+// machine's native saturating behavior.
+func (g *vgen) shift(in *ir.Instr) {
+	a := g.readOp(in.A, "r4")
+	d := g.dstOp(in.Dst)
+	if in.B.Kind == ir.ValConst {
+		c := in.B.C
+		if in.Op == ir.OpShr {
+			c = -c
+		}
+		g.emit("ashl $%d, %s, %s", c, a, d)
+		return
+	}
+	b := g.readOp(in.B, "r5")
+	if in.Op == ir.OpShr {
+		g.emit("mnegl %s, r5", b)
+		b = "r5"
+	}
+	g.emit("ashl %s, %s, %s", b, a, d)
+}
+
+// addrReg returns a register holding an address, staging non-register
+// values through scratch.
+func (g *vgen) addrReg(v ir.Value, scratch string) string {
+	op := g.readOp(v, scratch)
+	if strings.HasPrefix(op, "r") && !strings.Contains(op, "(") {
+		return op
+	}
+	g.emit("movl %s, %s", op, scratch)
+	return scratch
+}
+
+// vaxCondOf maps IR relations to branch mnemonics, with negations.
+var vaxCondOf = map[ir.Rel]string{
+	ir.RelEq: "beql", ir.RelNe: "bneq", ir.RelLt: "blss",
+	ir.RelLe: "bleq", ir.RelGt: "bgtr", ir.RelGe: "bgeq",
+}
+
+func (g *vgen) term(t *ir.Term, next *ir.Block) {
+	switch t.Kind {
+	case ir.TermJump:
+		if t.Then != next {
+			g.emit("brw %s", g.blockLabel(t.Then))
+		}
+
+	case ir.TermBranch:
+		rel := t.Rel
+		switch {
+		case t.B.Kind == ir.ValConst && t.B.C == 0:
+			g.emit("tstl %s", g.readOp(t.A, "r4"))
+		case t.A.Kind == ir.ValConst && t.A.C == 0:
+			// 0 <rel> b  ==  b <swapped rel> 0
+			g.emit("tstl %s", g.readOp(t.B, "r5"))
+			rel = swapRel(rel)
+		default:
+			g.emit("cmpl %s, %s", g.readOp(t.A, "r4"), g.readOp(t.B, "r5"))
+		}
+		switch {
+		case t.Else == next:
+			g.emit("%s %s", vaxCondOf[rel], g.blockLabel(t.Then))
+		case t.Then == next:
+			g.emit("%s %s", vaxCondOf[rel.Negate()], g.blockLabel(t.Else))
+		default:
+			g.emit("%s %s", vaxCondOf[rel], g.blockLabel(t.Then))
+			g.emit("brw %s", g.blockLabel(t.Else))
+		}
+
+	case ir.TermReturn:
+		if t.Ret.Valid() {
+			op := g.readOp(t.Ret, "r4")
+			if op == "$0" {
+				g.emit("clrl r0")
+			} else if op != "r0" {
+				g.emit("movl %s, r0", op)
 			}
 		} else {
 			g.emit("clrl r0")
 		}
 		g.emit("ret")
-		return nil
-
-	case StmtBreak:
-		g.emit("brw %s", loop.brk)
-		return nil
-
-	case StmtContinue:
-		g.emit("brw %s", loop.cont)
-		return nil
-	}
-	return errf(s.Line, "internal: unhandled statement kind %d", s.Kind)
-}
-
-// operandFor returns a direct addressing-mode string for a scalar
-// variable, if one exists — the CISC density advantage.
-func (g *vgen) operandFor(sym *Symbol) (string, bool) {
-	switch {
-	case sym.Kind == SymGlobal && sym.Type.IsScalar():
-		return sym.Name, true
-	case sym.Kind == SymParam:
-		return fmt.Sprintf("%d(ap)", 4*(sym.ParamSlot+1)), true
-	case sym.Kind == SymLocal && sym.Reg >= 0:
-		return fmt.Sprintf("r%d", sym.Reg), true
-	case sym.Kind == SymLocal && sym.Type.IsScalar():
-		return fmt.Sprintf("%d(fp)", sym.FrameOff), true
-	}
-	return "", false
-}
-
-// charCell reports whether the variable occupies a single byte in
-// storage. Parameters are excluded: the caller pushes every argument as
-// a full word, so char parameters are accessed as longs (the usual C
-// integer promotion).
-func charCell(sym *Symbol) bool {
-	return sym.Type.Kind == TypeChar && sym.Kind != SymParam
-}
-
-func (g *vgen) storeVar(sym *Symbol, k int) {
-	op, ok := g.operandFor(sym)
-	if !ok {
-		return
-	}
-	if charCell(sym) {
-		g.emit("movb r%d, %s", k, op)
-	} else {
-		g.emit("movl r%d, %s", k, op)
 	}
 }
 
-// evalTo leaves the value of e in register k (one of r0..r5).
-func (g *vgen) evalTo(e *Expr, k int) error {
-	switch e.Kind {
-	case ExprIntLit, ExprCharLit:
-		g.emit("movl $%d, r%d", int32(e.Num), k)
-		return nil
-
-	case ExprStrLit:
-		g.emit("moval %s, r%d", e.StrLabel, k)
-		return nil
-
-	case ExprIdent:
-		sym := e.Sym
-		if sym.Type.Kind == TypeArray {
-			return g.addrOf(e, k)
-		}
-		op, ok := g.operandFor(sym)
-		if !ok {
-			return errf(e.Line, "internal: no operand for %q", sym.Name)
-		}
-		if charCell(sym) {
-			g.emit("movzbl %s, r%d", op, k)
-		} else {
-			g.emit("movl %s, r%d", op, k)
-		}
-		return nil
-
-	case ExprUnary:
-		switch e.Op {
-		case "-":
-			if err := g.evalTo(e.X, k); err != nil {
-				return err
-			}
-			g.emit("mnegl r%d, r%d", k, k)
-			return nil
-		case "~":
-			if err := g.evalTo(e.X, k); err != nil {
-				return err
-			}
-			g.emit("mcoml r%d, r%d", k, k)
-			return nil
-		case "!":
-			return g.materializeCond(e, k)
-		case "*":
-			if err := g.evalTo(e.X, k); err != nil {
-				return err
-			}
-			if e.Type.Kind == TypeChar {
-				g.emit("movzbl (r%d), r%d", k, k)
-			} else {
-				g.emit("movl (r%d), r%d", k, k)
-			}
-			return nil
-		case "&":
-			return g.addrOf(e.X, k)
-		}
-
-	case ExprBinary:
-		switch e.Op {
-		case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
-			return g.materializeCond(e, k)
-		}
-		if decay(e.X.Type).Kind == TypePtr || decay(e.Y.Type).Kind == TypePtr {
-			return g.pointerArith(e, k)
-		}
-		return g.binaryInts(e.Op, e.X, e.Y, k)
-
-	case ExprAssign:
-		return g.assign(e, k)
-
-	case ExprIndex:
-		if err := g.addrOf(e, k); err != nil {
-			return err
-		}
-		if e.Type.Kind == TypeChar {
-			g.emit("movzbl (r%d), r%d", k, k)
-		} else {
-			g.emit("movl (r%d), r%d", k, k)
-		}
-		return nil
-
-	case ExprCall:
-		return g.call(e, k)
+// swapRel mirrors a relation across swapped operands.
+func swapRel(r ir.Rel) ir.Rel {
+	switch r {
+	case ir.RelLt:
+		return ir.RelGt
+	case ir.RelLe:
+		return ir.RelGe
+	case ir.RelGt:
+		return ir.RelLt
+	case ir.RelGe:
+		return ir.RelLe
 	}
-	return errf(e.Line, "internal: unhandled expression kind %d", e.Kind)
+	return r
 }
 
-// binaryInts generates integer arithmetic with direct operands where the
-// right side is constant.
-func (g *vgen) binaryInts(op string, x, y *Expr, k int) error {
-	if err := g.evalTo(x, k); err != nil {
-		return err
-	}
-	// Constant right operand: one two-operand instruction.
-	if c, ok := constFold(y); ok {
-		switch op {
-		case "+":
-			g.emit("addl2 $%d, r%d", c, k)
-		case "-":
-			g.emit("subl2 $%d, r%d", c, k)
-		case "*":
-			g.emit("mull2 $%d, r%d", c, k)
-		case "/":
-			g.emit("divl2 $%d, r%d", c, k)
-		case "%":
-			if err := g.checkDepth(x.Line, k+1); err != nil {
-				return err
-			}
-			g.emit("divl3 $%d, r%d, r%d", c, k, k+1)
-			g.emit("mull2 $%d, r%d", c, k+1)
-			g.emit("subl2 r%d, r%d", k+1, k)
-		case "&":
-			g.emit("andl3 $%d, r%d, r%d", c, k, k)
-		case "|":
-			g.emit("bisl2 $%d, r%d", c, k)
-		case "^":
-			g.emit("xorl2 $%d, r%d", c, k)
-		case "<<":
-			g.emit("ashl $%d, r%d, r%d", c, k, k)
-		case ">>":
-			g.emit("ashl $%d, r%d, r%d", -c, k, k)
-		default:
-			return errf(x.Line, "internal: no CISC mapping for %q", op)
-		}
-		return nil
-	}
-
-	spill := k+1 >= vaxScratchRegs
-	rhs := k + 1
-	if spill {
-		g.emit("pushl r%d", k)
-		if err := g.evalTo(y, k); err != nil {
-			return err
-		}
-		// Stack holds X; register k holds Y.
-		switch op {
-		case "+":
-			g.emit("addl2 (sp)+, r%d", k)
-		case "-":
-			g.emit("subl3 r%d, (sp)+, r%d", k, k)
-		case "*":
-			g.emit("mull2 (sp)+, r%d", k)
-		case "&":
-			g.emit("andl3 (sp)+, r%d, r%d", k, k)
-		case "|":
-			g.emit("bisl2 (sp)+, r%d", k)
-		case "^":
-			g.emit("xorl2 (sp)+, r%d", k)
-		default:
-			return errf(x.Line, "expression too deep for %q; simplify", op)
-		}
-		return nil
-	}
-	if err := g.evalTo(y, rhs); err != nil {
-		return err
-	}
-	switch op {
-	case "+":
-		g.emit("addl2 r%d, r%d", rhs, k)
-	case "-":
-		g.emit("subl2 r%d, r%d", rhs, k)
-	case "*":
-		g.emit("mull2 r%d, r%d", rhs, k)
-	case "/":
-		g.emit("divl3 r%d, r%d, r%d", rhs, k, k)
-	case "%":
-		if err := g.checkDepth(x.Line, rhs+1); err != nil {
-			return err
-		}
-		g.emit("divl3 r%d, r%d, r%d", rhs, k, rhs+1)
-		g.emit("mull2 r%d, r%d", rhs, rhs+1)
-		g.emit("subl2 r%d, r%d", rhs+1, k)
-	case "&":
-		g.emit("andl3 r%d, r%d, r%d", rhs, k, k)
-	case "|":
-		g.emit("bisl2 r%d, r%d", rhs, k)
-	case "^":
-		g.emit("xorl2 r%d, r%d", rhs, k)
-	case "<<":
-		g.emit("ashl r%d, r%d, r%d", rhs, k, k)
-	case ">>":
-		g.emit("mnegl r%d, r%d", rhs, rhs)
-		g.emit("ashl r%d, r%d, r%d", rhs, k, k)
-	default:
-		return errf(x.Line, "internal: no CISC mapping for %q", op)
-	}
-	return nil
-}
-
-func (g *vgen) checkDepth(line, k int) error {
-	if k >= vaxScratchRegs {
-		return errf(line, "expression too deep for the register stack; simplify")
-	}
-	return nil
-}
-
-func (g *vgen) pointerArith(e *Expr, k int) error {
-	xt, yt := decay(e.X.Type), decay(e.Y.Type)
-	switch {
-	case xt.Kind == TypePtr && yt.Kind == TypePtr: // ptr - ptr
-		if err := g.binaryInts("-", e.X, e.Y, k); err != nil {
-			return err
-		}
-		if sh := log2(xt.Elem.Size()); sh > 0 {
-			g.emit("ashl $%d, r%d, r%d", -sh, k, k)
-		}
-		return nil
-	case xt.Kind == TypePtr:
-		if err := g.evalTo(e.X, k); err != nil {
-			return err
-		}
-		if err := g.checkDepth(e.Line, k+1); err != nil {
-			return err
-		}
-		if err := g.scaledTo(e.Y, k+1, xt.Elem.Size()); err != nil {
-			return err
-		}
-		if e.Op == "-" {
-			g.emit("subl2 r%d, r%d", k+1, k)
-		} else {
-			g.emit("addl2 r%d, r%d", k+1, k)
-		}
-		return nil
-	default: // int + ptr
-		if err := g.evalTo(e.Y, k); err != nil {
-			return err
-		}
-		if err := g.checkDepth(e.Line, k+1); err != nil {
-			return err
-		}
-		if err := g.scaledTo(e.X, k+1, yt.Elem.Size()); err != nil {
-			return err
-		}
-		g.emit("addl2 r%d, r%d", k+1, k)
-		return nil
-	}
-}
-
-func (g *vgen) scaledTo(e *Expr, k int, size int) error {
-	if err := g.checkDepth(e.Line, k); err != nil {
-		return err
-	}
-	if err := g.evalTo(e, k); err != nil {
-		return err
-	}
-	if sh := log2(size); sh > 0 {
-		g.emit("ashl $%d, r%d, r%d", sh, k, k)
-	}
-	return nil
-}
-
-// addrOf leaves the address of an lvalue (or array) in register k.
-func (g *vgen) addrOf(e *Expr, k int) error {
-	switch e.Kind {
-	case ExprIdent:
-		sym := e.Sym
-		switch {
-		case sym.Kind == SymGlobal:
-			g.emit("moval %s, r%d", sym.Name, k)
-		case sym.Kind == SymLocal && sym.Reg < 0:
-			g.emit("moval %d(fp), r%d", sym.FrameOff, k)
-		case sym.Kind == SymParam:
-			g.emit("moval %d(ap), r%d", 4*(sym.ParamSlot+1), k)
-		default:
-			return errf(e.Line, "cannot take the address of register variable %q", sym.Name)
-		}
-		return nil
-	case ExprIndex:
-		if err := g.evalTo(e.X, k); err != nil {
-			return err
-		}
-		if err := g.scaledTo(e.Y, k+1, e.Type.Size()); err != nil {
-			return err
-		}
-		g.emit("addl2 r%d, r%d", k+1, k)
-		return nil
-	case ExprUnary:
-		if e.Op == "*" {
-			return g.evalTo(e.X, k)
-		}
-	}
-	return errf(e.Line, "internal: not an addressable expression")
-}
-
-func (g *vgen) assign(e *Expr, k int) error {
-	binOp := strings.TrimSuffix(e.Op, "=")
-	lhs := e.X
-
-	// Directly addressable scalar: memory-to-memory forms.
-	if lhs.Kind == ExprIdent {
-		if op, ok := g.operandFor(lhs.Sym); ok {
-			if binOp == "" {
-				if err := g.evalTo(e.Y, k); err != nil {
-					return err
-				}
-				if charCell(lhs.Sym) {
-					g.emit("movb r%d, %s", k, op)
-				} else {
-					g.emit("movl r%d, %s", k, op)
-				}
-				return nil
-			}
-			// Pointer += / -= routes through pointerArith for scaling.
-			fake := &Expr{Kind: ExprBinary, Op: binOp, X: lhs, Y: e.Y, Line: e.Line, Type: e.Type}
-			if err := g.evalTo(fake, k); err != nil {
-				return err
-			}
-			if charCell(lhs.Sym) {
-				g.emit("movb r%d, %s", k, op)
-			} else {
-				g.emit("movl r%d, %s", k, op)
-			}
-			return nil
-		}
-	}
-
-	// General path: compute the address once.
-	if err := g.checkDepth(e.Line, k+2); err != nil {
-		return err
-	}
-	if err := g.lvalueAddr(lhs, k+1); err != nil {
-		return err
-	}
-	mov := "movl"
-	load := "movl"
-	if lhs.Type.Kind == TypeChar {
-		mov = "movb"
-		load = "movzbl"
-	}
-	if binOp == "" {
-		if err := g.evalTo(e.Y, k+2); err != nil {
-			return err
-		}
-		g.emit("%s r%d, (r%d)", mov, k+2, k+1)
-		g.emit("movl r%d, r%d", k+2, k)
-		return nil
-	}
-	g.emit("%s (r%d), r%d", load, k+1, k)
-	if err := g.evalTo(e.Y, k+2); err != nil {
-		return err
-	}
-	if decay(lhs.Type).Kind == TypePtr {
-		if sh := log2(decay(lhs.Type).Elem.Size()); sh > 0 {
-			g.emit("ashl $%d, r%d, r%d", sh, k+2, k+2)
-		}
-	}
-	switch binOp {
-	case "+":
-		g.emit("addl2 r%d, r%d", k+2, k)
-	case "-":
-		g.emit("subl2 r%d, r%d", k+2, k)
-	case "*":
-		g.emit("mull2 r%d, r%d", k+2, k)
-	case "/":
-		g.emit("divl3 r%d, r%d, r%d", k+2, k, k)
-	case "%":
-		if err := g.checkDepth(e.Line, k+3); err != nil {
-			return err
-		}
-		g.emit("divl3 r%d, r%d, r%d", k+2, k, k+3)
-		g.emit("mull2 r%d, r%d", k+2, k+3)
-		g.emit("subl2 r%d, r%d", k+3, k)
-	case "&":
-		g.emit("andl3 r%d, r%d, r%d", k+2, k, k)
-	case "|":
-		g.emit("bisl2 r%d, r%d", k+2, k)
-	case "^":
-		g.emit("xorl2 r%d, r%d", k+2, k)
-	default:
-		return errf(e.Line, "internal: no CISC mapping for %q=", binOp)
-	}
-	g.emit("%s r%d, (r%d)", mov, k, k+1)
-	return nil
-}
-
-func (g *vgen) lvalueAddr(e *Expr, k int) error {
-	switch e.Kind {
-	case ExprIdent, ExprIndex:
-		return g.addrOf(e, k)
-	case ExprUnary:
-		if e.Op == "*" {
-			return g.evalTo(e.X, k)
-		}
-	}
-	return errf(e.Line, "internal: not an lvalue")
-}
-
-// call pushes arguments right-to-left and issues CALLS. Live scratch
-// registers below k are caller-saved around the call.
-func (g *vgen) call(e *Expr, k int) error {
-	for i := k - 1; i >= 0; i-- {
-		g.emit("pushl r%d", i)
-	}
-	for i := len(e.Args) - 1; i >= 0; i-- {
-		if err := g.evalTo(e.Args[i], 0); err != nil {
-			return err
-		}
-		g.emit("pushl r0")
-	}
-	g.emit("calls $%d, %s", len(e.Args), e.Name)
-	if k != 0 {
-		g.emit("movl r0, r%d", k)
-	}
-	for i := 0; i < k; i++ {
-		g.emit("movl (sp)+, r%d", i)
-	}
-	return nil
-}
-
-// branchAt emits a conditional branch to target when e is true/false.
-func (g *vgen) branchAt(e *Expr, target string, whenTrue bool, k int) error {
-	switch {
-	case e.Kind == ExprUnary && e.Op == "!":
-		return g.branchAt(e.X, target, !whenTrue, k)
-
-	case e.Kind == ExprBinary && (e.Op == "&&" || e.Op == "||"):
-		if e.Op == "&&" && !whenTrue {
-			if err := g.branchAt(e.X, target, false, k); err != nil {
-				return err
-			}
-			return g.branchAt(e.Y, target, false, k)
-		}
-		if e.Op == "||" && whenTrue {
-			if err := g.branchAt(e.X, target, true, k); err != nil {
-				return err
-			}
-			return g.branchAt(e.Y, target, true, k)
-		}
-		skip := g.newLabel("sc")
-		if err := g.branchAt(e.X, skip, e.Op == "||", k); err != nil {
-			return err
-		}
-		if err := g.branchAt(e.Y, target, whenTrue, k); err != nil {
-			return err
-		}
-		g.label(skip)
-		return nil
-
-	case e.Kind == ExprBinary && isComparison(e.Op):
-		if err := g.evalTo(e.X, k); err != nil {
-			return err
-		}
-		if c, ok := constFold(e.Y); ok {
-			g.emit("cmpl r%d, $%d", k, c)
-		} else {
-			if err := g.checkDepth(e.Line, k+1); err != nil {
-				return err
-			}
-			if err := g.evalTo(e.Y, k+1); err != nil {
-				return err
-			}
-			g.emit("cmpl r%d, r%d", k, k+1)
-		}
-		g.emit("%s %s", vaxBranch(e.Op, whenTrue), target)
-		return nil
-
-	default:
-		if err := g.evalTo(e, k); err != nil {
-			return err
-		}
-		g.emit("tstl r%d", k)
-		if whenTrue {
-			g.emit("bneq %s", target)
-		} else {
-			g.emit("beql %s", target)
-		}
-		return nil
-	}
-}
-
-func vaxBranch(op string, whenTrue bool) string {
-	m := map[string]string{
-		"==": "beql", "!=": "bneq", "<": "blss", "<=": "bleq", ">": "bgtr", ">=": "bgeq",
-	}
-	n := map[string]string{
-		"==": "bneq", "!=": "beql", "<": "bgeq", "<=": "bgtr", ">": "bleq", ">=": "blss",
-	}
-	if whenTrue {
-		return m[op]
-	}
-	return n[op]
-}
-
-func (g *vgen) materializeCond(e *Expr, k int) error {
-	trueL := g.newLabel("ct")
-	endL := g.newLabel("ce")
-	if err := g.branchAt(e, trueL, true, k); err != nil {
-		return err
-	}
-	g.emit("clrl r%d", k)
-	g.emit("brw %s", endL)
-	g.label(trueL)
-	g.emit("movl $1, r%d", k)
-	g.label(endL)
-	return nil
-}
-
+// emitData lays out globals and string literals after the code.
 func (g *vgen) emitData() {
 	g.raw("\n; data\n")
 	g.emit(".align 4")
@@ -755,29 +466,21 @@ func (g *vgen) emitData() {
 		switch {
 		case gl.InitStr != "":
 			g.emit(".asciz %q", gl.InitStr)
-			if pad := gl.Type.Size() - len(gl.InitStr) - 1; pad > 0 {
+			if pad := gl.Size - len(gl.InitStr) - 1; pad > 0 {
 				g.emit(".space %d", pad)
 			}
-		case gl.Type.Kind == TypeChar:
-			var v int64
-			if gl.Init != nil {
-				v, _ = constFold(gl.Init)
-			}
-			g.emit(".byte %d", v)
-		case gl.Type.IsScalar():
-			var v int64
-			if gl.Init != nil {
-				v, _ = constFold(gl.Init)
-			}
-			g.emit(".word %d", v)
+		case gl.Char:
+			g.emit(".byte %d", gl.Init)
+		case gl.Scalar:
+			g.emit(".word %d", gl.Init)
 		default:
-			g.emit(".space %d", gl.Type.Size())
+			g.emit(".space %d", gl.Size)
 		}
 		g.emit(".align 4")
 	}
 	for _, s := range g.prog.Strings {
-		g.label(s.label)
-		g.emit(".asciz %q", s.value)
+		g.label(s.Label)
+		g.emit(".asciz %q", s.Value)
 		g.emit(".align 4")
 	}
 }

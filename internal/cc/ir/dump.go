@@ -1,0 +1,107 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opSym maps binary ops to their surface syntax in dumps.
+var opSym = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+}
+
+// relSym maps relations to their surface syntax.
+var relSym = map[Rel]string{
+	RelEq: "==", RelNe: "!=", RelLt: "<", RelLe: "<=", RelGt: ">", RelGe: ">=",
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case ValConst:
+		return fmt.Sprintf("%d", v.C)
+	case ValTemp:
+		return fmt.Sprintf("t%d", v.Temp)
+	case ValVar:
+		return v.Var.Name
+	}
+	return "?"
+}
+
+func (i *Instr) String() string {
+	switch i.Op {
+	case OpCopy:
+		return fmt.Sprintf("%s = %s", i.Dst, i.A)
+	case OpNeg:
+		return fmt.Sprintf("%s = -%s", i.Dst, i.A)
+	case OpCom:
+		return fmt.Sprintf("%s = ~%s", i.Dst, i.A)
+	case OpAddr:
+		return fmt.Sprintf("%s = &%s", i.Dst, i.Var.Name)
+	case OpAddrStr:
+		return fmt.Sprintf("%s = &%s", i.Dst, i.Label)
+	case OpLoad:
+		return fmt.Sprintf("%s = load.%d [%s]", i.Dst, i.Size, i.A)
+	case OpStore:
+		return fmt.Sprintf("store.%d [%s], %s", i.Size, i.A, i.B)
+	case OpCall:
+		args := make([]string, len(i.Args))
+		for k, a := range i.Args {
+			args[k] = a.String()
+		}
+		call := fmt.Sprintf("call %s(%s)", i.Label, strings.Join(args, ", "))
+		if i.Dst.Valid() {
+			return fmt.Sprintf("%s = %s", i.Dst, call)
+		}
+		return call
+	default:
+		return fmt.Sprintf("%s = %s %s %s", i.Dst, i.A, opSym[i.Op], i.B)
+	}
+}
+
+func (t *Term) String() string {
+	switch t.Kind {
+	case TermJump:
+		return fmt.Sprintf("jump %s", t.Then.Name)
+	case TermBranch:
+		return fmt.Sprintf("branch %s %s %s, %s, %s",
+			t.A, relSym[t.Rel], t.B, t.Then.Name, t.Else.Name)
+	default:
+		if t.Ret.Valid() {
+			return fmt.Sprintf("ret %s", t.Ret)
+		}
+		return "ret"
+	}
+}
+
+// Dump renders the function in the stable textual form the -emit-ir
+// flag and the golden tests use.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.Name
+	}
+	fmt.Fprintf(&b, "func %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	for _, bl := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", bl.Name)
+		for k := range bl.Instrs {
+			fmt.Fprintf(&b, "  %s\n", bl.Instrs[k].String())
+		}
+		fmt.Fprintf(&b, "  %s\n", bl.Term.String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Dump renders every function in the program.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.Dump())
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package cc
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateIR = flag.Bool("update-ir", false, "rewrite the golden IR dumps")
+
+// TestGoldenIRDumps pins the -emit-ir output for a small corpus at both
+// optimization levels. The dump format is part of the tool surface
+// (cmd flags print it), so changes must be deliberate: regenerate with
+//
+//	go test ./internal/cc -run TestGoldenIRDumps -update-ir
+func TestGoldenIRDumps(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "ir", "*.c"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no golden corpus: %v", err)
+	}
+	for _, src := range srcs {
+		base := strings.TrimSuffix(src, ".c")
+		code, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lvl := range []int{0, 1} {
+			prog, _, err := Frontend(string(code), lvl)
+			if err != nil {
+				t.Fatalf("%s -O%d: %v", src, lvl, err)
+			}
+			got := []byte(prog.Dump())
+			path := fmt.Sprintf("%s.O%d.ir", base, lvl)
+			if *updateIR {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-ir)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s -O%d: IR dump diverged from the golden file "+
+					"(regenerate with -update-ir if deliberate)\ngot:\n%s\nwant:\n%s", src, lvl, got, want)
+			}
+		}
+	}
+}

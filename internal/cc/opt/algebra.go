@@ -1,0 +1,91 @@
+package opt
+
+import "risc1/internal/cc/ir"
+
+// algebra applies identity and annihilator rewrites: x+0, x-0, x-x,
+// x|0, x^0, x^x, x&0, x&-1, shifts by zero, and shifts of zero. Each
+// rewrite turns an instruction into a copy, which the propagation and
+// DCE passes then dissolve. Multiplication and division identities
+// live in the strength-reduction pass.
+func algebra(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if !in.Op.IsBinary() {
+				continue
+			}
+			if v, ok := simplify(in); ok {
+				*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: v, Line: in.Line}
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// simplify returns the value an instruction reduces to, if any.
+func simplify(in *ir.Instr) (ir.Value, bool) {
+	a, b := in.A, in.B
+	ac := a.Kind == ir.ValConst
+	bc := b.Kind == ir.ValConst
+	switch in.Op {
+	case ir.OpAdd:
+		if ac && a.C == 0 {
+			return b, true
+		}
+		if bc && b.C == 0 {
+			return a, true
+		}
+	case ir.OpSub:
+		if bc && b.C == 0 {
+			return a, true
+		}
+		if a.Equal(b) {
+			return ir.Const(0), true
+		}
+	case ir.OpOr:
+		if ac && a.C == 0 {
+			return b, true
+		}
+		if bc && b.C == 0 {
+			return a, true
+		}
+		if a.Equal(b) {
+			return a, true
+		}
+	case ir.OpXor:
+		if ac && a.C == 0 {
+			return b, true
+		}
+		if bc && b.C == 0 {
+			return a, true
+		}
+		if a.Equal(b) {
+			return ir.Const(0), true
+		}
+	case ir.OpAnd:
+		if (ac && a.C == 0) || (bc && b.C == 0) {
+			return ir.Const(0), true
+		}
+		if ac && a.C == -1 {
+			return b, true
+		}
+		if bc && b.C == -1 {
+			return a, true
+		}
+		if a.Equal(b) {
+			return a, true
+		}
+	case ir.OpShl, ir.OpShr:
+		if bc && b.C == 0 {
+			return a, true
+		}
+		// Zero shifted by anything is zero on both machines, whatever
+		// their out-of-range count behavior.
+		if ac && a.C == 0 {
+			return ir.Const(0), true
+		}
+	}
+	return ir.Value{}, false
+}

@@ -1,0 +1,71 @@
+package opt
+
+import "risc1/internal/cc/ir"
+
+// branches simplifies control flow: branches whose outcome is known
+// become jumps, and jumps through empty forwarding blocks are
+// threaded to their final destination. Unreachable blocks left behind
+// are swept by dce.
+func branches(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		t := &b.Term
+		if t.Kind == ir.TermBranch {
+			if dest, ok := decide(t); ok {
+				*t = ir.Term{Kind: ir.TermJump, Then: dest, Line: t.Line}
+				n++
+			}
+		}
+		// Thread each edge through chains of empty single-jump blocks.
+		switch t.Kind {
+		case ir.TermJump:
+			n += thread(&t.Then)
+		case ir.TermBranch:
+			n += thread(&t.Then)
+			n += thread(&t.Else)
+			if t.Then == t.Else {
+				*t = ir.Term{Kind: ir.TermJump, Then: t.Then, Line: t.Line}
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// decide resolves a branch whose outcome is static: equal targets,
+// two constant operands, or the same value on both sides (x == x).
+func decide(t *ir.Term) (*ir.Block, bool) {
+	pick := func(taken bool) *ir.Block {
+		if taken {
+			return t.Then
+		}
+		return t.Else
+	}
+	if t.Then == t.Else {
+		return t.Then, true
+	}
+	if t.A.Kind == ir.ValConst && t.B.Kind == ir.ValConst {
+		return pick(t.Rel.Eval(t.A.C, t.B.C)), true
+	}
+	if t.A.Equal(t.B) {
+		// x <rel> x: reflexive relations hold, strict ones do not.
+		return pick(t.Rel == ir.RelEq || t.Rel == ir.RelLe || t.Rel == ir.RelGe), true
+	}
+	return nil, false
+}
+
+// thread retargets an edge through empty blocks that only jump on,
+// with a visited set guarding against empty infinite loops.
+func thread(edge **ir.Block) int {
+	n := 0
+	seen := map[*ir.Block]bool{*edge: true}
+	for {
+		b := *edge
+		if len(b.Instrs) != 0 || b.Term.Kind != ir.TermJump || seen[b.Term.Then] {
+			return n
+		}
+		seen[b.Term.Then] = true
+		*edge = b.Term.Then
+		n++
+	}
+}

@@ -1,0 +1,64 @@
+package opt
+
+import "risc1/internal/cc/ir"
+
+// dce removes code that cannot affect execution: blocks unreachable
+// from the entry, pure instructions whose temporary result is never
+// read (loads included — MiniC's machines have no load side effects),
+// and the unused result registers of calls (the call itself stays for
+// its side effects).
+func dce(f *ir.Func) int {
+	n := 0
+
+	// Sweep unreachable blocks.
+	reach := map[*ir.Block]bool{f.Blocks[0]: true}
+	work := []*ir.Block{f.Blocks[0]}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Term.Succs() {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	if len(reach) < len(f.Blocks) {
+		kept := f.Blocks[:0]
+		for _, b := range f.Blocks {
+			if reach[b] {
+				kept = append(kept, b)
+			} else {
+				n++
+			}
+		}
+		f.Blocks = kept
+	}
+
+	// Delete definitions of unread temporaries. Calls stay for their
+	// side effects (their unused result register is cleared), and so
+	// do divisions and modulo — a zero divisor must still fault at
+	// run time, at every optimization level.
+	uses := useCounts(f)
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for k := range b.Instrs {
+			in := b.Instrs[k]
+			if in.Dst.Kind == ir.ValTemp && uses[in.Dst.Temp] == 0 {
+				switch in.Op {
+				case ir.OpCall:
+					in.Dst = ir.Value{}
+					n++
+				case ir.OpDiv, ir.OpMod:
+					// keep
+				default:
+					n++
+					continue
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return n
+}

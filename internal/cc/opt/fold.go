@@ -1,0 +1,83 @@
+package opt
+
+import "risc1/internal/cc/ir"
+
+// fold evaluates instructions whose operands are all constants,
+// rewriting them to plain copies. Arithmetic is 32-bit two's
+// complement with wraparound, which both simulated machines share.
+//
+// Edge cases are pinned here once, for both backends:
+//   - Division or modulo by zero never folds: the fault stays a
+//     run-time event with each machine's documented behavior.
+//   - INT_MIN / -1 folds to INT_MIN and INT_MIN % -1 folds to 0,
+//     matching what both the CISC divide instruction and the RISC I
+//     software divide routine compute.
+//   - Shifts fold only for counts in 0..31; anything else stays a
+//     run-time shift (lowering already masks literal counts, so
+//     out-of-range constants only arise from folded arithmetic).
+func fold(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			var c int32
+			switch {
+			case in.Op == ir.OpNeg && in.A.Kind == ir.ValConst:
+				c = -in.A.C
+			case in.Op == ir.OpCom && in.A.Kind == ir.ValConst:
+				c = ^in.A.C
+			case in.Op.IsBinary() && in.A.Kind == ir.ValConst && in.B.Kind == ir.ValConst:
+				var ok bool
+				c, ok = foldBinary(in.Op, in.A.C, in.B.C)
+				if !ok {
+					continue
+				}
+			default:
+				continue
+			}
+			*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: ir.Const(c), Line: in.Line}
+			n++
+		}
+	}
+	return n
+}
+
+// foldBinary folds one binary op over constants; ok is false when the
+// operation must stay a run-time event.
+func foldBinary(op ir.Op, a, b int32) (int32, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		if b < 0 || b > 31 {
+			return 0, false
+		}
+		return a << uint(b), true
+	case ir.OpShr:
+		if b < 0 || b > 31 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	}
+	return 0, false
+}

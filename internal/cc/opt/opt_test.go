@@ -1,0 +1,292 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"risc1/internal/cc/ir"
+)
+
+// block makes a single-block function from instructions and a
+// terminator, with NTemps set high enough for every referenced temp.
+func fn(instrs []ir.Instr, term ir.Term) *ir.Func {
+	f := &ir.Func{Name: "t", NTemps: 32}
+	b := &ir.Block{Name: "b0", Instrs: instrs, Term: term}
+	f.Blocks = []*ir.Block{b}
+	return f
+}
+
+func retT(t int) ir.Term {
+	return ir.Term{Kind: ir.TermReturn, Ret: ir.Temp(t)}
+}
+
+func TestFoldBinary(t *testing.T) {
+	const intMin = -2147483648
+	cases := []struct {
+		op   ir.Op
+		a, b int32
+		want int32
+		ok   bool
+	}{
+		{ir.OpAdd, 2147483647, 1, intMin, true}, // wraps
+		{ir.OpSub, intMin, 1, 2147483647, true},
+		{ir.OpMul, 65536, 65536, 0, true},
+		{ir.OpDiv, intMin, -1, intMin, true}, // the classic overflow case
+		{ir.OpMod, intMin, -1, 0, true},
+		{ir.OpDiv, 7, 0, 0, false}, // never fold: must fault at run time
+		{ir.OpMod, 7, 0, 0, false},
+		{ir.OpDiv, -17, 5, -3, true}, // truncating, as in C
+		{ir.OpMod, -17, 5, -2, true},
+		{ir.OpShl, 1, 31, intMin, true},
+		{ir.OpShr, -8, 2, -2, true}, // arithmetic shift
+		{ir.OpShl, 1, 32, 0, false}, // out-of-range counts stay runtime
+		{ir.OpShr, 1, -1, 0, false},
+		{ir.OpAnd, 0x0ff0, 0x00ff, 0x00f0, true},
+	}
+	for _, c := range cases {
+		got, ok := foldBinary(c.op, c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("fold op %d (%d, %d) = %d, %v; want %d, %v", c.op, c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestPropagateThenFold(t *testing.T) {
+	f := fn([]ir.Instr{
+		{Op: ir.OpCopy, Dst: ir.Temp(0), A: ir.Const(6)},
+		{Op: ir.OpCopy, Dst: ir.Temp(1), A: ir.Const(7)},
+		{Op: ir.OpMul, Dst: ir.Temp(2), A: ir.Temp(0), B: ir.Temp(1)},
+	}, retT(2))
+	if n := propagate(f); n == 0 {
+		t.Fatal("propagate did nothing")
+	}
+	if n := fold(f); n == 0 {
+		t.Fatal("fold did nothing")
+	}
+	in := f.Blocks[0].Instrs[2]
+	if in.Op != ir.OpCopy || in.A.Kind != ir.ValConst || in.A.C != 42 {
+		t.Errorf("want t2 = 42, got %s", f.Dump())
+	}
+}
+
+func TestAlgebraIdentities(t *testing.T) {
+	f := fn([]ir.Instr{
+		{Op: ir.OpAdd, Dst: ir.Temp(1), A: ir.Temp(0), B: ir.Const(0)},  // t0
+		{Op: ir.OpMul, Dst: ir.Temp(2), A: ir.Temp(1), B: ir.Const(1)},  // handled by strength, not algebra
+		{Op: ir.OpXor, Dst: ir.Temp(3), A: ir.Temp(1), B: ir.Temp(1)},   // 0
+		{Op: ir.OpAnd, Dst: ir.Temp(4), A: ir.Temp(3), B: ir.Const(-1)}, // t3
+		{Op: ir.OpShl, Dst: ir.Temp(5), A: ir.Temp(4), B: ir.Const(0)},  // t4
+	}, retT(5))
+	algebra(f)
+	ins := f.Blocks[0].Instrs
+	check := func(i int, wantOp ir.Op, want ir.Value) {
+		t.Helper()
+		if ins[i].Op != wantOp || !ins[i].A.Equal(want) {
+			t.Errorf("instr %d: got %s", i, f.Dump())
+		}
+	}
+	check(0, ir.OpCopy, ir.Temp(0))
+	check(2, ir.OpCopy, ir.Const(0))
+	check(3, ir.OpCopy, ir.Temp(3))
+	check(4, ir.OpCopy, ir.Temp(4))
+}
+
+func TestStrengthReduction(t *testing.T) {
+	f := fn([]ir.Instr{
+		{Op: ir.OpMul, Dst: ir.Temp(1), A: ir.Temp(0), B: ir.Const(8)},
+		{Op: ir.OpDiv, Dst: ir.Temp(2), A: ir.Temp(0), B: ir.Const(4)},
+		{Op: ir.OpMod, Dst: ir.Temp(3), A: ir.Temp(0), B: ir.Const(0)}, // untouched
+		{Op: ir.OpDiv, Dst: ir.Temp(4), A: ir.Temp(0), B: ir.Const(7)}, // untouched (not a power of two)
+	}, retT(1))
+	if n := strength(f); n < 2 {
+		t.Fatalf("strength rewrites = %d, want >= 2\n%s", n, f.Dump())
+	}
+	d := f.Dump()
+	if !strings.Contains(d, "<< 3") {
+		t.Errorf("mul by 8 should become a shift:\n%s", d)
+	}
+	if !strings.Contains(d, ">> 31") || !strings.Contains(d, ">> 2") {
+		t.Errorf("div by 4 should become the sign-bias shift sequence:\n%s", d)
+	}
+	if !strings.Contains(d, "% 0") || !strings.Contains(d, "/ 7") {
+		t.Errorf("mod-by-zero and div-by-7 must stay:\n%s", d)
+	}
+}
+
+// TestStrengthDivMatchesDiv checks the signed power-of-two shift
+// sequence against real division over a value sweep, including the
+// corners.
+func TestStrengthDivMatchesDiv(t *testing.T) {
+	const intMin = -2147483648
+	vals := []int32{intMin, intMin + 1, -100, -17, -8, -7, -1, 0, 1, 7, 8, 100, 2147483647}
+	for _, c := range []int32{2, 4, 8, 1 << 30} {
+		for _, a := range vals {
+			// Mirror of the emitted sequence.
+			sign := a >> 31
+			bias := sign & (c - 1)
+			sum := a + bias
+			q := sum >> ir.Log2(int(c))
+			m := a - (sum & -c)
+			if q != a/c {
+				t.Errorf("%d / %d: sequence %d, want %d", a, c, q, a/c)
+			}
+			if m != a%c {
+				t.Errorf("%d %% %d: sequence %d, want %d", a, c, m, a%c)
+			}
+		}
+	}
+}
+
+func TestDCEKeepsDivModDropsPure(t *testing.T) {
+	f := fn([]ir.Instr{
+		{Op: ir.OpDiv, Dst: ir.Temp(0), A: ir.Const(1), B: ir.Const(0)}, // dead but kept
+		{Op: ir.OpMod, Dst: ir.Temp(1), A: ir.Const(1), B: ir.Const(0)}, // dead but kept
+		{Op: ir.OpAdd, Dst: ir.Temp(2), A: ir.Const(1), B: ir.Const(2)}, // dead, dropped
+		{Op: ir.OpCopy, Dst: ir.Temp(3), A: ir.Const(5)},
+	}, retT(3))
+	dce(f)
+	ins := f.Blocks[0].Instrs
+	if len(ins) != 3 || ins[0].Op != ir.OpDiv || ins[1].Op != ir.OpMod {
+		t.Errorf("dce result:\n%s", f.Dump())
+	}
+}
+
+func TestDCESweepsUnreachableBlocks(t *testing.T) {
+	f := &ir.Func{Name: "t", NTemps: 1}
+	b0 := &ir.Block{Name: "b0"}
+	b1 := &ir.Block{Name: "b1"} // unreachable
+	b2 := &ir.Block{Name: "b2"}
+	b0.Term = ir.Term{Kind: ir.TermJump, Then: b2}
+	b1.Term = ir.Term{Kind: ir.TermJump, Then: b2}
+	b2.Term = ir.Term{Kind: ir.TermReturn}
+	f.Blocks = []*ir.Block{b0, b1, b2}
+	if n := dce(f); n != 1 {
+		t.Errorf("dce = %d, want 1 (swept block)", n)
+	}
+	if len(f.Blocks) != 2 || f.Blocks[0] != b0 || f.Blocks[1] != b2 {
+		t.Errorf("blocks after sweep: %v", f.Blocks)
+	}
+}
+
+func TestBranchesDecideAndThread(t *testing.T) {
+	f := &ir.Func{Name: "t", NTemps: 1}
+	b0 := &ir.Block{Name: "b0"}
+	b1 := &ir.Block{Name: "b1"} // empty forwarder
+	b2 := &ir.Block{Name: "b2"}
+	b0.Term = ir.Term{Kind: ir.TermBranch, Rel: ir.RelLt, A: ir.Const(1), B: ir.Const(2), Then: b1, Else: b2}
+	b1.Term = ir.Term{Kind: ir.TermJump, Then: b2}
+	b2.Term = ir.Term{Kind: ir.TermReturn}
+	f.Blocks = []*ir.Block{b0, b1, b2}
+	if n := branches(f); n == 0 {
+		t.Fatal("branches did nothing")
+	}
+	if b0.Term.Kind != ir.TermJump || b0.Term.Then != b2 {
+		t.Errorf("b0 should jump straight to b2, got %+v", b0.Term)
+	}
+}
+
+func TestBranchReflexive(t *testing.T) {
+	for _, c := range []struct {
+		rel  ir.Rel
+		then bool
+	}{
+		{ir.RelEq, true}, {ir.RelLe, true}, {ir.RelGe, true},
+		{ir.RelNe, false}, {ir.RelLt, false}, {ir.RelGt, false},
+	} {
+		b1 := &ir.Block{Name: "then", Term: ir.Term{Kind: ir.TermReturn}}
+		b2 := &ir.Block{Name: "else", Term: ir.Term{Kind: ir.TermReturn}}
+		term := ir.Term{Kind: ir.TermBranch, Rel: c.rel, A: ir.Temp(0), B: ir.Temp(0), Then: b1, Else: b2}
+		dest, ok := decide(&term)
+		if !ok {
+			t.Errorf("rel %d: x<rel>x should decide", c.rel)
+			continue
+		}
+		want := b2
+		if c.then {
+			want = b1
+		}
+		if dest != want {
+			t.Errorf("rel %d: took %s", c.rel, dest.Name)
+		}
+	}
+}
+
+func TestStoreSinkSkipsCharCells(t *testing.T) {
+	word := &ir.Var{Name: "w", Kind: ir.VarGlobal, Scalar: true, Size: 4}
+	ch := &ir.Var{Name: "c", Kind: ir.VarGlobal, Scalar: true, Char: true, Size: 1}
+	f := fn([]ir.Instr{
+		{Op: ir.OpAdd, Dst: ir.Temp(0), A: ir.Const(1), B: ir.Const(2)},
+		{Op: ir.OpCopy, Dst: ir.VarRef(word), A: ir.Temp(0)},
+		{Op: ir.OpAdd, Dst: ir.Temp(1), A: ir.Const(3), B: ir.Const(4)},
+		{Op: ir.OpCopy, Dst: ir.VarRef(ch), A: ir.Temp(1)},
+	}, ir.Term{Kind: ir.TermReturn})
+	storeSink(f)
+	ins := f.Blocks[0].Instrs
+	if len(ins) != 3 {
+		t.Fatalf("want 3 instrs after sinking into the word var:\n%s", f.Dump())
+	}
+	if !ins[0].Dst.Equal(ir.VarRef(word)) {
+		t.Errorf("add should now target the word var:\n%s", f.Dump())
+	}
+	// The char store must keep its separate copy (truncation lives in
+	// OpCopy-to-char only).
+	if ins[2].Op != ir.OpCopy || !ins[2].Dst.Equal(ir.VarRef(ch)) {
+		t.Errorf("char copy must survive:\n%s", f.Dump())
+	}
+}
+
+// TestOptimizeReachesFixpoint runs the whole pipeline on a program
+// needing several rounds (propagation exposing folds exposing dead
+// branches) and checks the final shape and the level-0 contract.
+func TestOptimizeReachesFixpoint(t *testing.T) {
+	build := func() *ir.Program {
+		f := &ir.Func{Name: "main", NTemps: 8}
+		b0 := &ir.Block{Name: "b0"}
+		b1 := &ir.Block{Name: "b1"}
+		b2 := &ir.Block{Name: "b2"}
+		b3 := &ir.Block{Name: "b3"}
+		b0.Instrs = []ir.Instr{
+			{Op: ir.OpCopy, Dst: ir.Temp(0), A: ir.Const(4)},
+			{Op: ir.OpMul, Dst: ir.Temp(1), A: ir.Temp(0), B: ir.Const(4)},
+		}
+		b0.Term = ir.Term{Kind: ir.TermBranch, Rel: ir.RelGt, A: ir.Temp(1), B: ir.Const(10), Then: b1, Else: b2}
+		b1.Term = ir.Term{Kind: ir.TermJump, Then: b3}
+		b2.Instrs = []ir.Instr{{Op: ir.OpCopy, Dst: ir.Temp(2), A: ir.Const(99)}}
+		b2.Term = ir.Term{Kind: ir.TermJump, Then: b3}
+		b3.Term = ir.Term{Kind: ir.TermReturn, Ret: ir.Temp(1)}
+		f.Blocks = []*ir.Block{b0, b1, b2, b3}
+		return &ir.Program{Funcs: []*ir.Func{f}}
+	}
+
+	if stats := Optimize(build(), 0); stats != nil {
+		t.Errorf("level 0 must be a no-op, got %v", stats)
+	}
+
+	p := build()
+	stats := Optimize(p, 1)
+	total := 0
+	for _, s := range stats {
+		total += s.Rewrites
+	}
+	if total == 0 {
+		t.Fatal("pipeline made no rewrites")
+	}
+	f := p.Funcs[0]
+	// 4*4 = 16 > 10: the branch decides, b2 dies, the program collapses
+	// to "return 16".
+	if len(f.Blocks) != 2 {
+		t.Errorf("want 2 blocks after collapse, got:\n%s", f.Dump())
+	}
+	last := f.Blocks[len(f.Blocks)-1]
+	if last.Term.Kind != ir.TermReturn {
+		t.Fatalf("last block should return:\n%s", f.Dump())
+	}
+	// Running the pipeline again must change nothing (fixpoint).
+	if again := Optimize(p, 1); again != nil {
+		for _, s := range again {
+			if s.Rewrites != 0 {
+				t.Errorf("not a fixpoint: %s rewrote %d more", s.Name, s.Rewrites)
+			}
+		}
+	}
+}

@@ -1,0 +1,10 @@
+char buf[8];
+int result;
+int put(int i, int v) {
+	buf[i] = v + 0;
+	return buf[i];
+}
+int main() {
+	result = put(3, 200) * 2 / 2;
+	return 0;
+}

@@ -1,0 +1,11 @@
+int result;
+int main() {
+	int x;
+	x = 6 * 7;
+	if (x > 100) {
+		result = 1 / 0;
+	} else {
+		result = x - 0;
+	}
+	return 0;
+}

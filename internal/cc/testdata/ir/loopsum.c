@@ -1,0 +1,11 @@
+int result;
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		s = s + i * 8;
+	}
+	result = s;
+	return 0;
+}

@@ -20,6 +20,9 @@ type Options struct {
 	CPU cpu.Config
 	// Optimize runs the assembler's delayed-jump optimizer.
 	Optimize bool
+	// Opt is the MiniC compiler's optimization level (-O0 / -O1).
+	// Ignored for hand-written assembly.
+	Opt int
 }
 
 // Machine is an executed RISC I program and the processor it ran on.
@@ -42,7 +45,7 @@ func RunAsm(src string, opts Options) (*Machine, error) {
 
 // RunC compiles MiniC source and runs it to completion.
 func RunC(src string, opts Options) (*Machine, error) {
-	prog, text, err := cc.CompileRISC(src, opts.Optimize)
+	prog, text, _, err := cc.CompileRISC(src, cc.Options{Opt: opts.Opt, DelaySlots: opts.Optimize})
 	if err != nil {
 		return nil, err
 	}

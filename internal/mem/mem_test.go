@@ -182,9 +182,9 @@ func TestOnStoreHook(t *testing.T) {
 	m.StoreHalf(12, 2)
 	m.StoreByte(14, 3)
 	m.WriteBytes(20, []byte{1, 2, 3})
-	m.StoreWord(2, 0)   // misaligned: must not notify
-	m.StoreWord(64, 0)  // out of range: must not notify
-	m.LoadWord(8)       // reads never notify
+	m.StoreWord(2, 0)  // misaligned: must not notify
+	m.StoreWord(64, 0) // out of range: must not notify
+	m.LoadWord(8)      // reads never notify
 	m.FetchWord(8)
 	m.Reset()
 

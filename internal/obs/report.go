@@ -39,13 +39,27 @@ type Report struct {
 	Profile *Profile     `json:"profile,omitempty"`
 }
 
-// ReportConfig records the simulated machine's organization.
+// ReportConfig records the simulated machine's organization and the
+// tool-chain settings the workload was compiled with.
 type ReportConfig struct {
 	Windows   int     `json:"windows,omitempty"`
 	NoWindows bool    `json:"noWindows,omitempty"`
 	MemSize   int     `json:"memSize"`
 	CycleNS   float64 `json:"cycleNS"`
 	Optimized bool    `json:"optimized,omitempty"` // delay slots filled by the assembler
+	// OptLevel is the compiler's machine-independent optimization
+	// level (-O0 or -O1); Passes counts the rewrites each IR pass
+	// performed. Both are additive: absent for hand-written assembly.
+	OptLevel int        `json:"optLevel,omitempty"`
+	Passes   []PassStat `json:"passes,omitempty"`
+}
+
+// PassStat is one optimization pass's rewrite count. It mirrors the
+// compiler's own statistic type so reports don't depend on compiler
+// internals.
+type PassStat struct {
+	Name     string `json:"name"`
+	Rewrites int    `json:"rewrites"`
 }
 
 // Totals is the cycle and instruction accounting.
