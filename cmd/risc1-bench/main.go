@@ -13,12 +13,14 @@
 //	risc1-bench -nocache         # run the simulators without the icache
 //	risc1-bench -report out.json # machine-readable report of every run
 //	risc1-bench -O0              # compile the workloads unoptimized
+//	risc1-bench -parallel 8      # run the sweep on 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"risc1/internal/bench"
@@ -33,9 +35,11 @@ func main() {
 	noICache := flag.Bool("nocache", false, "disable the predecoded instruction cache (host speed only; simulated results are identical)")
 	reportOut := flag.String("report", "", `write a machine-readable JSON bench report (one run report per workload and machine) to FILE ("-" = stdout)`)
 	opt := flag.Int("opt", 1, "MiniC optimization level, also spelled -O0/-O1")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulator workers for the sweeps; output is byte-identical at any setting")
 	flag.CommandLine.Parse(cc.NormalizeOptFlags(os.Args[1:]))
 	bench.NoICache = *noICache
 	bench.OptLevel = *opt
+	bench.Parallel = *parallel
 
 	params := bench.Default()
 	if *scale == "small" {

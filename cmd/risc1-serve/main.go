@@ -1,0 +1,72 @@
+// Command risc1-serve exposes the batch-execution engine as an HTTP
+// service: POST a MiniC program, get back the versioned JSON run report
+// the rest of the tool chain produces.
+//
+//	POST /v1/run       {"source": "...", "machine": "risc1", "opt": 1}
+//	GET  /v1/jobs/{id} poll an async run
+//	GET  /healthz      liveness
+//	GET  /metrics      pool gauges and counters (Prometheus text)
+//
+// Every request is bounded three ways: body size (-max-source), an
+// instruction budget (-max-fuel), and a wall-clock deadline
+// (-max-timeout). Requests may ask for less than the caps, never more.
+//
+//	risc1-serve -addr :8080 -workers 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"risc1/internal/exec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulator workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued jobs beyond the running ones (0 = 2x workers)")
+	maxSource := flag.Int64("max-source", 1<<20, "largest accepted request body in bytes")
+	maxFuel := flag.Uint64("max-fuel", 1<<26, "largest per-run instruction budget")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Second, "longest per-run wall-clock deadline")
+	flag.Parse()
+
+	pool := exec.NewPool(exec.Config{Workers: *workers, Queue: *queue})
+	srv := NewServer(pool, ServerConfig{
+		MaxSource:  *maxSource,
+		MaxFuel:    *maxFuel,
+		MaxTimeout: *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: stop intake, let in-flight requests and their
+	// jobs finish, then stop the workers.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "risc1-serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "risc1-serve: http shutdown:", err)
+		}
+		if err := pool.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "risc1-serve: pool shutdown:", err)
+		}
+		close(done)
+	}()
+
+	fmt.Fprintln(os.Stderr, "risc1-serve: listening on", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "risc1-serve:", err)
+		os.Exit(1)
+	}
+	<-done
+}

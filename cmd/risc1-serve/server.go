@@ -1,0 +1,323 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"risc1/internal/exec"
+	"risc1/internal/obs"
+)
+
+// The serve response schema is versioned like the run report: bump on
+// any field-breaking change and regenerate the golden files.
+const (
+	responseSchema  = "risc1.serve-response"
+	responseVersion = 1
+)
+
+// ServerConfig bounds what one request may ask of the service.
+type ServerConfig struct {
+	// MaxSource caps the request body in bytes; larger requests are
+	// rejected with 413 before the body is read in full.
+	MaxSource int64
+	// MaxFuel caps the per-run instruction budget. Requests asking for
+	// more (or for none) are clamped to it.
+	MaxFuel uint64
+	// MaxTimeout caps the per-run wall-clock deadline; requests asking
+	// for more (or for none) are clamped to it.
+	MaxTimeout time.Duration
+}
+
+// Server queues compile+simulate requests on a batch-execution pool and
+// serves their versioned run reports.
+type Server struct {
+	pool *exec.Pool
+	cfg  ServerConfig
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*jobEntry
+}
+
+// jobEntry is one accepted request: done closes when resp is final.
+type jobEntry struct {
+	done chan struct{}
+	resp *runResponse
+}
+
+// runRequest is the body of POST /v1/run.
+type runRequest struct {
+	// Name labels the run report; default "serve".
+	Name string `json:"name,omitempty"`
+	// Source is the MiniC program. It must store its result in the
+	// global "result".
+	Source string `json:"source"`
+	// Machine is "risc1" (default) or "cisc".
+	Machine string `json:"machine,omitempty"`
+	// Opt is the compiler optimization level, 0 or 1 (default 1).
+	Opt *int `json:"opt,omitempty"`
+	// Fuel is the instruction budget; 0 or absent means the server cap.
+	Fuel uint64 `json:"fuel,omitempty"`
+	// TimeoutMS is the wall-clock budget; 0 or absent means the server cap.
+	TimeoutMS int64 `json:"timeoutMS,omitempty"`
+	// Async returns 202 immediately; poll GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// runResponse is the body of every /v1/run and /v1/jobs reply.
+type runResponse struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	ID      string `json:"id,omitempty"`
+	// Status is one of ok, pending, compile_error, fuel_exhausted,
+	// deadline_exceeded, oversized, bad_request, not_found, error.
+	Status string      `json:"status"`
+	Value  *int32      `json:"value,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Report *obs.Report `json:"report,omitempty"`
+}
+
+// httpStatus maps a response status to its HTTP code.
+func httpStatus(status string) int {
+	switch status {
+	case "ok":
+		return http.StatusOK
+	case "pending":
+		return http.StatusAccepted
+	case "compile_error", "bad_request":
+		return http.StatusBadRequest
+	case "not_found":
+		return http.StatusNotFound
+	case "oversized":
+		return http.StatusRequestEntityTooLarge
+	case "fuel_exhausted":
+		return http.StatusUnprocessableEntity
+	case "deadline_exceeded":
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// NewServer wires the handlers onto a fresh mux.
+func NewServer(pool *exec.Pool, cfg ServerConfig) *Server {
+	if cfg.MaxSource <= 0 {
+		cfg.MaxSource = 1 << 20
+	}
+	if cfg.MaxFuel == 0 {
+		cfg.MaxFuel = 1 << 26
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Second
+	}
+	return &Server{pool: pool, cfg: cfg, jobs: make(map[string]*jobEntry)}
+}
+
+// Handler returns the service's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, resp *runResponse) {
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus(resp.Status))
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSource)
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, &runResponse{
+				Schema: responseSchema, Version: responseVersion,
+				Status: "oversized",
+				Error:  fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxSource),
+			})
+			return
+		}
+		writeJSON(w, &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			Status: "bad_request", Error: "invalid JSON: " + err.Error(),
+		})
+		return
+	}
+	if req.Source == "" {
+		writeJSON(w, &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			Status: "bad_request", Error: "missing source",
+		})
+		return
+	}
+
+	spec, timeout, errResp := s.specFor(req)
+	if errResp != nil {
+		writeJSON(w, errResp)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	entry := &jobEntry{done: make(chan struct{})}
+	s.jobs[id] = entry
+	s.mu.Unlock()
+
+	// The job outlives the HTTP request in async mode, so it runs under
+	// the pool's lifetime, bounded by its own wall-clock budget.
+	tk, err := s.pool.Submit(context.Background(), spec.Job(id, timeout))
+	if err != nil {
+		resp := &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			ID: id, Status: "error", Error: err.Error(),
+		}
+		entry.resp = resp
+		close(entry.done)
+		writeJSON(w, resp)
+		return
+	}
+	go func() {
+		res, _ := tk.Result(context.Background())
+		entry.resp = s.respFor(id, spec, res)
+		close(entry.done)
+	}()
+
+	if req.Async {
+		writeJSON(w, &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			ID: id, Status: "pending",
+		})
+		return
+	}
+	select {
+	case <-entry.done:
+		writeJSON(w, entry.resp)
+	case <-r.Context().Done():
+		// The client hung up; the job keeps running for a later poll.
+	}
+}
+
+// specFor validates and clamps a request into an exec.Spec.
+func (s *Server) specFor(req runRequest) (exec.Spec, time.Duration, *runResponse) {
+	opt := 1
+	if req.Opt != nil {
+		opt = *req.Opt
+	}
+	if opt < 0 || opt > 1 {
+		return exec.Spec{}, 0, &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			Status: "bad_request", Error: fmt.Sprintf("opt must be 0 or 1, got %d", opt),
+		}
+	}
+	var machine exec.Machine
+	switch req.Machine {
+	case "", "risc1":
+		machine = exec.MachineRISC
+	case "cisc":
+		machine = exec.MachineCISC
+	default:
+		return exec.Spec{}, 0, &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			Status: "bad_request", Error: fmt.Sprintf("unknown machine %q", req.Machine),
+		}
+	}
+	fuel := req.Fuel
+	if fuel == 0 || fuel > s.cfg.MaxFuel {
+		fuel = s.cfg.MaxFuel
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	name := req.Name
+	if name == "" {
+		name = "serve"
+	}
+	return exec.Spec{
+		Name:       name,
+		Machine:    machine,
+		Source:     req.Source,
+		Opt:        opt,
+		DelaySlots: machine == exec.MachineRISC,
+		Fuel:       fuel,
+	}, timeout, nil
+}
+
+// respFor classifies a finished job into the response vocabulary.
+func (s *Server) respFor(id string, spec exec.Spec, res exec.Result) *runResponse {
+	resp := &runResponse{Schema: responseSchema, Version: responseVersion, ID: id}
+	switch {
+	case res.Err == nil:
+		out := res.Value.(exec.Outcome)
+		resp.Status = "ok"
+		resp.Value = &out.Value
+		rep := out.Report
+		rep.Exec = &obs.ExecStat{Attempts: res.Attempts, FuelLimit: spec.Fuel}
+		resp.Report = &rep
+	case errors.As(res.Err, new(*exec.CompileError)):
+		resp.Status = "compile_error"
+		resp.Error = res.Err.Error()
+	case exec.IsFuelExhausted(res.Err):
+		resp.Status = "fuel_exhausted"
+		resp.Error = res.Err.Error()
+	case errors.Is(res.Err, context.DeadlineExceeded):
+		resp.Status = "deadline_exceeded"
+		resp.Error = "simulation deadline exceeded"
+	case errors.As(res.Err, new(*exec.PanicError)):
+		resp.Status = "error"
+		resp.Error = "internal error: job panicked"
+	default:
+		resp.Status = "error"
+		resp.Error = res.Err.Error()
+	}
+	return resp
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	entry, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			Status: "not_found", Error: fmt.Sprintf("no job %q", id),
+		})
+		return
+	}
+	select {
+	case <-entry.done:
+		writeJSON(w, entry.resp)
+	default:
+		writeJSON(w, &runResponse{
+			Schema: responseSchema, Version: responseVersion,
+			ID: id, Status: "pending",
+		})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.pool.Stats().Prometheus())
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"risc1/internal/exec"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the serve golden files")
+
+const serveSrc = `
+int result;
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { result = fib(10); return 0; }
+`
+
+// newTestServer builds a server on a small pool, plus its teardown.
+func newTestServer(t *testing.T, cfg ServerConfig) *httptest.Server {
+	t.Helper()
+	pool := exec.NewPool(exec.Config{Workers: 2})
+	srv := NewServer(pool, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+	return ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// checkGolden compares a response body against its pinned file — the
+// same -update convention as the bench report golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("response diverged from %s; if the schema deliberately "+
+			"changed, bump responseVersion and rerun with -update.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestRunGolden pins the successful-run response: 200, value 55, a full
+// run report with the batch-engine accounting folded in.
+func TestRunGolden(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{})
+	body, _ := json.Marshal(runRequest{Name: "fib", Source: serveSrc})
+	resp, b := postRun(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200\n%s", resp.StatusCode, b)
+	}
+	checkGolden(t, "run_ok.json", b)
+}
+
+// TestRunFuelGolden pins the fuel-exhausted response: 422 and an error
+// naming the instruction limit.
+func TestRunFuelGolden(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{})
+	body, _ := json.Marshal(runRequest{Name: "starved", Source: serveSrc, Fuel: 50})
+	resp, b := postRun(t, ts, string(body))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422\n%s", resp.StatusCode, b)
+	}
+	checkGolden(t, "run_fuel.json", b)
+}
+
+// TestRunOversizedGolden pins the 413: a body past -max-source is
+// refused before it is read in full.
+func TestRunOversizedGolden(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{MaxSource: 256})
+	big := fmt.Sprintf(`{"source": %q}`, strings.Repeat("int x; ", 200))
+	resp, b := postRun(t, ts, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413\n%s", resp.StatusCode, b)
+	}
+	checkGolden(t, "run_oversized.json", b)
+}
+
+// TestRunDeadlineGolden pins the 504: an infinite guest loop is stopped
+// by the wall-clock cap, with a fixed message so the golden is stable.
+func TestRunDeadlineGolden(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{MaxTimeout: 50 * time.Millisecond})
+	src := `int result; int main() { while (1) { result = result + 1; } return 0; }`
+	body, _ := json.Marshal(runRequest{Name: "spin", Source: src})
+	resp, b := postRun(t, ts, string(body))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504\n%s", resp.StatusCode, b)
+	}
+	checkGolden(t, "run_deadline.json", b)
+}
+
+// TestRunCompileError checks the 400 path without a golden: compiler
+// message wording is not part of the serve contract.
+func TestRunCompileError(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{})
+	resp, b := postRun(t, ts, `{"source": "int main() { return undeclared; }"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400\n%s", resp.StatusCode, b)
+	}
+	var r runResponse
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != "compile_error" || r.Error == "" {
+		t.Errorf("response = %+v, want compile_error with a message", r)
+	}
+}
+
+// TestRunBadRequests covers the validation rejections.
+func TestRunBadRequests(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{})
+	cases := []struct {
+		name, body string
+	}{
+		{"invalid json", `{"source": `},
+		{"missing source", `{}`},
+		{"bad machine", `{"source": "int main() { return 0; }", "machine": "pdp11"}`},
+		{"bad opt", `{"source": "int main() { return 0; }", "opt": 3}`},
+	}
+	for _, tc := range cases {
+		resp, b := postRun(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400\n%s", tc.name, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestAsyncRun drives the 202 + poll flow end to end.
+func TestAsyncRun(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{})
+	body, _ := json.Marshal(runRequest{Name: "fib", Source: serveSrc, Async: true})
+	resp, b := postRun(t, ts, string(body))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202\n%s", resp.StatusCode, b)
+	}
+	var accepted runResponse
+	if err := json.Unmarshal(b, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Status != "pending" || accepted.ID == "" {
+		t.Fatalf("accepted = %+v, want pending with an id", accepted)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var r runResponse
+		if err := json.Unmarshal(b, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != "pending" {
+			if r.Status != "ok" || r.Value == nil || *r.Value != 55 {
+				t.Fatalf("final response = %+v, want ok with value 55", r)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobNotFound covers the poll path for an unknown id.
+func TestJobNotFound(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthAndMetrics checks the operational endpoints: liveness and
+// the pool counters after a completed run.
+func TestHealthAndMetrics(t *testing.T) {
+	ts := newTestServer(t, ServerConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(runRequest{Source: serveSrc})
+	postRun(t, ts, string(body))
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(b)
+	for _, want := range []string{
+		"risc1_pool_workers 2",
+		"risc1_pool_jobs_submitted_total 1",
+		"risc1_pool_jobs_completed_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDeterministicResponses runs the same program twice on fresh
+// servers: the responses (ids included) must be byte-identical, which
+// is what lets the goldens exist at all.
+func TestDeterministicResponses(t *testing.T) {
+	body, _ := json.Marshal(runRequest{Name: "fib", Source: serveSrc})
+	_, a := postRun(t, newTestServer(t, ServerConfig{}), string(body))
+	_, b := postRun(t, newTestServer(t, ServerConfig{}), string(body))
+	if !bytes.Equal(a, b) {
+		t.Errorf("identical requests on fresh servers differ:\n%s\n---\n%s", a, b)
+	}
+}

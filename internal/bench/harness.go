@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"risc1/internal/asm"
 	"risc1/internal/cc"
 	"risc1/internal/cc/opt"
 	"risc1/internal/cpu"
+	"risc1/internal/exec"
 	"risc1/internal/mem"
 	"risc1/internal/obs"
 	"risc1/internal/regfile"
@@ -75,18 +77,36 @@ var OptLevel = 1
 // speed changes.
 var NoICache bool
 
+// CPUConfig is the simulator organization a RISC bench configuration
+// asks for — the cache key batch workers reuse machines under.
+func (cfg RiscConfig) CPUConfig() cpu.Config {
+	return cpu.Config{Windows: cfg.Windows, NoWindows: cfg.NoWindows, NoICache: cfg.NoICache || NoICache}
+}
+
 // RunRISC compiles and executes a workload on the RISC I simulator.
 func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
+	return RunRISCOn(context.Background(), nil, w, cfg)
+}
+
+// RunRISCOn is RunRISC on a batch worker: sims (when non-nil) supplies
+// the per-worker simulator to reuse, and ctx bounds the run. This is
+// the function CompareAllOn submits to the pool.
+func RunRISCOn(ctx context.Context, sims *exec.Sims, w Workload, cfg RiscConfig) (RiscRun, error) {
 	prog, text, stats, err := cc.CompileRISC(w.Source, cc.Options{Opt: cfg.Opt, DelaySlots: cfg.Optimize})
 	if err != nil {
 		return RiscRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
-	c := cpu.New(cpu.Config{Windows: cfg.Windows, NoWindows: cfg.NoWindows, NoICache: cfg.NoICache || NoICache})
+	var c *cpu.CPU
+	if sims != nil {
+		c = sims.RISC(cfg.CPUConfig())
+	} else {
+		c = cpu.New(cfg.CPUConfig())
+	}
 	c.Reset(prog.Entry)
 	if err := prog.LoadInto(c.Mem); err != nil {
 		return RiscRun{}, err
 	}
-	if err := c.Run(); err != nil {
+	if err := c.RunContext(ctx); err != nil {
 		return RiscRun{}, fmt.Errorf("bench %s (risc): %w\n%s", w.Name, err, text)
 	}
 	addr, ok := prog.Symbol("result")
@@ -137,16 +157,26 @@ func passStats(stats []opt.Stat) []obs.PassStat {
 
 // RunVAX compiles and executes a workload on the CISC baseline.
 func RunVAX(w Workload, cfg VaxConfig) (VaxRun, error) {
+	return RunVAXOn(context.Background(), nil, w, cfg)
+}
+
+// RunVAXOn is RunVAX on a batch worker, mirroring RunRISCOn.
+func RunVAXOn(ctx context.Context, sims *exec.Sims, w Workload, cfg VaxConfig) (VaxRun, error) {
 	prog, text, stats, err := cc.CompileVAX(w.Source, cc.Options{Opt: cfg.Opt})
 	if err != nil {
 		return VaxRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
-	c := vax.New(vax.Config{})
+	var c *vax.CPU
+	if sims != nil {
+		c = sims.VAX(vax.Config{})
+	} else {
+		c = vax.New(vax.Config{})
+	}
 	c.Reset(prog.Entry)
 	if err := prog.LoadInto(c.Mem); err != nil {
 		return VaxRun{}, err
 	}
-	if err := c.Run(); err != nil {
+	if err := c.RunContext(ctx); err != nil {
 		return VaxRun{}, fmt.Errorf("bench %s (vax): %w\n%s", w.Name, err, text)
 	}
 	addr, ok := prog.Symbol("result")
@@ -202,17 +232,13 @@ func Compare(w Workload) (Comparison, error) {
 	return Comparison{Workload: w, Risc: risc, RiscNop: riscNop, Vax: vx}, nil
 }
 
-// CompareAll runs the whole suite.
+// CompareAll runs the whole suite through a batch pool sized by the
+// package's Parallel setting. Output order (and therefore any report
+// built from it) is the suite order regardless of worker count.
 func CompareAll(suite []Workload) ([]Comparison, error) {
-	out := make([]Comparison, 0, len(suite))
-	for _, w := range suite {
-		c, err := Compare(w)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
-	}
-	return out, nil
+	p := newPool()
+	defer p.Close()
+	return CompareAllOn(context.Background(), p, suite)
 }
 
 // Reports flattens a comparison set into the run list of an
@@ -242,8 +268,18 @@ type WindowSweep struct {
 	Calls []uint64
 }
 
-// SweepWindows runs the call-heavy subset across window counts.
+// SweepWindows runs the call-heavy subset across window counts, one
+// pool job per (window count, workload) pair.
 func SweepWindows(suite []Workload, windowCounts []int) (WindowSweep, error) {
+	p := newPool()
+	defer p.Close()
+	return SweepWindowsOn(context.Background(), p, suite, windowCounts)
+}
+
+// SweepWindowsOn is SweepWindows on an existing pool. Rows are indexed
+// by window count and column by workload, assembled from the batch in
+// submission order, so the sweep is deterministic at any parallelism.
+func SweepWindowsOn(ctx context.Context, p *exec.Pool, suite []Workload, windowCounts []int) (WindowSweep, error) {
 	var sweep WindowSweep
 	sweep.Windows = windowCounts
 	var heavy []Workload
@@ -254,14 +290,22 @@ func SweepWindows(suite []Workload, windowCounts []int) (WindowSweep, error) {
 		}
 	}
 	sweep.Calls = make([]uint64, len(heavy))
+	jobs := make([]exec.Job, 0, len(windowCounts)*len(heavy))
 	for _, wins := range windowCounts {
+		for _, w := range heavy {
+			jobs = append(jobs, riscJob(w, RiscConfig{Windows: wins, Optimize: true, Opt: OptLevel}))
+		}
+	}
+	results := p.RunBatch(ctx, jobs)
+	for i := range windowCounts {
 		row := make([]float64, len(heavy))
 		us := make([]float64, len(heavy))
-		for j, w := range heavy {
-			run, err := RunRISC(w, RiscConfig{Windows: wins, Optimize: true, Opt: OptLevel})
-			if err != nil {
-				return sweep, err
+		for j := range heavy {
+			res := results[i*len(heavy)+j]
+			if res.Err != nil {
+				return sweep, res.Err
 			}
+			run := res.Value.(RiscRun)
 			if run.Windows.Calls > 0 {
 				row[j] = float64(run.Windows.Overflows) / float64(run.Windows.Calls)
 			}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"context"
+
+	"risc1/internal/exec"
+)
+
+// Parallel is the worker count the harness's composite measurements
+// (CompareAll, SweepWindows, RunAblation) run with — risc1-bench's
+// -parallel flag. Values below 1 mean one worker. Whatever the count,
+// every result is assembled in submission order, so tables and reports
+// are byte-identical across settings (TestParallelDeterminism pins it).
+var Parallel = 1
+
+// newPool builds the engine behind one composite measurement.
+func newPool() *exec.Pool {
+	n := Parallel
+	if n < 1 {
+		n = 1
+	}
+	return exec.NewPool(exec.Config{Workers: n})
+}
+
+// riscJob wraps one RISC run as a pool job carrying its typed result.
+func riscJob(w Workload, cfg RiscConfig) exec.Job {
+	return exec.Job{Key: w.Name + "/risc", Fn: func(ctx context.Context, sims *exec.Sims) (any, error) {
+		return RunRISCOn(ctx, sims, w, cfg)
+	}}
+}
+
+// vaxJob wraps one baseline run as a pool job.
+func vaxJob(w Workload, cfg VaxConfig) exec.Job {
+	return exec.Job{Key: w.Name + "/vax", Fn: func(ctx context.Context, sims *exec.Sims) (any, error) {
+		return RunVAXOn(ctx, sims, w, cfg)
+	}}
+}
+
+// CompareAllOn runs the whole suite through pool: three jobs per
+// workload (optimized RISC, unoptimized RISC, baseline), results
+// reassembled in suite order. The pool's per-worker simulators are
+// reused across jobs; the cross-job leakage tests in internal/exec pin
+// that reuse never changes a result.
+func CompareAllOn(ctx context.Context, p *exec.Pool, suite []Workload) ([]Comparison, error) {
+	jobs := make([]exec.Job, 0, 3*len(suite))
+	for _, w := range suite {
+		jobs = append(jobs,
+			riscJob(w, RiscConfig{Optimize: true, Opt: OptLevel}),
+			riscJob(w, RiscConfig{Optimize: false, Opt: OptLevel}),
+			vaxJob(w, VaxConfig{Opt: OptLevel}),
+		)
+	}
+	results := p.RunBatch(ctx, jobs)
+	out := make([]Comparison, 0, len(suite))
+	for i, w := range suite {
+		c := Comparison{Workload: w}
+		for k, res := range results[3*i : 3*i+3] {
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			switch k {
+			case 0:
+				c.Risc = res.Value.(RiscRun)
+			case 1:
+				c.RiscNop = res.Value.(RiscRun)
+			default:
+				c.Vax = res.Value.(VaxRun)
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

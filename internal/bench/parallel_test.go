@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"risc1/internal/obs"
+)
+
+// TestParallelDeterminism is the byte-identity contract behind the
+// -parallel flag: the same suite run on one worker and on eight must
+// produce the same JSON bench report, byte for byte. Results come back
+// ordered by submission index, every simulated number is deterministic,
+// and the report carries no wall-clock state — so any difference here
+// is a real nondeterminism bug in the pool or a leak between reused
+// simulators.
+func TestParallelDeterminism(t *testing.T) {
+	report := func(workers int) []byte {
+		t.Helper()
+		old := Parallel
+		Parallel = workers
+		defer func() { Parallel = old }()
+		cs, err := CompareAll(Suite(Small()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := obs.NewBenchReport("small", Reports(cs))
+		b, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := report(1)
+	parallel := report(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("bench report differs between -parallel=1 (%d bytes) and -parallel=8 (%d bytes)",
+			len(serial), len(parallel))
+	}
+}
+
+// TestAblationThroughPool keeps the pooled ablation on the rails: the
+// full configuration must beat the featureless one on every call-heavy
+// workload, whatever the worker count.
+func TestAblationThroughPool(t *testing.T) {
+	old := Parallel
+	Parallel = 4
+	defer func() { Parallel = old }()
+	rows, err := RunAblation(Suite(Small()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no call-heavy rows")
+	}
+	for _, r := range rows {
+		if r.Full >= r.NoWindowsNoOpt {
+			t.Errorf("%s: full design (%d cycles) not faster than featureless (%d)",
+				r.Name, r.Full, r.NoWindowsNoOpt)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"text/tabwriter"
 
 	"risc1/internal/cpu"
+	"risc1/internal/exec"
 	"risc1/internal/isa"
 	"risc1/internal/regfile"
 	"risc1/internal/vax"
@@ -334,32 +336,43 @@ type AblationRow struct {
 	NoWindowsNoOpt uint64
 }
 
-// RunAblation measures cycles with each design feature toggled.
+// RunAblation measures cycles with each design feature toggled. The
+// four configurations per workload are independent, so they go through
+// the pool like the main comparison.
 func RunAblation(suite []Workload) ([]AblationRow, error) {
-	var rows []AblationRow
+	configs := []RiscConfig{
+		{Optimize: true, Opt: OptLevel},
+		{Opt: OptLevel},
+		{NoWindows: true, Optimize: true, Opt: OptLevel},
+		{NoWindows: true, Opt: OptLevel},
+	}
+	var heavy []Workload
+	var jobs []exec.Job
 	for _, w := range suite {
 		if !w.CallHeavy {
 			continue
 		}
-		full, err := RunRISC(w, RiscConfig{Optimize: true, Opt: OptLevel})
-		if err != nil {
-			return nil, err
+		heavy = append(heavy, w)
+		for _, cfg := range configs {
+			jobs = append(jobs, riscJob(w, cfg))
 		}
-		noOpt, err := RunRISC(w, RiscConfig{Opt: OptLevel})
-		if err != nil {
-			return nil, err
-		}
-		noWin, err := RunRISC(w, RiscConfig{NoWindows: true, Optimize: true, Opt: OptLevel})
-		if err != nil {
-			return nil, err
-		}
-		neither, err := RunRISC(w, RiscConfig{NoWindows: true, Opt: OptLevel})
-		if err != nil {
-			return nil, err
+	}
+	p := newPool()
+	defer p.Close()
+	results := p.RunBatch(context.Background(), jobs)
+	var rows []AblationRow
+	for i, w := range heavy {
+		cycles := make([]uint64, len(configs))
+		for k := range configs {
+			res := results[i*len(configs)+k]
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			cycles[k] = res.Value.(RiscRun).Cycles
 		}
 		rows = append(rows, AblationRow{
-			Name: w.Name, Full: full.Cycles, NoOpt: noOpt.Cycles,
-			NoWindows: noWin.Cycles, NoWindowsNoOpt: neither.Cycles,
+			Name: w.Name, Full: cycles[0], NoOpt: cycles[1],
+			NoWindows: cycles[2], NoWindowsNoOpt: cycles[3],
 		})
 	}
 	return rows, nil

@@ -6,22 +6,20 @@ import (
 	"testing"
 	"testing/quick"
 
+	"risc1/internal/cc/progen"
 	"risc1/internal/cpu"
 	"risc1/internal/vax"
 )
 
-// The expression fuzzer builds random MiniC expressions over three int
-// variables, evaluates them in Go with int32 semantics, and checks that
-// both code generators (and the delay-slot optimizer) compute the same
-// value on their simulators. This is the strongest single correctness
-// property in the repository: it exercises the parser, checker, both
-// code generators, both assemblers, both simulators, and the RISC
-// multiply/divide runtime together.
-
-type fuzzExpr struct {
-	src string
-	val int32
-}
+// The differential fuzz tests draw random well-typed MiniC programs
+// from the shared corpus generator (internal/cc/progen), evaluate them
+// in Go with int32 semantics, and check that both code generators (and
+// the delay-slot optimizer) compute the same value on their simulators.
+// This is the strongest single correctness property in the repository:
+// it exercises the parser, checker, both code generators, both
+// assemblers, both simulators, and the RISC multiply/divide runtime
+// together. The same generator feeds internal/exec's pool-level
+// differential test, which re-checks the property under concurrency.
 
 // fuzzOptions covers both optimization levels, with the delay-slot
 // optimizer on at -O1 — the corners the differential property must
@@ -29,113 +27,6 @@ type fuzzExpr struct {
 var fuzzOptions = []Options{
 	{Opt: 0},
 	{Opt: 1, DelaySlots: true},
-}
-
-func genExpr(r *rand.Rand, depth int, vars map[string]int32) fuzzExpr {
-	if depth == 0 || r.Intn(4) == 0 {
-		switch r.Intn(3) {
-		case 0: // variable
-			names := []string{"a", "b", "c"}
-			n := names[r.Intn(len(names))]
-			return fuzzExpr{src: n, val: vars[n]}
-		default: // literal
-			v := int32(r.Intn(2001) - 1000)
-			return fuzzExpr{src: fmt.Sprintf("(%d)", v), val: v}
-		}
-	}
-	x := genExpr(r, depth-1, vars)
-	// Unary sometimes.
-	if r.Intn(6) == 0 {
-		switch r.Intn(3) {
-		case 0:
-			return fuzzExpr{src: "(-" + x.src + ")", val: -x.val}
-		case 1:
-			return fuzzExpr{src: "(~" + x.src + ")", val: ^x.val}
-		default:
-			v := int32(0)
-			if x.val == 0 {
-				v = 1
-			}
-			return fuzzExpr{src: "(!" + x.src + ")", val: v}
-		}
-	}
-	y := genExpr(r, depth-1, vars)
-	b := func(op string, v int32) fuzzExpr {
-		return fuzzExpr{src: "(" + x.src + op + y.src + ")", val: v}
-	}
-	boolVal := func(cond bool) int32 {
-		if cond {
-			return 1
-		}
-		return 0
-	}
-	switch r.Intn(16) {
-	case 0:
-		return b("+", x.val+y.val)
-	case 1:
-		return b("-", x.val-y.val)
-	case 2:
-		return b("*", x.val*y.val)
-	case 3: // division by a nonzero literal
-		d := int32(r.Intn(40) + 1)
-		if r.Intn(2) == 0 {
-			d = -d
-		}
-		return fuzzExpr{src: fmt.Sprintf("(%s/(%d))", x.src, d), val: x.val / d}
-	case 4: // modulo by a nonzero literal
-		d := int32(r.Intn(40) + 1)
-		return fuzzExpr{src: fmt.Sprintf("(%s%%(%d))", x.src, d), val: x.val % d}
-	case 5:
-		return b("&", x.val&y.val)
-	case 6:
-		return b("|", x.val|y.val)
-	case 7:
-		return b("^", x.val^y.val)
-	case 8: // shift by a literal 0..15
-		sh := r.Intn(16)
-		return fuzzExpr{src: fmt.Sprintf("(%s<<%d)", x.src, sh), val: x.val << uint(sh)}
-	case 9:
-		sh := r.Intn(16)
-		return fuzzExpr{src: fmt.Sprintf("(%s>>%d)", x.src, sh), val: x.val >> uint(sh)}
-	case 10:
-		return b("==", boolVal(x.val == y.val))
-	case 11:
-		return b("!=", boolVal(x.val != y.val))
-	case 12:
-		return b("<", boolVal(x.val < y.val))
-	case 13:
-		return b(">=", boolVal(x.val >= y.val))
-	case 14:
-		return b("&&", boolVal(x.val != 0 && y.val != 0))
-	default:
-		return b("||", boolVal(x.val != 0 || y.val != 0))
-	}
-}
-
-func fuzzProgram(r *rand.Rand) (string, int32) {
-	vars := map[string]int32{
-		"a": int32(r.Intn(4001) - 2000),
-		"b": int32(r.Intn(4001) - 2000),
-		"c": int32(r.Intn(200) - 100),
-	}
-	e := genExpr(r, 4, vars)
-	expr := e.src
-	if r.Intn(2) == 0 {
-		// Route the value through a function call to exercise the
-		// parameter-passing and return conventions too.
-		expr = "pass(" + expr + ")"
-	}
-	src := fmt.Sprintf(`
-int result;
-int pass(int v) { return v; }
-int main() {
-	int a; int b; int c;
-	a = %d; b = %d; c = %d;
-	result = %s;
-	return 0;
-}
-`, vars["a"], vars["b"], vars["c"], expr)
-	return src, e.val
 }
 
 func runRiscResult(src string, o Options) (int32, error) {
@@ -174,6 +65,33 @@ func runVaxResult(src string, o Options) (int32, error) {
 	return int32(v), err
 }
 
+// checkDifferential runs one generated program through every
+// (machine, options) corner and reports the first disagreement.
+func checkDifferential(t *testing.T, seed int64, src string, want int32) bool {
+	t.Helper()
+	for _, o := range fuzzOptions {
+		got, err := runRiscResult(src, o)
+		if err != nil {
+			t.Logf("seed %d risc (%+v): %v\nsource:%s", seed, o, err, src)
+			return false
+		}
+		if got != want {
+			t.Logf("seed %d risc (%+v): got %d, want %d\nsource:%s", seed, o, got, want, src)
+			return false
+		}
+		got, err = runVaxResult(src, o)
+		if err != nil {
+			t.Logf("seed %d vax (%+v): %v\nsource:%s", seed, o, err, src)
+			return false
+		}
+		if got != want {
+			t.Logf("seed %d vax (%+v): got %d, want %d\nsource:%s", seed, o, got, want, src)
+			return false
+		}
+	}
+	return true
+}
+
 func TestExpressionFuzz(t *testing.T) {
 	count := 60
 	if testing.Short() {
@@ -181,28 +99,8 @@ func TestExpressionFuzz(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		src, want := fuzzProgram(r)
-		for _, o := range fuzzOptions {
-			got, err := runRiscResult(src, o)
-			if err != nil {
-				t.Logf("seed %d risc (%+v): %v\nsource:%s", seed, o, err, src)
-				return false
-			}
-			if got != want {
-				t.Logf("seed %d risc (%+v): got %d, want %d\nsource:%s", seed, o, got, want, src)
-				return false
-			}
-			got, err = runVaxResult(src, o)
-			if err != nil {
-				t.Logf("seed %d vax (%+v): %v\nsource:%s", seed, o, err, src)
-				return false
-			}
-			if got != want {
-				t.Logf("seed %d vax (%+v): got %d, want %d\nsource:%s", seed, o, got, want, src)
-				return false
-			}
-		}
-		return true
+		src, want := progen.ExprProgram(r)
+		return checkDifferential(t, seed, src, want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
 		t.Error(err)
@@ -219,54 +117,26 @@ func TestStatementFuzz(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		mul := int32(r.Intn(9) - 4)
-		add := int32(r.Intn(100) - 50)
-		mask := int32(r.Intn(255) + 1)
-		iters := int32(r.Intn(50) + 1)
-		src := fmt.Sprintf(`
-int result;
-int main() {
-	int i; int s;
-	s = 1;
-	for (i = 0; i < %d; i = i + 1) {
-		s = s * (%d) + (%d);
-		if (s & %d) { s = s - i; } else { s = s + i; }
-		while (s > 100000) { s = s / 3; }
-		while (s < -100000) { s = s / 5; }
+		src, want := progen.LoopProgram(r)
+		return checkDifferential(t, seed, src, want)
 	}
-	result = s;
-	return 0;
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Error(err)
+	}
 }
-`, iters, mul, add, mask)
-		// Go mirror.
-		s := int32(1)
-		for i := int32(0); i < iters; i++ {
-			s = s*mul + add
-			if s&mask != 0 {
-				s -= i
-			} else {
-				s += i
-			}
-			for s > 100000 {
-				s = s / 3
-			}
-			for s < -100000 {
-				s = s / 5
-			}
-		}
-		for _, o := range fuzzOptions {
-			got, err := runRiscResult(src, o)
-			if err != nil || got != s {
-				t.Logf("seed %d risc (%+v): got %d err %v, want %d\n%s", seed, o, got, err, s, src)
-				return false
-			}
-			got, err = runVaxResult(src, o)
-			if err != nil || got != s {
-				t.Logf("seed %d vax (%+v): got %d err %v, want %d\n%s", seed, o, got, err, s, src)
-				return false
-			}
-		}
-		return true
+
+// TestCallFuzz drives the call-heavy corpus: random recursive programs
+// that exercise the register-window machinery on the RISC side and the
+// CALLS/RET frames on the baseline.
+func TestCallFuzz(t *testing.T) {
+	count := 30
+	if testing.Short() {
+		count = 6
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src, want := progen.CallProgram(r)
+		return checkDifferential(t, seed, src, want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
 		t.Error(err)

@@ -7,6 +7,8 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"risc1/internal/isa"
@@ -15,6 +17,17 @@ import (
 	"risc1/internal/regfile"
 	"risc1/internal/trace"
 )
+
+// ErrInstructionLimit is wrapped by the error Run returns when a program
+// exhausts its instruction budget (MaxInstructions, the "fuel" limit of
+// batch execution). Check with errors.Is.
+var ErrInstructionLimit = errors.New("instruction limit exceeded")
+
+// runQuantum is how many instructions RunContext executes between
+// context checks: large enough that the check is free against the cost
+// of simulating the quantum, small enough that cancellation and
+// deadlines take effect in well under a millisecond of host time.
+const runQuantum = 8192
 
 // HaltAddr is the simulator's halt sentinel: a RET whose target is this
 // address stops the machine cleanly. The startup convention places
@@ -208,13 +221,51 @@ func (c *CPU) SetEntry(entry uint32) {
 // Run executes until the program halts, faults, or exceeds the
 // instruction limit. It returns the reason for an abnormal stop.
 func (c *CPU) Run() error {
-	for !c.halted {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes like Run but additionally stops between
+// instruction quanta when ctx is cancelled or its deadline passes,
+// returning the context's error. Cancellation never corrupts state: the
+// machine stops on an instruction boundary and can be resumed with
+// another call.
+func (c *CPU) RunContext(ctx context.Context) error {
+	for {
+		halted, err := c.RunSteps(runQuantum)
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+// RunSteps executes at most n instructions. It reports whether the
+// machine halted, with the fault (or wrapped ErrInstructionLimit) as the
+// error. halted false with a nil error means the budget n ran out with
+// the program still going.
+func (c *CPU) RunSteps(n uint64) (bool, error) {
+	for i := uint64(0); i < n && !c.halted; i++ {
 		if c.Trace.Instructions >= c.cfg.MaxInstructions {
-			return fmt.Errorf("cpu: instruction limit %d exceeded at pc %#08x", c.cfg.MaxInstructions, c.pc)
+			return false, fmt.Errorf("cpu: %w: limit %d at pc %#08x", ErrInstructionLimit, c.cfg.MaxInstructions, c.pc)
 		}
 		c.Step()
 	}
-	return c.haltErr
+	return c.halted, c.haltErr
+}
+
+// SetMaxInstructions replaces the instruction budget ("fuel") without
+// rebuilding the machine — batch-execution workers reuse one simulator
+// across jobs with differing limits. Zero restores the default of 2^32.
+func (c *CPU) SetMaxInstructions(n uint64) {
+	if n == 0 {
+		n = 1 << 32
+	}
+	c.cfg.MaxInstructions = n
 }
 
 // RaiseInterrupt requests an external interrupt. Before the next

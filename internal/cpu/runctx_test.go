@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"risc1/internal/asm"
+)
+
+// spinProg is an infinite busy loop — the guest shape the cooperative
+// cancellation machinery exists for.
+const spinProg = `
+main:	ba main
+	nop
+`
+
+func assemble(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestRunContextCancellation stops an infinite guest loop from the
+// outside: RunContext must notice the cancelled context within one run
+// quantum and return its error.
+func TestRunContextCancellation(t *testing.T) {
+	prog := assemble(t, spinProg)
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext = %v, want context.Canceled", err)
+	}
+	if c.Trace.Instructions == 0 || c.Trace.Instructions > runQuantum {
+		t.Errorf("executed %d instructions before noticing cancellation, want 1..%d",
+			c.Trace.Instructions, runQuantum)
+	}
+}
+
+// TestRunStepsBudget pins the quantum primitive: RunSteps executes at
+// most n instructions and reports the halt state.
+func TestRunStepsBudget(t *testing.T) {
+	prog := assemble(t, spinProg)
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	halted, err := c.RunSteps(100)
+	if err != nil || halted {
+		t.Fatalf("RunSteps = %v, %v; want running, nil", halted, err)
+	}
+	if c.Trace.Instructions != 100 {
+		t.Errorf("executed %d instructions, want exactly 100", c.Trace.Instructions)
+	}
+
+	done := assemble(t, "main:\tret\n\tnop\n")
+	c = New(Config{})
+	c.Reset(done.Entry)
+	done.LoadInto(c.Mem)
+	halted, err = c.RunSteps(100)
+	if err != nil || !halted {
+		t.Errorf("RunSteps on a halting program = %v, %v; want halted, nil", halted, err)
+	}
+}
+
+// TestInstructionLimitSentinel pins that fuel exhaustion is a wrapped
+// ErrInstructionLimit — the sentinel internal/exec classifies on.
+func TestInstructionLimitSentinel(t *testing.T) {
+	prog := assemble(t, spinProg)
+	c := New(Config{MaxInstructions: 500})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); !errors.Is(err, ErrInstructionLimit) {
+		t.Errorf("Run = %v, want wrapped ErrInstructionLimit", err)
+	}
+}
+
+// TestSetMaxInstructions re-arms the fuel budget on a reused machine,
+// the way the pool's simulator cache does between jobs.
+func TestSetMaxInstructions(t *testing.T) {
+	prog := assemble(t, spinProg)
+	c := New(Config{MaxInstructions: 100})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); !errors.Is(err, ErrInstructionLimit) {
+		t.Fatalf("first run = %v, want fuel exhaustion", err)
+	}
+	c.SetMaxInstructions(1000)
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); !errors.Is(err, ErrInstructionLimit) {
+		t.Fatalf("second run = %v, want fuel exhaustion", err)
+	}
+	if c.Trace.Instructions != 1000 {
+		t.Errorf("second run executed %d instructions, want the re-armed 1000", c.Trace.Instructions)
+	}
+	// Zero restores the default budget rather than an un-runnable zero.
+	c.SetMaxInstructions(0)
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if halted, err := c.RunSteps(5000); err != nil || halted {
+		t.Errorf("after SetMaxInstructions(0): %v, %v; want 5000 free steps", halted, err)
+	}
+}
+
+// TestSimulatorsDoNotAliasMemory is the package-state audit's teeth: two
+// independently constructed CPUs share nothing. One runs a program and
+// scribbles over memory and registers; the other — untouched since
+// construction — must still be pristine.
+func TestSimulatorsDoNotAliasMemory(t *testing.T) {
+	scribble := assemble(t, `
+	.equ buf, 0x800
+main:	li r1, 0xdeadbeef
+	li r2, buf
+	stl r1, r2, 0
+	stl r1, r2, 4
+	ret
+	nop
+	`)
+	a := New(Config{})
+	b := New(Config{})
+	a.Reset(scribble.Entry)
+	scribble.LoadInto(a.Mem)
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Mem.LoadWord(0x800); v != 0xdeadbeef {
+		t.Fatalf("scribbler did not write: %#x", v)
+	}
+	if v, _ := b.Mem.LoadWord(0x800); v != 0 {
+		t.Errorf("second CPU sees the first CPU's store: mem[0x800] = %#x", v)
+	}
+	if v := b.Regs.Get(1); v != 0 {
+		t.Errorf("second CPU sees the first CPU's register write: r1 = %#x", v)
+	}
+	if b.Trace.Instructions != 0 {
+		t.Errorf("second CPU counted the first CPU's instructions: %d", b.Trace.Instructions)
+	}
+}

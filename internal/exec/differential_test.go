@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"risc1/internal/cc/progen"
+)
+
+// TestDifferentialThroughPool is the pool-level differential property:
+// random well-typed MiniC programs from the shared corpus generator,
+// each run through all four (machine, opt) corners on a Workers:8 pool,
+// must all compute the Go mirror's value. It re-checks the compiler's
+// differential invariant under concurrency — simulator reuse across
+// jobs, interleaved workloads on neighbouring workers — where a shared
+// mutable table or leaked machine state would surface as a value
+// mismatch on some seed.
+func TestDifferentialThroughPool(t *testing.T) {
+	programs := 24
+	if testing.Short() {
+		programs = 6
+	}
+	p := NewPool(Config{Workers: 8})
+	defer p.Close()
+
+	corners := []Spec{
+		{Machine: MachineRISC, Opt: 0},
+		{Machine: MachineRISC, Opt: 1, DelaySlots: true},
+		{Machine: MachineCISC, Opt: 0},
+		{Machine: MachineCISC, Opt: 1},
+	}
+	type caseInfo struct {
+		seed int64
+		src  string
+		want int32
+	}
+	var jobs []Job
+	var cases []caseInfo
+	for i := 0; i < programs; i++ {
+		seed := int64(1000 + i)
+		r := rand.New(rand.NewSource(seed))
+		src, want := progen.Program(r)
+		for _, c := range corners {
+			s := c
+			s.Name = fmt.Sprintf("seed%d", seed)
+			s.Source = src
+			s.Fuel = 1 << 24
+			jobs = append(jobs, s.Job(fmt.Sprintf("%s/%s/O%d", s.Name, s.Machine, s.Opt), 0))
+			cases = append(cases, caseInfo{seed, src, want})
+		}
+	}
+	results := p.RunBatch(context.Background(), jobs)
+	for i, res := range results {
+		c := cases[i]
+		if res.Err != nil {
+			t.Errorf("%s: %v\nsource:%s", jobs[i].Key, res.Err, c.src)
+			continue
+		}
+		if got := res.Value.(Outcome).Value; got != c.want {
+			t.Errorf("%s: got %d, want %d\nsource:%s", jobs[i].Key, got, c.want, c.src)
+		}
+	}
+	if st := p.Stats(); st.Failed > 0 || st.Panics > 0 {
+		t.Errorf("pool stats after differential batch: %+v", st)
+	}
+}

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"risc1/internal/cpu"
+	"risc1/internal/vax"
+)
+
+// Sims is one worker's simulator cache. Building a simulator allocates
+// its whole memory image (1 MiB by default), so workers keep one
+// machine per configuration and reuse it across jobs: Reset fully
+// clears memory, registers, statistics and the predecoded icache, which
+// is what makes reuse safe (pinned by the cross-job leakage tests).
+//
+// A Sims is confined to its worker goroutine and must not be shared.
+type Sims struct {
+	risc map[cpu.Config]*cpu.CPU
+	vax  map[vax.Config]*vax.CPU
+}
+
+// NewSims returns an empty cache.
+func NewSims() *Sims {
+	return &Sims{
+		risc: make(map[cpu.Config]*cpu.CPU),
+		vax:  make(map[vax.Config]*vax.CPU),
+	}
+}
+
+// RISC returns the worker's RISC I machine for cfg, building it on
+// first use. The instruction budget is not part of the cache key — it
+// is re-applied on every call, so jobs with different fuel limits share
+// a machine. The caller still owns Reset and program loading.
+func (s *Sims) RISC(cfg cpu.Config) *cpu.CPU {
+	key := cfg
+	key.MaxInstructions = 0
+	c, ok := s.risc[key]
+	if !ok {
+		c = cpu.New(key)
+		s.risc[key] = c
+	}
+	c.SetMaxInstructions(cfg.MaxInstructions)
+	return c
+}
+
+// VAX returns the worker's CISC baseline machine for cfg, with the same
+// caching and fuel semantics as RISC.
+func (s *Sims) VAX(cfg vax.Config) *vax.CPU {
+	key := cfg
+	key.MaxInstructions = 0
+	c, ok := s.vax[key]
+	if !ok {
+		c = vax.New(key)
+		s.vax[key] = c
+	}
+	c.SetMaxInstructions(cfg.MaxInstructions)
+	return c
+}

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"risc1/internal/cc"
+	"risc1/internal/cc/opt"
+	"risc1/internal/cpu"
+	"risc1/internal/obs"
+	"risc1/internal/vax"
+)
+
+// Machine names a simulator target.
+type Machine string
+
+const (
+	MachineRISC Machine = "risc1"
+	MachineCISC Machine = "cisc"
+)
+
+// Spec is a declarative compile+simulate job: MiniC source, a target
+// machine, a compiler level, and resource bounds. It is the job model
+// risc1-serve queues on the pool; the bench harness submits richer
+// closures directly.
+type Spec struct {
+	// Name is the workload name stamped into the run report.
+	Name string
+	// Machine picks the simulator; empty means RISC I.
+	Machine Machine
+	// Source is the MiniC program. It must store its result in the
+	// global named by ResultSym.
+	Source string
+	// Opt is the compiler optimization level (0 or 1).
+	Opt int
+	// DelaySlots enables the RISC assembler's delayed-jump optimizer.
+	DelaySlots bool
+	// Windows / NoWindows configure the RISC register file (zero means
+	// the paper's 8 windows).
+	Windows   int
+	NoWindows bool
+	// Fuel is the instruction budget; 0 means the simulator default
+	// (2^32). Exhausting it fails the job with a wrapped
+	// ErrInstructionLimit — check with IsFuelExhausted.
+	Fuel uint64
+	// ResultSym is the global read back after the run; default "result".
+	ResultSym string
+}
+
+// Outcome is a completed spec: the guest-visible result word and the
+// versioned run report. The report's ICache section is cleared — worker
+// simulators are reused across jobs, so host-cache counters depend on
+// pool history while every simulated number is job-deterministic.
+type Outcome struct {
+	Value  int32
+	Report obs.Report
+}
+
+// CompileError marks a front-end failure (parse, type check, codegen or
+// assembly) so callers can tell a bad program from a failed run.
+type CompileError struct{ Err error }
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// IsFuelExhausted reports whether err is an instruction-budget
+// exhaustion on either machine.
+func IsFuelExhausted(err error) bool {
+	return errors.Is(err, cpu.ErrInstructionLimit) || errors.Is(err, vax.ErrInstructionLimit)
+}
+
+// Job wraps the spec as a pool job.
+func (s Spec) Job(key string, timeout time.Duration) Job {
+	return Job{Key: key, Timeout: timeout, Fn: func(ctx context.Context, sims *Sims) (any, error) {
+		return s.Run(ctx, sims)
+	}}
+}
+
+// Run compiles and executes the spec on the worker's cached simulators.
+func (s Spec) Run(ctx context.Context, sims *Sims) (Outcome, error) {
+	sym := s.ResultSym
+	if sym == "" {
+		sym = "result"
+	}
+	switch s.Machine {
+	case MachineCISC:
+		return s.runVAX(ctx, sims, sym)
+	case MachineRISC, "":
+		return s.runRISC(ctx, sims, sym)
+	default:
+		return Outcome{}, fmt.Errorf("exec: unknown machine %q", s.Machine)
+	}
+}
+
+func (s Spec) runRISC(ctx context.Context, sims *Sims, sym string) (Outcome, error) {
+	prog, _, stats, err := cc.CompileRISC(s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots})
+	if err != nil {
+		return Outcome{}, &CompileError{Err: err}
+	}
+	c := sims.RISC(cpu.Config{Windows: s.Windows, NoWindows: s.NoWindows, MaxInstructions: s.Fuel})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		return Outcome{}, err
+	}
+	if err := c.RunContext(ctx); err != nil {
+		return Outcome{}, err
+	}
+	addr, ok := prog.Symbol(sym)
+	if !ok {
+		return Outcome{}, fmt.Errorf("exec: no global named %q", sym)
+	}
+	v, err := c.Mem.LoadWord(addr)
+	if err != nil {
+		return Outcome{}, err
+	}
+	rep := c.BuildReport(s.Name)
+	rep.ICache = nil // host machinery accumulated across the worker's jobs
+	rep.Config.Optimized = s.DelaySlots
+	rep.Config.OptLevel = s.Opt
+	rep.Config.Passes = passStats(stats)
+	return Outcome{Value: int32(v), Report: rep}, nil
+}
+
+func (s Spec) runVAX(ctx context.Context, sims *Sims, sym string) (Outcome, error) {
+	prog, _, stats, err := cc.CompileVAX(s.Source, cc.Options{Opt: s.Opt})
+	if err != nil {
+		return Outcome{}, &CompileError{Err: err}
+	}
+	c := sims.VAX(vax.Config{MaxInstructions: s.Fuel})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		return Outcome{}, err
+	}
+	if err := c.RunContext(ctx); err != nil {
+		return Outcome{}, err
+	}
+	addr, ok := prog.Symbol(sym)
+	if !ok {
+		return Outcome{}, fmt.Errorf("exec: no global named %q", sym)
+	}
+	v, err := c.Mem.LoadWord(addr)
+	if err != nil {
+		return Outcome{}, err
+	}
+	rep := c.BuildReport(s.Name)
+	rep.Config.OptLevel = s.Opt
+	rep.Config.Passes = passStats(stats)
+	return Outcome{Value: int32(v), Report: rep}, nil
+}
+
+// passStats mirrors compiler pass statistics into the report's own type,
+// dropping passes that did nothing (same rule as the bench harness).
+func passStats(stats []opt.Stat) []obs.PassStat {
+	var out []obs.PassStat
+	for _, s := range stats {
+		if s.Rewrites > 0 {
+			out = append(out, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
+		}
+	}
+	return out
+}

@@ -37,6 +37,7 @@ type Report struct {
 	Memory  Memory       `json:"memory"`
 	ICache  *ICache      `json:"icache,omitempty"` // host machinery, not simulated state
 	Profile *Profile     `json:"profile,omitempty"`
+	Exec    *ExecStat    `json:"exec,omitempty"` // batch-engine job accounting
 }
 
 // ReportConfig records the simulated machine's organization and the

@@ -1,0 +1,99 @@
+package vax
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// vaxSpin is an infinite guest loop for the cancellation and fuel tests.
+const vaxSpin = `
+start:	brb start
+	halt
+`
+
+func assembleVax(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestRunContextCancellation mirrors the RISC-side test: an infinite
+// guest loop is stopped from the outside within one run quantum.
+func TestRunContextCancellation(t *testing.T) {
+	prog := assembleVax(t, vaxSpin)
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext = %v, want context.Canceled", err)
+	}
+	if c.Trace.Instructions == 0 || c.Trace.Instructions > runQuantum {
+		t.Errorf("executed %d instructions before noticing cancellation, want 1..%d",
+			c.Trace.Instructions, runQuantum)
+	}
+}
+
+// TestInstructionLimitSentinel pins fuel exhaustion as a wrapped
+// ErrInstructionLimit, and SetMaxInstructions as the re-arm the pool's
+// simulator cache uses between jobs.
+func TestInstructionLimitSentinel(t *testing.T) {
+	prog := assembleVax(t, vaxSpin)
+	c := New(Config{MaxInstructions: 100})
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); !errors.Is(err, ErrInstructionLimit) {
+		t.Fatalf("Run = %v, want wrapped ErrInstructionLimit", err)
+	}
+	c.SetMaxInstructions(1000)
+	c.Reset(prog.Entry)
+	prog.LoadInto(c.Mem)
+	if err := c.Run(); !errors.Is(err, ErrInstructionLimit) {
+		t.Fatalf("second run = %v, want fuel exhaustion", err)
+	}
+	if c.Trace.Instructions != 1000 {
+		t.Errorf("second run executed %d instructions, want the re-armed 1000", c.Trace.Instructions)
+	}
+}
+
+// TestSimulatorsDoNotAliasMemory is the CISC half of the package-state
+// audit: two machines constructed independently share no memory,
+// registers, or counters.
+func TestSimulatorsDoNotAliasMemory(t *testing.T) {
+	prog := assembleVax(t, `
+start:	movl $1234, r1
+	movl r1, buf
+	halt
+	.align 4
+buf:	.word 0
+	`)
+	a := New(Config{})
+	b := New(Config{})
+	a.Reset(prog.Entry)
+	prog.LoadInto(a.Mem)
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.R[1] != 1234 {
+		t.Fatalf("scribbler did not run: r1 = %d", a.R[1])
+	}
+	if b.R[1] != 0 {
+		t.Errorf("second CPU sees the first CPU's register write: r1 = %d", b.R[1])
+	}
+	if b.Trace.Instructions != 0 {
+		t.Errorf("second CPU counted the first CPU's instructions: %d", b.Trace.Instructions)
+	}
+	// The whole untouched memory image must still be zero where the
+	// first machine's program and data landed.
+	for addr := prog.Entry; addr < prog.Entry+64; addr += 4 {
+		if v, err := b.Mem.LoadWord(addr); err != nil || v != 0 {
+			t.Errorf("second CPU memory at %#x = %#x (%v), want 0", addr, v, err)
+			break
+		}
+	}
+}

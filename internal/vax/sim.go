@@ -1,6 +1,8 @@
 package vax
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -8,6 +10,16 @@ import (
 	"risc1/internal/obs"
 	"risc1/internal/trace"
 )
+
+// ErrInstructionLimit is wrapped by the error Run returns when a program
+// exhausts its instruction budget — the same sentinel contract as
+// cpu.ErrInstructionLimit, so batch execution treats both machines
+// uniformly. Check with errors.Is.
+var ErrInstructionLimit = errors.New("instruction limit exceeded")
+
+// runQuantum matches cpu.runQuantum: instructions between context
+// checks in RunContext.
+const runQuantum = 8192
 
 // Config selects the baseline machine's parameters.
 type Config struct {
@@ -127,13 +139,47 @@ func (c *CPU) SetEntry(entry uint32) {
 
 // Run executes until HALT, a fault, or the instruction limit.
 func (c *CPU) Run() error {
-	for !c.halted {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes like Run but stops between instruction quanta
+// when ctx is cancelled or its deadline passes, returning the context's
+// error. The machine stops on an instruction boundary and can resume.
+func (c *CPU) RunContext(ctx context.Context) error {
+	for {
+		halted, err := c.RunSteps(runQuantum)
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+// RunSteps executes at most n instructions, reporting whether the
+// machine halted, with the fault (or wrapped ErrInstructionLimit) as
+// the error. halted false with a nil error means the budget n ran out.
+func (c *CPU) RunSteps(n uint64) (bool, error) {
+	for i := uint64(0); i < n && !c.halted; i++ {
 		if c.Trace.Instructions >= c.cfg.MaxInstructions {
-			return fmt.Errorf("vax: instruction limit %d exceeded at pc %#08x", c.cfg.MaxInstructions, c.pc)
+			return false, fmt.Errorf("vax: %w: limit %d at pc %#08x", ErrInstructionLimit, c.cfg.MaxInstructions, c.pc)
 		}
 		c.Step()
 	}
-	return c.haltErr
+	return c.halted, c.haltErr
+}
+
+// SetMaxInstructions replaces the instruction budget ("fuel") without
+// rebuilding the machine. Zero restores the default of 2^32.
+func (c *CPU) SetMaxInstructions(n uint64) {
+	if n == 0 {
+		n = 1 << 32
+	}
+	c.cfg.MaxInstructions = n
 }
 
 func (c *CPU) fault(err error) {
