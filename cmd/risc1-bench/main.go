@@ -14,6 +14,7 @@
 //	risc1-bench -report out.json # machine-readable report of every run
 //	risc1-bench -O0              # compile the workloads unoptimized
 //	risc1-bench -parallel 8      # run the sweep on 8 workers
+//	risc1-bench -cache           # cold-vs-cached latency of the result cache
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 	reportOut := flag.String("report", "", `write a machine-readable JSON bench report (one run report per workload and machine) to FILE ("-" = stdout)`)
 	opt := flag.Int("opt", 1, "MiniC optimization level, also spelled -O0/-O1")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "simulator workers for the sweeps; output is byte-identical at any setting")
+	cacheSweep := flag.Bool("cache", false, "measure the content-addressed result cache: cold vs cached request latency (host time)")
+	cacheRepeats := flag.Int("cache-repeats", 5, "hot requests per workload for -cache")
 	flag.CommandLine.Parse(cc.NormalizeOptFlags(os.Args[1:]))
 	bench.NoICache = *noICache
 	bench.OptLevel = *opt
@@ -48,7 +51,9 @@ func main() {
 
 	want := func(list, name string) bool {
 		if *tables == "" && *figs == "" {
-			return true
+			// -cache alone measures just the cache; combine it with
+			// -table/-fig to also regenerate paper artifacts.
+			return !*cacheSweep
 		}
 		for _, n := range strings.Split(list, ",") {
 			if strings.TrimSpace(n) == name {
@@ -127,6 +132,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(out, bench.FigAblation(rows))
+	}
+	if *cacheSweep {
+		fmt.Fprintln(os.Stderr, "measuring the result cache...")
+		sweep, err := bench.SweepCache(suite, *cacheRepeats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out, bench.TableCacheSweep(sweep))
 	}
 	if *reportOut != "" {
 		r := obs.NewBenchReport(*scale, bench.Reports(cs))

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"risc1/internal/obs"
+)
+
+// errQueueFull is the backpressure signal: the limiter's inflight slots
+// and its bounded accept queue are both full, so the request must be
+// turned away with 429 + Retry-After rather than buffered without
+// bound.
+var errQueueFull = errors.New("serve: accept queue full")
+
+// limiter is the server's admission control: at most inflight requests
+// hold execution slots at once, at most queue more may wait for one,
+// and everything beyond that is rejected immediately. Waiting requests
+// give up when their client does (ctx).
+type limiter struct {
+	sem      chan struct{} // one token per admitted request
+	queueCap int
+
+	waiting  atomic.Int64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newLimiter(inflight, queue int) *limiter {
+	return &limiter{sem: make(chan struct{}, inflight), queueCap: queue}
+}
+
+// acquire admits the request and returns its release function, or an
+// error: errQueueFull for backpressure, the context's error when the
+// client hung up while waiting. release must be called exactly once,
+// when the request's work (including any async job it started) is done.
+func (l *limiter) acquire(ctx context.Context) (func(), error) {
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	default:
+	}
+	// The fast path failed: every slot is busy. Join the bounded wait
+	// queue if it has room. The check-then-wait is approximate under
+	// contention — the queue may briefly hold a request or two more than
+	// the cap — which is fine for backpressure: the bound it enforces is
+	// still O(queueCap), never unbounded buffering.
+	if int(l.waiting.Load()) >= l.queueCap {
+		l.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
+	select {
+	case l.sem <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// Stats snapshots the limiter for /metrics.
+func (l *limiter) Stats() obs.LimiterStats {
+	return obs.LimiterStats{
+		InflightCap: cap(l.sem),
+		QueueCap:    l.queueCap,
+		Inflight:    int64(len(l.sem)),
+		Waiting:     l.waiting.Load(),
+		Admitted:    l.admitted.Load(),
+		Rejected:    l.rejected.Load(),
+	}
+}

@@ -1,15 +1,21 @@
 // Command risc1-serve exposes the batch-execution engine as an HTTP
-// service: POST a MiniC program, get back the versioned JSON run report
-// the rest of the tool chain produces.
+// service behind the v1 API contract (docs/API.md): POST a MiniC
+// program, get back the versioned JSON run report the rest of the tool
+// chain produces.
 //
-//	POST /v1/run       {"source": "...", "machine": "risc1", "opt": 1}
+//	POST /v1/run       {"schema": "risc1.run-request/v1", "source": "..."}
 //	GET  /v1/jobs/{id} poll an async run
 //	GET  /healthz      liveness
-//	GET  /metrics      pool gauges and counters (Prometheus text)
+//	GET  /metrics      pool, cache and limiter metrics (Prometheus text)
 //
 // Every request is bounded three ways: body size (-max-source), an
 // instruction budget (-max-fuel), and a wall-clock deadline
-// (-max-timeout). Requests may ask for less than the caps, never more.
+// (-max-timeout); requests may ask for less than the caps, never more.
+// Identical requests are served from a content-addressed result cache
+// (-cache-bytes; the X-Risc1-Cache header says hit, miss, or
+// coalesced), admission is bounded (-inflight, -inflight-queue; beyond
+// that, 429 + Retry-After), and SIGTERM drains in-flight jobs before
+// exit (-drain-timeout, after which they are cancelled).
 //
 //	risc1-serve -addr :8080 -workers 8
 package main
@@ -30,35 +36,58 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "simulator workers (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "queued jobs beyond the running ones (0 = 2x workers)")
+	queue := flag.Int("queue", 0, "queued pool jobs beyond the running ones (0 = 2x workers)")
 	maxSource := flag.Int64("max-source", 1<<20, "largest accepted request body in bytes")
 	maxFuel := flag.Uint64("max-fuel", 1<<26, "largest per-run instruction budget")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Second, "longest per-run wall-clock deadline")
+	inflight := flag.Int("inflight", 64, "admitted /v1/run requests executing at once")
+	inflightQueue := flag.Int("inflight-queue", 0, "requests that may wait for an execution slot before 429 (0 = 2x -inflight)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache budget in bytes (negative = store nothing)")
+	progCacheBytes := flag.Int64("prog-cache-bytes", 64<<20, "compiled-program cache budget in bytes (negative = disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight jobs before cancelling them")
 	flag.Parse()
 
-	pool := exec.NewPool(exec.Config{Workers: *workers, Queue: *queue})
+	pool := exec.NewPool(exec.Config{Workers: *workers, Queue: *queue, ProgramCacheBytes: *progCacheBytes})
 	srv := NewServer(pool, ServerConfig{
-		MaxSource:  *maxSource,
-		MaxFuel:    *maxFuel,
-		MaxTimeout: *maxTimeout,
+		MaxSource:   *maxSource,
+		MaxFuel:     *maxFuel,
+		MaxTimeout:  *maxTimeout,
+		MaxInflight: *inflight,
+		MaxQueue:    *inflightQueue,
+		CacheBytes:  *cacheBytes,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	// Graceful shutdown: stop intake, let in-flight requests and their
-	// jobs finish, then stop the workers.
+	// Graceful drain on SIGTERM/SIGINT: stop accepting HTTP, let
+	// in-flight requests and their jobs (async ones included) finish,
+	// and only cancel what is still running when the drain budget runs
+	// out.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		<-stop
-		fmt.Fprintln(os.Stderr, "risc1-serve: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		fmt.Fprintln(os.Stderr, "risc1-serve: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "risc1-serve: http shutdown:", err)
 		}
-		if err := pool.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "risc1-serve: pool shutdown:", err)
+		drained := make(chan struct{})
+		go func() {
+			pool.Close() // waits for every accepted job
+			close(drained)
+		}()
+		select {
+		case <-drained:
+			fmt.Fprintln(os.Stderr, "risc1-serve: drained cleanly")
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "risc1-serve: drain budget exhausted; cancelling remaining jobs")
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			if err := pool.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "risc1-serve: pool shutdown:", err)
+			}
 		}
 		close(done)
 	}()

@@ -13,12 +13,34 @@ import (
 	"risc1/internal/obs"
 )
 
-// The serve response schema is versioned like the run report: bump on
-// any field-breaking change and regenerate the golden files.
+// The v1 API contract (documented in docs/API.md): one request schema,
+// one response schema, one error envelope with stable machine-readable
+// codes. Evolving the contract means minting /v2 identifiers, never
+// changing what v1 means.
 const (
-	responseSchema  = "risc1.serve-response"
-	responseVersion = 1
+	// RequestSchemaV1 names the POST /v1/run body. Absent means v1;
+	// anything else is rejected with unsupported_schema.
+	RequestSchemaV1 = "risc1.run-request/v1"
+	// ResponseSchemaV1 is echoed in every response body.
+	ResponseSchemaV1 = "risc1.run-response/v1"
 )
+
+// Stable error codes. Clients dispatch on these, never on messages.
+const (
+	codeBadRequest        = "bad_request"        // 400: malformed JSON or invalid field
+	codeCompileError      = "compile_error"      // 400: the program does not compile
+	codeNotFound          = "not_found"          // 404: unknown job id
+	codeBodyTooLarge      = "body_too_large"     // 413: body past -max-source
+	codeUnsupportedSchema = "unsupported_schema" // 422: unknown request schema
+	codeFuelExceeded      = "fuel_exceeded"      // 422: instruction budget exhausted
+	codeQueueFull         = "queue_full"         // 429: admission queue full, retry later
+	codeInternal          = "internal"           // 500: bug or infrastructure failure
+	codeDeadline          = "deadline"           // 504: wall-clock budget exhausted
+)
+
+// CacheHeader reports how the result cache handled a synchronous run:
+// "hit", "miss", or "coalesced".
+const CacheHeader = "X-Risc1-Cache"
 
 // ServerConfig bounds what one request may ask of the service.
 type ServerConfig struct {
@@ -31,27 +53,41 @@ type ServerConfig struct {
 	// MaxTimeout caps the per-run wall-clock deadline; requests asking
 	// for more (or for none) are clamped to it.
 	MaxTimeout time.Duration
+	// MaxInflight caps how many admitted /v1/run requests may hold
+	// execution slots at once; <= 0 means 64.
+	MaxInflight int
+	// MaxQueue caps how many more may wait for a slot before the server
+	// answers 429; 0 means 2x MaxInflight, negative means no waiting.
+	MaxQueue int
+	// CacheBytes budgets the content-addressed result cache; 0 means
+	// 256 MiB, negative stores nothing (concurrent identical requests
+	// still collapse to one execution).
+	CacheBytes int64
 }
 
-// Server queues compile+simulate requests on a batch-execution pool and
-// serves their versioned run reports.
+// Server queues compile+simulate requests on a batch-execution pool
+// behind a content-addressed result cache and an admission limiter, and
+// serves versioned run reports.
 type Server struct {
-	pool *exec.Pool
-	cfg  ServerConfig
+	cached *exec.Cached
+	lim    *limiter
+	cfg    ServerConfig
 
 	mu     sync.Mutex
 	nextID int
 	jobs   map[string]*jobEntry
 }
 
-// jobEntry is one accepted request: done closes when resp is final.
+// jobEntry is one accepted async request: done closes when resp is final.
 type jobEntry struct {
 	done chan struct{}
 	resp *runResponse
 }
 
-// runRequest is the body of POST /v1/run.
+// runRequest is the body of POST /v1/run (schema risc1.run-request/v1).
 type runRequest struct {
+	// Schema names the request contract; empty means v1.
+	Schema string `json:"schema,omitempty"`
 	// Name labels the run report; default "serve".
 	Name string `json:"name,omitempty"`
 	// Source is the MiniC program. It must store its result in the
@@ -69,42 +105,62 @@ type runRequest struct {
 	Async bool `json:"async,omitempty"`
 }
 
-// runResponse is the body of every /v1/run and /v1/jobs reply.
-type runResponse struct {
-	Schema  string `json:"schema"`
-	Version int    `json:"version"`
-	ID      string `json:"id,omitempty"`
-	// Status is one of ok, pending, compile_error, fuel_exhausted,
-	// deadline_exceeded, oversized, bad_request, not_found, error.
-	Status string      `json:"status"`
-	Value  *int32      `json:"value,omitempty"`
-	Error  string      `json:"error,omitempty"`
-	Report *obs.Report `json:"report,omitempty"`
+// apiError is the one error envelope every failure wears: a stable
+// machine-readable code plus a human-readable message.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-// httpStatus maps a response status to its HTTP code.
-func httpStatus(status string) int {
-	switch status {
-	case "ok":
+// runResponse is the body of every /v1/run and /v1/jobs reply (schema
+// risc1.run-response/v1). Exactly one of Status ("ok" / "pending") or
+// Error is set.
+type runResponse struct {
+	Schema string      `json:"schema"`
+	ID     string      `json:"id,omitempty"` // async jobs only
+	Status string      `json:"status,omitempty"`
+	Value  *int32      `json:"value,omitempty"`
+	Report *obs.Report `json:"report,omitempty"`
+	Error  *apiError   `json:"error,omitempty"`
+}
+
+// errResponse builds an envelope-only response.
+func errResponse(code, format string, args ...any) *runResponse {
+	return &runResponse{
+		Schema: ResponseSchemaV1,
+		Error:  &apiError{Code: code, Message: fmt.Sprintf(format, args...)},
+	}
+}
+
+// httpStatus maps a response to its HTTP code: the status for
+// successes, the error code for failures.
+func httpStatus(resp *runResponse) int {
+	if resp.Error == nil {
+		if resp.Status == "pending" {
+			return http.StatusAccepted
+		}
 		return http.StatusOK
-	case "pending":
-		return http.StatusAccepted
-	case "compile_error", "bad_request":
+	}
+	switch resp.Error.Code {
+	case codeBadRequest, codeCompileError:
 		return http.StatusBadRequest
-	case "not_found":
+	case codeNotFound:
 		return http.StatusNotFound
-	case "oversized":
+	case codeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case "fuel_exhausted":
+	case codeUnsupportedSchema, codeFuelExceeded:
 		return http.StatusUnprocessableEntity
-	case "deadline_exceeded":
+	case codeQueueFull:
+		return http.StatusTooManyRequests
+	case codeDeadline:
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-// NewServer wires the handlers onto a fresh mux.
+// NewServer wires the handlers over pool, fronted by a result cache and
+// an admission limiter.
 func NewServer(pool *exec.Pool, cfg ServerConfig) *Server {
 	if cfg.MaxSource <= 0 {
 		cfg.MaxSource = 1 << 20
@@ -115,7 +171,24 @@ func NewServer(pool *exec.Pool, cfg ServerConfig) *Server {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 10 * time.Second
 	}
-	return &Server{pool: pool, cfg: cfg, jobs: make(map[string]*jobEntry)}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 2 * cfg.MaxInflight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 256 << 20
+	}
+	return &Server{
+		cached: exec.NewCached(pool, cfg.CacheBytes),
+		lim:    newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		cfg:    cfg,
+		jobs:   make(map[string]*jobEntry),
+	}
 }
 
 // Handler returns the service's routes.
@@ -135,7 +208,7 @@ func writeJSON(w http.ResponseWriter, resp *runResponse) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(httpStatus(resp.Status))
+	w.WriteHeader(httpStatus(resp))
 	w.Write(append(b, '\n'))
 }
 
@@ -145,24 +218,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, &runResponse{
-				Schema: responseSchema, Version: responseVersion,
-				Status: "oversized",
-				Error:  fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxSource),
-			})
+			writeJSON(w, errResponse(codeBodyTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxSource))
 			return
 		}
-		writeJSON(w, &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			Status: "bad_request", Error: "invalid JSON: " + err.Error(),
-		})
+		writeJSON(w, errResponse(codeBadRequest, "invalid JSON: %v", err))
+		return
+	}
+	if req.Schema != "" && req.Schema != RequestSchemaV1 {
+		writeJSON(w, errResponse(codeUnsupportedSchema,
+			"unknown request schema %q; this server speaks %q", req.Schema, RequestSchemaV1))
 		return
 	}
 	if req.Source == "" {
-		writeJSON(w, &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			Status: "bad_request", Error: "missing source",
-		})
+		writeJSON(w, errResponse(codeBadRequest, "missing source"))
 		return
 	}
 
@@ -172,45 +241,49 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("job-%06d", s.nextID)
-	entry := &jobEntry{done: make(chan struct{})}
-	s.jobs[id] = entry
-	s.mu.Unlock()
-
-	// The job outlives the HTTP request in async mode, so it runs under
-	// the pool's lifetime, bounded by its own wall-clock budget.
-	tk, err := s.pool.Submit(context.Background(), spec.Job(id, timeout))
+	// Admission control: take an execution slot or join the bounded
+	// queue; a full queue is backpressure the client can act on.
+	release, err := s.lim.acquire(r.Context())
 	if err != nil {
-		resp := &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			ID: id, Status: "error", Error: err.Error(),
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, errResponse(codeQueueFull,
+				"server at capacity (%d running, %d queued); retry later",
+				s.cfg.MaxInflight, s.cfg.MaxQueue))
 		}
-		entry.resp = resp
-		close(entry.done)
-		writeJSON(w, resp)
+		// Otherwise the client hung up while waiting; nothing to write.
 		return
 	}
-	go func() {
-		res, _ := tk.Result(context.Background())
-		entry.resp = s.respFor(id, spec, res)
-		close(entry.done)
-	}()
 
 	if req.Async {
-		writeJSON(w, &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			ID: id, Status: "pending",
-		})
+		s.mu.Lock()
+		s.nextID++
+		id := fmt.Sprintf("job-%06d", s.nextID)
+		entry := &jobEntry{done: make(chan struct{})}
+		s.jobs[id] = entry
+		s.mu.Unlock()
+		// The job outlives the HTTP request: it runs under the pool's
+		// lifetime, bounded by its own wall-clock budget, and keeps its
+		// admission slot until it finishes.
+		go func() {
+			defer release()
+			cr, _, err := s.cached.Run(context.Background(), spec, timeout)
+			entry.resp = s.respFor(id, spec, cr, err)
+			close(entry.done)
+		}()
+		writeJSON(w, &runResponse{Schema: ResponseSchemaV1, ID: id, Status: "pending"})
 		return
 	}
-	select {
-	case <-entry.done:
-		writeJSON(w, entry.resp)
-	case <-r.Context().Done():
-		// The client hung up; the job keeps running for a later poll.
-	}
+
+	defer release()
+	// Synchronous path, through the content-addressed cache: identical
+	// in-flight requests collapse to one engine execution, repeats are
+	// served from memory, and the header says which happened. The run
+	// itself is deliberately not bound to r.Context(): a client that
+	// hangs up must not fail the computation for coalesced followers.
+	cr, outcome, err := s.cached.Run(context.Background(), spec, timeout)
+	w.Header().Set(CacheHeader, string(outcome))
+	writeJSON(w, s.respFor("", spec, cr, err))
 }
 
 // specFor validates and clamps a request into an exec.Spec.
@@ -220,10 +293,7 @@ func (s *Server) specFor(req runRequest) (exec.Spec, time.Duration, *runResponse
 		opt = *req.Opt
 	}
 	if opt < 0 || opt > 1 {
-		return exec.Spec{}, 0, &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			Status: "bad_request", Error: fmt.Sprintf("opt must be 0 or 1, got %d", opt),
-		}
+		return exec.Spec{}, 0, errResponse(codeBadRequest, "opt must be 0 or 1, got %d", opt)
 	}
 	var machine exec.Machine
 	switch req.Machine {
@@ -232,10 +302,7 @@ func (s *Server) specFor(req runRequest) (exec.Spec, time.Duration, *runResponse
 	case "cisc":
 		machine = exec.MachineCISC
 	default:
-		return exec.Spec{}, 0, &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			Status: "bad_request", Error: fmt.Sprintf("unknown machine %q", req.Machine),
-		}
+		return exec.Spec{}, 0, errResponse(codeBadRequest, "unknown machine %q", req.Machine)
 	}
 	fuel := req.Fuel
 	if fuel == 0 || fuel > s.cfg.MaxFuel {
@@ -259,32 +326,34 @@ func (s *Server) specFor(req runRequest) (exec.Spec, time.Duration, *runResponse
 	}, timeout, nil
 }
 
-// respFor classifies a finished job into the response vocabulary.
-func (s *Server) respFor(id string, spec exec.Spec, res exec.Result) *runResponse {
-	resp := &runResponse{Schema: responseSchema, Version: responseVersion, ID: id}
+// respFor classifies a finished (or cached) run into the response
+// vocabulary. infraErr is a failure of the serving machinery itself
+// (pool closed), distinct from the run's own outcome in cr.Err.
+func (s *Server) respFor(id string, spec exec.Spec, cr exec.CachedResult, infraErr error) *runResponse {
+	if infraErr != nil {
+		resp := errResponse(codeInternal, "%v", infraErr)
+		resp.ID = id
+		return resp
+	}
+	resp := &runResponse{Schema: ResponseSchemaV1, ID: id}
 	switch {
-	case res.Err == nil:
-		out := res.Value.(exec.Outcome)
+	case cr.Err == nil:
 		resp.Status = "ok"
-		resp.Value = &out.Value
-		rep := out.Report
-		rep.Exec = &obs.ExecStat{Attempts: res.Attempts, FuelLimit: spec.Fuel}
+		v := cr.Outcome.Value
+		resp.Value = &v
+		rep := cr.Outcome.Report
+		rep.Exec = &obs.ExecStat{Attempts: cr.Attempts, FuelLimit: spec.Fuel}
 		resp.Report = &rep
-	case errors.As(res.Err, new(*exec.CompileError)):
-		resp.Status = "compile_error"
-		resp.Error = res.Err.Error()
-	case exec.IsFuelExhausted(res.Err):
-		resp.Status = "fuel_exhausted"
-		resp.Error = res.Err.Error()
-	case errors.Is(res.Err, context.DeadlineExceeded):
-		resp.Status = "deadline_exceeded"
-		resp.Error = "simulation deadline exceeded"
-	case errors.As(res.Err, new(*exec.PanicError)):
-		resp.Status = "error"
-		resp.Error = "internal error: job panicked"
+	case errors.As(cr.Err, new(*exec.CompileError)):
+		resp.Error = &apiError{Code: codeCompileError, Message: cr.Err.Error()}
+	case exec.IsFuelExhausted(cr.Err):
+		resp.Error = &apiError{Code: codeFuelExceeded, Message: cr.Err.Error()}
+	case errors.Is(cr.Err, context.DeadlineExceeded):
+		resp.Error = &apiError{Code: codeDeadline, Message: "simulation deadline exceeded"}
+	case errors.As(cr.Err, new(*exec.PanicError)):
+		resp.Error = &apiError{Code: codeInternal, Message: "internal error: job panicked"}
 	default:
-		resp.Status = "error"
-		resp.Error = res.Err.Error()
+		resp.Error = &apiError{Code: codeInternal, Message: cr.Err.Error()}
 	}
 	return resp
 }
@@ -295,20 +364,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		writeJSON(w, &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			Status: "not_found", Error: fmt.Sprintf("no job %q", id),
-		})
+		writeJSON(w, errResponse(codeNotFound, "no job %q", id))
 		return
 	}
 	select {
 	case <-entry.done:
 		writeJSON(w, entry.resp)
 	default:
-		writeJSON(w, &runResponse{
-			Schema: responseSchema, Version: responseVersion,
-			ID: id, Status: "pending",
-		})
+		writeJSON(w, &runResponse{Schema: ResponseSchemaV1, ID: id, Status: "pending"})
 	}
 }
 
@@ -317,7 +380,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
+// handleMetrics exports every layer's gauges and counters in the
+// Prometheus text exposition format: the pool, the level-2 result
+// cache, the level-1 compiled-program cache, and the admission limiter.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprint(w, s.pool.Stats().Prometheus())
+	pool := s.cached.Pool()
+	fmt.Fprint(w, pool.Stats().Prometheus())
+	fmt.Fprint(w, s.cached.Stats().Prometheus("risc1_rcache"))
+	fmt.Fprint(w, pool.ProgramCacheStats().Prometheus("risc1_progcache"))
+	fmt.Fprint(w, s.lim.Stats().Prometheus("risc1_http"))
 }
+
+// CacheStats exposes the result cache for tests and tools.
+func (s *Server) CacheStats() obs.CacheStats { return s.cached.Stats() }
+
+// LimiterStats exposes the admission limiter for tests and tools.
+func (s *Server) LimiterStats() obs.LimiterStats { return s.lim.Stats() }

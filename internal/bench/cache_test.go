@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepCacheCounters pins the exact cache accounting of a serial
+// sweep: one miss per workload, repeats hits per workload, nothing
+// coalesced, and the reconciliation identity hits + misses + coalesced
+// == requests.
+func TestSweepCacheCounters(t *testing.T) {
+	suite := Suite(Small())
+	const repeats = 3
+	sweep, err := SweepCache(suite, repeats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(len(suite))
+	s := sweep.Stats
+	if s.Misses != n || s.Hits != n*repeats || s.Coalesced != 0 {
+		t.Errorf("stats = %+v, want %d misses / %d hits / 0 coalesced", s, n, n*repeats)
+	}
+	if s.Hits+s.Misses+s.Coalesced != n*(repeats+1) {
+		t.Errorf("counters do not reconcile to %d requests: %+v", n*(repeats+1), s)
+	}
+	if len(sweep.Rows) != len(suite) {
+		t.Fatalf("rows = %d, want %d", len(sweep.Rows), len(suite))
+	}
+	out := TableCacheSweep(sweep)
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "cache counters") {
+		t.Errorf("table missing expected sections:\n%s", out)
+	}
+}
+
+// TestSweepCacheSpeedup is the acceptance bar for the hit path: on the
+// heaviest workload of the small suite, serving from the cache must be
+// at least 5x faster than compiling and simulating. The real margin is
+// orders of magnitude (a map lookup against a full compile+simulate);
+// 5x just keeps the assertion robust on noisy CI hosts.
+func TestSweepCacheSpeedup(t *testing.T) {
+	sweep, err := SweepCache(Suite(Small()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, r := range sweep.Rows {
+		if r.Speedup > best {
+			best = r.Speedup
+		}
+	}
+	if best < 5 {
+		t.Errorf("best hit-path speedup = %.1fx, want >= 5x\n%s", best, TableCacheSweep(sweep))
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"risc1/internal/asm"
 	"risc1/internal/cc"
-	"risc1/internal/cc/opt"
 	"risc1/internal/cpu"
 	"risc1/internal/exec"
 	"risc1/internal/mem"
@@ -92,7 +91,10 @@ func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
 // the per-worker simulator to reuse, and ctx bounds the run. This is
 // the function CompareAllOn submits to the pool.
 func RunRISCOn(ctx context.Context, sims *exec.Sims, w Workload, cfg RiscConfig) (RiscRun, error) {
-	prog, text, stats, err := cc.CompileRISC(w.Source, cc.Options{Opt: cfg.Opt, DelaySlots: cfg.Optimize})
+	// Compiling through the Sims goes via the pool's shared program
+	// cache, so a sweep resubmitting one workload under many machine
+	// configurations compiles it once (nil sims compile directly).
+	prog, text, passes, err := sims.CompileRISC(ctx, w.Source, cc.Options{Opt: cfg.Opt, DelaySlots: cfg.Optimize})
 	if err != nil {
 		return RiscRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
@@ -136,23 +138,11 @@ func RunRISCOn(ctx context.Context, sims *exec.Sims, w Workload, cfg RiscConfig)
 	run.Report.ICache = nil // host machinery; see the field comment
 	run.Report.Config.Optimized = cfg.Optimize
 	run.Report.Config.OptLevel = cfg.Opt
-	run.Report.Config.Passes = passStats(stats)
+	run.Report.Config.Passes = passes
 	if run.Result != w.Expected {
 		return run, fmt.Errorf("bench %s (risc): result %d, want %d", w.Name, run.Result, w.Expected)
 	}
 	return run, nil
-}
-
-// passStats mirrors the compiler's pass statistics into the report's
-// own type, dropping passes that did nothing.
-func passStats(stats []opt.Stat) []obs.PassStat {
-	var out []obs.PassStat
-	for _, s := range stats {
-		if s.Rewrites > 0 {
-			out = append(out, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
-		}
-	}
-	return out
 }
 
 // RunVAX compiles and executes a workload on the CISC baseline.
@@ -162,7 +152,7 @@ func RunVAX(w Workload, cfg VaxConfig) (VaxRun, error) {
 
 // RunVAXOn is RunVAX on a batch worker, mirroring RunRISCOn.
 func RunVAXOn(ctx context.Context, sims *exec.Sims, w Workload, cfg VaxConfig) (VaxRun, error) {
-	prog, text, stats, err := cc.CompileVAX(w.Source, cc.Options{Opt: cfg.Opt})
+	prog, text, passes, err := sims.CompileVAX(ctx, w.Source, cc.Options{Opt: cfg.Opt})
 	if err != nil {
 		return VaxRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
@@ -199,7 +189,7 @@ func RunVAXOn(ctx context.Context, sims *exec.Sims, w Workload, cfg VaxConfig) (
 		Report:       c.BuildReport(w.Name),
 	}
 	run.Report.Config.OptLevel = cfg.Opt
-	run.Report.Config.Passes = passStats(stats)
+	run.Report.Config.Passes = passes
 	if run.Result != w.Expected {
 		return run, fmt.Errorf("bench %s (vax): result %d, want %d", w.Name, run.Result, w.Expected)
 	}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"risc1/internal/obs"
+	"risc1/internal/rcache"
 )
 
 // ErrClosed is returned by Submit after Close or Shutdown.
@@ -71,13 +72,19 @@ type Config struct {
 	// DefaultTimeout bounds jobs that do not set their own; zero means
 	// no limit.
 	DefaultTimeout time.Duration
+	// ProgramCacheBytes budgets the pool-wide compiled-program cache
+	// (level 1 of internal/rcache): identical sources compile once
+	// pool-wide instead of once per job. Zero means a 64 MiB default;
+	// negative disables the cache.
+	ProgramCacheBytes int64
 }
 
 // Pool is the engine. Create with NewPool; all methods are safe for
 // concurrent use.
 type Pool struct {
-	cfg  Config
-	jobs chan *task
+	cfg   Config
+	jobs  chan *task
+	progs *rcache.Cache // shared compiled-program cache; nil when disabled
 
 	// baseCtx is cancelled by Shutdown, aborting running jobs and
 	// unblocking full-queue submitters.
@@ -116,13 +123,28 @@ func NewPool(cfg Config) *Pool {
 	if cfg.Queue <= 0 {
 		cfg.Queue = 2 * cfg.Workers
 	}
+	if cfg.ProgramCacheBytes == 0 {
+		cfg.ProgramCacheBytes = 64 << 20
+	}
 	p := &Pool{cfg: cfg, jobs: make(chan *task, cfg.Queue)}
+	if cfg.ProgramCacheBytes > 0 {
+		p.progs = rcache.New(cfg.ProgramCacheBytes)
+	}
 	p.baseCtx, p.abort = context.WithCancel(context.Background())
 	p.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go p.worker()
 	}
 	return p
+}
+
+// ProgramCacheStats snapshots the compiled-program cache; zero when the
+// cache is disabled.
+func (p *Pool) ProgramCacheStats() obs.CacheStats {
+	if p.progs == nil {
+		return obs.CacheStats{}
+	}
+	return p.progs.Stats()
 }
 
 // Stats snapshots the pool's gauges and counters.
@@ -269,6 +291,7 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 func (p *Pool) worker() {
 	defer p.workerWG.Done()
 	sims := NewSims()
+	sims.progs = p.progs
 	for t := range p.jobs {
 		p.runTask(sims, t)
 	}

@@ -1,7 +1,13 @@
 package exec
 
 import (
+	"context"
+
+	"risc1/internal/asm"
+	"risc1/internal/cc"
 	"risc1/internal/cpu"
+	"risc1/internal/obs"
+	"risc1/internal/rcache"
 	"risc1/internal/vax"
 )
 
@@ -12,9 +18,15 @@ import (
 // is what makes reuse safe (pinned by the cross-job leakage tests).
 //
 // A Sims is confined to its worker goroutine and must not be shared.
+// The exception is progs, the pool-wide compiled-program cache every
+// worker's Sims points at: compiled programs are immutable after
+// assembly (LoadInto and Symbol only read them), so sharing them across
+// workers is safe, and a sweep that submits the same source many times
+// compiles it once.
 type Sims struct {
-	risc map[cpu.Config]*cpu.CPU
-	vax  map[vax.Config]*vax.CPU
+	risc  map[cpu.Config]*cpu.CPU
+	vax   map[vax.Config]*vax.CPU
+	progs *rcache.Cache // shared, concurrency-safe; nil outside a pool
 }
 
 // NewSims returns an empty cache.
@@ -53,4 +65,105 @@ func (s *Sims) VAX(cfg vax.Config) *vax.CPU {
 	}
 	c.SetMaxInstructions(cfg.MaxInstructions)
 	return c
+}
+
+// compiledRISC is one level-1 cache entry: an immutable compiled
+// program plus the report-ready compile artifacts, shared by every job
+// that asks for the same (source, opt, delay-slot) combination.
+type compiledRISC struct {
+	prog   *asm.Program
+	text   string
+	passes []obs.PassStat
+}
+
+// compiledVAX is the CISC counterpart of compiledRISC.
+type compiledVAX struct {
+	prog   *vax.Program
+	text   string
+	passes []obs.PassStat
+}
+
+// CompileRISC compiles MiniC for RISC I through the pool's shared
+// program cache: identical (source, options) pairs compile once
+// pool-wide, with concurrent identical compiles collapsed to a single
+// run. Outside a pool (nil receiver or no cache) it compiles directly.
+// The returned program and pass list are shared and must be treated as
+// read-only. Front-end failures return a *CompileError.
+func (s *Sims) CompileRISC(ctx context.Context, source string, o cc.Options) (*asm.Program, string, []obs.PassStat, error) {
+	if s == nil || s.progs == nil {
+		prog, text, stats, err := cc.CompileRISC(source, o)
+		if err != nil {
+			return nil, "", nil, &CompileError{Err: err}
+		}
+		return prog, text, passStats(stats), nil
+	}
+	key := rcache.NewKey("risc1.compile/v1").
+		Str("machine", string(MachineRISC)).
+		Str("source", source).
+		Int("opt", int64(o.Opt)).
+		Bool("delaySlots", o.DelaySlots).
+		Sum()
+	v, _, err := s.progs.Do(ctx, key, func() (any, int64, error) {
+		prog, text, stats, err := cc.CompileRISC(source, o)
+		if err != nil {
+			return nil, 0, &CompileError{Err: err}
+		}
+		cp := compiledRISC{prog: prog, text: text, passes: passStats(stats)}
+		return cp, riscProgramSize(cp), nil
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	cp := v.(compiledRISC)
+	return cp.prog, cp.text, cp.passes, nil
+}
+
+// CompileVAX is CompileRISC for the CISC baseline.
+func (s *Sims) CompileVAX(ctx context.Context, source string, o cc.Options) (*vax.Program, string, []obs.PassStat, error) {
+	if s == nil || s.progs == nil {
+		prog, text, stats, err := cc.CompileVAX(source, o)
+		if err != nil {
+			return nil, "", nil, &CompileError{Err: err}
+		}
+		return prog, text, passStats(stats), nil
+	}
+	key := rcache.NewKey("risc1.compile/v1").
+		Str("machine", string(MachineCISC)).
+		Str("source", source).
+		Int("opt", int64(o.Opt)).
+		Sum()
+	v, _, err := s.progs.Do(ctx, key, func() (any, int64, error) {
+		prog, text, stats, err := cc.CompileVAX(source, o)
+		if err != nil {
+			return nil, 0, &CompileError{Err: err}
+		}
+		cp := compiledVAX{prog: prog, text: text, passes: passStats(stats)}
+		return cp, vaxProgramSize(cp), nil
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	cp := v.(compiledVAX)
+	return cp.prog, cp.text, cp.passes, nil
+}
+
+// riscProgramSize approximates a compiled program's memory footprint
+// for the cache's byte budget: segment bytes, the assembly listing, and
+// a fixed allowance for symbols and headers.
+func riscProgramSize(cp compiledRISC) int64 {
+	n := int64(len(cp.text)) + 512
+	for _, seg := range cp.prog.Segments {
+		n += int64(len(seg.Data))
+	}
+	n += int64(len(cp.prog.Symbols)) * 32
+	return n
+}
+
+func vaxProgramSize(cp compiledVAX) int64 {
+	n := int64(len(cp.text)) + 512
+	for _, seg := range cp.prog.Segments {
+		n += int64(len(seg.Data))
+	}
+	n += int64(len(cp.prog.Symbols)) * 32
+	return n
 }

@@ -10,6 +10,7 @@ import (
 	"risc1/internal/cc/opt"
 	"risc1/internal/cpu"
 	"risc1/internal/obs"
+	"risc1/internal/rcache"
 	"risc1/internal/vax"
 )
 
@@ -95,9 +96,9 @@ func (s Spec) Run(ctx context.Context, sims *Sims) (Outcome, error) {
 }
 
 func (s Spec) runRISC(ctx context.Context, sims *Sims, sym string) (Outcome, error) {
-	prog, _, stats, err := cc.CompileRISC(s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots})
+	prog, _, passes, err := sims.CompileRISC(ctx, s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots})
 	if err != nil {
-		return Outcome{}, &CompileError{Err: err}
+		return Outcome{}, err
 	}
 	c := sims.RISC(cpu.Config{Windows: s.Windows, NoWindows: s.NoWindows, MaxInstructions: s.Fuel})
 	c.Reset(prog.Entry)
@@ -119,14 +120,14 @@ func (s Spec) runRISC(ctx context.Context, sims *Sims, sym string) (Outcome, err
 	rep.ICache = nil // host machinery accumulated across the worker's jobs
 	rep.Config.Optimized = s.DelaySlots
 	rep.Config.OptLevel = s.Opt
-	rep.Config.Passes = passStats(stats)
+	rep.Config.Passes = passes
 	return Outcome{Value: int32(v), Report: rep}, nil
 }
 
 func (s Spec) runVAX(ctx context.Context, sims *Sims, sym string) (Outcome, error) {
-	prog, _, stats, err := cc.CompileVAX(s.Source, cc.Options{Opt: s.Opt})
+	prog, _, passes, err := sims.CompileVAX(ctx, s.Source, cc.Options{Opt: s.Opt})
 	if err != nil {
-		return Outcome{}, &CompileError{Err: err}
+		return Outcome{}, err
 	}
 	c := sims.VAX(vax.Config{MaxInstructions: s.Fuel})
 	c.Reset(prog.Entry)
@@ -146,8 +147,37 @@ func (s Spec) runVAX(ctx context.Context, sims *Sims, sym string) (Outcome, erro
 	}
 	rep := c.BuildReport(s.Name)
 	rep.Config.OptLevel = s.Opt
-	rep.Config.Passes = passStats(stats)
+	rep.Config.Passes = passes
 	return Outcome{Value: int32(v), Report: rep}, nil
+}
+
+// CacheKey is the spec's content address for level-2 result caching:
+// every field that reaches the run report or the result word is folded
+// into the hash, plus the wall-clock budget (two requests differing
+// only in deadline may legitimately differ in outcome). Defaults are
+// normalized first so a spec asking for "risc1" explicitly and one
+// leaving Machine empty address the same entry.
+func (s Spec) CacheKey(timeout time.Duration) rcache.Key {
+	machine := s.Machine
+	if machine == "" {
+		machine = MachineRISC
+	}
+	sym := s.ResultSym
+	if sym == "" {
+		sym = "result"
+	}
+	return rcache.NewKey("risc1.run/v1").
+		Str("name", s.Name).
+		Str("machine", string(machine)).
+		Str("source", s.Source).
+		Int("opt", int64(s.Opt)).
+		Bool("delaySlots", s.DelaySlots).
+		Int("windows", int64(s.Windows)).
+		Bool("noWindows", s.NoWindows).
+		Uint("fuel", s.Fuel).
+		Str("resultSym", sym).
+		Int("timeoutNS", int64(timeout)).
+		Sum()
 }
 
 // passStats mirrors compiler pass statistics into the report's own type,

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheStats is a point-in-time snapshot of a content-addressed result
+// cache (internal/rcache): the gauges risc1-serve exports on /metrics
+// and the cache tests reconcile. Every lookup is classified exactly one
+// way — Hits + Misses + Coalesced == lookups — which is what lets the
+// serve tests prove a thundering herd collapsed to one execution.
+type CacheStats struct {
+	// Gauges: current occupancy against the byte budget.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Budget  int64 `json:"budget"`
+
+	// Counters: totals since the cache was built.
+	Hits      uint64 `json:"hits"`      // served from a stored entry
+	Misses    uint64 `json:"misses"`    // computed by this lookup
+	Coalesced uint64 `json:"coalesced"` // waited on another lookup's in-flight compute
+	Evictions uint64 `json:"evictions"` // entries dropped to fit the byte budget
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format under the given metric prefix (e.g. "risc1_rcache").
+func (s CacheStats) Prometheus(prefix string) string {
+	var b strings.Builder
+	row := func(name, kind string, v any) {
+		fmt.Fprintf(&b, "# TYPE %s_%s %s\n%s_%s %v\n", prefix, name, kind, prefix, name, v)
+	}
+	row("entries", "gauge", s.Entries)
+	row("bytes", "gauge", s.Bytes)
+	row("budget_bytes", "gauge", s.Budget)
+	row("hits_total", "counter", s.Hits)
+	row("misses_total", "counter", s.Misses)
+	row("coalesced_total", "counter", s.Coalesced)
+	row("evictions_total", "counter", s.Evictions)
+	return b.String()
+}
+
+// LimiterStats is a point-in-time snapshot of an HTTP admission
+// limiter: how many requests hold an execution slot, how many wait in
+// the bounded accept queue, and how many have been turned away with
+// backpressure (429).
+type LimiterStats struct {
+	InflightCap int `json:"inflightCap"`
+	QueueCap    int `json:"queueCap"`
+
+	// Gauges: current occupancy.
+	Inflight int64 `json:"inflight"`
+	Waiting  int64 `json:"waiting"`
+
+	// Counters: totals since the limiter was built.
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"` // refused with 429 queue_full
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format under the given metric prefix (e.g. "risc1_http").
+func (s LimiterStats) Prometheus(prefix string) string {
+	var b strings.Builder
+	row := func(name, kind string, v any) {
+		fmt.Fprintf(&b, "# TYPE %s_%s %s\n%s_%s %v\n", prefix, name, kind, prefix, name, v)
+	}
+	row("inflight_capacity", "gauge", s.InflightCap)
+	row("queue_capacity", "gauge", s.QueueCap)
+	row("requests_inflight", "gauge", s.Inflight)
+	row("requests_waiting", "gauge", s.Waiting)
+	row("requests_admitted_total", "counter", s.Admitted)
+	row("requests_rejected_total", "counter", s.Rejected)
+	return b.String()
+}

@@ -1,0 +1,190 @@
+// Package rcache is a content-addressed result cache for deterministic
+// computations: compiled programs (level 1) and whole run results
+// (level 2) keyed by a canonical hash of everything that determines the
+// output. Because the tool chain is deterministic end to end — PR 4
+// pinned byte-identical run reports across worker counts — a cache hit
+// is not an approximation of a recompute, it IS the recompute, and the
+// differential tests in internal/exec and cmd/risc1-serve enforce the
+// byte-identity.
+//
+// The cache is LRU-bounded by a byte budget and collapses concurrent
+// identical lookups with singleflight: while one caller computes a key,
+// later callers for the same key wait for that computation instead of
+// repeating it, so a thundering herd of the same program compiles and
+// simulates exactly once. Every lookup is classified as exactly one of
+// Hit, Miss, or Coalesced; hits + misses + coalesced always equals the
+// number of lookups, which the serving tests reconcile against their
+// request counts.
+package rcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"risc1/internal/obs"
+)
+
+// Outcome classifies one lookup. The serve layer surfaces it verbatim
+// in the X-Risc1-Cache response header.
+type Outcome string
+
+const (
+	// Hit: the value was already stored; no computation ran.
+	Hit Outcome = "hit"
+	// Miss: this lookup ran the computation (whether or not the result
+	// was storable afterwards).
+	Miss Outcome = "miss"
+	// Coalesced: another lookup was already computing this key; this one
+	// waited for it and shares its result.
+	Coalesced Outcome = "coalesced"
+)
+
+// ComputeFn produces the value for a key on a cache miss. It returns
+// the value, its approximate size in bytes, and an error:
+//
+//   - err != nil: nothing is stored; the error (and value, which may
+//     still be meaningful) is handed to every coalesced waiter.
+//   - err == nil, size >= 0: the value is stored under the byte budget.
+//   - err == nil, size < 0: the value is valid and returned to every
+//     waiter, but not stored — for results that are correct once but
+//     not deterministic (a wall-clock deadline, a panic).
+type ComputeFn func() (v any, size int64, err error)
+
+// Cache is a byte-budgeted LRU with singleflight lookup collapsing.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[Key]*list.Element
+	flight map[Key]*call
+
+	hits, misses, coalesced, evictions uint64
+}
+
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+// call is one in-flight computation; done closes when val/err are final.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New builds a cache holding at most budget bytes of values (as
+// reported by each ComputeFn). A budget <= 0 stores nothing but still
+// collapses concurrent identical lookups.
+func New(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[Key]*list.Element),
+		flight: make(map[Key]*call),
+	}
+}
+
+// Do returns the value for key, computing it with fn on a miss. While
+// one caller's fn runs, concurrent Do calls for the same key wait for
+// it (Coalesced) rather than recomputing; callers for other keys
+// proceed independently. ctx bounds only the waiting of a coalesced
+// caller — the computation itself runs on the caller that missed and is
+// bounded by whatever fn arranges.
+func (c *Cache) Do(ctx context.Context, key Key, fn ComputeFn) (any, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, Hit, nil
+	}
+	if fl, ok := c.flight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.val, Coalesced, fl.err
+		case <-ctx.Done():
+			return nil, Coalesced, ctx.Err()
+		}
+	}
+	fl := &call{done: make(chan struct{})}
+	c.flight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	v, size, err := fn()
+	fl.val, fl.err = v, err
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil && size >= 0 {
+		c.store(key, v, size)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return v, Miss, err
+}
+
+// Get is a pure lookup: it returns a stored value without computing or
+// coalescing, and counts neither a hit nor a miss. Tests and metrics
+// probes use it; the serving path goes through Do.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// store inserts under the budget, evicting LRU entries to fit. Called
+// with c.mu held. Values larger than the whole budget are not stored.
+func (c *Cache) store(key Key, v any, size int64) {
+	if c.budget <= 0 || size > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// A racing Put for the same key: replace in place.
+		old := el.Value.(*entry)
+		c.used += size - old.size
+		old.val, old.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: v, size: size})
+		c.used += size
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= e.size
+		c.evictions++
+	}
+}
+
+// Stats snapshots the cache's gauges and counters.
+func (c *Cache) Stats() obs.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.used,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+	}
+}

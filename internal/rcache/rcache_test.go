@@ -1,0 +1,245 @@
+package rcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustDo(t *testing.T, c *Cache, key Key, fn ComputeFn) (any, Outcome) {
+	t.Helper()
+	v, out, err := c.Do(context.Background(), key, fn)
+	if err != nil {
+		t.Fatalf("Do(%s): %v", key, err)
+	}
+	return v, out
+}
+
+// TestHitMiss covers the basic contract: first lookup computes, second
+// returns the stored value without calling fn.
+func TestHitMiss(t *testing.T) {
+	c := New(1 << 20)
+	calls := 0
+	fn := func() (any, int64, error) { calls++; return "v", 1, nil }
+
+	v, out := mustDo(t, c, "k", fn)
+	if v != "v" || out != Miss || calls != 1 {
+		t.Fatalf("first lookup: v=%v out=%v calls=%d", v, out, calls)
+	}
+	v, out = mustDo(t, c, "k", func() (any, int64, error) {
+		t.Fatal("fn called on a hit")
+		return nil, 0, nil
+	})
+	if v != "v" || out != Hit {
+		t.Fatalf("second lookup: v=%v out=%v", v, out)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Coalesced != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+// TestByteBudgetLRU fills past the budget and checks the least recently
+// used entries fall out, with evictions counted and bytes reconciled.
+func TestByteBudgetLRU(t *testing.T) {
+	c := New(30)
+	for i := 0; i < 4; i++ {
+		key := Key(fmt.Sprintf("k%d", i))
+		mustDo(t, c, key, func() (any, int64, error) { return i, 10, nil })
+	}
+	// 4 x 10 bytes into a 30-byte budget: k0 (the oldest) must be gone.
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 survived past the budget")
+	}
+	for _, k := range []Key{"k1", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s missing", k)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Bytes != 30 || s.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction, 30 bytes, 3 entries", s)
+	}
+
+	// Touching k1 makes k2 the LRU victim of the next insert.
+	c.Get("k1")
+	mustDo(t, c, "k4", func() (any, int64, error) { return 4, 10, nil })
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 survived; LRU order ignores Get recency")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("recently used k1 evicted")
+	}
+}
+
+// TestOversizedAndNegativeSize: values larger than the whole budget and
+// values reported with size < 0 are returned but never stored.
+func TestOversizedAndNegativeSize(t *testing.T) {
+	c := New(10)
+	mustDo(t, c, "big", func() (any, int64, error) { return "x", 11, nil })
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized value stored")
+	}
+	v, _ := mustDo(t, c, "skip", func() (any, int64, error) { return "y", -1, nil })
+	if v != "y" {
+		t.Errorf("negative-size value = %v, want y", v)
+	}
+	if _, ok := c.Get("skip"); ok {
+		t.Error("size<0 value stored")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("stats = %+v, want empty", s)
+	}
+}
+
+// TestZeroBudget: a cache with no budget stores nothing but still
+// returns computed values.
+func TestZeroBudget(t *testing.T) {
+	c := New(0)
+	mustDo(t, c, "k", func() (any, int64, error) { return 1, 0, nil })
+	if _, ok := c.Get("k"); ok {
+		t.Error("zero-budget cache stored an entry")
+	}
+	if s := c.Stats(); s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 miss", s)
+	}
+}
+
+// TestErrorsNotCached: a failing compute is re-run on the next lookup.
+func TestErrorsNotCached(t *testing.T) {
+	c := New(1 << 10)
+	boom := errors.New("boom")
+	calls := 0
+	fn := func() (any, int64, error) { calls++; return nil, 0, boom }
+	if _, _, err := c.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (errors must not be cached)", calls)
+	}
+}
+
+// TestSingleflight: N concurrent lookups of one cold key run fn once;
+// everyone gets the same value; the classification counters add up to
+// exactly N.
+func TestSingleflight(t *testing.T) {
+	const n = 32
+	c := New(1 << 20)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	fn := func() (any, int64, error) {
+		computes.Add(1)
+		<-gate // hold every other caller in the coalesced path
+		return "shared", 6, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	outcomes := make([]Outcome, n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			v, out, err := c.Do(context.Background(), "k", fn)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], outcomes[i] = v, out
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	// Give the stragglers a beat to reach Do before releasing the gate;
+	// exact interleaving doesn't matter — the counters must reconcile
+	// whatever it was.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	var hits, misses, coalesced int
+	for i := 0; i < n; i++ {
+		if results[i] != "shared" {
+			t.Fatalf("result[%d] = %v, want shared", i, results[i])
+		}
+		switch outcomes[i] {
+		case Hit:
+			hits++
+		case Miss:
+			misses++
+		case Coalesced:
+			coalesced++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("misses = %d, want exactly 1", misses)
+	}
+	if hits+misses+coalesced != n {
+		t.Errorf("hits(%d)+misses(%d)+coalesced(%d) != %d requests", hits, misses, coalesced, n)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses+s.Coalesced != n {
+		t.Errorf("stats %+v do not reconcile to %d lookups", s, n)
+	}
+}
+
+// TestCoalescedContextCancel: a waiter whose context dies while the
+// leader computes gets the context error, not a hang.
+func TestCoalescedContextCancel(t *testing.T) {
+	c := New(1 << 10)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (any, int64, error) {
+		close(leaderIn)
+		<-gate
+		return 1, 1, nil
+	})
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.Do(ctx, "k", func() (any, int64, error) {
+		t.Error("waiter must not compute")
+		return nil, 0, nil
+	})
+	if !errors.Is(err, context.Canceled) || out != Coalesced {
+		t.Errorf("got out=%v err=%v, want coalesced context.Canceled", out, err)
+	}
+	close(gate)
+}
+
+// TestKeyBuilder: field values, field order, and domains all separate
+// keys; equal field sequences agree.
+func TestKeyBuilder(t *testing.T) {
+	k1 := NewKey("d").Str("src", "int main(){}").Int("opt", 1).Sum()
+	k2 := NewKey("d").Str("src", "int main(){}").Int("opt", 1).Sum()
+	if k1 != k2 {
+		t.Error("identical field sequences produced different keys")
+	}
+	distinct := map[Key]string{k1: "base"}
+	for name, k := range map[string]Key{
+		"different value":  NewKey("d").Str("src", "int main(){}").Int("opt", 0).Sum(),
+		"different domain": NewKey("e").Str("src", "int main(){}").Int("opt", 1).Sum(),
+		"different order":  NewKey("d").Int("opt", 1).Str("src", "int main(){}").Sum(),
+		"value into name":  NewKey("d").Str("src", "int main(){}opt").Int("", 1).Sum(),
+		"uint vs int":      NewKey("d").Str("src", "int main(){}").Uint("opt", 1).Sum(),
+		"bool vs int":      NewKey("d").Str("src", "int main(){}").Bool("opt", true).Sum(),
+	} {
+		if prev, dup := distinct[k]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		distinct[k] = name
+	}
+}
