@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet staticcheck race check bench
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional locally (no network required to develop) but
+# runs unconditionally in CI, which installs it first.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-# The full verification suite: tier-1 (build + test) plus vet and the
-# race detector. Same as scripts/check.sh.
-check: build vet test race
+# The full verification suite: tier-1 (build + test) plus vet,
+# staticcheck (when installed) and the race detector. Same as
+# scripts/check.sh.
+check: build vet staticcheck test race
 
 # Host-speed benchmarks, including the icache on/off comparison.
 bench:

@@ -50,6 +50,7 @@ func main() {
 	top := flag.Int("top", 10, "rows in the profile and report hot-spot listings")
 	opt := flag.Int("opt", 1, "MiniC optimization level, also spelled -O0/-O1 (.c input only)")
 	emitIR := flag.Bool("emit-ir", false, "print the compiler IR and exit (.c input only)")
+	stepBack := flag.Uint64("step-back", 0, "time travel: after the run ends, rewind the machine N instructions and print its state there")
 	flag.CommandLine.Parse(cc.NormalizeOptFlags(os.Args[1:]))
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: risc1-run [flags] file.s|file.c")
@@ -138,6 +139,18 @@ func main() {
 	c.Reset(prog.Entry)
 	if err := prog.LoadInto(c.Mem); err != nil {
 		fatal(err)
+	}
+	if *stepBack > 0 {
+		// Time travel rewinds the machine through snapshots, which do not
+		// carry observer state — replayed instructions would be observed
+		// twice. Keep the modes separate.
+		if needTrace || needProf {
+			fatal(fmt.Errorf("-step-back cannot be combined with -trace, -profile or -report"))
+		}
+		if err := timeTravel(c, *stepBack, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "risc1-run: run ended with:", err)
+		}
+		return
 	}
 	runErr := c.Run()
 	if o != nil {

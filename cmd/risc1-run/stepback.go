@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"risc1/internal/cpu"
+)
+
+// stepBackInterval is how many instructions run between time-travel
+// checkpoints. Rewinding costs at most one interval of re-execution on
+// top of an O(touched pages) snapshot restore.
+const stepBackInterval = 1024
+
+// stepBackRing is how many checkpoints are retained. Older history is
+// still reachable through the initial checkpoint — rewinding past the
+// ring just replays from the start, trading time for memory.
+const stepBackRing = 64
+
+// timeTravel runs the machine to completion while taking periodic
+// copy-on-write checkpoints, then rewinds it to the state it had
+// stepBack instructions before the end (clamped to the start). The
+// machine is left at the rewound state for inspection; the run's
+// terminal error (fault, limit) is returned alongside the totals so the
+// caller can report how the run ended.
+//
+// Checkpoints are memory-cheap: each shares untouched pages with its
+// neighbors, so a long run with a small working set keeps the whole
+// ring in a few hundred kilobytes.
+func timeTravel(c *cpu.CPU, stepBack uint64, w io.Writer) (runErr error) {
+	checkpoints := []*cpu.Snapshot{c.Snapshot()} // instruction 0, never evicted
+	defer func() {
+		for _, s := range checkpoints {
+			s.Release()
+		}
+	}()
+
+	done := false
+	for !done {
+		var err error
+		done, err = c.RunSteps(stepBackInterval)
+		if err != nil {
+			runErr = err
+			break
+		}
+		if !done {
+			checkpoints = append(checkpoints, c.Snapshot())
+			if len(checkpoints) > 1+stepBackRing {
+				// Evict the oldest ring entry, keeping checkpoint 0.
+				checkpoints[1].Release()
+				checkpoints = append(checkpoints[:1], checkpoints[2:]...)
+			}
+		}
+	}
+
+	total := c.Trace.Instructions
+	target := uint64(0)
+	if stepBack < total {
+		target = total - stepBack
+	}
+	fmt.Fprintf(w, "time travel: run ended at instruction %d; rewinding to instruction %d (-step-back %d)\n",
+		total, target, stepBack)
+
+	// Restore the newest checkpoint at or before the target, then replay
+	// forward to it. Checkpoints are instruction-ordered.
+	best := checkpoints[0]
+	for _, s := range checkpoints[1:] {
+		if s.Instructions() <= target {
+			best = s
+		}
+	}
+	c.Restore(best)
+	if replay := target - best.Instructions(); replay > 0 {
+		if _, err := c.RunSteps(replay); err != nil {
+			return fmt.Errorf("time travel: replay diverged: %w (this is a bug)", err)
+		}
+	}
+	if got := c.Trace.Instructions; got != target {
+		return fmt.Errorf("time travel: rewound to instruction %d, wanted %d (this is a bug)", got, target)
+	}
+
+	fmt.Fprintf(w, "rewound state at instruction %d:\n", c.Trace.Instructions)
+	fmt.Fprintf(w, "  pc %08x", c.PC())
+	if text, ok := c.Disassembler()(c.PC()); ok {
+		fmt.Fprintf(w, "  next: %s", text)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  cycles %d, window depth %d\n", c.Trace.Cycles, c.Regs.Depth())
+	fmt.Fprintln(w, "  registers (current window):")
+	for r := uint8(0); r < 32; r++ {
+		fmt.Fprintf(w, "  r%-2d %08x", r, c.Regs.Get(r))
+		if r%4 == 3 {
+			fmt.Fprintln(w)
+		}
+	}
+	return runErr
+}

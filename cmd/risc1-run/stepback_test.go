@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/cpu"
+)
+
+const stepbackSrc = `
+main:	add r1, r0, 0
+	add r2, r0, 1
+loop:	add r1, r1, r2
+	sll r3, r1, 1
+	xor r3, r3, r2
+	stl r3, r0, 256
+	add r2, r2, 1
+	sub. r0, r2, 2000
+	ble loop
+	nop
+	ret
+	nop
+`
+
+func buildMachine(t *testing.T) *cpu.CPU {
+	t.Helper()
+	prog, err := asm.Assemble(stepbackSrc, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Config{})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTimeTravelMatchesStraightRun: for a spread of step-back distances
+// — inside the checkpoint ring, across several checkpoints, and past
+// the ring into the from-the-start replay — the rewound machine must be
+// indistinguishable from a fresh machine stepped directly to the same
+// instruction.
+func TestTimeTravelMatchesStraightRun(t *testing.T) {
+	// The loop runs long enough to lay down multiple checkpoints.
+	ref := buildMachine(t)
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := ref.Trace.Instructions
+	if total < 3*stepBackInterval {
+		t.Fatalf("workload too short (%d instructions) to cross checkpoints", total)
+	}
+
+	for _, back := range []uint64{1, 100, stepBackInterval + 7, total - 5, total + 1000} {
+		c := buildMachine(t)
+		if err := timeTravel(c, back, io.Discard); err != nil {
+			t.Fatalf("step-back %d: %v", back, err)
+		}
+		target := uint64(0)
+		if back < total {
+			target = total - back
+		}
+
+		direct := buildMachine(t)
+		if target > 0 {
+			if _, err := direct.RunSteps(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if c.Trace.Instructions != target || direct.Trace.Instructions != target {
+			t.Fatalf("step-back %d: instruction counts %d/%d, want %d",
+				back, c.Trace.Instructions, direct.Trace.Instructions, target)
+		}
+		if c.PC() != direct.PC() {
+			t.Errorf("step-back %d: pc %08x, straight run %08x", back, c.PC(), direct.PC())
+		}
+		if c.Trace.Cycles != direct.Trace.Cycles {
+			t.Errorf("step-back %d: cycles %d, straight run %d", back, c.Trace.Cycles, direct.Trace.Cycles)
+		}
+		for r := uint8(0); r < 32; r++ {
+			if c.Regs.Get(r) != direct.Regs.Get(r) {
+				t.Errorf("step-back %d: r%d = %08x, straight run %08x", back, r, c.Regs.Get(r), direct.Regs.Get(r))
+			}
+		}
+		if v, _ := c.Mem.LoadWord(256); func() uint32 { w, _ := direct.Mem.LoadWord(256); return w }() != v {
+			t.Errorf("step-back %d: memory at 256 diverged", back)
+		}
+	}
+}
+
+// TestTimeTravelOutput sanity-checks the human-readable rewind report.
+func TestTimeTravelOutput(t *testing.T) {
+	c := buildMachine(t)
+	var b strings.Builder
+	if err := timeTravel(c, 10, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"time travel:", "rewinding to instruction", "registers (current window)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

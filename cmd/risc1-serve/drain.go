@@ -1,0 +1,41 @@
+package main
+
+import (
+	"context"
+	"time"
+
+	"risc1/internal/exec"
+)
+
+// drainPool waits up to timeout for the pool to finish every accepted
+// job, then cancels whatever is still running and waits for the workers
+// to exit. It returns true if the drain was clean (nothing had to be
+// cancelled).
+//
+// The helper owns its goroutine: by the time it returns, the pool is
+// fully closed and the waiter it spawned has exited — cancelled jobs
+// observe ctx cancellation and return, which lets Close complete. The
+// drain test pins both properties (jobs see cancellation, no goroutine
+// outlives the drain) under -race.
+func drainPool(pool *exec.Pool, timeout time.Duration, logf func(format string, args ...any)) bool {
+	drained := make(chan struct{})
+	go func() {
+		pool.Close() // waits for every accepted job
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return true
+	case <-time.After(timeout):
+	}
+	logf("drain budget exhausted; cancelling remaining jobs")
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	if err := pool.Shutdown(sctx); err != nil {
+		logf("pool shutdown: %v", err)
+	}
+	// Shutdown cancelled the in-flight jobs; wait for the Close waiter so
+	// the drain leaves nothing behind.
+	<-drained
+	return false
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"risc1/internal/exec"
+)
+
+// TestDrainCancelsInflightWithoutLeaking pins the SIGTERM drain path:
+// when the drain budget expires with a job still running, the job must
+// observe cancellation through its context (not be abandoned mid-flight)
+// and the drain helper must wait out its own goroutine — after drainPool
+// returns, the process is back to its pre-pool goroutine count. Run
+// under -race in CI, this also exercises the Close/Shutdown interleaving.
+func TestDrainCancelsInflightWithoutLeaking(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	pool := exec.NewPool(exec.Config{Workers: 2})
+	spec := exec.Spec{
+		Name:       "spin",
+		Source:     spinSrc, // deliberately never halts
+		DelaySlots: true,
+		Fuel:       1 << 62,
+	}
+	tk, err := pool.Submit(context.Background(), spec.Job("spin", time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the job reach the simulator before pulling the plug.
+	time.Sleep(100 * time.Millisecond)
+
+	start := time.Now()
+	clean := drainPool(pool, 50*time.Millisecond, t.Logf)
+	if clean {
+		t.Error("drain of a spinning job reported clean")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("drain took %v; the spinning job did not observe cancellation", took)
+	}
+
+	res, err := tk.Result(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("in-flight job result = %v, want context.Canceled", res.Err)
+	}
+
+	// No goroutine may outlive the drain: not the Close waiter, not the
+	// workers. Allow the runtime a moment to reap exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after drain = %d, before pool = %d: drain leaked", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDrainCleanWhenIdle: with nothing in flight the drain is clean and
+// immediate.
+func TestDrainCleanWhenIdle(t *testing.T) {
+	pool := exec.NewPool(exec.Config{Workers: 2})
+	if !drainPool(pool, time.Second, t.Logf) {
+		t.Error("idle pool did not drain cleanly")
+	}
+}

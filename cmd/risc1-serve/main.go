@@ -68,26 +68,17 @@ func main() {
 	go func() {
 		<-stop
 		fmt.Fprintln(os.Stderr, "risc1-serve: draining")
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		deadline := time.Now().Add(*drainTimeout)
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "risc1-serve: http shutdown:", err)
 		}
-		drained := make(chan struct{})
-		go func() {
-			pool.Close() // waits for every accepted job
-			close(drained)
-		}()
-		select {
-		case <-drained:
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "risc1-serve: "+format+"\n", args...)
+		}
+		if drainPool(pool, time.Until(deadline), logf) {
 			fmt.Fprintln(os.Stderr, "risc1-serve: drained cleanly")
-		case <-ctx.Done():
-			fmt.Fprintln(os.Stderr, "risc1-serve: drain budget exhausted; cancelling remaining jobs")
-			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer scancel()
-			if err := pool.Shutdown(sctx); err != nil {
-				fmt.Fprintln(os.Stderr, "risc1-serve: pool shutdown:", err)
-			}
 		}
 		close(done)
 	}()

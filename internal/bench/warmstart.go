@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"risc1/internal/exec"
+)
+
+// The warm-start sweep is a host-speed measurement, like the result
+// cache sweep: it shows what re-entering a compiled+initialized machine
+// image (memory pages shared copy-on-write) buys a serving deployment
+// over re-running the prelude — Reset, segment copy-in, and icache
+// refill — on every request. Simulated numbers are untouched: a warm
+// run restores the exact post-prelude machine state, so its report is
+// byte-identical to a cold run's, and the sweep verifies that before it
+// believes any timing.
+
+// warmStartSrc is the prelude-heavy workload: a 896 KiB zero-initialized
+// global array whose segment the cold path must copy into memory on
+// every request, with a deliberately tiny run. The two touched elements
+// span the array so a restore that lost data pages would change the
+// result.
+const warmStartSrc = `
+int result;
+int big[229376];
+
+int main() {
+	big[0] = 40;
+	big[229375] = 2;
+	result = big[0] + big[229375];
+	return 0;
+}
+`
+
+const warmStartExpected = 42
+
+// WarmStartRow is one interleaved cold-vs-warm timing. The per-request
+// times are medians over the repeats: a warm request is a few
+// microseconds of work, so a single GC pause landing on one iteration
+// would dominate a mean without saying anything about the steady state.
+type WarmStartRow struct {
+	Workload string
+	ColdMS   float64 // full prelude per request, median over the repeats
+	WarmMS   float64 // image restore per request, median over the repeats
+	Speedup  float64 // ColdMS / WarmMS
+}
+
+// WarmStartSweep is the measurement behind risc1-bench -warmstart.
+type WarmStartSweep struct {
+	Repeats int
+	Rows    []WarmStartRow
+}
+
+// SweepWarmStart times cold (ColdStart, full prelude) against warm
+// (image-restored) runs of the prelude-heavy workload, strictly
+// interleaved A/B so drift in host load hits both sides equally. Both
+// paths are warmed up first, and the first cold and warm reports are
+// compared byte for byte — the speedup is measured over identical
+// answers, never over skipped work.
+func SweepWarmStart(repeats int) (WarmStartSweep, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	p := exec.NewPool(exec.Config{Workers: 1})
+	defer p.Close()
+	sweep := WarmStartSweep{Repeats: repeats}
+
+	spec := exec.Spec{
+		Name:       "prelude-heavy",
+		Source:     warmStartSrc,
+		Opt:        OptLevel,
+		DelaySlots: true,
+	}
+	run := func(cold bool) (exec.Outcome, time.Duration, error) {
+		s := spec
+		s.ColdStart = cold
+		start := time.Now()
+		tk, err := p.Submit(context.Background(), s.Job("warmstart", 0))
+		if err != nil {
+			return exec.Outcome{}, 0, err
+		}
+		res, err := tk.Result(context.Background())
+		took := time.Since(start)
+		if err != nil {
+			return exec.Outcome{}, 0, err
+		}
+		if res.Err != nil {
+			return exec.Outcome{}, 0, res.Err
+		}
+		return res.Value.(exec.Outcome), took, nil
+	}
+
+	// Warm-up both paths: the first warm run also builds the image, and
+	// the extra rounds let the page pool and the heap reach steady state
+	// before anything is timed.
+	coldOut, _, err := run(true)
+	if err != nil {
+		return sweep, fmt.Errorf("bench warmstart (cold warm-up): %w", err)
+	}
+	warmOut, _, err := run(false)
+	if err != nil {
+		return sweep, fmt.Errorf("bench warmstart (warm warm-up): %w", err)
+	}
+	if coldOut.Value != warmStartExpected || warmOut.Value != warmStartExpected {
+		return sweep, fmt.Errorf("bench warmstart: results %d (cold) / %d (warm), want %d",
+			coldOut.Value, warmOut.Value, warmStartExpected)
+	}
+	coldJSON, err := coldOut.Report.JSON()
+	if err != nil {
+		return sweep, err
+	}
+	warmJSON, err := warmOut.Report.JSON()
+	if err != nil {
+		return sweep, err
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		return sweep, fmt.Errorf("bench warmstart: warm report diverged from cold — refusing to time non-identical work")
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := run(true); err != nil {
+			return sweep, fmt.Errorf("bench warmstart (warm-up): %w", err)
+		}
+		if _, _, err := run(false); err != nil {
+			return sweep, fmt.Errorf("bench warmstart (warm-up): %w", err)
+		}
+	}
+
+	coldTimes := make([]time.Duration, 0, repeats)
+	warmTimes := make([]time.Duration, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		if _, took, err := run(true); err != nil {
+			return sweep, fmt.Errorf("bench warmstart (cold %d): %w", i, err)
+		} else {
+			coldTimes = append(coldTimes, took)
+		}
+		if _, took, err := run(false); err != nil {
+			return sweep, fmt.Errorf("bench warmstart (warm %d): %w", i, err)
+		} else {
+			warmTimes = append(warmTimes, took)
+		}
+	}
+	row := WarmStartRow{
+		Workload: spec.Name,
+		ColdMS:   float64(median(coldTimes).Microseconds()) / 1000,
+		WarmMS:   float64(median(warmTimes).Microseconds()) / 1000,
+	}
+	if row.WarmMS > 0 {
+		row.Speedup = row.ColdMS / row.WarmMS
+	}
+	sweep.Rows = append(sweep.Rows, row)
+	return sweep, nil
+}
+
+// median returns the middle element of the sample (upper middle for even
+// sizes); robust against the occasional GC pause in a way a mean is not.
+func median(d []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// TableWarmStart renders the sweep. Timings are host wall-clock; the
+// byte-identity of warm and cold reports is checked before timing.
+func TableWarmStart(s WarmStartSweep) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "Warm start: full prelude vs image restore per request (host time, %d interleaved repeats)\n", s.Repeats)
+		fmt.Fprintln(w, "workload\tcold ms\twarm ms\tspeedup")
+		for _, r := range s.Rows {
+			fmt.Fprintf(w, "%s\t%.3f\t%.4f\t%.1fx\n", r.Workload, r.ColdMS, r.WarmMS, r.Speedup)
+		}
+	})
+}

@@ -102,6 +102,24 @@ func (ic *icache) fill(pc uint32, in isa.Inst, cycles uint64, handle int) {
 	ic.stats.Fills++
 }
 
+// clone deep-copies the cache — allocated pages and counters — for
+// machine forks. The clone is only valid while the fork's memory holds
+// the same code bytes the original's did at clone time, which Fork
+// guarantees by cloning cache and memory together.
+func (ic *icache) clone() *icache {
+	if ic == nil {
+		return nil
+	}
+	n := &icache{pages: make([]*[icPageWords]decoded, len(ic.pages)), stats: ic.stats}
+	for i, pg := range ic.pages {
+		if pg != nil {
+			cp := *pg
+			n.pages[i] = &cp
+		}
+	}
+	return n
+}
+
 // invalidate drops every cached instruction overlapping the byte range
 // [addr, addr+size); it is the Memory.OnStore hook. Ordinary stores
 // (word-sized and smaller) clear individual lines — data and code often
@@ -114,7 +132,7 @@ func (ic *icache) invalidate(addr, size uint32) {
 	}
 	first := addr >> 2
 	last := uint32((uint64(addr) + uint64(size) - 1) >> 2)
-	if last-first < icPageWords {
+	if last-first+1 < icPageWords {
 		for w := first; w <= last; w++ {
 			p := w >> icPageShift
 			if p >= uint32(len(ic.pages)) {

@@ -1,0 +1,285 @@
+package cpu
+
+import (
+	"testing"
+
+	"risc1/internal/asm"
+	"risc1/internal/mem"
+)
+
+// load assembles src into a fresh machine, ready to run.
+func load(t *testing.T, src string, cfg Config) *CPU {
+	t.Helper()
+	prog, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New(cfg)
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const snapSrc = `
+main:	add r1, r0, 0	; sum
+	add r2, r0, 1	; i
+loop:	add r1, r1, r2
+	sll r3, r1, 2
+	xor r3, r3, r2
+	stl r3, r0, 128
+	add r2, r2, 1
+	sub. r0, r2, 40
+	ble loop
+	nop
+	ret
+	nop
+`
+
+// outcome is the architectural observable the tests compare: registers
+// of interest, the last store, and the full CPU + memory statistics.
+type outcome struct {
+	r1, r3, stored uint32
+	stats          Stats
+	mem            mem.Stats
+	instrs         uint64
+}
+
+// finish runs the machine to completion and collects its outcome.
+func finish(t *testing.T, c *CPU) outcome {
+	t.Helper()
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, err := c.Mem.LoadWord(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undo the verification load so memory stats compare cleanly.
+	c.Mem.Stats.Reads--
+	c.Mem.Stats.BytesRead -= 4
+	return outcome{
+		r1: c.Regs.Get(1), r3: c.Regs.Get(3), stored: v,
+		stats: c.Stats, mem: c.Mem.Stats, instrs: c.Trace.Instructions,
+	}
+}
+
+// TestSnapshotRestoreDeterministic: snapshot mid-run, run to the end,
+// restore, run again — every architectural observable must repeat.
+func TestSnapshotRestoreDeterministic(t *testing.T) {
+	c := load(t, snapSrc, Config{})
+	if done, err := c.RunSteps(25); done || err != nil {
+		t.Fatalf("mid-run stop: done=%v err=%v", done, err)
+	}
+	snap := c.Snapshot()
+	defer snap.Release()
+	if snap.Instructions() != 25 {
+		t.Errorf("snapshot instruction count = %d, want 25", snap.Instructions())
+	}
+
+	a := finish(t, c)
+	c.Restore(snap)
+	b := finish(t, c)
+
+	if a != b {
+		t.Errorf("restored run diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestForkRunsIndependently: fork a machine mid-run; parent and child
+// both finish with identical results, and a memory write on one side
+// does not appear on the other.
+func TestForkRunsIndependently(t *testing.T) {
+	c := load(t, snapSrc, Config{})
+	if _, err := c.RunSteps(25); err != nil {
+		t.Fatal(err)
+	}
+	f := c.Fork()
+
+	// Scribble on the parent's memory outside the program's working set;
+	// the fork must not see it. Undo the scribble's stats footprint so
+	// the two sides stay comparable.
+	if err := c.Mem.StoreWord(4096, 0xF00D); err != nil {
+		t.Fatal(err)
+	}
+	c.Mem.Stats.Writes--
+	c.Mem.Stats.BytesWritten -= 4
+	a := finish(t, c)
+
+	if v, _ := f.Mem.LoadWord(4096); v != 0 {
+		t.Fatalf("parent's write leaked into fork: %#x", v)
+	}
+	f.Mem.Stats.Reads--
+	f.Mem.Stats.BytesRead -= 4
+	b := finish(t, f)
+
+	if a != b {
+		t.Errorf("fork diverged from parent:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRestoreDropsStaleDecode: run program A to completion, restore a
+// snapshot taken before load, write program B over the same addresses,
+// and run — the icache must not replay A's decoded instructions.
+func TestRestoreDropsStaleDecode(t *testing.T) {
+	progA, err := asm.Assemble(`
+main:	add r1, r0, 111
+	ret
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, err := asm.Assemble(`
+main:	add r1, r0, 222
+	ret
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Config{})
+	c.Reset(progA.Entry)
+	blank := c.Snapshot() // empty machine, nothing loaded
+	defer blank.Release()
+
+	if err := progA.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(1); got != 111 {
+		t.Fatalf("program A: r1 = %d", got)
+	}
+
+	c.Restore(blank)
+	if err := progB.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(1); got != 222 {
+		t.Errorf("program B after restore: r1 = %d, want 222 (stale decode?)", got)
+	}
+}
+
+// TestResetDropsStaleDecode is the Reset counterpart of the restore
+// test above: run program A, Reset the machine, load program B over the
+// same addresses, run — B's instructions must execute, not A's stale
+// predecodes. Reset zeroes memory by releasing pages, so without the
+// full-range OnStore it fires, the icache would happily replay A.
+func TestResetDropsStaleDecode(t *testing.T) {
+	progA, err := asm.Assemble(`
+main:	add r1, r0, 111
+	ret
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, err := asm.Assemble(`
+main:	add r1, r0, 222
+	ret
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Config{})
+	c.Reset(progA.Entry)
+	if err := progA.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(1); got != 111 {
+		t.Fatalf("program A: r1 = %d", got)
+	}
+
+	c.Reset(progB.Entry)
+	if err := progB.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Regs.Get(1); got != 222 {
+		t.Errorf("program B after reset: r1 = %d, want 222 (stale decode)", got)
+	}
+}
+
+// TestForkIcacheIndependent: after forking, self-modifying stores on the
+// fork must invalidate only the fork's cloned icache — the parent keeps
+// running its original code, and vice versa.
+func TestForkIcacheIndependent(t *testing.T) {
+	c := load(t, snapSrc, Config{})
+	if _, err := c.RunSteps(25); err != nil {
+		t.Fatal(err)
+	}
+	f := c.Fork()
+
+	// Overwrite the fork's loop body at 'sll r3, r1, 2' with a nop-like
+	// add r3, r0, 7; the parent must be unaffected.
+	progPatch, err := asm.Assemble(`
+main:	add r3, r0, 7
+	ret
+	nop
+	`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The patched instruction encoding: assemble in isolation and copy
+	// the first word over the fork's loop body (address of 'sll' = 12).
+	var word [4]byte
+	seg := progPatch.Segments[0]
+	copy(word[:], seg.Data[:4])
+	if err := f.Mem.WriteBytes(12, word[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	par := finish(t, c)
+	fk := finish(t, f)
+
+	if par.r3 == fk.r3 {
+		t.Errorf("fork's code patch did not take effect (r3 parent %d == fork %d): stale fork icache", par.r3, fk.r3)
+	}
+	// Parent result must match an unpatched reference run.
+	ref := finish(t, load(t, snapSrc, Config{}))
+	if par.r1 != ref.r1 || par.r3 != ref.r3 {
+		t.Errorf("parent diverged after fork patched its copy: r1 %d/%d r3 %d/%d", par.r1, ref.r1, par.r3, ref.r3)
+	}
+}
+
+// TestRestoreIncompatibleConfigPanics: a snapshot from a machine with
+// different architectural parameters must be rejected.
+func TestRestoreIncompatibleConfigPanics(t *testing.T) {
+	a := New(Config{Windows: 8})
+	snap := a.Snapshot()
+	defer snap.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restore across window counts did not panic")
+		}
+	}()
+	New(Config{Windows: 4}).Restore(snap)
+}
+
+// TestRestoreIgnoresFuelAndICacheSwitch: MaxInstructions and NoICache
+// are host-side knobs, not architectural state — restore must work
+// across them.
+func TestRestoreIgnoresFuelAndICacheSwitch(t *testing.T) {
+	a := load(t, snapSrc, Config{MaxInstructions: 1000})
+	snap := a.Snapshot()
+	defer snap.Release()
+	b := New(Config{MaxInstructions: 5, NoICache: true})
+	b.Restore(snap) // must not panic
+	if done, err := b.RunSteps(3); done || err != nil {
+		t.Fatalf("restored machine did not run: done=%v err=%v", done, err)
+	}
+}

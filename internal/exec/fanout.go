@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// FanoutSpec runs one program against many inputs from a single fork
+// point: the program is compiled and its machine image initialized once
+// (the warm-start image), and every input re-enters that image by
+// restoring the snapshot — memory pages shared copy-on-write across the
+// whole fan-out — with the input word poked into a named global before
+// execution.
+type FanoutSpec struct {
+	// Spec is the base program. Its ColdStart field applies to every
+	// member run (the differential tests use it to prove forked and cold
+	// fan-outs are byte-identical).
+	Spec
+	// InputSym is the global each input is written to before the run;
+	// default "input". The program reads it like any other global.
+	InputSym string
+	// Inputs are the values to fan out over, one run per element.
+	Inputs []int32
+}
+
+// RunFanout executes the fan-out on the pool and returns one Result per
+// input, ordered by input index — NOT by completion order — so reports
+// assembled from a fan-out are byte-identical at any worker count. Each
+// member is an ordinary pool job: it gets the per-job fuel and timeout
+// bounds, panic isolation, and cancellation like any submitted work.
+func (p *Pool) RunFanout(ctx context.Context, fs FanoutSpec, timeout time.Duration) []Result {
+	sym := fs.InputSym
+	if sym == "" {
+		sym = "input"
+	}
+	name := fs.Name
+	if name == "" {
+		name = "fanout"
+	}
+	jobs := make([]Job, len(fs.Inputs))
+	for i, v := range fs.Inputs {
+		in := &input{sym: sym, val: v}
+		jobs[i] = Job{
+			Key:     fmt.Sprintf("%s[%d]", name, i),
+			Timeout: timeout,
+			Fn: func(ctx context.Context, sims *Sims) (any, error) {
+				return fs.Spec.run(ctx, sims, in)
+			},
+		}
+	}
+	return p.RunBatch(ctx, jobs)
+}

@@ -77,14 +77,21 @@ type Config struct {
 	// pool-wide instead of once per job. Zero means a 64 MiB default;
 	// negative disables the cache.
 	ProgramCacheBytes int64
+	// ImageCacheBytes budgets the pool-wide warm-start image cache:
+	// compiled+initialized machine snapshots that runs re-enter in
+	// O(touched pages) instead of repeating the Reset+load prelude.
+	// Zero means a 256 MiB default; negative disables the cache (each
+	// run then builds a private image — still correct, just cold).
+	ImageCacheBytes int64
 }
 
 // Pool is the engine. Create with NewPool; all methods are safe for
 // concurrent use.
 type Pool struct {
-	cfg   Config
-	jobs  chan *task
-	progs *rcache.Cache // shared compiled-program cache; nil when disabled
+	cfg    Config
+	jobs   chan *task
+	progs  *rcache.Cache // shared compiled-program cache; nil when disabled
+	images *rcache.Cache // shared warm-start image cache; nil when disabled
 
 	// baseCtx is cancelled by Shutdown, aborting running jobs and
 	// unblocking full-queue submitters.
@@ -126,9 +133,15 @@ func NewPool(cfg Config) *Pool {
 	if cfg.ProgramCacheBytes == 0 {
 		cfg.ProgramCacheBytes = 64 << 20
 	}
+	if cfg.ImageCacheBytes == 0 {
+		cfg.ImageCacheBytes = 256 << 20
+	}
 	p := &Pool{cfg: cfg, jobs: make(chan *task, cfg.Queue)}
 	if cfg.ProgramCacheBytes > 0 {
 		p.progs = rcache.New(cfg.ProgramCacheBytes)
+	}
+	if cfg.ImageCacheBytes > 0 {
+		p.images = rcache.New(cfg.ImageCacheBytes)
 	}
 	p.baseCtx, p.abort = context.WithCancel(context.Background())
 	p.workerWG.Add(cfg.Workers)
@@ -145,6 +158,15 @@ func (p *Pool) ProgramCacheStats() obs.CacheStats {
 		return obs.CacheStats{}
 	}
 	return p.progs.Stats()
+}
+
+// ImageCacheStats snapshots the warm-start image cache; zero when the
+// cache is disabled.
+func (p *Pool) ImageCacheStats() obs.CacheStats {
+	if p.images == nil {
+		return obs.CacheStats{}
+	}
+	return p.images.Stats()
 }
 
 // Stats snapshots the pool's gauges and counters.
@@ -292,6 +314,7 @@ func (p *Pool) worker() {
 	defer p.workerWG.Done()
 	sims := NewSims()
 	sims.progs = p.progs
+	sims.images = p.images
 	for t := range p.jobs {
 		p.runTask(sims, t)
 	}

@@ -6,6 +6,7 @@ import (
 	"risc1/internal/asm"
 	"risc1/internal/cc"
 	"risc1/internal/cpu"
+	"risc1/internal/mem"
 	"risc1/internal/obs"
 	"risc1/internal/rcache"
 	"risc1/internal/vax"
@@ -24,9 +25,10 @@ import (
 // workers is safe, and a sweep that submits the same source many times
 // compiles it once.
 type Sims struct {
-	risc  map[cpu.Config]*cpu.CPU
-	vax   map[vax.Config]*vax.CPU
-	progs *rcache.Cache // shared, concurrency-safe; nil outside a pool
+	risc   map[cpu.Config]*cpu.CPU
+	vax    map[vax.Config]*vax.CPU
+	progs  *rcache.Cache // shared, concurrency-safe; nil outside a pool
+	images *rcache.Cache // shared warm-start images; nil outside a pool
 }
 
 // NewSims returns an empty cache.
@@ -145,6 +147,119 @@ func (s *Sims) CompileVAX(ctx context.Context, source string, o cc.Options) (*va
 	}
 	cp := v.(compiledVAX)
 	return cp.prog, cp.text, cp.passes, nil
+}
+
+// riscImage is one warm-start cache entry: the compiled program plus a
+// machine snapshot taken right after the prelude (Reset + LoadInto), so
+// a request re-enters the initialized machine in O(touched pages)
+// instead of re-zeroing memory and re-copying every segment. The
+// snapshot is immutable and restore shares its pages copy-on-write, so
+// one image serves any number of concurrent workers.
+type riscImage struct {
+	prog   *asm.Program
+	text   string
+	passes []obs.PassStat
+	snap   *cpu.Snapshot
+}
+
+// vaxImage is the CISC counterpart of riscImage.
+type vaxImage struct {
+	prog   *vax.Program
+	text   string
+	passes []obs.PassStat
+	snap   *vax.Snapshot
+}
+
+// RISCImage compiles source and builds (or fetches) its warm-start
+// image for the given machine configuration: a snapshot of the machine
+// right after Reset + program load. Identical (source, options,
+// machine-config) tuples share one image pool-wide; concurrent identical
+// requests collapse to a single build. Outside a pool (nil receiver or
+// no shared cache) it builds a fresh image, which still gives forked
+// fan-out within one call.
+func (s *Sims) RISCImage(ctx context.Context, source string, o cc.Options, cfg cpu.Config) (riscImage, error) {
+	cfg.MaxInstructions = 0 // fuel is per-run, not part of the image
+	cfg.NoICache = false    // host-side switch, not architectural state
+	build := func() (riscImage, int64, error) {
+		prog, text, passes, err := s.CompileRISC(ctx, source, o)
+		if err != nil {
+			return riscImage{}, 0, err
+		}
+		scratch := cpu.New(cfg)
+		scratch.Reset(prog.Entry)
+		if err := prog.LoadInto(scratch.Mem); err != nil {
+			return riscImage{}, 0, err
+		}
+		img := riscImage{prog: prog, text: text, passes: passes, snap: scratch.Snapshot()}
+		size := int64(img.snap.MemPages())*mem.PageSize + riscProgramSize(compiledRISC{prog: prog, text: text, passes: passes})
+		return img, size, nil
+	}
+	if s == nil || s.images == nil {
+		img, _, err := build()
+		return img, err
+	}
+	key := rcache.NewKey("risc1.image/v1").
+		Str("machine", string(MachineRISC)).
+		Str("source", source).
+		Int("opt", int64(o.Opt)).
+		Bool("delaySlots", o.DelaySlots).
+		Int("windows", int64(cfg.Windows)).
+		Bool("noWindows", cfg.NoWindows).
+		Int("memSize", int64(cfg.MemSize)).
+		Uint("saveStackTop", uint64(cfg.SaveStackTop)).
+		Sum()
+	v, _, err := s.images.Do(ctx, key, func() (any, int64, error) {
+		img, size, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return img, size, nil
+	})
+	if err != nil {
+		return riscImage{}, err
+	}
+	return v.(riscImage), nil
+}
+
+// VAXImage is RISCImage for the CISC baseline.
+func (s *Sims) VAXImage(ctx context.Context, source string, o cc.Options, cfg vax.Config) (vaxImage, error) {
+	cfg.MaxInstructions = 0
+	build := func() (vaxImage, int64, error) {
+		prog, text, passes, err := s.CompileVAX(ctx, source, o)
+		if err != nil {
+			return vaxImage{}, 0, err
+		}
+		scratch := vax.New(cfg)
+		scratch.Reset(prog.Entry)
+		if err := prog.LoadInto(scratch.Mem); err != nil {
+			return vaxImage{}, 0, err
+		}
+		img := vaxImage{prog: prog, text: text, passes: passes, snap: scratch.Snapshot()}
+		size := int64(img.snap.MemPages())*mem.PageSize + vaxProgramSize(compiledVAX{prog: prog, text: text, passes: passes})
+		return img, size, nil
+	}
+	if s == nil || s.images == nil {
+		img, _, err := build()
+		return img, err
+	}
+	key := rcache.NewKey("risc1.image/v1").
+		Str("machine", string(MachineCISC)).
+		Str("source", source).
+		Int("opt", int64(o.Opt)).
+		Int("memSize", int64(cfg.MemSize)).
+		Uint("stackTop", uint64(cfg.StackTop)).
+		Sum()
+	v, _, err := s.images.Do(ctx, key, func() (any, int64, error) {
+		img, size, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return img, size, nil
+	})
+	if err != nil {
+		return vaxImage{}, err
+	}
+	return v.(vaxImage), nil
 }
 
 // riscProgramSize approximates a compiled program's memory footprint

@@ -2,13 +2,16 @@ package exec
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
 
+	"risc1/internal/asm"
 	"risc1/internal/cc"
 	"risc1/internal/cc/opt"
 	"risc1/internal/cpu"
+	"risc1/internal/mem"
 	"risc1/internal/obs"
 	"risc1/internal/rcache"
 	"risc1/internal/vax"
@@ -48,6 +51,12 @@ type Spec struct {
 	Fuel uint64
 	// ResultSym is the global read back after the run; default "result".
 	ResultSym string
+	// ColdStart bypasses the warm-start image cache and re-runs the full
+	// prelude (Reset + program load) for this run. Results are
+	// byte-identical either way — the forked-vs-cold differential tests
+	// enforce it — so this exists for those tests and for benchmarking
+	// the warm-start speedup, not for callers.
+	ColdStart bool
 }
 
 // Outcome is a completed spec: the guest-visible result word and the
@@ -80,29 +89,81 @@ func (s Spec) Job(key string, timeout time.Duration) Job {
 }
 
 // Run compiles and executes the spec on the worker's cached simulators.
+// The default path is warm-start: the compiled+initialized machine image
+// (post Reset + load) is checked into the pool-wide cache once, and each
+// run re-enters it by restoring the snapshot — O(touched pages) instead
+// of re-zeroing memory and re-copying segments. Set ColdStart to force
+// the full prelude; the results are byte-identical.
 func (s Spec) Run(ctx context.Context, sims *Sims) (Outcome, error) {
+	return s.run(ctx, sims, nil)
+}
+
+// input is an optional fan-out input poked into a named global after the
+// prelude and before execution (see RunFanout).
+type input struct {
+	sym string
+	val int32
+}
+
+func (s Spec) run(ctx context.Context, sims *Sims, in *input) (Outcome, error) {
 	sym := s.ResultSym
 	if sym == "" {
 		sym = "result"
 	}
 	switch s.Machine {
 	case MachineCISC:
-		return s.runVAX(ctx, sims, sym)
+		return s.runVAX(ctx, sims, sym, in)
 	case MachineRISC, "":
-		return s.runRISC(ctx, sims, sym)
+		return s.runRISC(ctx, sims, sym, in)
 	default:
 		return Outcome{}, fmt.Errorf("exec: unknown machine %q", s.Machine)
 	}
 }
 
-func (s Spec) runRISC(ctx context.Context, sims *Sims, sym string) (Outcome, error) {
-	prog, _, passes, err := sims.CompileRISC(ctx, s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots})
-	if err != nil {
-		return Outcome{}, err
+// pokeInput writes a fan-out input into its global before the run. It
+// uses WriteBytes so the poke does not count as guest memory traffic —
+// the input is initial state, not a simulated store — and the OnStore
+// hook it fires keeps the predecoded icache coherent even if a program
+// places the global inside a code page.
+func pokeInput(m *mem.Memory, prog interface {
+	Symbol(string) (uint32, bool)
+}, in *input) error {
+	if in == nil {
+		return nil
 	}
-	c := sims.RISC(cpu.Config{Windows: s.Windows, NoWindows: s.NoWindows, MaxInstructions: s.Fuel})
-	c.Reset(prog.Entry)
-	if err := prog.LoadInto(c.Mem); err != nil {
+	addr, ok := prog.Symbol(in.sym)
+	if !ok {
+		return fmt.Errorf("exec: no input global named %q", in.sym)
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(in.val))
+	return m.WriteBytes(addr, b[:])
+}
+
+func (s Spec) runRISC(ctx context.Context, sims *Sims, sym string, in *input) (Outcome, error) {
+	cfg := cpu.Config{Windows: s.Windows, NoWindows: s.NoWindows, MaxInstructions: s.Fuel}
+	var prog *asm.Program
+	var passes []obs.PassStat
+	c := sims.RISC(cfg)
+	if s.ColdStart {
+		var err error
+		prog, _, passes, err = sims.CompileRISC(ctx, s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots})
+		if err != nil {
+			return Outcome{}, err
+		}
+		c.Reset(prog.Entry)
+		if err := prog.LoadInto(c.Mem); err != nil {
+			return Outcome{}, err
+		}
+	} else {
+		img, err := sims.RISCImage(ctx, s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots}, cfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		prog, passes = img.prog, img.passes
+		c.Restore(img.snap)
+	}
+	if err := pokeInput(c.Mem, prog, in); err != nil {
 		return Outcome{}, err
 	}
 	if err := c.RunContext(ctx); err != nil {
@@ -124,14 +185,30 @@ func (s Spec) runRISC(ctx context.Context, sims *Sims, sym string) (Outcome, err
 	return Outcome{Value: int32(v), Report: rep}, nil
 }
 
-func (s Spec) runVAX(ctx context.Context, sims *Sims, sym string) (Outcome, error) {
-	prog, _, passes, err := sims.CompileVAX(ctx, s.Source, cc.Options{Opt: s.Opt})
-	if err != nil {
-		return Outcome{}, err
+func (s Spec) runVAX(ctx context.Context, sims *Sims, sym string, in *input) (Outcome, error) {
+	cfg := vax.Config{MaxInstructions: s.Fuel}
+	var prog *vax.Program
+	var passes []obs.PassStat
+	c := sims.VAX(cfg)
+	if s.ColdStart {
+		var err error
+		prog, _, passes, err = sims.CompileVAX(ctx, s.Source, cc.Options{Opt: s.Opt})
+		if err != nil {
+			return Outcome{}, err
+		}
+		c.Reset(prog.Entry)
+		if err := prog.LoadInto(c.Mem); err != nil {
+			return Outcome{}, err
+		}
+	} else {
+		img, err := sims.VAXImage(ctx, s.Source, cc.Options{Opt: s.Opt}, cfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		prog, passes = img.prog, img.passes
+		c.Restore(img.snap)
 	}
-	c := sims.VAX(vax.Config{MaxInstructions: s.Fuel})
-	c.Reset(prog.Entry)
-	if err := prog.LoadInto(c.Mem); err != nil {
+	if err := pokeInput(c.Mem, prog, in); err != nil {
 		return Outcome{}, err
 	}
 	if err := c.RunContext(ctx); err != nil {

@@ -1,0 +1,219 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// warmSrc exercises data as well as code: initialized globals (scalar
+// and string) are populated by the prelude's segment load, so a warm
+// restore has real data pages to share, and main overwrites the scratch
+// array in place — a stale or shared-page-corruption bug would change
+// the checksum of the next run.
+const warmSrc = `
+int result;
+int bias = 7;
+char tag[12] = "warm-start!";
+int scratch[16];
+
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+
+int main() {
+	int i;
+	int acc;
+	acc = bias;
+	for (i = 0; i < 16; i = i + 1) {
+		acc = acc * 3 + tag[i % 11] + i;
+		scratch[i] = acc;
+	}
+	for (i = 0; i < 16; i = i + 1) {
+		acc = acc + scratch[15 - i];
+	}
+	result = acc + fib(10);
+	return 0;
+}
+`
+
+// fanoutSrc reads the fan-out input global.
+const fanoutSrc = `
+int input;
+int result;
+
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+
+int main() {
+	result = fib(input) + input * 100;
+	return 0;
+}
+`
+
+// TestForkedVsColdDifferential is the acceptance differential for warm
+// start: across all four (machine, opt) corners on a Workers:8 pool, a
+// run re-entered from the shared warm-start image must be byte-identical
+// — value and full JSON report — to a cold run that performs the whole
+// prelude. The warm runs go first and are repeated, so later warm runs
+// restore an image whose pages earlier runs have already written through
+// (the copy-on-write sharing is what is under test).
+func TestForkedVsColdDifferential(t *testing.T) {
+	p := NewPool(Config{Workers: 8})
+	defer p.Close()
+
+	for _, machine := range []Machine{MachineRISC, MachineCISC} {
+		for _, opt := range []int{0, 1} {
+			spec := Spec{
+				Name:       "warm",
+				Machine:    machine,
+				Source:     warmSrc,
+				Opt:        opt,
+				DelaySlots: machine == MachineRISC,
+				Fuel:       1 << 24,
+			}
+			runOnce := func(cold bool) (Outcome, []byte) {
+				s := spec
+				s.ColdStart = cold
+				tk, err := p.Submit(context.Background(), s.Job("warm", time.Minute))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := tk.Result(context.Background())
+				if err != nil || res.Err != nil {
+					t.Fatalf("%s/O%d cold=%v: %v / %v", machine, opt, cold, err, res.Err)
+				}
+				out := res.Value.(Outcome)
+				b, err := out.Report.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out, b
+			}
+
+			warm1, warmJSON1 := runOnce(false)
+			warm2, warmJSON2 := runOnce(false)
+			cold, coldJSON := runOnce(true)
+
+			if warm1.Value != cold.Value || warm2.Value != cold.Value {
+				t.Errorf("%s/O%d: warm values %d,%d != cold %d", machine, opt, warm1.Value, warm2.Value, cold.Value)
+			}
+			if !bytes.Equal(warmJSON1, coldJSON) {
+				t.Errorf("%s/O%d: first warm report diverged from cold:\n%s\n---\n%s", machine, opt, warmJSON1, coldJSON)
+			}
+			if !bytes.Equal(warmJSON2, coldJSON) {
+				t.Errorf("%s/O%d: repeated warm report diverged from cold:\n%s\n---\n%s", machine, opt, warmJSON2, coldJSON)
+			}
+		}
+	}
+}
+
+// TestForkedVsColdConcurrent hammers one warm-start image from eight
+// workers at once while interleaving cold runs of the same program: all
+// results must agree. Run under -race in CI, this is the page-sharing
+// correctness test — concurrent restores and copy-on-write writes to
+// the same shared image.
+func TestForkedVsColdConcurrent(t *testing.T) {
+	p := NewPool(Config{Workers: 8})
+	defer p.Close()
+
+	var jobs []Job
+	for i := 0; i < 32; i++ {
+		s := Spec{
+			Name:       "warm",
+			Source:     warmSrc,
+			Opt:        1,
+			DelaySlots: true,
+			Fuel:       1 << 24,
+			ColdStart:  i%4 == 0, // every fourth run pays the full prelude
+		}
+		jobs = append(jobs, s.Job(fmt.Sprintf("w%d", i), time.Minute))
+	}
+	results := p.RunBatch(context.Background(), jobs)
+	var want []byte
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		rep := res.Value.(Outcome).Report
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+		} else if !bytes.Equal(b, want) {
+			t.Fatalf("job %d report diverged from job 0:\n%s\n---\n%s", i, b, want)
+		}
+	}
+}
+
+// TestRunFanout checks the single-fork-point fan-out: one program, many
+// inputs, each run restored from one shared image — and every member
+// must be byte-identical to a cold run given the same input.
+func TestRunFanout(t *testing.T) {
+	p := NewPool(Config{Workers: 8})
+	defer p.Close()
+
+	inputs := make([]int32, 12)
+	for i := range inputs {
+		inputs[i] = int32(i)
+	}
+	fs := FanoutSpec{
+		Spec: Spec{
+			Name:       "fan",
+			Source:     fanoutSrc,
+			Opt:        1,
+			DelaySlots: true,
+			Fuel:       1 << 24,
+		},
+		Inputs: inputs,
+	}
+	forked := p.RunFanout(context.Background(), fs, time.Minute)
+	cold := fs
+	cold.Spec.ColdStart = true
+	coldRes := p.RunFanout(context.Background(), cold, time.Minute)
+
+	fib := func(n int32) int32 {
+		a, b := int32(0), int32(1)
+		for i := int32(0); i < n; i++ {
+			a, b = b, a+b
+		}
+		return a
+	}
+	for i, res := range forked {
+		if res.Err != nil {
+			t.Fatalf("input %d: %v", i, res.Err)
+		}
+		out := res.Value.(Outcome)
+		if want := fib(inputs[i]) + inputs[i]*100; out.Value != want {
+			t.Errorf("input %d: value %d, want %d", i, out.Value, want)
+		}
+		if coldRes[i].Err != nil {
+			t.Fatalf("cold input %d: %v", i, coldRes[i].Err)
+		}
+		fj, err := out.Report.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldOut := coldRes[i].Value.(Outcome)
+		cj, err := coldOut.Report.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fj, cj) {
+			t.Errorf("input %d: forked report diverged from cold:\n%s\n---\n%s", i, fj, cj)
+		}
+	}
+	// The whole forked fan-out shares one image: one build, N-1 re-entries.
+	if s := p.ImageCacheStats(); s.Misses != 1 {
+		t.Errorf("image cache after fan-out: %+v, want exactly 1 miss (one shared image)", s)
+	}
+
+	// An input global the program does not declare is an error, not a
+	// silent no-op.
+	bad := FanoutSpec{Spec: fs.Spec, InputSym: "nosuch", Inputs: []int32{1}}
+	res := p.RunFanout(context.Background(), bad, time.Minute)
+	if len(res) != 1 || res[0].Err == nil {
+		t.Errorf("fan-out with undefined input global: %+v, want error", res)
+	}
+}

@@ -1,0 +1,401 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := New(64 * 1024)
+	for i := uint32(0); i < 32; i++ {
+		if err := m.StoreWord(i*4, 0xA000_0000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Stats = Stats{Reads: 3, Writes: 5, BytesRead: 12, BytesWritten: 20}
+	snap := m.Snapshot()
+
+	// Diverge: overwrite snapshotted words, touch a fresh page, reset stats.
+	for i := uint32(0); i < 32; i++ {
+		if err := m.StoreWord(i*4, 0xDEAD_BEEF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.StoreWord(40*1024, 123); err != nil {
+		t.Fatal(err)
+	}
+	m.Stats = Stats{}
+
+	m.Restore(snap)
+	for i := uint32(0); i < 32; i++ {
+		v, err := m.LoadWord(i * 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0xA000_0000+i {
+			t.Fatalf("word %d after restore = %#x, want %#x", i, v, 0xA000_0000+i)
+		}
+	}
+	if v, _ := m.LoadWord(40 * 1024); v != 0 {
+		t.Errorf("page touched after snapshot survived restore: %#x", v)
+	}
+	// Stats restored to the snapshot point, before the loads above.
+	want := Stats{Reads: 3, Writes: 5, BytesRead: 12, BytesWritten: 20}
+	got := want
+	got.Reads += 33 // the verification loads above
+	got.BytesRead += 33 * 4
+	if m.Stats != got {
+		t.Errorf("stats after restore+verify = %+v, want %+v", m.Stats, got)
+	}
+	snap.Release()
+}
+
+func TestSnapshotIsImmutable(t *testing.T) {
+	m := New(8 * 1024)
+	if err := m.StoreWord(0, 0x11112222); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	defer snap.Release()
+
+	// Writes after the snapshot must copy, not mutate the shared page.
+	if err := m.StoreWord(0, 0x33334444); err != nil {
+		t.Fatal(err)
+	}
+	m.Restore(snap)
+	if v, _ := m.LoadWord(0); v != 0x11112222 {
+		t.Errorf("snapshot mutated through the live memory: %#x", v)
+	}
+	// And restoring again after another divergence still works: a snapshot
+	// may be restored any number of times.
+	if err := m.StoreByte(1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	m.Restore(snap)
+	if v, _ := m.LoadWord(0); v != 0x11112222 {
+		t.Errorf("second restore diverged: %#x", v)
+	}
+}
+
+func TestRestoreFiresOnStoreOverChangedPages(t *testing.T) {
+	m := New(16 * 1024) // 4 pages
+	snap := m.Snapshot()
+	defer snap.Release()
+	var calls []string
+	m.OnStore = func(addr, size uint32) { calls = append(calls, fmt.Sprintf("%d+%d", addr, size)) }
+
+	// Nothing diverged yet: a restore must not invalidate anything —
+	// this is what keeps warm re-entries from dropping hot decode state.
+	m.Restore(snap)
+	if len(calls) != 0 {
+		t.Errorf("no-op restore fired OnStore: %v", calls)
+	}
+
+	// Diverge pages 0 and 2 (page 1 untouched): two separate runs.
+	if err := m.StoreWord(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(2*PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	calls = nil
+	m.Restore(snap)
+	want := []string{fmt.Sprintf("0+%d", PageSize), fmt.Sprintf("%d+%d", 2*PageSize, PageSize)}
+	if fmt.Sprint(calls) != fmt.Sprint(want) {
+		t.Errorf("restore OnStore calls = %v, want %v", calls, want)
+	}
+
+	// Adjacent changed pages coalesce into one run.
+	if err := m.StoreWord(PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(2*PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	calls = nil
+	m.Restore(snap)
+	want = []string{fmt.Sprintf("%d+%d", PageSize, 2*PageSize)}
+	if fmt.Sprint(calls) != fmt.Sprint(want) {
+		t.Errorf("restore OnStore calls = %v, want %v", calls, want)
+	}
+}
+
+func TestRestoreSizeMismatchPanics(t *testing.T) {
+	snap := New(4 * 1024).Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restore of a mismatched snapshot did not panic")
+		}
+	}()
+	New(8 * 1024).Restore(snap)
+}
+
+func TestForkIndependence(t *testing.T) {
+	m := New(32 * 1024)
+	if err := m.StoreWord(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(PageSize, 2); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+
+	// Writes on either side must not show through on the other.
+	if err := m.StoreWord(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StoreWord(PageSize, 200); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadWord(PageSize); v != 2 {
+		t.Errorf("fork's write leaked into parent: %d", v)
+	}
+	if v, _ := f.LoadWord(0); v != 1 {
+		t.Errorf("parent's write leaked into fork: %d", v)
+	}
+	// Untouched shared data reads the same on both sides.
+	if v, _ := f.LoadWord(PageSize); v != 200 {
+		t.Errorf("fork lost its own write: %d", v)
+	}
+}
+
+func TestForkInheritsStatsNotHook(t *testing.T) {
+	m := New(8 * 1024)
+	fired := false
+	m.OnStore = func(addr, size uint32) { fired = true }
+	if err := m.StoreWord(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Fork()
+	if f.Stats != m.Stats {
+		t.Errorf("fork stats %+v != parent %+v", f.Stats, m.Stats)
+	}
+	fired = false
+	if err := f.StoreWord(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("fork write fired the parent's OnStore hook")
+	}
+}
+
+func TestSnapshotCostIsTouchedPages(t *testing.T) {
+	m := New(1 << 20) // 256 pages
+	if err := m.StoreWord(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(512*1024, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TouchedPages(); got != 2 {
+		t.Fatalf("touched pages = %d, want 2", got)
+	}
+	snap := m.Snapshot()
+	defer snap.Release()
+	if got := snap.Pages(); got != 2 {
+		t.Errorf("snapshot pages = %d, want 2", got)
+	}
+}
+
+func TestConcurrentForkWrites(t *testing.T) {
+	m := New(64 * 1024)
+	for a := uint32(0); a < 64*1024; a += 4 {
+		if err := m.StoreWord(a, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, err := m.ReadBytes(0, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Many goroutines fork the same parent and scribble over every page;
+	// under -race this pins the copy-on-write handshake, and afterwards
+	// the parent must be untouched.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := m.Fork()
+			for a := uint32(0); a < 64*1024; a += 4 {
+				if err := f.StoreWord(a, uint32(g)<<24|a); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for a := uint32(0); a < 64*1024; a += 4 {
+				v, err := f.LoadWord(a)
+				if err != nil || v != uint32(g)<<24|a {
+					t.Errorf("fork %d read %#x at %#x, want %#x (err %v)", g, v, a, uint32(g)<<24|a, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	after, err := m.ReadBytes(0, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base, after) {
+		t.Fatal("parent memory changed under concurrent fork writes")
+	}
+}
+
+// flatMemory is the pre-paging reference implementation: one contiguous
+// byte slice. The fuzz test drives it in lockstep with the paged Memory
+// to prove the page table, copy-on-write and snapshot machinery are
+// invisible to clients.
+type flatMemory struct {
+	data  []byte
+	snap  []byte
+	write func(addr, size uint32)
+}
+
+func newFlat(size int) *flatMemory { return &flatMemory{data: make([]byte, size)} }
+
+func (f *flatMemory) notify(addr, size uint32) {
+	if f.write != nil {
+		f.write(addr, size)
+	}
+}
+
+func (f *flatMemory) storeWord(addr uint32, v uint32) {
+	binary.BigEndian.PutUint32(f.data[addr:], v)
+	f.notify(addr, 4)
+}
+
+func (f *flatMemory) storeByte(addr uint32, v byte) {
+	f.data[addr] = v
+	f.notify(addr, 1)
+}
+
+func (f *flatMemory) snapshot() { f.snap = append([]byte(nil), f.data...) }
+
+// restore does not notify: the paged Restore fires per changed page run,
+// which the fuzz harness checks by coverage instead of stream equality.
+func (f *flatMemory) restore() { copy(f.data, f.snap) }
+
+func (f *flatMemory) reset() {
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.notify(0, uint32(len(f.data)))
+}
+
+// FuzzSnapshotVsFlat interprets the fuzz input as a little program of
+// memory operations and runs it against both the paged Memory and the
+// flat reference, comparing every read result, the full contents, and
+// the OnStore event streams. Ops: store word / store byte / snapshot /
+// restore / fork-and-swap / reset.
+func FuzzSnapshotVsFlat(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2, 0, 10, 2, 3, 4, 0, 0, 42})
+	f.Add([]byte{2, 0, 0, 0, 99, 3, 5, 0, 0, 7})
+	f.Add([]byte{1, 255, 255, 4, 0, 16, 0, 3, 5})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const size = 4 * PageSize
+		m := New(size)
+		ref := newFlat(size)
+		var mEvents, refEvents []string
+		m.OnStore = func(addr, size uint32) { mEvents = append(mEvents, fmt.Sprintf("%d+%d", addr, size)) }
+		ref.write = func(addr, size uint32) { refEvents = append(refEvents, fmt.Sprintf("%d+%d", addr, size)) }
+		var snap *Snapshot
+
+		for i := 0; i < len(ops); {
+			op := ops[i]
+			i++
+			arg := func() uint32 {
+				if i < len(ops) {
+					v := uint32(ops[i])
+					i++
+					return v
+				}
+				return 0
+			}
+			switch op % 6 {
+			case 0: // aligned word store
+				addr := (arg()<<8 | arg()) % size &^ 3
+				v := arg()<<8 | arg()
+				if err := m.StoreWord(addr, v); err != nil {
+					t.Fatal(err)
+				}
+				ref.storeWord(addr, v)
+			case 1: // byte store
+				addr := (arg()<<8 | arg()) % size
+				v := arg()
+				if err := m.StoreByte(addr, v); err != nil {
+					t.Fatal(err)
+				}
+				ref.storeByte(addr, byte(v))
+			case 2: // snapshot (replacing any previous one)
+				if snap != nil {
+					snap.Release()
+				}
+				snap = m.Snapshot()
+				ref.snapshot()
+			case 3: // restore, if a snapshot exists
+				if snap != nil {
+					// Restore events are page-granular and may over-approximate
+					// (a copied-on-write page can hold unchanged bytes), so the
+					// check is coverage: every byte the restore changed must lie
+					// inside some fired event, or the icache would go stale.
+					pre := append([]byte(nil), ref.data...)
+					var ranges [][2]uint32
+					saved := m.OnStore
+					m.OnStore = func(addr, sz uint32) { ranges = append(ranges, [2]uint32{addr, addr + sz}) }
+					m.Restore(snap)
+					m.OnStore = saved
+					ref.restore()
+					covered := make([]bool, size)
+					for _, r := range ranges {
+						for a := r[0]; a < r[1] && a < size; a++ {
+							covered[a] = true
+						}
+					}
+					for a := 0; a < size; a++ {
+						if pre[a] != ref.data[a] && !covered[a] {
+							t.Fatalf("restore changed byte %#x without an OnStore event covering it", a)
+						}
+					}
+				}
+			case 4: // fork and continue in the child (parent dropped)
+				m = m.Fork()
+				m.OnStore = func(addr, size uint32) { mEvents = append(mEvents, fmt.Sprintf("%d+%d", addr, size)) }
+				// The flat reference is value-equal already; a fork does not
+				// change contents or fire events.
+			case 5: // reset
+				m.Reset()
+				ref.reset()
+			}
+		}
+
+		got, err := m.ReadBytes(0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref.data) {
+			t.Fatal("paged memory contents diverged from flat reference")
+		}
+		for a := uint32(0); a < size; a += 4 {
+			v, err := m.LoadWord(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := binary.BigEndian.Uint32(ref.data[a:]); v != want {
+				t.Fatalf("ReadWord(%#x) = %#x, flat reference %#x", a, v, want)
+			}
+		}
+		if len(mEvents) != len(refEvents) {
+			t.Fatalf("OnStore streams diverged: paged %d events, flat %d", len(mEvents), len(refEvents))
+		}
+		for i := range mEvents {
+			if mEvents[i] != refEvents[i] {
+				t.Fatalf("OnStore event %d: paged %s, flat %s", i, mEvents[i], refEvents[i])
+			}
+		}
+	})
+}

@@ -107,8 +107,19 @@ func (c *Cache) Do(ctx context.Context, key Key, fn ComputeFn) (any, Outcome, er
 	if fl, ok := c.flight[key]; ok {
 		c.coalesced++
 		c.mu.Unlock()
+		// The waiter's own context takes priority over the leader's
+		// result. A plain two-case select picks randomly when both
+		// channels are ready, which would sometimes hand a cancelled
+		// caller the leader's value (or worse, the leader's unrelated
+		// error) — so check cancellation first, and again on wake-up.
+		if err := ctx.Err(); err != nil {
+			return nil, Coalesced, err
+		}
 		select {
 		case <-fl.done:
+			if err := ctx.Err(); err != nil {
+				return nil, Coalesced, err
+			}
 			return fl.val, Coalesced, fl.err
 		case <-ctx.Done():
 			return nil, Coalesced, ctx.Err()

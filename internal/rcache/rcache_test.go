@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -218,6 +219,53 @@ func TestCoalescedContextCancel(t *testing.T) {
 		t.Errorf("got out=%v err=%v, want coalesced context.Canceled", out, err)
 	}
 	close(gate)
+}
+
+// TestCancelledFollowerBehindSlowLeader pins the priority between a
+// coalesced waiter's own cancellation and the leader's completion: a
+// follower whose context is cancelled must get context.Canceled, never
+// the leader's value, even when the leader finishes at the same moment
+// (a plain two-case select would pick randomly when both channels are
+// ready). Each iteration parks a cancelled follower behind an in-flight
+// leader, then releases the leader so both wake-up paths race.
+func TestCancelledFollowerBehindSlowLeader(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		c := New(1 << 10)
+		gate := make(chan struct{})
+		leaderIn := make(chan struct{})
+		go c.Do(context.Background(), "k", func() (any, int64, error) {
+			close(leaderIn)
+			<-gate
+			return "leader-value", 1, nil
+		})
+		<-leaderIn
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var (
+			v    any
+			out  Outcome
+			err  error
+			done = make(chan struct{})
+		)
+		go func() {
+			defer close(done)
+			v, out, err = c.Do(ctx, "k", func() (any, int64, error) {
+				t.Error("cancelled follower must not compute")
+				return nil, 0, nil
+			})
+		}()
+		// Wait until the follower is registered as coalesced, then let
+		// the leader finish — now fl.done and ctx.Done() are both ready.
+		for c.Stats().Coalesced == 0 {
+			runtime.Gosched()
+		}
+		close(gate)
+		<-done
+		if v != nil || out != Coalesced || !errors.Is(err, context.Canceled) {
+			t.Fatalf("iter %d: cancelled follower got (%v, %v, %v), want (nil, coalesced, context.Canceled)", i, v, out, err)
+		}
+	}
 }
 
 // TestKeyBuilder: field values, field order, and domains all separate

@@ -219,6 +219,32 @@ func (f *File) Refill(vals []uint32) {
 	copy(f.buf[w*regsPerWindow:(w+1)*regsPerWindow], vals)
 }
 
+// Clone returns a deep copy of the register file — every physical
+// register, the window pointers, and the statistics. Machine snapshots
+// and forks use it; the clone shares nothing with the original.
+func (f *File) Clone() *File {
+	g := *f
+	g.buf = append([]uint32(nil), f.buf...)
+	return &g
+}
+
+// CopyFrom overwrites this file's state with src's, in place, so
+// holders of the *File pointer observe the restored state. It panics if
+// the geometries differ (a programming error, not runtime input).
+func (f *File) CopyFrom(src *File) {
+	if f.cfg != src.cfg {
+		panic(fmt.Sprintf("regfile: copy between geometries %+v and %+v", src.cfg, f.cfg))
+	}
+	f.globals = src.globals
+	copy(f.buf, src.buf)
+	f.cwp = src.cwp
+	f.oldest = src.oldest
+	f.resident = src.resident
+	f.depth = src.depth
+	f.maxDepth = src.maxDepth
+	f.Stats = src.Stats
+}
+
 // Reset restores the post-power-on state: all registers zero, CWP at
 // window zero, one resident activation, statistics cleared.
 func (f *File) Reset() {

@@ -4,7 +4,10 @@
 // behind the paper's register-window experiments.
 package trace
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Collector accumulates execution statistics. Opcode and class names are
 // strings so that machines with different instruction sets can share the
@@ -139,6 +142,57 @@ func (c *Collector) shares(m map[string]uint64, byClass bool) []Share {
 		return out[i].Name < out[j].Name
 	})
 	return out
+}
+
+// Clone returns a deep copy of the collector: counters, per-handle
+// counts, maps and the depth histogram. Handle indices stay valid on
+// the clone. Machine snapshots and forks use it.
+func (c *Collector) Clone() *Collector {
+	n := &Collector{
+		Instructions: c.Instructions,
+		Cycles:       c.Cycles,
+		ops:          make(map[string]uint64, len(c.ops)),
+		classes:      make(map[string]uint64, len(c.classes)),
+		handles:      append([]handleCounter(nil), c.handles...),
+		depthHist:    make(map[int]uint64, len(c.depthHist)),
+		maxDepth:     c.maxDepth,
+	}
+	for k, v := range c.ops {
+		n.ops[k] = v
+	}
+	for k, v := range c.classes {
+		n.classes[k] = v
+	}
+	for k, v := range c.depthHist {
+		n.depthHist[k] = v
+	}
+	return n
+}
+
+// CopyFrom overwrites this collector's statistics with src's, in place,
+// so holders of the *Collector pointer observe the restored state. Both
+// collectors must have registered the same handles (same machine type);
+// it panics otherwise.
+func (c *Collector) CopyFrom(src *Collector) {
+	if len(c.handles) != len(src.handles) {
+		panic(fmt.Sprintf("trace: copy between collectors with %d and %d handles", len(src.handles), len(c.handles)))
+	}
+	c.Instructions = src.Instructions
+	c.Cycles = src.Cycles
+	copy(c.handles, src.handles)
+	c.ops = make(map[string]uint64, len(src.ops))
+	for k, v := range src.ops {
+		c.ops[k] = v
+	}
+	c.classes = make(map[string]uint64, len(src.classes))
+	for k, v := range src.classes {
+		c.classes[k] = v
+	}
+	c.depthHist = make(map[int]uint64, len(src.depthHist))
+	for k, v := range src.depthHist {
+		c.depthHist[k] = v
+	}
+	c.maxDepth = src.maxDepth
 }
 
 // Reset clears all statistics. Registered handles remain valid with

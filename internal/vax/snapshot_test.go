@@ -1,0 +1,127 @@
+package vax
+
+import (
+	"testing"
+
+	"risc1/internal/mem"
+)
+
+const vaxSnapSrc = `
+start:	movl $0, r1
+	movl $1, r2
+loop:	addl2 r2, r1
+	mull3 $5, r1, r3
+	movl r3, out
+	incl r2
+	cmpl r2, $30
+	bleq loop
+	halt
+	.align 4
+out:	.word 0
+`
+
+// vaxLoad assembles src into a fresh machine, ready to run.
+func vaxLoad(t *testing.T, src string) *CPU {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New(Config{})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// vaxOutcome captures the observables the tests compare.
+type vaxOutcome struct {
+	r1, r3 uint32
+	stats  Stats
+	mem    mem.Stats
+	instrs uint64
+}
+
+func vaxFinish(t *testing.T, c *CPU) vaxOutcome {
+	t.Helper()
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return vaxOutcome{r1: c.R[1], r3: c.R[3], stats: c.Stats, mem: c.Mem.Stats, instrs: c.Trace.Instructions}
+}
+
+// TestVaxSnapshotRestoreDeterministic: snapshot mid-run, finish, restore,
+// finish again — identical observables both times.
+func TestVaxSnapshotRestoreDeterministic(t *testing.T) {
+	c := vaxLoad(t, vaxSnapSrc)
+	if done, err := c.RunSteps(20); done || err != nil {
+		t.Fatalf("mid-run stop: done=%v err=%v", done, err)
+	}
+	snap := c.Snapshot()
+	defer snap.Release()
+	if snap.Instructions() != 20 {
+		t.Errorf("snapshot instruction count = %d, want 20", snap.Instructions())
+	}
+
+	a := vaxFinish(t, c)
+	c.Restore(snap)
+	b := vaxFinish(t, c)
+	if a != b {
+		t.Errorf("restored run diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestVaxForkRunsIndependently: a mid-run fork finishes with the same
+// observables as the parent, and writes do not leak across the fork.
+func TestVaxForkRunsIndependently(t *testing.T) {
+	c := vaxLoad(t, vaxSnapSrc)
+	if _, err := c.RunSteps(20); err != nil {
+		t.Fatal(err)
+	}
+	f := c.Fork()
+
+	if err := c.Mem.StoreWord(8192, 0xF00D); err != nil {
+		t.Fatal(err)
+	}
+	c.Mem.Stats.Writes--
+	c.Mem.Stats.BytesWritten -= 4
+	a := vaxFinish(t, c)
+
+	if v, _ := f.Mem.LoadWord(8192); v != 0 {
+		t.Fatalf("parent's write leaked into fork: %#x", v)
+	}
+	f.Mem.Stats.Reads--
+	f.Mem.Stats.BytesRead -= 4
+	b := vaxFinish(t, f)
+
+	if a != b {
+		t.Errorf("fork diverged from parent:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestVaxRestoreIncompatiblePanics: different memory sizes are different
+// machines.
+func TestVaxRestoreIncompatiblePanics(t *testing.T) {
+	a := New(Config{MemSize: 1 << 16})
+	snap := a.Snapshot()
+	defer snap.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restore across memory sizes did not panic")
+		}
+	}()
+	New(Config{MemSize: 1 << 17}).Restore(snap)
+}
+
+// TestVaxRestoreIgnoresFuel: the instruction budget is per-run state.
+func TestVaxRestoreIgnoresFuel(t *testing.T) {
+	a := vaxLoad(t, vaxSnapSrc)
+	snap := a.Snapshot()
+	defer snap.Release()
+	b := New(Config{MaxInstructions: 5})
+	b.Restore(snap) // must not panic
+	if done, err := b.RunSteps(3); done || err != nil {
+		t.Fatalf("restored machine did not run: done=%v err=%v", done, err)
+	}
+}

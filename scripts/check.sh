@@ -1,11 +1,18 @@
 #!/bin/sh
 # check.sh — the full verification suite as one command.
 # Tier-1 (build + tests) plus static analysis and the race detector.
+# staticcheck runs when installed (CI installs it; local runs without
+# it just skip that step).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (CI runs it)"
+fi
 go test ./...
 go test -race ./...
