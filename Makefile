@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race check bench
+.PHONY: build test vet staticcheck race leakcheck check bench
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,18 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
+# Session-lifecycle goroutine leak checks, run on their own so a leak
+# is attributable: every way a session dies (close, idle reap, drain,
+# drain with an open SSE stream) must return the process to its
+# pre-session goroutine count.
+leakcheck:
+	$(GO) test -count=2 ./internal/session -run 'TestSessionGoroutineLeak'
+	$(GO) test -count=2 ./cmd/risc1-serve -run 'TestServeDrainClosesOpenStream|TestDrainCancelsInflightWithoutLeaking'
+
 # The full verification suite: tier-1 (build + test) plus vet,
-# staticcheck (when installed) and the race detector. Same as
-# scripts/check.sh.
-check: build vet staticcheck test race
+# staticcheck (when installed), the race detector, and the session
+# goroutine-leak checks. Same as scripts/check.sh.
+check: build vet staticcheck test race leakcheck
 
 # Host-speed benchmarks, including the icache on/off comparison.
 bench:

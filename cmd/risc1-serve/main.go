@@ -3,10 +3,15 @@
 // program, get back the versioned JSON run report the rest of the tool
 // chain produces.
 //
-//	POST /v1/run       {"schema": "risc1.run-request/v1", "source": "..."}
-//	GET  /v1/jobs/{id} poll an async run
-//	GET  /healthz      liveness
-//	GET  /metrics      pool, cache and limiter metrics (Prometheus text)
+//	POST   /v1/run                  {"schema": "risc1.run-request/v1", "source": "..."}
+//	GET    /v1/jobs/{id}            poll an async run
+//	POST   /v1/sessions             create a paused interactive debug session
+//	POST   /v1/sessions/{id}        drive it: step / run / breakpoints / reads
+//	GET    /v1/sessions/{id}        inspect state, breakpoints, stream counters
+//	GET    /v1/sessions/{id}/events live trace events (SSE)
+//	DELETE /v1/sessions/{id}        close the session
+//	GET    /healthz                 liveness
+//	GET    /metrics                 pool, cache, limiter, session metrics + latency histograms
 //
 // Every request is bounded three ways: body size (-max-source), an
 // instruction budget (-max-fuel), and a wall-clock deadline
@@ -14,8 +19,11 @@
 // Identical requests are served from a content-addressed result cache
 // (-cache-bytes; the X-Risc1-Cache header says hit, miss, or
 // coalesced), admission is bounded (-inflight, -inflight-queue; beyond
-// that, 429 + Retry-After), and SIGTERM drains in-flight jobs before
-// exit (-drain-timeout, after which they are cancelled).
+// that, 429 + Retry-After) with debug sessions counting against the
+// same capacity for their whole lifetime (-session-idle reaps the
+// abandoned ones), and SIGTERM drains: sessions close first (open SSE
+// streams get a terminal "end" event), then in-flight jobs finish
+// (-drain-timeout, after which they are cancelled).
 //
 //	risc1-serve -addr :8080 -workers 8
 package main
@@ -45,6 +53,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result-cache budget in bytes (negative = store nothing)")
 	progCacheBytes := flag.Int64("prog-cache-bytes", 64<<20, "compiled-program cache budget in bytes (negative = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight jobs before cancelling them")
+	sessionIdle := flag.Duration("session-idle", 2*time.Minute, "how long an untouched debug session survives before it is reaped")
 	flag.Parse()
 
 	pool := exec.NewPool(exec.Config{Workers: *workers, Queue: *queue, ProgramCacheBytes: *progCacheBytes})
@@ -55,6 +64,7 @@ func main() {
 		MaxInflight: *inflight,
 		MaxQueue:    *inflightQueue,
 		CacheBytes:  *cacheBytes,
+		SessionIdle: *sessionIdle,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -71,6 +81,11 @@ func main() {
 		deadline := time.Now().Add(*drainTimeout)
 		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		defer cancel()
+		// Sessions close before the listener shuts down: every open SSE
+		// stream gets its terminal "end" event and returns, so Shutdown
+		// (which waits for in-flight handlers) is never held hostage by a
+		// long-lived stream until the drain-timeout fallback.
+		srv.DrainSessions()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "risc1-serve: http shutdown:", err)
 		}

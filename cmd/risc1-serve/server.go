@@ -11,6 +11,7 @@ import (
 
 	"risc1/internal/exec"
 	"risc1/internal/obs"
+	"risc1/internal/session"
 )
 
 // The v1 API contract (documented in docs/API.md): one request schema,
@@ -30,6 +31,8 @@ const (
 	codeBadRequest        = "bad_request"        // 400: malformed JSON or invalid field
 	codeCompileError      = "compile_error"      // 400: the program does not compile
 	codeNotFound          = "not_found"          // 404: unknown job id
+	codeSessionNotFound   = "session_not_found"  // 404: unknown or already-closed session
+	codeSessionBusy       = "session_busy"       // 409: the session is executing another command
 	codeBodyTooLarge      = "body_too_large"     // 413: body past -max-source
 	codeUnsupportedSchema = "unsupported_schema" // 422: unknown request schema
 	codeFuelExceeded      = "fuel_exceeded"      // 422: instruction budget exhausted
@@ -63,6 +66,9 @@ type ServerConfig struct {
 	// 256 MiB, negative stores nothing (concurrent identical requests
 	// still collapse to one execution).
 	CacheBytes int64
+	// SessionIdle is how long an untouched debug session survives before
+	// it is reaped; <= 0 means session.DefaultIdleTimeout.
+	SessionIdle time.Duration
 }
 
 // Server queues compile+simulate requests on a batch-execution pool
@@ -72,6 +78,18 @@ type Server struct {
 	cached *exec.Cached
 	lim    *limiter
 	cfg    ServerConfig
+
+	// sims shares the pool's compiled-program and warm-start image caches
+	// with the session subsystem, which builds caller-owned machines
+	// outside the worker pool.
+	sims *exec.Sims
+	mgr  *session.Manager
+
+	// latency is the /v1/run request-latency histogram, labeled by the
+	// request's outcome ("ok" or the stable error code) and by how the
+	// result cache handled it (hit/miss/coalesced, or "none" when the
+	// request never reached the cache).
+	latency *obs.HistogramVec
 
 	mu     sync.Mutex
 	nextID int
@@ -141,11 +159,19 @@ func httpStatus(resp *runResponse) int {
 		}
 		return http.StatusOK
 	}
-	switch resp.Error.Code {
+	return statusForCode(resp.Error.Code)
+}
+
+// statusForCode maps the stable error codes to HTTP statuses — the one
+// table both the run and session envelopes use.
+func statusForCode(code string) int {
+	switch code {
 	case codeBadRequest, codeCompileError:
 		return http.StatusBadRequest
-	case codeNotFound:
+	case codeNotFound, codeSessionNotFound:
 		return http.StatusNotFound
+	case codeSessionBusy:
+		return http.StatusConflict
 	case codeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge
 	case codeUnsupportedSchema, codeFuelExceeded:
@@ -184,10 +210,13 @@ func NewServer(pool *exec.Pool, cfg ServerConfig) *Server {
 		cfg.CacheBytes = 256 << 20
 	}
 	return &Server{
-		cached: exec.NewCached(pool, cfg.CacheBytes),
-		lim:    newLimiter(cfg.MaxInflight, cfg.MaxQueue),
-		cfg:    cfg,
-		jobs:   make(map[string]*jobEntry),
+		cached:  exec.NewCached(pool, cfg.CacheBytes),
+		lim:     newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		cfg:     cfg,
+		sims:    pool.ImageSims(),
+		mgr:     session.NewManager(sessionIdleOrDefault(cfg.SessionIdle)),
+		latency: obs.NewHistogramVec("risc1_http_request_seconds", "outcome", "cache"),
+		jobs:    make(map[string]*jobEntry),
 	}
 }
 
@@ -196,6 +225,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/sessions/{id}", s.handleSessionCommand)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -212,31 +246,56 @@ func writeJSON(w http.ResponseWriter, resp *runResponse) {
 	w.Write(append(b, '\n'))
 }
 
+// outcomeLabel is the histogram's outcome label value for a response:
+// "ok" for successes, the stable error code otherwise.
+func outcomeLabel(resp *runResponse) string {
+	if resp.Error != nil {
+		return resp.Error.Code
+	}
+	return "ok"
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	// observe records the request in the latency histogram. Requests
+	// that fail before reaching the result cache carry cache="none";
+	// async requests are observed once, at job completion, under the
+	// job's real outcome (the interim 202 is not a run outcome).
+	observe := func(resp *runResponse, cache string) {
+		s.latency.Observe(time.Since(start), outcomeLabel(resp), cache)
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSource)
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
+		var resp *runResponse
 		if errors.As(err, &tooBig) {
-			writeJSON(w, errResponse(codeBodyTooLarge,
-				"request body exceeds %d bytes", s.cfg.MaxSource))
-			return
+			resp = errResponse(codeBodyTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxSource)
+		} else {
+			resp = errResponse(codeBadRequest, "invalid JSON: %v", err)
 		}
-		writeJSON(w, errResponse(codeBadRequest, "invalid JSON: %v", err))
+		observe(resp, "none")
+		writeJSON(w, resp)
 		return
 	}
 	if req.Schema != "" && req.Schema != RequestSchemaV1 {
-		writeJSON(w, errResponse(codeUnsupportedSchema,
-			"unknown request schema %q; this server speaks %q", req.Schema, RequestSchemaV1))
+		resp := errResponse(codeUnsupportedSchema,
+			"unknown request schema %q; this server speaks %q", req.Schema, RequestSchemaV1)
+		observe(resp, "none")
+		writeJSON(w, resp)
 		return
 	}
 	if req.Source == "" {
-		writeJSON(w, errResponse(codeBadRequest, "missing source"))
+		resp := errResponse(codeBadRequest, "missing source")
+		observe(resp, "none")
+		writeJSON(w, resp)
 		return
 	}
 
 	spec, timeout, errResp := s.specFor(req)
 	if errResp != nil {
+		observe(errResp, "none")
 		writeJSON(w, errResp)
 		return
 	}
@@ -246,10 +305,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	release, err := s.lim.acquire(r.Context())
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, errResponse(codeQueueFull,
+			resp := errResponse(codeQueueFull,
 				"server at capacity (%d running, %d queued); retry later",
-				s.cfg.MaxInflight, s.cfg.MaxQueue))
+				s.cfg.MaxInflight, s.cfg.MaxQueue)
+			observe(resp, "none")
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, resp)
 		}
 		// Otherwise the client hung up while waiting; nothing to write.
 		return
@@ -267,8 +328,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// admission slot until it finishes.
 		go func() {
 			defer release()
-			cr, _, err := s.cached.Run(context.Background(), spec, timeout)
+			cr, outcome, err := s.cached.Run(context.Background(), spec, timeout)
 			entry.resp = s.respFor(id, spec, cr, err)
+			observe(entry.resp, string(outcome))
 			close(entry.done)
 		}()
 		writeJSON(w, &runResponse{Schema: ResponseSchemaV1, ID: id, Status: "pending"})
@@ -283,7 +345,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// hangs up must not fail the computation for coalesced followers.
 	cr, outcome, err := s.cached.Run(context.Background(), spec, timeout)
 	w.Header().Set(CacheHeader, string(outcome))
-	writeJSON(w, s.respFor("", spec, cr, err))
+	resp := s.respFor("", spec, cr, err)
+	observe(resp, string(outcome))
+	writeJSON(w, resp)
 }
 
 // specFor validates and clamps a request into an exec.Spec.
@@ -382,14 +446,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics exports every layer's gauges and counters in the
 // Prometheus text exposition format: the pool, the level-2 result
-// cache, the level-1 compiled-program cache, and the admission limiter.
+// cache, the level-1 compiled-program cache, the warm-start image
+// cache, the admission limiter, the session manager (live sessions,
+// stream events and drops), and the /v1/run latency histogram.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	pool := s.cached.Pool()
 	fmt.Fprint(w, pool.Stats().Prometheus())
 	fmt.Fprint(w, s.cached.Stats().Prometheus("risc1_rcache"))
 	fmt.Fprint(w, pool.ProgramCacheStats().Prometheus("risc1_progcache"))
+	fmt.Fprint(w, pool.ImageCacheStats().Prometheus("risc1_imgcache"))
 	fmt.Fprint(w, s.lim.Stats().Prometheus("risc1_http"))
+	fmt.Fprint(w, s.mgr.Stats().Prometheus("risc1_session"))
+	fmt.Fprint(w, s.latency.Prometheus())
 }
 
 // CacheStats exposes the result cache for tests and tools.

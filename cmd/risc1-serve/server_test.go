@@ -36,6 +36,7 @@ func newTestServer(t *testing.T, cfg ServerConfig) (*httptest.Server, *Server, *
 	srv := NewServer(pool, cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
+		srv.DrainSessions() // closes live sessions and stops the idle reaper
 		ts.Close()
 		pool.Close()
 	})
@@ -412,7 +413,9 @@ func TestJobNotFound(t *testing.T) {
 
 // TestHealthAndMetrics checks the operational endpoints: liveness, the
 // Prometheus content type, and that every layer's metrics — pool,
-// result cache, program cache, limiter — show up after a completed run.
+// result cache, program cache, warm-start image cache, limiter, session
+// manager, and the request-latency histogram — reconcile with a known
+// request sequence.
 func TestHealthAndMetrics(t *testing.T) {
 	ts, _, _ := newTestServer(t, ServerConfig{})
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -424,9 +427,23 @@ func TestHealthAndMetrics(t *testing.T) {
 		t.Errorf("healthz status = %d, want 200", resp.StatusCode)
 	}
 
+	// A known request mix, every leg deterministic:
+	//  1. fresh run        -> rcache miss, pool executes, imgcache miss
+	//  2. identical repeat -> rcache hit, never reaches the pool
+	//  3. different fuel   -> rcache miss (fuel is in the result key) but
+	//     imgcache HIT (the warm-start image key deliberately ignores it)
+	//  4. malformed body   -> bad_request, never reaches the cache
+	//  5. debug session on the same program -> second imgcache hit; then
+	//     closed, so the session gauges are back to zero.
 	body, _ := json.Marshal(runRequest{Source: serveSrc})
 	postRun(t, ts, string(body))
-	postRun(t, ts, string(body)) // second request: a cache hit
+	postRun(t, ts, string(body))
+	refuel, _ := json.Marshal(runRequest{Source: serveSrc, Fuel: 1 << 20})
+	postRun(t, ts, string(refuel))
+	postRun(t, ts, `{}`)
+	id := createSession(t, ts, sessionRequest{Source: serveSrc})
+	doSession(t, "DELETE", ts.URL+"/v1/sessions/"+id, "")
+
 	resp, err = http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -439,15 +456,33 @@ func TestHealthAndMetrics(t *testing.T) {
 	text := string(b)
 	for _, want := range []string{
 		"risc1_pool_workers 2",
-		"risc1_pool_jobs_submitted_total 1",
-		"risc1_pool_jobs_completed_total 1",
+		"risc1_pool_jobs_submitted_total 2",
+		"risc1_pool_jobs_completed_total 2",
 		"risc1_rcache_hits_total 1",
-		"risc1_rcache_misses_total 1",
-		"risc1_rcache_entries 1",
+		"risc1_rcache_misses_total 2",
+		"risc1_rcache_entries 2",
 		"risc1_progcache_misses_total 1",
-		"risc1_http_requests_admitted_total 2",
+		// Warm-start image counters reconcile: one build (run 1), then a
+		// hit each from run 3 and the session.
+		"risc1_imgcache_misses_total 1",
+		"risc1_imgcache_hits_total 2",
+		// Three runs + one session acquired slots; the bad request never got
+		// that far.
+		"risc1_http_requests_admitted_total 4",
 		"risc1_http_requests_rejected_total 0",
 		"risc1_http_inflight_capacity 64",
+		// Session lifecycle counters.
+		"risc1_session_active 0",
+		"risc1_session_created_total 1",
+		"risc1_session_closed_total 1",
+		"risc1_session_expired_total 0",
+		// Latency histogram, labeled by outcome and cache state: counts
+		// reconcile with the request mix (sessions are not /v1/run
+		// requests and must not appear).
+		`risc1_http_request_seconds_count{outcome="ok",cache="miss"} 2`,
+		`risc1_http_request_seconds_count{outcome="ok",cache="hit"} 1`,
+		`risc1_http_request_seconds_count{outcome="bad_request",cache="none"} 1`,
+		`risc1_http_request_seconds_bucket{outcome="ok",cache="hit",le="+Inf"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

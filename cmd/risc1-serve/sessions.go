@@ -1,0 +1,481 @@
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"risc1/internal/cc"
+	"risc1/internal/cpu"
+	"risc1/internal/obs"
+	"risc1/internal/session"
+	"risc1/internal/vax"
+)
+
+// The session half of the v1 contract (docs/API.md): long-lived paused
+// machines driven by commands, with live trace events over SSE.
+const (
+	// SessionRequestSchemaV1 names the POST /v1/sessions body.
+	SessionRequestSchemaV1 = "risc1.session-request/v1"
+	// CommandRequestSchemaV1 names the POST /v1/sessions/{id} body.
+	CommandRequestSchemaV1 = "risc1.session-command/v1"
+	// SessionResponseSchemaV1 is echoed in every session reply.
+	SessionResponseSchemaV1 = "risc1.session-response/v1"
+)
+
+// maxEventRing caps the per-subscriber SSE ring so one client cannot
+// ask the server to buffer an unbounded trace.
+const maxEventRing = 1 << 16
+
+// sessionRequest is the body of POST /v1/sessions: the same program
+// vocabulary as /v1/run, but the machine is created paused at the entry
+// point instead of being run to completion.
+type sessionRequest struct {
+	// Schema names the request contract; empty means v1.
+	Schema string `json:"schema,omitempty"`
+	// Source is the MiniC program to debug.
+	Source string `json:"source"`
+	// Machine is "risc1" (default) or "cisc".
+	Machine string `json:"machine,omitempty"`
+	// Opt is the compiler optimization level, 0 or 1 (default 1).
+	Opt *int `json:"opt,omitempty"`
+	// Fuel is the session-lifetime instruction budget; 0 or absent means
+	// the server cap. An exhausted session pauses (stopped "fuel") and
+	// stays inspectable.
+	Fuel uint64 `json:"fuel,omitempty"`
+}
+
+// commandRequest is the body of POST /v1/sessions/{id}. Exactly one
+// command per request; a session executes one command at a time
+// (concurrent commands fail fast with session_busy).
+type commandRequest struct {
+	// Schema names the request contract; empty means v1.
+	Schema string `json:"schema,omitempty"`
+	// Cmd is one of: step, run, add-breakpoint, clear-breakpoint,
+	// breakpoints, read-registers, read-memory.
+	Cmd string `json:"cmd"`
+	// Steps bounds step (exactly N instructions, default 1) and run (a
+	// budget, default unlimited — the session still stops on halt, fault,
+	// breakpoint, or fuel).
+	Steps uint64 `json:"steps,omitempty"`
+	// Addr addresses breakpoints and memory reads: a "0x..." literal, a
+	// decimal literal, or a program symbol name ("main", "result").
+	Addr string `json:"addr,omitempty"`
+	// Count is how many bytes read-memory returns (default 4).
+	Count int `json:"count,omitempty"`
+}
+
+// sessionState mirrors session.State on the wire (PCs in hex).
+type sessionState struct {
+	// Stopped says why the last step/run command returned: step, halt,
+	// fault, breakpoint, budget, fuel, or canceled.
+	Stopped      string `json:"stopped,omitempty"`
+	PC           string `json:"pc"`
+	Halted       bool   `json:"halted"`
+	Fault        string `json:"fault,omitempty"`
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// Steps counts the instructions executed by this command alone.
+	Steps uint64 `json:"steps,omitempty"`
+}
+
+// sessionResponse is the body of every /v1/sessions reply (schema
+// risc1.session-response/v1).
+type sessionResponse struct {
+	Schema      string           `json:"schema"`
+	ID          string           `json:"id,omitempty"`
+	Status      string           `json:"status,omitempty"` // "closed" after DELETE
+	State       *sessionState    `json:"state,omitempty"`
+	Registers   []uint32         `json:"registers,omitempty"`
+	Memory      string           `json:"memory,omitempty"` // hex-encoded read-memory bytes
+	Breakpoints []string         `json:"breakpoints,omitempty"`
+	Stream      *obs.StreamStats `json:"stream,omitempty"`
+	Error       *apiError        `json:"error,omitempty"`
+}
+
+// sessionError builds an envelope-only session response.
+func sessionError(code, format string, args ...any) *sessionResponse {
+	return &sessionResponse{
+		Schema: SessionResponseSchemaV1,
+		Error:  &apiError{Code: code, Message: fmt.Sprintf(format, args...)},
+	}
+}
+
+// writeSessionJSON renders a session reply; okStatus is the HTTP status
+// for the success case (200, or 201 for create).
+func writeSessionJSON(w http.ResponseWriter, okStatus int, resp *sessionResponse) {
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	status := okStatus
+	if resp.Error != nil {
+		status = statusForCode(resp.Error.Code)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func wireState(st session.State) *sessionState {
+	return &sessionState{
+		Stopped:      st.Stopped,
+		PC:           fmt.Sprintf("0x%08x", st.PC),
+		Halted:       st.Halted,
+		Fault:        st.Fault,
+		Instructions: st.Instructions,
+		Cycles:       st.Cycles,
+		Steps:        st.Steps,
+	}
+}
+
+// handleSessionCreate builds a paused machine (warm-started from the
+// pool-wide post-prelude image when one exists) and registers it. The
+// session holds one admission slot for its whole lifetime — sessions
+// and runs draw from the same -inflight capacity — released by the
+// session's close, whichever of DELETE, idle timeout, or drain gets
+// there first.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSource)
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeSessionJSON(w, 0, sessionError(codeBodyTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxSource))
+			return
+		}
+		writeSessionJSON(w, 0, sessionError(codeBadRequest, "invalid JSON: %v", err))
+		return
+	}
+	if req.Schema != "" && req.Schema != SessionRequestSchemaV1 {
+		writeSessionJSON(w, 0, sessionError(codeUnsupportedSchema,
+			"unknown request schema %q; this server speaks %q", req.Schema, SessionRequestSchemaV1))
+		return
+	}
+	if req.Source == "" {
+		writeSessionJSON(w, 0, sessionError(codeBadRequest, "missing source"))
+		return
+	}
+	opt := 1
+	if req.Opt != nil {
+		opt = *req.Opt
+	}
+	if opt < 0 || opt > 1 {
+		writeSessionJSON(w, 0, sessionError(codeBadRequest, "opt must be 0 or 1, got %d", opt))
+		return
+	}
+	if req.Machine != "" && req.Machine != "risc1" && req.Machine != "cisc" {
+		writeSessionJSON(w, 0, sessionError(codeBadRequest, "unknown machine %q", req.Machine))
+		return
+	}
+	fuel := req.Fuel
+	if fuel == 0 || fuel > s.cfg.MaxFuel {
+		fuel = s.cfg.MaxFuel
+	}
+
+	release, err := s.lim.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeSessionJSON(w, 0, sessionError(codeQueueFull,
+				"server at capacity (%d running, %d queued); retry later",
+				s.cfg.MaxInflight, s.cfg.MaxQueue))
+		}
+		return
+	}
+
+	id := s.mgr.NewID()
+	var sess *session.Session
+	if req.Machine == "cisc" {
+		c, prog, err := s.sims.NewVAXMachine(r.Context(), req.Source,
+			cc.Options{Opt: opt}, vax.Config{MaxInstructions: fuel})
+		if err != nil {
+			release()
+			writeSessionJSON(w, 0, sessionError(codeCompileError, "%v", err))
+			return
+		}
+		sess = session.NewVAX(id, c, prog)
+	} else {
+		c, prog, err := s.sims.NewRISCMachine(r.Context(), req.Source,
+			cc.Options{Opt: opt, DelaySlots: true}, cpu.Config{MaxInstructions: fuel})
+		if err != nil {
+			release()
+			writeSessionJSON(w, 0, sessionError(codeCompileError, "%v", err))
+			return
+		}
+		sess = session.NewRISC(id, c, prog)
+	}
+	sess.OnClose = release
+	if err := s.mgr.Add(sess); err != nil {
+		sess.Close(session.CloseReasonDrain) // fires OnClose -> release
+		writeSessionJSON(w, 0, sessionError(codeInternal, "server draining; no new sessions"))
+		return
+	}
+
+	st, _, err := sess.Registers(r.Context())
+	if err != nil {
+		// Only a concurrent drain can beat us here.
+		writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+		return
+	}
+	writeSessionJSON(w, http.StatusCreated, &sessionResponse{
+		Schema: SessionResponseSchemaV1,
+		ID:     id,
+		State:  wireState(st),
+	})
+}
+
+// sessionCmdError maps session-layer errors to the stable API codes.
+func (s *Server) sessionCmdError(err error, id string) *sessionResponse {
+	switch {
+	case errors.Is(err, session.ErrBusy):
+		return sessionError(codeSessionBusy, "session %s is executing another command", id)
+	case errors.Is(err, session.ErrClosed):
+		return sessionError(codeSessionNotFound, "session %s is closed", id)
+	default:
+		return sessionError(codeBadRequest, "%v", err)
+	}
+}
+
+// resolveAddr turns a command's addr field into a guest address: a
+// program symbol name first, then a 0x-hex or decimal literal.
+func resolveAddr(sess *session.Session, addr string) (uint32, error) {
+	if addr == "" {
+		return 0, fmt.Errorf("missing addr")
+	}
+	if a, ok := sess.Symbol(addr); ok {
+		return a, nil
+	}
+	a, err := strconv.ParseUint(addr, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("addr %q is neither a program symbol nor an address literal", addr)
+	}
+	return uint32(a), nil
+}
+
+func (s *Server) handleSessionCommand(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		writeSessionJSON(w, 0, sessionError(codeSessionNotFound, "no session %q", id))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSource)
+	var req commandRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeSessionJSON(w, 0, sessionError(codeBadRequest, "invalid JSON: %v", err))
+		return
+	}
+	if req.Schema != "" && req.Schema != CommandRequestSchemaV1 {
+		writeSessionJSON(w, 0, sessionError(codeUnsupportedSchema,
+			"unknown request schema %q; this server speaks %q", req.Schema, CommandRequestSchemaV1))
+		return
+	}
+
+	resp := &sessionResponse{Schema: SessionResponseSchemaV1, ID: id}
+	switch req.Cmd {
+	case "step":
+		st, err := sess.Step(r.Context(), req.Steps)
+		if err != nil {
+			writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+			return
+		}
+		resp.State = wireState(st)
+	case "run":
+		st, err := sess.Run(r.Context(), req.Steps)
+		if err != nil {
+			writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+			return
+		}
+		resp.State = wireState(st)
+	case "add-breakpoint", "clear-breakpoint":
+		addr, err := resolveAddr(sess, req.Addr)
+		if err != nil {
+			writeSessionJSON(w, 0, sessionError(codeBadRequest, "%v", err))
+			return
+		}
+		if req.Cmd == "add-breakpoint" {
+			err = sess.AddBreakpoint(r.Context(), addr)
+		} else {
+			err = sess.ClearBreakpoint(r.Context(), addr)
+		}
+		if err != nil {
+			writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+			return
+		}
+		fallthrough
+	case "breakpoints":
+		bps, err := sess.Breakpoints()
+		if err != nil {
+			writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+			return
+		}
+		resp.Breakpoints = make([]string, len(bps))
+		for i, a := range bps {
+			resp.Breakpoints[i] = fmt.Sprintf("0x%08x", a)
+		}
+	case "read-registers":
+		st, regs, err := sess.Registers(r.Context())
+		if err != nil {
+			writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+			return
+		}
+		resp.State = wireState(st)
+		resp.Registers = regs
+	case "read-memory":
+		addr, err := resolveAddr(sess, req.Addr)
+		if err != nil {
+			writeSessionJSON(w, 0, sessionError(codeBadRequest, "%v", err))
+			return
+		}
+		b, err := sess.ReadMemory(r.Context(), addr, req.Count)
+		if err != nil {
+			writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+			return
+		}
+		resp.Memory = hex.EncodeToString(b)
+	default:
+		writeSessionJSON(w, 0, sessionError(codeBadRequest,
+			"unknown cmd %q (want step, run, add-breakpoint, clear-breakpoint, breakpoints, read-registers, or read-memory)", req.Cmd))
+		return
+	}
+	writeSessionJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionGet is the inspection snapshot: machine state, armed
+// breakpoints, and the live-stream counters (the in-stream drop counter
+// also shows up here and, aggregated, in /metrics).
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		writeSessionJSON(w, 0, sessionError(codeSessionNotFound, "no session %q", id))
+		return
+	}
+	st, _, err := sess.Registers(r.Context())
+	if err != nil {
+		writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+		return
+	}
+	bps, err := sess.Breakpoints()
+	if err != nil {
+		writeSessionJSON(w, 0, s.sessionCmdError(err, id))
+		return
+	}
+	stats := sess.StreamStats()
+	resp := &sessionResponse{Schema: SessionResponseSchemaV1, ID: id, State: wireState(st), Stream: &stats}
+	resp.Breakpoints = make([]string, len(bps))
+	for i, a := range bps {
+		resp.Breakpoints[i] = fmt.Sprintf("0x%08x", a)
+	}
+	writeSessionJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.mgr.Close(id, session.CloseReasonClient) {
+		writeSessionJSON(w, 0, sessionError(codeSessionNotFound, "no session %q", id))
+		return
+	}
+	writeSessionJSON(w, http.StatusOK, &sessionResponse{
+		Schema: SessionResponseSchemaV1, ID: id, Status: "closed",
+	})
+}
+
+// handleSessionEvents is the live trace stream: one SSE message per
+// obs event (the data line is the same wire JSON a -trace-out JSONL
+// file holds, so a streamed trace diffs cleanly against a post-hoc
+// one), a "drops" message whenever the subscriber's ring lost events
+// since the last delivery, and a terminal "end" message naming why the
+// session died. A client that stops reading stalls only its own
+// handler goroutine: the subscriber ring keeps overwriting its oldest
+// events and the simulator never waits.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		writeSessionJSON(w, 0, sessionError(codeSessionNotFound, "no session %q", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeSessionJSON(w, 0, sessionError(codeInternal, "streaming unsupported by this connection"))
+		return
+	}
+	ring := 0
+	if v := r.URL.Query().Get("ring"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxEventRing {
+			writeSessionJSON(w, 0, sessionError(codeBadRequest,
+				"ring must be an integer in [1, %d], got %q", maxEventRing, v))
+			return
+		}
+		ring = n
+	}
+
+	sub := sess.Subscribe(ring)
+	defer sess.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "event: open\ndata: {\"id\":%q}\n\n", id)
+	flusher.Flush()
+
+	var lastDropped uint64
+	for {
+		ev, dropped, ok := sub.Next(r.Context())
+		if !ok {
+			break
+		}
+		if dropped > lastDropped {
+			fmt.Fprintf(w, "event: drops\ndata: {\"dropped\":%d}\n\n", dropped)
+			lastDropped = dropped
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			break
+		}
+		fmt.Fprintf(w, "id: %d\nevent: trace\ndata: %s\n\n", ev.Seq, b)
+		flusher.Flush()
+	}
+	// Distinguish "the session ended" (terminal event, then EOF) from
+	// "the client went away" (nothing left to tell it).
+	if sub.Closed() {
+		if d := sub.Dropped(); d > lastDropped {
+			fmt.Fprintf(w, "event: drops\ndata: {\"dropped\":%d}\n\n", d)
+		}
+		reason := sess.CloseReason()
+		if reason == "" {
+			reason = "closed"
+		}
+		fmt.Fprintf(w, "event: end\ndata: {\"reason\":%q}\n\n", reason)
+		flusher.Flush()
+	}
+}
+
+// DrainSessions closes every live session with the drain reason: open
+// SSE streams get their terminal event and admission slots come back.
+// main calls this before the HTTP listener shuts down, so streams end
+// well before the -drain-timeout fallback has to cancel anything.
+func (s *Server) DrainSessions() {
+	s.mgr.CloseAll(session.CloseReasonDrain)
+}
+
+// SessionStats exposes the session manager for tests and tools.
+func (s *Server) SessionStats() session.Stats { return s.mgr.Stats() }
+
+// sessionIdleOrDefault resolves the configured idle timeout.
+func sessionIdleOrDefault(d time.Duration) time.Duration {
+	if d <= 0 {
+		return session.DefaultIdleTimeout
+	}
+	return d
+}

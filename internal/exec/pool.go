@@ -169,6 +169,20 @@ func (p *Pool) ImageCacheStats() obs.CacheStats {
 	return p.images.Stats()
 }
 
+// ImageSims returns a Sims wired to the pool's shared compiled-program
+// and warm-start image caches but owning no per-worker machines. It
+// exists for callers that build machines outside the worker pool (the
+// session subsystem): the Compile* and New*Machine methods only touch
+// the concurrency-safe shared caches plus fresh local state, so the
+// returned Sims may be used from any number of goroutines for those —
+// the per-config machine accessors (RISC/VAX) stay goroutine-confined.
+func (p *Pool) ImageSims() *Sims {
+	s := NewSims()
+	s.progs = p.progs
+	s.images = p.images
+	return s
+}
+
 // Stats snapshots the pool's gauges and counters.
 func (p *Pool) Stats() obs.PoolStats {
 	return obs.PoolStats{

@@ -262,6 +262,35 @@ func (s *Sims) VAXImage(ctx context.Context, source string, o cc.Options, cfg va
 	return v.(vaxImage), nil
 }
 
+// NewRISCMachine compiles source (through the shared caches when
+// attached) and returns a fresh, paused RISC I machine positioned at the
+// program entry, plus the compiled program for symbol lookup. The
+// machine is restored from the pool-wide warm-start image, so building a
+// long-lived debug session costs O(touched pages) after the first
+// request for a given program. The caller owns the machine outright —
+// it is not a pooled worker simulator — and may step it, attach
+// observers, and hold it for as long as the session lives.
+func (s *Sims) NewRISCMachine(ctx context.Context, source string, o cc.Options, cfg cpu.Config) (*cpu.CPU, *asm.Program, error) {
+	img, err := s.RISCImage(ctx, source, o, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := cpu.New(cfg)
+	c.Restore(img.snap)
+	return c, img.prog, nil
+}
+
+// NewVAXMachine is NewRISCMachine for the CISC baseline.
+func (s *Sims) NewVAXMachine(ctx context.Context, source string, o cc.Options, cfg vax.Config) (*vax.CPU, *vax.Program, error) {
+	img, err := s.VAXImage(ctx, source, o, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := vax.New(cfg)
+	c.Restore(img.snap)
+	return c, img.prog, nil
+}
+
 // riscProgramSize approximates a compiled program's memory footprint
 // for the cache's byte budget: segment bytes, the assembly listing, and
 // a fixed allowance for symbols and headers.

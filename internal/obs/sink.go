@@ -78,21 +78,10 @@ type jsonEvent struct {
 	Words  int    `json:"words,omitempty"`
 }
 
-// JSONLSink writes one JSON object per line — trivially parseable with
-// jq or a five-line script, and safe to stream (no enclosing array).
-type JSONLSink struct {
-	w   *bufio.Writer
-	enc *json.Encoder
-}
-
-// NewJSONLSink buffers writes to w.
-func NewJSONLSink(w io.Writer) *JSONLSink {
-	bw := bufio.NewWriter(w)
-	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
-}
-
-// Emit writes one JSON line.
-func (s *JSONLSink) Emit(ev Event) error {
+// wireEvent converts an Event to its wire form. The JSONL sink and the
+// live session stream (risc1-serve SSE) both use it, which is what makes
+// a streamed trace comparable line by line with a post-hoc trace file.
+func wireEvent(ev Event) jsonEvent {
 	je := jsonEvent{
 		Seq:   ev.Seq,
 		Cycle: ev.Cycle,
@@ -109,7 +98,31 @@ func (s *JSONLSink) Emit(ev Event) error {
 	if ev.Kind == KindCall || ev.Kind == KindReturn || ev.Kind == KindInterrupt {
 		je.Target = fmt.Sprintf("0x%08x", ev.Target)
 	}
-	return s.enc.Encode(je)
+	return je
+}
+
+// MarshalJSON renders the event in the JSONL wire form (hex PCs,
+// omitempty for unset fields).
+func (ev Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireEvent(ev))
+}
+
+// JSONLSink writes one JSON object per line — trivially parseable with
+// jq or a five-line script, and safe to stream (no enclosing array).
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink buffers writes to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one JSON line.
+func (s *JSONLSink) Emit(ev Event) error {
+	return s.enc.Encode(wireEvent(ev))
 }
 
 // Close flushes the buffer.

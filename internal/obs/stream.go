@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// StreamSink fans the trace-event stream out to any number of live
+// subscribers, each behind its own fixed-size ring buffer. It is the
+// bridge between a single-threaded simulator (which emits events through
+// a Tracer, in execution order, as fast as it runs) and any number of
+// slow, remote, or stalled consumers (SSE clients on risc1-serve's
+// session API): Emit never blocks and never allocates per subscriber, so
+// a consumer that stops reading can never stall the simulator.
+//
+// When a subscriber's ring is full the OLDEST buffered event is
+// overwritten — a live debugging stream wants the freshest events — and
+// the subscriber's cumulative drop counter advances. Events carry the
+// Tracer's sequence numbers, so a consumer sees every gap exactly: the
+// delta between consecutive delivered Seq values minus one is the number
+// of events it lost there, and the drop counter delivered alongside each
+// event reconciles with the sum of those gaps.
+//
+// Delivery is BATCHED: Emit appends to an emitter-owned pending slice
+// with no synchronization at all, and events reach subscribers when the
+// batch flushes — automatically every emitBatch events, or on an
+// explicit Flush (sessions flush at every command-loop chunk boundary,
+// so a paused session never has undelivered events and a running one
+// streams with at most a chunk of latency). This is what keeps the
+// fan-out inside the simulator's 5% overhead budget
+// (session.TestStalledSubscriberOverhead): the mutex is taken once per
+// batch instead of once per event, the ring writes happen in one tight
+// loop instead of scattered between instructions where every access
+// misses cache, and a subscriber lagging by a whole batch has its ring
+// overwritten wholesale — drops counted by arithmetic, only the
+// freshest ringSize events copied.
+//
+// The whole flushed side shares ONE mutex (the sink's), and a
+// subscriber's wakeup channel is only touched when a reader is actually
+// blocked in Next.
+//
+// Emit and Flush must be called from the simulator's goroutine (or
+// otherwise serialized); Subscribe, Unsubscribe, Close, Stats and the
+// Subscriber's methods may be called from any goroutine. Close does NOT
+// flush — it may race the emitter — so a batch still pending when the
+// sink closes is discarded, never counted.
+type StreamSink struct {
+	// pending is the emitter-owned batch. Only Emit and Flush touch it,
+	// and both run on the emitter's goroutine, so it needs no lock.
+	pending []Event
+
+	mu      sync.Mutex
+	subs    []*Subscriber
+	events  uint64
+	dropped uint64
+	closed  bool
+}
+
+// emitBatch is the automatic flush threshold. Large enough that the
+// per-batch lock and the subscribers' ring writes amortize to well under
+// a nanosecond per event; small enough that a free-running simulator
+// (~GHz event rates) still flushes many times per millisecond.
+const emitBatch = 1024
+
+// StreamStats is a point-in-time snapshot of a fan-out stream: how many
+// events the simulator offered, how many were dropped across all
+// subscribers, and how many subscribers are attached now.
+type StreamStats struct {
+	Subscribers int    `json:"subscribers"`
+	Events      uint64 `json:"events"`  // events offered to the fan-out
+	Dropped     uint64 `json:"dropped"` // ring overwrites, summed over subscribers
+}
+
+// NewStreamSink returns an empty fan-out with no subscribers.
+func NewStreamSink() *StreamSink {
+	return &StreamSink{pending: make([]Event, 0, emitBatch)}
+}
+
+// Emit implements Sink: the event joins the pending batch without
+// blocking and without locking; the batch flushes to subscribers when it
+// reaches emitBatch events (or on Flush). It never returns an error — a
+// full subscriber ring drops the oldest buffered event instead of
+// failing the trace. Emitter's goroutine only.
+func (s *StreamSink) Emit(ev Event) error {
+	s.pending = append(s.pending, ev)
+	if len(s.pending) >= emitBatch {
+		s.Flush()
+	}
+	return nil
+}
+
+// Flush delivers the pending batch to every subscriber under one lock
+// acquisition. A no-op when nothing is pending; on a closed sink the
+// batch is discarded uncounted. Emitter's goroutine only.
+func (s *StreamSink) Flush() {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.events += uint64(len(s.pending))
+		for _, sub := range s.subs {
+			s.dropped += sub.pushBatch(s.pending)
+		}
+	}
+	s.mu.Unlock()
+	s.pending = s.pending[:0]
+}
+
+// Close implements Sink: every subscriber's stream ends after its
+// buffered events are drained. A still-pending batch is discarded (Close
+// may be called from any goroutine, so it cannot touch the emitter-owned
+// batch); further Emit calls are discarded; further Subscribe calls
+// return an already-ended subscriber.
+func (s *StreamSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, sub := range s.subs {
+		sub.closeLocked()
+	}
+	s.subs = nil
+	return nil
+}
+
+// Subscribe attaches a new consumer with a ring of the given capacity
+// (<= 0 uses DefaultRingSize). The subscriber sees events flushed after
+// this call — including the emitter's batch pending at attach time; on
+// a closed sink it is born already ended.
+func (s *StreamSink) Subscribe(ringSize int) *Subscriber {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	sub := &Subscriber{
+		mu:     &s.mu,
+		buf:    make([]Event, ringSize),
+		notify: make(chan struct{}, 1),
+	}
+	s.mu.Lock()
+	if s.closed {
+		sub.closed = true
+	} else {
+		s.subs = append(s.subs, sub)
+	}
+	s.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe detaches sub and ends its stream. Safe to call for a
+// subscriber that was already detached (e.g. by Close).
+func (s *StreamSink) Unsubscribe(sub *Subscriber) {
+	s.mu.Lock()
+	for i, cand := range s.subs {
+		if cand == sub {
+			last := len(s.subs) - 1
+			s.subs[i] = s.subs[last]
+			s.subs[last] = nil
+			s.subs = s.subs[:last]
+			break
+		}
+	}
+	sub.closeLocked()
+	s.mu.Unlock()
+}
+
+// Stats snapshots the fan-out's counters. Counts cover flushed events
+// only; while the simulator is mid-batch, up to emitBatch events are
+// still pending and not yet visible here.
+func (s *StreamSink) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StreamStats{Subscribers: len(s.subs), Events: s.events, Dropped: s.dropped}
+}
+
+// Subscriber is one consumer's view of a StreamSink: a fixed ring of
+// undelivered events plus a cumulative drop counter. Next is safe for
+// one reading goroutine; the ring is filled from the sink's side. All
+// state is guarded by the owning sink's mutex (mu), so the emitter pays
+// no second lock per subscriber.
+type Subscriber struct {
+	mu *sync.Mutex // the owning sink's lock
+
+	buf     []Event // ring
+	start   int     // index of the oldest undelivered event
+	n       int     // undelivered events buffered
+	dropped uint64  // cumulative overwrites; monotonically increasing
+	closed  bool
+	waiting bool // a reader is blocked in Next awaiting a wakeup
+
+	notify chan struct{} // 1-buffered wakeup for a blocked Next
+}
+
+// pushBatch appends a flush batch, overwriting the oldest buffered
+// events when the ring is full, and returns how many events were
+// dropped. Called by the sink with the shared mutex held.
+//
+// The fast path is what keeps a stalled subscriber nearly free for the
+// emitter: a batch at least as large as the ring leaves the ring holding
+// exactly the batch's freshest ringSize events, so everything older —
+// buffered or in the batch — is dropped by arithmetic and only ringSize
+// events are ever copied, no matter how far behind the reader is. The
+// wakeup channel is touched at most once per batch, and only when a
+// reader is actually blocked.
+func (b *Subscriber) pushBatch(evs []Event) (dropped uint64) {
+	if b.closed || len(evs) == 0 {
+		return 0
+	}
+	r := len(b.buf)
+	if len(evs) >= r {
+		// The batch alone would overwrite the whole ring.
+		dropped = uint64(b.n + len(evs) - r)
+		copy(b.buf, evs[len(evs)-r:])
+		b.start = 0
+		b.n = r
+	} else {
+		for _, ev := range evs {
+			if b.n == r {
+				// Full: the oldest event gives way so the stream stays live.
+				b.buf[b.start] = ev
+				b.start++
+				if b.start == r {
+					b.start = 0
+				}
+				dropped++
+			} else {
+				i := b.start + b.n
+				if i >= r {
+					i -= r
+				}
+				b.buf[i] = ev
+				b.n++
+			}
+		}
+	}
+	b.dropped += dropped
+	if b.waiting {
+		b.waiting = false
+		select {
+		case b.notify <- struct{}{}:
+		default:
+		}
+	}
+	return dropped
+}
+
+// closeLocked ends the stream. Called with the shared mutex held.
+func (b *Subscriber) closeLocked() {
+	b.closed = true
+	if b.waiting {
+		b.waiting = false
+		select {
+		case b.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Next blocks until an event is available, the stream ends, or ctx is
+// done. It returns the event, the subscriber's cumulative drop count as
+// of that event's delivery (monotonically increasing; compare against
+// the previous value to detect a gap), and ok. ok false means the
+// stream ended — the buffer is drained first, so no buffered event is
+// ever lost to a close.
+func (b *Subscriber) Next(ctx context.Context) (ev Event, dropped uint64, ok bool) {
+	for {
+		b.mu.Lock()
+		if b.n > 0 {
+			ev = b.buf[b.start]
+			b.start++
+			if b.start == len(b.buf) {
+				b.start = 0
+			}
+			b.n--
+			dropped = b.dropped
+			b.mu.Unlock()
+			return ev, dropped, true
+		}
+		if b.closed {
+			dropped = b.dropped
+			b.mu.Unlock()
+			return Event{}, dropped, false
+		}
+		b.waiting = true
+		b.mu.Unlock()
+		select {
+		case <-b.notify:
+		case <-ctx.Done():
+			b.mu.Lock()
+			b.waiting = false
+			dropped = b.dropped
+			b.mu.Unlock()
+			return Event{}, dropped, false
+		}
+	}
+}
+
+// Dropped returns the cumulative count of events this subscriber lost to
+// ring overwrites. It only ever increases.
+func (b *Subscriber) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Closed reports whether the stream has ended (buffered events may still
+// be readable).
+func (b *Subscriber) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}

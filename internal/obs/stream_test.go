@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// emitN pushes n sequenced events through a tracer into the sink, the
+// way a simulator would.
+func emitN(t *Tracer, n int) {
+	for i := 0; i < n; i++ {
+		t.Emit(Event{Kind: KindInstr, PC: uint32(4 * i), Op: "add"})
+	}
+}
+
+// TestStreamDeliversInOrder: a subscriber that keeps up sees every event
+// with consecutive sequence numbers and zero drops.
+func TestStreamDeliversInOrder(t *testing.T) {
+	sink := NewStreamSink()
+	tr := NewTracer(0, sink)
+	sub := sink.Subscribe(64)
+
+	var got []Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			ev, dropped, ok := sub.Next(context.Background())
+			if !ok {
+				return
+			}
+			if dropped != 0 {
+				t.Errorf("keeping-up subscriber dropped %d events", dropped)
+			}
+			got = append(got, ev)
+		}
+	}()
+
+	const n = 1000
+	for i := 0; i < n; i++ {
+		emitN(tr, 1)
+		sink.Flush() // deliver each event as it happens
+		if i%10 == 0 {
+			time.Sleep(time.Microsecond) // let the reader drain
+		}
+	}
+	sink.Close()
+	<-done
+
+	if len(got) != n {
+		t.Fatalf("delivered %d events, want %d", len(got), n)
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i)
+		}
+	}
+	if s := sink.Stats(); s.Events != n || s.Dropped != 0 {
+		t.Errorf("stats = %+v, want %d events, 0 dropped", s, n)
+	}
+}
+
+// TestStreamStalledSubscriber is the slow-subscriber contract: a
+// subscriber that never reads while the simulator emits loses exactly
+// (emitted - ring) events, keeps the freshest ring's worth, and the
+// drop counter plus sequence gaps reconcile exactly. The emitter is
+// never blocked — all N emits complete while the subscriber is stalled.
+func TestStreamStalledSubscriber(t *testing.T) {
+	const ring = 16
+	const n = 10000
+
+	sink := NewStreamSink()
+	tr := NewTracer(0, sink)
+	sub := sink.Subscribe(ring)
+
+	emitN(tr, n) // fully stalled: no reads at all
+	sink.Flush()
+	sink.Close()
+
+	wantDropped := uint64(n - ring)
+	if d := sub.Dropped(); d != wantDropped {
+		t.Fatalf("dropped = %d, want %d", d, wantDropped)
+	}
+
+	// Drain what survived: the freshest ring's worth, in order, each
+	// delivery reporting a monotonically non-decreasing drop count.
+	var seqs []uint64
+	lastDropped := uint64(0)
+	for {
+		ev, dropped, ok := sub.Next(context.Background())
+		if !ok {
+			break
+		}
+		if dropped < lastDropped {
+			t.Fatalf("drop counter went backwards: %d after %d", dropped, lastDropped)
+		}
+		lastDropped = dropped
+		seqs = append(seqs, ev.Seq)
+	}
+	if len(seqs) != ring {
+		t.Fatalf("drained %d events, want %d", len(seqs), ring)
+	}
+	for i, seq := range seqs {
+		if want := uint64(n - ring + i); seq != want {
+			t.Fatalf("drained event %d has seq %d, want %d (freshest events must survive)", i, seq, want)
+		}
+	}
+	// Reconciliation: the gap before the first delivered event equals
+	// the cumulative drop count — no event is unaccounted for.
+	if gap := seqs[0]; gap != lastDropped {
+		t.Errorf("sequence gap %d != cumulative drops %d", gap, lastDropped)
+	}
+	if s := sink.Stats(); s.Dropped != wantDropped {
+		t.Errorf("sink stats dropped = %d, want %d", s.Dropped, wantDropped)
+	}
+}
+
+// TestStreamDropsAreGapExact: with a subscriber that reads slowly (in
+// bursts), every delivered pair of consecutive events either has
+// consecutive seqs or a gap exactly matched by the growth of the drop
+// counter at the point of the gap.
+func TestStreamDropsAreGapExact(t *testing.T) {
+	const ring = 8
+	sink := NewStreamSink()
+	tr := NewTracer(0, sink)
+	sub := sink.Subscribe(ring)
+
+	// Emit in bursts bigger than the ring, reading a couple of events in
+	// between, so the stream alternates delivery runs and gaps.
+	type delivery struct {
+		seq     uint64
+		dropped uint64
+	}
+	var got []delivery
+	for burst := 0; burst < 20; burst++ {
+		emitN(tr, 3*ring)
+		sink.Flush()
+		for i := 0; i < 2; i++ {
+			ev, dropped, ok := sub.Next(context.Background())
+			if !ok {
+				t.Fatal("stream ended early")
+			}
+			got = append(got, delivery{ev.Seq, dropped})
+		}
+	}
+	sink.Close()
+	for {
+		ev, dropped, ok := sub.Next(context.Background())
+		if !ok {
+			break
+		}
+		got = append(got, delivery{ev.Seq, dropped})
+	}
+
+	for i := 1; i < len(got); i++ {
+		prev, cur := got[i-1], got[i]
+		if cur.seq <= prev.seq {
+			t.Fatalf("delivery %d: seq %d after %d, not increasing", i, cur.seq, prev.seq)
+		}
+		if cur.dropped < prev.dropped {
+			t.Fatalf("delivery %d: drop counter fell %d -> %d", i, prev.dropped, cur.dropped)
+		}
+		gap := cur.seq - prev.seq - 1
+		dropGrowth := cur.dropped - prev.dropped
+		if gap != dropGrowth {
+			t.Fatalf("delivery %d: gap of %d events but drop counter grew %d", i, gap, dropGrowth)
+		}
+	}
+	// Global reconciliation: everything emitted was either delivered or
+	// counted dropped.
+	total := sink.Stats().Events
+	if uint64(len(got))+sub.Dropped() != total {
+		t.Errorf("delivered %d + dropped %d != emitted %d", len(got), sub.Dropped(), total)
+	}
+}
+
+// TestStreamConcurrentEmitAndRead runs the emitter and a slow reader
+// concurrently (the -race CI job turns this into a locking proof).
+func TestStreamConcurrentEmitAndRead(t *testing.T) {
+	sink := NewStreamSink()
+	tr := NewTracer(0, sink)
+	sub := sink.Subscribe(32)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var delivered uint64
+	var lastSeq uint64
+	first := true
+	go func() {
+		defer wg.Done()
+		for {
+			ev, _, ok := sub.Next(context.Background())
+			if !ok {
+				return
+			}
+			if !first && ev.Seq <= lastSeq {
+				t.Errorf("seq %d delivered after %d", ev.Seq, lastSeq)
+				return
+			}
+			first = false
+			lastSeq = ev.Seq
+			delivered++
+		}
+	}()
+
+	const n = 50000
+	emitN(tr, n)
+	sink.Flush()
+	sink.Close()
+	wg.Wait()
+
+	if delivered+sub.Dropped() != n {
+		t.Errorf("delivered %d + dropped %d != emitted %d", delivered, sub.Dropped(), n)
+	}
+}
+
+// TestStreamUnsubscribeAndClose covers detach semantics: an
+// unsubscribed consumer's stream ends, late subscribers on a closed
+// sink are born ended, and a closed sink discards emits.
+func TestStreamUnsubscribeAndClose(t *testing.T) {
+	sink := NewStreamSink()
+	tr := NewTracer(0, sink)
+	a := sink.Subscribe(8)
+	b := sink.Subscribe(8)
+	emitN(tr, 3)
+	sink.Flush()
+	sink.Unsubscribe(a)
+
+	// a: drains its 3 buffered events, then ends.
+	for i := 0; i < 3; i++ {
+		if _, _, ok := a.Next(context.Background()); !ok {
+			t.Fatalf("unsubscribed consumer lost buffered event %d", i)
+		}
+	}
+	if _, _, ok := a.Next(context.Background()); ok {
+		t.Error("unsubscribed consumer's stream did not end")
+	}
+
+	emitN(tr, 2) // b keeps receiving
+	sink.Flush()
+	sink.Close()
+	n := 0
+	for {
+		if _, _, ok := b.Next(context.Background()); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("b saw %d events, want 5", n)
+	}
+
+	late := sink.Subscribe(8)
+	if _, _, ok := late.Next(context.Background()); ok {
+		t.Error("subscriber on a closed sink delivered an event")
+	}
+	if err := sink.Emit(Event{}); err != nil {
+		t.Errorf("emit on closed sink errored: %v", err)
+	}
+}
+
+// TestStreamNextHonorsContext: a blocked Next returns when its context
+// is cancelled, without ending the stream.
+func TestStreamNextHonorsContext(t *testing.T) {
+	sink := NewStreamSink()
+	sub := sink.Subscribe(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, ok := sub.Next(ctx); ok {
+		t.Fatal("Next returned an event from an empty stream")
+	}
+	if sub.Closed() {
+		t.Error("context cancellation closed the stream")
+	}
+	// The stream still works afterwards.
+	tr := NewTracer(0, sink)
+	emitN(tr, 1)
+	sink.Flush()
+	if _, _, ok := sub.Next(context.Background()); !ok {
+		t.Error("stream dead after a cancelled Next")
+	}
+}
+
+// TestStreamBatchedDelivery pins the batching contract that keeps the
+// fan-out off the simulator's hot path: events below the automatic
+// threshold stay in the emitter-owned batch (invisible to subscribers
+// and to Stats) until Flush; crossing emitBatch flushes on its own; a
+// batch pending when the sink closes is discarded, never counted, so
+// delivered + dropped == Stats().Events always reconciles.
+func TestStreamBatchedDelivery(t *testing.T) {
+	sink := NewStreamSink()
+	tr := NewTracer(0, sink)
+	sub := sink.Subscribe(2 * emitBatch)
+
+	emitN(tr, 5) // below the threshold: nothing delivered yet
+	if s := sink.Stats(); s.Events != 0 {
+		t.Fatalf("stats saw %d events before any flush", s.Events)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	if _, _, ok := sub.Next(ctx); ok {
+		t.Fatal("subscriber got an event before any flush")
+	}
+	cancel()
+
+	sink.Flush()
+	if s := sink.Stats(); s.Events != 5 {
+		t.Fatalf("stats = %d events after flush, want 5", s.Events)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, ok := sub.Next(context.Background()); !ok {
+			t.Fatalf("flushed event %d not delivered", i)
+		}
+	}
+
+	emitN(tr, emitBatch) // crosses the threshold: flushes automatically
+	if s := sink.Stats(); s.Events != 5+emitBatch {
+		t.Fatalf("stats = %d events after auto-flush, want %d", s.Events, 5+emitBatch)
+	}
+
+	emitN(tr, 3) // pending at close: discarded, not counted
+	sink.Close()
+	delivered := uint64(5)
+	for {
+		if _, _, ok := sub.Next(context.Background()); !ok {
+			break
+		}
+		delivered++
+	}
+	s := sink.Stats()
+	if s.Events != 5+emitBatch {
+		t.Errorf("stats = %d events after close, want %d (pending batch must not count)", s.Events, 5+emitBatch)
+	}
+	if delivered+sub.Dropped() != s.Events {
+		t.Errorf("delivered %d + dropped %d != emitted %d", delivered, sub.Dropped(), s.Events)
+	}
+}

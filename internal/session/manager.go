@@ -1,0 +1,232 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrManagerClosed: the manager is draining; no new sessions.
+var ErrManagerClosed = errors.New("session: manager closed")
+
+// DefaultIdleTimeout is how long an untouched session survives before
+// the reaper closes it. Commands and new stream subscriptions count as
+// activity; a passively open stream does not — a watcher who never
+// commands is indistinguishable from an abandoned one.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// Stats is a point-in-time summary of the manager for /metrics. Stream
+// totals cover closed sessions too, so the counters are monotonic the
+// way Prometheus counters must be.
+type Stats struct {
+	Active        int    // live sessions (gauge)
+	Subscribers   int    // attached stream subscribers across live sessions (gauge)
+	Created       uint64 // sessions ever created
+	Closed        uint64 // sessions closed for any reason (includes Expired)
+	Expired       uint64 // closed by the idle reaper
+	StreamEvents  uint64 // trace events offered to subscribers, all sessions ever
+	StreamDropped uint64 // events dropped on slow subscribers, all sessions ever
+}
+
+// Prometheus renders the stats in text exposition format under prefix.
+func (s Stats) Prometheus(prefix string) string {
+	return fmt.Sprintf(`# TYPE %[1]s_active gauge
+%[1]s_active %[2]d
+# TYPE %[1]s_subscribers gauge
+%[1]s_subscribers %[3]d
+# TYPE %[1]s_created_total counter
+%[1]s_created_total %[4]d
+# TYPE %[1]s_closed_total counter
+%[1]s_closed_total %[5]d
+# TYPE %[1]s_expired_total counter
+%[1]s_expired_total %[6]d
+# TYPE %[1]s_stream_events_total counter
+%[1]s_stream_events_total %[7]d
+# TYPE %[1]s_stream_dropped_total counter
+%[1]s_stream_dropped_total %[8]d
+`, prefix, s.Active, s.Subscribers, s.Created, s.Closed, s.Expired, s.StreamEvents, s.StreamDropped)
+}
+
+// Manager owns the live session table: ID assignment, lookup, idle
+// reaping, and the drain path that closes everything at shutdown. All
+// methods are safe for concurrent use.
+type Manager struct {
+	idle time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	closed   bool
+
+	created, closedN, expired uint64
+	// Stream totals of sessions already closed; live sessions are summed
+	// on demand so Stats stays monotonic across session churn.
+	doneEvents, doneDropped uint64
+
+	stop     chan struct{}
+	reaperWG sync.WaitGroup
+}
+
+// NewManager starts a manager whose reaper closes sessions idle longer
+// than idleTimeout (<= 0 uses DefaultIdleTimeout). Stop it with
+// CloseAll.
+func NewManager(idleTimeout time.Duration) *Manager {
+	if idleTimeout <= 0 {
+		idleTimeout = DefaultIdleTimeout
+	}
+	m := &Manager{
+		idle:     idleTimeout,
+		sessions: make(map[string]*Session),
+		stop:     make(chan struct{}),
+	}
+	m.reaperWG.Add(1)
+	go m.reap()
+	return m
+}
+
+// NewID issues the next session identifier.
+func (m *Manager) NewID() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return fmt.Sprintf("sess-%06d", m.nextID)
+}
+
+// Add registers a session built with an ID from NewID. It fails with
+// ErrManagerClosed once the manager is draining — the caller still owns
+// (and must close) the rejected session.
+func (m *Manager) Add(s *Session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrManagerClosed
+	}
+	m.sessions[s.ID()] = s
+	m.created++
+	return nil
+}
+
+// Get looks up a live session.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Close removes and closes one session, reporting whether it existed.
+func (m *Manager) Close(id, reason string) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		m.retire(s)
+	}
+	m.mu.Unlock()
+	if ok {
+		s.Close(reason)
+	}
+	return ok
+}
+
+// retire removes a session from the table and folds its stream counters
+// into the done totals. Caller holds m.mu; the session's sink keeps its
+// counts after close, so snapshotting here (before Close) is exact.
+func (m *Manager) retire(s *Session) {
+	delete(m.sessions, s.ID())
+	m.closedN++
+	st := s.StreamStats()
+	m.doneEvents += st.Events
+	m.doneDropped += st.Dropped
+}
+
+// CloseAll closes every session with the given reason (the drain path:
+// subscribers get a terminal event, release hooks fire), stops the
+// reaper, and marks the manager closed so Add refuses new sessions. It
+// returns when the reaper has exited and every session is closed.
+func (m *Manager) CloseAll(reason string) {
+	m.mu.Lock()
+	var victims []*Session
+	if !m.closed {
+		m.closed = true
+		close(m.stop)
+		for _, s := range m.sessions {
+			victims = append(victims, s)
+		}
+		for _, s := range victims {
+			m.retire(s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.Close(reason)
+	}
+	m.reaperWG.Wait()
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Active:        len(m.sessions),
+		Created:       m.created,
+		Closed:        m.closedN,
+		Expired:       m.expired,
+		StreamEvents:  m.doneEvents,
+		StreamDropped: m.doneDropped,
+	}
+	for _, s := range m.sessions {
+		ss := s.StreamStats()
+		st.Subscribers += ss.Subscribers
+		st.StreamEvents += ss.Events
+		st.StreamDropped += ss.Dropped
+	}
+	return st
+}
+
+// reap wakes a few times per idle period and closes sessions whose
+// idle time exceeds the timeout. Sessions with a command in flight are
+// never idle (Session.idleFor), so a long run-until cannot be reaped
+// out from under its caller.
+func (m *Manager) reap() {
+	defer m.reaperWG.Done()
+	period := m.idle / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > 5*time.Second {
+		period = 5 * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			var victims []*Session
+			for _, s := range m.sessions {
+				if d, ok := s.idleFor(now); ok && d > m.idle {
+					victims = append(victims, s)
+				}
+			}
+			for _, s := range victims {
+				m.retire(s)
+				m.expired++
+			}
+			m.mu.Unlock()
+			for _, s := range victims {
+				s.Close(CloseReasonIdle)
+			}
+		}
+	}
+}
+
+// Close reasons reported in each subscriber's terminal stream event.
+const (
+	CloseReasonClient = "closed"       // explicit DELETE by the client
+	CloseReasonIdle   = "idle-timeout" // reaped after the idle timeout
+	CloseReasonDrain  = "drain"        // server shutting down
+)

@@ -1,0 +1,211 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestManagerLifecycle: IDs are unique, lookup works, explicit close
+// removes the session and fires its release hook, and the stats
+// counters reconcile.
+func TestManagerLifecycle(t *testing.T) {
+	m := NewManager(time.Hour) // reaper effectively off
+	defer m.CloseAll(CloseReasonDrain)
+
+	a, b := buildRISC(t, fibSrc, 0), buildRISC(t, fibSrc, 0)
+	releases := 0
+	a.OnClose = func() { releases++ }
+	ida, idb := m.NewID(), m.NewID()
+	if ida == idb {
+		t.Fatalf("NewID repeated %q", ida)
+	}
+	for _, s := range []*Session{a, b} {
+		if err := m.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := m.Get(a.ID()); !ok || got != a {
+		t.Fatal("Get lost a registered session")
+	}
+
+	if !m.Close(a.ID(), CloseReasonClient) {
+		t.Fatal("Close missed a live session")
+	}
+	if m.Close(a.ID(), CloseReasonClient) {
+		t.Fatal("Close found an already-closed session")
+	}
+	if releases != 1 {
+		t.Fatalf("release hook fired %d times, want 1", releases)
+	}
+	if _, ok := m.Get(a.ID()); ok {
+		t.Fatal("closed session still resolvable")
+	}
+
+	st := m.Stats()
+	if st.Active != 1 || st.Created != 2 || st.Closed != 1 || st.Expired != 0 {
+		t.Fatalf("stats %+v, want active 1, created 2, closed 1", st)
+	}
+}
+
+// TestManagerStreamTotalsSurviveClose: a session's stream counters fold
+// into the manager totals when it closes, so the Prometheus counters
+// stay monotonic across session churn.
+func TestManagerStreamTotalsSurviveClose(t *testing.T) {
+	m := NewManager(time.Hour)
+	defer m.CloseAll(CloseReasonDrain)
+
+	s := buildRISC(t, spinSrc, 2000)
+	if err := m.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Subscribe(16) // stalled: guarantees drops
+	if _, err := s.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	live := m.Stats()
+	if live.StreamEvents < 2000 || live.StreamDropped == 0 || live.Subscribers != 1 {
+		t.Fatalf("live stats %+v", live)
+	}
+
+	m.Close(s.ID(), CloseReasonClient)
+	after := m.Stats()
+	if after.StreamEvents != live.StreamEvents || after.StreamDropped != live.StreamDropped {
+		t.Fatalf("stream totals shrank on close: %+v -> %+v", live, after)
+	}
+	if after.Subscribers != 0 || after.Active != 0 {
+		t.Fatalf("closed session still counted: %+v", after)
+	}
+	_ = sub
+
+	text := after.Prometheus("risc1_session")
+	for _, want := range []string{
+		"# TYPE risc1_session_active gauge\nrisc1_session_active 0\n",
+		"risc1_session_created_total 1\n",
+		"risc1_session_closed_total 1\n",
+		"# TYPE risc1_session_stream_dropped_total counter\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestManagerIdleReaper: an untouched session expires (subscribers get
+// a terminal idle-timeout stream end), while a session kept busy by a
+// long command survives well past the timeout.
+func TestManagerIdleReaper(t *testing.T) {
+	m := NewManager(60 * time.Millisecond)
+	defer m.CloseAll(CloseReasonDrain)
+
+	idle := buildRISC(t, fibSrc, 0)
+	if err := m.Add(idle); err != nil {
+		t.Fatal(err)
+	}
+	sub := idle.Subscribe(8)
+
+	busy := buildRISC(t, spinSrc, 1<<30)
+	if err := m.Add(busy); err != nil {
+		t.Fatal(err)
+	}
+	busyDone := make(chan struct{})
+	go func() {
+		defer close(busyDone)
+		busy.Run(context.Background(), 0) // interrupted by CloseAll via the deferred drain
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := m.Get(idle.ID()); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r := idle.CloseReason(); r != CloseReasonIdle {
+		t.Errorf("idle close reason %q, want %q", r, CloseReasonIdle)
+	}
+	// The subscriber's stream ended (terminal, not hung).
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for {
+		if _, _, ok := sub.Next(ctx); !ok {
+			break
+		}
+	}
+	if !sub.Closed() {
+		t.Error("expired session left its subscriber stream open")
+	}
+
+	// The busy session is immune while its command runs.
+	if _, ok := m.Get(busy.ID()); !ok {
+		t.Fatal("busy session was reaped mid-command")
+	}
+	if st := m.Stats(); st.Expired != 1 {
+		t.Errorf("expired count %d, want 1", st.Expired)
+	}
+
+	m.CloseAll(CloseReasonDrain)
+	<-busyDone
+	if err := m.Add(buildRISC(t, fibSrc, 0)); !errors.Is(err, ErrManagerClosed) {
+		t.Errorf("Add after CloseAll = %v, want ErrManagerClosed", err)
+	}
+}
+
+// TestSessionGoroutineLeak is the satellite-5 leak check: the goroutine
+// count is stable after a full create -> stream -> idle-timeout ->
+// drain lifecycle, repeated enough to make a per-session leak obvious.
+func TestSessionGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		m := NewManager(30 * time.Millisecond)
+		readers := make(chan struct{}, 4)
+		for i := 0; i < 4; i++ {
+			s := buildRISC(t, fibSrc, 0)
+			if err := m.Add(s); err != nil {
+				t.Fatal(err)
+			}
+			sub := s.Subscribe(32)
+			go func() {
+				defer func() { readers <- struct{}{} }()
+				for {
+					if _, _, ok := sub.Next(context.Background()); !ok {
+						return
+					}
+				}
+			}()
+			if _, err := s.Step(context.Background(), 10); err != nil {
+				t.Error(err)
+			}
+		}
+		// Half the sessions expire idle; CloseAll drains the rest.
+		time.Sleep(70 * time.Millisecond)
+		m.CloseAll(CloseReasonDrain)
+		for i := 0; i < 4; i++ {
+			select {
+			case <-readers:
+			case <-time.After(5 * time.Second):
+				t.Fatal("stream reader leaked: subscriber stream never ended")
+			}
+		}
+	}
+
+	// Let runtime bookkeeping settle, then compare.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after session lifecycles", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,71 @@
+package session
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// timeRun builds a fresh spin session with the given fuel, optionally
+// attaches a stalled subscriber (never read), and times one Run to fuel
+// exhaustion.
+func timeRun(t *testing.T, fuel uint64, stalledSub bool) time.Duration {
+	t.Helper()
+	s := buildRISC(t, spinSrc, fuel)
+	defer s.Close(CloseReasonClient)
+	if stalledSub {
+		s.Subscribe(64)
+	}
+	start := time.Now()
+	st, err := s.Run(context.Background(), 0)
+	took := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stopped != StopFuel || st.Instructions != fuel {
+		t.Fatalf("run state %+v, want fuel stop at %d", st, fuel)
+	}
+	return took
+}
+
+// TestStalledSubscriberOverhead is the acceptance pin: a deliberately
+// stalled subscriber must never slow the session's simulator by more
+// than 5%. Measured the repo's standard way (bench/warmstart.go): both
+// sides warmed up first, then strictly interleaved A/B rounds. The
+// verdict is the MEDIAN of the per-round ratios: each round's free and
+// stalled runs are adjacent in time, so host drift (CPU frequency,
+// sibling test binaries, GC) hits both sides of a pair about equally
+// and cancels in the ratio, and the median discards the few rounds
+// where a noise spike lands inside one half of a pair.
+func TestStalledSubscriberOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		// The race detector multiplies the cost of the sink's mutex ops,
+		// so the 5% ratio measured under it reflects the instrumentation,
+		// not the shipped code. The -race job still runs every functional
+		// stream/session test; the perf pin runs in the plain test job.
+		t.Skip("performance pin is meaningless under the race detector")
+	}
+	const fuel = 2_000_000 // tens of ms per side: long enough to swamp timer noise
+	const rounds = 7
+
+	timeRun(t, fuel, false) // warm up: image build, page pool, heap
+	timeRun(t, fuel, true)
+
+	ratios := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		f := timeRun(t, fuel, false).Seconds()
+		s := timeRun(t, fuel, true).Seconds()
+		ratios = append(ratios, s/f)
+	}
+	sort.Float64s(ratios)
+	ratio := ratios[len(ratios)/2]
+	t.Logf("per-round stalled/free ratios %.4f, median %.4f", ratios, ratio)
+	if ratio > 1.05 {
+		t.Errorf("stalled subscriber slows the simulator %.1f%% (median of %d paired rounds), budget is 5%%",
+			(ratio-1)*100, rounds)
+	}
+}

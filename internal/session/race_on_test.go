@@ -1,0 +1,9 @@
+//go:build race
+
+package session
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Timing pins skip under it: race instrumentation multiplies
+// the cost of every synchronization operation, so a performance ratio
+// measured there says nothing about production builds.
+const raceEnabled = true

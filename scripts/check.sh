@@ -16,3 +16,6 @@ else
 fi
 go test ./...
 go test -race ./...
+# Session-lifecycle goroutine leak checks (see Makefile `leakcheck`).
+go test -count=2 ./internal/session -run 'TestSessionGoroutineLeak'
+go test -count=2 ./cmd/risc1-serve -run 'TestServeDrainClosesOpenStream|TestDrainCancelsInflightWithoutLeaking'
