@@ -23,7 +23,7 @@ import (
 	"strings"
 
 	"risc1/internal/cc"
-	ccopt "risc1/internal/cc/opt"
+	"risc1/internal/machine"
 	"risc1/internal/obs"
 	"risc1/internal/vax"
 )
@@ -64,16 +64,16 @@ func main() {
 	var prog *vax.Program
 	var passes []obs.PassStat
 	if fromC {
-		var stats []ccopt.Stat
-		prog, _, stats, err = cc.CompileVAX(string(src), cc.Options{Opt: *opt})
+		// The MiniC path compiles through the machine registry, so this
+		// tool builds exactly what risc1-serve and the bench harness run.
+		b, _ := machine.Lookup("cisc")
+		mp, _, ps, err := b.Compile(string(src),
+			b.Normalize(machine.Options{Opt: *opt}))
 		if err != nil {
 			fatal(err)
 		}
-		for _, s := range stats {
-			if s.Rewrites > 0 {
-				passes = append(passes, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
-			}
-		}
+		prog = machine.Unwrap(mp).(*vax.Program)
+		passes = ps
 	} else {
 		prog, err = vax.Assemble(string(src))
 		if err != nil {

@@ -30,8 +30,8 @@ import (
 
 	"risc1/internal/asm"
 	"risc1/internal/cc"
-	ccopt "risc1/internal/cc/opt"
 	"risc1/internal/cpu"
+	"risc1/internal/machine"
 	"risc1/internal/obs"
 )
 
@@ -75,16 +75,16 @@ func main() {
 	var prog *asm.Program
 	var passes []obs.PassStat
 	if fromC {
-		var stats []ccopt.Stat
-		prog, _, stats, err = cc.CompileRISC(string(src), cc.Options{Opt: *opt, DelaySlots: *optimize})
+		// The MiniC path compiles through the machine registry, so this
+		// tool builds exactly what risc1-serve and the bench harness run.
+		b, _ := machine.Lookup("risc1")
+		mp, _, ps, err := b.Compile(string(src),
+			b.Normalize(machine.Options{Opt: *opt, DelaySlots: *optimize}))
 		if err != nil {
 			fatal(err)
 		}
-		for _, s := range stats {
-			if s.Rewrites > 0 {
-				passes = append(passes, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
-			}
-		}
+		prog = machine.Unwrap(mp).(*asm.Program)
+		passes = ps
 	} else {
 		prog, err = asm.Assemble(string(src), asm.Options{Optimize: *optimize})
 		if err != nil {

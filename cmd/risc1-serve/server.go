@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"risc1/internal/exec"
+	"risc1/internal/machine"
 	"risc1/internal/obs"
 	"risc1/internal/session"
 )
@@ -24,21 +25,24 @@ const (
 	RequestSchemaV1 = "risc1.run-request/v1"
 	// ResponseSchemaV1 is echoed in every response body.
 	ResponseSchemaV1 = "risc1.run-response/v1"
+	// MachinesResponseSchemaV1 is the body of GET /v1/machines.
+	MachinesResponseSchemaV1 = "risc1.machines-response/v1"
 )
 
 // Stable error codes. Clients dispatch on these, never on messages.
 const (
-	codeBadRequest        = "bad_request"        // 400: malformed JSON or invalid field
-	codeCompileError      = "compile_error"      // 400: the program does not compile
-	codeNotFound          = "not_found"          // 404: unknown job id
-	codeSessionNotFound   = "session_not_found"  // 404: unknown or already-closed session
-	codeSessionBusy       = "session_busy"       // 409: the session is executing another command
-	codeBodyTooLarge      = "body_too_large"     // 413: body past -max-source
-	codeUnsupportedSchema = "unsupported_schema" // 422: unknown request schema
-	codeFuelExceeded      = "fuel_exceeded"      // 422: instruction budget exhausted
-	codeQueueFull         = "queue_full"         // 429: admission queue full, retry later
-	codeInternal          = "internal"           // 500: bug or infrastructure failure
-	codeDeadline          = "deadline"           // 504: wall-clock budget exhausted
+	codeBadRequest         = "bad_request"         // 400: malformed JSON or invalid field
+	codeCompileError       = "compile_error"       // 400: the program does not compile
+	codeNotFound           = "not_found"           // 404: unknown job id
+	codeSessionNotFound    = "session_not_found"   // 404: unknown or already-closed session
+	codeSessionBusy        = "session_busy"        // 409: the session is executing another command
+	codeBodyTooLarge       = "body_too_large"      // 413: body past -max-source
+	codeUnsupportedSchema  = "unsupported_schema"  // 422: unknown request schema
+	codeUnsupportedMachine = "unsupported_machine" // 422: machine name not in the registry
+	codeFuelExceeded       = "fuel_exceeded"       // 422: instruction budget exhausted
+	codeQueueFull          = "queue_full"          // 429: admission queue full, retry later
+	codeInternal           = "internal"            // 500: bug or infrastructure failure
+	codeDeadline           = "deadline"            // 504: wall-clock budget exhausted
 )
 
 // CacheHeader reports how the result cache handled a synchronous run:
@@ -111,7 +115,8 @@ type runRequest struct {
 	// Source is the MiniC program. It must store its result in the
 	// global "result".
 	Source string `json:"source"`
-	// Machine is "risc1" (default) or "cisc".
+	// Machine names a registered simulator backend, canonical or alias
+	// (GET /v1/machines lists them); empty means the default, "risc1".
 	Machine string `json:"machine,omitempty"`
 	// Opt is the compiler optimization level, 0 or 1 (default 1).
 	Opt *int `json:"opt,omitempty"`
@@ -174,7 +179,7 @@ func statusForCode(code string) int {
 		return http.StatusConflict
 	case codeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case codeUnsupportedSchema, codeFuelExceeded:
+	case codeUnsupportedSchema, codeUnsupportedMachine, codeFuelExceeded:
 		return http.StatusUnprocessableEntity
 	case codeQueueFull:
 		return http.StatusTooManyRequests
@@ -230,6 +235,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}", s.handleSessionCommand)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+	mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -359,14 +365,9 @@ func (s *Server) specFor(req runRequest) (exec.Spec, time.Duration, *runResponse
 	if opt < 0 || opt > 1 {
 		return exec.Spec{}, 0, errResponse(codeBadRequest, "opt must be 0 or 1, got %d", opt)
 	}
-	var machine exec.Machine
-	switch req.Machine {
-	case "", "risc1":
-		machine = exec.MachineRISC
-	case "cisc":
-		machine = exec.MachineCISC
-	default:
-		return exec.Spec{}, 0, errResponse(codeBadRequest, "unknown machine %q", req.Machine)
+	name, err := machine.Canonical(req.Machine)
+	if err != nil {
+		return exec.Spec{}, 0, errResponse(codeUnsupportedMachine, "%v", err)
 	}
 	fuel := req.Fuel
 	if fuel == 0 || fuel > s.cfg.MaxFuel {
@@ -376,16 +377,18 @@ func (s *Server) specFor(req runRequest) (exec.Spec, time.Duration, *runResponse
 	if timeout <= 0 || timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	name := req.Name
-	if name == "" {
-		name = "serve"
+	reqName := req.Name
+	if reqName == "" {
+		reqName = "serve"
 	}
 	return exec.Spec{
-		Name:       name,
-		Machine:    machine,
-		Source:     req.Source,
-		Opt:        opt,
-		DelaySlots: machine == exec.MachineRISC,
+		Name:    reqName,
+		Machine: name,
+		Source:  req.Source,
+		Opt:     opt,
+		// Ask for delay slots unconditionally; backends without them
+		// normalize the knob away, so this only reaches the RISC assembler.
+		DelaySlots: true,
 		Fuel:       fuel,
 	}, timeout, nil
 }
@@ -437,6 +440,43 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, &runResponse{Schema: ResponseSchemaV1, ID: id, Status: "pending"})
 	}
+}
+
+// machineInfo is one registry entry on the wire.
+type machineInfo struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Description string   `json:"description,omitempty"`
+	Default     bool     `json:"default,omitempty"`
+}
+
+// machinesResponse is the body of GET /v1/machines (schema
+// risc1.machines-response/v1).
+type machinesResponse struct {
+	Schema   string        `json:"schema"`
+	Machines []machineInfo `json:"machines"`
+}
+
+// handleMachines lists the registered simulator backends in registration
+// order: the canonical names a request's machine field accepts, their
+// aliases, and which one an empty field means.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	resp := machinesResponse{Schema: MachinesResponseSchemaV1}
+	for _, b := range machine.Machines() {
+		resp.Machines = append(resp.Machines, machineInfo{
+			Name:        b.Name,
+			Aliases:     b.Aliases,
+			Description: b.Description,
+			Default:     b.Name == machine.DefaultName,
+		})
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -217,7 +217,7 @@ func TestRunBadRequests(t *testing.T) {
 	}{
 		{"invalid json", `{"source": `, 400, "bad_request"},
 		{"missing source", `{}`, 400, "bad_request"},
-		{"bad machine", `{"source": "int main() { return 0; }", "machine": "pdp11"}`, 400, "bad_request"},
+		{"bad machine", `{"source": "int main() { return 0; }", "machine": "pdp11"}`, 422, "unsupported_machine"},
 		{"bad opt", `{"source": "int main() { return 0; }", "opt": 3}`, 400, "bad_request"},
 		{"unknown schema", `{"schema": "risc1.run-request/v9", "source": "int main() { return 0; }"}`, 422, "unsupported_schema"},
 	}
@@ -228,6 +228,62 @@ func TestRunBadRequests(t *testing.T) {
 		}
 		if code := errorCode(t, b); code != tc.code {
 			t.Errorf("%s: code = %q, want %q", tc.name, code, tc.code)
+		}
+	}
+}
+
+// TestMachinesEndpoint: GET /v1/machines lists every registered backend
+// with the default flagged, and an alias from the listing routes a run
+// to the same content-addressed result as the canonical name.
+func TestMachinesEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, ServerConfig{})
+	resp, err := http.Get(ts.URL + "/v1/machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr machinesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Schema != MachinesResponseSchemaV1 {
+		t.Errorf("schema = %q, want %q", mr.Schema, MachinesResponseSchemaV1)
+	}
+	byName := map[string]machineInfo{}
+	for _, m := range mr.Machines {
+		byName[m.Name] = m
+	}
+	for _, want := range []string{"risc1", "cisc", "rv32"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("listing is missing machine %q: %+v", want, mr.Machines)
+		}
+	}
+	if !byName["risc1"].Default {
+		t.Errorf("risc1 not flagged as the default: %+v", byName["risc1"])
+	}
+
+	// Every advertised alias must be accepted by /v1/run and address the
+	// same cache entry as the canonical name.
+	for _, m := range mr.Machines {
+		canon, _ := json.Marshal(runRequest{Name: "alias", Source: serveSrc, Machine: m.Name})
+		first, firstBody := postRun(t, ts, string(canon))
+		if first.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d\n%s", m.Name, first.StatusCode, firstBody)
+		}
+		for _, alias := range m.Aliases {
+			req, _ := json.Marshal(runRequest{Name: "alias", Source: serveSrc, Machine: alias})
+			resp, body := postRun(t, ts, string(req))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status = %d\n%s", alias, resp.StatusCode, body)
+			}
+			if got := resp.Header.Get(CacheHeader); got != "hit" {
+				t.Errorf("%s: %s = %q, want hit (alias must share the canonical cache entry)",
+					alias, CacheHeader, got)
+			}
+			if !bytes.Equal(body, firstBody) {
+				t.Errorf("%s: response diverged from canonical %s:\n%s\n---\n%s",
+					alias, m.Name, body, firstBody)
+			}
 		}
 	}
 }
@@ -265,7 +321,7 @@ func TestSchemaRoundTrip(t *testing.T) {
 // miss and to a cold recompute on a server that has never cached
 // anything.
 func TestCacheDifferentialCorners(t *testing.T) {
-	for _, machine := range []string{"risc1", "cisc"} {
+	for _, machine := range []string{"risc1", "cisc", "rv32"} {
 		for opt := 0; opt <= 1; opt++ {
 			o := opt
 			req, _ := json.Marshal(runRequest{Name: "diff", Source: serveSrc, Machine: machine, Opt: &o})

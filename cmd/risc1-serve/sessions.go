@@ -9,11 +9,9 @@ import (
 	"strconv"
 	"time"
 
-	"risc1/internal/cc"
-	"risc1/internal/cpu"
+	"risc1/internal/machine"
 	"risc1/internal/obs"
 	"risc1/internal/session"
-	"risc1/internal/vax"
 )
 
 // The session half of the v1 contract (docs/API.md): long-lived paused
@@ -39,7 +37,8 @@ type sessionRequest struct {
 	Schema string `json:"schema,omitempty"`
 	// Source is the MiniC program to debug.
 	Source string `json:"source"`
-	// Machine is "risc1" (default) or "cisc".
+	// Machine names a registered simulator backend, canonical or alias
+	// (GET /v1/machines lists them); empty means the default, "risc1".
 	Machine string `json:"machine,omitempty"`
 	// Opt is the compiler optimization level, 0 or 1 (default 1).
 	Opt *int `json:"opt,omitempty"`
@@ -170,8 +169,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeSessionJSON(w, 0, sessionError(codeBadRequest, "opt must be 0 or 1, got %d", opt))
 		return
 	}
-	if req.Machine != "" && req.Machine != "risc1" && req.Machine != "cisc" {
-		writeSessionJSON(w, 0, sessionError(codeBadRequest, "unknown machine %q", req.Machine))
+	b, ok := machine.Lookup(req.Machine)
+	if !ok {
+		_, err := machine.Canonical(req.Machine)
+		writeSessionJSON(w, 0, sessionError(codeUnsupportedMachine, "%v", err))
 		return
 	}
 	fuel := req.Fuel
@@ -191,26 +192,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := s.mgr.NewID()
-	var sess *session.Session
-	if req.Machine == "cisc" {
-		c, prog, err := s.sims.NewVAXMachine(r.Context(), req.Source,
-			cc.Options{Opt: opt}, vax.Config{MaxInstructions: fuel})
-		if err != nil {
-			release()
-			writeSessionJSON(w, 0, sessionError(codeCompileError, "%v", err))
-			return
-		}
-		sess = session.NewVAX(id, c, prog)
-	} else {
-		c, prog, err := s.sims.NewRISCMachine(r.Context(), req.Source,
-			cc.Options{Opt: opt, DelaySlots: true}, cpu.Config{MaxInstructions: fuel})
-		if err != nil {
-			release()
-			writeSessionJSON(w, 0, sessionError(codeCompileError, "%v", err))
-			return
-		}
-		sess = session.NewRISC(id, c, prog)
+	// Delay slots requested unconditionally; backends without them
+	// normalize the knob away (see specFor).
+	m, prog, err := s.sims.NewMachine(r.Context(), b, req.Source,
+		machine.Options{Opt: opt, DelaySlots: true, Fuel: fuel})
+	if err != nil {
+		release()
+		writeSessionJSON(w, 0, sessionError(codeCompileError, "%v", err))
+		return
 	}
+	sess := session.New(id, m, prog)
 	sess.OnClose = release
 	if err := s.mgr.Add(sess); err != nil {
 		sess.Close(session.CloseReasonDrain) // fires OnClose -> release

@@ -185,6 +185,25 @@ func TestSessionLifecycle(t *testing.T) {
 }
 
 // TestSessionValidation covers the rejection paths and their stable codes.
+// TestSessionEveryMachine drives a session to completion on every
+// registered machine: the debugger surface is machine-agnostic, and the
+// result global reads back the same bytes on each.
+func TestSessionEveryMachine(t *testing.T) {
+	ts, _, _ := newTestServer(t, ServerConfig{})
+	for _, mach := range []string{"risc1", "cisc", "rv32"} {
+		id := createSession(t, ts, sessionRequest{Source: sessionsSrc, Machine: mach})
+		sr := command(t, ts, id, commandRequest{Cmd: "run"})
+		if sr.State == nil || !sr.State.Halted || sr.State.Stopped != "halt" {
+			t.Fatalf("%s: run state = %+v, want a clean halt", mach, sr.State)
+		}
+		sr = command(t, ts, id, commandRequest{Cmd: "read-memory", Addr: "result"})
+		if sr.Memory != "00000015" {
+			t.Errorf("%s: result = %q, want 00000015 (fib(8) = 21)", mach, sr.Memory)
+		}
+		doSession(t, "DELETE", ts.URL+"/v1/sessions/"+id, "")
+	}
+}
+
 func TestSessionValidation(t *testing.T) {
 	ts, _, _ := newTestServer(t, ServerConfig{})
 	cases := []struct {
@@ -193,7 +212,7 @@ func TestSessionValidation(t *testing.T) {
 		code                    string
 	}{
 		{"missing source", "POST", "/v1/sessions", `{}`, 400, "bad_request"},
-		{"bad machine", "POST", "/v1/sessions", `{"source": "int main() { return 0; }", "machine": "pdp11"}`, 400, "bad_request"},
+		{"bad machine", "POST", "/v1/sessions", `{"source": "int main() { return 0; }", "machine": "pdp11"}`, 422, "unsupported_machine"},
 		{"bad opt", "POST", "/v1/sessions", `{"source": "int main() { return 0; }", "opt": 7}`, 400, "bad_request"},
 		{"unknown schema", "POST", "/v1/sessions", `{"schema": "risc1.session-request/v9", "source": "int main() { return 0; }"}`, 422, "unsupported_schema"},
 		{"compile error", "POST", "/v1/sessions", `{"source": "int main() { return undeclared; }"}`, 400, "compile_error"},

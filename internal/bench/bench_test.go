@@ -6,8 +6,8 @@ import (
 )
 
 // TestSuiteCorrectness is the central integration test: every benchmark
-// must produce the Go reference result on both simulators, optimized and
-// not, with and without windows.
+// must produce the Go reference result on all three simulators,
+// optimized and not, with and without windows.
 func TestSuiteCorrectness(t *testing.T) {
 	for _, w := range Suite(Small()) {
 		w := w
@@ -34,6 +34,13 @@ func TestSuiteCorrectness(t *testing.T) {
 				}
 				if vx.Result != w.Expected {
 					t.Fatalf("vax -O%d result %d, want %d", lvl, vx.Result, w.Expected)
+				}
+				rv, err := RunRV32(w, Rv32Config{Opt: lvl})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rv.Result != w.Expected {
+					t.Fatalf("rv32 -O%d result %d, want %d", lvl, rv.Result, w.Expected)
 				}
 			}
 		})
@@ -101,10 +108,10 @@ func TestCallCostOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(costs) != 3 {
-		t.Fatalf("want 3 machines, got %d", len(costs))
+	if len(costs) != 4 {
+		t.Fatalf("want 4 machines, got %d", len(costs))
 	}
-	windows, noWindows, cisc := costs[0], costs[1], costs[2]
+	windows, noWindows, cisc, rv := costs[0], costs[1], costs[2], costs[3]
 	if !(windows.CyclesPerCall < noWindows.CyclesPerCall) {
 		t.Errorf("windows (%f cy) should beat no-windows (%f cy)",
 			windows.CyclesPerCall, noWindows.CyclesPerCall)
@@ -118,6 +125,14 @@ func TestCallCostOrdering(t *testing.T) {
 	}
 	if cisc.MemWordsPer < 5 {
 		t.Errorf("CALLS should move a whole frame, got %.2f words/call", cisc.MemWordsPer)
+	}
+	if !(rv.MemWordsPer > windows.MemWordsPer) {
+		t.Errorf("rv32 calls push frames to memory, so should move more than windowed RISC (%.2f vs %.2f words/call)",
+			rv.MemWordsPer, windows.MemWordsPer)
+	}
+	if !(windows.CyclesPerCall < rv.CyclesPerCall) {
+		t.Errorf("windows (%f cy) should beat rv32 stack frames (%f cy)",
+			windows.CyclesPerCall, rv.CyclesPerCall)
 	}
 }
 

@@ -8,9 +8,10 @@ import (
 
 // TestOptLevelsAgreeOnAllWorkloads is the optimizer's differential
 // acceptance test: for every benchmark workload, compiling at -O0 and
-// -O1 must produce identical guest-visible results on both simulators.
-// (RunRISC/RunVAX already compare each run against the Go reference
-// value, so this also re-checks correctness at both levels.)
+// -O1 must produce identical guest-visible results on all three
+// simulators. (RunRISC/RunVAX/RunRV32 already compare each run against
+// the Go reference value, so this also re-checks correctness at both
+// levels.)
 func TestOptLevelsAgreeOnAllWorkloads(t *testing.T) {
 	for _, w := range Suite(Small()) {
 		w := w
@@ -44,6 +45,21 @@ func TestOptLevelsAgreeOnAllWorkloads(t *testing.T) {
 			if v1.Instructions > v0.Instructions {
 				t.Errorf("vax: -O1 executed more instructions than -O0 (%d vs %d)",
 					v1.Instructions, v0.Instructions)
+			}
+			g0, err := RunRV32(w, Rv32Config{Opt: 0})
+			if err != nil {
+				t.Fatalf("rv32 -O0: %v", err)
+			}
+			g1, err := RunRV32(w, Rv32Config{Opt: 1})
+			if err != nil {
+				t.Fatalf("rv32 -O1: %v", err)
+			}
+			if g0.Result != g1.Result {
+				t.Errorf("rv32: -O0 result %d != -O1 result %d", g0.Result, g1.Result)
+			}
+			if g1.Instructions > g0.Instructions {
+				t.Errorf("rv32: -O1 executed more instructions than -O0 (%d vs %d)",
+					g1.Instructions, g0.Instructions)
 			}
 		})
 	}

@@ -5,15 +5,39 @@ import (
 	"fmt"
 
 	"risc1/internal/asm"
-	"risc1/internal/cc"
 	"risc1/internal/cpu"
 	"risc1/internal/exec"
+	"risc1/internal/machine"
 	"risc1/internal/mem"
 	"risc1/internal/obs"
 	"risc1/internal/regfile"
+	"risc1/internal/rv32"
 	"risc1/internal/trace"
 	"risc1/internal/vax"
 )
+
+// The harness runs every workload through the machine registry: one
+// generic compile+load+run core (runOn), with a thin typed wrapper per
+// machine that unwraps the adapter to mine concrete statistics the
+// paper's tables need (window spills, delay-slot fills, microcoded call
+// costs). Adding a machine means registering a backend and, if a table
+// wants its internals, one more wrapper — the core never changes.
+
+// Registry entries the harness measures. Resolved once; a missing one
+// is a build error in the registry, not a runtime condition.
+var (
+	riscBackend = backend("risc1")
+	ciscBackend = backend("cisc")
+	rv32Backend = backend("rv32")
+)
+
+func backend(name string) *machine.Backend {
+	b, ok := machine.Lookup(name)
+	if !ok {
+		panic("bench: machine " + name + " is not registered")
+	}
+	return b
+}
 
 // RiscRun is the outcome of one workload on the RISC I simulator.
 type RiscRun struct {
@@ -51,6 +75,21 @@ type VaxRun struct {
 	Report obs.Report
 }
 
+// Rv32Run is the outcome of one workload on the RV32I-subset machine —
+// the delay-slot-free, window-free RISC point between the other two.
+type Rv32Run struct {
+	Result       int32
+	Instructions uint64
+	Cycles       uint64
+	Micros       float64
+	TextBytes    int
+	Stats        rv32.Stats
+	Mix          []trace.Share
+	DataTraffic  mem.Stats
+	// Report is the machine-readable form of this run.
+	Report obs.Report
+}
+
 // RiscConfig tweaks a RISC run.
 type RiscConfig struct {
 	Windows   int  // 0 = the paper's 8
@@ -65,6 +104,11 @@ type VaxConfig struct {
 	Opt int // compiler optimization level (-O0 / -O1)
 }
 
+// Rv32Config tweaks an RV32 run.
+type Rv32Config struct {
+	Opt int // compiler optimization level (-O0 / -O1)
+}
+
 // OptLevel is the compiler optimization level the harness's composite
 // measurements (Compare, SweepWindows, MeasureCallCost) run at.
 // risc1-bench's -opt flag overrides it.
@@ -76,10 +120,59 @@ var OptLevel = 1
 // speed changes.
 var NoICache bool
 
-// CPUConfig is the simulator organization a RISC bench configuration
-// asks for — the cache key batch workers reuse machines under.
-func (cfg RiscConfig) CPUConfig() cpu.Config {
-	return cpu.Config{Windows: cfg.Windows, NoWindows: cfg.NoWindows, NoICache: cfg.NoICache || NoICache}
+// options maps a RISC bench configuration to registry options — the
+// cache key batch workers reuse machines under.
+func (cfg RiscConfig) options() machine.Options {
+	return machine.Options{
+		Opt:        cfg.Opt,
+		DelaySlots: cfg.Optimize,
+		Windows:    cfg.Windows,
+		NoWindows:  cfg.NoWindows,
+		NoICache:   cfg.NoICache || NoICache,
+	}
+}
+
+func (cfg VaxConfig) options() machine.Options { return machine.Options{Opt: cfg.Opt} }
+
+func (cfg Rv32Config) options() machine.Options { return machine.Options{Opt: cfg.Opt} }
+
+// runOn is the generic core every harness measurement goes through:
+// compile w for backend b (via the pool's shared program cache when
+// sims is non-nil, so a sweep resubmitting one workload under many
+// machine configurations compiles it once), load it into the worker's
+// cached simulator (or a fresh one outside a pool), run to completion,
+// and verify the result word against the workload's Go reference value.
+func runOn(ctx context.Context, sims *exec.Sims, b *machine.Backend, w Workload, o machine.Options) (machine.Machine, machine.Program, []obs.PassStat, int32, error) {
+	o = b.Normalize(o)
+	prog, text, passes, err := sims.Compile(ctx, b, w.Source, o)
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
+	var m machine.Machine
+	if sims != nil {
+		m = sims.Machine(b, o)
+	} else {
+		m = b.New(o)
+	}
+	m.Reset(prog.Entry())
+	if err := prog.LoadInto(m.Mem()); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if err := m.RunContext(ctx); err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("bench %s (%s): %w\n%s", w.Name, b.Name, err, text)
+	}
+	addr, ok := prog.Symbol("result")
+	if !ok {
+		return nil, nil, nil, 0, fmt.Errorf("bench %s: no global named result", w.Name)
+	}
+	v, err := m.Mem().LoadWord(addr)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if int32(v) != w.Expected {
+		return nil, nil, nil, 0, fmt.Errorf("bench %s (%s): result %d, want %d", w.Name, b.Name, int32(v), w.Expected)
+	}
+	return m, prog, passes, int32(v), nil
 }
 
 // RunRISC compiles and executes a workload on the RISC I simulator.
@@ -91,57 +184,32 @@ func RunRISC(w Workload, cfg RiscConfig) (RiscRun, error) {
 // the per-worker simulator to reuse, and ctx bounds the run. This is
 // the function CompareAllOn submits to the pool.
 func RunRISCOn(ctx context.Context, sims *exec.Sims, w Workload, cfg RiscConfig) (RiscRun, error) {
-	// Compiling through the Sims goes via the pool's shared program
-	// cache, so a sweep resubmitting one workload under many machine
-	// configurations compiles it once (nil sims compile directly).
-	prog, text, passes, err := sims.CompileRISC(ctx, w.Source, cc.Options{Opt: cfg.Opt, DelaySlots: cfg.Optimize})
-	if err != nil {
-		return RiscRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
-	}
-	var c *cpu.CPU
-	if sims != nil {
-		c = sims.RISC(cfg.CPUConfig())
-	} else {
-		c = cpu.New(cfg.CPUConfig())
-	}
-	c.Reset(prog.Entry)
-	if err := prog.LoadInto(c.Mem); err != nil {
-		return RiscRun{}, err
-	}
-	if err := c.RunContext(ctx); err != nil {
-		return RiscRun{}, fmt.Errorf("bench %s (risc): %w\n%s", w.Name, err, text)
-	}
-	addr, ok := prog.Symbol("result")
-	if !ok {
-		return RiscRun{}, fmt.Errorf("bench %s: no global named result", w.Name)
-	}
-	v, err := c.Mem.LoadWord(addr)
+	m, prog, passes, v, err := runOn(ctx, sims, riscBackend, w, cfg.options())
 	if err != nil {
 		return RiscRun{}, err
 	}
+	c := machine.Unwrap(m).(*cpu.CPU)
+	ap := machine.Unwrap(prog).(*asm.Program)
 	run := RiscRun{
-		Result:       int32(v),
+		Result:       v,
 		Instructions: c.Trace.Instructions,
 		Cycles:       c.Trace.Cycles,
 		Micros:       c.Micros(),
-		TextBytes:    prog.TextSize,
+		TextBytes:    ap.TextSize,
 		Windows:      c.Regs.Stats,
 		CPUStats:     c.Stats,
-		Slots:        prog.Slots,
+		Slots:        ap.Slots,
 		Mix:          c.Trace.Mix(),
 		Ops:          c.Trace.OpCounts(),
 		MaxDepth:     c.Regs.MaxDepth(),
 		Depths:       c.Trace.DepthHistogram(),
 		DataTraffic:  c.Mem.Stats,
-		Report:       c.BuildReport(w.Name),
+		Report:       m.BuildReport(w.Name),
 	}
 	run.Report.ICache = nil // host machinery; see the field comment
 	run.Report.Config.Optimized = cfg.Optimize
 	run.Report.Config.OptLevel = cfg.Opt
 	run.Report.Config.Passes = passes
-	if run.Result != w.Expected {
-		return run, fmt.Errorf("bench %s (risc): result %d, want %d", w.Name, run.Result, w.Expected)
-	}
 	return run, nil
 }
 
@@ -152,47 +220,54 @@ func RunVAX(w Workload, cfg VaxConfig) (VaxRun, error) {
 
 // RunVAXOn is RunVAX on a batch worker, mirroring RunRISCOn.
 func RunVAXOn(ctx context.Context, sims *exec.Sims, w Workload, cfg VaxConfig) (VaxRun, error) {
-	prog, text, passes, err := sims.CompileVAX(ctx, w.Source, cc.Options{Opt: cfg.Opt})
-	if err != nil {
-		return VaxRun{}, fmt.Errorf("bench %s: %w", w.Name, err)
-	}
-	var c *vax.CPU
-	if sims != nil {
-		c = sims.VAX(vax.Config{})
-	} else {
-		c = vax.New(vax.Config{})
-	}
-	c.Reset(prog.Entry)
-	if err := prog.LoadInto(c.Mem); err != nil {
-		return VaxRun{}, err
-	}
-	if err := c.RunContext(ctx); err != nil {
-		return VaxRun{}, fmt.Errorf("bench %s (vax): %w\n%s", w.Name, err, text)
-	}
-	addr, ok := prog.Symbol("result")
-	if !ok {
-		return VaxRun{}, fmt.Errorf("bench %s: no global named result", w.Name)
-	}
-	v, err := c.Mem.LoadWord(addr)
+	m, prog, passes, v, err := runOn(ctx, sims, ciscBackend, w, cfg.options())
 	if err != nil {
 		return VaxRun{}, err
 	}
+	c := machine.Unwrap(m).(*vax.CPU)
+	vp := machine.Unwrap(prog).(*vax.Program)
 	run := VaxRun{
-		Result:       int32(v),
+		Result:       v,
 		Instructions: c.Trace.Instructions,
 		Cycles:       c.Trace.Cycles,
 		Micros:       c.Micros(),
-		TextBytes:    prog.TextSize,
+		TextBytes:    vp.TextSize,
 		Stats:        c.Stats,
 		Mix:          c.Trace.Mix(),
 		DataTraffic:  c.Mem.Stats,
-		Report:       c.BuildReport(w.Name),
+		Report:       m.BuildReport(w.Name),
 	}
 	run.Report.Config.OptLevel = cfg.Opt
 	run.Report.Config.Passes = passes
-	if run.Result != w.Expected {
-		return run, fmt.Errorf("bench %s (vax): result %d, want %d", w.Name, run.Result, w.Expected)
+	return run, nil
+}
+
+// RunRV32 compiles and executes a workload on the RV32I-subset machine.
+func RunRV32(w Workload, cfg Rv32Config) (Rv32Run, error) {
+	return RunRV32On(context.Background(), nil, w, cfg)
+}
+
+// RunRV32On is RunRV32 on a batch worker, mirroring RunRISCOn.
+func RunRV32On(ctx context.Context, sims *exec.Sims, w Workload, cfg Rv32Config) (Rv32Run, error) {
+	m, prog, passes, v, err := runOn(ctx, sims, rv32Backend, w, cfg.options())
+	if err != nil {
+		return Rv32Run{}, err
 	}
+	c := machine.Unwrap(m).(*rv32.CPU)
+	rp := machine.Unwrap(prog).(*rv32.Program)
+	run := Rv32Run{
+		Result:       v,
+		Instructions: c.Trace.Instructions,
+		Cycles:       c.Trace.Cycles,
+		Micros:       c.Micros(),
+		TextBytes:    rp.TextSize,
+		Stats:        c.Stats,
+		Mix:          c.Trace.Mix(),
+		DataTraffic:  c.Mem.Stats,
+		Report:       m.BuildReport(w.Name),
+	}
+	run.Report.Config.OptLevel = cfg.Opt
+	run.Report.Config.Passes = passes
 	return run, nil
 }
 
@@ -203,6 +278,7 @@ type Comparison struct {
 	Risc     RiscRun // 8 windows, delay slots optimized
 	RiscNop  RiscRun // 8 windows, unoptimized (NOPs in every slot)
 	Vax      VaxRun
+	Rv32     Rv32Run // windowless, delay-slot-free RISC
 }
 
 // Compare runs one workload everywhere.
@@ -219,7 +295,11 @@ func Compare(w Workload) (Comparison, error) {
 	if err != nil {
 		return Comparison{}, err
 	}
-	return Comparison{Workload: w, Risc: risc, RiscNop: riscNop, Vax: vx}, nil
+	rv, err := RunRV32(w, Rv32Config{Opt: OptLevel})
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Workload: w, Risc: risc, RiscNop: riscNop, Vax: vx, Rv32: rv}, nil
 }
 
 // CompareAll runs the whole suite through a batch pool sized by the
@@ -233,12 +313,12 @@ func CompareAll(suite []Workload) ([]Comparison, error) {
 
 // Reports flattens a comparison set into the run list of an
 // obs.BenchReport: for each workload the optimized RISC run, the
-// unoptimized RISC run, then the baseline (told apart by Machine and
-// Config.Optimized).
+// unoptimized RISC run, the baseline, then the RV32 run (told apart by
+// Machine and Config.Optimized).
 func Reports(cs []Comparison) []obs.Report {
-	out := make([]obs.Report, 0, 3*len(cs))
+	out := make([]obs.Report, 0, 4*len(cs))
 	for _, c := range cs {
-		out = append(out, c.Risc.Report, c.RiscNop.Report, c.Vax.Report)
+		out = append(out, c.Risc.Report, c.RiscNop.Report, c.Vax.Report, c.Rv32.Report)
 	}
 	return out
 }
@@ -348,57 +428,53 @@ func callBenchExpected() int32 {
 	return s
 }
 
+// callMeasure runs one side of the differenced microbenchmark and
+// returns the totals the subtraction needs: simulated cycles and
+// data-memory bytes moved.
+func callMeasure(b *machine.Backend, w Workload, o machine.Options) (cycles, memBytes uint64, err error) {
+	m, _, _, _, err := runOn(context.Background(), nil, b, w, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	st := m.Mem().Stats
+	return m.Cycles(), st.BytesRead + st.BytesWritten, nil
+}
+
 // MeasureCallCost returns per-call costs for RISC I with windows, RISC I
-// without windows (every call spills), and the CISC baseline's CALLS/RET.
+// without windows (every call spills), the CISC baseline's CALLS/RET,
+// and RV32's jal/jalr with explicit frame stores.
 func MeasureCallCost() ([]CallCost, error) {
 	with := Workload{Name: "callcost", Source: callBenchSource(true), Expected: callBenchExpected()}
 	without := Workload{Name: "callbase", Source: callBenchSource(false), Expected: callBenchExpected()}
 
-	var out []CallCost
-
-	riscConfigs := []struct {
-		name string
-		cfg  RiscConfig
+	variants := []struct {
+		label string
+		b     *machine.Backend
+		o     machine.Options
 	}{
-		{"RISC I (8 windows)", RiscConfig{Optimize: true, Opt: OptLevel}},
-		{"RISC I (no windows)", RiscConfig{NoWindows: true, Optimize: true, Opt: OptLevel}},
+		{"RISC I (8 windows)", riscBackend, RiscConfig{Optimize: true, Opt: OptLevel}.options()},
+		{"RISC I (no windows)", riscBackend, RiscConfig{NoWindows: true, Optimize: true, Opt: OptLevel}.options()},
+		{"CISC (CALLS/RET)", ciscBackend, VaxConfig{Opt: OptLevel}.options()},
+		{"RV32 (jal/jalr)", rv32Backend, Rv32Config{Opt: OptLevel}.options()},
 	}
-	for _, rc := range riscConfigs {
-		a, err := RunRISC(with, rc.cfg)
+	out := make([]CallCost, 0, len(variants))
+	for _, vt := range variants {
+		aCycles, aBytes, err := callMeasure(vt.b, with, vt.o)
 		if err != nil {
 			return nil, err
 		}
-		b, err := RunRISC(without, rc.cfg)
+		bCycles, bBytes, err := callMeasure(vt.b, without, vt.o)
 		if err != nil {
 			return nil, err
 		}
-		dCycles := float64(a.Cycles-b.Cycles) / callLoopN
-		dWords := float64(a.DataTraffic.BytesRead+a.DataTraffic.BytesWritten-
-			b.DataTraffic.BytesRead-b.DataTraffic.BytesWritten) / 4 / callLoopN
+		dCycles := float64(aCycles-bCycles) / callLoopN
+		dWords := float64(aBytes-bBytes) / 4 / callLoopN
 		out = append(out, CallCost{
-			Machine:       rc.name,
+			Machine:       vt.label,
 			CyclesPerCall: dCycles,
-			MicrosPerCall: dCycles * cpu.DefaultCycleNS / 1000,
+			MicrosPerCall: dCycles * vt.b.CycleNS / 1000,
 			MemWordsPer:   dWords,
 		})
 	}
-
-	a, err := RunVAX(with, VaxConfig{Opt: OptLevel})
-	if err != nil {
-		return nil, err
-	}
-	b, err := RunVAX(without, VaxConfig{Opt: OptLevel})
-	if err != nil {
-		return nil, err
-	}
-	dCycles := float64(a.Cycles-b.Cycles) / callLoopN
-	dWords := float64(a.DataTraffic.BytesRead+a.DataTraffic.BytesWritten-
-		b.DataTraffic.BytesRead-b.DataTraffic.BytesWritten) / 4 / callLoopN
-	out = append(out, CallCost{
-		Machine:       "CISC (CALLS/RET)",
-		CyclesPerCall: dCycles,
-		MicrosPerCall: dCycles * vax.CycleNS / 1000,
-		MemWordsPer:   dWords,
-	})
 	return out, nil
 }

@@ -36,25 +36,33 @@ func vaxJob(w Workload, cfg VaxConfig) exec.Job {
 	}}
 }
 
-// CompareAllOn runs the whole suite through pool: three jobs per
-// workload (optimized RISC, unoptimized RISC, baseline), results
+// rv32Job wraps one RV32 run as a pool job.
+func rv32Job(w Workload, cfg Rv32Config) exec.Job {
+	return exec.Job{Key: w.Name + "/rv32", Fn: func(ctx context.Context, sims *exec.Sims) (any, error) {
+		return RunRV32On(ctx, sims, w, cfg)
+	}}
+}
+
+// CompareAllOn runs the whole suite through pool: four jobs per
+// workload (optimized RISC, unoptimized RISC, baseline, RV32), results
 // reassembled in suite order. The pool's per-worker simulators are
 // reused across jobs; the cross-job leakage tests in internal/exec pin
 // that reuse never changes a result.
 func CompareAllOn(ctx context.Context, p *exec.Pool, suite []Workload) ([]Comparison, error) {
-	jobs := make([]exec.Job, 0, 3*len(suite))
+	jobs := make([]exec.Job, 0, 4*len(suite))
 	for _, w := range suite {
 		jobs = append(jobs,
 			riscJob(w, RiscConfig{Optimize: true, Opt: OptLevel}),
 			riscJob(w, RiscConfig{Optimize: false, Opt: OptLevel}),
 			vaxJob(w, VaxConfig{Opt: OptLevel}),
+			rv32Job(w, Rv32Config{Opt: OptLevel}),
 		)
 	}
 	results := p.RunBatch(ctx, jobs)
 	out := make([]Comparison, 0, len(suite))
 	for i, w := range suite {
 		c := Comparison{Workload: w}
-		for k, res := range results[3*i : 3*i+3] {
+		for k, res := range results[4*i : 4*i+4] {
 			if res.Err != nil {
 				return nil, res.Err
 			}
@@ -63,8 +71,10 @@ func CompareAllOn(ctx context.Context, p *exec.Pool, suite []Workload) ([]Compar
 				c.Risc = res.Value.(RiscRun)
 			case 1:
 				c.RiscNop = res.Value.(RiscRun)
-			default:
+			case 2:
 				c.Vax = res.Value.(VaxRun)
+			default:
+				c.Rv32 = res.Value.(Rv32Run)
 			}
 		}
 		out = append(out, c)

@@ -130,7 +130,7 @@ func TestVaxReportMatchesCollector(t *testing.T) {
 	}
 }
 
-// TestBenchReportShape checks the suite-level wrapper: three runs per
+// TestBenchReportShape checks the suite-level wrapper: four runs per
 // workload, valid JSON, stable schema header.
 func TestBenchReportShape(t *testing.T) {
 	c, err := Compare(goldenWorkload(t))
@@ -138,8 +138,8 @@ func TestBenchReportShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	br := obs.NewBenchReport("small", Reports([]Comparison{c}))
-	if len(br.Runs) != 3 {
-		t.Fatalf("runs = %d, want risc, risc-nop, vax", len(br.Runs))
+	if len(br.Runs) != 4 {
+		t.Fatalf("runs = %d, want risc, risc-nop, vax, rv32", len(br.Runs))
 	}
 	if br.Runs[0].Machine != "risc1" || !br.Runs[0].Config.Optimized {
 		t.Errorf("run 0 = %s optimized=%v, want optimized risc1", br.Runs[0].Machine, br.Runs[0].Config.Optimized)
@@ -149,6 +149,9 @@ func TestBenchReportShape(t *testing.T) {
 	}
 	if br.Runs[2].Machine != "cisc" {
 		t.Errorf("run 2 = %s, want cisc", br.Runs[2].Machine)
+	}
+	if br.Runs[3].Machine != "rv32" {
+		t.Errorf("run 3 = %s, want rv32", br.Runs[3].Machine)
 	}
 	b, err := br.JSON()
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"risc1/internal/exec"
 	"risc1/internal/isa"
 	"risc1/internal/regfile"
+	"risc1/internal/rv32"
 	"risc1/internal/vax"
 )
 
@@ -45,22 +46,24 @@ func TableInstructionSet() string {
 
 // TableMachines regenerates the machine-characteristics comparison: the
 // RISC I design against the microcoded CISC baseline it is measured
-// against (standing in for the paper's VAX-11/780 column).
+// against (standing in for the paper's VAX-11/780 column), plus the
+// RV32I-subset point — a RISC without windows or delay slots.
 func TableMachines() string {
 	rcfg := regfile.DefaultConfig
 	return table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "T2. Machine characteristics")
-		fmt.Fprintln(w, "characteristic\tRISC I\tCISC baseline (VAX-780 class)")
-		fmt.Fprintf(w, "instructions\t%d\t%d\n", isa.NumInstructions, vax.NumInstructions)
-		fmt.Fprintf(w, "instruction size (bytes)\t4\t2-19 (variable)\n")
-		fmt.Fprintf(w, "instruction formats\t2\tone per operand-specifier combination\n")
-		fmt.Fprintf(w, "addressing modes\t%d\t%d\n", 2, vax.NumAddressingModes)
-		fmt.Fprintf(w, "general registers\t%d visible / %d physical\t%d\n",
-			isa.NumVisibleRegs, rcfg.PhysicalRegs(), vax.NumRegs)
-		fmt.Fprintf(w, "register windows\t%d (overlap 6)\tnone\n", rcfg.Windows)
-		fmt.Fprintf(w, "cycle time (ns)\t%d\t%d\n", cpu.DefaultCycleNS, vax.CycleNS)
-		fmt.Fprintf(w, "control\thardwired\tmicrocoded (modelled costs)\n")
-		fmt.Fprintf(w, "memory access\tload/store only\tany operand\n")
+		fmt.Fprintln(w, "characteristic\tRISC I\tCISC baseline (VAX-780 class)\tRV32I subset")
+		fmt.Fprintf(w, "instructions\t%d\t%d\t%d\n", isa.NumInstructions, vax.NumInstructions, rv32.NumInstructions)
+		fmt.Fprintf(w, "instruction size (bytes)\t4\t2-19 (variable)\t4\n")
+		fmt.Fprintf(w, "instruction formats\t2\tone per operand-specifier combination\t6\n")
+		fmt.Fprintf(w, "addressing modes\t%d\t%d\t%d\n", 2, vax.NumAddressingModes, 1)
+		fmt.Fprintf(w, "general registers\t%d visible / %d physical\t%d\t%d\n",
+			isa.NumVisibleRegs, rcfg.PhysicalRegs(), vax.NumRegs, rv32.NumRegs)
+		fmt.Fprintf(w, "register windows\t%d (overlap 6)\tnone\tnone\n", rcfg.Windows)
+		fmt.Fprintf(w, "delayed jumps\tyes (1 slot)\tno\tno\n")
+		fmt.Fprintf(w, "cycle time (ns)\t%d\t%d\t%d\n", cpu.DefaultCycleNS, vax.CycleNS, rv32.CycleNS)
+		fmt.Fprintf(w, "control\thardwired\tmicrocoded (modelled costs)\thardwired\n")
+		fmt.Fprintf(w, "memory access\tload/store only\tany operand\tload/store only\n")
 	})
 }
 
@@ -85,14 +88,18 @@ func TableSuite(suite []Workload) string {
 func TableCodeSize(cs []Comparison) string {
 	return table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "T4. Static code size (bytes of instructions)")
-		fmt.Fprintln(w, "benchmark\tRISC I\tCISC\tRISC/CISC")
-		var sumRatio float64
+		fmt.Fprintln(w, "benchmark\tRISC I\tCISC\tRV32\tRISC/CISC\tRV32/CISC")
+		var sumRatio, sumRv32 float64
 		for _, c := range cs {
 			ratio := float64(c.Risc.TextBytes) / float64(c.Vax.TextBytes)
+			rvRatio := float64(c.Rv32.TextBytes) / float64(c.Vax.TextBytes)
 			sumRatio += ratio
-			fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\n", c.Workload.Name, c.Risc.TextBytes, c.Vax.TextBytes, ratio)
+			sumRv32 += rvRatio
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%.2f\n", c.Workload.Name,
+				c.Risc.TextBytes, c.Vax.TextBytes, c.Rv32.TextBytes, ratio, rvRatio)
 		}
-		fmt.Fprintf(w, "geometric mean-ish (avg)\t\t\t%.2f\n", sumRatio/float64(len(cs)))
+		fmt.Fprintf(w, "geometric mean-ish (avg)\t\t\t\t%.2f\t%.2f\n",
+			sumRatio/float64(len(cs)), sumRv32/float64(len(cs)))
 	})
 }
 
@@ -103,16 +110,19 @@ func TableCodeSize(cs []Comparison) string {
 func TableExecTime(cs []Comparison) string {
 	return table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "T5. Execution time")
-		fmt.Fprintln(w, "benchmark\tRISC instr\tCISC instr\tRISC µs\tCISC µs\tCISC/RISC time")
-		var sumSpeed float64
+		fmt.Fprintln(w, "benchmark\tRISC instr\tCISC instr\tRV32 instr\tRISC µs\tCISC µs\tRV32 µs\tCISC/RISC time\tCISC/RV32 time")
+		var sumSpeed, sumRv32 float64
 		for _, c := range cs {
 			speed := c.Vax.Micros / c.Risc.Micros
+			rvSpeed := c.Vax.Micros / c.Rv32.Micros
 			sumSpeed += speed
-			fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\t%.2f\n",
-				c.Workload.Name, c.Risc.Instructions, c.Vax.Instructions,
-				c.Risc.Micros, c.Vax.Micros, speed)
+			sumRv32 += rvSpeed
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%.2f\n",
+				c.Workload.Name, c.Risc.Instructions, c.Vax.Instructions, c.Rv32.Instructions,
+				c.Risc.Micros, c.Vax.Micros, c.Rv32.Micros, speed, rvSpeed)
 		}
-		fmt.Fprintf(w, "average speedup\t\t\t\t\t%.2f\n", sumSpeed/float64(len(cs)))
+		fmt.Fprintf(w, "average speedup\t\t\t\t\t\t\t%.2f\t%.2f\n",
+			sumSpeed/float64(len(cs)), sumRv32/float64(len(cs)))
 	})
 }
 
@@ -120,7 +130,8 @@ func TableExecTime(cs []Comparison) string {
 func TableMix(cs []Comparison) string {
 	riscTotals := map[string]uint64{}
 	vaxTotals := map[string]uint64{}
-	var riscN, vaxN uint64
+	rv32Totals := map[string]uint64{}
+	var riscN, vaxN, rv32N uint64
 	for _, c := range cs {
 		for _, s := range c.Risc.Mix {
 			riscTotals[s.Name] += s.Count
@@ -130,21 +141,24 @@ func TableMix(cs []Comparison) string {
 			vaxTotals[s.Name] += s.Count
 			vaxN += s.Count
 		}
+		for _, s := range c.Rv32.Mix {
+			rv32Totals[s.Name] += s.Count
+			rv32N += s.Count
+		}
+	}
+	share := func(totals map[string]uint64, n uint64, class string) string {
+		if c := totals[class]; c > 0 {
+			return fmt.Sprintf("%.1f%%", 100*float64(c)/float64(n))
+		}
+		return "-"
 	}
 	classes := []string{"alu", "memory", "control", "move", "call", "misc"}
 	return table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "T6. Dynamic instruction mix (whole suite)")
-		fmt.Fprintln(w, "class\tRISC I\tCISC")
+		fmt.Fprintln(w, "class\tRISC I\tCISC\tRV32")
 		for _, cl := range classes {
-			r := "-"
-			v := "-"
-			if n := riscTotals[cl]; n > 0 {
-				r = fmt.Sprintf("%.1f%%", 100*float64(n)/float64(riscN))
-			}
-			if n := vaxTotals[cl]; n > 0 {
-				v = fmt.Sprintf("%.1f%%", 100*float64(n)/float64(vaxN))
-			}
-			fmt.Fprintf(w, "%s\t%s\t%s\n", cl, r, v)
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", cl,
+				share(riscTotals, riscN, cl), share(vaxTotals, vaxN, cl), share(rv32Totals, rv32N, cl))
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"risc1/internal/asm"
 	"risc1/internal/cc/ir"
 	"risc1/internal/cc/opt"
+	"risc1/internal/rv32"
 	"risc1/internal/vax"
 )
 
@@ -72,6 +73,24 @@ func CompileVAX(src string, o Options) (*vax.Program, string, []opt.Stat, error)
 		return nil, "", stats, err
 	}
 	p, err := vax.Assemble(text)
+	if err != nil {
+		return nil, text, stats, err
+	}
+	return p, text, stats, nil
+}
+
+// CompileRV32 compiles MiniC source to an assembled program for the
+// modern delay-slot-free RISC machine.
+func CompileRV32(src string, o Options) (*rv32.Program, string, []opt.Stat, error) {
+	prog, stats, err := Frontend(src, o.Opt)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	text, err := GenRV32(prog)
+	if err != nil {
+		return nil, text, stats, err
+	}
+	p, err := rv32.Assemble(text)
 	if err != nil {
 		return nil, text, stats, err
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"risc1/internal/cpu"
+	"risc1/internal/rv32"
 	"risc1/internal/vax"
 )
 
@@ -36,6 +37,7 @@ func runRISC(t *testing.T, src string, o Options) *cpu.CPU {
 
 var riscSyms map[string]uint32
 var vaxSyms map[string]uint32
+var rv32Syms map[string]uint32
 
 func riscGlobal(t *testing.T, c *cpu.CPU, name string) int32 {
 	t.Helper()
@@ -86,8 +88,44 @@ func vaxGlobal(t *testing.T, c *vax.CPU, name string) int32 {
 	return int32(v)
 }
 
-// checkBoth runs src on both machines at both optimization levels and
-// asserts the global "result".
+func runRV32src(t *testing.T, src string, o Options) *rv32.CPU {
+	t.Helper()
+	prog, text, _, err := CompileRV32(src, o)
+	if err != nil {
+		t.Fatalf("compile rv32: %v\n%s", err, text)
+	}
+	c := rv32.New(rv32.Config{})
+	c.Reset(prog.Entry)
+	if err := prog.LoadInto(c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("rv32 run: %v\nassembly:\n%s", err, text)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("rv32 assembly:\n%s", text)
+		}
+	})
+	rv32Syms = prog.Symbols
+	return c
+}
+
+func rv32Global(t *testing.T, c *rv32.CPU, name string) int32 {
+	t.Helper()
+	addr, ok := rv32Syms[name]
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	v, err := c.Mem.LoadWord(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int32(v)
+}
+
+// checkBoth runs src on all three machines at both optimization levels
+// and asserts the global "result".
 func checkBoth(t *testing.T, src string, want int32) {
 	t.Helper()
 	for _, lvl := range []int{0, 1} {
@@ -102,6 +140,10 @@ func checkBoth(t *testing.T, src string, want int32) {
 		v := runVAXsrc(t, src, Options{Opt: lvl})
 		if got := vaxGlobal(t, v, "result"); got != want {
 			t.Errorf("vax -O%d result = %d, want %d", lvl, got, want)
+		}
+		m := runRV32src(t, src, Options{Opt: lvl})
+		if got := rv32Global(t, m, "result"); got != want {
+			t.Errorf("rv32 -O%d result = %d, want %d", lvl, got, want)
 		}
 	}
 }

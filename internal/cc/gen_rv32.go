@@ -1,0 +1,553 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"risc1/internal/cc/ir"
+	"risc1/internal/rv32"
+)
+
+// Modern-RISC (RV32I+M subset) code generation conventions:
+//
+//   - x0 (zero): hardwired zero
+//   - ra: return address, saved in the frame by non-leaf functions
+//   - sp: stack pointer, initialized by the bootstrap
+//   - t0, t1: code-generator scratch (spill partner, address formation)
+//   - t2..t6: temporaries, assigned by the shared linear-scan allocator;
+//     caller-saved, so temporaries that live across a call get frame
+//     slots up front (spillAcrossCalls) — the software cost the paper's
+//     register windows avoid
+//   - s1..s7: register variables and parameter homes, callee-saved via
+//     prologue/epilogue stores — the conventional-machine answer to the
+//     windows' free save/restore
+//   - a0..a5: arguments; a0 carries return values
+//
+// The generator consumes the same IR as the other two backends. Unlike
+// RISC I there are no delay slots to fill (taken branches pay a refetch
+// bubble in the cost model instead) and multiply/divide are native
+// M-extension instructions rather than software routines.
+const (
+	rv32StackTop  = 0x80000 // initial sp, matching the RISC I bootstrap
+	rv32Scratch1  = 5       // t0
+	rv32Scratch2  = 6       // t1
+	rv32ArgBase   = 10      // a0
+	rv32MaxParams = 6       // a0..a5
+)
+
+// rv32VarRegs are the callee-saved register-variable homes (s1..s7; s0
+// is left out of the pool, keeping "fp" free for readers).
+var rv32VarRegs = []int{9, 18, 19, 20, 21, 22, 23}
+
+// rv32TempPool is the caller-saved allocator pool (t2..t6).
+var rv32TempPool = []int{7, 28, 29, 30, 31}
+
+// rn renders an architectural register number as its ABI name.
+func rn(r int) string { return rv32.RegName(uint8(r)) }
+
+// GenRV32 compiles a lowered (and possibly optimized) IR program to
+// RV32 assembly text.
+func GenRV32(prog *ir.Program) (string, error) {
+	g := &mgen{prog: prog}
+	g.raw("# MiniC RV32 output\n")
+	g.label("start")
+	g.emit("li sp, %d", rv32StackTop)
+	g.emit("call main")
+	g.emit("ecall")
+	for _, fn := range prog.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	g.emitData()
+	return g.b.String(), nil
+}
+
+type mgen struct {
+	prog *ir.Program
+	b    strings.Builder
+
+	fn        *ir.Func
+	alloc     allocation
+	varReg    map[*ir.Var]int // register-resident variables (s1..s7)
+	frameOff  map[*ir.Var]int // memory-resident locals (sp-relative)
+	frameMem  int             // bytes of arrays + addressed/overflow locals
+	savedS    []int           // callee-saved registers this body uses
+	frameSize int
+	leaf      bool
+}
+
+func (g *mgen) raw(s string) { g.b.WriteString(s) }
+
+func (g *mgen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+func (g *mgen) label(l string) { fmt.Fprintf(&g.b, "%s:\n", l) }
+
+func (g *mgen) blockLabel(b *ir.Block) string {
+	return fmt.Sprintf(".L%s_%s", g.fn.Name, b.Name)
+}
+
+// memChar mirrors the other backends: one-byte cells are truncating
+// stores and zero-extending loads; register homes and parameters hold
+// full words.
+func (g *mgen) memChar(v *ir.Var) bool {
+	_, inReg := g.varReg[v]
+	return v.Char && !inReg && v.Kind != ir.VarParam
+}
+
+func (g *mgen) loadMn(char bool) string {
+	if char {
+		return "lbu"
+	}
+	return "lw"
+}
+
+func (g *mgen) storeMn(char bool) string {
+	if char {
+		return "sb"
+	}
+	return "sw"
+}
+
+func (g *mgen) genFunc(fn *ir.Func) error {
+	if len(fn.Params) > rv32MaxParams {
+		return errf(fn.Line, "%q: the RV32 convention passes at most %d register parameters", fn.Name, rv32MaxParams)
+	}
+	g.fn = fn
+	g.varReg = make(map[*ir.Var]int)
+	g.frameOff = make(map[*ir.Var]int)
+	g.savedS = nil
+
+	g.leaf = true
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCall {
+				g.leaf = false
+			}
+		}
+	}
+
+	// Storage assignment: parameters first (copied out of a0..a5 in the
+	// prologue), then non-addressed scalar locals, into s1..s7; the rest
+	// join the arrays in the frame.
+	nreg := 0
+	off := 0
+	takeReg := func(v *ir.Var) bool {
+		if nreg >= len(rv32VarRegs) {
+			return false
+		}
+		r := rv32VarRegs[nreg]
+		g.varReg[v] = r
+		g.savedS = append(g.savedS, r)
+		nreg++
+		return true
+	}
+	for _, p := range fn.Params {
+		if !p.Addressed && takeReg(p) {
+			continue
+		}
+		g.frameOff[p] = off
+		off += 4
+	}
+	for _, l := range fn.Locals {
+		if l.Scalar && !l.Addressed && takeReg(l) {
+			continue
+		}
+		g.frameOff[l] = off
+		off += (l.Size + 3) &^ 3
+	}
+	g.frameMem = off
+
+	g.alloc = allocateTemps(fn, rv32TempPool, true)
+	g.frameSize = g.frameMem + 4*g.alloc.nSpills + 4*len(g.savedS)
+	if !g.leaf {
+		g.frameSize += 4
+	}
+
+	g.label(fn.Name)
+	g.adjustSP(-g.frameSize)
+	if !g.leaf {
+		g.frameAccess("sw", 1, g.frameSize-4)
+	}
+	for i, s := range g.savedS {
+		g.frameAccess("sw", s, g.sRegOff(i))
+	}
+	for _, p := range fn.Params {
+		if r, ok := g.varReg[p]; ok {
+			g.emit("mv %s, %s", rn(r), rn(rv32ArgBase+p.ParamSlot))
+		} else {
+			g.frameAccess("sw", rv32ArgBase+p.ParamSlot, g.frameOff[p])
+		}
+	}
+	for i, b := range g.fn.Blocks {
+		g.label(g.blockLabel(b))
+		for k := range b.Instrs {
+			if err := g.instr(&b.Instrs[k]); err != nil {
+				return err
+			}
+		}
+		var next *ir.Block
+		if i+1 < len(g.fn.Blocks) {
+			next = g.fn.Blocks[i+1]
+		}
+		g.term(&b.Term, next)
+	}
+	return nil
+}
+
+// adjustSP moves the stack pointer by delta bytes (t0 staging when the
+// amount is out of immediate range).
+func (g *mgen) adjustSP(delta int) {
+	if delta == 0 {
+		return
+	}
+	if imm12OK(int32(delta)) {
+		g.emit("addi sp, sp, %d", delta)
+		return
+	}
+	if delta < 0 {
+		g.emit("li t0, %d", -delta)
+		g.emit("sub sp, sp, t0")
+	} else {
+		g.emit("li t0, %d", delta)
+		g.emit("add sp, sp, t0")
+	}
+}
+
+// spillOff returns the sp-relative frame offset of a spill slot.
+func (g *mgen) spillOff(slot int) int { return g.frameMem + 4*slot }
+
+// sRegOff returns the frame offset of the i-th saved s-register.
+func (g *mgen) sRegOff(i int) int { return g.frameMem + 4*g.alloc.nSpills + 4*i }
+
+// imm12OK reports whether a constant fits the 12-bit immediate field.
+func imm12OK(c int32) bool { return c >= -2048 && c <= 2047 }
+
+// frameAccess emits a load or store of a frame cell, forming the
+// address through t1 when the offset exceeds the immediate field.
+func (g *mgen) frameAccess(mn string, reg, off int) {
+	if imm12OK(int32(off)) {
+		g.emit("%s %s, %d(sp)", mn, rn(reg), off)
+		return
+	}
+	g.emit("li t1, %d", off)
+	g.emit("add t1, t1, sp")
+	g.emit("%s %s, 0(t1)", mn, rn(reg))
+}
+
+// regOf returns the register already holding a value, if any.
+func (g *mgen) regOf(v ir.Value) (int, bool) {
+	switch v.Kind {
+	case ir.ValConst:
+		if v.C == 0 {
+			return 0, true
+		}
+	case ir.ValTemp:
+		if l := g.alloc.loc[v.Temp]; l.reg >= 0 {
+			return l.reg, true
+		}
+	case ir.ValVar:
+		if r, ok := g.varReg[v.Var]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// loadInto materializes a value in the given register.
+func (g *mgen) loadInto(v ir.Value, rd int) {
+	switch v.Kind {
+	case ir.ValConst:
+		g.emit("li %s, %d", rn(rd), v.C)
+	case ir.ValTemp:
+		if l := g.alloc.loc[v.Temp]; l.reg >= 0 {
+			if l.reg != rd {
+				g.emit("mv %s, %s", rn(rd), rn(l.reg))
+			}
+		} else {
+			g.frameAccess("lw", rd, g.spillOff(l.slot))
+		}
+	case ir.ValVar:
+		vr := v.Var
+		if r, ok := g.varReg[vr]; ok {
+			if r != rd {
+				g.emit("mv %s, %s", rn(rd), rn(r))
+			}
+			return
+		}
+		if vr.Kind == ir.VarGlobal {
+			g.emit("la %s, %s", rn(rd), vr.Name)
+			g.emit("%s %s, 0(%s)", g.loadMn(vr.Char), rn(rd), rn(rd))
+		} else {
+			g.frameAccess(g.loadMn(g.memChar(vr)), rd, g.frameOff[vr])
+		}
+	}
+}
+
+// readVal returns a register holding the value, loading into the given
+// scratch register when it has no home of its own.
+func (g *mgen) readVal(v ir.Value, scratch int) int {
+	if r, ok := g.regOf(v); ok {
+		return r
+	}
+	g.loadInto(v, scratch)
+	return scratch
+}
+
+// dstReg picks the register an instruction should compute into; store
+// reports whether writeBack must follow.
+func (g *mgen) dstReg(d ir.Value) (reg int, store bool) {
+	if r, ok := g.regOf(d); ok && d.Kind != ir.ValConst {
+		return r, false
+	}
+	return rv32Scratch1, true
+}
+
+// writeBack stores a computed value to a spilled temporary or a
+// memory-resident variable.
+func (g *mgen) writeBack(d ir.Value, r int) {
+	switch d.Kind {
+	case ir.ValTemp:
+		g.frameAccess("sw", r, g.spillOff(g.alloc.loc[d.Temp].slot))
+	case ir.ValVar:
+		vr := d.Var
+		if vr.Kind == ir.VarGlobal {
+			g.emit("la t1, %s", vr.Name)
+			g.emit("%s %s, 0(t1)", g.storeMn(vr.Char), rn(r))
+		} else {
+			g.frameAccess(g.storeMn(g.memChar(vr)), r, g.frameOff[vr])
+		}
+	}
+}
+
+// setDst routes a value sitting in register r to the destination.
+func (g *mgen) setDst(d ir.Value, r int) {
+	if rd, ok := g.regOf(d); ok {
+		if rd != r {
+			g.emit("mv %s, %s", rn(rd), rn(r))
+		}
+		return
+	}
+	g.writeBack(d, r)
+}
+
+// rv32ALU maps IR binary ops with native register-form mnemonics;
+// rv32ALUImm those with an immediate form.
+var rv32ALU = map[ir.Op]string{
+	ir.OpAdd: "add", ir.OpSub: "sub", ir.OpAnd: "and", ir.OpOr: "or",
+	ir.OpXor: "xor", ir.OpShl: "sll", ir.OpShr: "sra",
+	ir.OpMul: "mul", ir.OpDiv: "div", ir.OpMod: "rem",
+}
+
+var rv32ALUImm = map[ir.Op]string{
+	ir.OpAdd: "addi", ir.OpAnd: "andi", ir.OpOr: "ori",
+	ir.OpXor: "xori", ir.OpShl: "slli", ir.OpShr: "srai",
+}
+
+func (g *mgen) instr(in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpCopy:
+		g.copyTo(in.Dst, in.A)
+		return nil
+
+	case ir.OpNeg, ir.OpCom:
+		rd, store := g.dstReg(in.Dst)
+		a := g.readVal(in.A, rv32Scratch1)
+		if in.Op == ir.OpNeg {
+			g.emit("neg %s, %s", rn(rd), rn(a))
+		} else {
+			g.emit("not %s, %s", rn(rd), rn(a))
+		}
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpMul, ir.OpDiv, ir.OpMod:
+		g.binary(in)
+		return nil
+
+	case ir.OpAddr:
+		rd, store := g.dstReg(in.Dst)
+		vr := in.Var
+		switch {
+		case vr.Kind == ir.VarGlobal:
+			g.emit("la %s, %s", rn(rd), vr.Name)
+		default:
+			off, ok := g.frameOff[vr]
+			if !ok {
+				return errf(in.Line, "internal: address of register-resident %q", vr.Name)
+			}
+			if imm12OK(int32(off)) {
+				g.emit("addi %s, sp, %d", rn(rd), off)
+			} else {
+				g.emit("li %s, %d", rn(rd), off)
+				g.emit("add %s, %s, sp", rn(rd), rn(rd))
+			}
+		}
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpAddrStr:
+		rd, store := g.dstReg(in.Dst)
+		g.emit("la %s, %s", rn(rd), in.Label)
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpLoad:
+		rd, store := g.dstReg(in.Dst)
+		a := g.readVal(in.A, rv32Scratch1)
+		g.emit("%s %s, 0(%s)", g.loadMn(in.Size == 1), rn(rd), rn(a))
+		if store {
+			g.writeBack(in.Dst, rd)
+		}
+		return nil
+
+	case ir.OpStore:
+		a := g.readVal(in.A, rv32Scratch1)
+		b := g.readVal(in.B, rv32Scratch2)
+		g.emit("%s %s, 0(%s)", g.storeMn(in.Size == 1), rn(b), rn(a))
+		return nil
+
+	case ir.OpCall:
+		if len(in.Args) > rv32MaxParams {
+			return errf(in.Line, "call %q: at most %d register arguments", in.Label, rv32MaxParams)
+		}
+		for i, arg := range in.Args {
+			g.loadInto(arg, rv32ArgBase+i)
+		}
+		g.emit("call %s", in.Label)
+		if in.Dst.Valid() {
+			g.setDst(in.Dst, rv32ArgBase)
+		}
+		return nil
+	}
+	return errf(in.Line, "internal: unhandled IR op %d", in.Op)
+}
+
+// copyTo implements Dst = A, using at most one instruction when both
+// sides have register homes.
+func (g *mgen) copyTo(d, a ir.Value) {
+	if rd, ok := g.regOf(d); ok {
+		g.loadInto(a, rd)
+		return
+	}
+	r := g.readVal(a, rv32Scratch1)
+	g.writeBack(d, r)
+}
+
+// binary emits one native ALU operation, using the immediate form when
+// a constant operand fits. Multiplication, division and modulo are
+// single M-extension instructions here — the hardware RISC I trades for
+// its software __mul/__div routines.
+func (g *mgen) binary(in *ir.Instr) {
+	rd, store := g.dstReg(in.Dst)
+	a, b := in.A, in.B
+
+	// Constant on the left: commutative ops swap operands; the rest
+	// stage the constant into a register below.
+	if a.Kind == ir.ValConst && a.C != 0 {
+		switch in.Op {
+		case ir.OpAdd, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpMul:
+			a, b = b, a
+		}
+	}
+
+	ar := g.readVal(a, rv32Scratch1)
+	if mn, ok := rv32ALUImm[in.Op]; ok && b.Kind == ir.ValConst && b.C != 0 && imm12OK(b.C) {
+		g.emit("%s %s, %s, %d", mn, rn(rd), rn(ar), b.C)
+	} else if in.Op == ir.OpSub && b.Kind == ir.ValConst && b.C != 0 && imm12OK(-b.C) {
+		g.emit("addi %s, %s, %d", rn(rd), rn(ar), -b.C)
+	} else {
+		br := g.readVal(b, rv32Scratch2)
+		g.emit("%s %s, %s, %s", rv32ALU[in.Op], rn(rd), rn(ar), rn(br))
+	}
+	if store {
+		g.writeBack(in.Dst, rd)
+	}
+}
+
+// rv32CondOf maps an IR relation to a branch mnemonic (ble/bgt are
+// assembler pseudos that swap operands onto bge/blt).
+var rv32CondOf = map[ir.Rel]string{
+	ir.RelEq: "beq", ir.RelNe: "bne", ir.RelLt: "blt",
+	ir.RelLe: "ble", ir.RelGt: "bgt", ir.RelGe: "bge",
+}
+
+// term emits a block terminator; next is the layout successor, whose
+// label a fallthrough reaches for free. No delay slots to schedule:
+// the branch-cost model charges the refetch bubble instead.
+func (g *mgen) term(t *ir.Term, next *ir.Block) {
+	switch t.Kind {
+	case ir.TermJump:
+		if t.Then != next {
+			g.emit("j %s", g.blockLabel(t.Then))
+		}
+
+	case ir.TermBranch:
+		a := g.readVal(t.A, rv32Scratch1)
+		b := g.readVal(t.B, rv32Scratch2)
+		branch := func(rel ir.Rel, target *ir.Block) {
+			g.emit("%s %s, %s, %s", rv32CondOf[rel], rn(a), rn(b), g.blockLabel(target))
+		}
+		switch {
+		case t.Else == next:
+			branch(t.Rel, t.Then)
+		case t.Then == next:
+			branch(t.Rel.Negate(), t.Else)
+		default:
+			branch(t.Rel, t.Then)
+			g.emit("j %s", g.blockLabel(t.Else))
+		}
+
+	case ir.TermReturn:
+		if t.Ret.Valid() {
+			g.loadInto(t.Ret, rv32ArgBase)
+		} else {
+			g.emit("li a0, 0")
+		}
+		for i, s := range g.savedS {
+			g.frameAccess("lw", s, g.sRegOff(i))
+		}
+		if !g.leaf {
+			g.frameAccess("lw", 1, g.frameSize-4)
+		}
+		g.adjustSP(g.frameSize)
+		g.emit("ret")
+	}
+}
+
+// emitData lays out globals and string literals after the code.
+func (g *mgen) emitData() {
+	g.raw("\n# data\n")
+	g.emit(".align 4")
+	for _, gl := range g.prog.Globals {
+		g.label(gl.Name)
+		switch {
+		case gl.InitStr != "":
+			g.emit(".asciz %q", gl.InitStr)
+			if pad := gl.Size - len(gl.InitStr) - 1; pad > 0 {
+				g.emit(".space %d", pad)
+			}
+		case gl.Char:
+			g.emit(".byte %d", gl.Init)
+		case gl.Scalar:
+			g.emit(".word %d", gl.Init)
+		default:
+			g.emit(".space %d", gl.Size)
+		}
+		g.emit(".align 4")
+	}
+	for _, s := range g.prog.Strings {
+		g.label(s.Label)
+		g.emit(".asciz %q", s.Value)
+		g.emit(".align 4")
+	}
+}

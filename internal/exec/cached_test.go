@@ -17,19 +17,19 @@ int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
 int main() { result = fib(12); return 0; }
 `
 
-// TestCachedDifferential is the acceptance differential: for all four
-// (machine, opt) corners, a cache hit must be byte-identical — value,
+// TestCachedDifferential is the acceptance differential: for every
+// (machine, opt) corner, a cache hit must be byte-identical — value,
 // attempt count, and the full JSON report — to a cold recompute on a
 // fresh pool that has never seen the program.
 func TestCachedDifferential(t *testing.T) {
-	for _, machine := range []Machine{MachineRISC, MachineCISC} {
+	for _, mach := range []string{"risc1", "cisc", "rv32"} {
 		for _, opt := range []int{0, 1} {
 			spec := Spec{
 				Name:       "diff",
-				Machine:    machine,
+				Machine:    mach,
 				Source:     cachedSrc,
 				Opt:        opt,
-				DelaySlots: machine == MachineRISC,
+				DelaySlots: mach == "risc1",
 				Fuel:       1 << 24,
 			}
 
@@ -43,7 +43,7 @@ func TestCachedDifferential(t *testing.T) {
 			coldRes, err := coldTk.Result(context.Background())
 			coldPool.Close()
 			if err != nil || coldRes.Err != nil {
-				t.Fatalf("%s/-O%d cold: %v / %v", machine, opt, err, coldRes.Err)
+				t.Fatalf("%s/-O%d cold: %v / %v", mach, opt, err, coldRes.Err)
 			}
 			cold := coldRes.Value.(Outcome)
 
@@ -52,23 +52,23 @@ func TestCachedDifferential(t *testing.T) {
 			cached := NewCached(pool, 1<<20)
 			first, out1, err := cached.Run(context.Background(), spec, time.Minute)
 			if err != nil || first.Err != nil {
-				t.Fatalf("%s/-O%d miss: %v / %v", machine, opt, err, first.Err)
+				t.Fatalf("%s/-O%d miss: %v / %v", mach, opt, err, first.Err)
 			}
 			if out1 != rcache.Miss {
-				t.Errorf("%s/-O%d first run outcome = %v, want miss", machine, opt, out1)
+				t.Errorf("%s/-O%d first run outcome = %v, want miss", mach, opt, out1)
 			}
 			hit, out2, err := cached.Run(context.Background(), spec, time.Minute)
 			pool.Close()
 			if err != nil || hit.Err != nil {
-				t.Fatalf("%s/-O%d hit: %v / %v", machine, opt, err, hit.Err)
+				t.Fatalf("%s/-O%d hit: %v / %v", mach, opt, err, hit.Err)
 			}
 			if out2 != rcache.Hit {
-				t.Errorf("%s/-O%d second run outcome = %v, want hit", machine, opt, out2)
+				t.Errorf("%s/-O%d second run outcome = %v, want hit", mach, opt, out2)
 			}
 
 			if hit.Outcome.Value != cold.Value || hit.Attempts != coldRes.Attempts {
 				t.Errorf("%s/-O%d: hit (value %d, attempts %d) != cold (value %d, attempts %d)",
-					machine, opt, hit.Outcome.Value, hit.Attempts, cold.Value, coldRes.Attempts)
+					mach, opt, hit.Outcome.Value, hit.Attempts, cold.Value, coldRes.Attempts)
 			}
 			hitJSON, err := hit.Outcome.Report.JSON()
 			if err != nil {
@@ -80,7 +80,7 @@ func TestCachedDifferential(t *testing.T) {
 			}
 			if !bytes.Equal(hitJSON, coldJSON) {
 				t.Errorf("%s/-O%d: cache-hit report diverged from cold recompute:\n%s\n---\n%s",
-					machine, opt, hitJSON, coldJSON)
+					mach, opt, hitJSON, coldJSON)
 			}
 		}
 	}

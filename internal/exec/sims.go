@@ -3,210 +3,165 @@ package exec
 import (
 	"context"
 
-	"risc1/internal/asm"
-	"risc1/internal/cc"
-	"risc1/internal/cpu"
+	"risc1/internal/machine"
 	"risc1/internal/mem"
 	"risc1/internal/obs"
 	"risc1/internal/rcache"
-	"risc1/internal/vax"
 )
+
+// simKey identifies one worker machine: the backend plus its normalized
+// build options. Fuel is not part of the key — it is re-applied on
+// every checkout, so jobs with different budgets share a machine.
+type simKey struct {
+	backend string
+	opts    machine.Options
+}
 
 // Sims is one worker's simulator cache. Building a simulator allocates
 // its whole memory image (1 MiB by default), so workers keep one
-// machine per configuration and reuse it across jobs: Reset fully
-// clears memory, registers, statistics and the predecoded icache, which
-// is what makes reuse safe (pinned by the cross-job leakage tests).
+// machine per (backend, configuration) and reuse it across jobs: Reset
+// and Restore fully replace memory, registers and statistics, which is
+// what makes reuse safe (pinned by the cross-job leakage tests).
 //
 // A Sims is confined to its worker goroutine and must not be shared.
-// The exception is progs, the pool-wide compiled-program cache every
-// worker's Sims points at: compiled programs are immutable after
-// assembly (LoadInto and Symbol only read them), so sharing them across
-// workers is safe, and a sweep that submits the same source many times
-// compiles it once.
+// The exception is progs and images, the pool-wide caches every
+// worker's Sims points at: compiled programs and warm-start snapshots
+// are immutable, so sharing them across workers is safe, and a sweep
+// that submits the same source many times compiles it once.
 type Sims struct {
-	risc   map[cpu.Config]*cpu.CPU
-	vax    map[vax.Config]*vax.CPU
-	progs  *rcache.Cache // shared, concurrency-safe; nil outside a pool
-	images *rcache.Cache // shared warm-start images; nil outside a pool
+	machines map[simKey]machine.Machine
+	progs    *rcache.Cache // shared, concurrency-safe; nil outside a pool
+	images   *rcache.Cache // shared warm-start images; nil outside a pool
 }
 
 // NewSims returns an empty cache.
 func NewSims() *Sims {
-	return &Sims{
-		risc: make(map[cpu.Config]*cpu.CPU),
-		vax:  make(map[vax.Config]*vax.CPU),
-	}
+	return &Sims{machines: make(map[simKey]machine.Machine)}
 }
 
-// RISC returns the worker's RISC I machine for cfg, building it on
-// first use. The instruction budget is not part of the cache key — it
-// is re-applied on every call, so jobs with different fuel limits share
-// a machine. The caller still owns Reset and program loading.
-func (s *Sims) RISC(cfg cpu.Config) *cpu.CPU {
-	key := cfg
-	key.MaxInstructions = 0
-	c, ok := s.risc[key]
+// Machine returns the worker's simulator for the backend and options,
+// building it on first use. The instruction budget is re-applied on
+// every call rather than keyed, and options the backend ignores are
+// normalized away, so equivalent requests share one machine. The caller
+// still owns Reset (or Restore) and program loading.
+func (s *Sims) Machine(b *machine.Backend, o machine.Options) machine.Machine {
+	key := simKey{backend: b.Name, opts: b.Normalize(o)}
+	key.opts.Fuel = 0
+	m, ok := s.machines[key]
 	if !ok {
-		c = cpu.New(key)
-		s.risc[key] = c
+		m = b.New(key.opts)
+		s.machines[key] = m
 	}
-	c.SetMaxInstructions(cfg.MaxInstructions)
-	return c
+	m.SetMaxInstructions(o.Fuel)
+	return m
 }
 
-// VAX returns the worker's CISC baseline machine for cfg, with the same
-// caching and fuel semantics as RISC.
-func (s *Sims) VAX(cfg vax.Config) *vax.CPU {
-	key := cfg
-	key.MaxInstructions = 0
-	c, ok := s.vax[key]
-	if !ok {
-		c = vax.New(key)
-		s.vax[key] = c
-	}
-	c.SetMaxInstructions(cfg.MaxInstructions)
-	return c
-}
-
-// compiledRISC is one level-1 cache entry: an immutable compiled
-// program plus the report-ready compile artifacts, shared by every job
-// that asks for the same (source, opt, delay-slot) combination.
-type compiledRISC struct {
-	prog   *asm.Program
+// compiled is one level-1 cache entry: an immutable compiled program
+// plus the report-ready compile artifacts, shared by every job that
+// asks for the same (backend, source, options) combination.
+type compiled struct {
+	prog   machine.Program
 	text   string
 	passes []obs.PassStat
 }
 
-// compiledVAX is the CISC counterpart of compiledRISC.
-type compiledVAX struct {
-	prog   *vax.Program
-	text   string
-	passes []obs.PassStat
+func (cp compiled) size() int64 {
+	return cp.prog.Footprint() + int64(len(cp.text))
 }
 
-// CompileRISC compiles MiniC for RISC I through the pool's shared
-// program cache: identical (source, options) pairs compile once
-// pool-wide, with concurrent identical compiles collapsed to a single
-// run. Outside a pool (nil receiver or no cache) it compiles directly.
-// The returned program and pass list are shared and must be treated as
-// read-only. Front-end failures return a *CompileError.
-func (s *Sims) CompileRISC(ctx context.Context, source string, o cc.Options) (*asm.Program, string, []obs.PassStat, error) {
+// Compile compiles MiniC for a backend through the pool's shared
+// program cache: identical (backend, source, options) tuples compile
+// once pool-wide, with concurrent identical compiles collapsed to a
+// single run. Outside a pool (nil receiver or no cache) it compiles
+// directly. The returned program and pass list are shared and must be
+// treated as read-only. Front-end failures return a *CompileError.
+func (s *Sims) Compile(ctx context.Context, b *machine.Backend, source string, o machine.Options) (machine.Program, string, []obs.PassStat, error) {
+	o = b.Normalize(o)
 	if s == nil || s.progs == nil {
-		prog, text, stats, err := cc.CompileRISC(source, o)
+		prog, text, passes, err := b.Compile(source, o)
 		if err != nil {
 			return nil, "", nil, &CompileError{Err: err}
 		}
-		return prog, text, passStats(stats), nil
+		return prog, text, passes, nil
 	}
-	key := rcache.NewKey("risc1.compile/v1").
-		Str("machine", string(MachineRISC)).
+	key := rcache.NewKey("risc1.compile/v2").
+		Str("machine", b.Name).
 		Str("source", source).
 		Int("opt", int64(o.Opt)).
 		Bool("delaySlots", o.DelaySlots).
 		Sum()
 	v, _, err := s.progs.Do(ctx, key, func() (any, int64, error) {
-		prog, text, stats, err := cc.CompileRISC(source, o)
+		prog, text, passes, err := b.Compile(source, o)
 		if err != nil {
 			return nil, 0, &CompileError{Err: err}
 		}
-		cp := compiledRISC{prog: prog, text: text, passes: passStats(stats)}
-		return cp, riscProgramSize(cp), nil
+		cp := compiled{prog: prog, text: text, passes: passes}
+		return cp, cp.size(), nil
 	})
 	if err != nil {
 		return nil, "", nil, err
 	}
-	cp := v.(compiledRISC)
+	cp := v.(compiled)
 	return cp.prog, cp.text, cp.passes, nil
 }
 
-// CompileVAX is CompileRISC for the CISC baseline.
-func (s *Sims) CompileVAX(ctx context.Context, source string, o cc.Options) (*vax.Program, string, []obs.PassStat, error) {
-	if s == nil || s.progs == nil {
-		prog, text, stats, err := cc.CompileVAX(source, o)
-		if err != nil {
-			return nil, "", nil, &CompileError{Err: err}
-		}
-		return prog, text, passStats(stats), nil
-	}
-	key := rcache.NewKey("risc1.compile/v1").
-		Str("machine", string(MachineCISC)).
-		Str("source", source).
-		Int("opt", int64(o.Opt)).
-		Sum()
-	v, _, err := s.progs.Do(ctx, key, func() (any, int64, error) {
-		prog, text, stats, err := cc.CompileVAX(source, o)
-		if err != nil {
-			return nil, 0, &CompileError{Err: err}
-		}
-		cp := compiledVAX{prog: prog, text: text, passes: passStats(stats)}
-		return cp, vaxProgramSize(cp), nil
-	})
-	if err != nil {
-		return nil, "", nil, err
-	}
-	cp := v.(compiledVAX)
-	return cp.prog, cp.text, cp.passes, nil
-}
-
-// riscImage is one warm-start cache entry: the compiled program plus a
+// Image is one warm-start cache entry: the compiled program plus a
 // machine snapshot taken right after the prelude (Reset + LoadInto), so
 // a request re-enters the initialized machine in O(touched pages)
 // instead of re-zeroing memory and re-copying every segment. The
 // snapshot is immutable and restore shares its pages copy-on-write, so
 // one image serves any number of concurrent workers.
-type riscImage struct {
-	prog   *asm.Program
-	text   string
-	passes []obs.PassStat
-	snap   *cpu.Snapshot
+type Image struct {
+	Prog   machine.Program
+	Text   string
+	Passes []obs.PassStat
+	Snap   machine.Snapshot
 }
 
-// vaxImage is the CISC counterpart of riscImage.
-type vaxImage struct {
-	prog   *vax.Program
-	text   string
-	passes []obs.PassStat
-	snap   *vax.Snapshot
+// imageOptions normalizes options down to what identifies a warm-start
+// image: fuel is per-run and the predecoded icache is host machinery,
+// so neither reaches the snapshot.
+func imageOptions(b *machine.Backend, o machine.Options) machine.Options {
+	o = b.Normalize(o)
+	o.Fuel = 0
+	o.NoICache = false
+	return o
 }
 
-// RISCImage compiles source and builds (or fetches) its warm-start
-// image for the given machine configuration: a snapshot of the machine
-// right after Reset + program load. Identical (source, options,
-// machine-config) tuples share one image pool-wide; concurrent identical
+// ImageFor compiles source and builds (or fetches) its warm-start image
+// for the given backend and options. Identical (backend, source,
+// options) tuples share one image pool-wide; concurrent identical
 // requests collapse to a single build. Outside a pool (nil receiver or
 // no shared cache) it builds a fresh image, which still gives forked
 // fan-out within one call.
-func (s *Sims) RISCImage(ctx context.Context, source string, o cc.Options, cfg cpu.Config) (riscImage, error) {
-	cfg.MaxInstructions = 0 // fuel is per-run, not part of the image
-	cfg.NoICache = false    // host-side switch, not architectural state
-	build := func() (riscImage, int64, error) {
-		prog, text, passes, err := s.CompileRISC(ctx, source, o)
+func (s *Sims) ImageFor(ctx context.Context, b *machine.Backend, source string, o machine.Options) (Image, error) {
+	io := imageOptions(b, o)
+	build := func() (Image, int64, error) {
+		prog, text, passes, err := s.Compile(ctx, b, source, io)
 		if err != nil {
-			return riscImage{}, 0, err
+			return Image{}, 0, err
 		}
-		scratch := cpu.New(cfg)
-		scratch.Reset(prog.Entry)
-		if err := prog.LoadInto(scratch.Mem); err != nil {
-			return riscImage{}, 0, err
+		scratch := b.New(io)
+		scratch.Reset(prog.Entry())
+		if err := prog.LoadInto(scratch.Mem()); err != nil {
+			return Image{}, 0, err
 		}
-		img := riscImage{prog: prog, text: text, passes: passes, snap: scratch.Snapshot()}
-		size := int64(img.snap.MemPages())*mem.PageSize + riscProgramSize(compiledRISC{prog: prog, text: text, passes: passes})
+		img := Image{Prog: prog, Text: text, Passes: passes, Snap: scratch.Snapshot()}
+		size := int64(img.Snap.MemPages())*mem.PageSize + compiled{prog: prog, text: text}.size()
 		return img, size, nil
 	}
 	if s == nil || s.images == nil {
 		img, _, err := build()
 		return img, err
 	}
-	key := rcache.NewKey("risc1.image/v1").
-		Str("machine", string(MachineRISC)).
+	key := rcache.NewKey("risc1.image/v2").
+		Str("machine", b.Name).
 		Str("source", source).
-		Int("opt", int64(o.Opt)).
-		Bool("delaySlots", o.DelaySlots).
-		Int("windows", int64(cfg.Windows)).
-		Bool("noWindows", cfg.NoWindows).
-		Int("memSize", int64(cfg.MemSize)).
-		Uint("saveStackTop", uint64(cfg.SaveStackTop)).
+		Int("opt", int64(io.Opt)).
+		Bool("delaySlots", io.DelaySlots).
+		Int("windows", int64(io.Windows)).
+		Bool("noWindows", io.NoWindows).
+		Int("memSize", int64(io.MemSize)).
 		Sum()
 	v, _, err := s.images.Do(ctx, key, func() (any, int64, error) {
 		img, size, err := build()
@@ -216,98 +171,25 @@ func (s *Sims) RISCImage(ctx context.Context, source string, o cc.Options, cfg c
 		return img, size, nil
 	})
 	if err != nil {
-		return riscImage{}, err
+		return Image{}, err
 	}
-	return v.(riscImage), nil
+	return v.(Image), nil
 }
 
-// VAXImage is RISCImage for the CISC baseline.
-func (s *Sims) VAXImage(ctx context.Context, source string, o cc.Options, cfg vax.Config) (vaxImage, error) {
-	cfg.MaxInstructions = 0
-	build := func() (vaxImage, int64, error) {
-		prog, text, passes, err := s.CompileVAX(ctx, source, o)
-		if err != nil {
-			return vaxImage{}, 0, err
-		}
-		scratch := vax.New(cfg)
-		scratch.Reset(prog.Entry)
-		if err := prog.LoadInto(scratch.Mem); err != nil {
-			return vaxImage{}, 0, err
-		}
-		img := vaxImage{prog: prog, text: text, passes: passes, snap: scratch.Snapshot()}
-		size := int64(img.snap.MemPages())*mem.PageSize + vaxProgramSize(compiledVAX{prog: prog, text: text, passes: passes})
-		return img, size, nil
-	}
-	if s == nil || s.images == nil {
-		img, _, err := build()
-		return img, err
-	}
-	key := rcache.NewKey("risc1.image/v1").
-		Str("machine", string(MachineCISC)).
-		Str("source", source).
-		Int("opt", int64(o.Opt)).
-		Int("memSize", int64(cfg.MemSize)).
-		Uint("stackTop", uint64(cfg.StackTop)).
-		Sum()
-	v, _, err := s.images.Do(ctx, key, func() (any, int64, error) {
-		img, size, err := build()
-		if err != nil {
-			return nil, 0, err
-		}
-		return img, size, nil
-	})
-	if err != nil {
-		return vaxImage{}, err
-	}
-	return v.(vaxImage), nil
-}
-
-// NewRISCMachine compiles source (through the shared caches when
-// attached) and returns a fresh, paused RISC I machine positioned at the
-// program entry, plus the compiled program for symbol lookup. The
-// machine is restored from the pool-wide warm-start image, so building a
-// long-lived debug session costs O(touched pages) after the first
-// request for a given program. The caller owns the machine outright —
-// it is not a pooled worker simulator — and may step it, attach
-// observers, and hold it for as long as the session lives.
-func (s *Sims) NewRISCMachine(ctx context.Context, source string, o cc.Options, cfg cpu.Config) (*cpu.CPU, *asm.Program, error) {
-	img, err := s.RISCImage(ctx, source, o, cfg)
+// NewMachine compiles source (through the shared caches when attached)
+// and returns a fresh, paused machine positioned at the program entry,
+// plus the compiled program for symbol lookup. The machine is restored
+// from the pool-wide warm-start image, so building a long-lived debug
+// session costs O(touched pages) after the first request for a given
+// program. The caller owns the machine outright — it is not a pooled
+// worker simulator — and may step it, attach observers, and hold it for
+// as long as the session lives.
+func (s *Sims) NewMachine(ctx context.Context, b *machine.Backend, source string, o machine.Options) (machine.Machine, machine.Program, error) {
+	img, err := s.ImageFor(ctx, b, source, o)
 	if err != nil {
 		return nil, nil, err
 	}
-	c := cpu.New(cfg)
-	c.Restore(img.snap)
-	return c, img.prog, nil
-}
-
-// NewVAXMachine is NewRISCMachine for the CISC baseline.
-func (s *Sims) NewVAXMachine(ctx context.Context, source string, o cc.Options, cfg vax.Config) (*vax.CPU, *vax.Program, error) {
-	img, err := s.VAXImage(ctx, source, o, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	c := vax.New(cfg)
-	c.Restore(img.snap)
-	return c, img.prog, nil
-}
-
-// riscProgramSize approximates a compiled program's memory footprint
-// for the cache's byte budget: segment bytes, the assembly listing, and
-// a fixed allowance for symbols and headers.
-func riscProgramSize(cp compiledRISC) int64 {
-	n := int64(len(cp.text)) + 512
-	for _, seg := range cp.prog.Segments {
-		n += int64(len(seg.Data))
-	}
-	n += int64(len(cp.prog.Symbols)) * 32
-	return n
-}
-
-func vaxProgramSize(cp compiledVAX) int64 {
-	n := int64(len(cp.text)) + 512
-	for _, seg := range cp.prog.Segments {
-		n += int64(len(seg.Data))
-	}
-	n += int64(len(cp.prog.Symbols)) * 32
-	return n
+	m := b.New(b.Normalize(o))
+	m.Restore(img.Snap)
+	return m, img.Prog, nil
 }

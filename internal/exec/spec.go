@@ -3,26 +3,13 @@ package exec
 import (
 	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"time"
 
-	"risc1/internal/asm"
-	"risc1/internal/cc"
-	"risc1/internal/cc/opt"
-	"risc1/internal/cpu"
+	"risc1/internal/machine"
 	"risc1/internal/mem"
 	"risc1/internal/obs"
 	"risc1/internal/rcache"
-	"risc1/internal/vax"
-)
-
-// Machine names a simulator target.
-type Machine string
-
-const (
-	MachineRISC Machine = "risc1"
-	MachineCISC Machine = "cisc"
 )
 
 // Spec is a declarative compile+simulate job: MiniC source, a target
@@ -32,8 +19,10 @@ const (
 type Spec struct {
 	// Name is the workload name stamped into the run report.
 	Name string
-	// Machine picks the simulator; empty means RISC I.
-	Machine Machine
+	// Machine names the simulator in the machine registry (canonical
+	// name or alias); empty means the default, RISC I. Validate names
+	// upfront with machine.Canonical.
+	Machine string
 	// Source is the MiniC program. It must store its result in the
 	// global named by ResultSym.
 	Source string
@@ -46,8 +35,8 @@ type Spec struct {
 	Windows   int
 	NoWindows bool
 	// Fuel is the instruction budget; 0 means the simulator default
-	// (2^32). Exhausting it fails the job with a wrapped
-	// ErrInstructionLimit — check with IsFuelExhausted.
+	// (2^32). Exhausting it fails the job with the backend's wrapped
+	// fuel sentinel — check with IsFuelExhausted.
 	Fuel uint64
 	// ResultSym is the global read back after the run; default "result".
 	ResultSym string
@@ -60,9 +49,10 @@ type Spec struct {
 }
 
 // Outcome is a completed spec: the guest-visible result word and the
-// versioned run report. The report's ICache section is cleared — worker
-// simulators are reused across jobs, so host-cache counters depend on
-// pool history while every simulated number is job-deterministic.
+// versioned run report. Host-machinery report sections (the RISC
+// predecoded-icache counters) are scrubbed — worker simulators are
+// reused across jobs, so those counters depend on pool history while
+// every simulated number is job-deterministic.
 type Outcome struct {
 	Value  int32
 	Report obs.Report
@@ -76,9 +66,9 @@ func (e *CompileError) Error() string { return e.Err.Error() }
 func (e *CompileError) Unwrap() error { return e.Err }
 
 // IsFuelExhausted reports whether err is an instruction-budget
-// exhaustion on either machine.
+// exhaustion on any registered machine.
 func IsFuelExhausted(err error) bool {
-	return errors.Is(err, cpu.ErrInstructionLimit) || errors.Is(err, vax.ErrInstructionLimit)
+	return machine.IsFuelExhausted(err)
 }
 
 // Job wraps the spec as a pool job.
@@ -86,6 +76,17 @@ func (s Spec) Job(key string, timeout time.Duration) Job {
 	return Job{Key: key, Timeout: timeout, Fn: func(ctx context.Context, sims *Sims) (any, error) {
 		return s.Run(ctx, sims)
 	}}
+}
+
+// Options maps the spec's machine-facing knobs to registry options.
+func (s Spec) Options() machine.Options {
+	return machine.Options{
+		Opt:        s.Opt,
+		DelaySlots: s.DelaySlots,
+		Windows:    s.Windows,
+		NoWindows:  s.NoWindows,
+		Fuel:       s.Fuel,
+	}
 }
 
 // Run compiles and executes the spec on the worker's cached simulators.
@@ -110,14 +111,53 @@ func (s Spec) run(ctx context.Context, sims *Sims, in *input) (Outcome, error) {
 	if sym == "" {
 		sym = "result"
 	}
-	switch s.Machine {
-	case MachineCISC:
-		return s.runVAX(ctx, sims, sym, in)
-	case MachineRISC, "":
-		return s.runRISC(ctx, sims, sym, in)
-	default:
-		return Outcome{}, fmt.Errorf("exec: unknown machine %q", s.Machine)
+	b, ok := machine.Lookup(s.Machine)
+	if !ok {
+		_, err := machine.Canonical(s.Machine)
+		return Outcome{}, fmt.Errorf("exec: %w", err)
 	}
+	o := b.Normalize(s.Options())
+	m := sims.Machine(b, o)
+	var prog machine.Program
+	var passes []obs.PassStat
+	if s.ColdStart {
+		var err error
+		prog, _, passes, err = sims.Compile(ctx, b, s.Source, o)
+		if err != nil {
+			return Outcome{}, err
+		}
+		m.Reset(prog.Entry())
+		if err := prog.LoadInto(m.Mem()); err != nil {
+			return Outcome{}, err
+		}
+	} else {
+		img, err := sims.ImageFor(ctx, b, s.Source, o)
+		if err != nil {
+			return Outcome{}, err
+		}
+		prog, passes = img.Prog, img.Passes
+		m.Restore(img.Snap)
+	}
+	if err := pokeInput(m.Mem(), prog, in); err != nil {
+		return Outcome{}, err
+	}
+	if err := m.RunContext(ctx); err != nil {
+		return Outcome{}, err
+	}
+	addr, ok := prog.Symbol(sym)
+	if !ok {
+		return Outcome{}, fmt.Errorf("exec: no global named %q", sym)
+	}
+	v, err := m.Mem().LoadWord(addr)
+	if err != nil {
+		return Outcome{}, err
+	}
+	rep := m.BuildReport(s.Name)
+	b.ScrubReport(&rep) // host machinery accumulated across the worker's jobs
+	rep.Config.Optimized = o.DelaySlots
+	rep.Config.OptLevel = o.Opt
+	rep.Config.Passes = passes
+	return Outcome{Value: int32(v), Report: rep}, nil
 }
 
 // pokeInput writes a fan-out input into its global before the run. It
@@ -140,131 +180,34 @@ func pokeInput(m *mem.Memory, prog interface {
 	return m.WriteBytes(addr, b[:])
 }
 
-func (s Spec) runRISC(ctx context.Context, sims *Sims, sym string, in *input) (Outcome, error) {
-	cfg := cpu.Config{Windows: s.Windows, NoWindows: s.NoWindows, MaxInstructions: s.Fuel}
-	var prog *asm.Program
-	var passes []obs.PassStat
-	c := sims.RISC(cfg)
-	if s.ColdStart {
-		var err error
-		prog, _, passes, err = sims.CompileRISC(ctx, s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots})
-		if err != nil {
-			return Outcome{}, err
-		}
-		c.Reset(prog.Entry)
-		if err := prog.LoadInto(c.Mem); err != nil {
-			return Outcome{}, err
-		}
-	} else {
-		img, err := sims.RISCImage(ctx, s.Source, cc.Options{Opt: s.Opt, DelaySlots: s.DelaySlots}, cfg)
-		if err != nil {
-			return Outcome{}, err
-		}
-		prog, passes = img.prog, img.passes
-		c.Restore(img.snap)
-	}
-	if err := pokeInput(c.Mem, prog, in); err != nil {
-		return Outcome{}, err
-	}
-	if err := c.RunContext(ctx); err != nil {
-		return Outcome{}, err
-	}
-	addr, ok := prog.Symbol(sym)
-	if !ok {
-		return Outcome{}, fmt.Errorf("exec: no global named %q", sym)
-	}
-	v, err := c.Mem.LoadWord(addr)
-	if err != nil {
-		return Outcome{}, err
-	}
-	rep := c.BuildReport(s.Name)
-	rep.ICache = nil // host machinery accumulated across the worker's jobs
-	rep.Config.Optimized = s.DelaySlots
-	rep.Config.OptLevel = s.Opt
-	rep.Config.Passes = passes
-	return Outcome{Value: int32(v), Report: rep}, nil
-}
-
-func (s Spec) runVAX(ctx context.Context, sims *Sims, sym string, in *input) (Outcome, error) {
-	cfg := vax.Config{MaxInstructions: s.Fuel}
-	var prog *vax.Program
-	var passes []obs.PassStat
-	c := sims.VAX(cfg)
-	if s.ColdStart {
-		var err error
-		prog, _, passes, err = sims.CompileVAX(ctx, s.Source, cc.Options{Opt: s.Opt})
-		if err != nil {
-			return Outcome{}, err
-		}
-		c.Reset(prog.Entry)
-		if err := prog.LoadInto(c.Mem); err != nil {
-			return Outcome{}, err
-		}
-	} else {
-		img, err := sims.VAXImage(ctx, s.Source, cc.Options{Opt: s.Opt}, cfg)
-		if err != nil {
-			return Outcome{}, err
-		}
-		prog, passes = img.prog, img.passes
-		c.Restore(img.snap)
-	}
-	if err := pokeInput(c.Mem, prog, in); err != nil {
-		return Outcome{}, err
-	}
-	if err := c.RunContext(ctx); err != nil {
-		return Outcome{}, err
-	}
-	addr, ok := prog.Symbol(sym)
-	if !ok {
-		return Outcome{}, fmt.Errorf("exec: no global named %q", sym)
-	}
-	v, err := c.Mem.LoadWord(addr)
-	if err != nil {
-		return Outcome{}, err
-	}
-	rep := c.BuildReport(s.Name)
-	rep.Config.OptLevel = s.Opt
-	rep.Config.Passes = passes
-	return Outcome{Value: int32(v), Report: rep}, nil
-}
-
 // CacheKey is the spec's content address for level-2 result caching:
 // every field that reaches the run report or the result word is folded
 // into the hash, plus the wall-clock budget (two requests differing
-// only in deadline may legitimately differ in outcome). Defaults are
-// normalized first so a spec asking for "risc1" explicitly and one
-// leaving Machine empty address the same entry.
+// only in deadline may legitimately differ in outcome). The machine
+// name is canonicalized and the options normalized first, so a spec
+// asking for an alias or carrying knobs its machine ignores addresses
+// the same entry as the canonical spelling.
 func (s Spec) CacheKey(timeout time.Duration) rcache.Key {
-	machine := s.Machine
-	if machine == "" {
-		machine = MachineRISC
+	name := s.Machine
+	o := s.Options()
+	if b, ok := machine.Lookup(s.Machine); ok {
+		name = b.Name
+		o = b.Normalize(o)
 	}
 	sym := s.ResultSym
 	if sym == "" {
 		sym = "result"
 	}
-	return rcache.NewKey("risc1.run/v1").
+	return rcache.NewKey("risc1.run/v2").
 		Str("name", s.Name).
-		Str("machine", string(machine)).
+		Str("machine", name).
 		Str("source", s.Source).
-		Int("opt", int64(s.Opt)).
-		Bool("delaySlots", s.DelaySlots).
-		Int("windows", int64(s.Windows)).
-		Bool("noWindows", s.NoWindows).
-		Uint("fuel", s.Fuel).
+		Int("opt", int64(o.Opt)).
+		Bool("delaySlots", o.DelaySlots).
+		Int("windows", int64(o.Windows)).
+		Bool("noWindows", o.NoWindows).
+		Uint("fuel", o.Fuel).
 		Str("resultSym", sym).
 		Int("timeoutNS", int64(timeout)).
 		Sum()
-}
-
-// passStats mirrors compiler pass statistics into the report's own type,
-// dropping passes that did nothing (same rule as the bench harness).
-func passStats(stats []opt.Stat) []obs.PassStat {
-	var out []obs.PassStat
-	for _, s := range stats {
-		if s.Rewrites > 0 {
-			out = append(out, obs.PassStat{Name: s.Name, Rewrites: s.Rewrites})
-		}
-	}
-	return out
 }

@@ -42,7 +42,7 @@ func TestSpecRISC(t *testing.T) {
 }
 
 func TestSpecCISC(t *testing.T) {
-	res := runSpec(t, Spec{Name: "fib", Machine: MachineCISC, Source: specSrc, Opt: 1})
+	res := runSpec(t, Spec{Name: "fib", Machine: "cisc", Source: specSrc, Opt: 1})
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -59,7 +59,7 @@ func TestSpecUnknownMachine(t *testing.T) {
 }
 
 func TestSpecFuelExhausted(t *testing.T) {
-	for _, m := range []Machine{MachineRISC, MachineCISC} {
+	for _, m := range []string{"risc1", "cisc", "rv32"} {
 		res := runSpec(t, Spec{Name: "starved", Machine: m, Source: specSrc, Fuel: 50})
 		if res.Err == nil {
 			t.Fatalf("%s: fuel-starved run succeeded", m)

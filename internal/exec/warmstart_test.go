@@ -51,7 +51,7 @@ int main() {
 `
 
 // TestForkedVsColdDifferential is the acceptance differential for warm
-// start: across all four (machine, opt) corners on a Workers:8 pool, a
+// start: across every (machine, opt) corner on a Workers:8 pool, a
 // run re-entered from the shared warm-start image must be byte-identical
 // — value and full JSON report — to a cold run that performs the whole
 // prelude. The warm runs go first and are repeated, so later warm runs
@@ -61,14 +61,14 @@ func TestForkedVsColdDifferential(t *testing.T) {
 	p := NewPool(Config{Workers: 8})
 	defer p.Close()
 
-	for _, machine := range []Machine{MachineRISC, MachineCISC} {
+	for _, mach := range []string{"risc1", "cisc", "rv32"} {
 		for _, opt := range []int{0, 1} {
 			spec := Spec{
 				Name:       "warm",
-				Machine:    machine,
+				Machine:    mach,
 				Source:     warmSrc,
 				Opt:        opt,
-				DelaySlots: machine == MachineRISC,
+				DelaySlots: mach == "risc1",
 				Fuel:       1 << 24,
 			}
 			runOnce := func(cold bool) (Outcome, []byte) {
@@ -80,7 +80,7 @@ func TestForkedVsColdDifferential(t *testing.T) {
 				}
 				res, err := tk.Result(context.Background())
 				if err != nil || res.Err != nil {
-					t.Fatalf("%s/O%d cold=%v: %v / %v", machine, opt, cold, err, res.Err)
+					t.Fatalf("%s/O%d cold=%v: %v / %v", mach, opt, cold, err, res.Err)
 				}
 				out := res.Value.(Outcome)
 				b, err := out.Report.JSON()
@@ -95,13 +95,13 @@ func TestForkedVsColdDifferential(t *testing.T) {
 			cold, coldJSON := runOnce(true)
 
 			if warm1.Value != cold.Value || warm2.Value != cold.Value {
-				t.Errorf("%s/O%d: warm values %d,%d != cold %d", machine, opt, warm1.Value, warm2.Value, cold.Value)
+				t.Errorf("%s/O%d: warm values %d,%d != cold %d", mach, opt, warm1.Value, warm2.Value, cold.Value)
 			}
 			if !bytes.Equal(warmJSON1, coldJSON) {
-				t.Errorf("%s/O%d: first warm report diverged from cold:\n%s\n---\n%s", machine, opt, warmJSON1, coldJSON)
+				t.Errorf("%s/O%d: first warm report diverged from cold:\n%s\n---\n%s", mach, opt, warmJSON1, coldJSON)
 			}
 			if !bytes.Equal(warmJSON2, coldJSON) {
-				t.Errorf("%s/O%d: repeated warm report diverged from cold:\n%s\n---\n%s", machine, opt, warmJSON2, coldJSON)
+				t.Errorf("%s/O%d: repeated warm report diverged from cold:\n%s\n---\n%s", mach, opt, warmJSON2, coldJSON)
 			}
 		}
 	}

@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"context"
+
+	"risc1/internal/cc"
+	"risc1/internal/mem"
+	"risc1/internal/obs"
+	"risc1/internal/vax"
+)
+
+// ciscMachine adapts *vax.CPU — the VAX-style CISC baseline.
+type ciscMachine struct{ c *vax.CPU }
+
+func (m ciscMachine) unwrap() any                          { return m.c }
+func (m ciscMachine) Reset(entry uint32)                   { m.c.Reset(entry) }
+func (m ciscMachine) Mem() *mem.Memory                     { return m.c.Mem }
+func (m ciscMachine) RunContext(ctx context.Context) error { return m.c.RunContext(ctx) }
+func (m ciscMachine) RunSteps(n uint64) (bool, error)      { return m.c.RunSteps(n) }
+func (m ciscMachine) SetMaxInstructions(n uint64)          { m.c.SetMaxInstructions(n) }
+func (m ciscMachine) PC() uint32                           { return m.c.PC() }
+func (m ciscMachine) Halted() (bool, error)                { return m.c.Halted() }
+func (m ciscMachine) Instructions() uint64                 { return m.c.Trace.Instructions }
+func (m ciscMachine) Cycles() uint64                       { return m.c.Trace.Cycles }
+func (m ciscMachine) Micros() float64                      { return m.c.Micros() }
+func (m ciscMachine) Observe(o *obs.Observer)              { m.c.Obs = o }
+func (m ciscMachine) BuildReport(w string) obs.Report      { return m.c.BuildReport(w) }
+
+func (m ciscMachine) Registers() []uint32 {
+	regs := make([]uint32, len(m.c.R))
+	copy(regs, m.c.R[:])
+	return regs
+}
+
+func (m ciscMachine) Snapshot() Snapshot { return ciscSnapshot{m.c.Snapshot()} }
+func (m ciscMachine) Restore(s Snapshot) { m.c.Restore(s.(ciscSnapshot).s) }
+
+type ciscSnapshot struct{ s *vax.Snapshot }
+
+func (s ciscSnapshot) unwrap() any          { return s.s }
+func (s ciscSnapshot) MemPages() int        { return s.s.MemPages() }
+func (s ciscSnapshot) Instructions() uint64 { return s.s.Instructions() }
+func (s ciscSnapshot) Release()             { s.s.Release() }
+
+// ciscProgram adapts *vax.Program.
+type ciscProgram struct{ p *vax.Program }
+
+func (p ciscProgram) unwrap() any                    { return p.p }
+func (p ciscProgram) LoadInto(m *mem.Memory) error   { return p.p.LoadInto(m) }
+func (p ciscProgram) Symbol(n string) (uint32, bool) { return p.p.Symbol(n) }
+func (p ciscProgram) SortedSymbols() []string        { return p.p.SortedSymbols() }
+func (p ciscProgram) Entry() uint32                  { return p.p.Entry }
+func (p ciscProgram) TextBytes() int                 { return p.p.TextSize }
+func (p ciscProgram) Footprint() int64 {
+	n := int64(512)
+	for _, seg := range p.p.Segments {
+		n += int64(len(seg.Data))
+	}
+	return n + int64(len(p.p.Symbols))*32
+}
+
+func ciscConfig(o Options) vax.Config {
+	return vax.Config{MemSize: o.MemSize, MaxInstructions: o.Fuel}
+}
+
+func init() {
+	Register(&Backend{
+		Name:        "cisc",
+		Aliases:     []string{"vax"},
+		Description: "CISC baseline: VAX-style two-address machine with microcoded CALLS/RET",
+		CycleNS:     vax.CycleNS,
+		Compile: func(src string, o Options) (Program, string, []obs.PassStat, error) {
+			prog, text, stats, err := cc.CompileVAX(src, cc.Options{Opt: o.Opt})
+			if err != nil {
+				return nil, text, nil, err
+			}
+			return ciscProgram{prog}, text, passStats(stats), nil
+		},
+		New:     func(o Options) Machine { return ciscMachine{vax.New(ciscConfig(o))} },
+		ErrFuel: vax.ErrInstructionLimit,
+		Normalize: func(o Options) Options {
+			o.DelaySlots = false
+			o.Windows = 0
+			o.NoWindows = false
+			o.NoICache = false
+			return o
+		},
+	})
+}

@@ -1,0 +1,249 @@
+// Package machinetest is the registry conformance suite: the behavioral
+// contract every registered backend must satisfy beyond compiling. Run
+// drives one backend through the properties the execution layers above
+// the registry rely on — deterministic replay, snapshot/restore
+// identity, fuel and cancellation semantics, report schema — so a new
+// machine that registers and passes this suite works end-to-end through
+// batch execution, warm-start, debug sessions, and the HTTP service
+// without those layers growing machine-specific code.
+package machinetest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"risc1/internal/machine"
+)
+
+// src is the conformance workload: calls, a loop, and a global store,
+// exercising each backend's calling convention. It leaves 55 in result.
+const src = `
+int result;
+int add(int a, int b) { return a + b; }
+int main() {
+	int i; int s;
+	s = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		s = s + add(i, 1);
+	}
+	result = s;
+	return 0;
+}
+`
+
+const want = 55
+
+// spinSrc never halts — the fuel and cancellation probes.
+const spinSrc = `
+int result;
+int main() {
+	int i;
+	i = 0;
+	while (i < 2) { i = 0; }
+	result = i;
+	return 0;
+}
+`
+
+// Run checks b against the backend contract.
+func Run(t *testing.T, b *machine.Backend) {
+	t.Helper()
+
+	compile := func(t *testing.T, source string, o machine.Options) machine.Program {
+		t.Helper()
+		prog, text, _, err := b.Compile(source, o)
+		if err != nil {
+			t.Fatalf("%s: compile: %v\n%s", b.Name, err, text)
+		}
+		return prog
+	}
+	load := func(t *testing.T, m machine.Machine, prog machine.Program) {
+		t.Helper()
+		m.Reset(prog.Entry())
+		if err := prog.LoadInto(m.Mem()); err != nil {
+			t.Fatalf("%s: load: %v", b.Name, err)
+		}
+	}
+	result := func(t *testing.T, m machine.Machine, prog machine.Program) int32 {
+		t.Helper()
+		addr, ok := prog.Symbol("result")
+		if !ok {
+			t.Fatalf("%s: program has no result symbol", b.Name)
+		}
+		v, err := m.Mem().LoadWord(addr)
+		if err != nil {
+			t.Fatalf("%s: read result: %v", b.Name, err)
+		}
+		return int32(v)
+	}
+	reportJSON := func(t *testing.T, m machine.Machine) []byte {
+		t.Helper()
+		rep := m.BuildReport("conformance")
+		b.ScrubReport(&rep)
+		j, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("%s: report JSON: %v", b.Name, err)
+		}
+		return j
+	}
+
+	t.Run("determinism", func(t *testing.T) {
+		// Two fresh machines over the same program must agree byte for
+		// byte — the property every cache layer and differential test
+		// upstream assumes.
+		var first []byte
+		for i := 0; i < 2; i++ {
+			prog := compile(t, src, machine.Options{Opt: 1})
+			m := b.New(machine.Options{Opt: 1})
+			load(t, m, prog)
+			if err := m.RunContext(context.Background()); err != nil {
+				t.Fatalf("%s: run: %v", b.Name, err)
+			}
+			if got := result(t, m, prog); got != want {
+				t.Fatalf("%s: result = %d, want %d", b.Name, got, want)
+			}
+			j := reportJSON(t, m)
+			if first == nil {
+				first = j
+			} else if !bytes.Equal(first, j) {
+				t.Errorf("%s: reports differ across identical fresh runs", b.Name)
+			}
+		}
+	})
+
+	t.Run("snapshot-restore", func(t *testing.T) {
+		// A run replayed from a post-load snapshot must be
+		// indistinguishable from the original — warm-start correctness.
+		prog := compile(t, src, machine.Options{})
+		m := b.New(machine.Options{})
+		load(t, m, prog)
+		snap := m.Snapshot()
+		defer snap.Release()
+		if snap.Instructions() != 0 {
+			t.Errorf("%s: post-load snapshot instructions = %d, want 0", b.Name, snap.Instructions())
+		}
+		if err := m.RunContext(context.Background()); err != nil {
+			t.Fatalf("%s: cold run: %v", b.Name, err)
+		}
+		cold := reportJSON(t, m)
+		coldVal := result(t, m, prog)
+
+		m.Restore(snap)
+		if h, _ := m.Halted(); h {
+			t.Fatalf("%s: restored machine reports halted", b.Name)
+		}
+		if m.Instructions() != 0 {
+			t.Errorf("%s: restored instructions = %d, want 0", b.Name, m.Instructions())
+		}
+		if err := m.RunContext(context.Background()); err != nil {
+			t.Fatalf("%s: warm run: %v", b.Name, err)
+		}
+		if !bytes.Equal(cold, reportJSON(t, m)) {
+			t.Errorf("%s: warm report differs from cold", b.Name)
+		}
+		if got := result(t, m, prog); got != coldVal {
+			t.Errorf("%s: warm result = %d, cold %d", b.Name, got, coldVal)
+		}
+	})
+
+	t.Run("fuel", func(t *testing.T) {
+		// Exhausting the budget must fail with the backend's wrapped
+		// sentinel, leave the machine unhalted (inspectable), and be
+		// classified by the registry helper.
+		prog := compile(t, spinSrc, machine.Options{})
+		m := b.New(machine.Options{Fuel: 64})
+		load(t, m, prog)
+		err := m.RunContext(context.Background())
+		if err == nil {
+			t.Fatalf("%s: spin with fuel 64 returned nil", b.Name)
+		}
+		if !errors.Is(err, b.ErrFuel) {
+			t.Errorf("%s: err = %v, want wrapped %v", b.Name, err, b.ErrFuel)
+		}
+		if !machine.IsFuelExhausted(err) {
+			t.Errorf("%s: IsFuelExhausted(%v) = false", b.Name, err)
+		}
+		if h, _ := m.Halted(); h {
+			t.Errorf("%s: fuel exhaustion halted the machine", b.Name)
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		// A cancelled context stops the run on an instruction boundary
+		// with the context's error; the machine stays resumable.
+		prog := compile(t, spinSrc, machine.Options{})
+		m := b.New(machine.Options{})
+		load(t, m, prog)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := m.RunContext(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: cancelled run err = %v, want context.Canceled", b.Name, err)
+		}
+		if h, _ := m.Halted(); h {
+			t.Errorf("%s: cancellation halted the machine", b.Name)
+		}
+		if halted, err := m.RunSteps(16); halted || err != nil {
+			t.Errorf("%s: resume after cancel = (%v, %v), want (false, nil)", b.Name, halted, err)
+		}
+	})
+
+	t.Run("report-schema", func(t *testing.T) {
+		prog := compile(t, src, machine.Options{Opt: 1})
+		m := b.New(machine.Options{Opt: 1})
+		load(t, m, prog)
+		if err := m.RunContext(context.Background()); err != nil {
+			t.Fatalf("%s: run: %v", b.Name, err)
+		}
+		rep := m.BuildReport("conformance")
+		if rep.Machine != b.Name {
+			t.Errorf("%s: report machine = %q, want the canonical name", b.Name, rep.Machine)
+		}
+		if rep.Totals.Instructions == 0 || rep.Totals.Cycles == 0 {
+			t.Errorf("%s: empty totals %+v", b.Name, rep.Totals)
+		}
+		if rep.Totals.CPI < 1 {
+			t.Errorf("%s: CPI %v < 1", b.Name, rep.Totals.CPI)
+		}
+		if m.Instructions() != rep.Totals.Instructions || m.Cycles() != rep.Totals.Cycles {
+			t.Errorf("%s: machine counters disagree with report totals", b.Name)
+		}
+		if m.Micros() <= 0 {
+			t.Errorf("%s: Micros = %v", b.Name, m.Micros())
+		}
+		if _, err := rep.JSON(); err != nil {
+			t.Errorf("%s: report JSON: %v", b.Name, err)
+		}
+	})
+
+	t.Run("interface-surface", func(t *testing.T) {
+		prog := compile(t, src, machine.Options{})
+		if prog.TextBytes() <= 0 {
+			t.Errorf("%s: TextBytes = %d", b.Name, prog.TextBytes())
+		}
+		if prog.Footprint() <= 0 {
+			t.Errorf("%s: Footprint = %d", b.Name, prog.Footprint())
+		}
+		if len(prog.SortedSymbols()) == 0 {
+			t.Errorf("%s: no symbols", b.Name)
+		}
+		m := b.New(machine.Options{})
+		if len(m.Registers()) == 0 {
+			t.Errorf("%s: no registers", b.Name)
+		}
+		if b.CycleNS <= 0 {
+			t.Errorf("%s: CycleNS = %v", b.Name, b.CycleNS)
+		}
+		// Normalize must be idempotent and keep the fields every
+		// backend honors.
+		o := machine.Options{Opt: 1, DelaySlots: true, Windows: 4, NoWindows: true, NoICache: true, MemSize: 1 << 16, Fuel: 99}
+		n := b.Normalize(o)
+		if b.Normalize(n) != n {
+			t.Errorf("%s: Normalize is not idempotent", b.Name)
+		}
+		if n.Opt != o.Opt || n.MemSize != o.MemSize || n.Fuel != o.Fuel {
+			t.Errorf("%s: Normalize dropped a universal field: %+v", b.Name, n)
+		}
+	})
+}

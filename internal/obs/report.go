@@ -24,7 +24,7 @@ const (
 type Report struct {
 	Schema   string `json:"schema"`
 	Version  int    `json:"version"`
-	Machine  string `json:"machine"` // "risc1" or "cisc"
+	Machine  string `json:"machine"` // registry name: "risc1", "cisc", "rv32", ...
 	Workload string `json:"workload,omitempty"`
 
 	Config  ReportConfig `json:"config"`
@@ -34,6 +34,7 @@ type Report struct {
 	Windows *Windows     `json:"windows,omitempty"` // RISC only
 	Control *Control     `json:"control,omitempty"` // RISC only
 	Cisc    *Cisc        `json:"cisc,omitempty"`    // baseline only
+	Rv32    *Rv32        `json:"rv32,omitempty"`    // modern-RISC machine only
 	Memory  Memory       `json:"memory"`
 	ICache  *ICache      `json:"icache,omitempty"` // host machinery, not simulated state
 	Profile *Profile     `json:"profile,omitempty"`
@@ -108,6 +109,17 @@ type Cisc struct {
 	BranchesTaken   uint64 `json:"branchesTaken"`
 	BranchesUntaken uint64 `json:"branchesUntaken"`
 	InstStreamBytes uint64 `json:"instStreamBytes"`
+}
+
+// Rv32 is the modern delay-slot-free RISC machine's call and branch
+// accounting. Branch bubbles are costBranchTaken × BranchesTaken by
+// construction, so the section exposes the raw counts.
+type Rv32 struct {
+	Calls           uint64 `json:"calls"`
+	Returns         uint64 `json:"returns"`
+	BranchesTaken   uint64 `json:"branchesTaken"`
+	BranchesUntaken uint64 `json:"branchesUntaken"`
+	MulDivOps       uint64 `json:"mulDivOps"`
 }
 
 // Memory is the data-memory traffic (instruction fetch excluded, as the

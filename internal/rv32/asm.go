@@ -1,0 +1,789 @@
+package rv32
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"risc1/internal/mem"
+	"risc1/internal/syntax"
+)
+
+// Segment is a contiguous block of assembled bytes.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// Program is the output of the rv32 assembler.
+type Program struct {
+	Segments []Segment
+	Symbols  map[string]uint32
+	Entry    uint32 // "start" if defined, else "main", else first instruction
+	TextSize int    // bytes of instructions (static code size)
+	DataSize int
+}
+
+// LoadInto copies all segments into memory.
+func (p *Program) LoadInto(m *mem.Memory) error {
+	for _, s := range p.Segments {
+		if err := m.WriteBytes(s.Addr, s.Data); err != nil {
+			return fmt.Errorf("rv32: loading segment at %#08x: %w", s.Addr, err)
+		}
+	}
+	return nil
+}
+
+// Symbol looks up a label or .equ value.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// SortedSymbols returns symbol names in address order.
+func (p *Program) SortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.Symbols[names[i]] != p.Symbols[names[j]] {
+			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+func errf(line int, format string, args ...any) error {
+	return syntax.Errorf(line, "rv32: "+format, args...)
+}
+
+// Assemble translates rv32 assembly into a loadable program.
+//
+// Operand syntax follows RISC-V conventions: registers by number ("x5")
+// or ABI name ("t0", "a0", "sp"), loads/stores/jalr as "off(reg)",
+// branches and jumps take a label or expression. The pseudo-
+// instructions li, la, mv, nop, j, jr, call, ret, neg, not, beqz, bnez,
+// ble and bgt expand to base instructions at parse time. Data
+// directives match the other assemblers'.
+func Assemble(src string) (*Program, error) {
+	p := &rparser{syms: make(map[string]uint32)}
+	for lineNo, line := range strings.Split(src, "\n") {
+		if err := p.parseLine(line, lineNo+1); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.layout(); err != nil {
+		return nil, err
+	}
+	return p.emit()
+}
+
+// MustAssemble panics on error; for known-good embedded sources.
+func MustAssemble(src string) *Program {
+	prog, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type rkind uint8
+
+const (
+	rInst rkind = iota
+	rLi
+	rWord
+	rHalf
+	rByte
+	rAscii
+	rSpace
+	rAlign
+	rOrg
+)
+
+type ritem struct {
+	kind   rkind
+	line   int
+	labels []string
+
+	op           Op
+	rd, rs1, rs2 uint8
+	imm          syntax.Expr // immediate / offset / branch+jump target / li value
+	wide         bool        // li: lui+addi form (8 bytes)
+
+	exprs []syntax.Expr
+	str   string
+	count uint32
+	addr  uint32
+}
+
+type rparser struct {
+	items   []ritem
+	syms    map[string]uint32
+	pending []string
+}
+
+func (p *rparser) add(it ritem) {
+	it.labels = p.pending
+	p.pending = nil
+	p.items = append(p.items, it)
+}
+
+func (p *rparser) parseLine(line string, lineNo int) error {
+	toks, err := syntax.ScanLine(line, lineNo)
+	if err != nil {
+		return err
+	}
+	for len(toks) >= 2 && toks[0].Kind == syntax.Ident && toks[1].Kind == syntax.Punct && toks[1].Text == ":" {
+		p.pending = append(p.pending, toks[0].Text)
+		toks = toks[2:]
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	if toks[0].Kind != syntax.Ident {
+		return errf(lineNo, "expected mnemonic or directive, got %q", toks[0].Text)
+	}
+	head := strings.ToLower(toks[0].Text)
+	rest := toks[1:]
+	if strings.HasPrefix(head, ".") {
+		return p.parseDirective(head, rest, lineNo)
+	}
+	return p.parseInst(head, rest, lineNo)
+}
+
+type cursor struct {
+	toks []syntax.Token
+	pos  int
+	line int
+}
+
+func (c *cursor) done() bool { return c.pos >= len(c.toks) }
+
+func (c *cursor) punct(s string) bool {
+	if c.pos < len(c.toks) && c.toks[c.pos].Kind == syntax.Punct && c.toks[c.pos].Text == s {
+		c.pos++
+		return true
+	}
+	return false
+}
+
+func (c *cursor) comma() error {
+	if c.punct(",") {
+		return nil
+	}
+	return errf(c.line, "expected ','")
+}
+
+func (c *cursor) end() error {
+	if !c.done() {
+		return errf(c.line, "unexpected trailing operands")
+	}
+	return nil
+}
+
+func (c *cursor) expr() (syntax.Expr, error) {
+	ep := &syntax.Parser{Toks: c.toks, Pos: c.pos, Line: c.line}
+	e, err := ep.Parse()
+	if err != nil {
+		return nil, err
+	}
+	c.pos = ep.Pos
+	return e, nil
+}
+
+// reg consumes a register name.
+func (c *cursor) reg() (uint8, error) {
+	if c.pos < len(c.toks) && c.toks[c.pos].Kind == syntax.Ident {
+		if r, ok := regByName(strings.ToLower(c.toks[c.pos].Text)); ok {
+			c.pos++
+			return r, nil
+		}
+	}
+	if c.pos < len(c.toks) {
+		return 0, errf(c.line, "expected register, got %q", c.toks[c.pos].Text)
+	}
+	return 0, errf(c.line, "missing register operand")
+}
+
+// offReg consumes "off(reg)"; a bare "(reg)" means offset zero.
+func (c *cursor) offReg() (syntax.Expr, uint8, error) {
+	var off syntax.Expr
+	if !(c.pos < len(c.toks) && c.toks[c.pos].Kind == syntax.Punct && c.toks[c.pos].Text == "(") {
+		e, err := c.expr()
+		if err != nil {
+			return nil, 0, err
+		}
+		off = e
+	}
+	if !c.punct("(") {
+		return nil, 0, errf(c.line, "expected '(reg)' in memory operand")
+	}
+	r, err := c.reg()
+	if err != nil {
+		return nil, 0, err
+	}
+	if !c.punct(")") {
+		return nil, 0, errf(c.line, "missing ')' in memory operand")
+	}
+	return off, r, nil
+}
+
+func (p *rparser) parseInst(name string, toks []syntax.Token, line int) error {
+	c := &cursor{toks: toks, line: line}
+
+	// Pseudo-instructions first; each rewrites into one base item
+	// (li/la may take two words, decided here so layout stays
+	// single-pass).
+	switch name {
+	case "nop":
+		if err := c.end(); err != nil {
+			return err
+		}
+		p.add(ritem{kind: rInst, line: line, op: ADDI})
+		return nil
+	case "mv":
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		rs, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		p.add(ritem{kind: rInst, line: line, op: ADDI, rd: rd, rs1: rs})
+		return nil
+	case "neg", "not":
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		rs, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		if name == "neg" {
+			p.add(ritem{kind: rInst, line: line, op: SUB, rd: rd, rs2: rs})
+		} else {
+			p.add(ritem{kind: rInst, line: line, op: XORI, rd: rd, rs1: rs, imm: syntax.Num{V: -1}})
+		}
+		return nil
+	case "li", "la":
+		rd, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		it := ritem{kind: rLi, line: line, rd: rd, imm: e, wide: true}
+		if v, ok := syntax.LiteralValue(e); ok && v >= -2048 && v <= 2047 {
+			it.wide = false
+		}
+		p.add(it)
+		return nil
+	case "j", "call":
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		rd := uint8(RegZero)
+		if name == "call" {
+			rd = RegRA
+		}
+		p.add(ritem{kind: rInst, line: line, op: JAL, rd: rd, imm: e})
+		return nil
+	case "jr":
+		rs, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		p.add(ritem{kind: rInst, line: line, op: JALR, rs1: rs})
+		return nil
+	case "ret":
+		if err := c.end(); err != nil {
+			return err
+		}
+		p.add(ritem{kind: rInst, line: line, op: JALR, rs1: RegRA})
+		return nil
+	case "beqz", "bnez":
+		rs, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		op := BEQ
+		if name == "bnez" {
+			op = BNE
+		}
+		p.add(ritem{kind: rInst, line: line, op: op, rs1: rs, imm: e})
+		return nil
+	case "ble", "bgt":
+		a, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		b, err := c.reg()
+		if err != nil {
+			return err
+		}
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		// a <= b  ==  b >= a;  a > b  ==  b < a.
+		op := BGE
+		if name == "bgt" {
+			op = BLT
+		}
+		p.add(ritem{kind: rInst, line: line, op: op, rs1: b, rs2: a, imm: e})
+		return nil
+	}
+
+	op, ok := ByName(name)
+	if !ok {
+		return errf(line, "unknown instruction %q", name)
+	}
+	info, _ := Lookup(op)
+	it := ritem{kind: rInst, line: line, op: op}
+	var err error
+	switch info.Fmt {
+	case FmtR:
+		if it.rd, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.rs1, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.rs2, err = c.reg(); err != nil {
+			return err
+		}
+	case FmtI:
+		if it.rd, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if info.Opcode == opcLoad || op == JALR {
+			if it.imm, it.rs1, err = c.offReg(); err != nil {
+				return err
+			}
+		} else {
+			if it.rs1, err = c.reg(); err != nil {
+				return err
+			}
+			if err = c.comma(); err != nil {
+				return err
+			}
+			if it.imm, err = c.expr(); err != nil {
+				return err
+			}
+		}
+	case FmtIS:
+		if it.rd, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.rs1, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.imm, err = c.expr(); err != nil {
+			return err
+		}
+	case FmtS:
+		if it.rs2, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.imm, it.rs1, err = c.offReg(); err != nil {
+			return err
+		}
+	case FmtB:
+		if it.rs1, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.rs2, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.imm, err = c.expr(); err != nil {
+			return err
+		}
+	case FmtU:
+		if it.rd, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.imm, err = c.expr(); err != nil {
+			return err
+		}
+	case FmtJ:
+		if it.rd, err = c.reg(); err != nil {
+			return err
+		}
+		if err = c.comma(); err != nil {
+			return err
+		}
+		if it.imm, err = c.expr(); err != nil {
+			return err
+		}
+	case FmtSys:
+		// no operands
+	}
+	if err := c.end(); err != nil {
+		return err
+	}
+	p.add(it)
+	return nil
+}
+
+func (p *rparser) parseDirective(name string, toks []syntax.Token, line int) error {
+	c := &cursor{toks: toks, line: line}
+	switch name {
+	case ".equ":
+		if c.done() || c.toks[c.pos].Kind != syntax.Ident {
+			return errf(line, ".equ needs a name")
+		}
+		sym := c.toks[c.pos].Text
+		c.pos++
+		if err := c.comma(); err != nil {
+			return err
+		}
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		v, err := e.Eval(p.syms)
+		if err != nil {
+			return errf(line, ".equ value must be computable here: %v", err)
+		}
+		if _, dup := p.syms[sym]; dup {
+			return errf(line, "symbol %q redefined", sym)
+		}
+		p.syms[sym] = uint32(v)
+		return nil
+
+	case ".org", ".space", ".align":
+		e, err := c.expr()
+		if err != nil {
+			return err
+		}
+		if err := c.end(); err != nil {
+			return err
+		}
+		v, err := e.Eval(p.syms)
+		if err != nil {
+			return errf(line, "%s operand must be computable here: %v", name, err)
+		}
+		if v < 0 {
+			return errf(line, "%s operand must be non-negative", name)
+		}
+		kind := map[string]rkind{".org": rOrg, ".space": rSpace, ".align": rAlign}[name]
+		if kind == rAlign && (v == 0 || v&(v-1) != 0) {
+			return errf(line, ".align needs a power of two")
+		}
+		p.add(ritem{kind: kind, line: line, count: uint32(v)})
+		return nil
+
+	case ".word", ".half", ".byte":
+		var exprs []syntax.Expr
+		for {
+			e, err := c.expr()
+			if err != nil {
+				return err
+			}
+			exprs = append(exprs, e)
+			if c.done() {
+				break
+			}
+			if err := c.comma(); err != nil {
+				return err
+			}
+		}
+		kind := map[string]rkind{".word": rWord, ".half": rHalf, ".byte": rByte}[name]
+		p.add(ritem{kind: kind, line: line, exprs: exprs})
+		return nil
+
+	case ".ascii", ".asciz":
+		if c.done() || c.toks[c.pos].Kind != syntax.String {
+			return errf(line, "%s needs a string", name)
+		}
+		s := c.toks[c.pos].Text
+		c.pos++
+		if err := c.end(); err != nil {
+			return err
+		}
+		if name == ".asciz" {
+			s += "\x00"
+		}
+		p.add(ritem{kind: rAscii, line: line, str: s})
+		return nil
+	}
+	return errf(line, "unknown directive %q", name)
+}
+
+func (it *ritem) size() uint32 {
+	switch it.kind {
+	case rInst:
+		return 4
+	case rLi:
+		if it.wide {
+			return 8
+		}
+		return 4
+	case rWord:
+		return 4 * uint32(len(it.exprs))
+	case rHalf:
+		return 2 * uint32(len(it.exprs))
+	case rByte:
+		return uint32(len(it.exprs))
+	case rAscii:
+		return uint32(len(it.str))
+	case rSpace:
+		return it.count
+	default:
+		return 0
+	}
+}
+
+func (it *ritem) alignment() uint32 {
+	switch it.kind {
+	case rInst, rLi, rWord:
+		return 4
+	case rHalf:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func (p *rparser) layout() error {
+	lc := uint32(0)
+	for i := range p.items {
+		it := &p.items[i]
+		switch it.kind {
+		case rOrg:
+			if it.count < lc {
+				return errf(it.line, ".org %#x moves backwards from %#x", it.count, lc)
+			}
+			lc = it.count
+		case rAlign:
+			lc = (lc + it.count - 1) &^ (it.count - 1)
+		}
+		if a := it.alignment(); lc%a != 0 {
+			lc = (lc + a - 1) &^ (a - 1)
+		}
+		it.addr = lc
+		for _, l := range it.labels {
+			if _, dup := p.syms[l]; dup {
+				return errf(it.line, "symbol %q redefined", l)
+			}
+			p.syms[l] = lc
+		}
+		lc += it.size()
+	}
+	for _, l := range p.pending {
+		if _, dup := p.syms[l]; dup {
+			return fmt.Errorf("rv32: symbol %q redefined", l)
+		}
+		p.syms[l] = lc
+	}
+	return nil
+}
+
+func (p *rparser) emit() (*Program, error) {
+	prog := &Program{Symbols: p.syms}
+	var cur *Segment
+	put := func(addr uint32, b []byte) {
+		if cur == nil || cur.Addr+uint32(len(cur.Data)) != addr {
+			prog.Segments = append(prog.Segments, Segment{Addr: addr})
+			cur = &prog.Segments[len(prog.Segments)-1]
+		}
+		cur.Data = append(cur.Data, b...)
+	}
+	putWord := func(addr uint32, w uint32) {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], w)
+		put(addr, b[:])
+	}
+
+	for i := range p.items {
+		it := &p.items[i]
+		switch it.kind {
+		case rInst:
+			w, err := p.encodeInst(it)
+			if err != nil {
+				return nil, err
+			}
+			putWord(it.addr, w)
+			prog.TextSize += 4
+		case rLi:
+			v, err := it.imm.Eval(p.syms)
+			if err != nil {
+				return nil, errf(it.line, "%v", err)
+			}
+			if !it.wide {
+				w, err := Encode(ADDI, it.rd, RegZero, 0, int32(v))
+				if err != nil {
+					return nil, errf(it.line, "%v", err)
+				}
+				putWord(it.addr, w)
+				prog.TextSize += 4
+				break
+			}
+			u := uint32(v)
+			hi := (u + 0x800) >> 12
+			lo := int32(u) - int32(hi<<12)
+			wHi, err := Encode(LUI, it.rd, 0, 0, int32(hi&0xfffff))
+			if err != nil {
+				return nil, errf(it.line, "%v", err)
+			}
+			wLo, err := Encode(ADDI, it.rd, it.rd, 0, lo)
+			if err != nil {
+				return nil, errf(it.line, "%v", err)
+			}
+			putWord(it.addr, wHi)
+			putWord(it.addr+4, wLo)
+			prog.TextSize += 8
+		case rWord, rHalf, rByte:
+			sz := map[rkind]int{rWord: 4, rHalf: 2, rByte: 1}[it.kind]
+			for j, e := range it.exprs {
+				v, err := e.Eval(p.syms)
+				if err != nil {
+					return nil, errf(it.line, "%v", err)
+				}
+				b := make([]byte, sz)
+				switch sz {
+				case 4:
+					binary.BigEndian.PutUint32(b, uint32(v))
+				case 2:
+					binary.BigEndian.PutUint16(b, uint16(v))
+				default:
+					b[0] = byte(v)
+				}
+				put(it.addr+uint32(j*sz), b)
+			}
+			prog.DataSize += sz * len(it.exprs)
+		case rAscii:
+			put(it.addr, []byte(it.str))
+			prog.DataSize += len(it.str)
+		case rSpace:
+			if it.count > 0 {
+				put(it.addr, make([]byte, it.count))
+				prog.DataSize += int(it.count)
+			}
+		}
+	}
+	prog.Entry = p.entry()
+	return prog, nil
+}
+
+func (p *rparser) entry() uint32 {
+	if v, ok := p.syms["start"]; ok {
+		return v
+	}
+	if v, ok := p.syms["main"]; ok {
+		return v
+	}
+	for _, it := range p.items {
+		if it.kind == rInst || it.kind == rLi {
+			return it.addr
+		}
+	}
+	return 0
+}
+
+func (p *rparser) encodeInst(it *ritem) (uint32, error) {
+	info, _ := Lookup(it.op)
+	var imm int32
+	if it.imm != nil {
+		v, err := it.imm.Eval(p.syms)
+		if err != nil {
+			return 0, errf(it.line, "%v", err)
+		}
+		imm = int32(v)
+	}
+	switch info.Fmt {
+	case FmtB, FmtJ:
+		// Targets are absolute addresses; the formats encode pc-relative.
+		imm -= int32(it.addr)
+		if info.Fmt == FmtB && (imm < -4096 || imm > 4095) {
+			return 0, errf(it.line, "branch target out of the ±4 KiB range (offset %d)", imm)
+		}
+	}
+	w, err := Encode(it.op, it.rd, it.rs1, it.rs2, imm)
+	if err != nil {
+		return 0, errf(it.line, "%v", err)
+	}
+	return w, nil
+}

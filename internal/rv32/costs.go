@@ -1,0 +1,33 @@
+package rv32
+
+// Cycle-cost model for the modern-RISC third machine: a short in-order
+// pipeline with no branch delay slots. The cycle time is deliberately
+// pinned to RISC I's 400 ns — the three-way comparison holds the
+// implementation technology fixed so the tables measure architecture
+// (flat file vs windows, bubbles vs delay slots, hardware vs software
+// multiply), not process scaling. As with the other two machines the
+// constants are visible inputs to the reproduced tables.
+const (
+	// CycleNS matches cpu.DefaultCycleNS: same NMOS-class technology
+	// assumption as RISC I, so cycle counts compare directly.
+	CycleNS = 400
+
+	// costBase is the single-issue pipeline's cycle per instruction.
+	costBase = 1
+
+	// costMemExtra is the extra data-access cycle loads and stores pay
+	// on the shared memory port, mirroring RISC I's 2-cycle ldl/stl.
+	costMemExtra = 1
+
+	// costBranchTaken is the refetch bubble of a taken branch or jump.
+	// This is the price of dropping the paper's delay slots: the
+	// delay-slot machine hides this cycle when the assembler fills the
+	// slot, the modern machine pays it on every taken transfer.
+	costBranchTaken = 1
+
+	// costMul and costDiv model the M-extension hardware: a short
+	// pipelined multiplier and an iterative ~1-bit-per-cycle divider.
+	// RISC I has neither and calls its software routines instead.
+	costMul = 4
+	costDiv = 34
+)

@@ -1,0 +1,55 @@
+package rv32
+
+import "fmt"
+
+// disasmWindow returns how many bytes to hand the disassembler for an
+// instruction at pc without running off the end of memory.
+func disasmWindow(memSize int, pc uint32) int {
+	if rem := memSize - int(pc); rem < 4 {
+		if rem < 0 {
+			return 0
+		}
+		return rem
+	}
+	return 4
+}
+
+// Disassemble decodes one instruction from code[off:] and renders it in
+// standard RISC-V assembly with ABI register names. addr is the address
+// of code[off]; branch and jump targets print as absolute addresses.
+// Returns the text and the encoded length (always 4).
+func Disassemble(code []byte, off int, addr uint32) (string, int, error) {
+	if off < 0 || off+4 > len(code) {
+		return "", 0, fmt.Errorf("rv32: truncated instruction at %#08x", addr)
+	}
+	w := uint32(code[off])<<24 | uint32(code[off+1])<<16 | uint32(code[off+2])<<8 | uint32(code[off+3])
+	in, err := Decode(w)
+	if err != nil {
+		return "", 0, fmt.Errorf("rv32: at %#08x: %w", addr, err)
+	}
+	info, _ := Lookup(in.Op)
+	var text string
+	switch info.Fmt {
+	case FmtR:
+		text = fmt.Sprintf("%s %s, %s, %s", info.Name, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	case FmtI:
+		if info.Opcode == opcLoad || in.Op == JALR {
+			text = fmt.Sprintf("%s %s, %d(%s)", info.Name, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		} else {
+			text = fmt.Sprintf("%s %s, %s, %d", info.Name, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+		}
+	case FmtIS:
+		text = fmt.Sprintf("%s %s, %s, %d", info.Name, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	case FmtS:
+		text = fmt.Sprintf("%s %s, %d(%s)", info.Name, RegName(in.Rs2), in.Imm, RegName(in.Rs1))
+	case FmtB:
+		text = fmt.Sprintf("%s %s, %s, %#x", info.Name, RegName(in.Rs1), RegName(in.Rs2), addr+uint32(in.Imm))
+	case FmtU:
+		text = fmt.Sprintf("%s %s, %#x", info.Name, RegName(in.Rd), uint32(in.Imm)&0xfffff)
+	case FmtJ:
+		text = fmt.Sprintf("%s %s, %#x", info.Name, RegName(in.Rd), addr+uint32(in.Imm))
+	default: // FmtSys
+		text = info.Name
+	}
+	return text, 4, nil
+}

@@ -1,0 +1,65 @@
+package rv32
+
+import "risc1/internal/obs"
+
+// BuildReport assembles the versioned machine-readable run report for
+// the modern-RISC machine's current statistics. The caller attaches the
+// profiler section separately (obs.ProfileSection).
+func (c *CPU) BuildReport(workload string) obs.Report {
+	r := obs.Report{
+		Schema:   obs.ReportSchema,
+		Version:  obs.ReportVersion,
+		Machine:  "rv32",
+		Workload: workload,
+		Config: obs.ReportConfig{
+			MemSize: c.cfg.MemSize,
+			CycleNS: CycleNS,
+		},
+		Totals: obs.Totals{
+			Instructions: c.Trace.Instructions,
+			Cycles:       c.Trace.Cycles,
+			BaseCycles:   c.Trace.Cycles,
+			Micros:       c.Micros(),
+		},
+		Rv32: &obs.Rv32{
+			Calls:           c.Stats.Calls,
+			Returns:         c.Stats.Returns,
+			BranchesTaken:   c.Stats.BranchesTaken,
+			BranchesUntaken: c.Stats.BranchesUntaken,
+			MulDivOps:       c.Stats.MulDivOps,
+		},
+		Memory: obs.Memory{
+			Reads:        c.Mem.Stats.Reads,
+			Writes:       c.Mem.Stats.Writes,
+			BytesRead:    c.Mem.Stats.BytesRead,
+			BytesWritten: c.Mem.Stats.BytesWritten,
+			Accesses:     c.Mem.Stats.Accesses(),
+		},
+	}
+	if c.Trace.Instructions > 0 {
+		r.Totals.CPI = float64(c.Trace.Cycles) / float64(c.Trace.Instructions)
+	}
+	for _, s := range c.Trace.Mix() {
+		r.Mix = append(r.Mix, obs.MixEntry{Name: s.Name, Count: s.Count, Frac: s.Frac})
+	}
+	for _, s := range c.Trace.OpCounts() {
+		r.Ops = append(r.Ops, obs.MixEntry{Name: s.Name, Count: s.Count, Frac: s.Frac})
+	}
+	return r
+}
+
+// Disassembler returns a pc → assembly-text resolver reading the CPU's
+// current memory image — the disasm callback for annotated profiles.
+func (c *CPU) Disassembler() func(pc uint32) (string, bool) {
+	return func(pc uint32) (string, bool) {
+		raw, err := c.Mem.ReadBytes(pc, disasmWindow(c.Mem.Size(), pc))
+		if err != nil {
+			return "", false
+		}
+		text, _, err := Disassemble(raw, 0, pc)
+		if err != nil {
+			return "", false
+		}
+		return text, true
+	}
+}

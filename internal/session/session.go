@@ -29,10 +29,8 @@ import (
 	"sync"
 	"time"
 
-	"risc1/internal/asm"
-	"risc1/internal/cpu"
+	"risc1/internal/machine"
 	"risc1/internal/obs"
-	"risc1/internal/vax"
 )
 
 // Command errors the HTTP layer maps to stable API codes.
@@ -53,58 +51,14 @@ const runChunk = 4096
 // MaxMemoryRead caps one read-memory command, keeping responses bounded.
 const MaxMemoryRead = 4096
 
-// machine is the debugger's view of a simulator — the slice of the
-// cpu.CPU / vax.CPU surface sessions need. Both adapters are thin: the
-// session layer adds no simulation semantics of its own.
-type machine interface {
-	RunSteps(n uint64) (halted bool, err error)
-	PC() uint32
-	Halted() (bool, error)
-	Registers() []uint32
-	ReadBytes(addr uint32, n int) ([]byte, error)
-	Instructions() uint64
-	Cycles() uint64
-}
-
-type riscMachine struct{ c *cpu.CPU }
-
-func (m riscMachine) RunSteps(n uint64) (bool, error) { return m.c.RunSteps(n) }
-func (m riscMachine) PC() uint32                      { return m.c.PC() }
-func (m riscMachine) Halted() (bool, error)           { return m.c.Halted() }
-func (m riscMachine) Instructions() uint64            { return m.c.Trace.Instructions }
-func (m riscMachine) Cycles() uint64                  { return m.c.Trace.Cycles }
-func (m riscMachine) Registers() []uint32 {
-	regs := make([]uint32, 32)
-	for r := range regs {
-		regs[r] = m.c.Regs.Get(uint8(r))
-	}
-	return regs
-}
-func (m riscMachine) ReadBytes(addr uint32, n int) ([]byte, error) {
-	return m.c.Mem.ReadBytes(addr, n)
-}
-
-type vaxMachine struct{ c *vax.CPU }
-
-func (m vaxMachine) RunSteps(n uint64) (bool, error) { return m.c.RunSteps(n) }
-func (m vaxMachine) PC() uint32                      { return m.c.PC() }
-func (m vaxMachine) Halted() (bool, error)           { return m.c.Halted() }
-func (m vaxMachine) Instructions() uint64            { return m.c.Trace.Instructions }
-func (m vaxMachine) Cycles() uint64                  { return m.c.Trace.Cycles }
-func (m vaxMachine) Registers() []uint32 {
-	regs := make([]uint32, len(m.c.R))
-	copy(regs, m.c.R[:])
-	return regs
-}
-func (m vaxMachine) ReadBytes(addr uint32, n int) ([]byte, error) {
-	return m.c.Mem.ReadBytes(addr, n)
-}
-
-// Session is one paused machine plus its live trace stream. All methods
-// are safe for concurrent use; commands are serialized (ErrBusy).
+// Session is one paused machine plus its live trace stream. The session
+// layer is machine-agnostic: it drives any registered backend through
+// machine.Machine and adds no simulation semantics of its own. All
+// methods are safe for concurrent use; commands are serialized
+// (ErrBusy).
 type Session struct {
 	id     string
-	mach   machine
+	mach   machine.Machine
 	sink   *obs.StreamSink
 	symbol func(name string) (uint32, bool)
 
@@ -130,23 +84,16 @@ type Session struct {
 	reason   string
 }
 
-// NewRISC wraps a paused RISC I machine as a session, attaching the
-// trace stream (any existing observer on c is replaced). The machine
-// must not be driven by anyone else for the session's lifetime.
-func NewRISC(id string, c *cpu.CPU, prog *asm.Program) *Session {
-	s := newSession(id, riscMachine{c}, prog.Symbol)
-	c.Obs = &obs.Observer{Tracer: obs.NewTracer(0, s.sink)}
+// New wraps a paused machine as a session, attaching the trace stream
+// (any existing observer on m is replaced). The machine must not be
+// driven by anyone else for the session's lifetime.
+func New(id string, m machine.Machine, prog machine.Program) *Session {
+	s := newSession(id, m, prog.Symbol)
+	m.Observe(&obs.Observer{Tracer: obs.NewTracer(0, s.sink)})
 	return s
 }
 
-// NewVAX wraps a paused CISC baseline machine as a session.
-func NewVAX(id string, c *vax.CPU, prog *vax.Program) *Session {
-	s := newSession(id, vaxMachine{c}, prog.Symbol)
-	c.Obs = &obs.Observer{Tracer: obs.NewTracer(0, s.sink)}
-	return s
-}
-
-func newSession(id string, m machine, symbol func(string) (uint32, bool)) *Session {
+func newSession(id string, m machine.Machine, symbol func(string) (uint32, bool)) *Session {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Session{
 		id:       id,
@@ -439,5 +386,5 @@ func (s *Session) ReadMemory(ctx context.Context, addr uint32, n int) ([]byte, e
 	if n > MaxMemoryRead {
 		return nil, fmt.Errorf("session: read of %d bytes exceeds the %d-byte cap", n, MaxMemoryRead)
 	}
-	return s.mach.ReadBytes(addr, n)
+	return s.mach.Mem().ReadBytes(addr, n)
 }

@@ -13,7 +13,9 @@ import (
 	"risc1/internal/cc"
 	"risc1/internal/cpu"
 	"risc1/internal/exec"
+	"risc1/internal/machine"
 	"risc1/internal/obs"
+	"risc1/internal/rv32"
 	"risc1/internal/vax"
 )
 
@@ -35,24 +37,29 @@ const spinSrc = `int result; int main() { while (1) { result = result + 1; } ret
 // other.
 var testIDs atomic.Uint64
 
+func buildMachine(t testing.TB, name, src string, o machine.Options) (machine.Machine, machine.Program) {
+	t.Helper()
+	b, ok := machine.Lookup(name)
+	if !ok {
+		t.Fatalf("no backend named %q", name)
+	}
+	m, prog, err := exec.NewSims().NewMachine(context.Background(), b, src, o)
+	if err != nil {
+		t.Fatalf("building %s machine: %v", name, err)
+	}
+	return m, prog
+}
+
 func buildRISC(t testing.TB, src string, fuel uint64) *Session {
 	t.Helper()
-	c, prog, err := exec.NewSims().NewRISCMachine(context.Background(), src,
-		cc.Options{Opt: 1, DelaySlots: true}, cpu.Config{MaxInstructions: fuel})
-	if err != nil {
-		t.Fatalf("building RISC machine: %v", err)
-	}
-	return NewRISC(fmt.Sprintf("test-risc-%d", testIDs.Add(1)), c, prog)
+	m, prog := buildMachine(t, "risc1", src, machine.Options{Opt: 1, DelaySlots: true, Fuel: fuel})
+	return New(fmt.Sprintf("test-risc-%d", testIDs.Add(1)), m, prog)
 }
 
 func buildVAX(t testing.TB, src string, fuel uint64) *Session {
 	t.Helper()
-	c, prog, err := exec.NewSims().NewVAXMachine(context.Background(), src,
-		cc.Options{Opt: 1}, vax.Config{MaxInstructions: fuel})
-	if err != nil {
-		t.Fatalf("building VAX machine: %v", err)
-	}
-	return NewVAX(fmt.Sprintf("test-vax-%d", testIDs.Add(1)), c, prog)
+	m, prog := buildMachine(t, "cisc", src, machine.Options{Opt: 1, Fuel: fuel})
+	return New(fmt.Sprintf("test-vax-%d", testIDs.Add(1)), m, prog)
 }
 
 // collectSink gathers every event — the post-hoc reference side of the
@@ -98,16 +105,13 @@ func TestStepDifferentialRISC(t *testing.T) {
 	for _, opt := range []int{0, 1} {
 		// Session side: warm-started machine, stepped in mixed strides so
 		// chunk boundaries land at arbitrary points.
-		c, prog, err := exec.NewSims().NewRISCMachine(context.Background(), fibSrc,
-			cc.Options{Opt: opt, DelaySlots: opt == 1}, cpu.Config{})
-		if err != nil {
-			t.Fatalf("opt %d: %v", opt, err)
-		}
-		s := NewRISC("diff", c, prog)
+		m, prog := buildMachine(t, "risc1", fibSrc, machine.Options{Opt: opt, DelaySlots: opt == 1})
+		s := New("diff", m, prog)
 		sub := s.Subscribe(1 << 20) // keep everything
 		strides := []uint64{1, 1, 3, 7, 1, 64, 1}
 		var st State
 		for i := 0; ; i++ {
+			var err error
 			st, err = s.Step(context.Background(), strides[i%len(strides)])
 			if err != nil {
 				t.Fatalf("opt %d: step: %v", opt, err)
@@ -156,12 +160,8 @@ func TestStepDifferentialRISC(t *testing.T) {
 
 // TestStepDifferentialVAX is the CISC-baseline half of the differential.
 func TestStepDifferentialVAX(t *testing.T) {
-	c, prog, err := exec.NewSims().NewVAXMachine(context.Background(), fibSrc,
-		cc.Options{Opt: 1}, vax.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := NewVAX("diff", c, prog)
+	m, prog := buildMachine(t, "cisc", fibSrc, machine.Options{Opt: 1})
+	s := New("diff", m, prog)
 	sub := s.Subscribe(1 << 20)
 	for {
 		st, err := s.Step(context.Background(), 5)
@@ -180,6 +180,49 @@ func TestStepDifferentialVAX(t *testing.T) {
 		t.Fatal(err)
 	}
 	rc := vax.New(vax.Config{})
+	rc.Reset(ref.Entry)
+	if err := ref.LoadInto(rc.Mem); err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	rc.Obs = &obs.Observer{Tracer: obs.NewTracer(0, sink)}
+	if err := rc.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	free := jsonLines(t, sink.evs)
+	if len(stepped) != len(free) {
+		t.Fatalf("stepped session emitted %d events, free run %d", len(stepped), len(free))
+	}
+	for i := range free {
+		if stepped[i] != free[i] {
+			t.Fatalf("event %d differs\n  stepped: %s\n  free:    %s", i, stepped[i], free[i])
+		}
+	}
+}
+
+// TestStepDifferentialRV32 is the same differential on the third
+// registered machine — the session layer never special-cases a backend.
+func TestStepDifferentialRV32(t *testing.T) {
+	m, prog := buildMachine(t, "rv32", fibSrc, machine.Options{Opt: 1})
+	s := New("diff", m, prog)
+	sub := s.Subscribe(1 << 20)
+	for {
+		st, err := s.Step(context.Background(), 5)
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if st.Halted {
+			break
+		}
+	}
+	s.Close(CloseReasonClient)
+	stepped := jsonLines(t, drainAll(t, sub))
+
+	ref, _, _, err := cc.CompileRV32(fibSrc, cc.Options{Opt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := rv32.New(rv32.Config{})
 	rc.Reset(ref.Entry)
 	if err := ref.LoadInto(rc.Mem); err != nil {
 		t.Fatal(err)
