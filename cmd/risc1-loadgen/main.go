@@ -1,0 +1,173 @@
+// Command risc1-loadgen drives a risc1-serve deployment with
+// production-shaped traffic: open-loop Poisson arrivals, Zipf program
+// popularity over a progen-derived corpus, and per-request outcome and
+// cache accounting. It prints a human summary to stderr and a
+// risc1.loadgen-report/v1 JSON document to stdout (or -report).
+//
+// Fixed-rate run against one replica:
+//
+//	risc1-loadgen -url http://localhost:8080 -rate 200 -requests 2000
+//
+// Saturation sweep across three replicas, locating the 429 knee:
+//
+//	risc1-loadgen -urls http://h1:8080,http://h2:8080,http://h3:8080 \
+//	    -sweep -sweep-start 50 -sweep-factor 2 -sweep-steps 7
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"risc1/internal/loadgen"
+	"risc1/internal/obs"
+)
+
+func main() {
+	var (
+		url  = flag.String("url", "http://localhost:8080", "base URL of one risc1-serve replica")
+		urls = flag.String("urls", "", "comma-separated replica URLs, round-robined client-side (overrides -url)")
+
+		rate     = flag.Float64("rate", 50, "mean arrival rate, requests/sec (fixed mode)")
+		requests = flag.Int("requests", 500, "arrivals per run (per step, in sweep mode)")
+		seed     = flag.Int64("seed", 1, "schedule seed (arrival gaps + popularity draws)")
+
+		corpus     = flag.Int("corpus", 32, "number of generated programs")
+		corpusSeed = flag.Int64("corpus-seed", 1, "corpus generation seed")
+		zipfS      = flag.Float64("zipf-s", 1.1, "Zipf popularity exponent (> 1)")
+		zipfV      = flag.Float64("zipf-v", 1, "Zipf v parameter (>= 1)")
+
+		machine   = flag.String("machine", "", "machine name per request (server default when empty)")
+		opt       = flag.Int("opt", 1, "optimization level per request")
+		fuel      = flag.Uint64("fuel", 0, "fuel per request (server default when 0)")
+		timeoutMS = flag.Int64("timeout-ms", 0, "timeout per request in ms (server default when 0)")
+
+		sweep       = flag.Bool("sweep", false, "run a saturation sweep instead of one fixed rate")
+		sweepStart  = flag.Float64("sweep-start", 25, "sweep: first step's rate, requests/sec")
+		sweepFactor = flag.Float64("sweep-factor", 2, "sweep: rate multiplier per step")
+		sweepSteps  = flag.Int("sweep-steps", 6, "sweep: number of rate steps")
+		kneeFrac    = flag.Float64("knee-frac", 0.01, "sweep: rejected fraction that counts as the knee")
+
+		report = flag.String("report", "", "write the JSON report here instead of stdout")
+	)
+	flag.Parse()
+
+	var tgt loadgen.Target
+	client := &http.Client{}
+	if *urls != "" {
+		var targets []loadgen.Target
+		for _, u := range strings.Split(*urls, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			targets = append(targets, &loadgen.HTTPTarget{BaseURL: strings.TrimRight(u, "/"), Client: client})
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "risc1-loadgen: -urls held no URLs")
+			os.Exit(2)
+		}
+		tgt = &loadgen.RoundRobin{Targets: targets}
+	} else {
+		tgt = &loadgen.HTTPTarget{BaseURL: strings.TrimRight(*url, "/"), Client: client}
+	}
+
+	cfg := loadgen.Config{
+		Rate:       *rate,
+		Requests:   *requests,
+		Seed:       *seed,
+		CorpusSeed: *corpusSeed,
+		CorpusSize: *corpus,
+		ZipfS:      *zipfS,
+		ZipfV:      *zipfV,
+		Machine:    *machine,
+		Opt:        *opt,
+		Fuel:       *fuel,
+		TimeoutMS:  *timeoutMS,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	var (
+		rep *obs.LoadReport
+		err error
+	)
+	if *sweep {
+		rep, err = loadgen.Sweep(ctx, loadgen.SweepConfig{
+			Base:            cfg,
+			StartRate:       *sweepStart,
+			Factor:          *sweepFactor,
+			Steps:           *sweepSteps,
+			RequestsPerStep: *requests,
+			KneeFrac:        *kneeFrac,
+		}, tgt, loadgen.WallClock{})
+	} else {
+		rep, err = loadgen.Run(ctx, cfg, tgt, loadgen.WallClock{})
+	}
+	elapsed := time.Since(start)
+	if err != nil && err != context.Canceled {
+		fmt.Fprintf(os.Stderr, "risc1-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	summarize(os.Stderr, rep, elapsed)
+
+	b, jerr := rep.JSON()
+	if jerr != nil {
+		fmt.Fprintf(os.Stderr, "risc1-loadgen: marshal report: %v\n", jerr)
+		os.Exit(1)
+	}
+	if *report != "" {
+		if werr := os.WriteFile(*report, b, 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "risc1-loadgen: write report: %v\n", werr)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(b)
+	}
+	if err == context.Canceled {
+		os.Exit(130)
+	}
+}
+
+// summarize prints the human-readable digest to w.
+func summarize(w *os.File, rep *obs.LoadReport, elapsed time.Duration) {
+	switch rep.Mode {
+	case "fixed":
+		fmt.Fprintf(w, "loadgen: %d/%d requests completed in %v (offered %.4g req/s)\n",
+			rep.Totals.Completed, rep.Totals.Offered, elapsed.Round(time.Millisecond), rep.Config.RatePerSec)
+		for _, o := range rep.Totals.Outcomes {
+			fmt.Fprintf(w, "  outcome %-16s %d\n", o.Name, o.Count)
+		}
+		for _, c := range rep.Totals.Cache {
+			fmt.Fprintf(w, "  cache   %-16s %d\n", c.Name, c.Count)
+		}
+		fmt.Fprintf(w, "  latency p50 %s  p99 %s  p999 %s\n",
+			secs(rep.Latency.P50), secs(rep.Latency.P99), secs(rep.Latency.P999))
+	case "sweep":
+		fmt.Fprintf(w, "loadgen sweep: %d steps in %v\n", len(rep.Steps), elapsed.Round(time.Millisecond))
+		for _, s := range rep.Steps {
+			fmt.Fprintf(w, "  %8.4g req/s: ok %d  rejected %d (%.2f%%)  errors %d  p50 %s  p99 %s  p999 %s\n",
+				s.RatePerSec, s.OK, s.Rejected, 100*s.RejectedFrac, s.Errors,
+				secs(s.P50), secs(s.P99), secs(s.P999))
+		}
+		if rep.Knee != nil {
+			fmt.Fprintf(w, "  knee: %.4g req/s (%.2f%% rejected)\n", rep.Knee.RatePerSec, 100*rep.Knee.RejectedFrac)
+		} else {
+			fmt.Fprintln(w, "  knee: not reached")
+		}
+	}
+}
+
+// secs renders a quantile (seconds) as a duration string.
+func secs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"risc1/internal/loadgen"
+	"risc1/internal/obs"
+)
+
+// TestLoadgenSmoke is the CI end-to-end check for the load generator:
+// a short fixed-seed run against an in-process replica must complete
+// every request successfully — zero error outcomes, in particular zero
+// wrong_value (the generator verifies each response against the
+// corpus's expected result) — and emit a well-formed
+// risc1.loadgen-report/v1. Latencies are wall-clock and vary run to
+// run; everything this test asserts is load-independent.
+func TestLoadgenSmoke(t *testing.T) {
+	ts, _, _ := newTestServer(t, ServerConfig{})
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Rate:       2000, // finish the smoke in well under a second of pacing
+		Requests:   120,
+		Seed:       1,
+		CorpusSeed: 1,
+		CorpusSize: 12,
+	}, &loadgen.HTTPTarget{BaseURL: ts.URL}, loadgen.WallClock{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if rep.Schema != obs.LoadReportSchema || rep.Version != obs.LoadReportVersion {
+		t.Fatalf("report schema = %s/%d, want %s/%d",
+			rep.Schema, rep.Version, obs.LoadReportSchema, obs.LoadReportVersion)
+	}
+	if rep.Totals.Offered != 120 || rep.Totals.Completed != 120 {
+		t.Fatalf("offered/completed = %d/%d, want 120/120", rep.Totals.Offered, rep.Totals.Completed)
+	}
+	for _, o := range rep.Totals.Outcomes {
+		if o.Name != "ok" {
+			t.Errorf("outcome %q x%d, want only ok", o.Name, o.Count)
+		}
+	}
+	// The Zipf head repeats programs, so the cache must have both hits
+	// and misses (misses at least once per distinct program served).
+	var cacheTotal uint64
+	for _, c := range rep.Totals.Cache {
+		cacheTotal += c.Count
+		if c.Name == "none" {
+			t.Errorf("cache state \"none\" x%d: some response carried no %s header", c.Count, CacheHeader)
+		}
+	}
+	if cacheTotal != rep.Totals.Completed {
+		t.Errorf("cache rows sum to %d, want %d", cacheTotal, rep.Totals.Completed)
+	}
+	if rep.Latency.Count != 120 || rep.Latency.P50 <= 0 || rep.Latency.P999 < rep.Latency.P50 {
+		t.Errorf("latency summary malformed: %+v", rep.Latency)
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,7 +56,26 @@ func main() {
 	progCacheBytes := flag.Int64("prog-cache-bytes", 64<<20, "compiled-program cache budget in bytes (negative = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight jobs before cancelling them")
 	sessionIdle := flag.Duration("session-idle", 2*time.Minute, "how long an untouched debug session survives before it is reaped")
+	peers := flag.String("peers", "", "comma-separated base URLs of every replica (this one included); empty = standalone")
+	self := flag.String("self", "", "this replica's entry in -peers (required with -peers)")
+	hotThreshold := flag.Uint64("hot-threshold", 8, "per-key request count past which a peer-homed result is replicated locally")
+	peerCacheBytes := flag.Int64("peer-cache-bytes", 64<<20, "hot-key peer-response cache budget in bytes")
 	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		selfURL := strings.TrimRight(strings.TrimSpace(*self), "/")
+		if !slices.Contains(peerList, selfURL) {
+			fmt.Fprintf(os.Stderr, "risc1-serve: -self %q is not among -peers %q\n", *self, *peers)
+			os.Exit(2)
+		}
+		*self = selfURL
+	}
 
 	pool := exec.NewPool(exec.Config{Workers: *workers, Queue: *queue, ProgramCacheBytes: *progCacheBytes})
 	srv := NewServer(pool, ServerConfig{
@@ -65,6 +86,11 @@ func main() {
 		MaxQueue:    *inflightQueue,
 		CacheBytes:  *cacheBytes,
 		SessionIdle: *sessionIdle,
+
+		Peers:          peerList,
+		Self:           *self,
+		HotThreshold:   *hotThreshold,
+		PeerCacheBytes: *peerCacheBytes,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"risc1/internal/exec"
+)
+
+// lateHandler lets an httptest server start before the Server that will
+// answer on it exists — replica URLs feed the ring, and the ring must be
+// known at construction, so the listener comes first and the handler is
+// bound after.
+type lateHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.RLock()
+	h := l.h
+	l.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	l.h = h
+	l.mu.Unlock()
+}
+
+// newCluster starts n peered replicas, each on its own pool, all sharing
+// one ring built from the n listener URLs.
+func newCluster(t *testing.T, n int, cfg ServerConfig) ([]*httptest.Server, []*Server, []*exec.Pool) {
+	t.Helper()
+	late := make([]*lateHandler, n)
+	tss := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range late {
+		late[i] = &lateHandler{}
+		tss[i] = httptest.NewServer(late[i])
+		urls[i] = tss[i].URL
+	}
+	srvs := make([]*Server, n)
+	pools := make([]*exec.Pool, n)
+	for i := range srvs {
+		rcfg := cfg
+		rcfg.Peers = urls
+		rcfg.Self = urls[i]
+		pools[i] = exec.NewPool(exec.Config{Workers: 2})
+		srvs[i] = NewServer(pools[i], rcfg)
+		late[i].set(srvs[i].Handler())
+	}
+	t.Cleanup(func() {
+		for i := range srvs {
+			srvs[i].DrainSessions()
+			tss[i].Close()
+			pools[i].Close()
+		}
+	})
+	return tss, srvs, pools
+}
+
+// diffStream is a deterministic serial request stream with repeats:
+// six distinct request bodies (varying name, fuel, and program) cycled
+// in a pattern that revisits each several times, so the hit, miss, and
+// error paths all fire.
+func diffStream() []string {
+	bodies := []string{
+		mustBody(runRequest{Name: "fib", Source: serveSrc}),
+		mustBody(runRequest{Name: "fib-tight", Source: serveSrc, Fuel: 50}), // fuel_exceeded
+		mustBody(runRequest{Name: "sum", Source: `int result; int main() { int i; for (i = 0; i <= 10; i = i + 1) result = result + i; return 0; }`}),
+		mustBody(runRequest{Name: "expr", Source: `int result; int main() { result = (3 + 4) * 6 - 2; return 0; }`}),
+		mustBody(runRequest{Name: "broken", Source: `int result; int main() { result = ; }`}), // compile_error
+		mustBody(runRequest{Name: "fib-o0", Source: serveSrc, Opt: new(int)}),
+	}
+	var stream []string
+	for i := 0; i < 42; i++ {
+		stream = append(stream, bodies[(i*5)%len(bodies)])
+	}
+	return stream
+}
+
+func mustBody(req runRequest) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// TestPeerDifferential is the correctness bar for horizontal serving:
+// an identical serial request stream answered by a 3-replica cluster
+// (requests round-robined across replicas) and by a fresh single
+// replica must be byte-identical — same bodies, same status codes, and
+// the same X-Risc1-Cache ledger — and the cluster's routing counters
+// must reconcile exactly with the request count.
+func TestPeerDifferential(t *testing.T) {
+	stream := diffStream()
+
+	single, _, _ := newTestServer(t, ServerConfig{})
+	tss, srvs, _ := newCluster(t, 3, ServerConfig{})
+
+	for i, body := range stream {
+		wantResp, wantBody := postRun(t, single, body)
+		gotResp, gotBody := postRun(t, tss[i%3], body)
+
+		if gotResp.StatusCode != wantResp.StatusCode {
+			t.Fatalf("request %d: status %d (cluster) vs %d (single)\n%s",
+				i, gotResp.StatusCode, wantResp.StatusCode, gotBody)
+		}
+		if !bytes.Equal(gotBody, wantBody) {
+			t.Fatalf("request %d: cluster body diverges from single replica\ncluster:\n%s\nsingle:\n%s",
+				i, gotBody, wantBody)
+		}
+		if got, want := gotResp.Header.Get(CacheHeader), wantResp.Header.Get(CacheHeader); got != want {
+			t.Fatalf("request %d: %s = %q (cluster) vs %q (single)", i, CacheHeader, got, want)
+		}
+		if route := gotResp.Header.Get(RouteHeader); route == "" {
+			t.Fatalf("request %d: cluster response carries no %s header", i, RouteHeader)
+		}
+	}
+
+	// The routing ledger: every request was either homed locally or
+	// routed to a peer; every relay that reached a home was served by
+	// one; nothing failed.
+	var routed, localHome, served, fetches, errors uint64
+	var peerLookups, peerLedger uint64
+	for i, srv := range srvs {
+		ps := srv.PeerStats()
+		routed += ps.Routed
+		localHome += ps.LocalHome
+		served += ps.Served
+		fetches += ps.Fetches
+		errors += ps.Errors
+		cs := srv.PeerCacheStats()
+		peerLookups += ps.Routed
+		peerLedger += cs.Hits + cs.Misses + cs.Coalesced
+		if cs.Hits+cs.Misses+cs.Coalesced != ps.Routed {
+			t.Errorf("replica %d: peer cache ledger %d+%d+%d != routed %d",
+				i, cs.Hits, cs.Misses, cs.Coalesced, ps.Routed)
+		}
+	}
+	if routed+localHome != uint64(len(stream)) {
+		t.Errorf("routed %d + local %d != %d requests", routed, localHome, len(stream))
+	}
+	if fetches != served {
+		t.Errorf("fetches %d != served %d: some relay was lost or double-counted", fetches, served)
+	}
+	if errors != 0 {
+		t.Errorf("peer errors = %d, want 0", errors)
+	}
+	if routed == 0 {
+		t.Error("no request was peer-routed; the stream never left one replica (ring imbalance?)")
+	}
+}
+
+// TestPeerConcurrentDifferential: concurrent identical requests fanned
+// across all replicas still execute exactly once fleet-wide — the edge
+// peer caches coalesce per replica, the home's result cache coalesces
+// across them — and everyone gets the same bytes.
+func TestPeerConcurrentDifferential(t *testing.T) {
+	tss, _, pools := newCluster(t, 3, ServerConfig{})
+	body := mustBody(runRequest{Name: "fanout", Source: serveSrc})
+
+	const clients = 12
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(tss[i%3].URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			bodies[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d got different bytes than client 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	var submitted uint64
+	for _, p := range pools {
+		submitted += p.Stats().Submitted
+	}
+	if submitted != 1 {
+		t.Errorf("fleet executed %d jobs for %d identical concurrent requests, want exactly 1", submitted, clients)
+	}
+}
+
+// TestPeerHotReplication: once a peer-homed key crosses the popularity
+// threshold, the edge replica fills its local copy and serves repeats
+// itself (route "replica", cache "hit") without re-fetching.
+func TestPeerHotReplication(t *testing.T) {
+	tss, srvs, _ := newCluster(t, 3, ServerConfig{HotThreshold: 3})
+	body := mustBody(runRequest{Name: "hot", Source: serveSrc})
+
+	// Find an edge replica that does NOT home this key.
+	edge := -1
+	for i := range tss {
+		resp, b := postRun(t, tss[i], body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replica %d: %d\n%s", i, resp.StatusCode, b)
+		}
+		if resp.Header.Get(RouteHeader) == "forward" {
+			edge = i
+			break
+		}
+	}
+	if edge == -1 {
+		t.Fatal("every replica homes this key; ring is degenerate")
+	}
+
+	// Repeats 2 and 3 still forward (count below threshold, then the
+	// fill); repeat 4 onward is served from the local copy.
+	var routes []string
+	for i := 0; i < 5; i++ {
+		resp, _ := postRun(t, tss[edge], body)
+		routes = append(routes, resp.Header.Get(RouteHeader))
+		if i >= 3 {
+			if got := resp.Header.Get(RouteHeader); got != "replica" {
+				t.Errorf("repeat %d: route %q, want replica (hot copy)", i, got)
+			}
+			if got := resp.Header.Get(CacheHeader); got != "hit" {
+				t.Errorf("repeat %d: cache %q, want hit", i, got)
+			}
+		}
+	}
+	if cs := srvs[edge].PeerCacheStats(); cs.Fills != 1 {
+		t.Errorf("edge peer cache fills = %d, want exactly 1 (routes %v)", cs.Fills, routes)
+	}
+	if ps := srvs[edge].PeerStats(); ps.HotKeys != 1 {
+		t.Errorf("edge hot keys = %d, want 1", ps.HotKeys)
+	}
+}
+
+// TestPeerUnavailable: a request homed on a dead replica answers 502
+// with the stable code peer_unavailable, and the client can tell which
+// failures are routing (retryable elsewhere) versus its own.
+func TestPeerUnavailable(t *testing.T) {
+	tss, srvs, _ := newCluster(t, 2, ServerConfig{})
+	tss[1].Close() // the second replica goes dark
+
+	// Probe names until one homes on the dead replica: each name is a
+	// different content address, so a handful of draws must cross a
+	// 2-node ring.
+	for i := 0; i < 32; i++ {
+		body := mustBody(runRequest{Name: fmt.Sprintf("probe-%d", i), Source: serveSrc})
+		resp, b := postRun(t, tss[0], body)
+		if resp.StatusCode == http.StatusOK {
+			continue // homed on the live replica
+		}
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("probe %d: status %d, want 200 or 502\n%s", i, resp.StatusCode, b)
+		}
+		if code := errorCode(t, b); code != codePeerUnavailable {
+			t.Fatalf("probe %d: code %q, want %q", i, code, codePeerUnavailable)
+		}
+		if got := srvs[0].PeerStats().Errors; got == 0 {
+			t.Error("peer error counter did not move")
+		}
+		return
+	}
+	t.Fatal("32 probes all homed on the live replica; ring is degenerate")
+}
+
+// TestPeerMetricsExposed: peered replicas export the risc1_peer_* and
+// risc1_peercache_* families; standalone replicas export neither.
+func TestPeerMetricsExposed(t *testing.T) {
+	tss, _, _ := newCluster(t, 2, ServerConfig{})
+	postRun(t, tss[0], mustBody(runRequest{Name: "m", Source: serveSrc}))
+
+	resp, err := http.Get(tss[0].URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"risc1_peer_replicas 2",
+		"risc1_peer_routed_total",
+		"risc1_peer_local_home_total",
+		"risc1_peer_served_total",
+		"risc1_peer_fetch_total",
+		"risc1_peer_fetch_errors_total",
+		"risc1_peer_hot_keys",
+		"risc1_peercache_hits_total",
+		"risc1_peercache_fills_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("peered /metrics is missing %q", want)
+		}
+	}
+
+	single, _, _ := newTestServer(t, ServerConfig{})
+	resp2, err := http.Get(single.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	buf.Reset()
+	buf.ReadFrom(resp2.Body)
+	if strings.Contains(buf.String(), "risc1_peer_") {
+		t.Error("standalone /metrics exports peer families")
+	}
+}

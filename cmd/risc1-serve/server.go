@@ -43,6 +43,8 @@ const (
 	codeQueueFull          = "queue_full"          // 429: admission queue full, retry later
 	codeInternal           = "internal"            // 500: bug or infrastructure failure
 	codeDeadline           = "deadline"            // 504: wall-clock budget exhausted
+	// codePeerUnavailable ("peer_unavailable", 502) lives in peer.go with
+	// the rest of the replica-routing layer.
 )
 
 // CacheHeader reports how the result cache handled a synchronous run:
@@ -73,6 +75,20 @@ type ServerConfig struct {
 	// SessionIdle is how long an untouched debug session survives before
 	// it is reaped; <= 0 means session.DefaultIdleTimeout.
 	SessionIdle time.Duration
+
+	// Peers lists every replica's base URL (this one included); with
+	// Self set to this replica's own entry, synchronous runs are
+	// consistent-hash routed so each cache key has one home replica.
+	// Empty means standalone serving.
+	Peers []string
+	// Self is this replica's entry in Peers.
+	Self string
+	// HotThreshold is the per-key request count past which a routed
+	// key's response is replicated locally; 0 means 8.
+	HotThreshold uint64
+	// PeerCacheBytes budgets the local store of hot peer responses;
+	// 0 means 64 MiB.
+	PeerCacheBytes int64
 }
 
 // Server queues compile+simulate requests on a batch-execution pool
@@ -88,6 +104,10 @@ type Server struct {
 	// outside the worker pool.
 	sims *exec.Sims
 	mgr  *session.Manager
+
+	// peering is the replica-set view (consistent-hash routing + hot-key
+	// replication), nil when serving standalone.
+	peering *peering
 
 	// latency is the /v1/run request-latency histogram, labeled by the
 	// request's outcome ("ok" or the stable error code) and by how the
@@ -183,6 +203,8 @@ func statusForCode(code string) int {
 		return http.StatusUnprocessableEntity
 	case codeQueueFull:
 		return http.StatusTooManyRequests
+	case codePeerUnavailable:
+		return http.StatusBadGateway
 	case codeDeadline:
 		return http.StatusGatewayTimeout
 	default:
@@ -220,6 +242,7 @@ func NewServer(pool *exec.Pool, cfg ServerConfig) *Server {
 		cfg:     cfg,
 		sims:    pool.ImageSims(),
 		mgr:     session.NewManager(sessionIdleOrDefault(cfg.SessionIdle)),
+		peering: newPeering(cfg),
 		latency: obs.NewHistogramVec("risc1_http_request_seconds", "outcome", "cache"),
 		jobs:    make(map[string]*jobEntry),
 	}
@@ -306,20 +329,33 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission control: take an execution slot or join the bounded
-	// queue; a full queue is backpressure the client can act on.
-	release, err := s.lim.acquire(r.Context())
-	if err != nil {
-		if errors.Is(err, errQueueFull) {
-			resp := errResponse(codeQueueFull,
-				"server at capacity (%d running, %d queued); retry later",
-				s.cfg.MaxInflight, s.cfg.MaxQueue)
-			observe(resp, "none")
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, resp)
+	// A request relayed by a peer replica was already admitted at the
+	// replica the client hit — it bypasses this limiter (each client
+	// request consumes exactly one admission slot fleet-wide) and always
+	// executes here, never re-forwards.
+	forwarded := s.peering != nil && r.Header.Get(PeerHeader) != ""
+	if forwarded {
+		s.peering.served.Add(1)
+	}
+
+	release := func() {}
+	if !forwarded {
+		// Admission control: take an execution slot or join the bounded
+		// queue; a full queue is backpressure the client can act on.
+		var err error
+		release, err = s.lim.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, errQueueFull) {
+				resp := errResponse(codeQueueFull,
+					"server at capacity (%d running, %d queued); retry later",
+					s.cfg.MaxInflight, s.cfg.MaxQueue)
+				observe(resp, "none")
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, resp)
+			}
+			// Otherwise the client hung up while waiting; nothing to write.
+			return
 		}
-		// Otherwise the client hung up while waiting; nothing to write.
-		return
 	}
 
 	if req.Async {
@@ -344,6 +380,36 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	defer release()
+
+	// Replica routing: a synchronous run whose content address is homed
+	// on another replica is answered by that replica (or by a local
+	// hot-key copy of its answer). Relayed requests (forwarded above)
+	// never route again. Async runs always execute locally — their
+	// responses carry replica-local job ids, so relaying them would
+	// break the "poll where you posted" contract.
+	if s.peering != nil && !forwarded {
+		key := spec.CacheKey(timeout)
+		if home := s.peering.home(key); home != "" {
+			pr, route, cacheLabel, err := s.peering.serve(r.Context(), home, spec, timeout, key)
+			w.Header().Set(RouteHeader, route)
+			if err != nil {
+				resp := errResponse(codePeerUnavailable,
+					"replica %s (home for this run) is unreachable: %v", home, err)
+				observe(resp, "none")
+				writeJSON(w, resp)
+				return
+			}
+			w.Header().Set(CacheHeader, cacheLabel)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(pr.status)
+			w.Write(pr.body)
+			s.latency.Observe(time.Since(start), peerOutcome(pr.body), cacheLabel)
+			return
+		}
+		s.peering.localHome.Add(1)
+		w.Header().Set(RouteHeader, "local")
+	}
+
 	// Synchronous path, through the content-addressed cache: identical
 	// in-flight requests collapse to one engine execution, repeats are
 	// served from memory, and the header says which happened. The run
@@ -498,11 +564,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, pool.ImageCacheStats().Prometheus("risc1_imgcache"))
 	fmt.Fprint(w, s.lim.Stats().Prometheus("risc1_http"))
 	fmt.Fprint(w, s.mgr.Stats().Prometheus("risc1_session"))
+	if s.peering != nil {
+		fmt.Fprint(w, s.PeerStats().Prometheus())
+		fmt.Fprint(w, s.peering.cache.Stats().Prometheus("risc1_peercache"))
+	}
 	fmt.Fprint(w, s.latency.Prometheus())
 }
 
 // CacheStats exposes the result cache for tests and tools.
 func (s *Server) CacheStats() obs.CacheStats { return s.cached.Stats() }
+
+// PeerCacheStats exposes the hot-key peer-response cache for tests and
+// tools; the zero value when peering is off.
+func (s *Server) PeerCacheStats() obs.CacheStats {
+	if s.peering == nil {
+		return obs.CacheStats{}
+	}
+	return s.peering.cache.Stats()
+}
 
 // LimiterStats exposes the admission limiter for tests and tools.
 func (s *Server) LimiterStats() obs.LimiterStats { return s.lim.Stats() }

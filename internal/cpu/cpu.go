@@ -228,18 +228,19 @@ func (c *CPU) Run() error {
 // instruction quanta when ctx is cancelled or its deadline passes,
 // returning the context's error. Cancellation never corrupts state: the
 // machine stops on an instruction boundary and can be resumed with
-// another call.
+// another call. A context that is already done returns before the first
+// quantum — zero instructions execute.
 func (c *CPU) RunContext(ctx context.Context) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		halted, err := c.RunSteps(runQuantum)
 		if err != nil {
 			return err
 		}
 		if halted {
 			return nil
-		}
-		if err := ctx.Err(); err != nil {
-			return err
 		}
 	}
 }

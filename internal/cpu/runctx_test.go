@@ -25,8 +25,9 @@ func assemble(t *testing.T, src string) *asm.Program {
 }
 
 // TestRunContextCancellation stops an infinite guest loop from the
-// outside: RunContext must notice the cancelled context within one run
-// quantum and return its error.
+// outside. A context that is already cancelled returns before any
+// instruction executes; one cancelled mid-run is noticed within one run
+// quantum, on an instruction boundary, and the machine can resume.
 func TestRunContextCancellation(t *testing.T) {
 	prog := assemble(t, spinProg)
 	c := New(Config{})
@@ -37,9 +38,25 @@ func TestRunContextCancellation(t *testing.T) {
 	if err := c.RunContext(ctx); !errors.Is(err, context.Canceled) {
 		t.Errorf("RunContext = %v, want context.Canceled", err)
 	}
-	if c.Trace.Instructions == 0 || c.Trace.Instructions > runQuantum {
-		t.Errorf("executed %d instructions before noticing cancellation, want 1..%d",
-			c.Trace.Instructions, runQuantum)
+	if c.Trace.Instructions != 0 {
+		t.Errorf("pre-cancelled context executed %d instructions, want 0", c.Trace.Instructions)
+	}
+
+	// Mid-run: let one quantum pass by hand, then a cancelled context
+	// stops the next boundary without losing the machine.
+	if _, err := c.RunSteps(runQuantum); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Trace.Instructions
+	if err := c.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("resumed RunContext = %v, want context.Canceled", err)
+	}
+	if c.Trace.Instructions != before {
+		t.Errorf("cancelled resume executed %d more instructions, want 0",
+			c.Trace.Instructions-before)
+	}
+	if halted, err := c.RunSteps(10); err != nil || halted {
+		t.Errorf("machine not resumable after cancellation: %v, %v", halted, err)
 	}
 }
 

@@ -1,0 +1,57 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"risc1/internal/cc/progen"
+)
+
+// Program is one corpus entry: a MiniC source, the deterministic result
+// it must produce, and a stable name for reports and run labels.
+type Program struct {
+	Name   string
+	Source string
+	Want   int32
+}
+
+// Corpus is the program population traffic draws from. Because it is
+// progen-derived, every program is well-typed, halts, and has a known
+// result — so the generator can assert end-to-end correctness (the
+// "wrong_value" outcome) on top of measuring latency — and because
+// popularity is Zipf-distributed over it, the serving stack's hit, miss,
+// and coalesced paths all fire in one run.
+type Corpus struct {
+	Seed     int64
+	Programs []Program
+}
+
+// BuildCorpus generates n programs from the given seed. Identical
+// (seed, n) pairs produce identical corpora on every host — progen draws
+// from a seeded math/rand stream — which makes load runs reproducible
+// end to end.
+func BuildCorpus(seed int64, n int) Corpus {
+	if n <= 0 {
+		n = 32
+	}
+	r := rand.New(rand.NewSource(seed))
+	c := Corpus{Seed: seed, Programs: make([]Program, n)}
+	for i := range c.Programs {
+		src, want := progen.Program(r)
+		c.Programs[i] = Program{
+			Name:   fmt.Sprintf("load-%03d", i),
+			Source: src,
+			Want:   want,
+		}
+	}
+	return c
+}
+
+// SourceBytes totals the corpus's source text, for the report.
+func (c Corpus) SourceBytes() int {
+	n := 0
+	for _, p := range c.Programs {
+		n += len(p.Source)
+	}
+	return n
+}

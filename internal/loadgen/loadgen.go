@@ -1,0 +1,222 @@
+// Package loadgen is an open-loop load generator for risc1-serve:
+// Poisson arrivals at a configured rate, Zipf-distributed program
+// popularity over a progen-derived corpus, per-request outcome and
+// cache-state accounting, and log-spaced latency histograms with
+// p50/p99/p999 readouts — emitted as a deterministic
+// risc1.loadgen-report/v1 document.
+//
+// Open-loop means arrivals do not wait for completions: the schedule is
+// fixed up front (a seeded Poisson process), and a slow server faces a
+// growing backlog exactly as it would facing real independent users —
+// the regime where admission control earns its keep. This is the
+// opposite of a closed loop of K workers, whose arrival rate politely
+// degrades with the server and hides the saturation knee (the
+// coordinated-omission trap).
+//
+// Everything random is seeded and everything temporal flows through the
+// Clock interface, so a fixed seed plus a virtual clock yields a
+// byte-identical report — pinned by a golden test — and a fixed seed on
+// the wall clock yields the same schedule with measured latencies.
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"risc1/internal/obs"
+)
+
+// Config bounds one load run.
+type Config struct {
+	// Rate is the mean arrival rate in requests per second (Poisson).
+	Rate float64
+	// Requests is how many arrivals the schedule holds.
+	Requests int
+	// Seed drives the arrival process and the popularity draws.
+	Seed int64
+	// CorpusSeed and CorpusSize shape the program population; the same
+	// pair always regenerates the same corpus.
+	CorpusSeed int64
+	CorpusSize int
+	// ZipfS and ZipfV shape popularity (rank-frequency exponent s > 1,
+	// v >= 1). Defaults 1.1 and 1: a heavy head with a long tail, so
+	// caches see both hot repeats and cold misses.
+	ZipfS float64
+	ZipfV float64
+
+	// Per-request knobs, passed through to the v1 run request.
+	Machine   string
+	Opt       int
+	Fuel      uint64
+	TimeoutMS int64
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Rate <= 0 {
+		c.Rate = 50
+	}
+	if c.Requests <= 0 {
+		c.Requests = 500
+	}
+	if c.CorpusSize <= 0 {
+		c.CorpusSize = 32
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.ZipfV < 1 {
+		c.ZipfV = 1
+	}
+	if c.Opt == 0 {
+		c.Opt = 1
+	}
+	return c
+}
+
+// arrival is one scheduled request: an offset from the run's start and
+// a corpus program.
+type arrival struct {
+	at   time.Duration
+	prog int
+}
+
+// schedule pre-generates the whole arrival sequence from the seed:
+// exponential inter-arrival gaps (a Poisson process at cfg.Rate) and
+// Zipf-ranked program choices. Generating up front — rather than
+// drawing during the run — is what makes the offered load a pure
+// function of (seed, rate, requests) regardless of how the target
+// behaves.
+func schedule(cfg Config, corpusN int) []arrival {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, cfg.ZipfV, uint64(corpusN-1))
+	arr := make([]arrival, cfg.Requests)
+	var t float64 // seconds
+	for i := range arr {
+		t += r.ExpFloat64() / cfg.Rate
+		arr[i] = arrival{
+			at:   time.Duration(t * float64(time.Second)),
+			prog: int(zipf.Uint64()),
+		}
+	}
+	return arr
+}
+
+// aggregator folds concurrent results into order-independent totals, so
+// the report is identical no matter how goroutine completions
+// interleave.
+type aggregator struct {
+	mu        sync.Mutex
+	outcomes  map[string]uint64
+	cache     map[string]uint64
+	completed uint64
+	hist      *obs.LogHist
+}
+
+func newAggregator() *aggregator {
+	return &aggregator{
+		outcomes: make(map[string]uint64),
+		cache:    make(map[string]uint64),
+		hist:     obs.DefaultLoadHist(),
+	}
+}
+
+func (a *aggregator) add(res Result) {
+	a.hist.Observe(res.Latency)
+	a.mu.Lock()
+	a.outcomes[res.Outcome]++
+	a.cache[res.Cache]++
+	a.completed++
+	a.mu.Unlock()
+}
+
+// rows renders a count map as name-sorted rows.
+func rows(m map[string]uint64) []obs.LoadCount {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]obs.LoadCount, len(names))
+	for i, n := range names {
+		out[i] = obs.LoadCount{Name: n, Count: m[n]}
+	}
+	return out
+}
+
+// Run executes one fixed-rate open-loop run against tgt, paced by clk,
+// and returns the report. A cancelled ctx stops offering new arrivals;
+// already-issued requests still complete and are counted (Offered then
+// exceeds Completed only if targets themselves abandon requests).
+func Run(ctx context.Context, cfg Config, tgt Target, clk Clock) (*obs.LoadReport, error) {
+	cfg = cfg.withDefaults()
+	corpus := BuildCorpus(cfg.CorpusSeed, cfg.CorpusSize)
+	arrivals := schedule(cfg, len(corpus.Programs))
+
+	agg := newAggregator()
+	var wg sync.WaitGroup
+	start := clk.Now()
+	var offered uint64
+	for i, a := range arrivals {
+		// Sleep the remaining gap to this arrival's offset. Under a
+		// lagging scheduler the gap collapses to zero and the generator
+		// catches up — offered load tracks the schedule, not the host.
+		if err := clk.Sleep(ctx, a.at-clk.Now().Sub(start)); err != nil {
+			break
+		}
+		offered++
+		wg.Add(1)
+		go func(i int, a arrival) {
+			defer wg.Done()
+			p := corpus.Programs[a.prog]
+			agg.add(tgt.Do(ctx, Request{
+				Index:     i,
+				Program:   a.prog,
+				Name:      p.Name,
+				Source:    p.Source,
+				Want:      p.Want,
+				Machine:   cfg.Machine,
+				Opt:       cfg.Opt,
+				Fuel:      cfg.Fuel,
+				TimeoutMS: cfg.TimeoutMS,
+			}))
+		}(i, a)
+	}
+	wg.Wait()
+
+	rep := obs.NewLoadReport("fixed")
+	rep.Config = reportConfig(cfg)
+	rep.Corpus = obs.LoadCorpus{
+		Programs:    len(corpus.Programs),
+		Seed:        corpus.Seed,
+		SourceBytes: corpus.SourceBytes(),
+	}
+	agg.mu.Lock()
+	rep.Totals = &obs.LoadTotals{
+		Offered:   offered,
+		Completed: agg.completed,
+		Outcomes:  rows(agg.outcomes),
+		Cache:     rows(agg.cache),
+	}
+	agg.mu.Unlock()
+	rep.Latency = agg.hist.Summary()
+	return rep, ctx.Err()
+}
+
+// reportConfig echoes the effective knobs into the report.
+func reportConfig(cfg Config) obs.LoadConfig {
+	return obs.LoadConfig{
+		RatePerSec: cfg.Rate,
+		Requests:   cfg.Requests,
+		Seed:       cfg.Seed,
+		ZipfS:      cfg.ZipfS,
+		ZipfV:      cfg.ZipfV,
+		Machine:    cfg.Machine,
+		Opt:        cfg.Opt,
+		Fuel:       cfg.Fuel,
+		TimeoutMS:  cfg.TimeoutMS,
+	}
+}

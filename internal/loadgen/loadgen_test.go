@@ -1,0 +1,290 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fakeTarget scripts every result as a pure function of the request —
+// no clock reads, no shared state — so a run against it is exactly as
+// deterministic as the schedule that drives it.
+type fakeTarget struct{}
+
+func (fakeTarget) Do(_ context.Context, req Request) Result {
+	// Latency keyed to the program index: hot (low-index, Zipf-favored)
+	// programs come back fast, cold ones slow — a crude cache.
+	lat := time.Duration(100+50*req.Program) * time.Microsecond
+	res := Result{Outcome: "ok", Cache: "hit", Status: 200, Latency: lat}
+	if req.Program >= 8 {
+		res.Cache = "miss"
+	}
+	if req.Index%97 == 0 {
+		res.Outcome = "queue_full"
+		res.Cache = "none"
+		res.Status = 429
+	}
+	return res
+}
+
+// TestScheduleDeterministic: the arrival schedule is a pure function of
+// (seed, rate, requests) — same offsets, same program choices, run to
+// run.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Rate: 100, Requests: 200, Seed: 7}.withDefaults()
+	a := schedule(cfg, 32)
+	b := schedule(cfg, 32)
+	if len(a) != 200 {
+		t.Fatalf("len = %d, want 200", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].at < a[i-1].at {
+			t.Fatalf("arrival %d not monotone: %v < %v", i, a[i].at, a[i-1].at)
+		}
+	}
+	// A different seed must produce a different schedule.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c := schedule(cfg2, 32)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestCorpusDeterministic: identical (seed, n) regenerate identical
+// programs.
+func TestCorpusDeterministic(t *testing.T) {
+	a := BuildCorpus(3, 16)
+	b := BuildCorpus(3, 16)
+	if len(a.Programs) != 16 {
+		t.Fatalf("len = %d, want 16", len(a.Programs))
+	}
+	for i := range a.Programs {
+		if a.Programs[i] != b.Programs[i] {
+			t.Fatalf("program %d differs", i)
+		}
+	}
+	if a.SourceBytes() == 0 {
+		t.Fatal("SourceBytes = 0")
+	}
+}
+
+// TestZipfSkew: the popularity distribution must actually be skewed —
+// the most popular program should dominate — or the cache-path coverage
+// the generator promises (hot repeats AND cold misses) is fiction.
+func TestZipfSkew(t *testing.T) {
+	cfg := Config{Rate: 100, Requests: 2000, Seed: 1}.withDefaults()
+	arr := schedule(cfg, 32)
+	counts := make(map[int]int)
+	for _, a := range arr {
+		counts[a.prog]++
+	}
+	if counts[0] < len(arr)/4 {
+		t.Errorf("rank-0 program drew %d of %d arrivals, want a heavy head (>= 1/4)", counts[0], len(arr))
+	}
+	if len(counts) < 8 {
+		t.Errorf("only %d distinct programs drawn, want a long tail (>= 8)", len(counts))
+	}
+}
+
+// TestRunDeterministicGolden: a fixed seed plus a virtual clock yields a
+// byte-identical risc1.loadgen-report/v1 — pinned against testdata so
+// any wall-clock leakage or map-order nondeterminism in the report path
+// fails loudly. The open-loop runner issues requests concurrently; the
+// aggregation is order-independent, so concurrency must not show.
+func TestRunDeterministicGolden(t *testing.T) {
+	cfg := Config{Rate: 200, Requests: 300, Seed: 42, CorpusSeed: 9, CorpusSize: 16}
+	run := func() []byte {
+		rep, err := Run(context.Background(), cfg, fakeTarget{}, NewVirtualClock())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return b
+	}
+	first := run()
+	for i := 0; i < 4; i++ {
+		if again := run(); !bytes.Equal(first, again) {
+			t.Fatalf("run %d differs from first:\n%s\nvs\n%s", i+2, again, first)
+		}
+	}
+
+	golden := filepath.Join("testdata", "report_fixed.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("report differs from golden (run with -update to regenerate):\n%s", first)
+	}
+}
+
+// TestRunAccounting: totals reconcile — every offered request completes
+// against a fake target, outcome and cache rows each sum to completed.
+func TestRunAccounting(t *testing.T) {
+	cfg := Config{Rate: 500, Requests: 250, Seed: 5, CorpusSeed: 9, CorpusSize: 16}
+	rep, err := Run(context.Background(), cfg, fakeTarget{}, NewVirtualClock())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Schema != "risc1.loadgen-report" || rep.Version != 1 || rep.Mode != "fixed" {
+		t.Fatalf("header = %s/%d mode %s", rep.Schema, rep.Version, rep.Mode)
+	}
+	tot := rep.Totals
+	if tot.Offered != 250 || tot.Completed != 250 {
+		t.Fatalf("offered/completed = %d/%d, want 250/250", tot.Offered, tot.Completed)
+	}
+	var byOutcome, byCache uint64
+	for _, r := range tot.Outcomes {
+		byOutcome += r.Count
+	}
+	for _, r := range tot.Cache {
+		byCache += r.Count
+	}
+	if byOutcome != tot.Completed || byCache != tot.Completed {
+		t.Errorf("rows don't reconcile: outcomes %d cache %d completed %d", byOutcome, byCache, tot.Completed)
+	}
+	if rep.Latency.Count != tot.Completed {
+		t.Errorf("latency count %d != completed %d", rep.Latency.Count, tot.Completed)
+	}
+}
+
+// TestRunCancel: a cancelled context stops offering promptly; what was
+// already offered still completes and is counted.
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{Rate: 100, Requests: 100, Seed: 1}, fakeTarget{}, NewVirtualClock())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Totals.Offered != 0 {
+		t.Errorf("offered = %d, want 0 with pre-cancelled ctx", rep.Totals.Offered)
+	}
+}
+
+// TestSweepKnee: the sweep locates the first rate whose rejected
+// fraction crosses the threshold, and rows past the knee keep
+// accumulating.
+func TestSweepKnee(t *testing.T) {
+	cfg := SweepConfig{
+		Base:            Config{Seed: 11, CorpusSeed: 9, CorpusSize: 8},
+		StartRate:       50,
+		Factor:          2,
+		Steps:           4,
+		RequestsPerStep: 200,
+		KneeFrac:        0.01,
+	}
+	tgt := &saturatingTarget{capacity: 150, startRate: 50, factor: 2, requestsPerStep: 200}
+	rep, err := Sweep(context.Background(), cfg, tgt, NewVirtualClock())
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if rep.Mode != "sweep" || len(rep.Steps) != 4 {
+		t.Fatalf("mode %s, %d steps", rep.Mode, len(rep.Steps))
+	}
+	if rep.Knee == nil {
+		t.Fatal("no knee located")
+	}
+	// 50 and 100 req/s are under capacity; 200 is the first saturated
+	// step.
+	if rep.Knee.RatePerSec != 200 {
+		t.Errorf("knee at %v req/s, want 200", rep.Knee.RatePerSec)
+	}
+	for i, s := range rep.Steps {
+		if s.Offered != 200 {
+			t.Errorf("step %d offered %d, want 200", i, s.Offered)
+		}
+		if s.OK+s.Rejected+s.Errors != s.Offered {
+			t.Errorf("step %d rows don't reconcile", i)
+		}
+	}
+	if rep.Steps[0].Rejected != 0 || rep.Steps[3].Rejected == 0 {
+		t.Errorf("rejections not monotone with rate: %+v", rep.Steps)
+	}
+	if rep.Config.SweepStartRate != 50 || rep.Config.SweepSteps != 4 {
+		t.Errorf("sweep config not echoed: %+v", rep.Config)
+	}
+}
+
+// saturatingTarget models a server with a fixed capacity. The target
+// can't see the sweep's per-step rate directly, but sweep steps are
+// serialized (Run waits for every in-flight request before returning),
+// so a global sequence counter maps each request to its step — every
+// request in step i draws a sequence number in [i*per, (i+1)*per) no
+// matter how its goroutines interleave — and the step determines the
+// offered rate. Rejection is then a pure function of (step, Index):
+// over capacity, the overflow fraction of each step's indices is turned
+// away, deterministically.
+type saturatingTarget struct {
+	capacity        float64
+	startRate       float64
+	factor          float64
+	requestsPerStep int
+	seq             atomic.Uint64
+}
+
+func (s *saturatingTarget) Do(_ context.Context, req Request) Result {
+	step := int(s.seq.Add(1)-1) / s.requestsPerStep
+	rate := s.startRate * math.Pow(s.factor, float64(step))
+	if rate > s.capacity {
+		frac := 1 - s.capacity/rate
+		if float64(req.Index%100)/100 < frac {
+			return Result{Outcome: "queue_full", Cache: "none", Status: 429, Latency: time.Millisecond}
+		}
+	}
+	return Result{Outcome: "ok", Cache: "hit", Status: 200, Latency: 200 * time.Microsecond}
+}
+
+// TestRoundRobinDeterministic: replica selection depends only on the
+// schedule index.
+func TestRoundRobinDeterministic(t *testing.T) {
+	var hits [3]int
+	mk := func(i int) Target {
+		return targetFunc(func(_ context.Context, req Request) Result {
+			hits[i]++
+			return Result{Outcome: fmt.Sprintf("t%d", i)}
+		})
+	}
+	rr := &RoundRobin{Targets: []Target{mk(0), mk(1), mk(2)}}
+	for i := 0; i < 9; i++ {
+		res := rr.Do(context.Background(), Request{Index: i})
+		if want := fmt.Sprintf("t%d", i%3); res.Outcome != want {
+			t.Errorf("index %d routed to %s, want %s", i, res.Outcome, want)
+		}
+	}
+	if hits != [3]int{3, 3, 3} {
+		t.Errorf("hits = %v, want even 3/3/3", hits)
+	}
+}
+
+type targetFunc func(ctx context.Context, req Request) Result
+
+func (f targetFunc) Do(ctx context.Context, req Request) Result { return f(ctx, req) }

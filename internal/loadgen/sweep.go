@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"context"
+
+	"risc1/internal/obs"
+)
+
+// SweepConfig describes a saturation sweep: a geometric ramp of arrival
+// rates, each run through the fixed-rate generator, hunting the
+// admission-control knee — the first rate whose 429 (queue_full)
+// fraction crosses KneeFrac.
+type SweepConfig struct {
+	// Base carries everything but the rate; each step overrides
+	// Base.Rate and derives its own schedule seed from Base.Seed.
+	Base Config
+	// StartRate is the first step's arrival rate; each subsequent step
+	// multiplies by Factor. Defaults: 25 req/s, ×2, 6 steps.
+	StartRate float64
+	Factor    float64
+	Steps     int
+	// RequestsPerStep overrides Base.Requests per step when > 0.
+	RequestsPerStep int
+	// KneeFrac is the rejected fraction that counts as saturated
+	// (default 0.01 — one request in a hundred turned away).
+	KneeFrac float64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.StartRate <= 0 {
+		c.StartRate = 25
+	}
+	if c.Factor <= 1 {
+		c.Factor = 2
+	}
+	if c.Steps <= 0 {
+		c.Steps = 6
+	}
+	if c.KneeFrac <= 0 {
+		c.KneeFrac = 0.01
+	}
+	return c
+}
+
+// Sweep runs the rate ramp and returns a mode "sweep" report with one
+// row per step and the located knee (nil when no step saturated). Steps
+// run in ascending rate order; the sweep keeps going past the knee so
+// the report shows how rejection grows, not just where it starts.
+func Sweep(ctx context.Context, cfg SweepConfig, tgt Target, clk Clock) (*obs.LoadReport, error) {
+	cfg = cfg.withDefaults()
+
+	rep := obs.NewLoadReport("sweep")
+	rate := cfg.StartRate
+	for i := 0; i < cfg.Steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		step := cfg.Base
+		step.Rate = rate
+		if cfg.RequestsPerStep > 0 {
+			step.Requests = cfg.RequestsPerStep
+		}
+		// A distinct seed per step: the same base stream at a different
+		// rate would replay identical program choices, and we want each
+		// step to be an independent draw from the same distribution.
+		step.Seed = cfg.Base.Seed + int64(i)*1_000_003
+
+		run, err := Run(ctx, step, tgt, clk)
+		if err != nil {
+			return rep, err
+		}
+		if rep.Corpus.Programs == 0 {
+			rep.Corpus = run.Corpus
+			base := run.Config
+			base.RatePerSec = 0 // per-step, not global
+			base.Seed = cfg.Base.Seed
+			base.SweepStartRate = cfg.StartRate
+			base.SweepFactor = cfg.Factor
+			base.SweepSteps = cfg.Steps
+			base.KneeFrac = cfg.KneeFrac
+			rep.Config = base
+		}
+
+		row := stepRow(rate, run)
+		rep.Steps = append(rep.Steps, row)
+		if rep.Knee == nil && row.RejectedFrac >= cfg.KneeFrac {
+			rep.Knee = &obs.SweepKnee{RatePerSec: rate, RejectedFrac: row.RejectedFrac}
+		}
+		rate *= cfg.Factor
+	}
+	return rep, nil
+}
+
+// stepRow folds one fixed-rate run into a sweep row.
+func stepRow(rate float64, run *obs.LoadReport) obs.SweepStep {
+	row := obs.SweepStep{
+		RatePerSec: rate,
+		Offered:    run.Totals.Offered,
+		P50:        run.Latency.P50,
+		P99:        run.Latency.P99,
+		P999:       run.Latency.P999,
+	}
+	for _, o := range run.Totals.Outcomes {
+		switch o.Name {
+		case "ok":
+			row.OK += o.Count
+		case "queue_full":
+			row.Rejected += o.Count
+		default:
+			row.Errors += o.Count
+		}
+	}
+	if row.Offered > 0 {
+		row.RejectedFrac = float64(row.Rejected) / float64(row.Offered)
+	}
+	return row
+}

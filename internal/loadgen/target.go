@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Request is one generated load request: which corpus program to run
+// and under what knobs, plus the expected result for end-to-end
+// verification.
+type Request struct {
+	// Index is the request's position in the arrival schedule.
+	Index int
+	// Program is the corpus index; Name/Source/Want are its fields,
+	// denormalized so targets need no corpus access.
+	Program int
+	Name    string
+	Source  string
+	Want    int32
+
+	Machine   string
+	Opt       int
+	Fuel      uint64
+	TimeoutMS int64
+}
+
+// Result is what one request came back as. Outcome is "ok", a stable v1
+// error code (queue_full, deadline, ...), or one of the generator's own
+// codes: "transport_error" (the request never completed at the HTTP
+// level) and "wrong_value" (a 200 whose result word disagrees with the
+// corpus's expected value — the worst possible outcome, since it means
+// the serving stack returned a wrong answer). Cache is the
+// X-Risc1-Cache header, or "none" when the response carried none.
+type Result struct {
+	Outcome string
+	Cache   string
+	Status  int
+	Latency time.Duration
+}
+
+// Target executes one request and reports how it went, including its
+// latency — measured inside the target so a fake target under a virtual
+// clock can script deterministic latencies. Implementations must be
+// safe for concurrent use: the open-loop runner issues every in-flight
+// arrival at once.
+type Target interface {
+	Do(ctx context.Context, req Request) Result
+}
+
+// runRequestV1 mirrors the POST /v1/run body (risc1.run-request/v1).
+// The serve package owns the canonical definition; this is the client
+// half of the public wire contract.
+type runRequestV1 struct {
+	Schema    string `json:"schema"`
+	Name      string `json:"name,omitempty"`
+	Source    string `json:"source"`
+	Machine   string `json:"machine,omitempty"`
+	Opt       *int   `json:"opt,omitempty"`
+	Fuel      uint64 `json:"fuel,omitempty"`
+	TimeoutMS int64  `json:"timeoutMS,omitempty"`
+}
+
+// runResponseV1 is the slice of risc1.run-response/v1 the generator
+// inspects.
+type runResponseV1 struct {
+	Status string `json:"status"`
+	Value  *int32 `json:"value"`
+	Error  *struct {
+		Code string `json:"code"`
+	} `json:"error"`
+}
+
+// HTTPTarget drives one risc1-serve replica over the v1 contract.
+type HTTPTarget struct {
+	// BaseURL is the replica's root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Client defaults to a dedicated client with no overall timeout
+	// (the server's own deadline cap bounds every request).
+	Client *http.Client
+	// Clock measures latency; nil means the wall clock.
+	Clock Clock
+}
+
+// Do posts the request and classifies the response.
+func (t *HTTPTarget) Do(ctx context.Context, req Request) Result {
+	clk := t.Clock
+	if clk == nil {
+		clk = WallClock{}
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	opt := req.Opt
+	body, err := json.Marshal(runRequestV1{
+		Schema:    "risc1.run-request/v1",
+		Name:      req.Name,
+		Source:    req.Source,
+		Machine:   req.Machine,
+		Opt:       &opt,
+		Fuel:      req.Fuel,
+		TimeoutMS: req.TimeoutMS,
+	})
+	if err != nil {
+		return Result{Outcome: "transport_error", Cache: "none"}
+	}
+
+	start := clk.Now()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return Result{Outcome: "transport_error", Cache: "none"}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return Result{Outcome: "transport_error", Cache: "none", Latency: clk.Now().Sub(start)}
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := clk.Now().Sub(start)
+	if err != nil {
+		return Result{Outcome: "transport_error", Cache: "none", Status: resp.StatusCode, Latency: lat}
+	}
+
+	res := Result{Status: resp.StatusCode, Latency: lat, Cache: "none"}
+	if c := resp.Header.Get("X-Risc1-Cache"); c != "" {
+		res.Cache = c
+	}
+	var rr runResponseV1
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		res.Outcome = "transport_error"
+		return res
+	}
+	switch {
+	case rr.Error != nil:
+		res.Outcome = rr.Error.Code
+		if res.Outcome == "" {
+			res.Outcome = fmt.Sprintf("http_%d", resp.StatusCode)
+		}
+	case rr.Value != nil && *rr.Value != req.Want:
+		res.Outcome = "wrong_value"
+	default:
+		res.Outcome = "ok"
+	}
+	return res
+}
+
+// RoundRobin fans requests across several targets — the client-side
+// stand-in for a dumb load balancer in front of N replicas. The replica
+// is chosen by the request's schedule index, not by a shared counter, so
+// placement is deterministic even though the open-loop runner issues
+// requests concurrently.
+type RoundRobin struct {
+	Targets []Target
+}
+
+// Do forwards to the target the request's index selects.
+func (r *RoundRobin) Do(ctx context.Context, req Request) Result {
+	return r.Targets[req.Index%len(r.Targets)].Do(ctx, req)
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"risc1/internal/machine"
 )
@@ -186,6 +187,75 @@ func Run(t *testing.T, b *machine.Backend) {
 		}
 		if halted, err := m.RunSteps(16); halted || err != nil {
 			t.Errorf("%s: resume after cancel = (%v, %v), want (false, nil)", b.Name, halted, err)
+		}
+	})
+
+	t.Run("expired-context", func(t *testing.T) {
+		// A context that is already past its deadline must return
+		// promptly — before ANY instruction executes — with the
+		// canonical context error, leave the machine unhalted, and leave
+		// its state restorable. The serving path leans on this: a
+		// request whose deadline elapsed while queued must not burn a
+		// quantum of simulation before noticing.
+		prog := compile(t, spinSrc, machine.Options{})
+		m := b.New(machine.Options{})
+		load(t, m, prog)
+		snap := m.Snapshot()
+		defer snap.Release()
+
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		if err := m.RunContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: expired run err = %v, want context.DeadlineExceeded", b.Name, err)
+		}
+		if got := m.Instructions(); got != 0 {
+			t.Errorf("%s: expired context executed %d instructions, want 0", b.Name, got)
+		}
+		if h, _ := m.Halted(); h {
+			t.Errorf("%s: expired context halted the machine", b.Name)
+		}
+
+		// The machine is still whole: restore the post-load snapshot and
+		// step it.
+		m.Restore(snap)
+		if halted, err := m.RunSteps(16); halted || err != nil {
+			t.Errorf("%s: restored run after expiry = (%v, %v), want (false, nil)", b.Name, halted, err)
+		}
+		if got := m.Instructions(); got != 16 {
+			t.Errorf("%s: restored machine executed %d instructions, want 16", b.Name, got)
+		}
+	})
+
+	t.Run("midrun-cancellation", func(t *testing.T) {
+		// Cancellation arriving while the guest is executing stops the
+		// run on a quantum boundary with the context's error — the
+		// cooperative-interrupt path debug sessions and drain use. The
+		// spin program never halts, so RunContext returns only because
+		// of the cancel.
+		prog := compile(t, spinSrc, machine.Options{})
+		m := b.New(machine.Options{})
+		load(t, m, prog)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- m.RunContext(ctx) }()
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: mid-run cancel err = %v, want context.Canceled", b.Name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: RunContext did not return after cancellation", b.Name)
+		}
+		// No lower bound on Instructions: on a heavily loaded host the
+		// cancel can land before the first quantum, which is the
+		// expired-context path above — still correct, just not mid-run.
+		if h, _ := m.Halted(); h {
+			t.Errorf("%s: mid-run cancel halted the machine", b.Name)
+		}
+		if halted, err := m.RunSteps(16); halted || err != nil {
+			t.Errorf("%s: resume after mid-run cancel = (%v, %v), want (false, nil)", b.Name, halted, err)
 		}
 	})
 

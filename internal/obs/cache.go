@@ -21,6 +21,7 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`    // computed by this lookup
 	Coalesced uint64 `json:"coalesced"` // waited on another lookup's in-flight compute
 	Evictions uint64 `json:"evictions"` // entries dropped to fit the byte budget
+	Fills     uint64 `json:"fills"`     // entries stored via Put (peer fills), outside the Do ledger
 }
 
 // Prometheus renders the snapshot in the Prometheus text exposition
@@ -37,6 +38,7 @@ func (s CacheStats) Prometheus(prefix string) string {
 	row("misses_total", "counter", s.Misses)
 	row("coalesced_total", "counter", s.Coalesced)
 	row("evictions_total", "counter", s.Evictions)
+	row("fills_total", "counter", s.Fills)
 	return b.String()
 }
 

@@ -1,0 +1,141 @@
+package obs
+
+import "encoding/json"
+
+// The loadgen report is risc1-loadgen's machine-readable output: the
+// measured answer to "what does this serving stack do under
+// production-shaped traffic". Like the run and bench reports it is
+// versioned and deterministic — no wall-clock timestamps, no map
+// iteration, every number a pure function of the request outcomes — so
+// a fixed-seed run against a fixed target pins byte-identical bytes,
+// and EXPERIMENTS.md entries can be regenerated and diffed.
+
+// Loadgen report schema identifiers. Bump the version on any
+// field-breaking change; the golden test in internal/loadgen pins the
+// current shape.
+const (
+	LoadReportSchema  = "risc1.loadgen-report"
+	LoadReportVersion = 1
+)
+
+// LoadReport describes one load-generation run (mode "fixed": one
+// arrival rate) or one saturation sweep (mode "sweep": a ramp of rates
+// locating the 429 knee).
+type LoadReport struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	Mode    string `json:"mode"` // "fixed" | "sweep"
+
+	Config LoadConfig `json:"config"`
+	Corpus LoadCorpus `json:"corpus"`
+
+	// Fixed mode: the run's totals and latency distribution.
+	Totals  *LoadTotals     `json:"totals,omitempty"`
+	Latency *LatencySummary `json:"latency,omitempty"`
+
+	// Sweep mode: one row per rate step, plus the located knee (absent
+	// when no step saturated).
+	Steps []SweepStep `json:"steps,omitempty"`
+	Knee  *SweepKnee  `json:"knee,omitempty"`
+}
+
+// LoadConfig echoes the generator's knobs so a report is reproducible
+// from its own body.
+type LoadConfig struct {
+	RatePerSec float64 `json:"ratePerSec,omitempty"` // fixed mode
+	Requests   int     `json:"requests"`             // arrivals per run (per step, in sweep mode)
+	Seed       int64   `json:"seed"`
+	ZipfS      float64 `json:"zipfS"`
+	ZipfV      float64 `json:"zipfV"`
+	Machine    string  `json:"machine,omitempty"`
+	Opt        int     `json:"opt"`
+	Fuel       uint64  `json:"fuel,omitempty"`
+	TimeoutMS  int64   `json:"timeoutMS,omitempty"`
+
+	// Sweep mode: the rate ramp.
+	SweepStartRate float64 `json:"sweepStartRate,omitempty"`
+	SweepFactor    float64 `json:"sweepFactor,omitempty"`
+	SweepSteps     int     `json:"sweepSteps,omitempty"`
+	KneeFrac       float64 `json:"kneeFrac,omitempty"` // rejected fraction that counts as saturated
+}
+
+// LoadCorpus describes the progen-derived program set traffic draws
+// from.
+type LoadCorpus struct {
+	Programs    int   `json:"programs"`
+	Seed        int64 `json:"seed"`
+	SourceBytes int   `json:"sourceBytes"`
+}
+
+// LoadTotals is the per-run outcome accounting. Outcomes carries one row
+// per distinct request outcome ("ok" or a stable v1 error code, plus the
+// generator's own "transport_error" and "wrong_value"), sorted by name;
+// Cache does the same for the X-Risc1-Cache states (hit / miss /
+// coalesced / none). Rows always sum to Completed.
+type LoadTotals struct {
+	Offered   uint64      `json:"offered"`
+	Completed uint64      `json:"completed"`
+	Outcomes  []LoadCount `json:"outcomes"`
+	Cache     []LoadCount `json:"cache"`
+}
+
+// LoadCount is one (name, count) row of a totals table.
+type LoadCount struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+}
+
+// LatencySummary is the request-latency distribution: count, sum, the
+// headline quantiles (bucket upper bounds in seconds, conservative),
+// and the sparse nonzero buckets backing them.
+type LatencySummary struct {
+	Count      uint64       `json:"count"`
+	SumSeconds float64      `json:"sumSeconds"`
+	P50        float64      `json:"p50"`
+	P90        float64      `json:"p90"`
+	P99        float64      `json:"p99"`
+	P999       float64      `json:"p999"`
+	Buckets    []LoadBucket `json:"buckets,omitempty"`
+}
+
+// LoadBucket is one nonzero histogram bucket: observations at or below
+// LE seconds. LE 0 marks the +Inf bucket (always last).
+type LoadBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// SweepStep is one rate point of a saturation sweep.
+type SweepStep struct {
+	RatePerSec   float64 `json:"ratePerSec"`
+	Offered      uint64  `json:"offered"`
+	OK           uint64  `json:"ok"`
+	Rejected     uint64  `json:"rejected"` // 429 queue_full
+	Errors       uint64  `json:"errors"`   // anything neither ok nor rejected
+	RejectedFrac float64 `json:"rejectedFrac"`
+	P50          float64 `json:"p50"`
+	P99          float64 `json:"p99"`
+	P999         float64 `json:"p999"`
+}
+
+// SweepKnee is the first rate step whose rejected fraction crossed the
+// configured threshold — the measured admission-control knee.
+type SweepKnee struct {
+	RatePerSec   float64 `json:"ratePerSec"`
+	RejectedFrac float64 `json:"rejectedFrac"`
+}
+
+// NewLoadReport stamps schema and version.
+func NewLoadReport(mode string) *LoadReport {
+	return &LoadReport{Schema: LoadReportSchema, Version: LoadReportVersion, Mode: mode}
+}
+
+// JSON marshals the report with stable two-space indentation and a
+// trailing newline, byte-identical for identical runs.
+func (r *LoadReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestLogHistQuantiles: with a known multiset, every quantile lands on
+// the conservative bucket upper bound containing that rank.
+func TestLogHistQuantiles(t *testing.T) {
+	h := NewLogHist(time.Millisecond, 2, 8) // bounds 1ms, 2ms, ..., 128ms
+	// 90 observations in the 1ms bucket, 9 in the 4ms bucket, 1 in 64ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	h.Observe(50 * time.Millisecond)
+
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 0.001},
+		{0.90, 0.001},
+		{0.99, 0.004},
+		{0.999, 0.064},
+		{1.0, 0.064},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+}
+
+// TestLogHistBoundaries: an observation exactly on a bound counts in
+// that bucket (le semantics), and overflow lands in the +Inf bucket,
+// reported one growth step past the top bound.
+func TestLogHistBoundaries(t *testing.T) {
+	h := NewLogHist(time.Millisecond, 2, 3) // 1ms, 2ms, 4ms
+	h.Observe(2 * time.Millisecond)         // exactly on the 2ms bound
+	if got := h.Quantile(1.0); got != 0.002 {
+		t.Errorf("on-bound observation reported %v, want 0.002", got)
+	}
+	h.Observe(time.Second) // beyond the top bound
+	if got := h.Quantile(1.0); got != 0.008 {
+		t.Errorf("+Inf observation reported %v, want 0.008 (one step past the top)", got)
+	}
+
+	buckets := h.Buckets()
+	if len(buckets) != 2 {
+		t.Fatalf("Buckets = %+v, want 2 nonzero rows", buckets)
+	}
+	if buckets[0].LE != 0.002 || buckets[0].Count != 1 {
+		t.Errorf("bucket 0 = %+v, want le 0.002 count 1", buckets[0])
+	}
+	if buckets[1].LE != 0 || buckets[1].Count != 1 {
+		t.Errorf("+Inf bucket = %+v, want le 0 count 1", buckets[1])
+	}
+}
+
+// TestLogHistEmpty: zero observations produce zero quantiles and an
+// empty summary rather than a panic.
+func TestLogHistEmpty(t *testing.T) {
+	h := DefaultLoadHist()
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P50 != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty Summary = %+v", s)
+	}
+}

@@ -1,0 +1,102 @@
+package peer
+
+import "sync"
+
+// Popularity tracks per-key request counts with periodic decay: the
+// hot-key detector behind replica-local caching of results whose home is
+// another node. Counting is replica-local and deterministic — a fixed
+// request sequence always produces the same counts — so tests can pin
+// exactly when a key crosses the replication threshold.
+//
+// Decay is request-driven rather than wall-clock-driven: every
+// decayEvery bumps across the whole tracker, all counts halve and the
+// ones that reach zero are forgotten. A key must keep earning its count
+// against the aggregate request rate, so yesterday's hot program cools
+// off as traffic moves on, and the map's size is bounded by the working
+// set rather than history.
+type Popularity struct {
+	mu         sync.Mutex
+	counts     map[string]uint64
+	maxKeys    int
+	decayEvery uint64
+	bumps      uint64
+}
+
+// Tracker defaults: at most 4096 tracked keys, halving every 8192 bumps.
+const (
+	DefaultMaxKeys    = 4096
+	DefaultDecayEvery = 8192
+)
+
+// NewPopularity builds a tracker holding at most maxKeys keys, halving
+// all counts every decayEvery bumps (<= 0 selects the defaults).
+func NewPopularity(maxKeys int, decayEvery uint64) *Popularity {
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxKeys
+	}
+	if decayEvery == 0 {
+		decayEvery = DefaultDecayEvery
+	}
+	return &Popularity{
+		counts:     make(map[string]uint64),
+		maxKeys:    maxKeys,
+		decayEvery: decayEvery,
+	}
+}
+
+// Bump records one request for key and returns its new count. When the
+// tracker is full of other keys, the new key is not tracked and Bump
+// returns 1 — an untracked key simply cannot become hot until decay
+// frees room, which is the behavior a bounded hot-set wants.
+func (p *Popularity) Bump(key string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bumps++
+	if p.bumps%p.decayEvery == 0 {
+		p.decayLocked()
+	}
+	c, tracked := p.counts[key]
+	if !tracked && len(p.counts) >= p.maxKeys {
+		p.decayLocked()
+		if len(p.counts) >= p.maxKeys {
+			return 1
+		}
+	}
+	c++
+	p.counts[key] = c
+	return c
+}
+
+// Count returns key's current count (0 when untracked).
+func (p *Popularity) Count(key string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[key]
+}
+
+// HotKeys returns how many keys currently sit at or above threshold —
+// the gauge /metrics exports.
+func (p *Popularity) HotKeys(threshold uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range p.counts {
+		if c >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// decayLocked halves every count and drops the ones that reach zero.
+// Called with p.mu held.
+func (p *Popularity) decayLocked() {
+	for k, c := range p.counts {
+		c /= 2
+		if c == 0 {
+			delete(p.counts, k)
+		} else {
+			p.counts[k] = c
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package peer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPopularityThreshold: counts grow by one per bump, so a key
+// crosses any threshold at exactly the expected request.
+func TestPopularityThreshold(t *testing.T) {
+	p := NewPopularity(0, 0)
+	const threshold = 4
+	for i := 1; i <= 10; i++ {
+		got := p.Bump("k")
+		if got != uint64(i) {
+			t.Fatalf("bump %d returned count %d", i, got)
+		}
+		if hot := got >= threshold; hot != (i >= threshold) {
+			t.Fatalf("bump %d: hot = %v, want %v", i, hot, i >= threshold)
+		}
+	}
+	if n := p.HotKeys(threshold); n != 1 {
+		t.Errorf("HotKeys = %d, want 1", n)
+	}
+	if n := p.HotKeys(100); n != 0 {
+		t.Errorf("HotKeys(100) = %d, want 0", n)
+	}
+}
+
+// TestPopularityDecay: after decayEvery total bumps, counts halve and
+// cold keys are forgotten entirely.
+func TestPopularityDecay(t *testing.T) {
+	p := NewPopularity(0, 8)
+	for i := 0; i < 6; i++ {
+		p.Bump("hot")
+	}
+	p.Bump("cold")
+	p.Bump("filler") // 8th bump triggers the decay sweep first
+	if c := p.Count("hot"); c != 3 {
+		t.Errorf("hot count after decay = %d, want 3", c)
+	}
+	if c := p.Count("cold"); c != 0 {
+		t.Errorf("cold key survived decay with count %d", c)
+	}
+	if c := p.Count("filler"); c != 1 {
+		t.Errorf("filler count = %d, want 1 (bumped after the sweep)", c)
+	}
+}
+
+// TestPopularityBounded: a full tracker refuses new keys rather than
+// growing without bound, and decay frees room again.
+func TestPopularityBounded(t *testing.T) {
+	p := NewPopularity(4, 1<<40)
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("k%d", i)
+		p.Bump(k)
+		p.Bump(k)
+	}
+	if got := p.Bump("overflow"); got != 1 {
+		t.Fatalf("overflow bump = %d, want untracked 1", got)
+	}
+	if c := p.Count("overflow"); c != 0 {
+		t.Errorf("overflow key tracked with count %d despite full map", c)
+	}
+	// The forced decay inside the rejected insert halved the residents
+	// to 1 each; enough further bumps on a new key must eventually fit
+	// once another forced sweep drops them to zero.
+	if got := p.Bump("late"); got != 1 || p.Count("late") != 1 {
+		t.Errorf("late key not tracked after decay freed room: bump=%d count=%d", got, p.Count("late"))
+	}
+}
+
+// TestPopularityConcurrent is the locking proof for the -race job:
+// concurrent bumps on overlapping keys never lose counts entirely.
+func TestPopularityConcurrent(t *testing.T) {
+	p := NewPopularity(0, 0)
+	var wg sync.WaitGroup
+	const goroutines, bumps = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < bumps; i++ {
+				p.Bump(fmt.Sprintf("k%d", i%4))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += p.Count(fmt.Sprintf("k%d", i))
+	}
+	if total != goroutines*bumps {
+		t.Errorf("total count %d, want %d", total, goroutines*bumps)
+	}
+}

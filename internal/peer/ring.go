@@ -1,0 +1,109 @@
+// Package peer is the scale-out layer's placement logic: a consistent-
+// hash ring that gives every cache key one home replica, and a
+// popularity tracker that decides which keys are hot enough to replicate
+// off their home. Both are deterministic pure data structures — every
+// replica configured with the same node list computes the same owner for
+// every key, with no coordination traffic — which is what lets N
+// risc1-serve processes agree on placement by configuration alone.
+package peer
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is how many points each node contributes to the
+// ring. 64 keeps the per-node load imbalance within a few percent for
+// small clusters while the ring stays tiny (N*64 uint64s).
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (replica base URLs, in risc1-serve's case). A key's owner is the first
+// virtual node clockwise from the key's hash, so adding or removing one
+// node moves only ~1/N of the key space. Safe for concurrent use —
+// there is nothing to mutate.
+type Ring struct {
+	points []uint64 // sorted virtual-node hashes
+	owner  []string // owner[i] is the node owning points[i]
+	nodes  []string // the distinct nodes, in the caller's order
+}
+
+// NewRing builds a ring from the given node names with vnodes virtual
+// points per node (<= 0 means DefaultVirtualNodes). Duplicate names are
+// collapsed; an empty list yields a ring whose Owner returns "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	type point struct {
+		h    uint64
+		node string
+	}
+	pts := make([]point, 0, len(r.nodes)*vnodes)
+	for _, n := range r.nodes {
+		for i := 0; i < vnodes; i++ {
+			pts = append(pts, point{hash64(n + "#" + strconv.Itoa(i)), n})
+		}
+	}
+	// Sort by (hash, node) so a hash collision between two nodes'
+	// virtual points resolves the same way on every replica.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].node < pts[j].node
+	})
+	r.points = make([]uint64, len(pts))
+	r.owner = make([]string, len(pts))
+	for i, p := range pts {
+		r.points[i] = p.h
+		r.owner[i] = p.node
+	}
+	return r
+}
+
+// Owner returns the node that owns key: the first virtual point at or
+// clockwise after the key's hash, wrapping at the top of the circle.
+// An empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.owner[i]
+}
+
+// Nodes returns the distinct node names, in the order they were given.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// hash64 places a label on the circle: FNV-1a, which is stable across
+// processes, architectures, and Go versions — a requirement, since every
+// replica must compute identical placements from configuration alone —
+// followed by a splitmix64 finalizer. FNV alone avalanches poorly on the
+// short, similar labels virtual nodes produce ("node#0", "node#1", ...),
+// clustering a node's points on the circle; the finalizer spreads them.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

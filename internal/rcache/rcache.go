@@ -61,7 +61,7 @@ type Cache struct {
 	items  map[Key]*list.Element
 	flight map[Key]*call
 
-	hits, misses, coalesced, evictions uint64
+	hits, misses, coalesced, evictions, fills uint64
 }
 
 type entry struct {
@@ -143,6 +143,28 @@ func (c *Cache) Do(ctx context.Context, key Key, fn ComputeFn) (any, Outcome, er
 	return v, Miss, err
 }
 
+// Put is the peer-fill hook: it stores a value computed somewhere else —
+// on another replica, typically — without running a ComputeFn and
+// without counting a hit or a miss, so the Do ledger (hits + misses +
+// coalesced == lookups) stays exact. It reports whether the value was
+// actually stored (a negative size, a zero budget, or a value larger
+// than the whole budget is not), and counts stored values in the
+// Stats().Fills counter so /metrics can reconcile replica-local fills
+// against peer fetches.
+func (c *Cache) Put(key Key, v any, size int64) bool {
+	if size < 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 || size > c.budget {
+		return false
+	}
+	c.fills++
+	c.store(key, v, size)
+	return true
+}
+
 // Get is a pure lookup: it returns a stored value without computing or
 // coalescing, and counts neither a hit nor a miss. Tests and metrics
 // probes use it; the serving path goes through Do.
@@ -197,5 +219,6 @@ func (c *Cache) Stats() obs.CacheStats {
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
 		Evictions: c.evictions,
+		Fills:     c.fills,
 	}
 }

@@ -291,3 +291,46 @@ func TestKeyBuilder(t *testing.T) {
 		distinct[k] = name
 	}
 }
+
+// TestPut covers the peer-fill hook: a filled value is served as a Hit
+// without ever running a ComputeFn, fills stay outside the Do ledger
+// (hits+misses+coalesced == Do lookups regardless of Puts), and the
+// size rules match store's (negative, oversized, and zero-budget fills
+// are dropped).
+func TestPut(t *testing.T) {
+	c := New(100)
+	if !c.Put("k1", "peer-value", 10) {
+		t.Fatal("Put of a fitting value reported not stored")
+	}
+	v, out, err := c.Do(context.Background(), "k1", func() (any, int64, error) {
+		t.Error("ComputeFn ran for a peer-filled key")
+		return nil, 0, nil
+	})
+	if err != nil || out != Hit || v.(string) != "peer-value" {
+		t.Fatalf("Do after Put = (%v, %v, %v), want peer-value hit", v, out, err)
+	}
+
+	if c.Put("k2", "x", -1) {
+		t.Error("Put stored a negative-size value")
+	}
+	if c.Put("k3", "x", 1000) {
+		t.Error("Put stored a value larger than the whole budget")
+	}
+	if New(0).Put("k4", "x", 1) {
+		t.Error("Put stored into a zero-budget cache")
+	}
+
+	s := c.Stats()
+	if s.Fills != 1 {
+		t.Errorf("Fills = %d, want 1 (only the stored fill counts)", s.Fills)
+	}
+	if s.Hits != 1 || s.Misses != 0 || s.Coalesced != 0 {
+		t.Errorf("Do ledger disturbed by Put: %+v", s)
+	}
+
+	// A Put over an existing key replaces the value in place.
+	c.Put("k1", "replaced", 10)
+	if v, ok := c.Get("k1"); !ok || v.(string) != "replaced" {
+		t.Errorf("Put did not replace: %v %v", v, ok)
+	}
+}

@@ -140,17 +140,19 @@ func (c *CPU) Run() error {
 // RunContext executes like Run but stops between instruction quanta
 // when ctx is cancelled or its deadline passes, returning the context's
 // error. The machine stops on an instruction boundary and can resume.
+// A context that is already done returns before the first quantum —
+// zero instructions execute.
 func (c *CPU) RunContext(ctx context.Context) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		halted, err := c.RunSteps(runQuantum)
 		if err != nil {
 			return err
 		}
 		if halted {
 			return nil
-		}
-		if err := ctx.Err(); err != nil {
-			return err
 		}
 	}
 }

@@ -1,0 +1,95 @@
+package session
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSlowSubscriberConcurrent is the functional half of the stalled-SSE
+// contract, built to run under the race detector (where the timing pin
+// TestStalledSubscriberOverhead is skipped): a reader that consumes
+// events concurrently with the run — but too slowly to keep up with a
+// small ring — must observe a stream that accounts for every event. The
+// per-event ledger is exact: when the event with sequence number seq is
+// delivered, every earlier event was either delivered before it or sits
+// in the drop counter, so seq+1 == delivered + dropped at every single
+// delivery, and at end of stream the two sides sum to everything the
+// simulator flushed.
+func TestSlowSubscriberConcurrent(t *testing.T) {
+	const ring = 128
+	const fuel = 200_000
+	s := buildRISC(t, spinSrc, fuel)
+	sub := s.Subscribe(ring)
+
+	type tally struct {
+		delivered uint64
+		dropped   uint64
+		lastSeq   uint64
+	}
+	done := make(chan tally, 1)
+	go func() {
+		var tl tally
+		var lastDropped uint64
+		for {
+			ev, dropped, ok := sub.Next(context.Background())
+			if !ok {
+				tl.dropped = dropped
+				done <- tl
+				return
+			}
+			if dropped < lastDropped {
+				t.Errorf("drop counter fell %d -> %d", lastDropped, dropped)
+			}
+			lastDropped = dropped
+			tl.delivered++
+			tl.lastSeq = ev.Seq
+			// The exact ledger at this delivery: everything before this
+			// event was delivered or dropped, nothing else.
+			if ev.Seq+1 != tl.delivered+dropped {
+				t.Errorf("ledger broken at seq %d: delivered %d + dropped %d != %d",
+					ev.Seq, tl.delivered, dropped, ev.Seq+1)
+				done <- tl
+				return
+			}
+			// Stay slow: stall a little on a fraction of deliveries so
+			// the ring keeps overflowing while the simulator runs.
+			if tl.delivered%64 == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	st, err := s.Run(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stopped != StopFuel || st.Instructions != fuel {
+		t.Fatalf("slow subscriber perturbed the run: %+v", st)
+	}
+	total := s.StreamStats().Events
+	if total < fuel {
+		t.Fatalf("only %d events for %d instructions", total, fuel)
+	}
+	s.Close(CloseReasonClient) // ends the stream; the reader drains the ring and exits
+
+	var tl tally
+	select {
+	case tl = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("reader did not finish after close")
+	}
+
+	if tl.delivered+tl.dropped != total {
+		t.Errorf("delivered %d + dropped %d != %d events emitted", tl.delivered, tl.dropped, total)
+	}
+	if tl.lastSeq != total-1 {
+		t.Errorf("freshest delivered seq %d, want %d (the last event is never dropped)", tl.lastSeq, total-1)
+	}
+	if tl.dropped == 0 {
+		t.Error("no drops: the reader kept up and the slow path was never exercised")
+	}
+	if tl.delivered == 0 {
+		t.Error("nothing delivered: the reader never ran concurrently")
+	}
+}

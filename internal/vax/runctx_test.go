@@ -21,8 +21,9 @@ func assembleVax(t *testing.T, src string) *Program {
 	return prog
 }
 
-// TestRunContextCancellation mirrors the RISC-side test: an infinite
-// guest loop is stopped from the outside within one run quantum.
+// TestRunContextCancellation mirrors the RISC-side test: an already
+// cancelled context returns before any instruction executes; a mid-run
+// cancellation stops on a quantum boundary with the machine resumable.
 func TestRunContextCancellation(t *testing.T) {
 	prog := assembleVax(t, vaxSpin)
 	c := New(Config{})
@@ -33,9 +34,22 @@ func TestRunContextCancellation(t *testing.T) {
 	if err := c.RunContext(ctx); !errors.Is(err, context.Canceled) {
 		t.Errorf("RunContext = %v, want context.Canceled", err)
 	}
-	if c.Trace.Instructions == 0 || c.Trace.Instructions > runQuantum {
-		t.Errorf("executed %d instructions before noticing cancellation, want 1..%d",
-			c.Trace.Instructions, runQuantum)
+	if c.Trace.Instructions != 0 {
+		t.Errorf("pre-cancelled context executed %d instructions, want 0", c.Trace.Instructions)
+	}
+	if _, err := c.RunSteps(runQuantum); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Trace.Instructions
+	if err := c.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("resumed RunContext = %v, want context.Canceled", err)
+	}
+	if c.Trace.Instructions != before {
+		t.Errorf("cancelled resume executed %d more instructions, want 0",
+			c.Trace.Instructions-before)
+	}
+	if halted, err := c.RunSteps(10); err != nil || halted {
+		t.Errorf("machine not resumable after cancellation: %v, %v", halted, err)
 	}
 }
 
