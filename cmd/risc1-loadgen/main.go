@@ -12,6 +12,12 @@
 //
 //	risc1-loadgen -urls http://h1:8080,http://h2:8080,http://h3:8080 \
 //	    -sweep -sweep-start 50 -sweep-factor 2 -sweep-steps 7
+//
+// Cluster health check (no load): fetch every replica's /v1/cluster
+// view and verify the fleet is reachable, agrees on membership, and is
+// capability-homogeneous. Exit 0 iff all three hold:
+//
+//	risc1-loadgen -urls http://h1:8080,http://h2:8080,http://h3:8080 -cluster
 package main
 
 import (
@@ -54,9 +60,34 @@ func main() {
 		sweepSteps  = flag.Int("sweep-steps", 6, "sweep: number of rate steps")
 		kneeFrac    = flag.Float64("knee-frac", 0.01, "sweep: rejected fraction that counts as the knee")
 
+		clusterCheck = flag.Bool("cluster", false, "check the replicas' /v1/cluster views (membership agreement, fingerprint compatibility) instead of generating load")
+
 		report = flag.String("report", "", "write the JSON report here instead of stdout")
 	)
 	flag.Parse()
+
+	if *clusterCheck {
+		var checkURLs []string
+		if *urls != "" {
+			for _, u := range strings.Split(*urls, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					checkURLs = append(checkURLs, u)
+				}
+			}
+		} else {
+			checkURLs = []string{*url}
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		ck := loadgen.CheckCluster(ctx, &http.Client{}, checkURLs)
+		fmt.Fprint(os.Stderr, ck.Summary())
+		if !ck.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tgt loadgen.Target
 	client := &http.Client{}

@@ -10,8 +10,9 @@
 //	GET    /v1/sessions/{id}        inspect state, breakpoints, stream counters
 //	GET    /v1/sessions/{id}/events live trace events (SSE)
 //	DELETE /v1/sessions/{id}        close the session
+//	GET    /v1/cluster              replica-set membership, health, capability fingerprint
 //	GET    /healthz                 liveness
-//	GET    /metrics                 pool, cache, limiter, session metrics + latency histograms
+//	GET    /metrics                 pool, cache, limiter, session, cluster metrics + latency histograms
 //
 // Every request is bounded three ways: body size (-max-source), an
 // instruction budget (-max-fuel), and a wall-clock deadline
@@ -35,11 +36,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"slices"
-	"strings"
 	"syscall"
 	"time"
 
+	"risc1/internal/cluster"
 	"risc1/internal/exec"
 )
 
@@ -56,25 +56,38 @@ func main() {
 	progCacheBytes := flag.Int64("prog-cache-bytes", 64<<20, "compiled-program cache budget in bytes (negative = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight jobs before cancelling them")
 	sessionIdle := flag.Duration("session-idle", 2*time.Minute, "how long an untouched debug session survives before it is reaped")
-	peers := flag.String("peers", "", "comma-separated base URLs of every replica (this one included); empty = standalone")
-	self := flag.String("self", "", "this replica's entry in -peers (required with -peers)")
-	hotThreshold := flag.Uint64("hot-threshold", 8, "per-key request count past which a peer-homed result is replicated locally")
-	peerCacheBytes := flag.Int64("peer-cache-bytes", 64<<20, "hot-key peer-response cache budget in bytes")
+	clusterPath := flag.String("cluster", "", "path to a risc1.cluster-config/v1 JSON file; empty = standalone")
+	peers := flag.String("peers", "", "deprecated (use -cluster): comma-separated base URLs of every replica (this one included)")
+	self := flag.String("self", "", "deprecated (use -cluster): this replica's entry in -peers")
+	hotThreshold := flag.Uint64("hot-threshold", 0, "deprecated (use -cluster): per-key request count past which a peer-homed result is replicated locally")
+	peerCacheBytes := flag.Int64("peer-cache-bytes", 0, "deprecated (use -cluster): hot-key peer-response cache budget in bytes")
 	flag.Parse()
 
-	var peerList []string
-	if *peers != "" {
-		for _, p := range strings.Split(*peers, ",") {
-			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
-				peerList = append(peerList, p)
-			}
-		}
-		selfURL := strings.TrimRight(strings.TrimSpace(*self), "/")
-		if !slices.Contains(peerList, selfURL) {
-			fmt.Fprintf(os.Stderr, "risc1-serve: -self %q is not among -peers %q\n", *self, *peers)
+	// Cluster membership comes from the typed config file (-cluster); the
+	// legacy -peers/-self string flags still work but are deprecated —
+	// they build the same config with the documented defaults.
+	var clusterCfg *cluster.Config
+	switch {
+	case *clusterPath != "" && *peers != "":
+		fmt.Fprintln(os.Stderr, "risc1-serve: -cluster and -peers are mutually exclusive")
+		os.Exit(2)
+	case *clusterPath != "":
+		cc, err := cluster.Load(*clusterPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "risc1-serve:", err)
 			os.Exit(2)
 		}
-		*self = selfURL
+		clusterCfg = &cc
+	case *peers != "":
+		fmt.Fprintln(os.Stderr, "risc1-serve: -peers/-self are deprecated; use -cluster with a risc1.cluster-config/v1 file")
+		cc, err := cluster.FromPeers(*peers, *self)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "risc1-serve:", err)
+			os.Exit(2)
+		}
+		cc.HotThreshold = *hotThreshold
+		cc.PeerCacheBytes = *peerCacheBytes
+		clusterCfg = &cc
 	}
 
 	pool := exec.NewPool(exec.Config{Workers: *workers, Queue: *queue, ProgramCacheBytes: *progCacheBytes})
@@ -86,11 +99,7 @@ func main() {
 		MaxQueue:    *inflightQueue,
 		CacheBytes:  *cacheBytes,
 		SessionIdle: *sessionIdle,
-
-		Peers:          peerList,
-		Self:           *self,
-		HotThreshold:   *hotThreshold,
-		PeerCacheBytes: *peerCacheBytes,
+		Cluster:     clusterCfg,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -111,6 +120,7 @@ func main() {
 		// stream gets its terminal "end" event and returns, so Shutdown
 		// (which waits for in-flight handlers) is never held hostage by a
 		// long-lived stream until the drain-timeout fallback.
+		srv.StopCluster()
 		srv.DrainSessions()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "risc1-serve: http shutdown:", err)

@@ -4,53 +4,70 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"risc1/internal/cluster"
 	"risc1/internal/exec"
 	"risc1/internal/peer"
 	"risc1/internal/rcache"
 )
 
 // Horizontal serving: N replicas share one logical result cache by
-// consistent-hashing every run's content address onto the replica set.
-// Each cache key has exactly one home replica; a replica that receives
-// a request whose key lives elsewhere forwards it over the ordinary v1
-// contract and relays the home's response verbatim. Because run
-// responses are deterministic and id-free (a cache hit is byte-identical
-// to a recompute — the invariant the differential tests pin), relaying
-// stored bytes is indistinguishable from computing locally, which is
-// what makes an N-replica deployment answer byte-identically to a
-// single replica.
+// consistent-hashing every run's content address onto the *live*
+// replica set. Each cache key has exactly one home replica; a replica
+// that receives a request whose key lives elsewhere forwards it over
+// the ordinary v1 contract and relays the home's response verbatim.
+// Because run responses are deterministic and id-free (a cache hit is
+// byte-identical to a recompute — the invariant the differential tests
+// pin), relaying stored bytes is indistinguishable from computing
+// locally — and, by the same invariant, computing locally is
+// indistinguishable from relaying, which is what makes the failure
+// path safe: when a home is down (or a relay fails), the edge simply
+// executes the run itself and the client sees identical bytes.
+//
+// Membership is live (internal/cluster): health probes plus passive
+// relay-failure detection move peers between up/down/incompatible, and
+// the routing ring is recomputed over up members only. The 502
+// peer_unavailable answer is a last resort — reachable only when a
+// relay fails after the client itself has gone away — not the response
+// to a dead peer.
 //
 // Hot keys are the exception to single-home placement: once a key's
 // request count at a replica crosses the popularity threshold, that
 // replica caches the home's response bytes locally (a peer fill) and
 // serves subsequent repeats itself — replication for the Zipf head,
-// single-home placement for the tail.
+// single-home placement for the tail. Membership changes re-home keys,
+// so the hot-key cache is purged whenever the ring generation moves.
 
 // PeerHeader marks a request forwarded by another replica. The home
 // executes such requests locally (never re-forwards), which both
 // terminates routing in one hop and makes ring disagreement during
-// rolling reconfiguration degrade to extra work instead of a loop.
+// membership convergence degrade to extra work instead of a loop.
 const PeerHeader = "X-Risc1-Peer"
 
 // RouteHeader reports how this replica placed a synchronous run:
 // "local" (this replica is the key's home), "forward" (relayed to the
-// home), or "replica" (served from this replica's hot-key copy).
+// home), "replica" (served from this replica's hot-key copy), or
+// "fallback" (the home was unreachable; executed locally instead).
 const RouteHeader = "X-Risc1-Route"
 
-// codePeerUnavailable is the stable error code for a failed peer relay:
-// the key's home replica could not be reached or did not answer. 502.
+// codePeerUnavailable is the stable error code for a relay that failed
+// after the client's own context ended — the one case where the edge
+// can neither relay nor fall back to local execution. 502.
 const codePeerUnavailable = "peer_unavailable"
 
 // peering is one replica's view of the replica set.
 type peering struct {
-	ring *peer.Ring
-	self string
+	// members is the live membership table: health-probed peers, the
+	// routing ring over up members, and the generation counter.
+	members *cluster.Membership
+	self    string
 	// client carries peer fetches; no overall timeout — the forwarded
 	// run's own deadline bounds it.
 	client *http.Client
@@ -61,47 +78,86 @@ type peering struct {
 	// cache holds verbatim response bytes from home replicas, keyed by
 	// the same content address as the result cache. Do provides
 	// singleflight (concurrent repeats of one key fetch once); Put
-	// stores only hot, deterministic responses.
+	// stores only hot, deterministic responses. Purged whenever the
+	// membership generation changes — a ring change re-homes keys, so
+	// copies replicated from a departed peer must not keep serving.
 	cache *rcache.Cache
 
 	routed    atomic.Uint64 // sync requests whose home is another replica
 	localHome atomic.Uint64 // sync requests this replica is home for
 	served    atomic.Uint64 // requests executed here on behalf of a peer
 	fetches   atomic.Uint64 // relays that reached the home replica
-	errors    atomic.Uint64 // relays that failed (peer_unavailable)
+	errors    atomic.Uint64 // relays that failed
+	fallbacks atomic.Uint64 // failed relays answered by local execution
+	purges    atomic.Uint64 // peer-cache purges on generation change
+	lastGen   atomic.Uint64 // membership generation the cache was last valid for
 }
 
-// newPeering builds the replica-set view, or nil when peering is off.
-func newPeering(cfg ServerConfig) *peering {
-	if len(cfg.Peers) == 0 || cfg.Self == "" {
+// newPeering builds the replica-set view and starts its health prober,
+// or returns nil when clustering is off.
+func newPeering(cfg ServerConfig, fp cluster.Fingerprint) *peering {
+	cc := cfg.Cluster
+	if cc == nil {
 		return nil
 	}
-	threshold := cfg.HotThreshold
+	threshold := cc.HotThreshold
 	if threshold == 0 {
 		threshold = 8
 	}
-	cacheBytes := cfg.PeerCacheBytes
+	cacheBytes := cc.PeerCacheBytes
 	if cacheBytes == 0 {
 		cacheBytes = 64 << 20
 	}
-	return &peering{
-		ring:      peer.NewRing(cfg.Peers, peer.DefaultVirtualNodes),
-		self:      cfg.Self,
+	p := &peering{
+		members:   cluster.NewMembership(*cc, fp, &http.Client{}),
+		self:      cc.Self,
 		client:    &http.Client{},
 		pop:       peer.NewPopularity(0, 0),
 		threshold: threshold,
 		cache:     rcache.New(cacheBytes),
 	}
+	p.lastGen.Store(p.members.Generation())
+	p.members.Start()
+	return p
 }
 
-// home returns the owning replica for a key, or "" when the key is
-// homed here (or the ring is empty).
+// close stops the health prober. Idempotent.
+func (p *peering) close() { p.members.Stop() }
+
+// home returns the owning live replica for a key, or "" when the key
+// is homed here — because this replica owns it, or because its owner
+// is down and the recomputed ring re-homed it here. Ahead of the
+// lookup, a membership generation change purges the hot-key cache:
+// entries replicated under the old ring may belong to someone else
+// now.
 func (p *peering) home(key rcache.Key) string {
-	owner := p.ring.Owner(string(key))
+	p.maybePurge()
+	owner := p.members.Ring().Owner(string(key))
 	if owner == "" || owner == p.self {
 		return ""
 	}
 	return owner
+}
+
+// maybePurge invalidates the peer cache if the membership generation
+// moved since the last check. The CAS elects one purger per
+// transition; a relay completing mid-purge can re-fill a stale-homed
+// entry, which the next transition collects — and whose bytes are
+// correct regardless, since responses are content-addressed and
+// deterministic.
+func (p *peering) maybePurge() {
+	gen := p.members.Generation()
+	for {
+		last := p.lastGen.Load()
+		if gen == last {
+			return
+		}
+		if p.lastGen.CompareAndSwap(last, gen) {
+			p.cache.Purge()
+			p.purges.Add(1)
+			return
+		}
+	}
 }
 
 // peerResult is a home replica's response, relayed verbatim.
@@ -111,15 +167,26 @@ type peerResult struct {
 	body   []byte
 }
 
+// peerRefusal is a home's wire-level rejection of a relay (the
+// peer_protocol envelope): not a transient failure but a contract
+// mismatch, so it marks the peer incompatible rather than counting
+// toward the down threshold.
+type peerRefusal struct{ msg string }
+
+func (e *peerRefusal) Error() string { return e.msg }
+
 // serve answers a synchronous run homed on another replica: from the
 // local hot-key copy when there is one, otherwise by relaying to the
 // home. The route return is the RouteHeader value; the cache return is
 // the X-Risc1-Cache value the client sees — a local copy hit is "hit"
 // and a shared in-flight relay is "coalesced", exactly what a single
 // replica would report for the same repeat, so serial request streams
-// read identically at any replica count.
+// read identically at any replica count. A non-nil error means the
+// relay failed; the caller reports it to membership via this method's
+// own bookkeeping and falls back to local execution.
 func (p *peering) serve(ctx context.Context, home string, spec exec.Spec, timeout time.Duration, key rcache.Key) (res *peerResult, route, cacheLabel string, err error) {
 	p.routed.Add(1)
+	p.members.CountRoute(home)
 	hot := p.pop.Bump(string(key)) >= p.threshold
 
 	v, outcome, err := p.cache.Do(ctx, key, func() (any, int64, error) {
@@ -127,12 +194,21 @@ func (p *peering) serve(ctx context.Context, home string, spec exec.Spec, timeou
 		if ferr != nil {
 			return nil, 0, ferr
 		}
+		if rerr := relayRefusal(pr); rerr != nil {
+			return nil, 0, rerr
+		}
 		// Never stored by Do: replication is Put's decision below,
 		// reserved for hot keys with deterministic outcomes.
 		return pr, -1, nil
 	})
 	if err != nil {
 		p.errors.Add(1)
+		var refusal *peerRefusal
+		if errors.As(err, &refusal) {
+			p.members.ReportIncompatible(home, refusal.msg)
+		} else {
+			p.members.ReportRelayFailure(home, err)
+		}
 		return nil, "forward", "", err
 	}
 	pr := v.(*peerResult)
@@ -143,6 +219,7 @@ func (p *peering) serve(ctx context.Context, home string, spec exec.Spec, timeou
 		return pr, "forward", "coalesced", nil
 	default: // Miss: this request performed the relay.
 		p.fetches.Add(1)
+		p.members.ReportRelaySuccess(home)
 		if hot && peerCacheable(pr) {
 			p.cache.Put(key, pr, int64(len(pr.body)))
 		}
@@ -150,10 +227,10 @@ func (p *peering) serve(ctx context.Context, home string, spec exec.Spec, timeou
 	}
 }
 
-// fetch relays the clamped spec to the home replica. The body is
-// reconstructed from the spec — not echoed from the client — so the
-// home's own clamping is a no-op and both replicas compute the same
-// content address.
+// fetch relays the clamped spec to the home replica under the
+// versioned peer wire contract. The body is reconstructed from the
+// spec — not echoed from the client — so the home's own clamping is a
+// no-op and both replicas compute the same content address.
 func (p *peering) fetch(ctx context.Context, home string, spec exec.Spec, timeout time.Duration) (*peerResult, error) {
 	opt := spec.Opt
 	body, err := json.Marshal(runRequest{
@@ -174,6 +251,7 @@ func (p *peering) fetch(ctx context.Context, home string, spec exec.Spec, timeou
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(PeerHeader, p.self)
+	req.Header.Set(cluster.VersionHeader, strconv.Itoa(cluster.ProtocolVersion))
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -188,6 +266,25 @@ func (p *peering) fetch(ctx context.Context, home string, spec exec.Spec, timeou
 		cache:  resp.Header.Get(CacheHeader),
 		body:   raw,
 	}, nil
+}
+
+// relayRefusal classifies a relayed response that must NOT be served
+// to the client: a peer_protocol envelope (the home refused our wire
+// version — contract mismatch) or a body that is not a v1 response at
+// all (a proxy error page, a replica mid-restart). Both are relay
+// failures; the caller falls back to local execution. Legitimate v1
+// error envelopes — compile_error, deadline, even internal — are the
+// home's answer and relay verbatim, exactly as a single replica would
+// produce them.
+func relayRefusal(pr *peerResult) error {
+	switch out := peerOutcome(pr.body); out {
+	case "invalid":
+		return fmt.Errorf("peer answered status %d with a non-v1 body", pr.status)
+	case codePeerProtocol:
+		return &peerRefusal{msg: fmt.Sprintf("peer refused relay: %s", bytes.TrimSpace(pr.body))}
+	default:
+		return nil
+	}
 }
 
 // peerCacheable reports whether a relayed response may be replicated:
@@ -227,7 +324,7 @@ func peerOutcome(body []byte) string {
 // PeerStats is a snapshot of the peering counters, exported for tests
 // and /metrics.
 type PeerStats struct {
-	Replicas  int
+	Replicas  int // live ring size (self + up peers)
 	Routed    uint64
 	LocalHome uint64
 	Served    uint64
@@ -244,7 +341,7 @@ func (s *Server) PeerStats() PeerStats {
 		return PeerStats{}
 	}
 	return PeerStats{
-		Replicas:  len(p.ring.Nodes()),
+		Replicas:  len(p.members.Ring().Nodes()),
 		Routed:    p.routed.Load(),
 		LocalHome: p.localHome.Load(),
 		Served:    p.served.Load(),

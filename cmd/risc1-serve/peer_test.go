@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"risc1/internal/cluster"
 	"risc1/internal/exec"
 )
 
@@ -39,36 +40,54 @@ func (l *lateHandler) set(h http.Handler) {
 	l.mu.Unlock()
 }
 
-// newCluster starts n peered replicas, each on its own pool, all sharing
-// one ring built from the n listener URLs.
-func newCluster(t *testing.T, n int, cfg ServerConfig) ([]*httptest.Server, []*Server, []*exec.Pool) {
+// clusterRig is a test replica set: n peered Servers, each on its own
+// pool, with live membership over the n listener URLs. The lateHandlers
+// let a test take a replica dark (set(nil) → 503) and bring it back.
+type clusterRig struct {
+	tss   []*httptest.Server
+	srvs  []*Server
+	pools []*exec.Pool
+	late  []*lateHandler
+}
+
+// newCluster starts n peered replicas. cc is the cluster config
+// template — Self and Peers are filled per replica; leave the probe
+// knobs zero for the defaults, or set ProbeIntervalMS/FailAfter low in
+// tests that exercise detection.
+func newCluster(t *testing.T, n int, cfg ServerConfig, cc cluster.Config) *clusterRig {
 	t.Helper()
-	late := make([]*lateHandler, n)
-	tss := make([]*httptest.Server, n)
-	urls := make([]string, n)
-	for i := range late {
-		late[i] = &lateHandler{}
-		tss[i] = httptest.NewServer(late[i])
-		urls[i] = tss[i].URL
+	rig := &clusterRig{
+		tss:   make([]*httptest.Server, n),
+		srvs:  make([]*Server, n),
+		pools: make([]*exec.Pool, n),
+		late:  make([]*lateHandler, n),
 	}
-	srvs := make([]*Server, n)
-	pools := make([]*exec.Pool, n)
-	for i := range srvs {
+	urls := make([]string, n)
+	for i := range rig.late {
+		rig.late[i] = &lateHandler{}
+		rig.tss[i] = httptest.NewServer(rig.late[i])
+		urls[i] = rig.tss[i].URL
+	}
+	for i := range rig.srvs {
 		rcfg := cfg
-		rcfg.Peers = urls
-		rcfg.Self = urls[i]
-		pools[i] = exec.NewPool(exec.Config{Workers: 2})
-		srvs[i] = NewServer(pools[i], rcfg)
-		late[i].set(srvs[i].Handler())
+		rcc := cc
+		rcc.Schema = cluster.ConfigSchema
+		rcc.Peers = urls
+		rcc.Self = urls[i]
+		rcfg.Cluster = &rcc
+		rig.pools[i] = exec.NewPool(exec.Config{Workers: 2})
+		rig.srvs[i] = NewServer(rig.pools[i], rcfg)
+		rig.late[i].set(rig.srvs[i].Handler())
 	}
 	t.Cleanup(func() {
-		for i := range srvs {
-			srvs[i].DrainSessions()
-			tss[i].Close()
-			pools[i].Close()
+		for i := range rig.srvs {
+			rig.srvs[i].StopCluster()
+			rig.srvs[i].DrainSessions()
+			rig.tss[i].Close()
+			rig.pools[i].Close()
 		}
 	})
-	return tss, srvs, pools
+	return rig
 }
 
 // diffStream is a deterministic serial request stream with repeats:
@@ -109,7 +128,8 @@ func TestPeerDifferential(t *testing.T) {
 	stream := diffStream()
 
 	single, _, _ := newTestServer(t, ServerConfig{})
-	tss, srvs, _ := newCluster(t, 3, ServerConfig{})
+	rig := newCluster(t, 3, ServerConfig{}, cluster.Config{})
+	tss, srvs := rig.tss, rig.srvs
 
 	for i, body := range stream {
 		wantResp, wantBody := postRun(t, single, body)
@@ -170,7 +190,8 @@ func TestPeerDifferential(t *testing.T) {
 // peer caches coalesce per replica, the home's result cache coalesces
 // across them — and everyone gets the same bytes.
 func TestPeerConcurrentDifferential(t *testing.T) {
-	tss, _, pools := newCluster(t, 3, ServerConfig{})
+	rig := newCluster(t, 3, ServerConfig{}, cluster.Config{})
+	tss, pools := rig.tss, rig.pools
 	body := mustBody(runRequest{Name: "fanout", Source: serveSrc})
 
 	const clients = 12
@@ -211,7 +232,8 @@ func TestPeerConcurrentDifferential(t *testing.T) {
 // threshold, the edge replica fills its local copy and serves repeats
 // itself (route "replica", cache "hit") without re-fetching.
 func TestPeerHotReplication(t *testing.T) {
-	tss, srvs, _ := newCluster(t, 3, ServerConfig{HotThreshold: 3})
+	rig := newCluster(t, 3, ServerConfig{}, cluster.Config{HotThreshold: 3})
+	tss, srvs := rig.tss, rig.srvs
 	body := mustBody(runRequest{Name: "hot", Source: serveSrc})
 
 	// Find an edge replica that does NOT home this key.
@@ -253,40 +275,70 @@ func TestPeerHotReplication(t *testing.T) {
 	}
 }
 
-// TestPeerUnavailable: a request homed on a dead replica answers 502
-// with the stable code peer_unavailable, and the client can tell which
-// failures are routing (retryable elsewhere) versus its own.
+// TestPeerUnavailable: a request homed on a dead replica is served
+// LOCALLY (route "fallback", status 200) — never a client-visible 5xx —
+// while the failures feed the detector until the survivor marks the
+// peer down and re-homes its keys (route becomes "local").
 func TestPeerUnavailable(t *testing.T) {
-	tss, srvs, _ := newCluster(t, 2, ServerConfig{})
-	tss[1].Close() // the second replica goes dark
+	// A long probe interval keeps the background prober out of the
+	// picture: detection here is purely passive, from relay failures.
+	rig := newCluster(t, 2, ServerConfig{}, cluster.Config{ProbeIntervalMS: 60_000, FailAfter: 2})
+	rig.tss[1].Close() // the second replica goes dark
+	survivor := rig.tss[0]
 
-	// Probe names until one homes on the dead replica: each name is a
+	// Draw names until several home on the dead replica: each name is a
 	// different content address, so a handful of draws must cross a
 	// 2-node ring.
+	var fallbacks int
 	for i := 0; i < 32; i++ {
 		body := mustBody(runRequest{Name: fmt.Sprintf("probe-%d", i), Source: serveSrc})
-		resp, b := postRun(t, tss[0], body)
-		if resp.StatusCode == http.StatusOK {
-			continue // homed on the live replica
+		resp, b := postRun(t, survivor, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("draw %d: status %d, want 200 (dead home must fall back locally)\n%s",
+				i, resp.StatusCode, b)
 		}
-		if resp.StatusCode != http.StatusBadGateway {
-			t.Fatalf("probe %d: status %d, want 200 or 502\n%s", i, resp.StatusCode, b)
+		switch route := resp.Header.Get(RouteHeader); route {
+		case "fallback":
+			fallbacks++
+		case "local":
+			// Homed here from the start, or re-homed after detection.
+		default:
+			t.Fatalf("draw %d: route %q, want fallback or local", i, route)
 		}
-		if code := errorCode(t, b); code != codePeerUnavailable {
-			t.Fatalf("probe %d: code %q, want %q", i, code, codePeerUnavailable)
-		}
-		if got := srvs[0].PeerStats().Errors; got == 0 {
-			t.Error("peer error counter did not move")
-		}
-		return
 	}
-	t.Fatal("32 probes all homed on the live replica; ring is degenerate")
+	if fallbacks == 0 {
+		t.Fatal("32 draws all homed on the live replica; ring is degenerate")
+	}
+	if got := rig.srvs[0].PeerStats().Errors; got == 0 {
+		t.Error("peer error counter did not move")
+	}
+	if cs := rig.srvs[0].ClusterStats(); cs.Fallbacks == 0 {
+		t.Errorf("cluster stats fallbacks = %d, want > 0", cs.Fallbacks)
+	}
+
+	// Two relay failures (FailAfter) are enough: the survivor's view
+	// must now show the peer down and its ring shrunk to itself.
+	snap := rig.srvs[0].peering.members.Snapshot()
+	var deadState cluster.State
+	for _, mem := range snap.Members {
+		if mem.URL == rig.tss[1].URL {
+			deadState = mem.State
+		}
+	}
+	if deadState != cluster.StateDown {
+		t.Errorf("dead replica state %q on the survivor, want down", deadState)
+	}
+	if ps := rig.srvs[0].PeerStats(); ps.Replicas != 1 {
+		t.Errorf("survivor ring size %d, want 1 after detection", ps.Replicas)
+	}
 }
 
-// TestPeerMetricsExposed: peered replicas export the risc1_peer_* and
-// risc1_peercache_* families; standalone replicas export neither.
+// TestPeerMetricsExposed: peered replicas export the risc1_peer_*,
+// risc1_peercache_*, and risc1_cluster_* families; standalone replicas
+// export none of them.
 func TestPeerMetricsExposed(t *testing.T) {
-	tss, _, _ := newCluster(t, 2, ServerConfig{})
+	rig := newCluster(t, 2, ServerConfig{}, cluster.Config{})
+	tss := rig.tss
 	postRun(t, tss[0], mustBody(runRequest{Name: "m", Source: serveSrc}))
 
 	resp, err := http.Get(tss[0].URL + "/metrics")
@@ -307,6 +359,13 @@ func TestPeerMetricsExposed(t *testing.T) {
 		"risc1_peer_hot_keys",
 		"risc1_peercache_hits_total",
 		"risc1_peercache_fills_total",
+		"risc1_cluster_members 2",
+		"risc1_cluster_up",
+		"risc1_cluster_down",
+		"risc1_cluster_generation",
+		"risc1_cluster_probes_total",
+		"risc1_cluster_fallback_local_total",
+		"risc1_cluster_cache_purges_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("peered /metrics is missing %q", want)
@@ -321,7 +380,9 @@ func TestPeerMetricsExposed(t *testing.T) {
 	defer resp2.Body.Close()
 	buf.Reset()
 	buf.ReadFrom(resp2.Body)
-	if strings.Contains(buf.String(), "risc1_peer_") {
-		t.Error("standalone /metrics exports peer families")
+	for _, prefix := range []string{"risc1_peer_", "risc1_peercache_", "risc1_cluster_"} {
+		if strings.Contains(buf.String(), prefix) {
+			t.Errorf("standalone /metrics exports %s* families", prefix)
+		}
 	}
 }

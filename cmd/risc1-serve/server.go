@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"risc1/internal/cluster"
 	"risc1/internal/exec"
 	"risc1/internal/machine"
 	"risc1/internal/obs"
@@ -45,6 +47,11 @@ const (
 	codeDeadline           = "deadline"            // 504: wall-clock budget exhausted
 	// codePeerUnavailable ("peer_unavailable", 502) lives in peer.go with
 	// the rest of the replica-routing layer.
+
+	// codePeerProtocol rejects a relayed request whose peer wire version
+	// is missing or not ours: replicas speaking different protocols must
+	// not relay to each other. 400.
+	codePeerProtocol = "peer_protocol"
 )
 
 // CacheHeader reports how the result cache handled a synchronous run:
@@ -76,19 +83,11 @@ type ServerConfig struct {
 	// it is reaped; <= 0 means session.DefaultIdleTimeout.
 	SessionIdle time.Duration
 
-	// Peers lists every replica's base URL (this one included); with
-	// Self set to this replica's own entry, synchronous runs are
-	// consistent-hash routed so each cache key has one home replica.
-	// Empty means standalone serving.
-	Peers []string
-	// Self is this replica's entry in Peers.
-	Self string
-	// HotThreshold is the per-key request count past which a routed
-	// key's response is replicated locally; 0 means 8.
-	HotThreshold uint64
-	// PeerCacheBytes budgets the local store of hot peer responses;
-	// 0 means 64 MiB.
-	PeerCacheBytes int64
+	// Cluster joins this replica to a replica set (schema
+	// risc1.cluster-config/v1): health-checked membership, consistent-
+	// hash routing of synchronous runs over live members, hot-key
+	// replication. Nil means standalone serving.
+	Cluster *cluster.Config
 }
 
 // Server queues compile+simulate requests on a batch-execution pool
@@ -105,9 +104,14 @@ type Server struct {
 	sims *exec.Sims
 	mgr  *session.Manager
 
-	// peering is the replica-set view (consistent-hash routing + hot-key
-	// replication), nil when serving standalone.
+	// peering is the replica-set view (live membership, consistent-hash
+	// routing, hot-key replication), nil when serving standalone.
 	peering *peering
+	// fp is this replica's capability fingerprint — what the cluster
+	// handshake compares, and what GET /v1/cluster advertises (standalone
+	// servers advertise it too, so a prospective peer can check
+	// compatibility before joining).
+	fp cluster.Fingerprint
 
 	// latency is the /v1/run request-latency histogram, labeled by the
 	// request's outcome ("ok" or the stable error code) and by how the
@@ -191,7 +195,7 @@ func httpStatus(resp *runResponse) int {
 // table both the run and session envelopes use.
 func statusForCode(code string) int {
 	switch code {
-	case codeBadRequest, codeCompileError:
+	case codeBadRequest, codeCompileError, codePeerProtocol:
 		return http.StatusBadRequest
 	case codeNotFound, codeSessionNotFound:
 		return http.StatusNotFound
@@ -236,15 +240,29 @@ func NewServer(pool *exec.Pool, cfg ServerConfig) *Server {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 256 << 20
 	}
+	// The fingerprint hashes everything that must agree for replicas to
+	// share a cache: the wire protocol, the machine registry, and the
+	// caps the server clamps requests against (the clamped values feed
+	// the content address, so divergent caps mean divergent keys).
+	fp := cluster.NewFingerprint(machine.Names(), cfg.MaxFuel, cfg.MaxTimeout, cfg.MaxSource)
 	return &Server{
 		cached:  exec.NewCached(pool, cfg.CacheBytes),
 		lim:     newLimiter(cfg.MaxInflight, cfg.MaxQueue),
 		cfg:     cfg,
 		sims:    pool.ImageSims(),
 		mgr:     session.NewManager(sessionIdleOrDefault(cfg.SessionIdle)),
-		peering: newPeering(cfg),
+		peering: newPeering(cfg, fp),
+		fp:      fp,
 		latency: obs.NewHistogramVec("risc1_http_request_seconds", "outcome", "cache"),
 		jobs:    make(map[string]*jobEntry),
+	}
+}
+
+// StopCluster ends the membership prober; a no-op when standalone.
+// Called on drain, and by tests tearing down replica sets.
+func (s *Server) StopCluster() {
+	if s.peering != nil {
+		s.peering.close()
 	}
 }
 
@@ -259,6 +277,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -332,7 +351,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// A request relayed by a peer replica was already admitted at the
 	// replica the client hit — it bypasses this limiter (each client
 	// request consumes exactly one admission slot fleet-wide) and always
-	// executes here, never re-forwards.
+	// executes here, never re-forwards. The relay must carry our peer
+	// wire version: replicas speaking a different protocol (or none)
+	// are refused with the stable peer_protocol envelope, which the
+	// sending replica reads as "mark me incompatible".
+	if r.Header.Get(PeerHeader) != "" {
+		if v := r.Header.Get(cluster.VersionHeader); v != strconv.Itoa(cluster.ProtocolVersion) {
+			resp := errResponse(codePeerProtocol,
+				"peer wire version %q not supported; this replica speaks %d", v, cluster.ProtocolVersion)
+			observe(resp, "none")
+			writeJSON(w, resp)
+			return
+		}
+	}
 	forwarded := s.peering != nil && r.Header.Get(PeerHeader) != ""
 	if forwarded {
 		s.peering.served.Add(1)
@@ -382,32 +413,45 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	// Replica routing: a synchronous run whose content address is homed
-	// on another replica is answered by that replica (or by a local
-	// hot-key copy of its answer). Relayed requests (forwarded above)
-	// never route again. Async runs always execute locally — their
-	// responses carry replica-local job ids, so relaying them would
-	// break the "poll where you posted" contract.
+	// on another live replica is answered by that replica (or by a
+	// local hot-key copy of its answer). Relayed requests (forwarded
+	// above) never route again. Async runs always execute locally —
+	// their responses carry replica-local job ids, so relaying them
+	// would break the "poll where you posted" contract.
+	//
+	// A failed relay falls back to local execution: responses are
+	// deterministic and id-free, so the client receives bytes identical
+	// to the home's answer while the failure feeds the passive detector
+	// (after enough of them the peer leaves the ring and routing stops
+	// selecting it). The 502 peer_unavailable envelope is the last
+	// resort, reachable only when the client itself is gone.
 	if s.peering != nil && !forwarded {
 		key := spec.CacheKey(timeout)
 		if home := s.peering.home(key); home != "" {
 			pr, route, cacheLabel, err := s.peering.serve(r.Context(), home, spec, timeout, key)
-			w.Header().Set(RouteHeader, route)
-			if err != nil {
+			if err == nil {
+				w.Header().Set(RouteHeader, route)
+				w.Header().Set(CacheHeader, cacheLabel)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(pr.status)
+				w.Write(pr.body)
+				s.latency.Observe(time.Since(start), peerOutcome(pr.body), cacheLabel)
+				return
+			}
+			if r.Context().Err() != nil {
+				w.Header().Set(RouteHeader, route)
 				resp := errResponse(codePeerUnavailable,
 					"replica %s (home for this run) is unreachable: %v", home, err)
 				observe(resp, "none")
 				writeJSON(w, resp)
 				return
 			}
-			w.Header().Set(CacheHeader, cacheLabel)
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(pr.status)
-			w.Write(pr.body)
-			s.latency.Observe(time.Since(start), peerOutcome(pr.body), cacheLabel)
-			return
+			s.peering.fallbacks.Add(1)
+			w.Header().Set(RouteHeader, "fallback")
+		} else {
+			s.peering.localHome.Add(1)
+			w.Header().Set(RouteHeader, "local")
 		}
-		s.peering.localHome.Add(1)
-		w.Header().Set(RouteHeader, "local")
 	}
 
 	// Synchronous path, through the content-addressed cache: identical
@@ -545,6 +589,29 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(b, '\n'))
 }
 
+// handleCluster serves the cluster membership document (schema
+// risc1.cluster-response/v1): every configured member with its state,
+// health counters and probed fingerprint, plus the membership
+// generation. It doubles as the health probe and capability handshake —
+// peers GET it to check liveness and fingerprint compatibility. A
+// standalone server answers too (generation 0, members only itself), so
+// tooling can treat every risc1-serve uniformly.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var resp cluster.Response
+	if s.peering != nil {
+		resp = s.peering.members.Snapshot()
+	} else {
+		resp = cluster.Response{Schema: cluster.ResponseSchema, Fingerprint: s.fp}
+	}
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
@@ -567,6 +634,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.peering != nil {
 		fmt.Fprint(w, s.PeerStats().Prometheus())
 		fmt.Fprint(w, s.peering.cache.Stats().Prometheus("risc1_peercache"))
+		fmt.Fprint(w, s.ClusterStats().Prometheus())
 	}
 	fmt.Fprint(w, s.latency.Prometheus())
 }
@@ -585,3 +653,17 @@ func (s *Server) PeerCacheStats() obs.CacheStats {
 
 // LimiterStats exposes the admission limiter for tests and tools.
 func (s *Server) LimiterStats() obs.LimiterStats { return s.lim.Stats() }
+
+// ClusterStats merges the membership gauges with the serve-layer
+// counters (local fallbacks, generation-change cache purges); the zero
+// value when standalone.
+func (s *Server) ClusterStats() obs.ClusterStats {
+	p := s.peering
+	if p == nil {
+		return obs.ClusterStats{}
+	}
+	cs := p.members.Stats()
+	cs.Fallbacks = p.fallbacks.Load()
+	cs.CachePurges = p.purges.Load()
+	return cs
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// ResponseSchema names the GET /v1/cluster document.
+const ResponseSchema = "risc1.cluster-response/v1"
+
+// State is a member's health from this replica's point of view.
+type State string
+
+const (
+	// StateSelf marks the reporting replica's own row.
+	StateSelf State = "self"
+	// StateUp: in the routing ring; relays go to it.
+	StateUp State = "up"
+	// StateDown: past the consecutive-failure threshold; excluded from
+	// the ring until a probe succeeds.
+	StateDown State = "down"
+	// StateIncompatible: alive but refused by the capability handshake;
+	// excluded from the ring until a probe returns a matching
+	// fingerprint.
+	StateIncompatible State = "incompatible"
+)
+
+// Member is one row of a replica's membership table on the wire.
+type Member struct {
+	URL   string `json:"url"`
+	State State  `json:"state"`
+	// Failures is the current consecutive probe/relay failure count
+	// (resets on success).
+	Failures int `json:"failures,omitempty"`
+	// Probes / ProbeFailures count health probes sent to this member.
+	Probes        uint64 `json:"probes,omitempty"`
+	ProbeFailures uint64 `json:"probeFailures,omitempty"`
+	// Routed / RelayErrors count synchronous runs routed to this member
+	// and the relays among them that failed.
+	Routed      uint64 `json:"routed,omitempty"`
+	RelayErrors uint64 `json:"relayErrors,omitempty"`
+	// LastError is the most recent probe/relay failure or handshake
+	// refusal, human-readable.
+	LastError string `json:"lastError,omitempty"`
+	// Fingerprint is the member's last successfully probed capability
+	// summary, nil before the first handshake.
+	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
+}
+
+// Response is the body of GET /v1/cluster
+// (risc1.cluster-response/v1): this replica's identity and
+// fingerprint, its membership generation, and its view of every
+// configured member. A standalone (unpeered) replica answers with an
+// empty member list and generation 0 — the fingerprint is still
+// present, which is all a handshake needs.
+type Response struct {
+	Schema      string      `json:"schema"`
+	Self        string      `json:"self,omitempty"`
+	Generation  uint64      `json:"generation"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Members     []Member    `json:"members,omitempty"`
+}
+
+// Fetch retrieves url's /v1/cluster document — the probe primitive,
+// shared by the membership prober and risc1-loadgen's -cluster check.
+func Fetch(ctx context.Context, client *http.Client, url string) (*Response, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(VersionHeader, strconv.Itoa(ProtocolVersion))
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/v1/cluster: status %d", url, resp.StatusCode)
+	}
+	var r Response
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("GET %s/v1/cluster: %w", url, err)
+	}
+	if r.Schema != ResponseSchema {
+		return nil, fmt.Errorf("GET %s/v1/cluster: schema %q, want %q", url, r.Schema, ResponseSchema)
+	}
+	return &r, nil
+}

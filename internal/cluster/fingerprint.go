@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"time"
+)
+
+// ProtocolVersion is the peer wire-contract version. Relays stamp it
+// into the VersionHeader; a home replica that receives a relay with a
+// missing or different version answers the stable peer_protocol error
+// envelope instead of guessing at the sender's intent. Bump it when
+// the relay semantics change incompatibly.
+const ProtocolVersion = 1
+
+// VersionHeader carries ProtocolVersion on every peer relay.
+const VersionHeader = "X-Risc1-Peer-Version"
+
+// Fingerprint is the capability summary replicas exchange at startup
+// (and on every probe, via GET /v1/cluster): everything that must
+// match for two replicas to be interchangeable cache homes. Cache keys
+// are computed from the clamped request, so divergent caps would make
+// the same request hash differently on different replicas — the
+// fingerprint turns that silent corruption into a visible
+// "incompatible" member state.
+type Fingerprint struct {
+	// Protocol is the peer wire-contract version (ProtocolVersion).
+	Protocol int `json:"protocol"`
+	// Machines is the sorted list of canonical backend names this
+	// replica's registry serves.
+	Machines []string `json:"machines"`
+	// MaxFuel, MaxTimeoutMS, MaxSource are the request-clamping caps —
+	// the cache-relevant server limits.
+	MaxFuel      uint64 `json:"maxFuel"`
+	MaxTimeoutMS int64  `json:"maxTimeoutMS"`
+	MaxSource    int64  `json:"maxSource"`
+}
+
+// NewFingerprint assembles a replica's fingerprint. The machine list
+// is copied and sorted so registration order does not leak into the
+// comparison.
+func NewFingerprint(machines []string, maxFuel uint64, maxTimeout time.Duration, maxSource int64) Fingerprint {
+	ms := slices.Clone(machines)
+	slices.Sort(ms)
+	return Fingerprint{
+		Protocol:     ProtocolVersion,
+		Machines:     ms,
+		MaxFuel:      maxFuel,
+		MaxTimeoutMS: maxTimeout.Milliseconds(),
+		MaxSource:    maxSource,
+	}
+}
+
+// Compatible reports whether two replicas may serve as cache homes for
+// each other: same protocol, same machine set, same clamping caps.
+func (f Fingerprint) Compatible(o Fingerprint) bool {
+	return f.Protocol == o.Protocol &&
+		slices.Equal(f.Machines, o.Machines) &&
+		f.MaxFuel == o.MaxFuel &&
+		f.MaxTimeoutMS == o.MaxTimeoutMS &&
+		f.MaxSource == o.MaxSource
+}
+
+// Diff describes the first incompatibility between two fingerprints,
+// for the stable error a refused peer carries in the member table.
+func (f Fingerprint) Diff(o Fingerprint) string {
+	switch {
+	case f.Protocol != o.Protocol:
+		return fmt.Sprintf("protocol %d vs %d", f.Protocol, o.Protocol)
+	case !slices.Equal(f.Machines, o.Machines):
+		return fmt.Sprintf("machines [%s] vs [%s]",
+			strings.Join(f.Machines, " "), strings.Join(o.Machines, " "))
+	case f.MaxFuel != o.MaxFuel:
+		return fmt.Sprintf("maxFuel %d vs %d", f.MaxFuel, o.MaxFuel)
+	case f.MaxTimeoutMS != o.MaxTimeoutMS:
+		return fmt.Sprintf("maxTimeoutMS %d vs %d", f.MaxTimeoutMS, o.MaxTimeoutMS)
+	case f.MaxSource != o.MaxSource:
+		return fmt.Sprintf("maxSource %d vs %d", f.MaxSource, o.MaxSource)
+	}
+	return "compatible"
+}

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"risc1/internal/obs"
+	"risc1/internal/peer"
+)
+
+// Membership is one replica's live view of the replica set. Peers move
+// between three states — up, down, incompatible — driven by two
+// signals: periodic lightweight probes (GET /v1/cluster, which doubles
+// as the capability handshake) and passive observation of relay
+// failures. After FailAfter consecutive failures a peer is down; one
+// successful probe brings it back up. A peer whose fingerprint does
+// not match ours is incompatible — alive, but refused as a cache home
+// — until a probe returns a matching fingerprint (e.g. after it
+// restarts with fixed caps).
+//
+// The routing ring is recomputed over live members only, so routing
+// never selects a peer this replica believes is dead: a down home
+// means the key is re-homed across the survivors and served there. The
+// generation counter increments on every membership transition; the
+// serve layer watches it to invalidate replica-local peer caches whose
+// placement assumptions just changed.
+//
+// All methods are safe for concurrent use.
+type Membership struct {
+	cfg    Config
+	self   Fingerprint
+	client *http.Client
+
+	mu         sync.Mutex
+	peers      map[string]*memberRec // every configured peer except self
+	order      []string              // every configured URL in config order (self included)
+	gen        uint64
+	probes     uint64
+	probeFails uint64
+
+	ring atomic.Pointer[peer.Ring]
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// memberRec is one peer's mutable record; all fields guarded by
+// Membership.mu.
+type memberRec struct {
+	state              State
+	fails              int
+	probes, probeFails uint64
+	routed, relayErrs  uint64
+	lastErr            string
+	fp                 *Fingerprint
+}
+
+// NewMembership builds the membership table. Every peer starts
+// optimistically up — the ring is full until observation says
+// otherwise, so a cluster started in any order converges without a
+// coordinator. client carries probes; nil means a dedicated default
+// client.
+func NewMembership(cfg Config, self Fingerprint, client *http.Client) *Membership {
+	if client == nil {
+		client = &http.Client{}
+	}
+	m := &Membership{
+		cfg:    cfg,
+		self:   self,
+		client: client,
+		peers:  make(map[string]*memberRec, len(cfg.Peers)),
+		gen:    1,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, u := range cfg.Peers {
+		m.order = append(m.order, u)
+		if u != cfg.Self {
+			m.peers[u] = &memberRec{state: StateUp}
+		}
+	}
+	m.mu.Lock()
+	m.rebuildLocked()
+	m.mu.Unlock()
+	return m
+}
+
+// Start launches the background prober: one sweep immediately (the
+// startup handshake), then one every ProbeInterval.
+func (m *Membership) Start() {
+	if !m.started.CompareAndSwap(false, true) {
+		return
+	}
+	go m.probeLoop()
+}
+
+// Stop ends the prober and waits for it to exit. Idempotent; a
+// Membership that was never started stops trivially.
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	if m.started.Load() {
+		<-m.done
+	}
+}
+
+func (m *Membership) probeLoop() {
+	defer close(m.done)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-m.stop
+		cancel() // in-flight probes abort promptly on Stop
+	}()
+	t := time.NewTicker(m.cfg.ProbeInterval())
+	defer t.Stop()
+	m.ProbeAll(ctx)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.ProbeAll(ctx)
+		}
+	}
+}
+
+// ProbeAll probes every peer once, concurrently, and returns when the
+// sweep completes. Exposed so tests (and tools) can drive detection
+// deterministically without waiting on the ticker.
+func (m *Membership) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for url := range m.peers {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			m.probeOne(ctx, u)
+		}(url)
+	}
+	wg.Wait()
+}
+
+// probeOne health-checks one peer: fetch its /v1/cluster document,
+// compare fingerprints, record the outcome.
+func (m *Membership) probeOne(ctx context.Context, url string) {
+	ctx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout())
+	defer cancel()
+	resp, err := Fetch(ctx, m.client, url)
+	if err != nil {
+		m.recordProbeFailure(url, err)
+		return
+	}
+	if !m.self.Compatible(resp.Fingerprint) {
+		m.recordIncompatible(url, "handshake: "+m.self.Diff(resp.Fingerprint), true, &resp.Fingerprint)
+		return
+	}
+	m.recordProbeSuccess(url, resp.Fingerprint)
+}
+
+// ReportRelayFailure is the passive detector: the serve layer calls it
+// when a relay to url fails, which counts toward the same
+// consecutive-failure threshold probes feed.
+func (m *Membership) ReportRelayFailure(url string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.peers[url]
+	if !ok {
+		return
+	}
+	rec.relayErrs++
+	rec.lastErr = "relay: " + err.Error()
+	m.failLocked(rec)
+}
+
+// ReportRelaySuccess resets a peer's consecutive-failure count. It
+// does not resurrect a down peer — only a successful probe does, and
+// relays are never sent to down peers in the first place.
+func (m *Membership) ReportRelaySuccess(url string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec, ok := m.peers[url]; ok {
+		rec.fails = 0
+	}
+}
+
+// ReportIncompatible marks a peer refused at the wire level (e.g. a
+// peer_protocol envelope answered to a relay), without waiting for the
+// next probe to discover the same thing.
+func (m *Membership) ReportIncompatible(url, reason string) {
+	m.recordIncompatible(url, reason, false, nil)
+}
+
+// CountRoute records one synchronous run routed toward url — the
+// per-peer counter GET /v1/cluster exposes.
+func (m *Membership) CountRoute(url string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec, ok := m.peers[url]; ok {
+		rec.routed++
+	}
+}
+
+// Ring returns the current routing ring: self plus every up peer. The
+// pointer is immutable; callers may hold it across a request.
+func (m *Membership) Ring() *peer.Ring {
+	return m.ring.Load()
+}
+
+// Generation returns the membership generation: 1 at start,
+// incremented on every state transition. Equal generations at one
+// replica mean the ring is unchanged between two observations.
+func (m *Membership) Generation() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// Snapshot renders the membership table as the /v1/cluster document.
+func (m *Membership) Snapshot() Response {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := Response{
+		Schema:      ResponseSchema,
+		Self:        m.cfg.Self,
+		Generation:  m.gen,
+		Fingerprint: m.self,
+	}
+	for _, u := range m.order {
+		if u == m.cfg.Self {
+			resp.Members = append(resp.Members, Member{URL: u, State: StateSelf})
+			continue
+		}
+		rec := m.peers[u]
+		resp.Members = append(resp.Members, Member{
+			URL:           u,
+			State:         rec.state,
+			Failures:      rec.fails,
+			Probes:        rec.probes,
+			ProbeFailures: rec.probeFails,
+			Routed:        rec.routed,
+			RelayErrors:   rec.relayErrs,
+			LastError:     rec.lastErr,
+			Fingerprint:   rec.fp,
+		})
+	}
+	return resp
+}
+
+// Stats snapshots the membership gauges and counters for /metrics.
+// The serve layer fills in the Fallbacks and CachePurges fields it
+// owns.
+func (m *Membership) Stats() obs.ClusterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs := obs.ClusterStats{
+		Members:       len(m.order),
+		Up:            1, // self
+		Generation:    m.gen,
+		Probes:        m.probes,
+		ProbeFailures: m.probeFails,
+	}
+	for _, rec := range m.peers {
+		switch rec.state {
+		case StateUp:
+			cs.Up++
+		case StateDown:
+			cs.Down++
+		case StateIncompatible:
+			cs.Incompatible++
+		}
+	}
+	return cs
+}
+
+// failLocked counts one failure and applies the down transition at the
+// threshold. Called with m.mu held.
+func (m *Membership) failLocked(rec *memberRec) {
+	rec.fails++
+	if rec.state == StateUp && rec.fails >= m.cfg.FailThreshold() {
+		rec.state = StateDown
+		m.gen++
+		m.rebuildLocked()
+	}
+}
+
+func (m *Membership) recordProbeFailure(url string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := m.peers[url]
+	m.probes++
+	m.probeFails++
+	rec.probes++
+	rec.probeFails++
+	rec.lastErr = "probe: " + err.Error()
+	m.failLocked(rec)
+}
+
+func (m *Membership) recordProbeSuccess(url string, fp Fingerprint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec := m.peers[url]
+	m.probes++
+	rec.probes++
+	rec.fails = 0
+	rec.fp = &fp
+	rec.lastErr = ""
+	if rec.state != StateUp {
+		rec.state = StateUp
+		m.gen++
+		m.rebuildLocked()
+	}
+}
+
+func (m *Membership) recordIncompatible(url, reason string, isProbe bool, fp *Fingerprint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.peers[url]
+	if !ok {
+		return
+	}
+	if isProbe {
+		m.probes++
+		rec.probes++
+	}
+	rec.lastErr = reason
+	if fp != nil {
+		rec.fp = fp
+	}
+	if rec.state != StateIncompatible {
+		rec.state = StateIncompatible
+		m.gen++
+		m.rebuildLocked()
+	}
+}
+
+// rebuildLocked recomputes the routing ring over live members (self
+// plus up peers), in config order. Called with m.mu held.
+func (m *Membership) rebuildLocked() {
+	live := make([]string, 0, len(m.order))
+	for _, u := range m.order {
+		if u == m.cfg.Self || m.peers[u].state == StateUp {
+			live = append(live, u)
+		}
+	}
+	m.ring.Store(peer.NewRing(live, peer.DefaultVirtualNodes))
+}

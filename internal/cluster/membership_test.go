@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePeer is a replica stand-in that serves /v1/cluster with a
+// settable fingerprint, and can be flipped dead (503 to everything).
+type fakePeer struct {
+	ts *httptest.Server
+
+	mu   sync.Mutex
+	fp   Fingerprint
+	dead bool
+}
+
+func newFakePeer(t *testing.T, fp Fingerprint) *fakePeer {
+	t.Helper()
+	p := &fakePeer{fp: fp}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		dead, fp := p.dead, p.fp
+		p.mu.Unlock()
+		if dead {
+			http.Error(w, "down for the test", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(Response{Schema: ResponseSchema, Generation: 1, Fingerprint: fp})
+	})
+	p.ts = httptest.NewServer(mux)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func (p *fakePeer) setDead(dead bool) {
+	p.mu.Lock()
+	p.dead = dead
+	p.mu.Unlock()
+}
+
+func (p *fakePeer) setFingerprint(fp Fingerprint) {
+	p.mu.Lock()
+	p.fp = fp
+	p.mu.Unlock()
+}
+
+func testFingerprint() Fingerprint {
+	return NewFingerprint([]string{"risc1", "cisc", "rv32"}, 1<<26, 10*time.Second, 1<<20)
+}
+
+// newTestMembership builds a membership over the given fake peers with
+// a self URL that is never dialed. The prober is NOT started; tests
+// drive ProbeAll explicitly for determinism.
+func newTestMembership(t *testing.T, failAfter int, peers ...*fakePeer) (*Membership, []string) {
+	t.Helper()
+	self := "http://self.invalid:1"
+	urls := []string{self}
+	for _, p := range peers {
+		urls = append(urls, p.ts.URL)
+	}
+	cfg := Config{Self: self, Peers: urls, FailAfter: failAfter, ProbeTimeoutMS: 2000}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMembership(cfg, testFingerprint(), nil)
+	t.Cleanup(m.Stop)
+	return m, urls
+}
+
+func memberState(t *testing.T, m *Membership, url string) State {
+	t.Helper()
+	for _, mem := range m.Snapshot().Members {
+		if mem.URL == url {
+			return mem.State
+		}
+	}
+	t.Fatalf("member %s not in snapshot", url)
+	return ""
+}
+
+// TestProbeDetectsDownAndRecovery: a peer that stops answering probes
+// goes down after FailAfter consecutive failures (not before), leaves
+// the ring, and one successful probe brings it back.
+func TestProbeDetectsDownAndRecovery(t *testing.T) {
+	alive := newFakePeer(t, testFingerprint())
+	flappy := newFakePeer(t, testFingerprint())
+	m, urls := newTestMembership(t, 3, alive, flappy)
+	self, flappyURL := urls[0], urls[2]
+
+	ctx := context.Background()
+	m.ProbeAll(ctx)
+	if got := memberState(t, m, flappyURL); got != StateUp {
+		t.Fatalf("after clean probe: state %q, want up", got)
+	}
+	gen0 := m.Generation()
+
+	flappy.setDead(true)
+	m.ProbeAll(ctx)
+	m.ProbeAll(ctx)
+	if got := memberState(t, m, flappyURL); got != StateUp {
+		t.Fatalf("after 2 failures with failAfter=3: state %q, want still up", got)
+	}
+	m.ProbeAll(ctx)
+	if got := memberState(t, m, flappyURL); got != StateDown {
+		t.Fatalf("after 3 consecutive failures: state %q, want down", got)
+	}
+	if m.Generation() != gen0+1 {
+		t.Errorf("generation %d, want %d after one transition", m.Generation(), gen0+1)
+	}
+	if nodes := m.Ring().Nodes(); slices.Contains(nodes, flappyURL) {
+		t.Errorf("ring %v still contains the down peer", nodes)
+	} else if !slices.Contains(nodes, self) || !slices.Contains(nodes, alive.ts.URL) {
+		t.Errorf("ring %v lost a live member", nodes)
+	}
+
+	flappy.setDead(false)
+	m.ProbeAll(ctx)
+	if got := memberState(t, m, flappyURL); got != StateUp {
+		t.Fatalf("after recovery probe: state %q, want up", got)
+	}
+	if m.Generation() != gen0+2 {
+		t.Errorf("generation %d, want %d after down+up", m.Generation(), gen0+2)
+	}
+	if nodes := m.Ring().Nodes(); !slices.Contains(nodes, flappyURL) {
+		t.Errorf("ring %v missing the recovered peer", nodes)
+	}
+}
+
+// TestPassiveRelayFailureDetection: relay failures reported by the
+// serve layer count toward the same threshold, and a relay success
+// resets the streak.
+func TestPassiveRelayFailureDetection(t *testing.T) {
+	alive := newFakePeer(t, testFingerprint())
+	m, urls := newTestMembership(t, 3, alive)
+	target := urls[1]
+	boom := errors.New("connection refused")
+
+	m.ReportRelayFailure(target, boom)
+	m.ReportRelayFailure(target, boom)
+	m.ReportRelaySuccess(target) // streak broken
+	m.ReportRelayFailure(target, boom)
+	m.ReportRelayFailure(target, boom)
+	if got := memberState(t, m, target); got != StateUp {
+		t.Fatalf("interrupted streak marked peer %q", got)
+	}
+	m.ReportRelayFailure(target, boom)
+	if got := memberState(t, m, target); got != StateDown {
+		t.Fatalf("3 consecutive relay failures: state %q, want down", got)
+	}
+	// A relay success must not resurrect a down peer; only a probe does.
+	m.ReportRelaySuccess(target)
+	if got := memberState(t, m, target); got != StateDown {
+		t.Fatalf("relay success resurrected a down peer (state %q)", got)
+	}
+	m.ProbeAll(context.Background())
+	if got := memberState(t, m, target); got != StateUp {
+		t.Fatalf("probe did not resurrect the peer (state %q)", got)
+	}
+}
+
+// TestHandshakeRefusesIncompatiblePeer: a peer whose fingerprint
+// differs (here: divergent caps) is marked incompatible, excluded from
+// the ring, and readmitted once its fingerprint matches again.
+func TestHandshakeRefusesIncompatiblePeer(t *testing.T) {
+	wrong := NewFingerprint([]string{"risc1", "cisc", "rv32"}, 1<<10, 10*time.Second, 1<<20)
+	p := newFakePeer(t, wrong)
+	m, urls := newTestMembership(t, 3, p)
+	target := urls[1]
+
+	ctx := context.Background()
+	m.ProbeAll(ctx)
+	if got := memberState(t, m, target); got != StateIncompatible {
+		t.Fatalf("state %q, want incompatible", got)
+	}
+	if nodes := m.Ring().Nodes(); slices.Contains(nodes, target) {
+		t.Errorf("ring %v contains an incompatible peer", nodes)
+	}
+	var rec Member
+	for _, mem := range m.Snapshot().Members {
+		if mem.URL == target {
+			rec = mem
+		}
+	}
+	if rec.LastError == "" {
+		t.Error("incompatible member carries no lastError explaining the refusal")
+	}
+	if rec.Fingerprint == nil || rec.Fingerprint.MaxFuel != 1<<10 {
+		t.Errorf("member fingerprint = %+v, want the probed (mismatched) one", rec.Fingerprint)
+	}
+
+	// The peer restarts with matching caps: next probe readmits it.
+	p.setFingerprint(testFingerprint())
+	m.ProbeAll(ctx)
+	if got := memberState(t, m, target); got != StateUp {
+		t.Fatalf("after matching fingerprint: state %q, want up", got)
+	}
+}
+
+// TestBackgroundProberConverges: Start's ticker-driven sweeps detect a
+// death and a recovery without anyone calling ProbeAll.
+func TestBackgroundProberConverges(t *testing.T) {
+	p := newFakePeer(t, testFingerprint())
+	self := "http://self.invalid:1"
+	cfg, err := Config{
+		Self: self, Peers: []string{self, p.ts.URL},
+		ProbeIntervalMS: 10, FailAfter: 2, ProbeTimeoutMS: 1000,
+	}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMembership(cfg, testFingerprint(), nil)
+	m.Start()
+	defer m.Stop()
+
+	waitFor := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if memberState(t, m, p.ts.URL) == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("peer never became %q (state %q)", want, memberState(t, m, p.ts.URL))
+	}
+
+	waitFor(StateUp)
+	p.setDead(true)
+	waitFor(StateDown)
+	p.setDead(false)
+	waitFor(StateUp)
+}
+
+// TestStopIdempotent: Stop is safe to call twice, started or not.
+func TestStopIdempotent(t *testing.T) {
+	p := newFakePeer(t, testFingerprint())
+	m, _ := newTestMembership(t, 3, p) // never started
+	m.Stop()
+	m.Stop()
+
+	m2, _ := newTestMembership(t, 3, p)
+	m2.Start()
+	m2.Stop()
+	m2.Stop()
+}
+
+// TestSnapshotShape: the /v1/cluster document carries the schema, the
+// self row, per-peer counters, and the local fingerprint.
+func TestSnapshotShape(t *testing.T) {
+	p := newFakePeer(t, testFingerprint())
+	m, urls := newTestMembership(t, 3, p)
+
+	m.CountRoute(urls[1])
+	m.CountRoute(urls[1])
+	m.ReportRelayFailure(urls[1], errors.New("x"))
+
+	snap := m.Snapshot()
+	if snap.Schema != ResponseSchema {
+		t.Errorf("schema %q", snap.Schema)
+	}
+	if snap.Self != urls[0] {
+		t.Errorf("self %q, want %q", snap.Self, urls[0])
+	}
+	if !snap.Fingerprint.Compatible(testFingerprint()) {
+		t.Error("snapshot fingerprint diverged from the local one")
+	}
+	if len(snap.Members) != 2 {
+		t.Fatalf("members %d, want 2", len(snap.Members))
+	}
+	if snap.Members[0].State != StateSelf {
+		t.Errorf("first member state %q, want self", snap.Members[0].State)
+	}
+	peerRow := snap.Members[1]
+	if peerRow.Routed != 2 || peerRow.RelayErrors != 1 || peerRow.Failures != 1 {
+		t.Errorf("peer counters routed=%d relayErrs=%d fails=%d, want 2/1/1",
+			peerRow.Routed, peerRow.RelayErrors, peerRow.Failures)
+	}
+
+	stats := m.Stats()
+	if stats.Members != 2 || stats.Up != 2 || stats.Down != 0 {
+		t.Errorf("stats %+v", stats)
+	}
+}

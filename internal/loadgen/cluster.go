@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strings"
+
+	"risc1/internal/cluster"
+)
+
+// ClusterView is one replica's answer to GET /v1/cluster: its own
+// membership document, or the error that kept us from reading it.
+type ClusterView struct {
+	URL string
+	Doc *cluster.Response
+	Err error
+}
+
+// UpSet is the replica's view of the live set — itself plus every peer
+// it considers up — sorted, for cross-replica comparison.
+func (v ClusterView) UpSet() []string {
+	if v.Doc == nil {
+		return nil
+	}
+	var up []string
+	for _, m := range v.Doc.Members {
+		if m.State == cluster.StateSelf || m.State == cluster.StateUp {
+			u := m.URL
+			if m.State == cluster.StateSelf && u == "" {
+				u = v.URL
+			}
+			up = append(up, u)
+		}
+	}
+	sort.Strings(up)
+	return up
+}
+
+// ClusterCheck is the fleet-level verdict risc1-loadgen -cluster
+// prints: every replica's view, plus the three properties a healthy
+// homogeneous cluster satisfies.
+type ClusterCheck struct {
+	Views []ClusterView
+	// Healthy: every queried replica answered with a v1 cluster document.
+	Healthy bool
+	// Consistent: every reachable replica reports the same up-set — the
+	// views have converged on one ring.
+	Consistent bool
+	// Compatible: every reachable replica's fingerprint matches every
+	// other's — the cluster is homogeneous, so shared cache keys mean
+	// the same computation everywhere.
+	Compatible bool
+}
+
+// CheckCluster queries GET /v1/cluster on every URL and cross-checks
+// the views. client may be nil for a default client.
+func CheckCluster(ctx context.Context, client *http.Client, urls []string) ClusterCheck {
+	if client == nil {
+		client = &http.Client{}
+	}
+	ck := ClusterCheck{Healthy: true, Consistent: true, Compatible: true}
+	for _, u := range urls {
+		v := ClusterView{URL: strings.TrimRight(u, "/")}
+		doc, err := cluster.Fetch(ctx, client, v.URL)
+		if err != nil {
+			v.Err = err
+			ck.Healthy = false
+		} else {
+			v.Doc = doc
+		}
+		ck.Views = append(ck.Views, v)
+	}
+	var ref *ClusterView
+	for i := range ck.Views {
+		v := &ck.Views[i]
+		if v.Doc == nil {
+			continue
+		}
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if !slices.Equal(v.UpSet(), ref.UpSet()) {
+			ck.Consistent = false
+		}
+		if !v.Doc.Fingerprint.Compatible(ref.Doc.Fingerprint) {
+			ck.Compatible = false
+		}
+	}
+	return ck
+}
+
+// OK reports whether the cluster passed every check.
+func (ck ClusterCheck) OK() bool { return ck.Healthy && ck.Consistent && ck.Compatible }
+
+// Summary renders the check for humans: one line per replica (state of
+// its view) and one verdict line.
+func (ck ClusterCheck) Summary() string {
+	var b strings.Builder
+	for _, v := range ck.Views {
+		if v.Err != nil {
+			fmt.Fprintf(&b, "%-40s UNREACHABLE: %v\n", v.URL, v.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s gen=%d up=%d/%d", v.URL, v.Doc.Generation, len(v.UpSet()), len(v.Doc.Members))
+		for _, m := range v.Doc.Members {
+			if m.State == cluster.StateDown || m.State == cluster.StateIncompatible {
+				fmt.Fprintf(&b, " %s=%s", m.URL, m.State)
+			}
+		}
+		b.WriteString("\n")
+	}
+	verdict := "cluster OK: consistent, compatible, all replicas reachable"
+	if !ck.OK() {
+		var faults []string
+		if !ck.Healthy {
+			faults = append(faults, "unreachable replicas")
+		}
+		if !ck.Consistent {
+			faults = append(faults, "divergent membership views")
+		}
+		if !ck.Compatible {
+			faults = append(faults, "incompatible fingerprints")
+		}
+		verdict = "cluster NOT OK: " + strings.Join(faults, ", ")
+	}
+	b.WriteString(verdict + "\n")
+	return b.String()
+}

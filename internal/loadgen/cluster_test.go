@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"risc1/internal/cluster"
+)
+
+// fakeReplica serves a fixed /v1/cluster document.
+func fakeReplica(t *testing.T, doc *cluster.Response) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(doc)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func clusterFP() cluster.Fingerprint {
+	return cluster.NewFingerprint([]string{"risc1"}, 1<<26, 10*time.Second, 1<<20)
+}
+
+// docFor builds a membership document for self that sees every URL in
+// all as up.
+func docFor(self string, all []string, fp cluster.Fingerprint) *cluster.Response {
+	doc := &cluster.Response{
+		Schema: cluster.ResponseSchema, Self: self, Generation: 1, Fingerprint: fp,
+	}
+	for _, u := range all {
+		st := cluster.StateUp
+		if u == self {
+			st = cluster.StateSelf
+		}
+		doc.Members = append(doc.Members, cluster.Member{URL: u, State: st})
+	}
+	return doc
+}
+
+// TestCheckClusterConverged: replicas agreeing on the up-set and the
+// fingerprint pass all three checks.
+func TestCheckClusterConverged(t *testing.T) {
+	fp := clusterFP()
+	// The fakes must know each other's final URLs; allocate first, fill
+	// the docs after.
+	docA, docB := &cluster.Response{}, &cluster.Response{}
+	a, b := fakeReplica(t, docA), fakeReplica(t, docB)
+	all := []string{a.URL, b.URL}
+	*docA = *docFor(a.URL, all, fp)
+	*docB = *docFor(b.URL, all, fp)
+
+	ck := CheckCluster(context.Background(), nil, all)
+	if !ck.OK() || !ck.Healthy || !ck.Consistent || !ck.Compatible {
+		t.Fatalf("converged cluster failed the check: %+v\n%s", ck, ck.Summary())
+	}
+	if !strings.Contains(ck.Summary(), "cluster OK") {
+		t.Errorf("summary lacks the OK verdict:\n%s", ck.Summary())
+	}
+}
+
+// TestCheckClusterDivergent: replicas disagreeing about who is up are
+// flagged inconsistent (a ring split: keys home differently at each).
+func TestCheckClusterDivergent(t *testing.T) {
+	fp := clusterFP()
+	docA, docB := &cluster.Response{}, &cluster.Response{}
+	a, b := fakeReplica(t, docA), fakeReplica(t, docB)
+	all := []string{a.URL, b.URL}
+	*docA = *docFor(a.URL, all, fp)
+	*docB = *docFor(b.URL, all, fp)
+	// b thinks a is down.
+	docB.Members[0].State = cluster.StateDown
+
+	ck := CheckCluster(context.Background(), nil, all)
+	if ck.OK() || ck.Consistent {
+		t.Fatalf("divergent views passed the check: %+v", ck)
+	}
+	if !ck.Healthy || !ck.Compatible {
+		t.Errorf("divergence misreported as health/compatibility: %+v", ck)
+	}
+	if !strings.Contains(ck.Summary(), "divergent membership views") {
+		t.Errorf("summary lacks the divergence verdict:\n%s", ck.Summary())
+	}
+}
+
+// TestCheckClusterHeterogeneous: mismatched fingerprints are flagged
+// incompatible even when every view agrees.
+func TestCheckClusterHeterogeneous(t *testing.T) {
+	fpA := clusterFP()
+	fpB := cluster.NewFingerprint([]string{"risc1"}, 1<<10, 10*time.Second, 1<<20)
+	docA, docB := &cluster.Response{}, &cluster.Response{}
+	a, b := fakeReplica(t, docA), fakeReplica(t, docB)
+	all := []string{a.URL, b.URL}
+	*docA = *docFor(a.URL, all, fpA)
+	*docB = *docFor(b.URL, all, fpB)
+
+	ck := CheckCluster(context.Background(), nil, all)
+	if ck.OK() || ck.Compatible {
+		t.Fatalf("heterogeneous fingerprints passed the check: %+v", ck)
+	}
+	if !strings.Contains(ck.Summary(), "incompatible fingerprints") {
+		t.Errorf("summary lacks the incompatibility verdict:\n%s", ck.Summary())
+	}
+}
+
+// TestCheckClusterUnreachable: a dead replica fails Healthy but the
+// survivors' agreement is still evaluated.
+func TestCheckClusterUnreachable(t *testing.T) {
+	fp := clusterFP()
+	docA := &cluster.Response{}
+	a := fakeReplica(t, docA)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	all := []string{a.URL, dead.URL}
+	*docA = *docFor(a.URL, all, fp)
+
+	ck := CheckCluster(context.Background(), nil, all)
+	if ck.Healthy || ck.OK() {
+		t.Fatalf("unreachable replica passed the health check: %+v", ck)
+	}
+	if !strings.Contains(ck.Summary(), "UNREACHABLE") {
+		t.Errorf("summary lacks the unreachable row:\n%s", ck.Summary())
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClusterStats is a point-in-time snapshot of a replica's live
+// membership view (internal/cluster) plus the serve-layer consequences
+// of membership changes: how many relays had to be answered by local
+// fallback, and how many times the edge's peer cache was purged because
+// the ring generation moved. Exported on /metrics under the
+// risc1_cluster_ prefix by peered risc1-serve replicas.
+type ClusterStats struct {
+	// Gauges: the configured replica set and its current health.
+	Members      int `json:"members"`      // configured replicas, this one included
+	Up           int `json:"up"`           // live members (this one included)
+	Down         int `json:"down"`         // peers past the consecutive-failure threshold
+	Incompatible int `json:"incompatible"` // peers refused by the capability handshake
+
+	// Generation increments on every membership transition; replicas
+	// whose generations agree have seen the same history length (the
+	// member sets themselves are compared by risc1-loadgen -cluster).
+	Generation uint64 `json:"generation"`
+
+	// Counters: totals since the membership layer was built.
+	Probes        uint64 `json:"probes"`        // health probes sent
+	ProbeFailures uint64 `json:"probeFailures"` // probes that failed
+	Fallbacks     uint64 `json:"fallbacks"`     // relays answered by local execution
+	CachePurges   uint64 `json:"cachePurges"`   // peer-cache invalidations on generation change
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format under the risc1_cluster_ prefix.
+func (s ClusterStats) Prometheus() string {
+	var b strings.Builder
+	row := func(name, kind string, v any) {
+		fmt.Fprintf(&b, "# TYPE risc1_cluster_%s %s\nrisc1_cluster_%s %v\n", name, kind, name, v)
+	}
+	row("members", "gauge", s.Members)
+	row("up", "gauge", s.Up)
+	row("down", "gauge", s.Down)
+	row("incompatible", "gauge", s.Incompatible)
+	row("generation", "counter", s.Generation)
+	row("probes_total", "counter", s.Probes)
+	row("probe_failures_total", "counter", s.ProbeFailures)
+	row("fallback_local_total", "counter", s.Fallbacks)
+	row("cache_purges_total", "counter", s.CachePurges)
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package peer
+
+import (
+	"fmt"
+	"testing"
+)
+
+// These tests make the ring's central promise empirical: membership
+// changes are *monotone* (a join moves keys only onto the new node; a
+// leave moves keys only off the dead node) and *proportional* (the
+// moved fraction is near 1/N). The serve layer leans on both — the
+// first is why a down replica does not reshuffle the survivors' cache
+// placement, the second is why rebalancing cost stays bounded as the
+// cluster grows.
+
+// corpusKeys is a fixed key corpus shaped like real cache keys (the
+// content addresses are opaque strings; what matters is that they are
+// distinct and fixed across ring builds).
+func corpusKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("risc1.run/v2:%08x", i*2654435761)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return nodes
+}
+
+// TestJoinMovesOnlyToNewNode: adding replica N+1 re-homes keys ONLY
+// onto the new replica (consistent-hashing invariant), and the moved
+// fraction is within 2x of 1/(N+1) both ways.
+func TestJoinMovesOnlyToNewNode(t *testing.T) {
+	const n, keyN = 4, 20000
+	keys := corpusKeys(keyN)
+	before := NewRing(nodeNames(n), 0)
+	after := NewRing(nodeNames(n+1), 0)
+	newNode := nodeNames(n + 1)[n]
+
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != newNode {
+			t.Fatalf("key %s moved %s -> %s: a join must move keys only onto the joiner %s",
+				k, was, is, newNode)
+		}
+	}
+	frac := float64(moved) / keyN
+	ideal := 1.0 / float64(n+1)
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Errorf("join moved %.4f of keys, want within 2x of 1/%d = %.4f", frac, n+1, ideal)
+	}
+	t.Logf("join %d->%d replicas: moved %d/%d keys (%.2f%%, ideal %.2f%%)",
+		n, n+1, moved, keyN, 100*frac, 100*ideal)
+}
+
+// TestLeaveMovesOnlyFromDeadNode: removing a replica re-homes exactly
+// the keys it owned — survivors' keys stay put — and the moved
+// fraction is within 2x of 1/N.
+func TestLeaveMovesOnlyFromDeadNode(t *testing.T) {
+	const n, keyN = 5, 20000
+	keys := corpusKeys(keyN)
+	nodes := nodeNames(n)
+	dead := nodes[2]
+	survivors := append(append([]string{}, nodes[:2]...), nodes[3:]...)
+	before := NewRing(nodes, 0)
+	after := NewRing(survivors, 0)
+
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == dead {
+			moved++
+			if is == dead {
+				t.Fatalf("key %s still owned by the removed node", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s -> %s though its home %s survived", k, was, is, was)
+		}
+	}
+	frac := float64(moved) / keyN
+	ideal := 1.0 / float64(n)
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Errorf("leave moved %.4f of keys, want within 2x of 1/%d = %.4f", frac, n, ideal)
+	}
+	t.Logf("leave %d->%d replicas: moved %d/%d keys (%.2f%%, ideal %.2f%%)",
+		n, n-1, moved, keyN, 100*frac, 100*ideal)
+}
+
+// TestMonotoneAcrossFlap: down then up restores the exact original
+// placement — a flap is placement-idempotent, so an edge cache purged
+// on the down transition refills with identical homes after recovery.
+func TestMonotoneAcrossFlap(t *testing.T) {
+	const n, keyN = 3, 5000
+	keys := corpusKeys(keyN)
+	nodes := nodeNames(n)
+	full := NewRing(nodes, 0)
+	degraded := NewRing([]string{nodes[0], nodes[2]}, 0)
+	restored := NewRing(nodes, 0)
+
+	for _, k := range keys {
+		if full.Owner(k) != restored.Owner(k) {
+			t.Fatalf("key %s: owner changed across an identical membership (flap not idempotent)", k)
+		}
+		// While degraded, every key owned by the down node must land on
+		// a survivor; every other key must not move.
+		was, during := full.Owner(k), degraded.Owner(k)
+		if was == nodes[1] {
+			if during == nodes[1] {
+				t.Fatalf("key %s served by the down node during the flap", k)
+			}
+		} else if during != was {
+			t.Fatalf("key %s moved %s -> %s during an unrelated node's flap", k, was, during)
+		}
+	}
+}
+
+// TestEachStepMovesBoundedFraction: growing 2 -> 8 one replica at a
+// time, each step's movement stays within 2x of 1/N — the property
+// that makes rolling reconfiguration affordable at any size.
+func TestEachStepMovesBoundedFraction(t *testing.T) {
+	const keyN = 10000
+	keys := corpusKeys(keyN)
+	for n := 2; n < 8; n++ {
+		before := NewRing(nodeNames(n), 0)
+		after := NewRing(nodeNames(n+1), 0)
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != after.Owner(k) {
+				moved++
+			}
+		}
+		frac := float64(moved) / keyN
+		ideal := 1.0 / float64(n+1)
+		if frac < ideal/2 || frac > ideal*2 {
+			t.Errorf("join at n=%d moved %.4f, want within 2x of %.4f", n, frac, ideal)
+		}
+	}
+}

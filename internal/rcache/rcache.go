@@ -165,6 +165,25 @@ func (c *Cache) Put(key Key, v any, size int64) bool {
 	return true
 }
 
+// Purge drops every stored entry, keeping the counters and any
+// in-flight computations (their waiters still get the leader's value;
+// the result is simply not stored if it lands after the purge races
+// another Put — the next purge collects it). The peering layer calls
+// this when the cluster's membership generation changes: a ring change
+// re-homes keys, so replica-local copies of peer responses may no
+// longer belong on this replica. Purged entries count as evictions.
+// Returns how many entries were dropped.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.evictions += uint64(n)
+	c.ll.Init()
+	c.items = make(map[Key]*list.Element)
+	c.used = 0
+	return n
+}
+
 // Get is a pure lookup: it returns a stored value without computing or
 // coalescing, and counts neither a hit nor a miss. Tests and metrics
 // probes use it; the serving path goes through Do.

@@ -1,0 +1,114 @@
+#!/bin/sh
+# cluster-smoke.sh — 3-replica kill-one-replica smoke test.
+#
+# Boots three risc1-serve replicas from generated risc1.cluster-config/v1
+# files, verifies the fleet with `risc1-loadgen -cluster`, warms it with
+# fixed-rate load, SIGKILLs one replica, waits out the detection window,
+# and asserts that (a) load against the survivors completes with zero
+# transport errors and zero 5xx outcomes, and (b) both survivors'
+# /v1/cluster documents report the victim down. Run from anywhere; CI
+# runs it on every push.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/risc1-serve" ./cmd/risc1-serve
+go build -o "$WORK/risc1-loadgen" ./cmd/risc1-loadgen
+
+P1=18461 P2=18462 P3=18463
+U1="http://127.0.0.1:$P1" U2="http://127.0.0.1:$P2" U3="http://127.0.0.1:$P3"
+
+# Short probe interval and threshold: the detection window is
+# ~3 * 250ms, so the post-kill sleep below comfortably covers it.
+for i in 1 2 3; do
+    eval "self=\$U$i"
+    cat > "$WORK/cluster-$i.json" <<EOF
+{
+  "schema": "risc1.cluster-config/v1",
+  "self": "$self",
+  "peers": ["$U1", "$U2", "$U3"],
+  "probeIntervalMS": 250,
+  "probeTimeoutMS": 1000,
+  "failAfter": 3
+}
+EOF
+done
+
+for i in 1 2 3; do
+    eval "port=\$P$i"
+    "$WORK/risc1-serve" -addr "127.0.0.1:$port" -workers 2 \
+        -cluster "$WORK/cluster-$i.json" 2> "$WORK/serve-$i.log" &
+    PIDS="$PIDS $!"
+done
+
+# Wait for all three to listen.
+for i in 1 2 3; do
+    eval "url=\$U$i"
+    for _ in $(seq 1 50); do
+        if curl -sf "$url/healthz" >/dev/null 2>&1; then break; fi
+        sleep 0.1
+    done
+    curl -sf "$url/healthz" >/dev/null || { echo "replica $i never came up" >&2; cat "$WORK/serve-$i.log" >&2; exit 1; }
+done
+
+echo "== fleet check (all 3 up)"
+"$WORK/risc1-loadgen" -urls "$U1,$U2,$U3" -cluster
+
+echo "== warmup load across 3 replicas"
+"$WORK/risc1-loadgen" -urls "$U1,$U2,$U3" -rate 150 -requests 300 -seed 7 \
+    -report "$WORK/warmup.json" 2> "$WORK/warmup.log"
+grep -E 'transport_error|wrong_value' "$WORK/warmup.log" && { echo "warmup saw transport errors" >&2; exit 1; }
+
+echo "== SIGKILL replica 3"
+VICTIM=$(echo "$PIDS" | awk '{print $3}')
+kill -9 "$VICTIM"
+# Detection window: failAfter(3) * probeIntervalMS(250) plus slack.
+sleep 2
+
+echo "== survivors' /v1/cluster must report the victim down"
+for url in "$U1" "$U2"; do
+    doc=$(curl -sf "$url/v1/cluster")
+    echo "$doc" | grep -q "\"url\": \"$U3\"" || { echo "$url: victim missing from membership" >&2; exit 1; }
+    echo "$doc" | python3 -c "
+import json, sys
+doc = json.load(sys.stdin)
+states = {m['url']: m['state'] for m in doc['members']}
+assert states['$U3'] == 'down', f'victim state {states[\"$U3\"]!r}, want down'
+" || { echo "$url: victim not marked down" >&2; echo "$doc" >&2; exit 1; }
+done
+
+echo "== load against the survivors: zero client-visible failures"
+"$WORK/risc1-loadgen" -urls "$U1,$U2" -rate 150 -requests 300 -seed 11 \
+    -report "$WORK/after.json" 2> "$WORK/after.log"
+cat "$WORK/after.log"
+if grep -E 'transport_error|wrong_value|internal' "$WORK/after.log"; then
+    echo "survivor load saw client-visible failures" >&2
+    exit 1
+fi
+python3 - "$WORK/after.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+outcomes = {o["name"]: o["count"] for o in rep["totals"]["outcomes"]}
+bad = {k: v for k, v in outcomes.items()
+       if k in ("transport_error", "wrong_value", "internal", "peer_unavailable")}
+assert not bad, f"client-visible failures after the kill: {bad}"
+assert outcomes.get("ok", 0) > 0, f"no successful requests at all: {outcomes}"
+EOF
+
+echo "== fleet check on the survivors (views converged, victim down everywhere)"
+if "$WORK/risc1-loadgen" -urls "$U1,$U2" -cluster; then
+    echo "survivor views consistent"
+else
+    echo "survivors disagree about membership" >&2
+    exit 1
+fi
+
+echo "cluster smoke OK"
